@@ -1,0 +1,42 @@
+// Fig. 13: distribution of individual 120 s CPU samples over a day, fleet
+// wide. The paper: only 1% of samples above 25%, fewer than 0.1% above
+// 40% — spikes are rare and short.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/fleet_analysis.h"
+#include "sim/fleet.h"
+
+int main() {
+  using namespace headroom;
+  bench::header("Fig. 13 — distribution of 120 s CPU samples (one day)",
+                "~1% of samples above 25% CPU; <0.1% above 40%");
+
+  sim::MicroserviceCatalog catalog;
+  sim::StandardFleetOptions opt;
+  opt.heterogeneous_utilization = true;
+  opt.regional_peak_rps = 8000.0;
+  sim::FleetConfig config = sim::standard_fleet(catalog, opt);
+  config.record_pool_series = false;
+  sim::FleetSimulator fleet(std::move(config), catalog);
+  fleet.run_until(86400);
+
+  const auto& hist = fleet.cpu_sample_histogram();
+  const core::SampleDistributionCheckpoints checkpoints =
+      core::sample_checkpoints(hist);
+  std::printf("  samples: %zu\n", hist.total());
+  bench::row("fraction above 25% CPU", 0.01, checkpoints.fraction_above_25);
+  bench::row("fraction above 40% CPU", 0.001, checkpoints.fraction_above_40);
+  bench::row("fraction above 50% CPU", 0.0005, checkpoints.fraction_above_50);
+
+  std::printf("  histogram (2%% bins, fraction of samples):\n");
+  for (std::size_t b = 0; b < hist.bin_count(); b += 2) {
+    const double frac = hist.fraction(b) + (b + 1 < hist.bin_count()
+                                                ? hist.fraction(b + 1)
+                                                : 0.0);
+    if (frac < 1e-5) continue;
+    std::printf("    %3.0f-%3.0f%%: %8.4f\n", hist.bin_lo(b),
+                hist.bin_hi(b + 1), frac);
+  }
+  return 0;
+}

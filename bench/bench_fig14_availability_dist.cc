@@ -1,0 +1,66 @@
+// Fig. 14 + §III-B2: distribution of daily server availability. Paper:
+// fleet average 83%, most servers above 80%, large populations at ~85%
+// and ~98%, the <80% cohort being pools re-purposed off-peak; well-managed
+// downtime is ~2% (vs the 17% observed average).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/availability_analyzer.h"
+#include "sim/fleet.h"
+
+int main() {
+  using namespace headroom;
+  bench::header("Fig. 14 — distribution of daily server availability",
+                "mean 83%; modes near 85% and 98%; <80% cohort = re-purposed "
+                "pools; well-managed downtime ~2% (observed average 17%)");
+
+  sim::MicroserviceCatalog catalog;
+  sim::StandardFleetOptions opt;
+  // The paper's fleet spans far more than the seven headline services;
+  // pools H and I stand in for the long tail running legacy maintenance
+  // practices (heavyweight deploys, off-peak re-purposing) that create the
+  // 85% mode and drag the average to 83%.
+  opt.services = {"A", "B", "C", "D", "E", "F", "G", "H", "I"};
+  opt.regional_peak_rps = 8000.0;
+  sim::FleetConfig config = sim::standard_fleet(catalog, opt);
+  config.record_pool_series = false;
+  for (auto& dc : config.datacenters) {
+    for (auto& pool : dc.pools) {
+      if (pool.service == "H") {
+        pool.servers *= 3;  // the long tail is large
+        pool.maintenance.deploy_offline_hours = 3.4;
+        pool.maintenance.repurpose_fraction = 0.5;
+        pool.maintenance.repurpose_hours = 6.0;
+      } else if (pool.service == "I") {
+        pool.servers *= 3;
+        pool.maintenance.deploy_offline_hours = 3.3;
+        pool.maintenance.repurpose_fraction = 0.4;
+        pool.maintenance.repurpose_hours = 6.0;
+      }
+    }
+  }
+  sim::FleetSimulator fleet(std::move(config), catalog);
+  fleet.run_until(7 * 86400);
+
+  const core::AvailabilityAnalyzer analyzer;
+  const core::AvailabilityReport report = analyzer.analyze(fleet.ledger());
+  bench::row("fleet average availability (%)", 83.0,
+             report.fleet_average * 100.0);
+  bench::row("observed average downtime (%)", 17.0,
+             (1.0 - report.fleet_average) * 100.0);
+  bench::row("well-managed availability (%)", 98.0,
+             report.well_managed * 100.0);
+  bench::row("well-managed (planned) downtime (%)", 2.0,
+             report.planned_overhead() * 100.0);
+  bench::row("server-days below 80% (frac)", 0.15, report.below_80_fraction);
+
+  const stats::Histogram hist =
+      core::AvailabilityAnalyzer::availability_histogram(report, 20);
+  std::printf("  histogram (5%% bins, fraction of server-days):\n");
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    if (hist.fraction(b) < 1e-4) continue;
+    std::printf("    %3.0f-%3.0f%%: %8.4f\n", hist.bin_lo(b) * 100.0,
+                hist.bin_hi(b) * 100.0, hist.fraction(b));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 15: daily pool availability over ~two weeks for three large pools.
+// Paper: pools D and H hold ~98%, pool C ~90%, availability is a property
+// of pools (not random servers), with an occasional major unavailability
+// day (pool D's dip at the start of the period).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/availability_analyzer.h"
+#include "sim/fleet.h"
+
+int main() {
+  using namespace headroom;
+  bench::header("Fig. 15 — daily pool availability (pools C, D, H, 14 days)",
+                "D and H ~98%, C ~90%; one major unavailability day for D");
+
+  sim::MicroserviceCatalog catalog;
+  sim::StandardFleetOptions opt;
+  opt.services = {"C", "D", "H"};
+  opt.regional_peak_rps = 4000.0;
+  sim::FleetConfig config = sim::standard_fleet(catalog, opt);
+  config.record_pool_series = false;
+  // The paper's Fig. 15 shows a major dip for pool D at the period start.
+  sim::PoolIncident incident;
+  incident.day = 1;
+  incident.offline_fraction = 0.35;
+  incident.start_hour = 6.0;
+  incident.duration_hours = 10.0;
+  config.datacenters[0].pools[1].incidents.push_back(incident);
+  sim::FleetSimulator fleet(std::move(config), catalog);
+  fleet.run_until(14 * 86400);
+
+  std::printf("  %-5s", "day");
+  for (const char* pool : {"C", "D", "H"}) std::printf(" %8s", pool);
+  std::printf("\n");
+  double sums[3] = {0.0, 0.0, 0.0};
+  for (std::int64_t day = 0; day < 14; ++day) {
+    std::printf("  %-5lld", static_cast<long long>(day));
+    for (std::uint32_t pool = 0; pool < 3; ++pool) {
+      // Average over all 9 DCs' instances of the pool.
+      double avail = 0.0;
+      for (std::uint32_t dc = 0; dc < 9; ++dc) {
+        avail += fleet.ledger().pool_availability(dc, pool, day);
+      }
+      avail /= 9.0;
+      sums[pool] += avail;
+      std::printf(" %7.1f%%", avail * 100.0);
+    }
+    std::printf("\n");
+  }
+  bench::row("pool C mean availability (%)", 90.0, sums[0] / 14.0 * 100.0);
+  bench::row("pool D mean availability (%)", 98.0, sums[1] / 14.0 * 100.0);
+  bench::row("pool H mean availability (%)", 98.0, sums[2] / 14.0 * 100.0);
+  const double d_day1 =
+      fleet.ledger().pool_availability(0, 1, 1);  // the incident day, DC1
+  bench::row("pool D incident-day availability DC1 (%)", 85.0, d_day1 * 100.0);
+  return 0;
+}

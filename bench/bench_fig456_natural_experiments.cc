@@ -1,0 +1,148 @@
+// Figs. 4, 5, 6: the "natural experiments".
+//  Fig. 4 — a two-hour multi-DC outage raises surviving pools' workload by
+//           a median 56% (one DC +127%).
+//  Fig. 5 — CPU vs RPS through the event stays on the pre-event line.
+//  Fig. 6 — a 4x traffic event on one DC traces out the latency curve far
+//           beyond the normally observed range; the quadratic fit holds.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/natural_experiment.h"
+#include "sim/fleet.h"
+#include "stats/percentile.h"
+#include "stats/polynomial.h"
+
+namespace {
+using namespace headroom;
+using telemetry::MetricKind;
+constexpr telemetry::SimTime kDay = 86400;
+}  // namespace
+
+int main() {
+  sim::MicroserviceCatalog catalog;
+
+  // ---------------- Fig. 4 / Fig. 5: outage failover -----------------------
+  bench::header("Fig. 4 — workload during a two-hour multi-DC outage",
+                "median +56% on surviving pools, one DC +127%");
+  sim::FleetConfig config = sim::multi_dc_pool_fleet(catalog, "B", 9, 30);
+  workload::CapacityEvent outage;
+  outage.kind = workload::EventKind::kDatacenterOutage;
+  // Midnight UTC: the two failing DCs (tz -8, -5) are near their local
+  // evening peaks, so survivors absorb a worst-case load.
+  outage.start = 2 * kDay;
+  outage.end = outage.start + 2 * 3600;  // the paper's two-hour event
+  outage.datacenter = 0;
+  config.events.add(outage);
+  workload::CapacityEvent outage2 = outage;
+  outage2.datacenter = 1;
+  config.events.add(outage2);
+  sim::FleetSimulator fleet(std::move(config), catalog);
+  fleet.run_until(4 * kDay);
+
+  std::vector<double> increases;
+  core::NaturalExperimentAnalyzer analyzer;
+  for (std::uint32_t dc = 2; dc < 9; ++dc) {
+    const auto& rps =
+        fleet.store().pool_series(dc, 0, MetricKind::kRequestsPerSecond);
+    const auto events = analyzer.detect(rps);
+    for (const auto& e : events) {
+      increases.push_back(e.increase_fraction());
+      std::printf("  DC%u: event [%lld, %lld] +%.0f%% per-server load\n",
+                  dc + 1, static_cast<long long>(e.start),
+                  static_cast<long long>(e.end), e.increase_fraction() * 100);
+    }
+  }
+  if (!increases.empty()) {
+    bench::row("median increase over surviving DCs (%)", 56.0,
+               stats::percentile(increases, 50.0) * 100.0);
+    bench::row("max increase (%)", 127.0,
+               *std::max_element(increases.begin(), increases.end()) * 100.0);
+  }
+
+  bench::header("Fig. 5 — CPU vs RPS through the event",
+                "the pre-event linear fit predicts the event data; latency "
+                "stayed below 26 ms");
+  for (std::uint32_t dc : {2u, 3u}) {
+    const auto& rps =
+        fleet.store().pool_series(dc, 0, MetricKind::kRequestsPerSecond);
+    const auto& cpu =
+        fleet.store().pool_series(dc, 0, MetricKind::kCpuPercentAttributed);
+    const auto events = analyzer.detect(rps);
+    if (events.empty()) continue;
+    const core::ModelHoldReport report =
+        analyzer.validate_cpu_model(rps, cpu, events[0]);
+    std::printf(
+        "  DC%u: pre-event fit y=%.4f x + %.2f; event R²=%.3f "
+        "max-rel-resid=%.1f%% -> model %s\n",
+        dc + 1, report.pre_event_cpu_fit.slope,
+        report.pre_event_cpu_fit.intercept, report.event_r_squared,
+        report.max_relative_residual * 100.0,
+        report.holds ? "HOLDS" : "BROKEN");
+  }
+
+  // ---------------- Fig. 6: the 4x event -----------------------------------
+  bench::header("Fig. 6 — latency vs workload including a 4x event",
+                "DC 5 behaves as the trend line predicts at 4x normal "
+                "volume; latency elevated at low workload");
+  sim::FleetConfig cfg6 = sim::multi_dc_pool_fleet(catalog, "D", 5, 40);
+  workload::CapacityEvent surge;
+  surge.kind = workload::EventKind::kTrafficMultiplier;
+  surge.start = 2 * kDay + 19 * 3600;  // DC5 (tz +1) near its local peak
+  surge.end = surge.start + 3 * 3600;
+  surge.multiplier = 4.0;
+  surge.datacenter = 4;  // "DC 5"
+  cfg6.events.add(surge);
+  sim::FleetSimulator fleet6(std::move(cfg6), catalog);
+  fleet6.run_until(4 * kDay);
+
+  // The paper's point: the event supplies data "at much higher workloads
+  // than we were comfortable obtaining experimentally", revealing how the
+  // curve behaves where pure extrapolation is blind. Compare a fit on
+  // normal-range data against a fit that includes the event.
+  telemetry::AlignedPair normal;
+  for (std::uint32_t dc = 0; dc < 4; ++dc) {
+    const auto pair = fleet6.store().pool_scatter(
+        dc, 0, MetricKind::kRequestsPerSecond, MetricKind::kLatencyP95Ms);
+    normal.x.insert(normal.x.end(), pair.x.begin(), pair.x.end());
+    normal.y.insert(normal.y.end(), pair.y.begin(), pair.y.end());
+  }
+  const auto normal_trend = stats::fit_quadratic(normal.x, normal.y);
+  const auto dc5 = fleet6.store().pool_scatter(
+      4, 0, MetricKind::kRequestsPerSecond, MetricKind::kLatencyP95Ms);
+  const auto event_trend = stats::fit_quadratic(dc5.x, dc5.y);
+  std::printf("  normal-range trend: y = %.3e x^2 %+0.4f x %+0.2f (R²=%.3f)\n",
+              normal_trend.coeffs[2], normal_trend.coeffs[1],
+              normal_trend.coeffs[0], normal_trend.r_squared);
+  std::printf("  event-informed DC5 trend: y = %.3e x^2 %+0.4f x %+0.2f "
+              "(R²=%.3f)\n",
+              event_trend.coeffs[2], event_trend.coeffs[1],
+              event_trend.coeffs[0], event_trend.r_squared);
+
+  double worst_extrapolation_gap = 0.0;
+  double worst_event_fit_gap = 0.0;
+  double peak_rps = 0.0;
+  for (std::size_t i = 0; i < dc5.x.size(); ++i) {
+    peak_rps = std::max(peak_rps, dc5.x[i]);
+    if (dc5.x[i] > 150.0) {  // event-range samples only
+      worst_extrapolation_gap =
+          std::max(worst_extrapolation_gap,
+                   std::abs(dc5.y[i] - normal_trend.predict(dc5.x[i])));
+      worst_event_fit_gap =
+          std::max(worst_event_fit_gap,
+                   std::abs(dc5.y[i] - event_trend.predict(dc5.x[i])));
+    }
+  }
+  bench::row("DC5 peak per-server RPS (4x of ~70)", 280.0, peak_rps);
+  bench::row("event-informed fit worst gap at 4x (ms)", 3.0,
+             worst_event_fit_gap);
+  bench::note("blind extrapolation of the normal-range quadratic misses by " +
+              std::to_string(worst_extrapolation_gap) +
+              " ms at 4x — the paper's argument for mining natural "
+              "experiments instead of extrapolating");
+  bench::note("low-workload elevation (cold caches): latency at 20 RPS = " +
+              std::to_string(event_trend.predict(20.0)) + " ms vs " +
+              std::to_string(event_trend.predict(90.0)) + " ms at the dip");
+  bench::series("fig6_dc5", dc5.x, dc5.y);
+  return 0;
+}

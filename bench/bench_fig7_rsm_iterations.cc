@@ -1,0 +1,47 @@
+// Fig. 7: RSM experiment iterations — successive supervised server
+// reductions raise latency step by step until the 14 ms QoS limit is
+// predicted, at which point the planner stops.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rsm_planner.h"
+#include "core/sim_backend.h"
+#include "sim/fleet.h"
+
+int main() {
+  using namespace headroom;
+  bench::header("Fig. 7 — RSM iterations to the QoS limit",
+                "latency rises with each reduction until the 14 ms SLO "
+                "limit is reached");
+
+  // Service F's latency scale fits the figure (warm ~12 ms, SLO-able at 14).
+  sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, "F", 60), catalog);
+  core::SimPoolBackend backend(&fleet, 0, 0);
+
+  core::RsmOptions opt;
+  opt.latency_slo_ms = 13.0;  // the QoS limit (14 ms in the paper's figure)
+  opt.slo_margin_ms = 0.2;
+  opt.baseline_duration = 2 * 86400;
+  opt.iteration_duration = 86400;
+  opt.max_iterations = 8;
+  opt.max_step_fraction = 0.15;
+  const core::RsmPlanner planner(opt);
+  const core::RsmResult result = planner.optimize(backend);
+
+  std::printf("  %-10s %10s %16s %16s %14s\n", "iteration", "servers",
+              "observed-ms", "predicted-ms", "p95-load");
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& it = result.iterations[i];
+    std::printf("  %-10zu %10zu %16.2f %16.2f %14.0f\n", i, it.serving,
+                it.observed_latency_p95_ms, it.predicted_latency_ms,
+                it.observed_p95_load);
+  }
+  bench::row("final latency vs the QoS limit (ms)", 13.0,
+             result.iterations.back().observed_latency_p95_ms);
+  bench::row("reduction achieved (%)", 30.0,
+             result.reduction_fraction() * 100.0);
+  bench::note(std::string("stopped because SLO limit reached: ") +
+              (result.slo_limit_reached ? "yes" : "no (step/floor bound)"));
+  return 0;
+}

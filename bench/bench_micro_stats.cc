@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark): the per-window analysis primitives
+// the planning pipeline runs at fleet scale. At ~3 GB/s of counters the
+// paper's pipeline touches, per-sample costs here are what decide whether
+// the black-box approach is deployable.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "stats/linear_model.h"
+#include "stats/p2_quantile.h"
+#include "stats/percentile.h"
+#include "stats/polynomial.h"
+#include "stats/ransac.h"
+#include "telemetry/percentile_digest.h"
+
+namespace {
+
+using namespace headroom;
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(50.0, 15.0);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(dist(rng));
+  return out;
+}
+
+void BM_P2QuantileAdd(benchmark::State& state) {
+  const auto values = random_values(4096, 1);
+  stats::P2Quantile q(0.95);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    q.add(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(q.value());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void BM_PercentileDigestAdd(benchmark::State& state) {
+  const auto values = random_values(4096, 2);
+  telemetry::PercentileDigest digest;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    digest.add(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(digest.snapshot());
+}
+BENCHMARK(BM_PercentileDigestAdd);
+
+void BM_ExactPercentile(benchmark::State& state) {
+  const auto values = random_values(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::percentile(values, 95.0));
+  }
+}
+BENCHMARK(BM_ExactPercentile)->Arg(720)->Arg(5040)->Arg(50000);
+
+void BM_LinearFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = random_values(n, 4);
+  const auto ys = random_values(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_linear(xs, ys));
+  }
+}
+BENCHMARK(BM_LinearFit)->Arg(720)->Arg(5040);
+
+void BM_QuadraticFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = random_values(n, 6);
+  const auto ys = random_values(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_quadratic(xs, ys));
+  }
+}
+BENCHMARK(BM_QuadraticFit)->Arg(720)->Arg(5040);
+
+void BM_RansacQuadratic(benchmark::State& state) {
+  const auto xs = random_values(1221, 8);  // pool B's N
+  std::vector<double> ys;
+  ys.reserve(xs.size());
+  for (double x : xs) ys.push_back(4.028e-5 * x * x - 0.031 * x + 36.68);
+  stats::RansacOptions opt;
+  opt.iterations = 300;
+  opt.inlier_threshold = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_ransac(xs, ys, opt));
+  }
+}
+BENCHMARK(BM_RansacQuadratic);
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  ml::Dataset data({"p5", "p25", "p50", "p75", "p95", "slope", "int", "r2"});
+  std::vector<std::uint8_t> labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row;
+    for (int c = 0; c < 8; ++c) row.push_back(dist(rng) + (i % 2 ? 1.5 : 0.0));
+    data.add_row(std::move(row));
+    labels.push_back(i % 2 ? 1 : 0);
+  }
+  ml::DecisionTreeOptions opt;
+  opt.min_leaf_size = 8;
+  opt.max_splits = 34;
+  for (auto _ : state) {
+    ml::DecisionTree tree;
+    tree.fit(data, labels, opt);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

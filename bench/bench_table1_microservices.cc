@@ -1,0 +1,27 @@
+// Table I: the micro-services running in server pools for the analysis.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/microservice.h"
+
+int main() {
+  using namespace headroom;
+  bench::header("Table I — micro-service catalog",
+                "seven services A-G, one pool per service per datacenter");
+
+  const sim::MicroserviceCatalog catalog;
+  std::printf("  %-8s %-70s\n", "Service", "Description");
+  for (const auto& profile : catalog.all()) {
+    std::printf("  %-8s %-70s\n", profile.name.c_str(),
+                profile.description.c_str());
+  }
+  std::printf(
+      "\n  %-8s %14s %12s %14s %12s\n", "Service", "CPU-ms/req",
+      "warm-ms", "P95 RPS/srv", "SLO-ms");
+  for (const auto& profile : catalog.all()) {
+    std::printf("  %-8s %14.2f %12.1f %14.1f %12.1f\n", profile.name.c_str(),
+                profile.cost_ms_per_request, profile.warm_latency_ms,
+                profile.target_rps_per_server_p95, profile.latency_slo_ms);
+  }
+  return 0;
+}

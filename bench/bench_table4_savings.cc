@@ -1,0 +1,149 @@
+// Table IV: summary of server savings for the seven largest pools.
+// Efficiency savings come from right-sizing headroom against each
+// service's latency SLO (with DR/forecast/maintenance stress); online
+// savings from raising availability practices to the well-managed 98%
+// level; totals compose. Paper summary row: ~20% efficiency, ~5 ms average
+// latency impact, ~10% online, ~30% total.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/availability_analyzer.h"
+#include "core/capacity_report.h"
+#include "core/headroom_optimizer.h"
+#include "core/rsm_planner.h"
+#include "core/sim_backend.h"
+#include "core/pool_model.h"
+#include "sim/fleet.h"
+#include "stats/percentile.h"
+
+namespace {
+using namespace headroom;
+using telemetry::MetricKind;
+constexpr telemetry::SimTime kDay = 86400;
+
+struct PoolPlan {
+  double efficiency = 0.0;
+  double latency_impact_ms = 0.0;
+};
+
+PoolPlan plan_service(const sim::MicroserviceCatalog& catalog,
+                      const std::string& service) {
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, service, 40),
+                            catalog);
+  core::HeadroomPolicy policy;
+  policy.qos.latency.p95_ms = catalog.by_name(service).latency_slo_ms;
+
+  // Step 2 in full: supervised RSM reduction experiments probe the pool's
+  // behaviour above its normal range (gently — capacity knees like pool
+  // A's cache cliff only show up in data, never in extrapolation), then
+  // the response model is fit on everything observed and the headroom
+  // optimizer applies the DR/forecast/maintenance stress.
+  core::SimPoolBackend backend(&fleet, 0, 0);
+  core::RsmOptions rsm;
+  rsm.latency_slo_ms = policy.qos.latency.p95_ms;
+  rsm.slo_margin_ms = 0.3;
+  rsm.baseline_duration = 2 * kDay;
+  rsm.iteration_duration = kDay;
+  rsm.max_iterations = 4;
+  rsm.max_step_fraction = 0.15;
+  rsm.min_serving_fraction = 0.5;
+  (void)core::RsmPlanner(rsm).optimize(backend);
+  fleet.set_serving_count(0, 0, 40);  // experiment over; capacity restored
+
+  const auto& store = fleet.store();
+  core::PoolModelOptions fit_opt;
+  fit_opt.ransac_threshold_ms = 5.0;  // knees are signal, not outliers
+  const auto model = core::PoolResponseModel::fit(
+      store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
+                         MetricKind::kCpuPercentAttributed),
+      store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
+                         MetricKind::kLatencyP95Ms),
+      fit_opt);
+  const auto rps = store.pool_series(0, 0, MetricKind::kRequestsPerSecond)
+                       .values_between(0, 2 * kDay);
+  const double p95 = stats::percentile(rps, 95.0);
+
+  const core::HeadroomOptimizer optimizer(policy);
+  const core::HeadroomPlan plan = optimizer.plan(model, p95, 40);
+  // Table IV's "Latency (QoS) Impact" is the latency budget the business
+  // concedes: the SLO ceiling minus today's latency (B: 32.8-30.7 ≈ 2 ms,
+  // D: 61-52.8 ≈ 8 ms — the published values).
+  const double qos_impact =
+      policy.qos.latency.p95_ms - plan.predicted_latency_before_ms;
+  return {plan.efficiency_savings(), qos_impact};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table IV — server savings for the seven largest pools",
+                "summary: ~20% efficiency, ~5 ms QoS impact, ~10% online, "
+                "~30% total");
+
+  sim::MicroserviceCatalog catalog;
+
+  // Availability practices: observe the standard fleet's maintenance for a
+  // few days to measure per-service availability.
+  sim::StandardFleetOptions fleet_opt;
+  fleet_opt.regional_peak_rps = 2500.0;
+  sim::FleetConfig fleet_config = sim::standard_fleet(catalog, fleet_opt);
+  fleet_config.record_pool_series = false;  // availability only
+  sim::FleetSimulator fleet(std::move(fleet_config), catalog);
+  fleet.run_until(3 * kDay);
+
+  const core::AvailabilityAnalyzer availability;
+  const core::AvailabilityReport fleet_report =
+      availability.analyze(fleet.ledger());
+  const double achievable = fleet_report.well_managed;
+
+  const struct {
+    const char* service;
+    double paper_eff, paper_latency, paper_online, paper_total;
+  } kPaperRows[] = {
+      {"A", 0.15, 9.0, 0.04, 0.19}, {"B", 0.33, 2.0, 0.27, 0.60},
+      {"C", 0.04, 7.0, 0.07, 0.11}, {"D", 0.33, 8.0, 0.00, 0.33},
+      {"E", 0.33, 2.0, 0.02, 0.35}, {"F", 0.33, 4.0, 0.00, 0.33},
+      {"G", 0.05, 1.0, 0.00, 0.05},
+  };
+
+  core::CapacityReport report;
+  std::printf(
+      "  %-5s | %-21s | %-23s | %-21s | %-12s\n", "Pool",
+      "Efficiency (paper/us)", "Latency ms (paper/us)",
+      "Online (paper/us)", "Total");
+  for (std::uint32_t s = 0; s < 7; ++s) {
+    const auto& paper = kPaperRows[s];
+    const PoolPlan plan = plan_service(catalog, paper.service);
+    // Service availability averaged over all DCs' pools of this service.
+    double avail = 0.0;
+    for (std::uint32_t dc = 0; dc < 9; ++dc) {
+      avail += availability.pool_availability(fleet.ledger(), dc, s, 0, 2);
+    }
+    avail /= 9.0;
+    const double online =
+        core::AvailabilityAnalyzer::online_savings(avail, achievable);
+
+    core::PoolSavingsRow row;
+    row.pool = paper.service;
+    row.efficiency_savings = plan.efficiency;
+    row.latency_impact_ms = plan.latency_impact_ms;
+    row.online_savings = online;
+    report.add_row(row);
+    std::printf(
+        "  %-5s |      %3.0f%% / %3.0f%%     |      %4.1f / %4.1f       |"
+        "      %3.0f%% / %3.0f%%    |  %3.0f%% / %3.0f%%\n",
+        paper.service, paper.paper_eff * 100, plan.efficiency * 100,
+        paper.paper_latency, plan.latency_impact_ms, paper.paper_online * 100,
+        online * 100, paper.paper_total * 100, row.total_savings() * 100);
+  }
+
+  bench::row("mean efficiency savings (%)", 20.0,
+             report.mean_efficiency_savings() * 100.0);
+  bench::row("mean latency impact (ms)", 5.0, report.mean_latency_impact_ms());
+  bench::row("mean online savings (%)", 10.0,
+             report.mean_online_savings() * 100.0);
+  bench::row("mean total savings (%)", 30.0,
+             report.mean_total_savings() * 100.0);
+  std::printf("\n%s", report.to_table().c_str());
+  return 0;
+}

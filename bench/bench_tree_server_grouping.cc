@@ -1,0 +1,127 @@
+// §II-A2: the decision tree that classifies pools as "tightly bound"
+// (predictable workload -> CPU response) from per-pool percentile feature
+// vectors. The paper trained with 5-fold cross-validation on manually
+// labeled pools, min leaf 2000 machines, and reports a 34-split tree with
+// R² = 0.746 and AUC = 0.9804; 55% of pools were tightly bound.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/server_grouper.h"
+#include "ml/cross_validation.h"
+#include "sim/fleet.h"
+
+namespace {
+
+using namespace headroom;
+
+// Collects one feature vector per (dc, pool) by averaging per-server
+// grouping features over the day.
+std::vector<core::GroupingFeatures> pool_features(
+    const sim::FleetSimulator& fleet) {
+  std::vector<core::GroupingFeatures> out;
+  const auto& days = fleet.server_day_cpu();
+  for (std::uint32_t dc = 0; dc < fleet.config().datacenters.size(); ++dc) {
+    const auto& pools = fleet.config().datacenters[dc].pools;
+    for (std::uint32_t p = 0; p < pools.size(); ++p) {
+      core::GroupingFeatures acc;
+      std::size_t n = 0;
+      for (const sim::ServerDayCpu& d : days) {
+        if (d.datacenter != dc || d.pool != p) continue;
+        const core::GroupingFeatures f = core::features_from_snapshot(d.cpu);
+        acc.p5 += f.p5;
+        acc.p25 += f.p25;
+        acc.p50 += f.p50;
+        acc.p75 += f.p75;
+        acc.p95 += f.p95;
+        acc.slope += f.slope;
+        acc.intercept += f.intercept;
+        acc.r_squared += f.r_squared;
+        ++n;
+      }
+      if (n == 0) continue;
+      const double dn = static_cast<double>(n);
+      acc.p5 /= dn;
+      acc.p25 /= dn;
+      acc.p50 /= dn;
+      acc.p75 /= dn;
+      acc.p95 /= dn;
+      acc.slope /= dn;
+      acc.intercept /= dn;
+      acc.r_squared /= dn;
+      out.push_back(acc);
+    }
+  }
+  return out;
+}
+
+sim::FleetSimulator make_fleet(bool tight, std::uint64_t seed) {
+  sim::MicroserviceCatalog catalog;
+  sim::StandardFleetOptions opt;
+  opt.regional_peak_rps = 2500.0;
+  opt.seed = seed;
+  sim::FleetConfig config = sim::standard_fleet(catalog, opt);
+  config.seed = seed;
+  if (!tight) {
+    // The not-tightly-bound cohort: pools running unaccounted background
+    // workloads at significant scale (paper: "they were running multiple
+    // workloads, typically background administrative tasks").
+    config.attribution_enabled = false;
+    config.background_noise_scale = 6.0;
+  }
+  return sim::FleetSimulator(std::move(config), catalog);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("§II-A2 — decision-tree pool classification",
+                "34 splits, R² = 0.746, AUC = 0.9804, 55% of pools tightly "
+                "bound");
+
+  std::vector<core::GroupingFeatures> features;
+  std::vector<std::uint8_t> labels;
+  // 55% tightly-bound mix, as the paper found.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::FleetSimulator tight = make_fleet(true, seed);
+    tight.run_until(86400);
+    tight.finish_day();
+    for (const auto& f : pool_features(tight)) {
+      features.push_back(f);
+      labels.push_back(1);
+    }
+  }
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::FleetSimulator loose = make_fleet(false, seed + 100);
+    loose.run_until(86400);
+    loose.finish_day();
+    for (const auto& f : pool_features(loose)) {
+      features.push_back(f);
+      labels.push_back(0);
+    }
+  }
+
+  const ml::Dataset data = core::ServerGrouper::feature_dataset(features);
+  std::size_t positives = 0;
+  for (auto l : labels) positives += l;
+  std::printf("  pools: %zu (%zu tightly bound, %.0f%%)\n", data.rows(),
+              positives,
+              100.0 * static_cast<double>(positives) /
+                  static_cast<double>(data.rows()));
+
+  ml::DecisionTreeOptions tree_opt;
+  tree_opt.min_leaf_size = 8;   // scaled-down analogue of 2000 machines
+  tree_opt.max_splits = 34;     // the paper's split budget
+  const ml::CrossValidationResult cv =
+      ml::cross_validate(data, labels, 5, tree_opt);
+
+  ml::DecisionTree full_tree;
+  full_tree.fit(data, labels, tree_opt);
+
+  bench::row("tree splits", 34.0, static_cast<double>(full_tree.split_count()));
+  bench::row("cross-validated AUC", 0.9804, cv.mean.auc);
+  bench::row("cross-validated R^2", 0.746, cv.mean.r_squared);
+  bench::row("accuracy", 0.95, cv.mean.accuracy);
+  bench::note("feature importances are visible in the tree dump:");
+  std::printf("%s", full_tree.to_string(data).c_str());
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Capacity study: the paper's full four-step methodology, end to end, on a
+// simulated production service (Fig. 1 of the paper).
+//
+//   Step 1 (Measure)  — validate the workload metric against each resource
+//                       counter; group servers within the pool.
+//   Step 2 (Optimize) — iterative RSM reduction experiments to the SLO.
+//   Step 3 (Model)    — fit a synthetic workload and verify it reproduces
+//                       production diversity.
+//   Step 4 (Validate) — gate a code change offline before deployment.
+//
+// Build & run:  ./build/examples/capacity_study
+#include <cstdio>
+
+#include "core/metric_validator.h"
+#include "core/regression_gate.h"
+#include "core/rsm_planner.h"
+#include "core/server_grouper.h"
+#include "core/sim_backend.h"
+#include "sim/fleet.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace headroom;
+  using telemetry::MetricKind;
+  constexpr telemetry::SimTime kDay = 86400;
+
+  sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, "D", 60), catalog);
+  fleet.run_until(kDay);
+  fleet.finish_day();
+
+  // ------------------------- Step 1: Measure --------------------------------
+  std::printf("== Step 1: Measure ==\n");
+  const core::MetricValidator validator;
+  const MetricKind resources[] = {
+      MetricKind::kCpuPercentAttributed, MetricKind::kNetworkBytesPerSecond,
+      MetricKind::kMemoryPagesPerSecond, MetricKind::kDiskQueueLength};
+  const auto assessments = validator.assess_all(
+      fleet.store(), 0, 0, MetricKind::kRequestsPerSecond, resources);
+  for (const auto& a : assessments) {
+    std::printf("  %-24s -> %s (R² %.3f)\n",
+                std::string(telemetry::to_string(a.resource)).c_str(),
+                core::to_string(a.verdict).c_str(), a.fit.r_squared);
+  }
+  if (!validator.workload_metric_valid(assessments)) {
+    std::printf("  metric invalid: iterate on attribution before planning!\n");
+    return 1;
+  }
+  const auto snapshots =
+      core::ServerGrouper::pool_snapshots(fleet.server_day_cpu(), 0, 0, 0);
+  const core::PoolGrouping grouping =
+      core::ServerGrouper().group_servers(snapshots);
+  std::printf("  server groups in pool: %zu%s\n", grouping.group_count,
+              grouping.multimodal() ? " (plan capacity per group!)" : "");
+
+  // ------------------------- Step 2: Optimize -------------------------------
+  std::printf("\n== Step 2: Optimize (RSM reduction experiments) ==\n");
+  core::SimPoolBackend backend(&fleet, 0, 0);
+  core::RsmOptions rsm;
+  rsm.latency_slo_ms = catalog.by_name("D").latency_slo_ms;
+  rsm.baseline_duration = 2 * kDay;
+  rsm.iteration_duration = kDay;
+  rsm.max_iterations = 5;
+  const core::RsmResult result = core::RsmPlanner(rsm).optimize(backend);
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& it = result.iterations[i];
+    std::printf("  iter %zu: %zu servers, observed %.1f ms (predicted %.1f)\n",
+                i, it.serving, it.observed_latency_p95_ms,
+                it.predicted_latency_ms);
+  }
+  std::printf("  recommendation: %zu -> %zu servers (%.0f%% reduction), "
+              "SLO-limited: %s\n",
+              result.starting_serving, result.recommended_serving,
+              result.reduction_fraction() * 100.0,
+              result.slo_limit_reached ? "yes" : "no");
+
+  // ------------------------- Step 3: Model ----------------------------------
+  std::printf("\n== Step 3: Model (synthetic workload) ==\n");
+  workload::RequestType fetch;
+  fetch.weight = 0.75;
+  fetch.cost_mean = 1.0;
+  fetch.cost_sigma = 0.25;
+  workload::RequestType render;
+  render.weight = 0.25;
+  render.cost_mean = 3.2;
+  render.cost_sigma = 0.4;
+  render.dependency_latency_ms = 12.0;
+  const workload::SyntheticWorkload production{
+      workload::RequestMix({fetch, render})};
+  const auto observed = production.generate(500.0, 120.0, 11);
+  const auto fitted = workload::SyntheticWorkload::fit(observed, 2);
+  const auto replay = fitted.generate(500.0, 120.0, 13);
+  const auto cmp = workload::SyntheticWorkload::compare(replay, observed, 2);
+  std::printf("  type distance %.3f, cost ratio %.3f, rate ratio %.3f -> %s\n",
+              cmp.type_distance, cmp.cost_mean_ratio, cmp.rate_ratio,
+              cmp.equivalent ? "EQUIVALENT (usable for offline validation)"
+                             : "NOT equivalent");
+
+  // ------------------------- Step 4: Validate -------------------------------
+  std::printf("\n== Step 4: Validate (offline regression gate) ==\n");
+  sim::RequestSimConfig pool;
+  pool.servers = 4;
+  pool.cores = 8.0;
+  pool.base_service_ms = 4.0;
+  pool.window_seconds = 10;
+  sim::RequestSimConfig candidate = pool;
+  candidate.defect.service_factor = 1.18;  // the change costs 18% more CPU
+
+  core::GateOptions gate_opt;
+  gate_opt.nominal_rps_per_server = 500.0;
+  gate_opt.step_duration_s = 20.0;
+  const core::GateResult gate =
+      core::RegressionGate(gate_opt).evaluate(pool, candidate, fitted);
+  for (const auto& step : gate.steps) {
+    std::printf("  %6.0f rps/server: baseline %.2f ms vs change %.2f ms "
+                "(cpu %+.1f%%) %s\n",
+                step.rps_per_server, step.baseline_latency_p95_ms,
+                step.candidate_latency_p95_ms,
+                step.candidate_mean_cpu_pct - step.baseline_mean_cpu_pct,
+                step.latency_regressed || step.cpu_regressed ? "<- flagged"
+                                                             : "");
+  }
+  std::printf("  gate: %s\n", gate.pass ? "PASS" : "FAIL (change blocked)");
+  return gate.pass ? 0 : 2;
+}

@@ -1,0 +1,61 @@
+// Quickstart: right-size one micro-service pool in ~40 lines.
+//
+//   1. Observe a pool (here: a simulated 64-server pool of the paper's
+//      query-modification service B) for five days.
+//   2. Fit the black-box response model: linear %CPU-vs-RPS and quadratic
+//      latency-vs-RPS.
+//   3. Ask the headroom optimizer for the smallest pool that keeps the
+//      latency SLO with disaster-recovery headroom.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/headroom_optimizer.h"
+#include "core/pool_model.h"
+#include "sim/fleet.h"
+#include "stats/percentile.h"
+
+int main() {
+  using namespace headroom;
+  using telemetry::MetricKind;
+
+  // --- 1. Observe ------------------------------------------------------------
+  sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, "B", 64), catalog);
+  fleet.run_until(5 * 86400);
+
+  // --- 2. Fit the black-box model ---------------------------------------------
+  const auto& store = fleet.store();
+  const auto model = core::PoolResponseModel::fit(
+      store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
+                         MetricKind::kCpuPercentAttributed),
+      store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
+                         MetricKind::kLatencyP95Ms));
+  std::printf("fitted CPU model:     %%CPU = %.4f * RPS + %.2f  (R² %.3f)\n",
+              model.cpu_fit().slope, model.cpu_fit().intercept,
+              model.cpu_fit().r_squared);
+  std::printf("fitted latency model: %.3e x² %+0.4f x %+0.2f\n",
+              model.latency_fit().coeffs[2], model.latency_fit().coeffs[1],
+              model.latency_fit().coeffs[0]);
+
+  // --- 3. Plan ----------------------------------------------------------------
+  const auto rps =
+      store.pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
+  const double p95_rps = stats::percentile(rps, 95.0);
+
+  core::HeadroomPolicy policy;
+  policy.qos.latency.p95_ms = 32.8;      // the business SLO
+  policy.dr_headroom_fraction = 0.125;   // survive losing a peer region
+  const core::HeadroomPlan plan =
+      core::HeadroomOptimizer(policy).plan(model, p95_rps, 64);
+
+  std::printf("\noperating point: %.0f RPS/server at P95 of load\n", p95_rps);
+  std::printf("plan: %zu -> %zu servers  (%.0f%% savings)\n",
+              plan.current_servers, plan.recommended_servers,
+              plan.efficiency_savings() * 100.0);
+  std::printf("predicted latency: %.1f ms -> %.1f ms (stressed: %.1f ms, "
+              "SLO %.1f ms)\n",
+              plan.predicted_latency_before_ms, plan.predicted_latency_after_ms,
+              plan.predicted_latency_stressed_ms, policy.qos.latency.p95_ms);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "baseline/queueing.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace headroom::baseline {
+
+double erlang_b(double a, std::size_t c) {
+  if (a < 0.0) throw std::invalid_argument("erlang_b: negative load");
+  if (c == 0) return 1.0;
+  // Stable recurrence: B(0) = 1; B(k) = a B(k-1) / (k + a B(k-1)).
+  double b = 1.0;
+  for (std::size_t k = 1; k <= c; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  return b;
+}
+
+double erlang_c(double a, std::size_t c) {
+  if (a < 0.0) throw std::invalid_argument("erlang_c: negative load");
+  if (c == 0 || a >= static_cast<double>(c)) return 1.0;
+  const double b = erlang_b(a, c);
+  const double rho = a / static_cast<double>(c);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double mm_c_mean_wait_s(double lambda, double mu, std::size_t c) {
+  if (lambda < 0.0 || mu <= 0.0) {
+    throw std::invalid_argument("mm_c_mean_wait_s: bad rates");
+  }
+  if (lambda == 0.0) return 0.0;
+  const double a = lambda / mu;
+  if (c == 0 || a >= static_cast<double>(c)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double pw = erlang_c(a, c);
+  return pw / (static_cast<double>(c) * mu - lambda);
+}
+
+double mm_c_mean_sojourn_s(double lambda, double mu, std::size_t c) {
+  return mm_c_mean_wait_s(lambda, mu, c) + 1.0 / mu;
+}
+
+double mm_c_p95_sojourn_s(double lambda, double mu, std::size_t c) {
+  if (mu <= 0.0) throw std::invalid_argument("mm_c_p95_sojourn_s: bad mu");
+  const double a = lambda / mu;
+  if (c == 0 || a >= static_cast<double>(c)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Service-time P95 (exponential): -ln(0.05)/mu. Conditional wait given
+  // waiting is exponential with rate (c mu - lambda); combine via the
+  // waiting probability.
+  const double pw = erlang_c(a, c);
+  const double service_p95 = -std::log(0.05) / mu;
+  if (pw <= 0.05) return service_p95;
+  // P(W > t) = pw * exp(-(c mu - lambda) t) = 0.05  =>  t.
+  const double rate = static_cast<double>(c) * mu - lambda;
+  const double wait_p95 = std::log(pw / 0.05) / rate;
+  return wait_p95 + service_p95;
+}
+
+}  // namespace headroom::baseline

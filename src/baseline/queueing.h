@@ -1,0 +1,33 @@
+// Queueing-theory primitives: Erlang B/C and M/M/c waiting times.
+//
+// The white-box comparator. The paper argues this family of models
+// (§I: "forecast capacity requirements using a queuing theory based model")
+// is impractical at scale because its parameters (service rates, the shape
+// of the latency curve) drift as the system evolves — the baseline-
+// comparison bench quantifies exactly that failure mode against the
+// black-box planner.
+#pragma once
+
+#include <cstddef>
+
+namespace headroom::baseline {
+
+/// Erlang-B blocking probability for offered load `a` Erlangs, `c` servers.
+[[nodiscard]] double erlang_b(double a, std::size_t c);
+
+/// Erlang-C probability an arrival waits (M/M/c). Returns 1.0 when the
+/// system is unstable (a >= c).
+[[nodiscard]] double erlang_c(double a, std::size_t c);
+
+/// Mean waiting time (seconds) in M/M/c queue with per-server service rate
+/// `mu` (req/s) and arrival rate `lambda` (req/s). Infinite when unstable.
+[[nodiscard]] double mm_c_mean_wait_s(double lambda, double mu, std::size_t c);
+
+/// Mean sojourn (wait + service) time in seconds.
+[[nodiscard]] double mm_c_mean_sojourn_s(double lambda, double mu, std::size_t c);
+
+/// Approximate P95 sojourn time in seconds for M/M/c: service quantile plus
+/// the conditional-wait exponential tail.
+[[nodiscard]] double mm_c_p95_sojourn_s(double lambda, double mu, std::size_t c);
+
+}  // namespace headroom::baseline

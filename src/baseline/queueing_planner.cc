@@ -1,0 +1,53 @@
+#include "baseline/queueing_planner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baseline/queueing.h"
+
+namespace headroom::baseline {
+
+QueueingPlanner::QueueingPlanner(QueueingPlannerOptions options)
+    : options_(options) {
+  if (options_.service_time_ms <= 0.0 || options_.concurrency_per_server <= 0.0) {
+    throw std::invalid_argument("QueueingPlanner: bad options");
+  }
+}
+
+double QueueingPlanner::predict_p95_latency_ms(double total_rps,
+                                               std::size_t servers) const {
+  if (servers == 0) throw std::invalid_argument("predict: no servers");
+  // Treat the pool as M/M/c with c = servers * concurrency logical servers.
+  const double mu = 1000.0 / options_.service_time_ms;  // per logical server
+  const auto c = static_cast<std::size_t>(
+      static_cast<double>(servers) * options_.concurrency_per_server);
+  return mm_c_p95_sojourn_s(total_rps, mu, c) * 1000.0;
+}
+
+QueueingPlan QueueingPlanner::plan(double peak_rps,
+                                   const core::LatencySlo& slo) const {
+  if (peak_rps <= 0.0) throw std::invalid_argument("plan: peak must be positive");
+  const double mu = 1000.0 / options_.service_time_ms;
+  // Utilization floor: lambda <= max_util * c * mu.
+  const double min_c =
+      peak_rps / (options_.max_utilization * mu * options_.concurrency_per_server);
+  auto servers = static_cast<std::size_t>(std::max(1.0, std::ceil(min_c)));
+
+  QueueingPlan result;
+  constexpr std::size_t kMaxServers = 1u << 20;
+  while (servers < kMaxServers) {
+    const double p95 = predict_p95_latency_ms(peak_rps, servers);
+    if (p95 <= slo.p95_ms) {
+      result.servers = servers;
+      result.predicted_p95_latency_ms = p95;
+      result.utilization =
+          peak_rps / (static_cast<double>(servers) *
+                      options_.concurrency_per_server * mu);
+      return result;
+    }
+    ++servers;
+  }
+  throw std::runtime_error("QueueingPlanner::plan: SLO unsatisfiable");
+}
+
+}  // namespace headroom::baseline

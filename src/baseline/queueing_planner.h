@@ -1,0 +1,50 @@
+// White-box capacity planner built on the M/M/c model.
+//
+// Sizes a pool from first principles: measured (or assumed) service time,
+// target latency SLO, peak arrival rate. Its accuracy is hostage to its
+// parameters: the comparison bench shows that a stale service-time estimate
+// (the system evolved) or an unmodeled cold-start effect produces a
+// systematically wrong pool size, while the black-box planner just refits.
+#pragma once
+
+#include <cstddef>
+
+#include "core/slo.h"
+
+namespace headroom::baseline {
+
+struct QueueingPlannerOptions {
+  /// Assumed mean single-request service time (what the model *believes*;
+  /// may be stale relative to the real system).
+  double service_time_ms = 5.0;
+  /// Servers process this many requests concurrently (cores).
+  double concurrency_per_server = 16.0;
+  /// Utilization ceiling the planner refuses to exceed even when the
+  /// latency target would allow it.
+  double max_utilization = 0.85;
+};
+
+struct QueueingPlan {
+  std::size_t servers = 0;
+  double predicted_p95_latency_ms = 0.0;
+  double utilization = 0.0;
+};
+
+class QueueingPlanner {
+ public:
+  explicit QueueingPlanner(QueueingPlannerOptions options);
+
+  /// Minimal servers such that predicted P95 sojourn <= SLO and utilization
+  /// <= ceiling at `peak_rps` total workload.
+  [[nodiscard]] QueueingPlan plan(double peak_rps,
+                                  const core::LatencySlo& slo) const;
+
+  /// Predicted P95 latency at the given operating point.
+  [[nodiscard]] double predict_p95_latency_ms(double total_rps,
+                                              std::size_t servers) const;
+
+ private:
+  QueueingPlannerOptions options_;
+};
+
+}  // namespace headroom::baseline

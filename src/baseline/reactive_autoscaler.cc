@@ -1,0 +1,101 @@
+#include "baseline/reactive_autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace headroom::baseline {
+
+ReactiveAutoscaler::ReactiveAutoscaler(AutoscalerOptions options)
+    : options_(options) {
+  if (options_.min_servers == 0 ||
+      options_.min_servers > options_.max_servers) {
+    throw std::invalid_argument("ReactiveAutoscaler: bad server bounds");
+  }
+  if (options_.control_interval_s <= 0) {
+    throw std::invalid_argument("ReactiveAutoscaler: bad control interval");
+  }
+}
+
+AutoscalerRun ReactiveAutoscaler::replay(
+    const telemetry::TimeSeries& offered_rps, std::size_t initial_servers,
+    double cpu_per_rps, double cpu_base, double cpu_slo_pct) const {
+  AutoscalerRun run;
+  if (offered_rps.empty()) return run;
+
+  // Pending capacity changes: (effective_at, new_target).
+  struct Pending {
+    telemetry::SimTime at;
+    std::size_t target;
+  };
+  std::deque<Pending> pending;
+  std::size_t serving =
+      std::clamp(initial_servers, options_.min_servers, options_.max_servers);
+  std::size_t committed_target = serving;  // includes in-flight changes
+
+  const auto samples = offered_rps.samples();
+  telemetry::SimTime last_decision =
+      samples.front().window_start - options_.control_interval_s;
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const telemetry::SimTime t = samples[i].window_start;
+    const telemetry::SimTime dt =
+        i + 1 < samples.size()
+            ? samples[i + 1].window_start - t
+            : options_.control_interval_s;
+
+    // Apply any capacity change that has finished provisioning/draining.
+    while (!pending.empty() && pending.front().at <= t) {
+      serving = pending.front().target;
+      pending.pop_front();
+    }
+
+    const double rps = samples[i].value;
+    const double per_server = rps / static_cast<double>(serving);
+    const double cpu = cpu_base + cpu_per_rps * per_server;
+
+    AutoscalerSample s;
+    s.t = t;
+    s.offered_rps = rps;
+    s.serving = serving;
+    s.cpu_pct = cpu;
+    s.slo_violated = cpu > cpu_slo_pct;
+
+    // Control decision at the configured cadence, based on *current* CPU.
+    if (t - last_decision >= options_.control_interval_s) {
+      last_decision = t;
+      if (cpu > options_.scale_out_threshold ||
+          cpu < options_.scale_in_threshold) {
+        const double desired_raw =
+            cpu_per_rps * rps / (options_.target_cpu_pct - cpu_base);
+        const double damped = std::clamp(
+            desired_raw,
+            static_cast<double>(committed_target) *
+                (1.0 - options_.max_step_fraction),
+            static_cast<double>(committed_target) *
+                (1.0 + options_.max_step_fraction));
+        const auto target = std::clamp(
+            static_cast<std::size_t>(std::max(1.0, std::ceil(damped))),
+            options_.min_servers, options_.max_servers);
+        if (target != committed_target) {
+          const telemetry::SimTime lag = target > committed_target
+                                             ? options_.provision_lag_s
+                                             : options_.drain_lag_s;
+          pending.push_back({t + lag, target});
+          committed_target = target;
+        }
+      }
+    }
+    s.target = committed_target;
+    run.samples.push_back(s);
+
+    run.server_seconds += static_cast<double>(serving) * static_cast<double>(dt);
+    run.total_seconds += static_cast<double>(dt);
+    if (s.slo_violated) run.violation_seconds += static_cast<double>(dt);
+    run.peak_serving = std::max(run.peak_serving, serving);
+  }
+  return run;
+}
+
+}  // namespace headroom::baseline

@@ -1,0 +1,80 @@
+// Reactive autoscaler: the dynamic-allocation comparator.
+//
+// Scales a pool on CPU feedback with a *provisioning lag* — the paper's
+// core criticism: "prior work underestimated the time required to change
+// the capacity of a system" (start-up in minutes for cache/JIT warm-up;
+// fleet-level changes in weeks). The comparison bench replays a diurnal
+// day-with-spike trace through this policy and counts SLO violations and
+// server-hours versus the static right-sized headroom plan.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace headroom::baseline {
+
+struct AutoscalerOptions {
+  double target_cpu_pct = 50.0;     ///< Scale to hold mean CPU here.
+  double scale_out_threshold = 60.0;
+  double scale_in_threshold = 35.0;
+  /// Seconds between a scale-out decision and the capacity serving traffic
+  /// (VM allocation + state load + JIT + cache priming).
+  telemetry::SimTime provision_lag_s = 1800;
+  /// Seconds a scale-in takes to drain.
+  telemetry::SimTime drain_lag_s = 300;
+  /// Decision cadence.
+  telemetry::SimTime control_interval_s = 120;
+  std::size_t min_servers = 1;
+  std::size_t max_servers = 1 << 16;
+  /// Max fractional change per decision (damping).
+  double max_step_fraction = 0.25;
+};
+
+/// One control-loop sample of the replay.
+struct AutoscalerSample {
+  telemetry::SimTime t = 0;
+  double offered_rps = 0.0;
+  std::size_t serving = 0;     ///< Capacity actually serving traffic.
+  std::size_t target = 0;      ///< Policy's desired capacity.
+  double cpu_pct = 0.0;        ///< Realized per-server CPU.
+  bool slo_violated = false;
+};
+
+struct AutoscalerRun {
+  std::vector<AutoscalerSample> samples;
+  double server_seconds = 0.0;       ///< Integrated capacity footprint.
+  double violation_seconds = 0.0;    ///< Time above the CPU/latency limit.
+  double total_seconds = 0.0;
+  std::size_t peak_serving = 0;
+  [[nodiscard]] double violation_fraction() const noexcept {
+    return total_seconds > 0.0 ? violation_seconds / total_seconds : 0.0;
+  }
+  /// Mean serving capacity over the run.
+  [[nodiscard]] double mean_serving() const noexcept {
+    return total_seconds > 0.0 ? server_seconds / total_seconds : 0.0;
+  }
+};
+
+/// Pure-function replay: drives the policy over an offered-load trace.
+/// `cpu_per_rps` and `cpu_base` give realized CPU = base + slope * rps/server;
+/// `cpu_slo_pct` is the violation line (utilization proxy for latency SLO).
+class ReactiveAutoscaler {
+ public:
+  explicit ReactiveAutoscaler(AutoscalerOptions options);
+
+  [[nodiscard]] AutoscalerRun replay(const telemetry::TimeSeries& offered_rps,
+                                     std::size_t initial_servers,
+                                     double cpu_per_rps, double cpu_base,
+                                     double cpu_slo_pct) const;
+
+  [[nodiscard]] const AutoscalerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  AutoscalerOptions options_;
+};
+
+}  // namespace headroom::baseline

@@ -1,0 +1,58 @@
+#include "core/availability_analyzer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/percentile.h"
+
+namespace headroom::core {
+
+AvailabilityReport AvailabilityAnalyzer::analyze(
+    const telemetry::AvailabilityLedger& ledger) const {
+  AvailabilityReport report;
+  report.daily_availabilities = ledger.all_daily_availabilities();
+  if (report.daily_availabilities.empty()) return report;
+  report.fleet_average = stats::mean(report.daily_availabilities);
+  const std::vector<double> per_server = ledger.server_mean_availabilities();
+  report.well_managed = stats::percentile(per_server, 95.0);
+  std::size_t below = 0;
+  for (double a : report.daily_availabilities) below += a < 0.80 ? 1u : 0u;
+  report.below_80_fraction = static_cast<double>(below) /
+                             static_cast<double>(report.daily_availabilities.size());
+  return report;
+}
+
+double AvailabilityAnalyzer::pool_availability(
+    const telemetry::AvailabilityLedger& ledger, std::uint32_t datacenter,
+    std::uint32_t pool, std::int64_t first_day, std::int64_t last_day) const {
+  if (last_day < first_day) {
+    throw std::invalid_argument("pool_availability: inverted day range");
+  }
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (std::int64_t day = first_day; day <= last_day; ++day) {
+    sum += ledger.pool_availability(datacenter, pool, day);
+    ++n;
+  }
+  return sum / static_cast<double>(n);
+}
+
+double AvailabilityAnalyzer::online_savings(double current_availability,
+                                            double achievable_availability) {
+  if (current_availability <= 0.0 || achievable_availability <= 0.0) {
+    throw std::invalid_argument("online_savings: availabilities must be positive");
+  }
+  if (achievable_availability <= current_availability) return 0.0;
+  // n_current * current == n_better * achievable  =>  savings fraction:
+  return 1.0 - current_availability / achievable_availability;
+}
+
+stats::Histogram AvailabilityAnalyzer::availability_histogram(
+    const AvailabilityReport& report, std::size_t bins) {
+  stats::Histogram hist(0.0, 1.0 + 1e-9, bins);
+  hist.add_all(report.daily_availabilities);
+  return hist;
+}
+
+}  // namespace headroom::core

@@ -1,0 +1,52 @@
+// Availability analysis (paper §III-B2).
+//
+// Measures per-server daily availability, identifies the well-managed
+// ceiling (the paper: servers at 98% ⇒ planned-maintenance overhead of
+// ~2%), and sizes the savings available from bringing poorly-managed pools
+// up to that ceiling — the "Online Savings" column of Table IV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "telemetry/availability.h"
+
+namespace headroom::core {
+
+struct AvailabilityReport {
+  double fleet_average = 1.0;        ///< Paper measured 83%.
+  /// Availability of the best-managed cohort (95th percentile of server-day
+  /// availabilities) — the achievable practice level (~98%).
+  double well_managed = 1.0;
+  /// 1 - well_managed: the irreducible planned-maintenance overhead (~2%).
+  [[nodiscard]] double planned_overhead() const noexcept {
+    return 1.0 - well_managed;
+  }
+  /// Fraction of server-days below 80% (the re-purposed cohort).
+  double below_80_fraction = 0.0;
+  std::vector<double> daily_availabilities;  ///< Fig. 14 raw sample.
+};
+
+class AvailabilityAnalyzer {
+ public:
+  [[nodiscard]] AvailabilityReport analyze(
+      const telemetry::AvailabilityLedger& ledger) const;
+
+  /// Mean daily availability of one pool over days [first_day, last_day].
+  [[nodiscard]] double pool_availability(
+      const telemetry::AvailabilityLedger& ledger, std::uint32_t datacenter,
+      std::uint32_t pool, std::int64_t first_day, std::int64_t last_day) const;
+
+  /// Savings from improving availability practices: serving the same
+  /// effective capacity with availability `achievable` instead of
+  /// `current` needs proportionally fewer servers.
+  [[nodiscard]] static double online_savings(double current_availability,
+                                             double achievable_availability);
+
+  /// Fig. 14 histogram (availability bins over [0,1]).
+  [[nodiscard]] static stats::Histogram availability_histogram(
+      const AvailabilityReport& report, std::size_t bins = 20);
+};
+
+}  // namespace headroom::core

@@ -1,0 +1,60 @@
+#include "core/capacity_report.h"
+
+#include <cstdio>
+
+namespace headroom::core {
+
+void CapacityReport::add_row(PoolSavingsRow row) {
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+template <typename Getter>
+double mean_of(const std::vector<PoolSavingsRow>& rows, Getter get) {
+  if (rows.empty()) return 0.0;
+  double acc = 0.0;
+  for (const PoolSavingsRow& r : rows) acc += get(r);
+  return acc / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+double CapacityReport::mean_efficiency_savings() const {
+  return mean_of(rows_, [](const PoolSavingsRow& r) { return r.efficiency_savings; });
+}
+
+double CapacityReport::mean_latency_impact_ms() const {
+  return mean_of(rows_, [](const PoolSavingsRow& r) { return r.latency_impact_ms; });
+}
+
+double CapacityReport::mean_online_savings() const {
+  return mean_of(rows_, [](const PoolSavingsRow& r) { return r.online_savings; });
+}
+
+double CapacityReport::mean_total_savings() const {
+  return mean_of(rows_, [](const PoolSavingsRow& r) { return r.total_savings(); });
+}
+
+std::string CapacityReport::to_table() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-6s %10s %14s %10s %10s\n", "Pool",
+                "Efficiency", "Latency(QoS)", "Online", "Total");
+  out += line;
+  for (const PoolSavingsRow& r : rows_) {
+    std::snprintf(line, sizeof(line), "%-6s %9.0f%% %12.0fms %9.0f%% %9.0f%%\n",
+                  r.pool.c_str(), r.efficiency_savings * 100.0,
+                  r.latency_impact_ms, r.online_savings * 100.0,
+                  r.total_savings() * 100.0);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-6s %9.0f%% %12.0fms %9.0f%% %9.0f%%\n",
+                "Mean", mean_efficiency_savings() * 100.0,
+                mean_latency_impact_ms(), mean_online_savings() * 100.0,
+                mean_total_savings() * 100.0);
+  out += line;
+  return out;
+}
+
+}  // namespace headroom::core

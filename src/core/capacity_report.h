@@ -1,0 +1,47 @@
+// Capacity savings report: the Table IV shape.
+//
+// One row per pool: efficiency savings (headroom elimination at acceptable
+// QoS impact), online savings (availability-practice improvements), the
+// latency impact of the efficiency cut, and the combined total. Total
+// composes multiplicatively: keeping (1-e) of the servers, then (1-o) of
+// those, keeps (1-e)(1-o) — paper rows round to e+o.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace headroom::core {
+
+struct PoolSavingsRow {
+  std::string pool;                ///< "A".."G".
+  double efficiency_savings = 0.0; ///< Fraction of servers removable.
+  double latency_impact_ms = 0.0;  ///< Predicted QoS cost of doing so.
+  double online_savings = 0.0;     ///< From availability improvements.
+
+  [[nodiscard]] double total_savings() const noexcept {
+    return 1.0 - (1.0 - efficiency_savings) * (1.0 - online_savings);
+  }
+};
+
+class CapacityReport {
+ public:
+  void add_row(PoolSavingsRow row);
+
+  [[nodiscard]] const std::vector<PoolSavingsRow>& rows() const noexcept {
+    return rows_;
+  }
+  /// Server-weighted means are what the paper's summary row reports; with
+  /// no weights supplied, plain means.
+  [[nodiscard]] double mean_efficiency_savings() const;
+  [[nodiscard]] double mean_latency_impact_ms() const;
+  [[nodiscard]] double mean_online_savings() const;
+  [[nodiscard]] double mean_total_savings() const;
+
+  /// Renders the Table IV text table.
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  std::vector<PoolSavingsRow> rows_;
+};
+
+}  // namespace headroom::core

@@ -1,0 +1,44 @@
+// Abstraction over "a pool we can run reduction experiments on".
+//
+// The RSM planner (paper §II-B2) drives production pools: set a server
+// count, let traffic flow for ~a week, read back observations. In this
+// repository the backend is the fleet simulator (core/sim_backend.h); in a
+// real deployment it would be the capacity-orchestration API. The planner
+// only ever sees this interface — the same black-box posture the paper
+// takes toward the service.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace headroom::core {
+
+/// Simultaneous pool observations, one entry per telemetry window.
+struct ExperimentObservations {
+  std::vector<double> total_rps;     ///< Pool-total workload.
+  std::vector<double> servers;       ///< Active serving servers.
+  std::vector<double> latency_p95_ms;
+  std::vector<double> cpu_pct;       ///< Mean attributed %CPU per server.
+
+  [[nodiscard]] std::size_t size() const noexcept { return total_rps.size(); }
+  /// Concatenates another batch (accumulating history across iterations).
+  void append(const ExperimentObservations& other);
+};
+
+class PoolExperimentBackend {
+ public:
+  virtual ~PoolExperimentBackend() = default;
+
+  /// Total servers the pool owns (upper bound for serving count).
+  [[nodiscard]] virtual std::size_t pool_size() const = 0;
+  [[nodiscard]] virtual std::size_t serving_count() const = 0;
+  /// Applies a new serving count (the experiment control variable).
+  virtual void set_serving_count(std::size_t servers) = 0;
+  /// Lets traffic flow for `duration` seconds and returns the windowed
+  /// observations from that span.
+  virtual ExperimentObservations observe(telemetry::SimTime duration) = 0;
+};
+
+}  // namespace headroom::core

@@ -1,0 +1,46 @@
+#include "core/fleet_analysis.h"
+
+namespace headroom::core {
+
+FleetUtilizationReport analyze_fleet_utilization(
+    std::span<const sim::ServerDayCpu> server_days) {
+  FleetUtilizationReport report;
+  report.server_days = server_days.size();
+  if (server_days.empty()) return report;
+
+  double mean_sum = 0.0;
+  std::size_t p95_le_15 = 0;
+  std::size_t p95_le_30 = 0;
+  std::size_t max_gt_40 = 0;
+  for (const sim::ServerDayCpu& d : server_days) {
+    mean_sum += d.cpu.mean;
+    p95_le_15 += d.cpu.p95 <= 15.0 ? 1u : 0u;
+    p95_le_30 += d.cpu.p95 <= 30.0 ? 1u : 0u;
+    max_gt_40 += d.cpu.max > 40.0 ? 1u : 0u;
+  }
+  const auto n = static_cast<double>(server_days.size());
+  report.global_utilization_pct = mean_sum / n;
+  report.fraction_p95_at_or_below_15 = static_cast<double>(p95_le_15) / n;
+  report.fraction_p95_at_or_below_30 = static_cast<double>(p95_le_30) / n;
+  report.fraction_max_above_40 = static_cast<double>(max_gt_40) / n;
+  return report;
+}
+
+std::vector<stats::CdfPoint> p95_cpu_cdf(
+    std::span<const sim::ServerDayCpu> server_days) {
+  std::vector<double> values;
+  values.reserve(server_days.size());
+  for (const sim::ServerDayCpu& d : server_days) values.push_back(d.cpu.p95);
+  return stats::empirical_cdf(values);
+}
+
+SampleDistributionCheckpoints sample_checkpoints(
+    const stats::Histogram& cpu_samples) {
+  SampleDistributionCheckpoints c;
+  c.fraction_above_25 = cpu_samples.fraction_above(25.0);
+  c.fraction_above_40 = cpu_samples.fraction_above(40.0);
+  c.fraction_above_50 = cpu_samples.fraction_above(50.0);
+  return c;
+}
+
+}  // namespace headroom::core

@@ -1,0 +1,51 @@
+// Fleet-wide utilization analysis (paper §III-B1, Figs. 12/13).
+//
+// Computes the headline numbers of the capacity-saving-opportunity study:
+// global utilization (sum of normalized usage — the theoretical-maximum
+// efficiency bound the paper measures at 23%), the CDF of per-server daily
+// P95 CPU, and the distribution of raw window samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/fleet.h"
+#include "stats/histogram.h"
+
+namespace headroom::core {
+
+struct FleetUtilizationReport {
+  /// Mean of per-server mean CPU (fraction of total fleet CPU in use).
+  double global_utilization_pct = 0.0;
+  /// Implied upper bound on capacity reduction (1 - utilization).
+  [[nodiscard]] double headroom_upper_bound() const noexcept {
+    return 1.0 - global_utilization_pct / 100.0;
+  }
+  /// Fraction of servers whose daily P95 CPU is at/below the threshold
+  /// (Fig. 12 checkpoints: 15% -> ~60% of servers, 30% -> ~80%).
+  double fraction_p95_at_or_below_15 = 0.0;
+  double fraction_p95_at_or_below_30 = 0.0;
+  /// Fraction of servers with a spike above 40% (paper: ~15%).
+  double fraction_max_above_40 = 0.0;
+  std::size_t server_days = 0;
+};
+
+/// Summarizes per-server-day digests into the report.
+[[nodiscard]] FleetUtilizationReport analyze_fleet_utilization(
+    std::span<const sim::ServerDayCpu> server_days);
+
+/// Fig. 12: empirical CDF points of per-server daily P95 CPU.
+[[nodiscard]] std::vector<stats::CdfPoint> p95_cpu_cdf(
+    std::span<const sim::ServerDayCpu> server_days);
+
+/// Fig. 13 checkpoints over the raw sample histogram: fraction of window
+/// samples above each CPU threshold.
+struct SampleDistributionCheckpoints {
+  double fraction_above_25 = 0.0;  ///< Paper: ~1%.
+  double fraction_above_40 = 0.0;  ///< Paper: <0.1%.
+  double fraction_above_50 = 0.0;
+};
+[[nodiscard]] SampleDistributionCheckpoints sample_checkpoints(
+    const stats::Histogram& cpu_samples);
+
+}  // namespace headroom::core

@@ -1,0 +1,65 @@
+#include "core/headroom_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::core {
+
+HeadroomOptimizer::HeadroomOptimizer(HeadroomPolicy policy)
+    : policy_(policy) {
+  if (policy_.qos.latency.p95_ms <= 0.0) {
+    throw std::invalid_argument("HeadroomOptimizer: latency SLO must be positive");
+  }
+}
+
+double HeadroomOptimizer::stress_multiplier() const noexcept {
+  return (1.0 + policy_.dr_headroom_fraction) *
+         (1.0 + policy_.forecast_margin_fraction) /
+         (1.0 - policy_.maintenance_unavailable_fraction);
+}
+
+HeadroomPlan HeadroomOptimizer::plan(const PoolResponseModel& model,
+                                     double p95_rps_per_server,
+                                     std::size_t current_servers) const {
+  if (current_servers == 0) {
+    throw std::invalid_argument("HeadroomOptimizer::plan: no servers");
+  }
+  if (p95_rps_per_server <= 0.0) {
+    throw std::invalid_argument("HeadroomOptimizer::plan: load must be positive");
+  }
+
+  HeadroomPlan plan;
+  plan.current_servers = current_servers;
+  plan.anchor_rps_per_server = p95_rps_per_server;
+  plan.predicted_latency_before_ms = model.predict_latency_ms(p95_rps_per_server);
+
+  // The binding requirement: under the stressed load (DR failover +
+  // forecast error + maintenance-thinned pool) the per-server RPS of the
+  // *shrunk* pool must keep predicted latency within the SLO, without
+  // extrapolating the curve further than we trust it.
+  const double stress = stress_multiplier();
+  const double max_stressed_rps = model.max_rps_within_slo(
+      p95_rps_per_server, policy_.qos.latency.p95_ms,
+      policy_.max_extrapolation);
+
+  // total anchor load = p95_rps_per_server * current_servers; the shrunk
+  // pool sees load * stress / n <= max_stressed_rps.
+  const double total_rps =
+      p95_rps_per_server * static_cast<double>(current_servers);
+  const double min_servers = total_rps * stress / max_stressed_rps;
+  const auto recommended = static_cast<std::size_t>(
+      std::clamp(std::ceil(min_servers), 1.0,
+                 static_cast<double>(current_servers)));
+
+  plan.recommended_servers = recommended;
+  const double after_rps = total_rps / static_cast<double>(recommended);
+  plan.stressed_rps_per_server = after_rps * stress;
+  plan.predicted_latency_after_ms = model.predict_latency_ms(after_rps);
+  plan.predicted_latency_stressed_ms =
+      model.predict_latency_ms(plan.stressed_rps_per_server);
+  plan.predicted_cpu_after_pct = model.predict_cpu_pct(after_rps);
+  return plan;
+}
+
+}  // namespace headroom::core

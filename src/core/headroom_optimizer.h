@@ -1,0 +1,79 @@
+// Headroom right-sizing: the capacity decision itself.
+//
+// Given the fitted pool response model and the observed workload
+// distribution, choose the smallest pool that (a) keeps predicted P95
+// latency within the SLO at the planning load, (b) keeps enough headroom to
+// absorb a disaster-recovery failover (surviving DCs inherit a failed
+// region's traffic) plus planned-maintenance unavailability and workload-
+// forecast error, and (c) errs toward over-allocation, per the paper's
+// stance that the business cost of under-provisioning dominates.
+#pragma once
+
+#include <cstddef>
+
+#include "core/pool_model.h"
+#include "core/slo.h"
+
+namespace headroom::core {
+
+struct HeadroomPolicy {
+  QosRequirement qos;
+  /// Extra per-server load fraction a DC must absorb when the largest peer
+  /// region fails over onto it (N regions, affinity-weighted: ~1/8 for the
+  /// paper's 9-region service).
+  double dr_headroom_fraction = 0.125;
+  /// Workload-forecast error buffer.
+  double forecast_margin_fraction = 0.05;
+  /// Average fraction of servers unavailable to traffic (planned
+  /// maintenance); survivors must carry their load.
+  double maintenance_unavailable_fraction = 0.02;
+  /// Never extrapolate the latency curve beyond this multiple of the
+  /// anchor load (the paper refuses to trust far extrapolation).
+  double max_extrapolation = 1.8;
+};
+
+struct HeadroomPlan {
+  std::size_t current_servers = 0;
+  std::size_t recommended_servers = 0;
+  /// Load the plan is anchored at (P95 of observed per-server RPS,
+  /// rescaled to the current server count).
+  double anchor_rps_per_server = 0.0;
+  /// Per-server RPS the recommended pool would see at anchor load +
+  /// DR/forecast/maintenance headroom demands.
+  double stressed_rps_per_server = 0.0;
+  double predicted_latency_before_ms = 0.0;
+  double predicted_latency_after_ms = 0.0;   ///< At anchor load, new size.
+  double predicted_latency_stressed_ms = 0.0;  ///< Worst-case headroom load.
+  double predicted_cpu_after_pct = 0.0;
+
+  [[nodiscard]] double efficiency_savings() const noexcept {
+    if (current_servers == 0) return 0.0;
+    return 1.0 - static_cast<double>(recommended_servers) /
+                     static_cast<double>(current_servers);
+  }
+  [[nodiscard]] double latency_impact_ms() const noexcept {
+    return predicted_latency_after_ms - predicted_latency_before_ms;
+  }
+};
+
+class HeadroomOptimizer {
+ public:
+  explicit HeadroomOptimizer(HeadroomPolicy policy);
+
+  /// Sizes the pool. `p95_rps_per_server` is the observed operating point
+  /// at `current_servers` (Tables II/III style).
+  [[nodiscard]] HeadroomPlan plan(const PoolResponseModel& model,
+                                  double p95_rps_per_server,
+                                  std::size_t current_servers) const;
+
+  /// Combined stress multiplier applied on top of the anchor load
+  /// (DR failover + forecast error + maintenance-thinned pool).
+  [[nodiscard]] double stress_multiplier() const noexcept;
+
+  [[nodiscard]] const HeadroomPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  HeadroomPolicy policy_;
+};
+
+}  // namespace headroom::core

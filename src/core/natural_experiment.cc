@@ -1,0 +1,148 @@
+#include "core/natural_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "stats/percentile.h"
+
+namespace headroom::core {
+
+NaturalExperimentAnalyzer::NaturalExperimentAnalyzer(
+    EventDetectorOptions options)
+    : options_(options) {}
+
+std::vector<EventWindow> NaturalExperimentAnalyzer::detect(
+    const telemetry::TimeSeries& rps) const {
+  std::vector<EventWindow> events;
+  const auto samples = rps.samples();
+  if (samples.size() < 2 * options_.trailing_windows) return events;
+
+  std::deque<double> trailing;
+  bool in_event = false;
+  EventWindow current;
+  std::size_t quiet_streak = 0;
+
+  auto baseline_for = [&](std::size_t i) -> double {
+    // Seasonal baseline: median of the same-phase windows of prior periods.
+    if (options_.period_windows > 0 && i >= options_.period_windows) {
+      std::vector<double> seasonal;
+      for (std::size_t k = i; k >= options_.period_windows;) {
+        k -= options_.period_windows;
+        seasonal.push_back(samples[k].value);
+        if (k < options_.period_windows) break;
+      }
+      if (!seasonal.empty()) return stats::percentile(seasonal, 50.0);
+    }
+    // Fallback: trailing median of recent non-elevated windows.
+    if (trailing.size() >= 8) {
+      std::vector<double> copy(trailing.begin(), trailing.end());
+      return stats::percentile(copy, 50.0);
+    }
+    return samples[i].value;  // no history: never elevated
+  };
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double value = samples[i].value;
+    const double baseline = baseline_for(i);
+    const bool elevated = value > baseline * options_.elevation_factor;
+
+    if (elevated) {
+      // Magnitude is the worst same-window ratio of value to its own
+      // baseline (comparing a peak-hour value against a trough-hour
+      // baseline would overstate the event).
+      if (!in_event) {
+        in_event = true;
+        current = EventWindow{};
+        current.start = samples[i].window_start;
+        current.baseline_rps = baseline;
+        current.peak_rps = value;
+      } else if (baseline > 0.0 && value / baseline >
+                                       current.peak_rps /
+                                           std::max(current.baseline_rps, 1e-12)) {
+        current.peak_rps = value;
+        current.baseline_rps = baseline;
+      }
+      current.end = samples[i].window_start;
+      quiet_streak = 0;
+    } else {
+      if (in_event) {
+        ++quiet_streak;
+        if (quiet_streak > options_.merge_gap_windows) {
+          events.push_back(current);
+          in_event = false;
+        }
+      }
+      // Only non-elevated samples update the trailing fallback; an event
+      // must not drag its own baseline upward.
+      trailing.push_back(value);
+      if (trailing.size() > options_.trailing_windows) trailing.pop_front();
+    }
+  }
+  if (in_event) events.push_back(current);
+  return events;
+}
+
+ModelHoldReport NaturalExperimentAnalyzer::validate_cpu_model(
+    const telemetry::TimeSeries& rps, const telemetry::TimeSeries& cpu,
+    const EventWindow& event, double min_r_squared,
+    double residual_tolerance) const {
+  ModelHoldReport report;
+
+  std::vector<double> pre_x;
+  std::vector<double> pre_y;
+  std::vector<double> ev_x;
+  std::vector<double> ev_y;
+  const auto rs = rps.samples();
+  const auto cs = cpu.samples();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < rs.size() && j < cs.size()) {
+    if (rs[i].window_start < cs[j].window_start) {
+      ++i;
+    } else if (cs[j].window_start < rs[i].window_start) {
+      ++j;
+    } else {
+      const telemetry::SimTime t = rs[i].window_start;
+      if (t >= event.start && t <= event.end) {
+        ev_x.push_back(rs[i].value);
+        ev_y.push_back(cs[j].value);
+      } else {
+        pre_x.push_back(rs[i].value);
+        pre_y.push_back(cs[j].value);
+      }
+      ++i;
+      ++j;
+    }
+  }
+
+  report.pre_event_cpu_fit = stats::fit_linear(pre_x, pre_y);
+  if (ev_x.empty()) return report;
+
+  std::vector<double> predictions;
+  predictions.reserve(ev_x.size());
+  for (std::size_t k = 0; k < ev_x.size(); ++k) {
+    const double pred = report.pre_event_cpu_fit.predict(ev_x[k]);
+    predictions.push_back(pred);
+    const double resid = std::fabs(ev_y[k] - pred);
+    report.max_abs_residual = std::max(report.max_abs_residual, resid);
+    if (pred > 1e-9) {
+      report.max_relative_residual =
+          std::max(report.max_relative_residual, resid / pred);
+    }
+  }
+  report.event_r_squared = stats::r_squared(ev_y, predictions);
+  report.holds = report.event_r_squared >= min_r_squared ||
+                 report.max_relative_residual <= residual_tolerance;
+  return report;
+}
+
+PoolResponseModel NaturalExperimentAnalyzer::fit_with_events(
+    const telemetry::TimeSeries& rps, const telemetry::TimeSeries& cpu,
+    const telemetry::TimeSeries& latency,
+    const PoolModelOptions& options) const {
+  return PoolResponseModel::fit(telemetry::align(rps, cpu),
+                                telemetry::align(rps, latency), options);
+}
+
+}  // namespace headroom::core

@@ -1,0 +1,69 @@
+#include "core/regression_gate.h"
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace headroom::core {
+
+RegressionGate::RegressionGate(GateOptions options)
+    : options_(std::move(options)) {}
+
+GateResult RegressionGate::evaluate(
+    const sim::RequestSimConfig& baseline,
+    const sim::RequestSimConfig& candidate,
+    const workload::SyntheticWorkload& workload) const {
+  if (baseline.servers != candidate.servers ||
+      baseline.cores != candidate.cores) {
+    throw std::invalid_argument(
+        "RegressionGate: pools must be the same size and hardware");
+  }
+
+  std::vector<double> steps = options_.rps_per_server_steps;
+  if (steps.empty()) {
+    for (int i = 1; i <= 8; ++i) {
+      steps.push_back(options_.nominal_rps_per_server *
+                      (0.10 + 1.20 * (static_cast<double>(i) - 1.0) / 7.0));
+    }
+  }
+
+  GateResult result;
+  std::vector<double> delta_x;
+  std::vector<double> delta_y;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const double rps_per_server = steps[i];
+    const double pool_rps =
+        rps_per_server * static_cast<double>(baseline.servers);
+    // One stream per step, replayed bit-identically into both pools.
+    const std::vector<workload::Request> stream = workload.generate(
+        pool_rps, options_.step_duration_s,
+        sim::mix_seed(options_.seed, i));
+
+    const sim::RequestSimResult base_run = sim::simulate_pool(baseline, stream);
+    const sim::RequestSimResult cand_run = sim::simulate_pool(candidate, stream);
+
+    LoadStepComparison cmp;
+    cmp.rps_per_server = rps_per_server;
+    cmp.baseline_latency_p95_ms = base_run.latency_p95_ms;
+    cmp.candidate_latency_p95_ms = cand_run.latency_p95_ms;
+    cmp.baseline_mean_cpu_pct = base_run.mean_cpu_pct;
+    cmp.candidate_mean_cpu_pct = cand_run.mean_cpu_pct;
+    cmp.latency_regressed =
+        cmp.latency_delta_ms() > options_.latency_threshold_ms &&
+        cmp.candidate_latency_p95_ms >
+            cmp.baseline_latency_p95_ms * (1.0 + options_.latency_threshold_frac);
+    cmp.cpu_regressed = cmp.candidate_mean_cpu_pct - cmp.baseline_mean_cpu_pct >
+                        options_.cpu_threshold_pct;
+    if (!cmp.latency_regressed) {
+      result.max_clean_rps = rps_per_server;
+    }
+    result.pass = result.pass && !cmp.latency_regressed && !cmp.cpu_regressed;
+    delta_x.push_back(rps_per_server);
+    delta_y.push_back(cmp.latency_delta_ms());
+    result.steps.push_back(cmp);
+  }
+  result.delta_curve = stats::fit_quadratic(delta_x, delta_y);
+  return result;
+}
+
+}  // namespace headroom::core

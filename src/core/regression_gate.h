@@ -1,0 +1,76 @@
+// Steps 3+4: synthetic-workload validation and the offline regression gate.
+//
+// The gate is the paper's pre-deployment harness (§II-C/D, Fig. 16):
+// two identical offline pools — baseline build vs candidate build — are
+// driven by *precisely identical* synthetic workload streams at a ladder of
+// load levels; the full latency/CPU-vs-load curves are compared. Because
+// the curves are compared pointwise per load step, the gate not only
+// detects a regression but quantifies its magnitude as a function of load —
+// which is what lets capacity plans be adjusted before deployment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/request_sim.h"
+#include "stats/polynomial.h"
+#include "workload/synthetic.h"
+
+namespace headroom::core {
+
+struct GateOptions {
+  /// Load ladder (per-server RPS levels). Empty = a default 8-step ladder
+  /// from 10% to 130% of `nominal_rps_per_server`.
+  std::vector<double> rps_per_server_steps;
+  double nominal_rps_per_server = 100.0;
+  double step_duration_s = 120.0;
+  /// A latency regression fires when the candidate's P95 exceeds the
+  /// baseline's by both thresholds (absolute AND relative).
+  double latency_threshold_ms = 2.0;
+  double latency_threshold_frac = 0.05;
+  double cpu_threshold_pct = 1.0;
+  std::uint64_t seed = 4242;
+};
+
+struct LoadStepComparison {
+  double rps_per_server = 0.0;
+  double baseline_latency_p95_ms = 0.0;
+  double candidate_latency_p95_ms = 0.0;
+  double baseline_mean_cpu_pct = 0.0;
+  double candidate_mean_cpu_pct = 0.0;
+  bool latency_regressed = false;
+  bool cpu_regressed = false;
+
+  [[nodiscard]] double latency_delta_ms() const noexcept {
+    return candidate_latency_p95_ms - baseline_latency_p95_ms;
+  }
+};
+
+struct GateResult {
+  std::vector<LoadStepComparison> steps;
+  bool pass = true;
+  /// Quadratic fit of latency delta vs load — "the curve describing the
+  /// change" the paper uses to adjust capacity plans.
+  stats::PolynomialFit delta_curve;
+  /// Highest load step with no latency regression (capacity implication).
+  double max_clean_rps = 0.0;
+};
+
+class RegressionGate {
+ public:
+  explicit RegressionGate(GateOptions options = {});
+
+  /// Runs baseline and candidate pools over identical streams per step.
+  /// Configs must agree on servers/cores (same hardware, same size); the
+  /// candidate differs in its injected defect / service parameters.
+  [[nodiscard]] GateResult evaluate(const sim::RequestSimConfig& baseline,
+                                    const sim::RequestSimConfig& candidate,
+                                    const workload::SyntheticWorkload& workload) const;
+
+  [[nodiscard]] const GateOptions& options() const noexcept { return options_; }
+
+ private:
+  GateOptions options_;
+};
+
+}  // namespace headroom::core

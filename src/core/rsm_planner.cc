@@ -1,0 +1,134 @@
+#include "core/rsm_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/percentile.h"
+
+namespace headroom::core {
+
+RsmPlanner::RsmPlanner(RsmOptions options) : options_(options) {}
+
+namespace {
+
+RsmIteration summarize_iteration(std::size_t serving,
+                                 const ExperimentObservations& obs,
+                                 double predicted) {
+  RsmIteration it;
+  it.serving = serving;
+  it.observed_latency_p95_ms = stats::mean(obs.latency_p95_ms);
+  it.observed_p95_load = stats::percentile(obs.total_rps, 95.0);
+  it.predicted_latency_ms = predicted;
+  return it;
+}
+
+ServerCountLatencyModel fit_model(const ExperimentObservations& history,
+                                  const RsmOptions& options) {
+  ServerCountModelOptions mopt = options.model_options;
+  mopt.partitions = options.load_partitions;
+  return ServerCountLatencyModel::fit(history.total_rps, history.servers,
+                                      history.latency_p95_ms, mopt);
+}
+
+}  // namespace
+
+RsmResult RsmPlanner::optimize(PoolExperimentBackend& backend) const {
+  RsmResult result;
+  result.starting_serving = backend.serving_count();
+  std::size_t current = result.starting_serving;
+
+  // Baseline observation (historical data stand-in).
+  ExperimentObservations baseline = backend.observe(options_.baseline_duration);
+  result.history = baseline;
+  result.iterations.push_back(summarize_iteration(current, baseline, 0.0));
+
+  const auto floor_serving = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(options_.min_serving_fraction *
+                     static_cast<double>(result.starting_serving))));
+  const double slo_target =
+      options_.latency_slo_ms - options_.slo_margin_ms;
+
+  bool reduced_once = false;
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    const ServerCountLatencyModel model = fit_model(result.history, options_);
+    const double p95_load =
+        stats::percentile(result.history.total_rps, 95.0);
+
+    // Model step: minimal server count the fit believes stays within SLO.
+    const auto target =
+        model.min_servers_for_slo(p95_load, slo_target, current);
+    const auto step_floor = static_cast<std::size_t>(std::ceil(
+        (1.0 - options_.max_step_fraction) * static_cast<double>(current)));
+
+    std::size_t next = 0;
+    if (target) {
+      // Extrapolate step: move toward the target, bounded by the per-
+      // iteration cap and the absolute floor.
+      next = std::max({*target, step_floor, floor_serving});
+    } else if (!reduced_once) {
+      // History so far has no server-count variation (the first pass over
+      // a steady pool): run a bootstrap reduction experiment to create the
+      // data the model needs — the paper's "conduct experiments removing
+      // servers from production pools" move. Only dare it when the
+      // observed high-load latency leaves visible room under the SLO.
+      double high_load_latency = 0.0;
+      std::size_t n_high = 0;
+      for (std::size_t i = 0; i < result.history.size(); ++i) {
+        if (result.history.total_rps[i] >= p95_load * 0.95) {
+          high_load_latency += result.history.latency_p95_ms[i];
+          ++n_high;
+        }
+      }
+      if (n_high == 0 ||
+          high_load_latency / static_cast<double>(n_high) > slo_target) {
+        result.slo_limit_reached = true;
+        break;
+      }
+      next = std::max(step_floor, floor_serving);
+    } else {
+      // min_servers_for_slo returned nothing after we already reduced:
+      // either the model lost usability, or — the informative case — the
+      // model predicts the current count itself is at the SLO margin.
+      result.slo_limit_reached =
+          model.predict_latency_ms(p95_load, static_cast<double>(current))
+              .has_value();
+      break;
+    }
+    if (next >= current) {
+      // The SLO (or the floor) stops any further reduction.
+      result.slo_limit_reached = target.has_value() && *target >= current;
+      break;
+    }
+
+    const double predicted =
+        model.predict_latency_ms(p95_load, static_cast<double>(next))
+            .value_or(0.0);
+    backend.set_serving_count(next);
+    ExperimentObservations obs = backend.observe(options_.iteration_duration);
+    result.iterations.push_back(summarize_iteration(next, obs, predicted));
+    result.history.append(obs);
+    current = next;
+    reduced_once = true;
+  }
+
+  result.model = fit_model(result.history, options_);
+  const double p95_load = stats::percentile(result.history.total_rps, 95.0);
+  const auto recommended = result.model.min_servers_for_slo(
+      p95_load, slo_target, result.starting_serving);
+  // The recommendation may sit *above* the last experimental count (the
+  // final model says the last step overshot) but never more than one
+  // cautious step *below* it — "it is best to remove servers slowly and
+  // monitor the accuracy of these forecasts" (§III-A); recommendations
+  // beyond the experimentally observed range are extrapolations.
+  const auto evidence_floor = static_cast<std::size_t>(std::ceil(
+      (1.0 - options_.max_step_fraction) * static_cast<double>(current)));
+  result.recommended_serving =
+      std::clamp(recommended.value_or(current),
+                 std::max(floor_serving, evidence_floor),
+                 result.starting_serving);
+  backend.set_serving_count(result.recommended_serving);
+  return result;
+}
+
+}  // namespace headroom::core

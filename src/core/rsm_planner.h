@@ -1,0 +1,75 @@
+// Response-surface-methodology capacity planner (paper §II-B2, Fig. 7).
+//
+// Iterates: (1) model the accumulated observations — per total-load
+// partition, latency as a quadratic in server count (Eq. 1, RANSAC) —
+// (2) extrapolate along the model's gradient to the next candidate server
+// count, (3) run a bounded reduction experiment there, (4) refit. Stops
+// when the model predicts the next reduction would breach the latency SLO
+// (minus a safety margin), when reductions stop being worthwhile, or at the
+// iteration budget. "It is best to remove servers slowly and monitor the
+// accuracy of these forecasts" (§III-A) — the per-iteration step is capped.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/experiment_backend.h"
+#include "core/load_partition.h"
+
+namespace headroom::core {
+
+struct RsmOptions {
+  double latency_slo_ms = 50.0;
+  /// Safety margin subtracted from the SLO when extrapolating.
+  double slo_margin_ms = 1.0;
+  /// Cap on per-iteration reduction (fraction of current serving count).
+  double max_step_fraction = 0.15;
+  std::size_t max_iterations = 6;
+  /// Traffic time observed per iteration; the paper used ~one week.
+  telemetry::SimTime iteration_duration = 2 * 86400;
+  /// Baseline observation before the first reduction.
+  telemetry::SimTime baseline_duration = 2 * 86400;
+  std::size_t load_partitions = 4;
+  ServerCountModelOptions model_options;
+  /// Never reduce below this fraction of the starting count.
+  double min_serving_fraction = 0.30;
+};
+
+struct RsmIteration {
+  std::size_t serving = 0;          ///< Serving count during this iteration.
+  double observed_latency_p95_ms = 0.0;  ///< Mean of window P95s.
+  double observed_p95_load = 0.0;        ///< P95 of total RPS.
+  double predicted_latency_ms = 0.0;     ///< Model's prediction beforehand
+                                         ///< (0 for the baseline).
+};
+
+struct RsmResult {
+  std::vector<RsmIteration> iterations;  ///< Baseline first.
+  std::size_t starting_serving = 0;
+  std::size_t recommended_serving = 0;
+  bool slo_limit_reached = false;   ///< Stopped because the SLO bound bit.
+  ServerCountLatencyModel model;    ///< Final fit on all observations.
+  ExperimentObservations history;   ///< Everything observed.
+
+  [[nodiscard]] double reduction_fraction() const noexcept {
+    if (starting_serving == 0) return 0.0;
+    return 1.0 - static_cast<double>(recommended_serving) /
+                     static_cast<double>(starting_serving);
+  }
+};
+
+class RsmPlanner {
+ public:
+  explicit RsmPlanner(RsmOptions options = {});
+
+  /// Runs the full iterative optimization against the backend. The backend
+  /// is left at the recommended serving count.
+  [[nodiscard]] RsmResult optimize(PoolExperimentBackend& backend) const;
+
+  [[nodiscard]] const RsmOptions& options() const noexcept { return options_; }
+
+ private:
+  RsmOptions options_;
+};
+
+}  // namespace headroom::core

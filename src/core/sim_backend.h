@@ -1,0 +1,30 @@
+// Fleet-simulator implementation of PoolExperimentBackend.
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment_backend.h"
+#include "sim/fleet.h"
+
+namespace headroom::core {
+
+/// Binds one (datacenter, pool) of a FleetSimulator to the experiment
+/// interface. `observe` advances the *whole* fleet (production experiments
+/// don't pause the world either) and reads back this pool's window series.
+class SimPoolBackend final : public PoolExperimentBackend {
+ public:
+  SimPoolBackend(sim::FleetSimulator* fleet, std::uint32_t datacenter,
+                 std::uint32_t pool);
+
+  [[nodiscard]] std::size_t pool_size() const override;
+  [[nodiscard]] std::size_t serving_count() const override;
+  void set_serving_count(std::size_t servers) override;
+  ExperimentObservations observe(telemetry::SimTime duration) override;
+
+ private:
+  sim::FleetSimulator* fleet_;
+  std::uint32_t datacenter_;
+  std::uint32_t pool_;
+};
+
+}  // namespace headroom::core

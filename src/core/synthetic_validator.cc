@@ -1,0 +1,112 @@
+#include "core/synthetic_validator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace headroom::core {
+
+SyntheticWorkloadValidator::SyntheticWorkloadValidator(
+    SyntheticValidatorOptions options)
+    : options_(options) {}
+
+namespace {
+
+struct BucketAcc {
+  double sum = 0.0;
+  std::size_t n = 0;
+  void add(double v) {
+    sum += v;
+    ++n;
+  }
+  [[nodiscard]] double mean() const {
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+};
+
+double relative_gap(double a, double b) {
+  const double denom = std::max(std::fabs(a), 1e-9);
+  return std::fabs(b - a) / denom;
+}
+
+}  // namespace
+
+ProfileComparison SyntheticWorkloadValidator::compare(
+    const telemetry::AlignedPair& production_rps_latency,
+    const telemetry::AlignedPair& synthetic_rps_latency,
+    const telemetry::AlignedPair& production_rps_cpu,
+    const telemetry::AlignedPair& synthetic_rps_cpu) const {
+  ProfileComparison cmp;
+
+  // Bucket boundaries span the union of both load ranges.
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto* pair :
+       {&production_rps_latency, &synthetic_rps_latency}) {
+    for (double x : pair->x) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (!(hi > lo)) return cmp;
+  const double width = (hi - lo) / static_cast<double>(options_.buckets);
+
+  std::vector<BucketAcc> prod_lat(options_.buckets);
+  std::vector<BucketAcc> synth_lat(options_.buckets);
+  std::vector<BucketAcc> prod_cpu(options_.buckets);
+  std::vector<BucketAcc> synth_cpu(options_.buckets);
+  auto bucket_of = [&](double x) {
+    const auto b = static_cast<std::size_t>((x - lo) / width);
+    return std::min(b, options_.buckets - 1);
+  };
+  for (std::size_t i = 0; i < production_rps_latency.x.size(); ++i) {
+    prod_lat[bucket_of(production_rps_latency.x[i])].add(
+        production_rps_latency.y[i]);
+  }
+  for (std::size_t i = 0; i < synthetic_rps_latency.x.size(); ++i) {
+    synth_lat[bucket_of(synthetic_rps_latency.x[i])].add(
+        synthetic_rps_latency.y[i]);
+  }
+  for (std::size_t i = 0; i < production_rps_cpu.x.size(); ++i) {
+    prod_cpu[bucket_of(production_rps_cpu.x[i])].add(production_rps_cpu.y[i]);
+  }
+  for (std::size_t i = 0; i < synthetic_rps_cpu.x.size(); ++i) {
+    synth_cpu[bucket_of(synthetic_rps_cpu.x[i])].add(synthetic_rps_cpu.y[i]);
+  }
+
+  std::size_t covered = 0;
+  for (std::size_t b = 0; b < options_.buckets; ++b) {
+    ProfileBucket bucket;
+    bucket.rps_lo = lo + width * static_cast<double>(b);
+    bucket.rps_hi = bucket.rps_lo + width;
+    bucket.production_latency_ms = prod_lat[b].mean();
+    bucket.synthetic_latency_ms = synth_lat[b].mean();
+    bucket.production_cpu_pct = prod_cpu[b].mean();
+    bucket.synthetic_cpu_pct = synth_cpu[b].mean();
+    bucket.production_samples = prod_lat[b].n;
+    bucket.synthetic_samples = synth_lat[b].n;
+    const bool usable = prod_lat[b].n >= options_.min_samples_per_bucket &&
+                        synth_lat[b].n >= options_.min_samples_per_bucket;
+    if (usable) {
+      ++covered;
+      cmp.worst_latency_gap_frac =
+          std::max(cmp.worst_latency_gap_frac,
+                   relative_gap(bucket.production_latency_ms,
+                                bucket.synthetic_latency_ms));
+      if (prod_cpu[b].n >= options_.min_samples_per_bucket &&
+          synth_cpu[b].n >= options_.min_samples_per_bucket) {
+        cmp.worst_cpu_gap_frac = std::max(
+            cmp.worst_cpu_gap_frac,
+            relative_gap(bucket.production_cpu_pct, bucket.synthetic_cpu_pct));
+      }
+    }
+    cmp.buckets.push_back(bucket);
+  }
+  cmp.coverage =
+      static_cast<double>(covered) / static_cast<double>(options_.buckets);
+  cmp.equivalent = cmp.coverage >= options_.min_coverage &&
+                   cmp.worst_latency_gap_frac <= options_.latency_tolerance_frac &&
+                   cmp.worst_cpu_gap_frac <= options_.cpu_tolerance_frac;
+  return cmp;
+}
+
+}  // namespace headroom::core

@@ -1,0 +1,63 @@
+// Step 3 gate: does the synthetic workload reproduce production behaviour?
+//
+// "We first verify our synthetically produced workload causes the same QoS
+// and resource usage relationship we observe in our measurements of
+// production server pools. For the same volume of synthetic workload we see
+// the same QoS and resource usage values." (paper §II-C). The validator
+// buckets both (load → latency/CPU) profiles by load and compares bucket
+// means within tolerances.
+#pragma once
+
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace headroom::core {
+
+struct ProfileBucket {
+  double rps_lo = 0.0;
+  double rps_hi = 0.0;
+  double production_latency_ms = 0.0;
+  double synthetic_latency_ms = 0.0;
+  double production_cpu_pct = 0.0;
+  double synthetic_cpu_pct = 0.0;
+  std::size_t production_samples = 0;
+  std::size_t synthetic_samples = 0;
+};
+
+struct ProfileComparison {
+  std::vector<ProfileBucket> buckets;
+  double worst_latency_gap_frac = 0.0;
+  double worst_cpu_gap_frac = 0.0;
+  /// Buckets where both sides had data / total buckets.
+  double coverage = 0.0;
+  bool equivalent = false;
+};
+
+struct SyntheticValidatorOptions {
+  std::size_t buckets = 6;
+  double latency_tolerance_frac = 0.10;
+  double cpu_tolerance_frac = 0.10;
+  /// Require at least this bucket coverage before declaring equivalence.
+  double min_coverage = 0.6;
+  std::size_t min_samples_per_bucket = 3;
+};
+
+class SyntheticWorkloadValidator {
+ public:
+  explicit SyntheticWorkloadValidator(SyntheticValidatorOptions options = {});
+
+  /// `production_*` come from production pool telemetry; `synthetic_*` from
+  /// an offline pool driven by the candidate synthetic workload. Each is an
+  /// aligned (rps, y) scatter.
+  [[nodiscard]] ProfileComparison compare(
+      const telemetry::AlignedPair& production_rps_latency,
+      const telemetry::AlignedPair& synthetic_rps_latency,
+      const telemetry::AlignedPair& production_rps_cpu,
+      const telemetry::AlignedPair& synthetic_rps_cpu) const;
+
+ private:
+  SyntheticValidatorOptions options_;
+};
+
+}  // namespace headroom::core

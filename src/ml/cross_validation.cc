@@ -1,0 +1,87 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "stats/linear_model.h"
+#include "stats/roc.h"
+
+namespace headroom::ml {
+
+CrossValidationResult cross_validate(const Dataset& data,
+                                     std::span<const std::uint8_t> labels,
+                                     std::size_t k,
+                                     const DecisionTreeOptions& options,
+                                     std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("cross_validate: k must be >= 2");
+  if (data.rows() != labels.size()) {
+    throw std::invalid_argument("cross_validate: label count mismatch");
+  }
+  if (data.rows() < k) {
+    throw std::invalid_argument("cross_validate: fewer rows than folds");
+  }
+
+  std::vector<std::size_t> order(data.rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  CrossValidationResult result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    Dataset train(data.feature_names().empty()
+                      ? std::vector<std::string>{}
+                      : data.feature_names());
+    std::vector<std::uint8_t> train_labels;
+    Dataset test(train.feature_names());
+    std::vector<std::uint8_t> test_labels;
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::size_t r = order[i];
+      std::vector<double> row(data.row(r).begin(), data.row(r).end());
+      if (i % k == fold) {
+        test.add_row(std::move(row));
+        test_labels.push_back(labels[r]);
+      } else {
+        train.add_row(std::move(row));
+        train_labels.push_back(labels[r]);
+      }
+    }
+
+    DecisionTree tree;
+    tree.fit(train, train_labels, options);
+
+    std::vector<double> probs;
+    std::vector<double> label_values;
+    probs.reserve(test.rows());
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < test.rows(); ++r) {
+      const double p = tree.predict_proba(test.row(r));
+      probs.push_back(p);
+      label_values.push_back(test_labels[r] ? 1.0 : 0.0);
+      if ((p >= 0.5) == test_labels[r]) ++correct;
+    }
+
+    FoldMetrics m;
+    m.accuracy = test.rows() == 0
+                     ? 0.0
+                     : static_cast<double>(correct) / static_cast<double>(test.rows());
+    m.auc = stats::auc(probs, test_labels);
+    m.r_squared = stats::r_squared(label_values, probs);
+    result.folds.push_back(m);
+  }
+
+  for (const FoldMetrics& m : result.folds) {
+    result.mean.accuracy += m.accuracy;
+    result.mean.auc += m.auc;
+    result.mean.r_squared += m.r_squared;
+  }
+  const auto n = static_cast<double>(result.folds.size());
+  result.mean.accuracy /= n;
+  result.mean.auc /= n;
+  result.mean.r_squared /= n;
+  return result;
+}
+
+}  // namespace headroom::ml

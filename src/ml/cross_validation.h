@@ -1,0 +1,34 @@
+// k-fold cross-validation for the server-grouping classifier.
+//
+// The paper trains its tree "with 5 fold cross validation" on manually
+// labeled pools (§II-A2) and reports R² of the predicted probability and
+// AUC of the Yes/No prediction. This helper produces exactly those metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+
+namespace headroom::ml {
+
+struct FoldMetrics {
+  double accuracy = 0.0;
+  double auc = 0.0;        ///< AUC of predicted probability vs label.
+  double r_squared = 0.0;  ///< R² of predicted probability vs 0/1 label.
+};
+
+struct CrossValidationResult {
+  std::vector<FoldMetrics> folds;
+  FoldMetrics mean;  ///< Averages across folds.
+};
+
+/// Deterministically shuffles rows (by `seed`), splits into `k` folds,
+/// trains on k-1, evaluates on the held-out fold.
+[[nodiscard]] CrossValidationResult cross_validate(
+    const Dataset& data, std::span<const std::uint8_t> labels, std::size_t k,
+    const DecisionTreeOptions& options, std::uint64_t seed = 7);
+
+}  // namespace headroom::ml

@@ -1,0 +1,48 @@
+#include "ml/dataset.h"
+
+#include <stdexcept>
+
+namespace headroom::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : names_(std::move(feature_names)) {}
+
+void Dataset::add_row(std::vector<double> features) {
+  if (!rows_.empty() && features.size() != rows_.front().size()) {
+    throw std::invalid_argument("Dataset::add_row: column count mismatch");
+  }
+  if (!names_.empty() && features.size() != names_.size()) {
+    throw std::invalid_argument("Dataset::add_row: row width != name count");
+  }
+  rows_.push_back(std::move(features));
+}
+
+std::size_t Dataset::cols() const noexcept {
+  if (!rows_.empty()) return rows_.front().size();
+  return names_.size();
+}
+
+std::span<const double> Dataset::row(std::size_t r) const {
+  if (r >= rows_.size()) throw std::out_of_range("Dataset::row");
+  return rows_[r];
+}
+
+double Dataset::at(std::size_t r, std::size_t c) const {
+  const auto rr = row(r);
+  if (c >= rr.size()) throw std::out_of_range("Dataset::at");
+  return rr[c];
+}
+
+std::string Dataset::feature_name(std::size_t c) const {
+  if (c < names_.size()) return names_[c];
+  return "f" + std::to_string(c);
+}
+
+std::vector<double> Dataset::column(std::size_t c) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) out.push_back(at(r, c));
+  return out;
+}
+
+}  // namespace headroom::ml

@@ -1,0 +1,40 @@
+// Row-oriented feature dataset shared by the tree and clustering code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace headroom::ml {
+
+/// A dense feature matrix with optional column names. Rows are examples
+/// (servers or pools in this project), columns are features (CPU
+/// percentiles, regression slope/intercept/R², ...).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// Appends a row; the first row fixes the column count.
+  void add_row(std::vector<double> features);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept;
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+  [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept {
+    return names_;
+  }
+  /// Column name, or "f<index>" when names were not provided.
+  [[nodiscard]] std::string feature_name(std::size_t c) const;
+
+  /// All values of one column, in row order.
+  [[nodiscard]] std::vector<double> column(std::size_t c) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace headroom::ml

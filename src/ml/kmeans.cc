@@ -1,0 +1,174 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace headroom::ml {
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Dataset& data, const KMeansOptions& options) {
+  if (options.k == 0) throw std::invalid_argument("kmeans: k must be positive");
+  if (data.rows() < options.k) {
+    throw std::invalid_argument("kmeans: fewer rows than clusters");
+  }
+  const std::size_t n = data.rows();
+  const std::size_t dims = data.cols();
+  std::mt19937_64 rng(options.seed);
+
+  // k-means++ seeding: first centroid uniform, then proportional to D².
+  KMeansResult result;
+  std::uniform_int_distribution<std::size_t> uniform(0, n - 1);
+  const std::size_t first = uniform(rng);
+  result.centroids.push_back(
+      {data.row(first).begin(), data.row(first).end()});
+  std::vector<double> d2(n, 0.0);
+  while (result.centroids.size() < options.k) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : result.centroids) {
+        best = std::min(best, squared_distance(data.row(r), c));
+      }
+      d2[r] = best;
+      total += best;
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      std::uniform_real_distribution<double> pick(0.0, total);
+      double target = pick(rng);
+      for (std::size_t r = 0; r < n; ++r) {
+        target -= d2[r];
+        if (target <= 0.0) {
+          chosen = r;
+          break;
+        }
+      }
+    } else {
+      chosen = uniform(rng);  // all points identical to some centroid
+    }
+    result.centroids.push_back(
+        {data.row(chosen).begin(), data.row(chosen).end()});
+  }
+
+  result.assignment.assign(n, 0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t r = 0; r < n; ++r) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < options.k; ++c) {
+        const double d = squared_distance(data.row(r), result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignment[r] != best_c) {
+        result.assignment[r] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    std::vector<std::vector<double>> sums(options.k,
+                                          std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> counts(options.k, 0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t c = result.assignment[r];
+      ++counts[c];
+      const auto row = data.row(r);
+      for (std::size_t i = 0; i < dims; ++i) sums[c][i] += row[i];
+    }
+    for (std::size_t c = 0; c < options.k; ++c) {
+      if (counts[c] == 0) continue;  // keep previous centroid for empty cluster
+      for (std::size_t i = 0; i < dims; ++i) {
+        result.centroids[c][i] = sums[c][i] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    result.inertia +=
+        squared_distance(data.row(r), result.centroids[result.assignment[r]]);
+  }
+  return result;
+}
+
+double silhouette_score(const Dataset& data,
+                        const std::vector<std::size_t>& assignment,
+                        std::size_t k) {
+  const std::size_t n = data.rows();
+  if (assignment.size() != n) {
+    throw std::invalid_argument("silhouette_score: assignment size mismatch");
+  }
+  if (k < 2 || n < 2) return 0.0;
+
+  std::vector<std::size_t> sizes(k, 0);
+  for (std::size_t c : assignment) {
+    if (c >= k) throw std::invalid_argument("silhouette_score: cluster id >= k");
+    ++sizes[c];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (sizes[c] == 0) return 0.0;
+  }
+
+  double total = 0.0;
+  std::vector<double> dist_sum(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      dist_sum[assignment[j]] +=
+          std::sqrt(squared_distance(data.row(i), data.row(j)));
+    }
+    const std::size_t own = assignment[i];
+    const double a = sizes[own] > 1
+                         ? dist_sum[own] / static_cast<double>(sizes[own] - 1)
+                         : 0.0;
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own) continue;
+      b = std::min(b, dist_sum[c] / static_cast<double>(sizes[c]));
+    }
+    const double denom = std::max(a, b);
+    total += denom == 0.0 ? 0.0 : (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+std::size_t choose_k(const Dataset& data, std::size_t max_k,
+                     double min_silhouette, std::uint64_t seed) {
+  if (data.rows() == 0) throw std::invalid_argument("choose_k: empty data");
+  std::size_t best_k = 1;
+  double best_score = min_silhouette;
+  for (std::size_t k = 2; k <= max_k && k <= data.rows(); ++k) {
+    KMeansOptions opt;
+    opt.k = k;
+    opt.seed = seed;
+    const KMeansResult res = kmeans(data, opt);
+    const double score = silhouette_score(data, res.assignment, k);
+    if (score > best_score) {
+      best_score = score;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace headroom::ml

@@ -1,0 +1,47 @@
+// k-means clustering (k-means++ seeding, Lloyd iterations).
+//
+// Used for the Fig. 3 analysis: servers plotted by (P5 CPU, P95 CPU) fall
+// into tight per-datacenter clusters, and one pool splits into two clusters
+// because half its servers are a newer hardware generation. The grouper
+// clusters the scatter and flags multi-modal pools for sub-group planning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace headroom::ml {
+
+struct KMeansOptions {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  std::uint64_t seed = 17;
+};
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k centroid vectors.
+  std::vector<std::size_t> assignment;          ///< Cluster id per row.
+  double inertia = 0.0;  ///< Sum of squared distances to assigned centroid.
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ initialization. Deterministic for a
+/// given seed. Requires data.rows() >= k.
+[[nodiscard]] KMeansResult kmeans(const Dataset& data, const KMeansOptions& options);
+
+/// Mean silhouette coefficient of a clustering in [-1,1]; higher means
+/// better-separated clusters. Returns 0 when k==1 or any cluster is empty.
+[[nodiscard]] double silhouette_score(const Dataset& data,
+                                      const std::vector<std::size_t>& assignment,
+                                      std::size_t k);
+
+/// Picks k in [1, max_k] by best silhouette (k=1 wins only when every
+/// candidate k>=2 scores below `min_silhouette`). This is how the grouper
+/// decides whether a pool is uni-modal (one planning group) or needs to be
+/// partitioned (e.g. the two-hardware-generation pool of Fig. 3).
+[[nodiscard]] std::size_t choose_k(const Dataset& data, std::size_t max_k,
+                                   double min_silhouette = 0.5,
+                                   std::uint64_t seed = 17);
+
+}  // namespace headroom::ml

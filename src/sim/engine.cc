@@ -1,0 +1,33 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace headroom::sim {
+
+void EventQueue::schedule(double t, Callback fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  heap_.push({t, sequence_++, std::move(fn)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out via a
+  // const_cast-free copy. Entries are cheap (one std::function).
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  e.fn();
+  return true;
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!heap_.empty() && heap_.top().time < t_end) {
+    run_next();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace headroom::sim

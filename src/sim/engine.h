@@ -1,0 +1,54 @@
+// Minimal discrete-event engine.
+//
+// The fleet simulator is time-stepped (windows are the natural granularity
+// of its telemetry), but the offline validation pools of methodology Step 4
+// are simulated at *request* level, where arrivals and completions are
+// irregular. This engine is the usual monotone event loop: a min-heap of
+// (time, sequence, callback).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace headroom::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (seconds). Events at equal times
+  /// fire in scheduling order.
+  void schedule(double t, Callback fn);
+
+  /// Runs the earliest event; returns false when the queue is empty.
+  bool run_next();
+
+  /// Runs events until the queue empties or the next event is at/after
+  /// `t_end` (those remain queued).
+  void run_until(double t_end);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t sequence;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace headroom::sim

@@ -1,0 +1,364 @@
+#include "sim/fleet.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace headroom::sim {
+
+namespace {
+
+using telemetry::MetricKind;
+using telemetry::SeriesKey;
+
+constexpr double kSecondsPerDay = 86400.0;
+
+/// Failover affinity: traffic from a failed region prefers nearby regions
+/// (smaller timezone distance). This is what concentrates the load spike on
+/// one neighbour (the paper's +127% DC) while the median survivor sees a
+/// smaller increase.
+double failover_affinity(double tz_a, double tz_b) noexcept {
+  double d = std::fabs(tz_a - tz_b);
+  if (d > 12.0) d = 24.0 - d;  // wrap around the globe
+  return 1.0 / (1.0 + (d / 2.5) * (d / 2.5));
+}
+
+}  // namespace
+
+FleetSimulator::FleetSimulator(FleetConfig config,
+                               const MicroserviceCatalog& catalog)
+    : config_(std::move(config)) {
+  if (config_.datacenters.empty()) {
+    throw std::invalid_argument("FleetSimulator: no datacenters");
+  }
+  if (config_.window_seconds <= 0) {
+    throw std::invalid_argument("FleetSimulator: window must be positive");
+  }
+
+  regional_traffic_.reserve(config_.datacenters.size());
+  for (const DatacenterConfig& dc : config_.datacenters) {
+    workload::DiurnalParams params = config_.diurnal;
+    params.peak_rps = config_.diurnal.peak_rps * dc.demand_weight;
+    params.timezone_offset_hours = dc.timezone_offset_hours;
+    regional_traffic_.emplace_back(params);
+  }
+
+  for (std::uint32_t d = 0; d < config_.datacenters.size(); ++d) {
+    const DatacenterConfig& dc = config_.datacenters[d];
+    for (std::uint32_t p = 0; p < dc.pools.size(); ++p) {
+      const PoolConfig& pc = dc.pools[p];
+      const MicroserviceProfile& profile = catalog.by_name(pc.service);
+
+      PoolRuntime rt{.dc = d,
+                     .pool = p,
+                     .profile = &profile,
+                     .demand_multiplier = pc.demand_multiplier,
+                     .burst_multiplier = pc.burst_multiplier,
+                     .burst_start_hour = pc.burst_start_hour,
+                     .burst_hours = pc.burst_hours,
+                     .hourly_spike_extra_pct = pc.hourly_spike_extra_pct,
+                     .tz_offset_hours = dc.timezone_offset_hours,
+                     .server_generation = {},
+                     .models = {},
+                     .maintenance = MaintenanceSchedule(
+                         pc.maintenance,
+                         mix_seed(config_.seed, 0xFA11, d, p),
+                         dc.timezone_offset_hours),
+                     .serving = pc.servers,
+                     .cpu_digests = {},
+                     .was_online = {}};
+      for (const PoolIncident& inc : pc.incidents) {
+        rt.maintenance.add_incident(inc);
+      }
+
+      const std::vector<HardwareGeneration> assignment =
+          assign_hardware(pc.hardware, pc.servers);
+      rt.server_generation.reserve(pc.servers);
+      for (const HardwareGeneration& gen : assignment) {
+        // Deduplicate response models by generation name.
+        std::size_t idx = rt.models.size();
+        for (std::size_t i = 0; i < rt.models.size(); ++i) {
+          if (assignment.empty()) break;
+          if (rt.models[i].effective_cost_ms() ==
+              profile.cost_ms_per_request / gen.cpu_scale) {
+            idx = i;
+            break;
+          }
+        }
+        if (idx == rt.models.size()) {
+          rt.models.emplace_back(profile, gen);
+        }
+        rt.server_generation.push_back(static_cast<std::uint8_t>(idx));
+      }
+      rt.cpu_digests.resize(pc.servers);
+      rt.was_online.assign(pc.servers, 1);
+      pools_.push_back(std::move(rt));
+    }
+  }
+}
+
+std::size_t FleetSimulator::total_servers() const noexcept {
+  std::size_t n = 0;
+  for (const PoolRuntime& rt : pools_) n += rt.server_generation.size();
+  return n;
+}
+
+std::vector<double> FleetSimulator::regional_demands(SimTime t) const {
+  const std::size_t n = config_.datacenters.size();
+  std::vector<double> demand(n, 0.0);
+  std::vector<std::uint8_t> down(n, 0);
+  for (std::size_t d = 0; d < n; ++d) {
+    down[d] = config_.events.datacenter_down(t, static_cast<std::uint32_t>(d))
+                  ? 1u
+                  : 0u;
+    demand[d] = regional_traffic_[d].demand(t) *
+                config_.events.traffic_multiplier(t, static_cast<std::uint32_t>(d));
+  }
+  // Outage failover: a down DC's demand redistributes to survivors,
+  // weighted by capacity (demand weight) and geographic affinity.
+  for (std::size_t f = 0; f < n; ++f) {
+    if (!down[f]) continue;
+    const double orphaned = demand[f];
+    demand[f] = 0.0;
+    double total_share = 0.0;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (down[d]) continue;
+      total_share += config_.datacenters[d].demand_weight *
+                     failover_affinity(config_.datacenters[d].timezone_offset_hours,
+                                       config_.datacenters[f].timezone_offset_hours);
+    }
+    if (total_share <= 0.0) continue;  // everything down: traffic dropped
+    for (std::size_t d = 0; d < n; ++d) {
+      if (down[d]) continue;
+      const double share =
+          config_.datacenters[d].demand_weight *
+          failover_affinity(config_.datacenters[d].timezone_offset_hours,
+                            config_.datacenters[f].timezone_offset_hours) /
+          total_share;
+      demand[d] += orphaned * share;
+    }
+  }
+  return demand;
+}
+
+double FleetSimulator::datacenter_demand(SimTime t, std::uint32_t dc) const {
+  const std::vector<double> demand = regional_demands(t);
+  if (dc >= demand.size()) {
+    throw std::out_of_range("FleetSimulator::datacenter_demand");
+  }
+  return demand[dc];
+}
+
+void FleetSimulator::set_serving_count(std::uint32_t dc, std::uint32_t pool,
+                                       std::size_t servers) {
+  for (PoolRuntime& rt : pools_) {
+    if (rt.dc == dc && rt.pool == pool) {
+      if (servers == 0 || servers > rt.server_generation.size()) {
+        throw std::invalid_argument(
+            "FleetSimulator::set_serving_count: count out of range");
+      }
+      rt.serving = servers;
+      return;
+    }
+  }
+  throw std::out_of_range("FleetSimulator::set_serving_count: no such pool");
+}
+
+std::size_t FleetSimulator::serving_count(std::uint32_t dc,
+                                          std::uint32_t pool) const {
+  for (const PoolRuntime& rt : pools_) {
+    if (rt.dc == dc && rt.pool == pool) return rt.serving;
+  }
+  throw std::out_of_range("FleetSimulator::serving_count: no such pool");
+}
+
+std::size_t FleetSimulator::pool_size(std::uint32_t dc,
+                                      std::uint32_t pool) const {
+  for (const PoolRuntime& rt : pools_) {
+    if (rt.dc == dc && rt.pool == pool) return rt.server_generation.size();
+  }
+  throw std::out_of_range("FleetSimulator::pool_size: no such pool");
+}
+
+void FleetSimulator::flush_digests(std::int64_t day) {
+  for (PoolRuntime& rt : pools_) {
+    for (std::uint32_t s = 0; s < rt.cpu_digests.size(); ++s) {
+      telemetry::PercentileDigest& digest = rt.cpu_digests[s];
+      if (digest.count() == 0) continue;
+      server_days_.push_back(
+          {rt.dc, rt.pool, s, day, digest.snapshot()});
+      digest.reset();
+    }
+  }
+}
+
+void FleetSimulator::finish_day() { flush_digests(current_day_); }
+
+void FleetSimulator::run_until(SimTime end) {
+  while (now_ < end) {
+    const auto day = static_cast<std::int64_t>(
+        static_cast<double>(now_) / kSecondsPerDay);
+    if (day != current_day_) {
+      flush_digests(current_day_);
+      current_day_ = day;
+    }
+    step(now_);
+    now_ += config_.window_seconds;
+  }
+}
+
+void FleetSimulator::step(SimTime t) {
+  const std::vector<double> demand = regional_demands(t);
+  const auto window_index = static_cast<std::uint64_t>(t / config_.window_seconds);
+  const SimTime dt = config_.window_seconds;
+
+  for (PoolRuntime& rt : pools_) {
+    const std::size_t pool_servers = rt.server_generation.size();
+    double pool_rps =
+        demand[rt.dc] * rt.profile->request_fan * rt.demand_multiplier;
+    if (rt.burst_hours > 0.0 && rt.burst_multiplier != 1.0) {
+      const double local_hour = std::fmod(
+          std::fmod(static_cast<double>(t) / 3600.0 + rt.tz_offset_hours,
+                    24.0) + 24.0, 24.0);
+      double delta = local_hour - rt.burst_start_hour;
+      if (delta < 0.0) delta += 24.0;
+      if (delta < rt.burst_hours) pool_rps *= rt.burst_multiplier;
+    }
+
+    // Which servers are online this window? Only the first `serving`
+    // servers are in the rotation at all (reduction experiments remove the
+    // tail); maintenance takes rotation members out temporarily.
+    std::size_t online = 0;
+    std::vector<std::uint8_t> is_online(rt.serving, 0);
+    for (std::uint32_t s = 0; s < rt.serving; ++s) {
+      const bool off = rt.maintenance.offline(s, pool_servers, t);
+      is_online[s] = off ? 0u : 1u;
+      online += off ? 0u : 1u;
+    }
+
+    // Availability accounting covers the whole configured pool; removed
+    // servers (index >= serving) are deliberately NOT unavailable — they
+    // left the pool, they are not broken.
+    for (std::uint32_t s = 0; s < rt.serving; ++s) {
+      ledger_.record({rt.dc, rt.pool, s}, t, dt, is_online[s] != 0);
+    }
+
+    if (online == 0) continue;  // pool dark this window
+    const double per_server_rps = pool_rps / static_cast<double>(online);
+
+    stats::RunningStats agg_rps;
+    stats::RunningStats agg_cpu_attr;
+    stats::RunningStats agg_cpu_total;
+    stats::RunningStats agg_latency;
+    stats::RunningStats agg_net_bytes;
+    stats::RunningStats agg_net_pkts;
+    stats::RunningStats agg_mem_pages;
+    stats::RunningStats agg_disk_bytes;
+    stats::RunningStats agg_disk_q;
+    stats::RunningStats agg_errors;
+
+    const std::uint64_t pool_stream =
+        mix_seed(config_.seed, rt.dc, rt.pool, window_index);
+    // Pool-common measurement noise: request-mix drift, deploy churn and
+    // collection jitter move the whole pool's counters together window to
+    // window, which is what keeps pool-average fits from being noiselessly
+    // perfect (the paper's Fig. 8 R² is 0.984, not 1.0).
+    SplitMix64 common_rng(mix_seed(pool_stream, 0xC0117));
+    std::normal_distribution<double> common_gauss(0.0, 1.0);
+    const double cpu_common = 1.0 + 0.02 * common_gauss(common_rng);
+    const double latency_common = 1.0 + 0.01 * common_gauss(common_rng);
+    // Response payload sizes drift with the request mix far more than CPU
+    // cost does — Fig. 2 shows network counters linear but visibly noisier.
+    const double network_common = 1.0 + 0.06 * common_gauss(common_rng);
+    for (std::uint32_t s = 0; s < rt.serving; ++s) {
+      const bool restarted = is_online[s] != 0 && rt.was_online[s] == 0;
+      rt.was_online[s] = is_online[s];
+      if (is_online[s] == 0) continue;
+
+      SplitMix64 rng(mix_seed(pool_stream, s));
+      // Load-balancer imbalance: a few percent of jitter per server.
+      std::normal_distribution<double> gauss(0.0, 1.0);
+      const double rps = std::max(
+          0.0, per_server_rps * (1.0 + 0.02 * gauss(rng)));
+
+      const ResponseModel& model = rt.models[rt.server_generation[s]];
+      ServerWindowMetrics m =
+          model.sample(rps, t, rng, config_.background_spikes,
+                       config_.background_noise_scale);
+      m.cpu_pct_attributed *= cpu_common;
+      m.cpu_pct_total = std::min(100.0, m.cpu_pct_total * cpu_common);
+      if (rt.hourly_spike_extra_pct > 0.0 &&
+          t % 3600 < config_.window_seconds) {
+        m.cpu_pct_total =
+            std::min(100.0, m.cpu_pct_total + rt.hourly_spike_extra_pct);
+      }
+      m.latency_p95_ms *= latency_common;
+      m.network_bytes_per_s *= network_common;
+      m.network_packets_per_s *= network_common;
+      if (restarted) {
+        // Post-restart penalty: cache priming and JIT warm-up (the paper's
+        // "elevated latency ... caused by additional work performed when
+        // the software starts").
+        m.latency_p95_ms += rt.profile->cold_latency_ms;
+        m.cpu_pct_total = std::min(100.0, m.cpu_pct_total + 5.0);
+      }
+      if (!config_.attribution_enabled) {
+        // Blind measurement mode: the per-workload series is polluted with
+        // everything running on the box.
+        m.cpu_pct_attributed = m.cpu_pct_total;
+      }
+
+      rt.cpu_digests[s].add(m.cpu_pct_total);
+      cpu_histogram_.add(m.cpu_pct_total);
+
+      agg_rps.add(m.rps);
+      agg_cpu_attr.add(m.cpu_pct_attributed);
+      agg_cpu_total.add(m.cpu_pct_total);
+      agg_latency.add(m.latency_p95_ms);
+      agg_net_bytes.add(m.network_bytes_per_s);
+      agg_net_pkts.add(m.network_packets_per_s);
+      agg_mem_pages.add(m.memory_pages_per_s);
+      agg_disk_bytes.add(m.disk_read_bytes_per_s);
+      agg_disk_q.add(m.disk_queue_length);
+      agg_errors.add(m.errors_per_s);
+
+      if (config_.record_server_series) {
+        const SeriesKey base{rt.dc, rt.pool, s, MetricKind::kRequestsPerSecond};
+        store_.record(base, t, m.rps);
+        SeriesKey cpu = base;
+        cpu.metric = MetricKind::kCpuPercentTotal;
+        store_.record(cpu, t, m.cpu_pct_total);
+        SeriesKey lat = base;
+        lat.metric = MetricKind::kLatencyP95Ms;
+        store_.record(lat, t, m.latency_p95_ms);
+      }
+    }
+
+    if (config_.record_pool_series && agg_rps.count() > 0) {
+      auto pool_key = [&](MetricKind kind) {
+        return SeriesKey{rt.dc, rt.pool, SeriesKey::kPoolScope, kind};
+      };
+      store_.record(pool_key(MetricKind::kRequestsPerSecond), t, agg_rps.mean());
+      store_.record(pool_key(MetricKind::kCpuPercentAttributed), t,
+                    agg_cpu_attr.mean());
+      store_.record(pool_key(MetricKind::kCpuPercentTotal), t,
+                    agg_cpu_total.mean());
+      store_.record(pool_key(MetricKind::kLatencyP95Ms), t, agg_latency.mean());
+      store_.record(pool_key(MetricKind::kNetworkBytesPerSecond), t,
+                    agg_net_bytes.mean());
+      store_.record(pool_key(MetricKind::kNetworkPacketsPerSecond), t,
+                    agg_net_pkts.mean());
+      store_.record(pool_key(MetricKind::kMemoryPagesPerSecond), t,
+                    agg_mem_pages.mean());
+      store_.record(pool_key(MetricKind::kDiskReadBytesPerSecond), t,
+                    agg_disk_bytes.mean());
+      store_.record(pool_key(MetricKind::kDiskQueueLength), t, agg_disk_q.mean());
+      store_.record(pool_key(MetricKind::kErrorsPerSecond), t, agg_errors.mean());
+      store_.record(pool_key(MetricKind::kActiveServers), t,
+                    static_cast<double>(online));
+    }
+  }
+}
+
+}  // namespace headroom::sim

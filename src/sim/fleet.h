@@ -1,0 +1,125 @@
+// Fleet simulator: the production-trace substitute.
+//
+// Steps the whole topology forward one telemetry window at a time. Each
+// window it (1) evaluates regional demand (diurnal curves, event
+// multipliers, outage failover), (2) splits each pool's workload evenly
+// over its online servers (load balancer), (3) evaluates every server's
+// response model, and (4) emits telemetry: pool-scope series, optional
+// per-server series, per-server daily CPU digests, a fleet-wide CPU sample
+// histogram, and availability accounting.
+//
+// Server-count experiment controls (`set_serving_count`) implement the
+// paper's §II-B2 production reduction experiments: removed servers stop
+// taking traffic (and stop being sampled) while the pool's total workload
+// is unchanged, so per-server load rises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/maintenance.h"
+#include "sim/microservice.h"
+#include "sim/response.h"
+#include "sim/topology.h"
+#include "stats/histogram.h"
+#include "telemetry/availability.h"
+#include "telemetry/metric_store.h"
+#include "telemetry/percentile_digest.h"
+#include "workload/diurnal.h"
+
+namespace headroom::sim {
+
+using telemetry::SimTime;
+
+/// One server's CPU percentile summary for one day — the row type behind
+/// Figs. 3 and 12.
+struct ServerDayCpu {
+  std::uint32_t datacenter = 0;
+  std::uint32_t pool = 0;
+  std::uint32_t server = 0;
+  std::int64_t day = 0;
+  telemetry::PercentileSnapshot cpu;  ///< Of kCpuPercentTotal samples.
+};
+
+class FleetSimulator {
+ public:
+  FleetSimulator(FleetConfig config, const MicroserviceCatalog& catalog);
+
+  /// Advances simulation to `end` (seconds), stepping one window at a time.
+  void run_until(SimTime end);
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // --- Experiment controls ------------------------------------------------
+  /// Caps how many of the pool's servers take traffic (<= pool size).
+  void set_serving_count(std::uint32_t dc, std::uint32_t pool,
+                         std::size_t servers);
+  [[nodiscard]] std::size_t serving_count(std::uint32_t dc,
+                                          std::uint32_t pool) const;
+  [[nodiscard]] std::size_t pool_size(std::uint32_t dc,
+                                      std::uint32_t pool) const;
+
+  // --- Outputs --------------------------------------------------------------
+  [[nodiscard]] const telemetry::MetricStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] const telemetry::AvailabilityLedger& ledger() const noexcept {
+    return ledger_;
+  }
+  /// All per-server window CPU (total) samples, fleet-wide (Fig. 13).
+  [[nodiscard]] const stats::Histogram& cpu_sample_histogram() const noexcept {
+    return cpu_histogram_;
+  }
+  /// Completed per-server-day CPU digests (days close on day boundaries;
+  /// call finish_day() after run_until to close the last partial day).
+  [[nodiscard]] const std::vector<ServerDayCpu>& server_day_cpu() const noexcept {
+    return server_days_;
+  }
+  /// Closes the currently accumulating day's digests.
+  void finish_day();
+
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+  /// Demand oracle (noise-free): service-level RPS arriving at `dc` at `t`
+  /// after events and outage failover. Exposed for tests and benches.
+  [[nodiscard]] double datacenter_demand(SimTime t, std::uint32_t dc) const;
+
+  /// Number of (dc, pool) pairs.
+  [[nodiscard]] std::size_t total_pools() const noexcept { return pools_.size(); }
+  /// Total configured servers.
+  [[nodiscard]] std::size_t total_servers() const noexcept;
+
+ private:
+  struct PoolRuntime {
+    std::uint32_t dc = 0;
+    std::uint32_t pool = 0;
+    const MicroserviceProfile* profile = nullptr;
+    double demand_multiplier = 1.0;
+    double burst_multiplier = 1.0;
+    double burst_start_hour = 13.0;
+    double burst_hours = 0.0;
+    double hourly_spike_extra_pct = 0.0;
+    double tz_offset_hours = 0.0;
+    std::vector<std::uint8_t> server_generation;  ///< Index into models.
+    std::vector<ResponseModel> models;            ///< One per generation.
+    MaintenanceSchedule maintenance;
+    std::size_t serving = 0;                      ///< Experiment control.
+    std::vector<telemetry::PercentileDigest> cpu_digests;
+    std::vector<std::uint8_t> was_online;         ///< Restart detection.
+  };
+
+  void step(SimTime t);
+  void flush_digests(std::int64_t day);
+  [[nodiscard]] std::vector<double> regional_demands(SimTime t) const;
+
+  FleetConfig config_;
+  std::vector<workload::DiurnalTraffic> regional_traffic_;
+  std::vector<PoolRuntime> pools_;
+  telemetry::MetricStore store_;
+  telemetry::AvailabilityLedger ledger_;
+  stats::Histogram cpu_histogram_{0.0, 100.0, 100};
+  std::vector<ServerDayCpu> server_days_;
+  SimTime now_ = 0;
+  std::int64_t current_day_ = 0;
+};
+
+}  // namespace headroom::sim

@@ -1,0 +1,38 @@
+#include "sim/hardware.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::sim {
+
+std::vector<HardwareGeneration> assign_hardware(
+    const std::vector<HardwareShare>& shares, std::size_t server_count) {
+  if (shares.empty()) {
+    throw std::invalid_argument("assign_hardware: no hardware shares");
+  }
+  double total = 0.0;
+  for (const HardwareShare& s : shares) {
+    if (s.fraction < 0.0) {
+      throw std::invalid_argument("assign_hardware: negative fraction");
+    }
+    total += s.fraction;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("assign_hardware: zero total fraction");
+  }
+
+  std::vector<HardwareGeneration> out;
+  out.reserve(server_count);
+  double consumed = 0.0;
+  for (const HardwareShare& s : shares) {
+    consumed += s.fraction / total;
+    const auto target = static_cast<std::size_t>(
+        std::llround(consumed * static_cast<double>(server_count)));
+    while (out.size() < target) out.push_back(s.generation);
+  }
+  // Rounding may leave a gap; fill with the last generation.
+  while (out.size() < server_count) out.push_back(shares.back().generation);
+  return out;
+}
+
+}  // namespace headroom::sim

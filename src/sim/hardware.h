@@ -1,0 +1,35 @@
+// Server hardware generations.
+//
+// Pools are nominally homogeneous, but the paper found one pool whose
+// Fig. 3 CPU scatter split into two clusters because "all servers in the
+// less utilized range are newer and more powerful" — a hardware refresh in
+// flight. Generations scale per-request cost so the simulator can reproduce
+// that bimodality (and the grouper can detect it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace headroom::sim {
+
+struct HardwareGeneration {
+  std::string name = "gen1";
+  /// Relative CPU speed; per-request CPU cost divides by this.
+  double cpu_scale = 1.0;
+  /// Relative baseline service latency; warm latency multiplies by this.
+  double latency_scale = 1.0;
+  double cores = 16.0;
+};
+
+/// Share of a pool's servers on one generation.
+struct HardwareShare {
+  HardwareGeneration generation;
+  double fraction = 1.0;
+};
+
+/// Expands shares into a per-server generation assignment (deterministic:
+/// earlier shares take the lower server indices).
+[[nodiscard]] std::vector<HardwareGeneration> assign_hardware(
+    const std::vector<HardwareShare>& shares, std::size_t server_count);
+
+}  // namespace headroom::sim

@@ -1,0 +1,88 @@
+#include "sim/maintenance.h"
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace headroom::sim {
+
+namespace {
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerDay = 86400.0;
+}  // namespace
+
+MaintenanceSchedule::MaintenanceSchedule(MaintenancePolicy policy,
+                                         std::uint64_t seed,
+                                         double timezone_offset_hours)
+    : policy_(policy),
+      seed_(seed),
+      tz_seconds_(timezone_offset_hours * kSecondsPerHour) {}
+
+void MaintenanceSchedule::add_incident(const PoolIncident& incident) {
+  incidents_.push_back(incident);
+}
+
+bool MaintenanceSchedule::offline(std::uint32_t index, std::size_t pool_size,
+                                  telemetry::SimTime t) const noexcept {
+  const double local = static_cast<double>(t) + tz_seconds_;
+  const auto day = static_cast<std::int64_t>(std::floor(local / kSecondsPerDay));
+  const double second_of_day = local - static_cast<double>(day) * kSecondsPerDay;
+  const double hour_of_day = second_of_day / kSecondsPerHour;
+
+  // Rolling deployment: each server draws a daily slot start; the slot
+  // stagger spreads the pool's deploy load across the day.
+  if (policy_.deploy_offline_hours > 0.0) {
+    const double start = 24.0 * uniform01(mix_seed(
+        seed_, 0xDE, index, static_cast<std::uint64_t>(day)));
+    double delta = hour_of_day - start;
+    if (delta < 0.0) delta += 24.0;
+    if (delta < policy_.deploy_offline_hours) return true;
+  }
+
+  // Re-purposing: the lowest-indexed fraction of servers is loaned out
+  // during the off-peak window (the same servers every day, as in
+  // production where specific racks are wired for validation duty).
+  if (policy_.repurpose_fraction > 0.0 && pool_size > 0) {
+    const auto loaned = static_cast<std::uint32_t>(
+        policy_.repurpose_fraction * static_cast<double>(pool_size));
+    if (index < loaned) {
+      double delta = hour_of_day - policy_.repurpose_start_hour;
+      if (delta < 0.0) delta += 24.0;
+      if (delta < policy_.repurpose_hours) return true;
+    }
+  }
+
+  // Unplanned infrastructure repair: rare whole-chunk outages.
+  if (policy_.infra_event_daily_prob > 0.0) {
+    const std::uint64_t h =
+        mix_seed(seed_, 0x1F, index, static_cast<std::uint64_t>(day));
+    if (uniform01(h) < policy_.infra_event_daily_prob) {
+      const double start =
+          (24.0 - policy_.infra_event_hours) * uniform01(mix_seed(h, 0xAB));
+      if (hour_of_day >= start && hour_of_day < start + policy_.infra_event_hours) {
+        return true;
+      }
+    }
+  }
+
+  // Pool-wide incidents.
+  for (const PoolIncident& inc : incidents_) {
+    if (inc.day != day) continue;
+    if (pool_size == 0) continue;
+    const auto affected = static_cast<std::uint32_t>(
+        inc.offline_fraction * static_cast<double>(pool_size));
+    // Spread affected servers across the pool by hashing, so incidents and
+    // re-purposing don't always hit the same servers.
+    const std::uint64_t slot = mix_seed(seed_, 0xC4, index,
+                                        static_cast<std::uint64_t>(day));
+    if (slot % pool_size < affected) {
+      if (hour_of_day >= inc.start_hour &&
+          hour_of_day < inc.start_hour + inc.duration_hours) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace headroom::sim

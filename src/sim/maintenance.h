@@ -1,0 +1,65 @@
+// Planned-maintenance and failure scheduling for pool servers.
+//
+// Availability in the paper decomposes into: rolling software/config
+// deployments (drain, apply, restart), pools re-purposed off-peak to run
+// offline validation (the <80%-availability cohort of Fig. 14), uniform
+// infrastructure maintenance (~2%, the floor the paper calls well-managed),
+// and rare unplanned events. All four are modeled here, deterministically
+// per (seed, server, day) so runs reproduce exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace headroom::sim {
+
+struct MaintenancePolicy {
+  /// Hours per day each server spends offline for rolling deployments
+  /// (staggered: each server gets its own slot).
+  double deploy_offline_hours = 0.4;
+  /// Fraction of the pool's servers loaned out for offline validation
+  /// during the off-peak window (0 disables re-purposing).
+  double repurpose_fraction = 0.0;
+  double repurpose_start_hour = 1.0;  ///< Local time the loan starts.
+  double repurpose_hours = 6.0;
+  /// Per-server daily probability of an unplanned infra repair
+  /// (OS upgrade, hardware swap, network change).
+  double infra_event_daily_prob = 0.02;
+  double infra_event_hours = 4.0;
+};
+
+/// A pool-wide incident: an extra fraction of servers offline for a window
+/// on one day (the "occasional major unavailability days" of Fig. 15).
+struct PoolIncident {
+  std::int64_t day = 0;
+  double offline_fraction = 0.3;
+  double start_hour = 8.0;
+  double duration_hours = 6.0;
+};
+
+/// Deterministic offline oracle for one pool.
+class MaintenanceSchedule {
+ public:
+  MaintenanceSchedule(MaintenancePolicy policy, std::uint64_t seed,
+                      double timezone_offset_hours);
+
+  void add_incident(const PoolIncident& incident);
+
+  /// Is server `index` (of `pool_size`) offline at absolute time `t`?
+  [[nodiscard]] bool offline(std::uint32_t index, std::size_t pool_size,
+                             telemetry::SimTime t) const noexcept;
+
+  [[nodiscard]] const MaintenancePolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  MaintenancePolicy policy_;
+  std::uint64_t seed_;
+  double tz_seconds_;
+  std::vector<PoolIncident> incidents_;
+};
+
+}  // namespace headroom::sim

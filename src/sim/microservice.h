@@ -1,0 +1,93 @@
+// Micro-service profiles: the seven services of the paper's Table I.
+//
+// Each profile parameterizes the server response model (per-request CPU
+// cost, latency curve, counter footprints) and the pool provisioning policy
+// (target per-server load, over-provisioning headroom). Parameter values
+// are calibrated so the simulated pools land on the paper's published
+// curves — e.g. pool B's %CPU = 0.028·RPS + 1.37 (Fig. 8) and pool D's
+// %CPU = 0.0916·RPS + 5.0 (Fig. 10).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace headroom::sim {
+
+struct MicroserviceProfile {
+  std::string name;         ///< "A".."G" (Table I key).
+  std::string description;  ///< Table I text.
+
+  // --- Workload shape -----------------------------------------------------
+  /// Requests this micro-service processes per end-user service request
+  /// (e.g. the metrics service G sees many internal calls per user hit).
+  double request_fan = 1.0;
+
+  // --- Response model (reference hardware, per server) --------------------
+  double cost_ms_per_request = 4.0;  ///< CPU-ms consumed per request.
+  double warm_latency_ms = 20.0;     ///< Plateau latency at moderate load.
+  double cold_latency_ms = 5.0;      ///< Extra latency as load -> 0 (cache
+                                     ///< priming / JIT; paper Fig. 6 note).
+  double cold_decay_rps = 100.0;     ///< e-folding RPS of the cold term.
+  double queue_gain = 6.0;           ///< Strength of the queueing-delay rise.
+  /// Optional capacity knee: above `knee_rps` per server, latency rises as
+  /// knee_gain_ms * (rps/knee - 1)². Models non-CPU cliffs (cache-partition
+  /// exhaustion in in-memory stores, connection-table limits) that make
+  /// some pools intolerant of even modest extra load — the small-savings
+  /// rows of Table IV (A, C, G). 0 disables.
+  double knee_rps = 0.0;
+  double knee_gain_ms = 0.0;
+  double latency_noise_frac = 0.01;  ///< Multiplicative latency jitter.
+
+  /// Load-independent CPU of the service process itself (cache
+  /// maintenance, heartbeats, JIT). Part of the *attributed* metric — this
+  /// is the intercept of the paper's Fig. 8/10 linear fits.
+  double process_base_cpu_pct = 1.5;
+  double cpu_noise_rel = 0.02;       ///< Relative noise on attributed CPU.
+  double cpu_noise_abs_pct = 0.10;   ///< Absolute noise on attributed CPU.
+
+  // --- Background (non-primary-workload) resource usage -------------------
+  double background_cpu_pct = 1.5;       ///< Mean background CPU.
+  double background_cpu_noise_pct = 0.3; ///< Jitter of background CPU.
+  /// Hourly background spike (log uploads etc.): extra %CPU for one window.
+  double background_spike_pct = 0.0;
+
+  // --- Other counters (Fig. 2 footprints) ---------------------------------
+  double bytes_per_request = 20e3;
+  double packets_per_request = 20.0;
+  double memory_pages_base = 2000.0;     ///< Paging noise, load-independent.
+  double memory_pages_noise = 4000.0;
+  double disk_bytes_per_page = 2700.0;   ///< Disk reads driven by paging.
+  double disk_queue_base = 0.1;
+
+  // --- Provisioning policy -------------------------------------------------
+  /// Pools are sized so the 95th-percentile per-server RPS lands here.
+  double target_rps_per_server_p95 = 300.0;
+  /// Extra capacity factor the service owner historically carried
+  /// (the headroom this paper right-sizes). 1.0 = sized to target.
+  double overprovision_factor = 1.0;
+
+  // --- QoS -----------------------------------------------------------------
+  double latency_slo_ms = 100.0;  ///< P95 latency objective.
+};
+
+/// The seven Table I micro-services, calibrated per DESIGN.md §5.
+class MicroserviceCatalog {
+ public:
+  /// Builds the default catalog (services A-G).
+  MicroserviceCatalog();
+
+  [[nodiscard]] const MicroserviceProfile& by_name(std::string_view name) const;
+  [[nodiscard]] const MicroserviceProfile& by_index(std::size_t index) const;
+  [[nodiscard]] std::optional<std::size_t> index_of(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return profiles_.size(); }
+  [[nodiscard]] const std::vector<MicroserviceProfile>& all() const noexcept {
+    return profiles_;
+  }
+
+ private:
+  std::vector<MicroserviceProfile> profiles_;
+};
+
+}  // namespace headroom::sim

@@ -1,0 +1,219 @@
+#include "sim/request_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "sim/engine.h"
+#include "stats/percentile.h"
+
+namespace headroom::sim {
+
+namespace {
+
+using workload::Request;
+
+constexpr double kEpsilonWork = 1e-9;
+
+struct Job {
+  double remaining_s = 0.0;  ///< Single-core seconds of work left.
+  double arrival_s = 0.0;
+  double dependency_ms = 0.0;
+  std::uint32_t type = 0;
+};
+
+struct Server {
+  std::vector<Job> jobs;
+  double last_update = 0.0;
+  std::uint64_t served = 0;      ///< Requests completed since restart.
+  std::uint64_t generation = 0;  ///< Invalidates stale completion events.
+};
+
+/// Per-job processing rate under processor sharing with `cores` cores.
+double job_rate(std::size_t jobs, double cores) noexcept {
+  if (jobs == 0) return 0.0;
+  return std::min(1.0, cores / static_cast<double>(jobs));
+}
+
+}  // namespace
+
+RequestSimResult simulate_pool(const RequestSimConfig& config,
+                               std::span<const Request> stream) {
+  if (config.servers == 0) {
+    throw std::invalid_argument("simulate_pool: need at least one server");
+  }
+  if (config.cores <= 0.0 || config.base_service_ms <= 0.0) {
+    throw std::invalid_argument("simulate_pool: cores and service time must be positive");
+  }
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].arrival_s < stream[i - 1].arrival_s) {
+      throw std::invalid_argument("simulate_pool: stream not arrival-ordered");
+    }
+  }
+
+  RequestSimResult result;
+  if (stream.empty()) return result;
+
+  EventQueue queue;
+  std::vector<Server> servers(config.servers);
+  // Busy core-seconds per window index, split exactly at window boundaries.
+  std::map<std::int64_t, double> busy_by_window;
+  const auto wsec = static_cast<double>(config.window_seconds);
+
+  auto account_busy = [&](double from, double to, double busy_cores) {
+    if (to <= from || busy_cores <= 0.0) return;
+    double cursor = from;
+    while (cursor < to) {
+      const auto w = static_cast<std::int64_t>(cursor / wsec);
+      const double boundary = (static_cast<double>(w) + 1.0) * wsec;
+      const double chunk_end = std::min(to, boundary);
+      busy_by_window[w] += (chunk_end - cursor) * busy_cores;
+      cursor = chunk_end;
+    }
+  };
+
+  // Advances a server's jobs to `now`, crediting processed work.
+  auto advance = [&](Server& s, double now) {
+    const double elapsed = now - s.last_update;
+    if (elapsed > 0.0 && !s.jobs.empty()) {
+      const double rate = job_rate(s.jobs.size(), config.cores);
+      for (Job& j : s.jobs) j.remaining_s -= elapsed * rate;
+      account_busy(s.last_update, now,
+                   std::min(static_cast<double>(s.jobs.size()), config.cores));
+    }
+    s.last_update = now;
+  };
+
+  // Forward declarations for mutually recursive lambdas.
+  std::function<void(std::size_t)> schedule_completion;
+  std::function<void(std::size_t, std::uint64_t)> on_completion;
+
+  schedule_completion = [&](std::size_t si) {
+    Server& s = servers[si];
+    if (s.jobs.empty()) return;
+    double min_remaining = std::numeric_limits<double>::max();
+    for (const Job& j : s.jobs) min_remaining = std::min(min_remaining, j.remaining_s);
+    const double rate = job_rate(s.jobs.size(), config.cores);
+    const double when =
+        s.last_update + std::max(0.0, min_remaining) / rate;
+    const std::uint64_t gen = s.generation;
+    queue.schedule(when, [&, si, gen] { on_completion(si, gen); });
+  };
+
+  on_completion = [&](std::size_t si, std::uint64_t gen) {
+    Server& s = servers[si];
+    if (gen != s.generation) return;  // stale event: job set changed
+    advance(s, queue.now());
+    bool completed_any = false;
+    for (std::size_t j = 0; j < s.jobs.size();) {
+      if (s.jobs[j].remaining_s <= kEpsilonWork) {
+        const Job& job = s.jobs[j];
+        CompletedRequest done;
+        done.arrival_s = job.arrival_s;
+        done.finish_s = queue.now();
+        done.latency_ms =
+            (queue.now() - job.arrival_s) * 1000.0 + job.dependency_ms;
+        done.server = static_cast<std::uint32_t>(si);
+        done.type = job.type;
+        result.completed.push_back(done);
+        ++s.served;
+        s.jobs[j] = s.jobs.back();
+        s.jobs.pop_back();
+        completed_any = true;
+      } else {
+        ++j;
+      }
+    }
+    if (completed_any) {
+      ++s.generation;
+      schedule_completion(si);
+    }
+  };
+
+  // Round-robin arrival dispatch (the paper's pools use an evenly
+  // distributing network load balancer).
+  std::size_t next_server = 0;
+  const PerformanceDefect& defect = config.defect;
+  for (const Request& req : stream) {
+    const std::size_t si = next_server;
+    next_server = (next_server + 1) % config.servers;
+    queue.schedule(req.arrival_s, [&, si, req] {
+      Server& s = servers[si];
+      advance(s, queue.now());
+
+      double cost_multiplier = defect.service_factor;
+      if (s.served < config.warmup_requests) {
+        // Linear warm-up from cold multiplier to 1.
+        const double progress = static_cast<double>(s.served) /
+                                static_cast<double>(config.warmup_requests);
+        cost_multiplier *=
+            config.cold_cost_multiplier -
+            (config.cold_cost_multiplier - 1.0) * progress;
+      }
+      if (defect.leak_per_1k_requests > 0.0) {
+        cost_multiplier *=
+            1.0 + defect.leak_per_1k_requests * static_cast<double>(s.served) / 1000.0;
+      }
+
+      Job job;
+      job.arrival_s = req.arrival_s;
+      job.type = req.type;
+      job.dependency_ms = req.dependency_ms;
+      job.remaining_s =
+          config.base_service_ms / 1000.0 * req.cost * cost_multiplier;
+      if (defect.overload_concurrency > 0 &&
+          s.jobs.size() + 1 > defect.overload_concurrency) {
+        job.remaining_s += defect.overload_extra_ms / 1000.0;
+      }
+      s.jobs.push_back(job);
+      ++s.generation;
+      schedule_completion(si);
+    });
+  }
+
+  while (queue.run_next()) {
+  }
+
+  // --- Aggregate ------------------------------------------------------------
+  std::vector<double> all_latencies;
+  all_latencies.reserve(result.completed.size());
+  std::map<std::int64_t, std::vector<double>> latency_by_window;
+  for (const CompletedRequest& c : result.completed) {
+    all_latencies.push_back(c.latency_ms);
+    latency_by_window[static_cast<std::int64_t>(c.finish_s / wsec)].push_back(
+        c.latency_ms);
+  }
+  result.latency = stats::summarize(all_latencies);
+  result.latency_p95_ms = stats::percentile(all_latencies, 95.0);
+
+  const double pool_capacity =
+      static_cast<double>(config.servers) * config.cores;
+  double busy_total = 0.0;
+  for (const auto& [w, lat] : latency_by_window) {
+    const auto t = static_cast<telemetry::SimTime>(w) *
+                   config.window_seconds;
+    const double rps_per_server = static_cast<double>(lat.size()) / wsec /
+                                  static_cast<double>(config.servers);
+    telemetry::SeriesKey key{0, 0, telemetry::SeriesKey::kPoolScope,
+                             telemetry::MetricKind::kRequestsPerSecond};
+    result.store.record(key, t, rps_per_server);
+    key.metric = telemetry::MetricKind::kLatencyP95Ms;
+    result.store.record(key, t, stats::percentile(lat, 95.0));
+    key.metric = telemetry::MetricKind::kLatencyMeanMs;
+    result.store.record(key, t, stats::mean(lat));
+    key.metric = telemetry::MetricKind::kCpuPercentAttributed;
+    const auto bit = busy_by_window.find(w);
+    const double busy = bit == busy_by_window.end() ? 0.0 : bit->second;
+    result.store.record(key, t, 100.0 * busy / (pool_capacity * wsec));
+  }
+  for (const auto& [w, busy] : busy_by_window) busy_total += busy;
+  const double duration =
+      result.completed.empty() ? 0.0 : result.completed.back().finish_s;
+  result.mean_cpu_pct =
+      duration > 0.0 ? 100.0 * busy_total / (pool_capacity * duration) : 0.0;
+  return result;
+}
+
+}  // namespace headroom::sim

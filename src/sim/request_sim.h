@@ -1,0 +1,77 @@
+// Request-level pool simulator for offline validation (Step 4).
+//
+// Simulates one micro-service pool at individual-request granularity:
+// round-robin load balancing over N processor-sharing servers, per-request
+// service demand from the workload's cost units, post-restart cold-start
+// penalties, and an injectable performance defect. Two instances driven by
+// the *identical* synthetic request stream are the paper's offline A/B
+// harness: "two server pools of the same size and hardware, one running
+// with the change and the other without" (§II-D, Fig. 16).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "telemetry/metric_store.h"
+#include "workload/request_mix.h"
+
+namespace headroom::sim {
+
+/// A deliberately introduced (or accidentally shipped) performance change.
+/// The defaults are "no defect"; the Fig. 16 bench injects a super-linear
+/// latency regression that only shows at higher workloads — the class of
+/// bug the paper's gate caught in the memory-leak fix.
+struct PerformanceDefect {
+  /// Multiplies every request's service demand (a flat CPU regression).
+  double service_factor = 1.0;
+  /// Service demand grows by this fraction per 1000 requests a server has
+  /// handled since restart (a leak-like degradation).
+  double leak_per_1k_requests = 0.0;
+  /// When a server's concurrency exceeds this, each resident request takes
+  /// `overload_extra_ms` longer (lock contention under load). 0 disables.
+  std::size_t overload_concurrency = 0;
+  double overload_extra_ms = 0.0;
+};
+
+struct RequestSimConfig {
+  std::size_t servers = 10;
+  double cores = 16.0;
+  /// Single-core CPU milliseconds per request cost-unit.
+  double base_service_ms = 4.0;
+  /// Cold start: a freshly started server's requests cost extra until this
+  /// many requests have warmed caches/JIT.
+  std::size_t warmup_requests = 200;
+  double cold_cost_multiplier = 2.5;
+  telemetry::SimTime window_seconds = 60;
+  PerformanceDefect defect;
+  std::uint64_t seed = 99;
+};
+
+/// Outcome of one completed request.
+struct CompletedRequest {
+  double arrival_s = 0.0;
+  double finish_s = 0.0;
+  double latency_ms = 0.0;
+  std::uint32_t server = 0;
+  std::uint32_t type = 0;
+};
+
+struct RequestSimResult {
+  std::vector<CompletedRequest> completed;
+  /// Pool-scope series (windowed): kRequestsPerSecond, kLatencyP95Ms,
+  /// kLatencyMeanMs, kCpuPercentAttributed.
+  telemetry::MetricStore store;
+  /// Overall latency summary (ms).
+  stats::Summary latency;
+  double latency_p95_ms = 0.0;
+  double mean_cpu_pct = 0.0;
+};
+
+/// Runs the pool over an arrival-ordered request stream. The stream ends
+/// the run: all in-flight requests are drained.
+[[nodiscard]] RequestSimResult simulate_pool(
+    const RequestSimConfig& config,
+    std::span<const workload::Request> stream);
+
+}  // namespace headroom::sim

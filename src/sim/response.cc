@@ -1,0 +1,104 @@
+#include "sim/response.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace headroom::sim {
+
+namespace {
+constexpr double kMaxUtilization = 0.97;
+}
+
+ResponseModel::ResponseModel(const MicroserviceProfile& profile,
+                             const HardwareGeneration& hardware)
+    : profile_(profile),
+      hardware_(hardware),
+      cost_ms_(profile.cost_ms_per_request / hardware.cpu_scale),
+      warm_ms_(profile.warm_latency_ms * hardware.latency_scale) {}
+
+double ResponseModel::cpu_attributed_pct(double rps) const noexcept {
+  return 100.0 * rps * cost_ms_ / (1000.0 * hardware_.cores);
+}
+
+double ResponseModel::utilization(double rps,
+                                  double background_cpu_pct) const noexcept {
+  const double u = (cpu_attributed_pct(rps) + profile_.process_base_cpu_pct +
+                    background_cpu_pct) /
+                   100.0;
+  return std::clamp(u, 0.0, kMaxUtilization);
+}
+
+double ResponseModel::latency_p95_ms(double rps,
+                                     double background_cpu_pct) const noexcept {
+  const double rho = utilization(rps, background_cpu_pct);
+  const double cold =
+      profile_.cold_latency_ms * std::exp(-rps / profile_.cold_decay_rps);
+  const double queue =
+      profile_.queue_gain * cost_ms_ * rho * rho / (1.0 - rho);
+  double knee = 0.0;
+  if (profile_.knee_rps > 0.0 && rps > profile_.knee_rps) {
+    const double excess = rps / profile_.knee_rps - 1.0;
+    knee = profile_.knee_gain_ms * excess * excess;
+  }
+  return warm_ms_ + cold + queue + knee;
+}
+
+double ResponseModel::errors_per_s(double rps,
+                                   double background_cpu_pct) const noexcept {
+  const double rho = utilization(rps, background_cpu_pct);
+  constexpr double kErrorKnee = 0.90;
+  if (rho <= kErrorKnee) return 0.0;
+  // Past the knee, an increasing share of requests miss their deadline.
+  const double excess = (rho - kErrorKnee) / (kMaxUtilization - kErrorKnee);
+  return rps * 0.5 * excess * excess;
+}
+
+ServerWindowMetrics ResponseModel::sample(double rps, telemetry::SimTime t,
+                                          SplitMix64& rng,
+                                          bool with_background_spikes,
+                                          double background_scale) const {
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  double background = profile_.background_cpu_pct;
+  if (profile_.background_cpu_noise_pct > 0.0) {
+    background += profile_.background_cpu_noise_pct * gauss(rng);
+  }
+  if (with_background_spikes && profile_.background_spike_pct > 0.0) {
+    // Hourly spike: active during the first 2 minutes of every hour.
+    const telemetry::SimTime into_hour = t % 3600;
+    if (into_hour < 120) background += profile_.background_spike_pct;
+  }
+  background = std::max(0.0, background * background_scale);
+
+  ServerWindowMetrics m;
+  m.rps = rps;
+  const double attributed =
+      cpu_attributed_pct(rps) + profile_.process_base_cpu_pct;
+  m.cpu_pct_attributed =
+      std::max(0.0, attributed * (1.0 + profile_.cpu_noise_rel * gauss(rng)) +
+                        profile_.cpu_noise_abs_pct * gauss(rng));
+  m.cpu_pct_total = std::min(100.0, m.cpu_pct_attributed + background);
+
+  const double latency = latency_p95_ms(rps, background);
+  m.latency_p95_ms =
+      latency * std::max(0.5, 1.0 + profile_.latency_noise_frac * gauss(rng));
+
+  m.network_bytes_per_s =
+      std::max(0.0, rps * profile_.bytes_per_request * (1.0 + 0.05 * gauss(rng)));
+  m.network_packets_per_s =
+      std::max(0.0, rps * profile_.packets_per_request * (1.0 + 0.05 * gauss(rng)));
+
+  // Paging (and the disk reads it causes) is background-driven: roughly
+  // load-independent, heavy-tailed — the "vertical patterns" of Fig. 2.
+  std::lognormal_distribution<double> paging(0.0, 1.0);
+  m.memory_pages_per_s =
+      profile_.memory_pages_base + profile_.memory_pages_noise * paging(rng) * 0.5;
+  m.disk_read_bytes_per_s = m.memory_pages_per_s * profile_.disk_bytes_per_page;
+  std::exponential_distribution<double> qd(1.0 / std::max(1e-9, profile_.disk_queue_base));
+  m.disk_queue_length = qd(rng);
+
+  m.errors_per_s = errors_per_s(rps, background);
+  return m;
+}
+
+}  // namespace headroom::sim

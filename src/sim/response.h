@@ -1,0 +1,88 @@
+// Server response model: workload in, resource usage and QoS out.
+//
+// This is the synthetic stand-in for a production server's externally
+// observable behaviour. It is deliberately *black-box-shaped*: the planning
+// code never sees these equations, only the (RPS, %CPU, latency) samples
+// they generate — exactly the paper's epistemic setup. Structure:
+//
+//   %CPU_attributed = 100 · rps · cost_ms / (1000 · cores)
+//   latency_P95     = warm·hw + cold·exp(-rps/decay)
+//                     + queue_gain · cost_ms_eff · rho² / (1 - rho)
+//
+// The linear CPU term matches the paper's Fig. 8/10 fits; the cold-start
+// exponential yields the elevated latency at low RPS (Fig. 6/11); the
+// queueing term the convex rise that the paper's quadratics capture within
+// the observed range.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "sim/rng.h"
+
+#include "sim/hardware.h"
+#include "sim/microservice.h"
+#include "telemetry/time_series.h"
+
+namespace headroom::sim {
+
+/// One window's worth of observable server metrics.
+struct ServerWindowMetrics {
+  double rps = 0.0;
+  double cpu_pct_attributed = 0.0;
+  double cpu_pct_total = 0.0;
+  double latency_p95_ms = 0.0;
+  double network_bytes_per_s = 0.0;
+  double network_packets_per_s = 0.0;
+  double memory_pages_per_s = 0.0;
+  double disk_read_bytes_per_s = 0.0;
+  double disk_queue_length = 0.0;
+  double errors_per_s = 0.0;
+};
+
+/// Deterministic response equations for one (profile, hardware) pairing.
+class ResponseModel {
+ public:
+  ResponseModel(const MicroserviceProfile& profile,
+                const HardwareGeneration& hardware);
+
+  /// Effective CPU-ms per request after the hardware speed scale.
+  [[nodiscard]] double effective_cost_ms() const noexcept { return cost_ms_; }
+
+  /// %CPU attributed to the primary workload at `rps` (noise-free).
+  [[nodiscard]] double cpu_attributed_pct(double rps) const noexcept;
+
+  /// Total core utilization fraction in [0, ~1): workload + background.
+  [[nodiscard]] double utilization(double rps,
+                                   double background_cpu_pct) const noexcept;
+
+  /// Window-level P95 latency (noise-free) at `rps` given background CPU.
+  [[nodiscard]] double latency_p95_ms(double rps,
+                                      double background_cpu_pct) const noexcept;
+
+  /// Failed-request rate: effectively zero until utilization approaches
+  /// saturation, then grows — the availability cliff.
+  [[nodiscard]] double errors_per_s(double rps,
+                                    double background_cpu_pct) const noexcept;
+
+  /// Full set of noisy window metrics at time `t`. Background CPU includes
+  /// the profile's hourly spike when `with_background_spikes`; the whole
+  /// background contribution is scaled by `background_scale` (>1 simulates
+  /// pools carrying extra unaccounted workloads).
+  [[nodiscard]] ServerWindowMetrics sample(double rps, telemetry::SimTime t,
+                                           SplitMix64& rng,
+                                           bool with_background_spikes = true,
+                                           double background_scale = 1.0) const;
+
+  [[nodiscard]] const MicroserviceProfile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  MicroserviceProfile profile_;
+  HardwareGeneration hardware_;
+  double cost_ms_;     ///< cost_ms_per_request / cpu_scale.
+  double warm_ms_;     ///< warm_latency_ms * latency_scale.
+};
+
+}  // namespace headroom::sim

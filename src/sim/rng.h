@@ -1,0 +1,61 @@
+// Deterministic, cheaply-seedable RNG for per-(server, window) noise.
+//
+// The fleet simulator draws noise for millions of (server, window) cells;
+// re-seeding a mt19937_64 per cell would dominate runtime. SplitMix64 seeds
+// in O(1), passes the UniformRandomBitGenerator requirements, and — because
+// each cell derives its own stream from a stable hash — results are
+// independent of iteration order and reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace headroom::sim {
+
+struct SplitMix64 {
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state;
+};
+
+/// Order-independent stream derivation: mixes identifiers into one seed.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ull * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b,
+                                               std::uint64_t c) noexcept {
+  return mix_seed(mix_seed(a, b), c);
+}
+
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b,
+                                               std::uint64_t c,
+                                               std::uint64_t d) noexcept {
+  return mix_seed(mix_seed(a, b, c), d);
+}
+
+/// Uniform double in [0,1) from a single hash draw.
+[[nodiscard]] constexpr double uniform01(std::uint64_t hash) noexcept {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+}  // namespace headroom::sim

@@ -1,0 +1,23 @@
+// Correlation measures.
+//
+// Pearson correlation drives the metric-validation loop (a valid workload
+// metric correlates tightly and linearly with the limiting resource);
+// Spearman rank correlation is the monotonicity check used when the
+// relationship is expected to be increasing but not linear (latency vs
+// load near saturation).
+#pragma once
+
+#include <span>
+
+namespace headroom::stats {
+
+/// Pearson product-moment correlation in [-1,1]; 0 when either side has
+/// zero variance or fewer than two points.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over average ranks, tie-aware).
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+}  // namespace headroom::stats

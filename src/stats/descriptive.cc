@@ -1,0 +1,78 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+namespace headroom::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  return summarize(xs).variance;
+}
+
+double stddev(std::span<const double> xs) {
+  return summarize(xs).stddev;
+}
+
+Summary summarize(std::span<const double> xs) {
+  RunningStats acc;
+  for (double x : xs) acc.add(x);
+  return acc.summary();
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+Summary RunningStats::summary() const noexcept {
+  Summary s;
+  s.count = n_;
+  s.mean = mean();
+  s.variance = variance();
+  s.stddev = stddev();
+  s.min = min();
+  s.max = max();
+  return s;
+}
+
+}  // namespace headroom::stats

@@ -1,0 +1,64 @@
+// Descriptive statistics over value sequences.
+//
+// These helpers back every measurement step in the methodology: window
+// aggregation in telemetry, percentile feature vectors for server grouping,
+// and the summary rows printed by the table/figure harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace headroom::stats {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Unbiased (n-1) sample variance; 0 when n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 when fewer than two values.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Square root of variance().
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// One-pass summary (Welford) of the sample.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Incremental mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the telemetry window aggregator where samples stream in one at a
+/// time and storing them all would defeat the point of windowing.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator (parallel-friendly; Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  [[nodiscard]] Summary summary() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace headroom::stats

@@ -1,0 +1,83 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace headroom::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least 1 bin");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  if (x < lo_) return 0;
+  const auto raw = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(raw, counts_.size() - 1);
+}
+
+void Histogram::add(double x) noexcept {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + width_ / 2.0;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count_in_bin(i)) / static_cast<double>(total_);
+}
+
+double Histogram::fraction_above(double x) const {
+  if (total_ == 0) return 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = bin_of(x) + 1; i < counts_.size(); ++i) n += counts_[i];
+  return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+double Histogram::fraction_at_or_below(double x) const {
+  if (total_ == 0) return 0.0;
+  return 1.0 - fraction_above(x);
+}
+
+std::vector<double> Histogram::cdf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    out[i] = total_ == 0 ? 0.0
+                         : static_cast<double>(acc) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> out;
+  out.reserve(sorted.size());
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse runs of equal values to the last (highest-fraction) point.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) continue;
+    out.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+}  // namespace headroom::stats

@@ -1,0 +1,63 @@
+// Fixed-bin histograms and empirical CDFs.
+//
+// Figures 12-14 of the paper are distributions over the fleet (CDF of
+// per-server P95 CPU, histogram of 120 s CPU samples, histogram of daily
+// availability). The bench harnesses print these via this type.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace headroom::stats {
+
+/// Equal-width histogram over [lo, hi). Values outside the range are
+/// clamped into the first/last bin so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t i) const { return counts_.at(i); }
+  /// Left edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  /// Right edge of bin i.
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Center of bin i.
+  [[nodiscard]] double bin_center(std::size_t i) const;
+
+  /// Fraction of mass in bin i; 0 when the histogram is empty.
+  [[nodiscard]] double fraction(std::size_t i) const;
+  /// Fraction of samples with value strictly greater than x (bin-resolution).
+  [[nodiscard]] double fraction_above(double x) const;
+  /// Fraction of samples with value less than or equal to x (bin-resolution).
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+
+  /// Cumulative fractions at each bin's right edge (an empirical CDF).
+  [[nodiscard]] std::vector<double> cdf() const;
+
+ private:
+  [[nodiscard]] std::size_t bin_of(double x) const noexcept;
+
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Point on an empirical CDF: fraction of samples <= value.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+/// Exact empirical CDF evaluated at every distinct sample (sorted).
+/// Suitable for small-to-medium samples (the per-server daily aggregates of
+/// Fig. 12/14, not the raw 120 s sample firehose).
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+}  // namespace headroom::stats

@@ -1,0 +1,65 @@
+#include "stats/linear_model.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace headroom::stats {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_linear: size mismatch");
+  }
+  LinearFit fit;
+  fit.n = xs.size();
+  if (xs.size() < 2) {
+    fit.intercept = ys.empty() ? 0.0 : ys[0];
+    return fit;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    sxx += dx * dx;
+    sxy += dx * (ys[i] - my);
+  }
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double resid = ys[i] - fit.predict(xs[i]);
+    const double dev = ys[i] - my;
+    ss_res += resid * resid;
+    ss_tot += dev * dev;
+  }
+  fit.r_squared = ss_tot == 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double r_squared(std::span<const double> ys,
+                 std::span<const double> predictions) {
+  if (ys.size() != predictions.size()) {
+    throw std::invalid_argument("r_squared: size mismatch");
+  }
+  if (ys.empty()) return 0.0;
+  const double my = mean(ys);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double resid = ys[i] - predictions[i];
+    const double dev = ys[i] - my;
+    ss_res += resid * resid;
+    ss_tot += dev * dev;
+  }
+  return ss_tot == 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace headroom::stats

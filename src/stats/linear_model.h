@@ -1,0 +1,38 @@
+// Simple (one-predictor) ordinary least squares with fit quality.
+//
+// The heart of the paper's Step-1 metric validation: a good per-workload
+// metric has a *tight linear* relationship with the limiting resource
+// (%CPU = slope·RPS + intercept, R² close to 1, e.g. pool B's
+// y = 0.028·RPS + 1.37 with R² = 0.984). The slope/intercept/R² triple is
+// also part of every server-grouping feature vector.
+#pragma once
+
+#include <span>
+
+namespace headroom::stats {
+
+/// y = slope * x + intercept, with goodness-of-fit.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const noexcept {
+    return slope * x + intercept;
+  }
+};
+
+/// Ordinary least squares of y on x. Requires xs.size() == ys.size().
+/// With fewer than 2 points (or zero x-variance) returns a flat fit through
+/// the mean with r_squared = 0.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Coefficient of determination of arbitrary predictions against
+/// observations: 1 - SS_res/SS_tot. Returns 0 when variance of ys is 0 and
+/// may be negative for fits worse than the mean.
+[[nodiscard]] double r_squared(std::span<const double> ys,
+                               std::span<const double> predictions);
+
+}  // namespace headroom::stats

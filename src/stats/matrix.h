@@ -1,0 +1,49 @@
+// Minimal dense linear algebra for least-squares normal equations.
+//
+// The fits in this project are tiny (quadratic polynomials, a handful of
+// coefficients), so a small row-major matrix with Gaussian elimination and
+// partial pivoting is all the solver machinery we need — no external BLAS.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace headroom::stats {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Returns nullopt when A is (numerically) singular.
+[[nodiscard]] std::optional<std::vector<double>> solve_linear_system(
+    Matrix a, std::vector<double> b);
+
+/// Least-squares solve of the (possibly overdetermined) system X beta = y
+/// via the normal equations XᵀX beta = Xᵀy. Returns nullopt when XᵀX is
+/// singular (e.g. duplicate columns or fewer rows than columns).
+[[nodiscard]] std::optional<std::vector<double>> least_squares(
+    const Matrix& x, const std::vector<double>& y);
+
+}  // namespace headroom::stats

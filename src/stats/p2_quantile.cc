@@ -1,0 +1,98 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  }
+  reset();
+}
+
+void P2Quantile::reset() noexcept {
+  count_ = 0;
+  heights_ = {};
+  positions_ = {1, 2, 3, 4, 5};
+  desired_ = {1, 1 + 2 * q_, 1 + 4 * q_, 3 + 2 * q_, 5};
+  increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+}
+
+namespace {
+
+// Piecewise-parabolic (P²) interpolation of marker height; falls back to
+// linear when the parabolic prediction would leave the bracketing heights.
+double parabolic(double d, double hp, double h, double hm, double np,
+                 double n, double nm) {
+  const double num = d / (np - nm);
+  const double a = (n - nm + d) * (hp - h) / (np - n);
+  const double b = (np - n - d) * (h - hm) / (n - nm);
+  return h + num * (a + b);
+}
+
+}  // namespace
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+
+  std::size_t k;  // cell index the observation falls into
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool up = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool down = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!up && !down) continue;
+    const double sign = up ? 1.0 : -1.0;
+    double h = parabolic(sign, heights_[i + 1], heights_[i], heights_[i - 1],
+                         positions_[i + 1], positions_[i], positions_[i - 1]);
+    if (!(heights_[i - 1] < h && h < heights_[i + 1])) {
+      // Linear fallback keeps markers strictly ordered.
+      const std::size_t j = up ? i + 1 : i - 1;
+      h = heights_[i] + sign * (heights_[j] - heights_[i]) /
+                            (positions_[j] - positions_[i]);
+    }
+    heights_[i] = h;
+    positions_[i] += sign;
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact percentile over the buffered prefix.
+    std::array<double, 5> buf = heights_;
+    std::sort(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(count_));
+    const double rank = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, count_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return buf[lo] * (1.0 - frac) + buf[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace headroom::stats

@@ -1,0 +1,38 @@
+// Streaming quantile estimation via the P² algorithm (Jain & Chlamtac 1985).
+//
+// The production system the paper describes collects ~3 GB/s of counters;
+// per-window percentiles must be computed without buffering raw samples.
+// P² maintains five markers and gives an O(1)-memory estimate of a single
+// quantile, which is exactly the shape of the problem for the telemetry
+// layer's P95-latency-per-window aggregation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace headroom::stats {
+
+/// O(1)-memory estimator of one quantile of a stream.
+class P2Quantile {
+ public:
+  /// `q` in (0,1), e.g. 0.95 for the P95 latency SLO metric.
+  explicit P2Quantile(double q);
+
+  void add(double x) noexcept;
+
+  /// Current estimate. Exact while fewer than 5 samples were seen.
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  void reset() noexcept;
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace headroom::stats

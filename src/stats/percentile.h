@@ -1,0 +1,32 @@
+// Exact percentile computation.
+//
+// The paper's methodology is percentile-heavy: server feature vectors use
+// the {5,25,50,75,95}th percentiles of CPU utilization, pool load is
+// characterized at the 50/75/95th percentiles of RPS/server (Tables II and
+// III), and the industry convention of P5/P95 stands in for min/max to shed
+// outliers (paper §II-A2, footnote 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace headroom::stats {
+
+/// Percentile of a sample with linear interpolation between order
+/// statistics (the "linear" / type-7 definition used by most tooling).
+/// `p` is in [0,100]. Returns 0 for an empty sample. Does not require the
+/// input to be sorted (copies internally); for repeated queries over the
+/// same data, use percentiles_sorted().
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Percentile over data the caller has already sorted ascending.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Batch query: sorts once, then evaluates every requested percentile.
+[[nodiscard]] std::vector<double> percentiles(std::span<const double> xs,
+                                              std::span<const double> ps);
+
+/// The feature-vector percentiles used throughout the paper.
+inline constexpr double kGroupingPercentiles[] = {5.0, 25.0, 50.0, 75.0, 95.0};
+
+}  // namespace headroom::stats

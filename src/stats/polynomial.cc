@@ -1,0 +1,98 @@
+#include "stats/polynomial.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/linear_model.h"
+#include "stats/matrix.h"
+
+namespace headroom::stats {
+
+double evaluate_polynomial(std::span<const double> coeffs, double x) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+double PolynomialFit::predict(double x) const noexcept {
+  return evaluate_polynomial(coeffs, x);
+}
+
+double PolynomialFit::vertex_x() const noexcept {
+  if (coeffs.size() < 3 || coeffs[2] == 0.0) return 0.0;
+  return -coeffs[1] / (2.0 * coeffs[2]);
+}
+
+namespace {
+
+// Expand coefficients fit in the standardized variable u = (x-mu)/s back to
+// coefficients in raw x, by repeated multiplication with (x-mu)/s.
+std::vector<double> unstandardize(std::span<const double> u_coeffs, double mu,
+                                  double s) {
+  std::vector<double> out(u_coeffs.size(), 0.0);
+  // basis holds the raw-x coefficients of u^k; starts as u^0 = 1.
+  std::vector<double> basis(u_coeffs.size(), 0.0);
+  basis[0] = 1.0;
+  for (std::size_t k = 0; k < u_coeffs.size(); ++k) {
+    if (k > 0) {
+      // basis <- basis * (x - mu) / s
+      std::vector<double> next(u_coeffs.size(), 0.0);
+      for (std::size_t i = 0; i + 1 < u_coeffs.size() + 1; ++i) {
+        if (basis[i] == 0.0) continue;
+        if (i + 1 < next.size()) next[i + 1] += basis[i] / s;
+        next[i] += basis[i] * (-mu / s);
+      }
+      basis = std::move(next);
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += u_coeffs[k] * basis[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+PolynomialFit fit_polynomial(std::span<const double> xs,
+                             std::span<const double> ys, std::size_t degree) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_polynomial: size mismatch");
+  }
+  PolynomialFit fit;
+  fit.n = xs.size();
+  if (xs.size() < degree + 1 || degree == 0) {
+    fit.coeffs.assign(1, mean(ys));
+    return fit;
+  }
+
+  const Summary sx = summarize(xs);
+  const double mu = sx.mean;
+  const double s = sx.stddev > 0.0 ? sx.stddev : 1.0;
+
+  Matrix design(xs.size(), degree + 1);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    const double u = (xs[r] - mu) / s;
+    double p = 1.0;
+    for (std::size_t c = 0; c <= degree; ++c) {
+      design.at(r, c) = p;
+      p *= u;
+    }
+  }
+  std::vector<double> y(ys.begin(), ys.end());
+  const auto beta = least_squares(design, y);
+  if (!beta) {
+    // Degenerate design (e.g. all x equal): constant fit.
+    fit.coeffs.assign(1, mean(ys));
+    return fit;
+  }
+  fit.coeffs = unstandardize(*beta, mu, s);
+
+  std::vector<double> preds;
+  preds.reserve(xs.size());
+  for (double x : xs) preds.push_back(fit.predict(x));
+  fit.r_squared = r_squared(ys, preds);
+  return fit;
+}
+
+}  // namespace headroom::stats

@@ -1,0 +1,49 @@
+// Polynomial least squares of arbitrary (small) degree.
+//
+// Latency-vs-workload is fit with a *second-order quadratic polynomial* per
+// total-load partition (paper Eq. 1 and Figs. 9/11); the paper notes they
+// "started by trying the simplest techniques first and found that quadratic
+// polynomials worked ... for 10s of other server pools". We keep the degree
+// generic so tests can probe degree 1..4 behaviour.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace headroom::stats {
+
+/// coeffs[k] multiplies x^k (ascending order), i.e. a quadratic is
+/// {c0, c1, c2} for y = c2 x² + c1 x + c0.
+struct PolynomialFit {
+  std::vector<double> coeffs;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const noexcept;
+  [[nodiscard]] std::size_t degree() const noexcept {
+    return coeffs.empty() ? 0 : coeffs.size() - 1;
+  }
+  /// x-coordinate of the extremum for a quadratic (-c1 / 2c2);
+  /// 0 when not a (strict) quadratic.
+  [[nodiscard]] double vertex_x() const noexcept;
+};
+
+/// Least-squares polynomial of given degree. x values are centred/scaled
+/// internally for conditioning and coefficients mapped back to raw x.
+/// Requires at least degree+1 points; with fewer, returns a constant fit
+/// through the mean.
+[[nodiscard]] PolynomialFit fit_polynomial(std::span<const double> xs,
+                                           std::span<const double> ys,
+                                           std::size_t degree);
+
+/// Convenience for the paper's quadratic latency model.
+[[nodiscard]] inline PolynomialFit fit_quadratic(std::span<const double> xs,
+                                                 std::span<const double> ys) {
+  return fit_polynomial(xs, ys, 2);
+}
+
+/// Evaluate ascending-order coefficients at x (Horner).
+[[nodiscard]] double evaluate_polynomial(std::span<const double> coeffs,
+                                         double x) noexcept;
+
+}  // namespace headroom::stats

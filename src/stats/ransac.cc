@@ -1,0 +1,79 @@
+#include "stats/ransac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace headroom::stats {
+
+RansacResult fit_ransac(std::span<const double> xs, std::span<const double> ys,
+                        const RansacOptions& options) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_ransac: size mismatch");
+  }
+  RansacResult result;
+  const std::size_t minimal = options.degree + 1;
+  if (xs.size() < minimal + 1) {
+    result.fit = fit_polynomial(xs, ys, options.degree);
+    result.inliers.resize(xs.size());
+    std::iota(result.inliers.begin(), result.inliers.end(), std::size_t{0});
+    result.converged = false;
+    return result;
+  }
+
+  std::mt19937_64 rng(options.seed);
+  std::vector<std::size_t> indices(xs.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+
+  std::vector<std::size_t> best_inliers;
+  std::vector<double> sub_x(minimal);
+  std::vector<double> sub_y(minimal);
+
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    // Partial Fisher-Yates: choose `minimal` distinct indices.
+    for (std::size_t i = 0; i < minimal; ++i) {
+      std::uniform_int_distribution<std::size_t> pick(i, indices.size() - 1);
+      std::swap(indices[i], indices[pick(rng)]);
+      sub_x[i] = xs[indices[i]];
+      sub_y[i] = ys[indices[i]];
+    }
+    const PolynomialFit candidate = fit_polynomial(sub_x, sub_y, options.degree);
+    if (candidate.coeffs.size() != options.degree + 1) continue;
+
+    std::vector<std::size_t> inliers;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (std::fabs(ys[i] - candidate.predict(xs[i])) <=
+          options.inlier_threshold) {
+        inliers.push_back(i);
+      }
+    }
+    if (inliers.size() > best_inliers.size()) best_inliers = std::move(inliers);
+  }
+
+  if (best_inliers.size() < minimal) {
+    // No usable consensus; fall back to the full-sample fit.
+    result.fit = fit_polynomial(xs, ys, options.degree);
+    result.inliers = std::move(indices);
+    std::sort(result.inliers.begin(), result.inliers.end());
+    result.converged = false;
+    return result;
+  }
+
+  std::vector<double> in_x;
+  std::vector<double> in_y;
+  in_x.reserve(best_inliers.size());
+  in_y.reserve(best_inliers.size());
+  for (std::size_t i : best_inliers) {
+    in_x.push_back(xs[i]);
+    in_y.push_back(ys[i]);
+  }
+  result.fit = fit_polynomial(in_x, in_y, options.degree);
+  result.inliers = std::move(best_inliers);
+  result.converged = options.min_inliers == 0 ||
+                     result.inliers.size() >= options.min_inliers;
+  return result;
+}
+
+}  // namespace headroom::stats

@@ -1,0 +1,39 @@
+// RANSAC robust regression over polynomial models.
+//
+// The paper estimates the quadratic latency model parameters "using robust
+// regressions (RANSAC)" (§II-B2) because production experiment windows are
+// contaminated by unrelated operational events (deployments, traffic
+// shifts). This implementation follows Fischler & Bolles: sample minimal
+// subsets, fit, count inliers within a residual threshold, then refit on
+// the best consensus set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/polynomial.h"
+
+namespace headroom::stats {
+
+struct RansacOptions {
+  std::size_t degree = 2;         ///< Polynomial degree of the model.
+  std::size_t iterations = 200;   ///< Random minimal-subset draws.
+  double inlier_threshold = 1.0;  ///< |residual| below this counts as inlier.
+  std::size_t min_inliers = 0;    ///< 0 = accept best consensus regardless.
+  std::uint64_t seed = 42;        ///< Deterministic sampling.
+};
+
+struct RansacResult {
+  PolynomialFit fit;              ///< Refit on the consensus set.
+  std::vector<std::size_t> inliers;
+  bool converged = false;         ///< min_inliers reached (always true if 0).
+};
+
+/// Robust polynomial fit. Falls back to a plain least-squares fit (with
+/// converged=false) when there are too few points for minimal sampling.
+[[nodiscard]] RansacResult fit_ransac(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      const RansacOptions& options);
+
+}  // namespace headroom::stats

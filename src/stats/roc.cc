@@ -1,0 +1,81 @@
+#include "stats/roc.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace headroom::stats {
+
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const std::uint8_t> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("roc_curve: size mismatch");
+  }
+  std::size_t positives = 0;
+  for (bool b : labels) positives += b ? 1u : 0u;
+  const std::size_t negatives = labels.size() - positives;
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Consume all samples sharing this score so ties move diagonally.
+    const double s = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == s) {
+      if (labels[order[i]]) ++tp; else ++fp;
+      ++i;
+    }
+    RocPoint pt;
+    pt.threshold = s;
+    pt.true_positive_rate =
+        positives == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(positives);
+    pt.false_positive_rate =
+        negatives == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(negatives);
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+double auc(std::span<const double> scores, std::span<const std::uint8_t> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("auc: size mismatch");
+  }
+  std::size_t positives = 0;
+  for (bool b : labels) positives += b ? 1u : 0u;
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-sum formulation with average ranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]]) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double np = static_cast<double>(positives);
+  const double nn = static_cast<double>(negatives);
+  const double u = rank_sum_pos - np * (np + 1.0) / 2.0;
+  return u / (np * nn);
+}
+
+}  // namespace headroom::stats

@@ -1,0 +1,31 @@
+// ROC curves and AUC for binary classifiers.
+//
+// The paper reports AUC = 0.9804 for the decision tree's Yes/No
+// "tightly-bound pool" prediction probabilities (§II-A2); the server-group
+// bench reproduces that evaluation with this module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace headroom::stats {
+
+/// One operating point of a classifier at some score threshold.
+struct RocPoint {
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+  double threshold = 0.0;
+};
+
+/// ROC curve for scores (higher = more likely positive) against boolean
+/// labels. Points are ordered from threshold=+inf (0,0) to -inf (1,1).
+[[nodiscard]] std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                              std::span<const std::uint8_t> labels);
+
+/// Area under the ROC curve, computed rank-based (Mann-Whitney U), which is
+/// tie-correct. Returns 0.5 when either class is empty.
+[[nodiscard]] double auc(std::span<const double> scores,
+                         std::span<const std::uint8_t> labels);
+
+}  // namespace headroom::stats

@@ -1,0 +1,98 @@
+#include "telemetry/availability.h"
+
+#include <stdexcept>
+
+namespace headroom::telemetry {
+
+AvailabilityLedger::AvailabilityLedger(SimTime day_seconds)
+    : day_seconds_(day_seconds) {
+  if (day_seconds_ <= 0) {
+    throw std::invalid_argument("AvailabilityLedger: day length must be positive");
+  }
+}
+
+void AvailabilityLedger::record(const ServerId& id, SimTime t, SimTime seconds,
+                                bool online) {
+  if (t < 0 || seconds < 0) {
+    throw std::invalid_argument("AvailabilityLedger::record: negative time");
+  }
+  // Split the interval across day boundaries so day accounting stays exact.
+  SimTime remaining = seconds;
+  SimTime cursor = t;
+  while (remaining > 0) {
+    const std::int64_t day = cursor / day_seconds_;
+    const SimTime day_end = (day + 1) * day_seconds_;
+    const SimTime chunk = std::min(remaining, day_end - cursor);
+    DayRecord& rec = records_[id][day];
+    rec.total += chunk;
+    if (online) rec.online += chunk;
+    if (day > last_day_) last_day_ = day;
+    cursor += chunk;
+    remaining -= chunk;
+  }
+}
+
+double AvailabilityLedger::server_availability(const ServerId& id,
+                                               std::int64_t day) const {
+  const auto sit = records_.find(id);
+  if (sit == records_.end()) return 1.0;
+  const auto dit = sit->second.find(day);
+  if (dit == sit->second.end() || dit->second.total == 0) return 1.0;
+  return static_cast<double>(dit->second.online) /
+         static_cast<double>(dit->second.total);
+}
+
+double AvailabilityLedger::pool_availability(std::uint32_t datacenter,
+                                             std::uint32_t pool,
+                                             std::int64_t day) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, days] : records_) {
+    if (id.datacenter != datacenter || id.pool != pool) continue;
+    const auto dit = days.find(day);
+    if (dit == days.end() || dit->second.total == 0) continue;
+    sum += static_cast<double>(dit->second.online) /
+           static_cast<double>(dit->second.total);
+    ++n;
+  }
+  return n == 0 ? 1.0 : sum / static_cast<double>(n);
+}
+
+std::vector<double> AvailabilityLedger::all_daily_availabilities() const {
+  std::vector<double> out;
+  for (const auto& [id, days] : records_) {
+    for (const auto& [day, rec] : days) {
+      if (rec.total == 0) continue;
+      out.push_back(static_cast<double>(rec.online) /
+                    static_cast<double>(rec.total));
+    }
+  }
+  return out;
+}
+
+std::vector<double> AvailabilityLedger::server_mean_availabilities() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& [id, days] : records_) {
+    SimTime online = 0;
+    SimTime total = 0;
+    for (const auto& [day, rec] : days) {
+      online += rec.online;
+      total += rec.total;
+    }
+    if (total > 0) {
+      out.push_back(static_cast<double>(online) / static_cast<double>(total));
+    }
+  }
+  return out;
+}
+
+double AvailabilityLedger::fleet_average() const {
+  const std::vector<double> all = all_daily_availabilities();
+  if (all.empty()) return 1.0;
+  double sum = 0.0;
+  for (double a : all) sum += a;
+  return sum / static_cast<double>(all.size());
+}
+
+}  // namespace headroom::telemetry

@@ -1,0 +1,77 @@
+#include "telemetry/csv.h"
+
+#include <vector>
+
+namespace headroom::telemetry {
+
+void write_series_csv(std::ostream& out, const TimeSeries& series,
+                      const std::string& value_column) {
+  out << "window_start," << value_column << "\n";
+  for (const WindowSample& s : series.samples()) {
+    out << s.window_start << "," << s.value << "\n";
+  }
+}
+
+void write_scatter_csv(std::ostream& out, const AlignedPair& pair,
+                       const std::string& x_column,
+                       const std::string& y_column) {
+  out << x_column << "," << y_column << "\n";
+  for (std::size_t i = 0; i < pair.x.size(); ++i) {
+    out << pair.x[i] << "," << pair.y[i] << "\n";
+  }
+}
+
+std::size_t write_pool_csv(std::ostream& out, const MetricStore& store,
+                           std::uint32_t datacenter, std::uint32_t pool,
+                           std::span<const MetricKind> metrics) {
+  std::vector<const TimeSeries*> series;
+  out << "window_start";
+  for (MetricKind kind : metrics) {
+    const TimeSeries& s = store.pool_series(datacenter, pool, kind);
+    if (s.empty()) continue;
+    series.push_back(&s);
+    out << "," << to_string(kind);
+  }
+  out << "\n";
+  if (series.empty()) return 0;
+
+  // Inner join on window_start across all present series.
+  std::vector<std::size_t> cursor(series.size(), 0);
+  while (true) {
+    // Find the max current timestamp; advance laggards to it.
+    SimTime target = 0;
+    bool done = false;
+    for (std::size_t c = 0; c < series.size(); ++c) {
+      if (cursor[c] >= series[c]->size()) {
+        done = true;
+        break;
+      }
+      target = std::max(target, series[c]->at(cursor[c]).window_start);
+    }
+    if (done) break;
+    bool aligned = true;
+    bool exhausted = false;
+    for (std::size_t c = 0; c < series.size(); ++c) {
+      while (cursor[c] < series[c]->size() &&
+             series[c]->at(cursor[c]).window_start < target) {
+        ++cursor[c];
+      }
+      if (cursor[c] >= series[c]->size()) {
+        exhausted = true;
+      } else if (series[c]->at(cursor[c]).window_start != target) {
+        aligned = false;  // this cursor moved past target; re-derive target
+      }
+    }
+    if (exhausted) break;
+    if (!aligned) continue;
+    out << target;
+    for (std::size_t c = 0; c < series.size(); ++c) {
+      out << "," << series[c]->at(cursor[c]).value;
+      ++cursor[c];
+    }
+    out << "\n";
+  }
+  return series.size();
+}
+
+}  // namespace headroom::telemetry

@@ -1,0 +1,30 @@
+// CSV export of metric series — the bridge from the in-memory store to
+// external plotting (the scatter charts of paper Figs. 2-11 are one
+// `plot x,y` away from these files).
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "telemetry/metric_store.h"
+
+namespace headroom::telemetry {
+
+/// Writes one series as `window_start,value` rows with a header.
+void write_series_csv(std::ostream& out, const TimeSeries& series,
+                      const std::string& value_column = "value");
+
+/// Writes an aligned (x, y) scatter as `x,y` rows with a header.
+void write_scatter_csv(std::ostream& out, const AlignedPair& pair,
+                       const std::string& x_column = "x",
+                       const std::string& y_column = "y");
+
+/// Writes several pool-scope metrics of one pool, inner-joined on window
+/// start: `window_start,<metric...>`. Metrics absent from the store are
+/// skipped; returns the number of metric columns written.
+std::size_t write_pool_csv(std::ostream& out, const MetricStore& store,
+                           std::uint32_t datacenter, std::uint32_t pool,
+                           std::span<const MetricKind> metrics);
+
+}  // namespace headroom::telemetry

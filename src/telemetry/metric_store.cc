@@ -1,0 +1,59 @@
+#include "telemetry/metric_store.h"
+
+namespace headroom::telemetry {
+
+void MetricStore::record(const SeriesKey& key, SimTime window_start,
+                         double value) {
+  series_[key].append(window_start, value);
+  ++samples_;
+}
+
+const TimeSeries& MetricStore::series(const SeriesKey& key) const {
+  static const TimeSeries kEmpty;
+  const auto it = series_.find(key);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+bool MetricStore::contains(const SeriesKey& key) const {
+  return series_.contains(key);
+}
+
+const TimeSeries& MetricStore::pool_series(std::uint32_t datacenter,
+                                           std::uint32_t pool,
+                                           MetricKind metric) const {
+  return series({datacenter, pool, SeriesKey::kPoolScope, metric});
+}
+
+std::vector<SeriesKey> MetricStore::keys() const {
+  std::vector<SeriesKey> out;
+  out.reserve(series_.size());
+  for (const auto& [key, value] : series_) out.push_back(key);
+  return out;
+}
+
+std::vector<SeriesKey> MetricStore::server_keys(std::uint32_t datacenter,
+                                                std::uint32_t pool,
+                                                MetricKind metric) const {
+  std::vector<SeriesKey> out;
+  for (const auto& [key, value] : series_) {
+    if (key.datacenter == datacenter && key.pool == pool &&
+        key.metric == metric && key.server != SeriesKey::kPoolScope) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+AlignedPair MetricStore::pool_scatter(std::uint32_t datacenter,
+                                      std::uint32_t pool, MetricKind x,
+                                      MetricKind y) const {
+  return align(pool_series(datacenter, pool, x),
+               pool_series(datacenter, pool, y));
+}
+
+void MetricStore::clear() {
+  series_.clear();
+  samples_ = 0;
+}
+
+}  // namespace headroom::telemetry

@@ -1,0 +1,56 @@
+// Central store of windowed metric series.
+//
+// The production system behind the paper ingested ~3 GB/s of counters into
+// 120 s windows (paper §III). This store is the offline analogue: the
+// simulator pushes window aggregates, the planning code queries series by
+// (datacenter, pool, server, metric). Pool-scope series model the paper's
+// "1-minute average across servers in the pool" data points.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/time_series.h"
+
+namespace headroom::telemetry {
+
+class MetricStore {
+ public:
+  /// Appends one window sample to the keyed series (windows must arrive in
+  /// time order per key).
+  void record(const SeriesKey& key, SimTime window_start, double value);
+
+  /// Series lookup; returns an empty static series when absent.
+  [[nodiscard]] const TimeSeries& series(const SeriesKey& key) const;
+  [[nodiscard]] bool contains(const SeriesKey& key) const;
+  [[nodiscard]] std::size_t series_count() const noexcept { return series_.size(); }
+  /// Total stored samples across all series.
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
+
+  /// Convenience for pool-scope aggregates.
+  [[nodiscard]] const TimeSeries& pool_series(std::uint32_t datacenter,
+                                              std::uint32_t pool,
+                                              MetricKind metric) const;
+
+  /// All keys currently stored (unspecified order).
+  [[nodiscard]] std::vector<SeriesKey> keys() const;
+  /// Keys restricted to one pool in one datacenter (server-scope only).
+  [[nodiscard]] std::vector<SeriesKey> server_keys(std::uint32_t datacenter,
+                                                   std::uint32_t pool,
+                                                   MetricKind metric) const;
+
+  /// Joined (x,y) scatter of two pool-scope metrics — the exact input shape
+  /// for the paper's linear/quadratic fits.
+  [[nodiscard]] AlignedPair pool_scatter(std::uint32_t datacenter,
+                                         std::uint32_t pool, MetricKind x,
+                                         MetricKind y) const;
+
+  void clear();
+
+ private:
+  std::unordered_map<SeriesKey, TimeSeries, SeriesKeyHash> series_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace headroom::telemetry

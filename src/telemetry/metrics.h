@@ -1,0 +1,82 @@
+// Metric taxonomy for the telemetry pipeline.
+//
+// Mirrors the counters the paper works with: the six Fig. 2 resource
+// counters, the workload rate (RPS), QoS latency, and availability. The
+// distinction between *attributed* CPU (charged to the micro-service
+// workload only) and *total* CPU (including background tasks such as log
+// uploads and system processes) is load-bearing: Step 1 of the methodology
+// exists precisely because planning against unattributed counters yields
+// noise (paper §II-A, §V).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace headroom::telemetry {
+
+enum class MetricKind : std::uint8_t {
+  kRequestsPerSecond,       ///< Workload units (RPS) per server.
+  kCpuPercentAttributed,    ///< %CPU charged to the primary workload.
+  kCpuPercentTotal,         ///< %CPU including background workloads.
+  kLatencyP95Ms,            ///< 95th-percentile response latency (ms).
+  kLatencyMeanMs,           ///< Mean response latency (ms).
+  kDiskReadBytesPerSecond,
+  kDiskQueueLength,
+  kMemoryPagesPerSecond,
+  kNetworkBytesPerSecond,
+  kNetworkPacketsPerSecond,
+  kErrorsPerSecond,         ///< Failed responses (for availability SLOs).
+  kActiveServers,           ///< Pool-level: servers serving traffic.
+};
+
+inline constexpr std::size_t kMetricKindCount = 12;
+
+[[nodiscard]] constexpr std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kRequestsPerSecond: return "rps";
+    case MetricKind::kCpuPercentAttributed: return "cpu_pct_attributed";
+    case MetricKind::kCpuPercentTotal: return "cpu_pct_total";
+    case MetricKind::kLatencyP95Ms: return "latency_p95_ms";
+    case MetricKind::kLatencyMeanMs: return "latency_mean_ms";
+    case MetricKind::kDiskReadBytesPerSecond: return "disk_read_bytes_per_s";
+    case MetricKind::kDiskQueueLength: return "disk_queue_length";
+    case MetricKind::kMemoryPagesPerSecond: return "memory_pages_per_s";
+    case MetricKind::kNetworkBytesPerSecond: return "network_bytes_per_s";
+    case MetricKind::kNetworkPacketsPerSecond: return "network_packets_per_s";
+    case MetricKind::kErrorsPerSecond: return "errors_per_s";
+    case MetricKind::kActiveServers: return "active_servers";
+  }
+  return "unknown";
+}
+
+/// Identifies one time series: a metric on a (datacenter, pool, server)
+/// scope. `server == kPoolScope` denotes the pool-level aggregate series
+/// (the 1-minute-average-across-pool points of the paper's scatter plots).
+struct SeriesKey {
+  std::uint32_t datacenter = 0;
+  std::uint32_t pool = 0;
+  std::uint32_t server = kPoolScope;
+  MetricKind metric = MetricKind::kRequestsPerSecond;
+
+  static constexpr std::uint32_t kPoolScope = 0xFFFFFFFFu;
+
+  friend bool operator==(const SeriesKey&, const SeriesKey&) = default;
+};
+
+struct SeriesKeyHash {
+  [[nodiscard]] std::size_t operator()(const SeriesKey& k) const noexcept {
+    // FNV-style mix of the four fields.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(k.datacenter);
+    mix(k.pool);
+    mix(k.server);
+    mix(static_cast<std::uint64_t>(k.metric));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace headroom::telemetry

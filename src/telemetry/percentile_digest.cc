@@ -1,0 +1,34 @@
+#include "telemetry/percentile_digest.h"
+
+namespace headroom::telemetry {
+
+PercentileDigest::PercentileDigest()
+    : quantiles_{stats::P2Quantile(0.05), stats::P2Quantile(0.25),
+                 stats::P2Quantile(0.50), stats::P2Quantile(0.75),
+                 stats::P2Quantile(0.95)} {}
+
+void PercentileDigest::add(double x) noexcept {
+  stats_.add(x);
+  for (auto& q : quantiles_) q.add(x);
+}
+
+PercentileSnapshot PercentileDigest::snapshot() const {
+  PercentileSnapshot s;
+  s.p5 = quantiles_[0].value();
+  s.p25 = quantiles_[1].value();
+  s.p50 = quantiles_[2].value();
+  s.p75 = quantiles_[3].value();
+  s.p95 = quantiles_[4].value();
+  s.mean = stats_.mean();
+  s.min = stats_.min();
+  s.max = stats_.max();
+  s.count = stats_.count();
+  return s;
+}
+
+void PercentileDigest::reset() {
+  stats_.reset();
+  for (auto& q : quantiles_) q.reset();
+}
+
+}  // namespace headroom::telemetry

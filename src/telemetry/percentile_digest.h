@@ -1,0 +1,48 @@
+// Constant-memory per-server percentile digests.
+//
+// Fleet-wide analyses (Figs. 3, 12) need the {5,25,50,75,95}th percentiles
+// of CPU per server per day, over fleets far too large to buffer raw
+// samples for. This digest tracks the five grouping percentiles with P²
+// estimators plus mean/min/max, in O(1) memory per server.
+#pragma once
+
+#include <array>
+
+#include "stats/descriptive.h"
+#include "stats/p2_quantile.h"
+
+namespace headroom::telemetry {
+
+/// The five percentiles of the paper's server-grouping feature vector.
+struct PercentileSnapshot {
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+
+  /// {p5, p25, p50, p75, p95} as an array, ascending percentile order.
+  [[nodiscard]] std::array<double, 5> grouping_values() const noexcept {
+    return {p5, p25, p50, p75, p95};
+  }
+};
+
+class PercentileDigest {
+ public:
+  PercentileDigest();
+
+  void add(double x) noexcept;
+  [[nodiscard]] PercentileSnapshot snapshot() const;
+  [[nodiscard]] std::size_t count() const noexcept { return stats_.count(); }
+  void reset();
+
+ private:
+  stats::RunningStats stats_;
+  std::array<stats::P2Quantile, 5> quantiles_;
+};
+
+}  // namespace headroom::telemetry

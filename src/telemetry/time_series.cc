@@ -1,0 +1,60 @@
+#include "telemetry/time_series.h"
+
+#include <stdexcept>
+
+namespace headroom::telemetry {
+
+void TimeSeries::append(SimTime window_start, double value) {
+  if (!samples_.empty() && window_start <= samples_.back().window_start) {
+    throw std::invalid_argument("TimeSeries::append: out-of-order window");
+  }
+  samples_.push_back({window_start, value});
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const WindowSample& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+std::vector<double> TimeSeries::values_between(SimTime from, SimTime to) const {
+  std::vector<double> out;
+  for (const WindowSample& s : samples_) {
+    if (s.window_start >= from && s.window_start < to) out.push_back(s.value);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::slice(SimTime from, SimTime to) const {
+  TimeSeries out;
+  for (const WindowSample& s : samples_) {
+    if (s.window_start >= from && s.window_start < to) {
+      out.append(s.window_start, s.value);
+    }
+  }
+  return out;
+}
+
+AlignedPair align(const TimeSeries& x, const TimeSeries& y) {
+  AlignedPair out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto xs = x.samples();
+  const auto ys = y.samples();
+  while (i < xs.size() && j < ys.size()) {
+    if (xs[i].window_start < ys[j].window_start) {
+      ++i;
+    } else if (ys[j].window_start < xs[i].window_start) {
+      ++j;
+    } else {
+      out.x.push_back(xs[i].value);
+      out.y.push_back(ys[j].value);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace headroom::telemetry

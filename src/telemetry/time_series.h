@@ -1,0 +1,52 @@
+// Time-ordered series of windowed samples plus alignment helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace headroom::telemetry {
+
+/// Seconds since the start of the simulated epoch.
+using SimTime = std::int64_t;
+
+/// One aggregated window of a metric.
+struct WindowSample {
+  SimTime window_start = 0;  ///< Inclusive start of the window (seconds).
+  double value = 0.0;        ///< Window aggregate (mean, or P95 for latency).
+};
+
+/// Append-only, time-ordered sample sequence.
+class TimeSeries {
+ public:
+  void append(SimTime window_start, double value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const WindowSample& at(std::size_t i) const { return samples_.at(i); }
+  [[nodiscard]] std::span<const WindowSample> samples() const noexcept {
+    return samples_;
+  }
+
+  /// All values, in time order.
+  [[nodiscard]] std::vector<double> values() const;
+  /// Values whose window start lies in [from, to).
+  [[nodiscard]] std::vector<double> values_between(SimTime from, SimTime to) const;
+  /// Sub-series in [from, to).
+  [[nodiscard]] TimeSeries slice(SimTime from, SimTime to) const;
+
+ private:
+  std::vector<WindowSample> samples_;
+};
+
+/// A pair of equal-length vectors from two series joined on window start —
+/// the (x, y) scatter the paper's fits consume (e.g. RPS vs %CPU).
+struct AlignedPair {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Inner-joins two series on window_start (both must be time-ordered).
+[[nodiscard]] AlignedPair align(const TimeSeries& x, const TimeSeries& y);
+
+}  // namespace headroom::telemetry

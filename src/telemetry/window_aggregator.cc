@@ -1,0 +1,53 @@
+#include "telemetry/window_aggregator.h"
+
+#include <stdexcept>
+
+namespace headroom::telemetry {
+
+WindowAggregator::WindowAggregator(MetricStore* store, SimTime window_seconds)
+    : store_(store), window_(window_seconds) {
+  if (store_ == nullptr) {
+    throw std::invalid_argument("WindowAggregator: null store");
+  }
+  if (window_ <= 0) {
+    throw std::invalid_argument("WindowAggregator: window must be positive");
+  }
+}
+
+bool WindowAggregator::is_latency(MetricKind kind) noexcept {
+  return kind == MetricKind::kLatencyP95Ms;
+}
+
+void WindowAggregator::emit(const SeriesKey& key, Bucket& bucket) {
+  if (!bucket.active) return;
+  const double value = is_latency(key.metric) ? bucket.p95.value()
+                                              : bucket.mean_acc.mean();
+  store_->record(key, bucket.window_index * window_, value);
+  bucket.mean_acc.reset();
+  bucket.p95.reset();
+  bucket.active = false;
+}
+
+void WindowAggregator::add(const SeriesKey& key, SimTime t, double value) {
+  if (t < 0) throw std::invalid_argument("WindowAggregator::add: negative time");
+  const SimTime index = t / window_;
+  Bucket& bucket = buckets_[key];
+  if (bucket.active && index != bucket.window_index) {
+    if (index < bucket.window_index) {
+      throw std::invalid_argument("WindowAggregator::add: time went backwards");
+    }
+    emit(key, bucket);
+  }
+  if (!bucket.active) {
+    bucket.window_index = index;
+    bucket.active = true;
+  }
+  bucket.mean_acc.add(value);
+  if (is_latency(key.metric)) bucket.p95.add(value);
+}
+
+void WindowAggregator::flush() {
+  for (auto& [key, bucket] : buckets_) emit(key, bucket);
+}
+
+}  // namespace headroom::telemetry

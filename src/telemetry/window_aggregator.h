@@ -1,0 +1,49 @@
+// Aggregates raw per-step samples into fixed windows.
+//
+// The paper samples counters at 100 ns resolution and stores 120 s window
+// averages (§III). The simulator emits one raw sample per simulation step;
+// this aggregator folds them into window means (or window P95 for latency
+// metrics) and flushes completed windows into a MetricStore.
+#pragma once
+
+#include <unordered_map>
+
+#include "stats/descriptive.h"
+#include "stats/p2_quantile.h"
+#include "telemetry/metric_store.h"
+#include "telemetry/metrics.h"
+
+namespace headroom::telemetry {
+
+class WindowAggregator {
+ public:
+  /// `window_seconds` must be positive; the paper's default is 120 s.
+  explicit WindowAggregator(MetricStore* store, SimTime window_seconds = 120);
+
+  /// Adds a raw sample at time `t`. Crossing a window boundary flushes the
+  /// finished window for that key into the store.
+  /// Latency metrics aggregate as window P95; everything else as mean.
+  void add(const SeriesKey& key, SimTime t, double value);
+
+  /// Flushes all partially filled windows (call at end of simulation).
+  void flush();
+
+  [[nodiscard]] SimTime window_seconds() const noexcept { return window_; }
+
+ private:
+  struct Bucket {
+    SimTime window_index = 0;
+    stats::RunningStats mean_acc;
+    stats::P2Quantile p95{0.95};
+    bool active = false;
+  };
+
+  void emit(const SeriesKey& key, Bucket& bucket);
+  [[nodiscard]] static bool is_latency(MetricKind kind) noexcept;
+
+  MetricStore* store_;
+  SimTime window_;
+  std::unordered_map<SeriesKey, Bucket, SeriesKeyHash> buckets_;
+};
+
+}  // namespace headroom::telemetry

@@ -1,0 +1,52 @@
+#include "workload/diurnal.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace headroom::workload {
+
+namespace {
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerDay = 86400.0;
+}  // namespace
+
+DiurnalTraffic::DiurnalTraffic(const DiurnalParams& params) : params_(params) {
+  if (params_.peak_rps <= 0.0) {
+    throw std::invalid_argument("DiurnalTraffic: peak_rps must be positive");
+  }
+  if (params_.trough_fraction < 0.0 || params_.trough_fraction > 1.0) {
+    throw std::invalid_argument("DiurnalTraffic: trough_fraction in [0,1]");
+  }
+}
+
+double DiurnalTraffic::demand(SimTime t) const noexcept {
+  const double local_seconds =
+      static_cast<double>(t) + params_.timezone_offset_hours * kSecondsPerHour;
+  const double hour_of_day =
+      std::fmod(std::fmod(local_seconds, kSecondsPerDay) + kSecondsPerDay,
+                kSecondsPerDay) /
+      kSecondsPerHour;
+  // Cosine day-shape peaking at peak_hour; amplitude spans peak..trough.
+  const double phase = 2.0 * std::numbers::pi * (hour_of_day - params_.peak_hour) / 24.0;
+  const double shape = 0.5 * (1.0 + std::cos(phase));  // 1 at peak, 0 at trough
+  const double level =
+      params_.trough_fraction + (1.0 - params_.trough_fraction) * shape;
+
+  const double day_index = std::floor(local_seconds / kSecondsPerDay);
+  const auto weekday = static_cast<std::int64_t>(day_index) % 7;
+  const double week_mult =
+      (weekday == 5 || weekday == 6) ? params_.weekend_factor : 1.0;
+
+  return params_.peak_rps * level * week_mult;
+}
+
+double DiurnalTraffic::sample(SimTime t, std::mt19937_64& rng) const {
+  const double base = demand(t);
+  if (params_.noise_sigma <= 0.0) return base;
+  std::lognormal_distribution<double> noise(
+      -0.5 * params_.noise_sigma * params_.noise_sigma, params_.noise_sigma);
+  return base * noise(rng);
+}
+
+}  // namespace headroom::workload

@@ -1,0 +1,52 @@
+// Diurnal traffic model with per-region timezone phase.
+//
+// Global online services see strong daily cycles offset by geography
+// (paper §I: "diurnal global online service workloads cause individual
+// datacenters to periodically run out of capacity while datacenters on the
+// opposite side of the world are underutilized"). Each region's demand is a
+// smooth day curve shifted by its timezone, modulated by a weekday factor
+// and multiplicative log-normal noise.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "telemetry/time_series.h"
+
+namespace headroom::workload {
+
+using telemetry::SimTime;
+
+struct DiurnalParams {
+  double peak_rps = 1000.0;       ///< Regional demand at the daily peak.
+  double trough_fraction = 0.45;  ///< Trough demand as a fraction of peak.
+  double peak_hour = 20.0;        ///< Local hour of peak demand [0,24).
+  double timezone_offset_hours = 0.0;  ///< Region offset from sim UTC.
+  double weekend_factor = 0.85;   ///< Demand multiplier on days 5 and 6.
+  double noise_sigma = 0.03;      ///< Log-normal sigma of per-sample noise.
+};
+
+/// Deterministic-plus-noise regional demand curve.
+class DiurnalTraffic {
+ public:
+  explicit DiurnalTraffic(const DiurnalParams& params);
+
+  /// Noise-free demand at absolute sim time `t` (seconds).
+  [[nodiscard]] double demand(SimTime t) const noexcept;
+
+  /// Demand with multiplicative log-normal noise drawn from `rng`.
+  [[nodiscard]] double sample(SimTime t, std::mt19937_64& rng) const;
+
+  [[nodiscard]] const DiurnalParams& params() const noexcept { return params_; }
+
+  /// Deterministic daily peak/trough of the noise-free curve.
+  [[nodiscard]] double daily_peak() const noexcept { return params_.peak_rps; }
+  [[nodiscard]] double daily_trough() const noexcept {
+    return params_.peak_rps * params_.trough_fraction;
+  }
+
+ private:
+  DiurnalParams params_;
+};
+
+}  // namespace headroom::workload

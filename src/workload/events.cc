@@ -1,0 +1,39 @@
+#include "workload/events.h"
+
+#include <stdexcept>
+
+namespace headroom::workload {
+
+void EventSchedule::add(const CapacityEvent& event) {
+  if (event.end <= event.start) {
+    throw std::invalid_argument("EventSchedule::add: end must exceed start");
+  }
+  if (event.kind == EventKind::kTrafficMultiplier && event.multiplier <= 0.0) {
+    throw std::invalid_argument("EventSchedule::add: multiplier must be positive");
+  }
+  events_.push_back(event);
+}
+
+double EventSchedule::traffic_multiplier(SimTime t,
+                                         std::uint32_t dc) const noexcept {
+  double mult = 1.0;
+  for (const CapacityEvent& e : events_) {
+    if (e.kind == EventKind::kTrafficMultiplier && e.active_at(t) &&
+        e.applies_to(dc)) {
+      mult *= e.multiplier;
+    }
+  }
+  return mult;
+}
+
+bool EventSchedule::datacenter_down(SimTime t, std::uint32_t dc) const noexcept {
+  for (const CapacityEvent& e : events_) {
+    if (e.kind == EventKind::kDatacenterOutage && e.active_at(t) &&
+        e.applies_to(dc)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace headroom::workload

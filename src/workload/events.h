@@ -1,0 +1,62 @@
+// Unplanned capacity/traffic events ("natural experiments").
+//
+// The paper leans on two real incidents: a two-hour event that raised
+// surviving pools' workload by a median 56% (one DC +127%) — Figs. 4/5 —
+// and a 4x traffic event on one DC — Fig. 6. The injector reproduces both
+// stimulus classes: direct traffic multipliers on selected datacenters and
+// DC outages whose traffic the geo load balancer redistributes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace headroom::workload {
+
+using telemetry::SimTime;
+
+enum class EventKind : std::uint8_t {
+  kTrafficMultiplier,  ///< Demand on the targeted DCs is scaled.
+  kDatacenterOutage,   ///< Targeted DCs serve nothing; traffic fails over.
+};
+
+struct CapacityEvent {
+  EventKind kind = EventKind::kTrafficMultiplier;
+  SimTime start = 0;
+  SimTime end = 0;  ///< Exclusive.
+  /// Affected datacenter, or nullopt for every datacenter.
+  std::optional<std::uint32_t> datacenter;
+  /// For kTrafficMultiplier: demand scale factor (e.g. 4.0 for the Fig. 6
+  /// event). Ignored for outages.
+  double multiplier = 1.0;
+
+  [[nodiscard]] bool active_at(SimTime t) const noexcept {
+    return t >= start && t < end;
+  }
+  [[nodiscard]] bool applies_to(std::uint32_t dc) const noexcept {
+    return !datacenter.has_value() || *datacenter == dc;
+  }
+};
+
+/// Ordered collection of events consulted by the simulator each step.
+class EventSchedule {
+ public:
+  void add(const CapacityEvent& event);
+
+  /// Product of all active traffic multipliers applying to `dc` at `t`.
+  [[nodiscard]] double traffic_multiplier(SimTime t, std::uint32_t dc) const noexcept;
+
+  /// True when an outage event has `dc` fully offline at `t`.
+  [[nodiscard]] bool datacenter_down(SimTime t, std::uint32_t dc) const noexcept;
+
+  [[nodiscard]] const std::vector<CapacityEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::vector<CapacityEvent> events_;
+};
+
+}  // namespace headroom::workload

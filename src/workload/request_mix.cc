@@ -1,0 +1,95 @@
+#include "workload/request_mix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::workload {
+
+RequestMix::RequestMix(std::vector<RequestType> types)
+    : types_(std::move(types)) {
+  if (types_.empty()) {
+    throw std::invalid_argument("RequestMix: need at least one type");
+  }
+  double total = 0.0;
+  for (const RequestType& t : types_) {
+    if (t.weight < 0.0) throw std::invalid_argument("RequestMix: negative weight");
+    if (t.cost_mean <= 0.0) {
+      throw std::invalid_argument("RequestMix: cost_mean must be positive");
+    }
+    total += t.weight;
+  }
+  if (total <= 0.0) throw std::invalid_argument("RequestMix: zero total weight");
+  cumulative_.reserve(types_.size());
+  double acc = 0.0;
+  for (const RequestType& t : types_) {
+    acc += t.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::vector<double> RequestMix::probabilities() const {
+  std::vector<double> out;
+  out.reserve(types_.size());
+  double prev = 0.0;
+  for (double c : cumulative_) {
+    out.push_back(c - prev);
+    prev = c;
+  }
+  return out;
+}
+
+double RequestMix::mean_cost() const noexcept {
+  double acc = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    acc += (cumulative_[i] - prev) * types_[i].cost_mean;
+    prev = cumulative_[i];
+  }
+  return acc;
+}
+
+std::uint32_t RequestMix::sample_type(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const double r = u(rng);
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), r);
+  return static_cast<std::uint32_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(types_.size()) - 1));
+}
+
+Request RequestMix::sample(double arrival_s, std::mt19937_64& rng) const {
+  Request req;
+  req.arrival_s = arrival_s;
+  req.type = sample_type(rng);
+  const RequestType& t = types_[req.type];
+  if (t.cost_sigma > 0.0) {
+    std::lognormal_distribution<double> cost(
+        std::log(t.cost_mean) - 0.5 * t.cost_sigma * t.cost_sigma,
+        t.cost_sigma);
+    req.cost = cost(rng);
+  } else {
+    req.cost = t.cost_mean;
+  }
+  if (t.dependency_latency_ms > 0.0) {
+    std::exponential_distribution<double> dep(1.0 / t.dependency_latency_ms);
+    req.dependency_ms = dep(rng);
+  }
+  return req;
+}
+
+double RequestMix::type_distance(const RequestMix& a, const RequestMix& b) {
+  const std::vector<double> pa = a.probabilities();
+  const std::vector<double> pb = b.probabilities();
+  const std::size_t n = std::max(pa.size(), pb.size());
+  double tv = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = i < pa.size() ? pa[i] : 0.0;
+    const double y = i < pb.size() ? pb[i] : 0.0;
+    tv += std::fabs(x - y);
+  }
+  return tv / 2.0;
+}
+
+}  // namespace headroom::workload

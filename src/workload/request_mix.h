@@ -1,0 +1,68 @@
+// Request-mix model: the diversity of a production workload.
+//
+// Step 3 of the methodology requires the synthetic workload to match the
+// *diversity* of production requests — type distribution, per-type
+// processing cost, and the distribution of responses from dependency calls
+// (paper §II-C: without matching, one "would only be possible to detect a
+// change ... but not accurately determine the magnitude"). This module
+// models that diversity explicitly.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace headroom::workload {
+
+/// One class of request (e.g. a query with spelling correction vs without).
+struct RequestType {
+  std::string name;
+  double weight = 1.0;            ///< Relative frequency.
+  double cost_mean = 1.0;         ///< Mean processing cost (work units).
+  double cost_sigma = 0.1;        ///< Log-normal sigma of the cost.
+  double dependency_latency_ms = 0.0;  ///< Mean latency of downstream calls.
+};
+
+/// A single synthetic or recorded request.
+struct Request {
+  double arrival_s = 0.0;   ///< Arrival offset from stream start (seconds).
+  std::uint32_t type = 0;   ///< Index into the mix's type table.
+  double cost = 1.0;        ///< Work units consumed by this request.
+  double dependency_ms = 0.0;  ///< Mocked downstream response time.
+};
+
+/// Weighted mixture of request types with per-type cost distributions.
+class RequestMix {
+ public:
+  explicit RequestMix(std::vector<RequestType> types);
+
+  [[nodiscard]] const std::vector<RequestType>& types() const noexcept {
+    return types_;
+  }
+  [[nodiscard]] std::size_t type_count() const noexcept { return types_.size(); }
+
+  /// Probability of each type (weights normalized).
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// Expected cost of a random request (mixture mean).
+  [[nodiscard]] double mean_cost() const noexcept;
+
+  /// Draws a request type index according to the weights.
+  [[nodiscard]] std::uint32_t sample_type(std::mt19937_64& rng) const;
+
+  /// Draws a complete request (type, cost, dependency latency) at `arrival`.
+  [[nodiscard]] Request sample(double arrival_s, std::mt19937_64& rng) const;
+
+  /// Total-variation distance between the type distributions of two mixes
+  /// over max(type_count) types. 0 = identical, 1 = disjoint.
+  [[nodiscard]] static double type_distance(const RequestMix& a,
+                                            const RequestMix& b);
+
+ private:
+  std::vector<RequestType> types_;
+  std::vector<double> cumulative_;  ///< CDF over normalized weights.
+};
+
+}  // namespace headroom::workload

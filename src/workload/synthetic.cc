@@ -1,0 +1,152 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::workload {
+
+SyntheticWorkload::SyntheticWorkload(RequestMix mix) : mix_(std::move(mix)) {}
+
+SyntheticWorkload SyntheticWorkload::fit(std::span<const Request> observed,
+                                         std::size_t type_count,
+                                         const SyntheticFitOptions& options) {
+  if (observed.empty()) {
+    throw std::invalid_argument("SyntheticWorkload::fit: empty stream");
+  }
+  if (type_count == 0) {
+    throw std::invalid_argument("SyntheticWorkload::fit: type_count must be > 0");
+  }
+
+  struct Acc {
+    std::size_t n = 0;
+    double log_sum = 0.0;
+    double log_sq_sum = 0.0;
+    double dep_sum = 0.0;
+  };
+  std::vector<Acc> accs(type_count);
+  for (const Request& r : observed) {
+    if (r.type >= type_count) {
+      throw std::invalid_argument("SyntheticWorkload::fit: type out of range");
+    }
+    Acc& a = accs[r.type];
+    ++a.n;
+    const double lg = std::log(std::max(r.cost, 1e-12));
+    a.log_sum += lg;
+    a.log_sq_sum += lg * lg;
+    a.dep_sum += r.dependency_ms;
+  }
+
+  const auto total = static_cast<double>(observed.size());
+  std::vector<RequestType> types;
+  types.reserve(type_count);
+  for (std::size_t i = 0; i < type_count; ++i) {
+    const Acc& a = accs[i];
+    RequestType t;
+    t.name = "type" + std::to_string(i);
+    const double fraction = static_cast<double>(a.n) / total;
+    if (a.n == 0 || fraction < options.min_type_fraction) {
+      // Keep the slot (so indices stay aligned) with negligible weight.
+      t.weight = 0.0;
+      t.cost_mean = 1.0;
+      t.cost_sigma = 0.0;
+      types.push_back(t);
+      continue;
+    }
+    t.weight = fraction;
+    const double n = static_cast<double>(a.n);
+    const double mu = a.log_sum / n;
+    const double var = std::max(0.0, a.log_sq_sum / n - mu * mu);
+    const double sigma = std::sqrt(var);
+    // Log-normal: E[X] = exp(mu + sigma^2/2).
+    t.cost_mean = std::exp(mu + 0.5 * var);
+    t.cost_sigma = sigma;
+    t.dependency_latency_ms = a.dep_sum / n;
+    types.push_back(t);
+  }
+
+  // Guard: everything was rarer than min_type_fraction.
+  double total_weight = 0.0;
+  for (const RequestType& t : types) total_weight += t.weight;
+  if (total_weight <= 0.0) {
+    types.front().weight = 1.0;
+  }
+  return SyntheticWorkload(RequestMix(std::move(types)));
+}
+
+std::vector<Request> SyntheticWorkload::generate(double rps, double duration_s,
+                                                 std::uint64_t seed) const {
+  if (rps <= 0.0 || duration_s <= 0.0) {
+    throw std::invalid_argument("SyntheticWorkload::generate: rps and duration must be positive");
+  }
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(rps);
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(rps * duration_s * 1.1) + 16);
+  double t = gap(rng);
+  while (t < duration_s) {
+    out.push_back(mix_.sample(t, rng));
+    t += gap(rng);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> type_fractions(std::span<const Request> stream,
+                                   std::size_t type_count) {
+  std::vector<double> f(type_count, 0.0);
+  for (const Request& r : stream) {
+    if (r.type < type_count) f[r.type] += 1.0;
+  }
+  const auto n = static_cast<double>(stream.size());
+  if (n > 0) {
+    for (double& x : f) x /= n;
+  }
+  return f;
+}
+
+double stream_duration(std::span<const Request> stream) {
+  if (stream.empty()) return 0.0;
+  return stream.back().arrival_s;
+}
+
+double mean_cost_of(std::span<const Request> stream) {
+  if (stream.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Request& r : stream) acc += r.cost;
+  return acc / static_cast<double>(stream.size());
+}
+
+}  // namespace
+
+StreamComparison SyntheticWorkload::compare(std::span<const Request> synthetic,
+                                            std::span<const Request> production,
+                                            std::size_t type_count) {
+  StreamComparison cmp;
+  if (synthetic.empty() || production.empty()) return cmp;
+
+  const std::vector<double> fs = type_fractions(synthetic, type_count);
+  const std::vector<double> fp = type_fractions(production, type_count);
+  double tv = 0.0;
+  for (std::size_t i = 0; i < type_count; ++i) tv += std::fabs(fs[i] - fp[i]);
+  cmp.type_distance = tv / 2.0;
+
+  const double mp = mean_cost_of(production);
+  cmp.cost_mean_ratio = mp > 0.0 ? mean_cost_of(synthetic) / mp : 0.0;
+
+  const double ds = stream_duration(synthetic);
+  const double dp = stream_duration(production);
+  if (ds > 0.0 && dp > 0.0) {
+    const double rate_s = static_cast<double>(synthetic.size()) / ds;
+    const double rate_p = static_cast<double>(production.size()) / dp;
+    cmp.rate_ratio = rate_p > 0.0 ? rate_s / rate_p : 0.0;
+  }
+
+  cmp.equivalent = cmp.type_distance <= 0.05 &&
+                   std::fabs(cmp.cost_mean_ratio - 1.0) <= 0.05 &&
+                   std::fabs(cmp.rate_ratio - 1.0) <= 0.05;
+  return cmp;
+}
+
+}  // namespace headroom::workload

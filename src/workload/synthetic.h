@@ -1,0 +1,64 @@
+// Synthetic, replayable workload generation (methodology Step 3).
+//
+// Fits a RequestMix to an observed request stream and generates Poisson
+// request streams that reproduce production diversity. Because the fit and
+// the generator share one seed-parameterized code path, a generated stream
+// is exactly replayable — the property the paper needs for the two-pool
+// regression harness ("We precisely generate identical workloads to each
+// pool", §II-D).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workload/request_mix.h"
+
+namespace headroom::workload {
+
+struct SyntheticFitOptions {
+  /// Requests of a type rarer than this fraction are pooled into a tail
+  /// type so the fitted mix stays compact.
+  double min_type_fraction = 0.0;
+};
+
+/// Side-by-side comparison of two streams' diversity; used to *validate*
+/// a synthetic workload against production before trusting it (Step 3's
+/// "equivalent QoS and resource usage compared to production?" gate).
+struct StreamComparison {
+  double type_distance = 0.0;    ///< Total-variation distance of type mix.
+  double cost_mean_ratio = 1.0;  ///< synthetic/production mean cost.
+  double rate_ratio = 1.0;       ///< synthetic/production arrival rate.
+  bool equivalent = false;       ///< All of the above within tolerance.
+};
+
+class SyntheticWorkload {
+ public:
+  /// Builds a generator around a known request mix.
+  explicit SyntheticWorkload(RequestMix mix);
+
+  /// Fits the mix from an observed stream: type frequencies, per-type
+  /// log-normal cost parameters, and mean dependency latency.
+  /// `type_count` is the number of distinct request types in the stream.
+  [[nodiscard]] static SyntheticWorkload fit(std::span<const Request> observed,
+                                             std::size_t type_count,
+                                             const SyntheticFitOptions& options = {});
+
+  /// Generates a Poisson stream at `rps` for `duration_s` seconds.
+  /// Identical (seed, rps, duration) inputs yield identical streams.
+  [[nodiscard]] std::vector<Request> generate(double rps, double duration_s,
+                                              std::uint64_t seed) const;
+
+  /// Compares the diversity of two streams (synthetic vs production).
+  /// Tolerances: type distance <= 0.05, cost mean within 5%, rate within 5%.
+  [[nodiscard]] static StreamComparison compare(std::span<const Request> synthetic,
+                                                std::span<const Request> production,
+                                                std::size_t type_count);
+
+  [[nodiscard]] const RequestMix& mix() const noexcept { return mix_; }
+
+ private:
+  RequestMix mix_;
+};
+
+}  // namespace headroom::workload

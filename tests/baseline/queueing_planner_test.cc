@@ -1,0 +1,97 @@
+#include "baseline/queueing_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace headroom::baseline {
+namespace {
+
+QueueingPlannerOptions default_options() {
+  QueueingPlannerOptions opt;
+  opt.service_time_ms = 5.0;
+  opt.concurrency_per_server = 16.0;
+  opt.max_utilization = 0.85;
+  return opt;
+}
+
+TEST(QueueingPlanner, RejectsBadOptions) {
+  QueueingPlannerOptions bad = default_options();
+  bad.service_time_ms = 0.0;
+  EXPECT_THROW(QueueingPlanner{bad}, std::invalid_argument);
+}
+
+TEST(QueueingPlanner, PlanSatisfiesSloAndUtilizationCeiling) {
+  const QueueingPlanner planner(default_options());
+  const core::LatencySlo slo{20.0};
+  const QueueingPlan plan = planner.plan(10000.0, slo);
+  EXPECT_GE(plan.servers, 1u);
+  EXPECT_LE(plan.predicted_p95_latency_ms, 20.0);
+  EXPECT_LE(plan.utilization, 0.85 + 1e-9);
+}
+
+TEST(QueueingPlanner, PlanIsMinimal) {
+  const QueueingPlanner planner(default_options());
+  const core::LatencySlo slo{20.0};
+  const QueueingPlan plan = planner.plan(10000.0, slo);
+  if (plan.servers > 1) {
+    // One fewer server violates either the SLO or the utilization ceiling.
+    const double mu = 1000.0 / 5.0;
+    const double fewer_util =
+        10000.0 / (static_cast<double>(plan.servers - 1) * 16.0 * mu);
+    const double fewer_latency =
+        planner.predict_p95_latency_ms(10000.0, plan.servers - 1);
+    EXPECT_TRUE(fewer_latency > 20.0 || fewer_util > 0.85);
+  }
+}
+
+TEST(QueueingPlanner, MoreLoadMoreServers) {
+  const QueueingPlanner planner(default_options());
+  const core::LatencySlo slo{20.0};
+  EXPECT_LT(planner.plan(5000.0, slo).servers,
+            planner.plan(20000.0, slo).servers);
+}
+
+TEST(QueueingPlanner, TighterSloNeverFewerServers) {
+  const QueueingPlanner planner(default_options());
+  EXPECT_LE(planner.plan(10000.0, core::LatencySlo{50.0}).servers,
+            planner.plan(10000.0, core::LatencySlo{15.6}).servers);
+}
+
+TEST(QueueingPlanner, PredictionDecreasesWithServers) {
+  const QueueingPlanner planner(default_options());
+  // Near saturation the smaller pool queues; the larger one barely waits.
+  EXPECT_GT(planner.predict_p95_latency_ms(120000.0, 40),
+            planner.predict_p95_latency_ms(120000.0, 80));
+  // Far from saturation both are service-time bound (no strict ordering).
+  EXPECT_GE(planner.predict_p95_latency_ms(10000.0, 40),
+            planner.predict_p95_latency_ms(10000.0, 80));
+}
+
+TEST(QueueingPlanner, StaleServiceTimeMisSizesThePool) {
+  // The paper's core criticism of white-box models: parameters go stale.
+  // The "real" system needs 8 ms per request, but the model still believes
+  // 4 ms — it recommends roughly half the servers actually needed.
+  QueueingPlannerOptions stale = default_options();
+  stale.service_time_ms = 4.0;
+  QueueingPlannerOptions truth = default_options();
+  truth.service_time_ms = 8.0;
+  const core::LatencySlo slo{25.0};
+  const QueueingPlan stale_plan = QueueingPlanner(stale).plan(12000.0, slo);
+  const QueueingPlan true_plan = QueueingPlanner(truth).plan(12000.0, slo);
+  EXPECT_LT(static_cast<double>(stale_plan.servers),
+            0.6 * static_cast<double>(true_plan.servers));
+}
+
+TEST(QueueingPlanner, PlanRejectsNonPositiveLoad) {
+  const QueueingPlanner planner(default_options());
+  EXPECT_THROW((void)planner.plan(0.0, core::LatencySlo{20.0}),
+               std::invalid_argument);
+}
+
+TEST(QueueingPlanner, PredictRejectsZeroServers) {
+  const QueueingPlanner planner(default_options());
+  EXPECT_THROW((void)planner.predict_p95_latency_ms(100.0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headroom::baseline

@@ -1,0 +1,102 @@
+#include "baseline/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace headroom::baseline {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // Classic reference values: B(a=1, c=1) = 1/2; B(2, 2) = 0.4.
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(2.0, 2), 0.4, 1e-12);
+  // B(10 Erlang, 10 trunks) ≈ 0.215.
+  EXPECT_NEAR(erlang_b(10.0, 10), 0.215, 0.001);
+}
+
+TEST(ErlangB, ZeroLoadZeroBlocking) {
+  EXPECT_DOUBLE_EQ(erlang_b(0.0, 5), 0.0);
+}
+
+TEST(ErlangB, ZeroServersAlwaysBlocks) {
+  EXPECT_DOUBLE_EQ(erlang_b(1.0, 0), 1.0);
+}
+
+TEST(ErlangB, NegativeLoadThrows) {
+  EXPECT_THROW((void)erlang_b(-1.0, 5), std::invalid_argument);
+}
+
+TEST(ErlangB, MonotoneInLoadAndServers) {
+  EXPECT_LT(erlang_b(5.0, 10), erlang_b(8.0, 10));
+  EXPECT_GT(erlang_b(5.0, 5), erlang_b(5.0, 10));
+}
+
+TEST(ErlangC, KnownValues) {
+  // C(a=2, c=3): B = 0.2105..., C = B / (1 - rho(1-B)) with rho=2/3.
+  const double b = erlang_b(2.0, 3);
+  const double expected = b / (1.0 - (2.0 / 3.0) * (1.0 - b));
+  EXPECT_NEAR(erlang_c(2.0, 3), expected, 1e-12);
+  EXPECT_NEAR(erlang_c(2.0, 3), 0.4444, 0.001);
+}
+
+TEST(ErlangC, UnstableSystemWaitsCertainly) {
+  EXPECT_DOUBLE_EQ(erlang_c(5.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(erlang_c(6.0, 5), 1.0);
+}
+
+TEST(ErlangC, ExceedsErlangB) {
+  // Queueing (C) probability >= blocking (B) probability for stable systems.
+  for (double a : {1.0, 3.0, 7.0}) {
+    EXPECT_GE(erlang_c(a, 10), erlang_b(a, 10));
+  }
+}
+
+TEST(MMc, MeanWaitMatchesMM1ClosedForm) {
+  // c=1: W_q = rho / (mu - lambda) * ... classic: Wq = lambda/(mu(mu-lambda)).
+  const double lambda = 0.5;
+  const double mu = 1.0;
+  EXPECT_NEAR(mm_c_mean_wait_s(lambda, mu, 1),
+              lambda / (mu * (mu - lambda)), 1e-12);
+}
+
+TEST(MMc, SojournIsWaitPlusService) {
+  EXPECT_NEAR(mm_c_mean_sojourn_s(0.5, 1.0, 1),
+              mm_c_mean_wait_s(0.5, 1.0, 1) + 1.0, 1e-12);
+}
+
+TEST(MMc, UnstableIsInfinite) {
+  EXPECT_TRUE(std::isinf(mm_c_mean_wait_s(10.0, 1.0, 5)));
+  EXPECT_TRUE(std::isinf(mm_c_p95_sojourn_s(10.0, 1.0, 5)));
+}
+
+TEST(MMc, ZeroArrivalsZeroWait) {
+  EXPECT_DOUBLE_EQ(mm_c_mean_wait_s(0.0, 1.0, 4), 0.0);
+}
+
+TEST(MMc, MoreServersLessWait) {
+  EXPECT_GT(mm_c_mean_wait_s(3.0, 1.0, 4), mm_c_mean_wait_s(3.0, 1.0, 8));
+}
+
+TEST(MMc, P95SojournAboveMeanSojourn) {
+  for (std::size_t c : {2u, 8u, 32u}) {
+    const double lambda = 0.7 * static_cast<double>(c);
+    EXPECT_GT(mm_c_p95_sojourn_s(lambda, 1.0, c),
+              mm_c_mean_sojourn_s(lambda, 1.0, c));
+  }
+}
+
+TEST(MMc, LightLoadP95ApproachesServiceQuantile) {
+  // At negligible load nobody waits: P95 sojourn ≈ -ln(0.05)/mu ≈ 3/mu.
+  EXPECT_NEAR(mm_c_p95_sojourn_s(0.001, 1.0, 16), -std::log(0.05), 0.01);
+}
+
+TEST(MMc, BadRatesThrow) {
+  EXPECT_THROW((void)mm_c_mean_wait_s(-1.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)mm_c_mean_wait_s(1.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)mm_c_p95_sojourn_s(1.0, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headroom::baseline

@@ -1,0 +1,157 @@
+#include "baseline/reactive_autoscaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace headroom::baseline {
+namespace {
+
+using telemetry::SimTime;
+using telemetry::TimeSeries;
+
+// Diurnal offered load at 120 s cadence over `days`.
+TimeSeries diurnal_trace(double peak, double trough, int days) {
+  TimeSeries trace;
+  for (SimTime t = 0; t < days * 86400; t += 120) {
+    const double hour = std::fmod(static_cast<double>(t) / 3600.0, 24.0);
+    const double shape =
+        0.5 * (1.0 + std::cos(2.0 * 3.14159265358979 * (hour - 20.0) / 24.0));
+    trace.append(t, trough + (peak - trough) * shape);
+  }
+  return trace;
+}
+
+AutoscalerOptions default_options() {
+  AutoscalerOptions opt;
+  opt.target_cpu_pct = 50.0;
+  opt.scale_out_threshold = 60.0;
+  opt.scale_in_threshold = 35.0;
+  opt.provision_lag_s = 1800;
+  opt.drain_lag_s = 300;
+  opt.control_interval_s = 120;
+  opt.min_servers = 4;
+  return opt;
+}
+
+constexpr double kCpuPerRps = 0.028;
+constexpr double kCpuBase = 1.4;
+constexpr double kCpuSlo = 75.0;
+
+TEST(ReactiveAutoscaler, RejectsBadOptions) {
+  AutoscalerOptions bad = default_options();
+  bad.min_servers = 0;
+  EXPECT_THROW(ReactiveAutoscaler{bad}, std::invalid_argument);
+  bad = default_options();
+  bad.control_interval_s = 0;
+  EXPECT_THROW(ReactiveAutoscaler{bad}, std::invalid_argument);
+}
+
+TEST(ReactiveAutoscaler, EmptyTraceEmptyRun) {
+  const ReactiveAutoscaler scaler(default_options());
+  const AutoscalerRun run = scaler.replay({}, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  EXPECT_TRUE(run.samples.empty());
+  EXPECT_EQ(run.violation_fraction(), 0.0);
+}
+
+TEST(ReactiveAutoscaler, TracksDiurnalLoad) {
+  const ReactiveAutoscaler scaler(default_options());
+  const TimeSeries trace = diurnal_trace(40000.0, 15000.0, 3);
+  const AutoscalerRun run =
+      scaler.replay(trace, 30, kCpuPerRps, kCpuBase, kCpuSlo);
+  // Capacity must breathe: peak serving well above the minimum serving.
+  std::size_t min_serving = run.samples.front().serving;
+  for (const auto& s : run.samples) {
+    min_serving = std::min(min_serving, s.serving);
+  }
+  EXPECT_GT(run.peak_serving, min_serving + 5);
+  // Mean CPU near target once warmed up.
+  double cpu_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = run.samples.size() / 2; i < run.samples.size(); ++i) {
+    cpu_sum += run.samples[i].cpu_pct;
+    ++n;
+  }
+  EXPECT_NEAR(cpu_sum / static_cast<double>(n), 50.0, 12.0);
+}
+
+TEST(ReactiveAutoscaler, UsesFewerServerHoursThanStaticPeak) {
+  const ReactiveAutoscaler scaler(default_options());
+  const TimeSeries trace = diurnal_trace(40000.0, 15000.0, 3);
+  const AutoscalerRun run =
+      scaler.replay(trace, 30, kCpuPerRps, kCpuBase, kCpuSlo);
+  // Static sizing for peak at target CPU:
+  const double static_servers =
+      kCpuPerRps * 40000.0 / (50.0 - kCpuBase);
+  EXPECT_LT(run.mean_serving(), static_servers);
+}
+
+TEST(ReactiveAutoscaler, ProvisioningLagCausesViolationsOnSpike) {
+  // The paper's argument: a sudden failover spike outruns reactive scaling
+  // because new capacity takes ~30 min to serve.
+  AutoscalerOptions opt = default_options();
+  opt.provision_lag_s = 1800;
+  const ReactiveAutoscaler scaler(opt);
+  TimeSeries trace;
+  for (SimTime t = 0; t < 4 * 3600; t += 120) {
+    trace.append(t, t >= 3600 && t < 3600 + 7200 ? 35000.0 : 12000.0);
+  }
+  const AutoscalerRun run =
+      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  EXPECT_GT(run.violation_seconds, 600.0);
+}
+
+TEST(ReactiveAutoscaler, ZeroLagScalesThroughSpikeCleanly) {
+  AutoscalerOptions opt = default_options();
+  opt.provision_lag_s = 0;
+  opt.drain_lag_s = 0;
+  opt.max_step_fraction = 3.0;  // allow big jumps
+  const ReactiveAutoscaler scaler(opt);
+  TimeSeries trace;
+  for (SimTime t = 0; t < 4 * 3600; t += 120) {
+    trace.append(t, t >= 3600 && t < 3600 + 7200 ? 35000.0 : 12000.0);
+  }
+  const AutoscalerRun run =
+      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  // With instantaneous provisioning the spike is absorbed within a couple
+  // of control periods.
+  EXPECT_LT(run.violation_seconds, 600.0);
+}
+
+TEST(ReactiveAutoscaler, RespectsMinServers) {
+  const ReactiveAutoscaler scaler(default_options());
+  TimeSeries trace;
+  for (SimTime t = 0; t < 86400; t += 120) trace.append(t, 10.0);  // ~no load
+  const AutoscalerRun run =
+      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  for (const auto& s : run.samples) EXPECT_GE(s.serving, 4u);
+}
+
+TEST(ReactiveAutoscaler, StepDampingLimitsChangeRate) {
+  AutoscalerOptions opt = default_options();
+  opt.max_step_fraction = 0.10;
+  opt.provision_lag_s = 0;
+  const ReactiveAutoscaler scaler(opt);
+  TimeSeries trace;
+  for (SimTime t = 0; t < 7200; t += 120) trace.append(t, 50000.0);
+  const AutoscalerRun run =
+      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  for (std::size_t i = 1; i < run.samples.size(); ++i) {
+    const double prev = static_cast<double>(run.samples[i - 1].target);
+    const double cur = static_cast<double>(run.samples[i].target);
+    EXPECT_LE(cur, std::ceil(prev * 1.10) + 1.0) << "i=" << i;
+  }
+}
+
+TEST(ReactiveAutoscaler, ServerSecondsIntegratesCapacity) {
+  const ReactiveAutoscaler scaler(default_options());
+  TimeSeries trace;
+  for (SimTime t = 0; t < 1200; t += 120) trace.append(t, 7000.0);
+  const AutoscalerRun run =
+      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  EXPECT_NEAR(run.total_seconds, 1200.0, 1e-9);
+  EXPECT_GE(run.server_seconds, 10.0 * 1200.0 * 0.5);
+}
+
+}  // namespace
+}  // namespace headroom::baseline

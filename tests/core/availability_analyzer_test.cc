@@ -1,0 +1,92 @@
+#include "core/availability_analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace headroom::core {
+namespace {
+
+constexpr telemetry::SimTime kDay = 86400;
+
+// Records `fraction` of a day online for server (pool, index) on `day`.
+void record_day(telemetry::AvailabilityLedger* ledger, std::uint32_t pool,
+                std::uint32_t server, std::int64_t day, double fraction) {
+  const auto online = static_cast<telemetry::SimTime>(fraction * kDay);
+  ledger->record({0, pool, server}, day * kDay, online, true);
+  ledger->record({0, pool, server}, day * kDay + online, kDay - online, false);
+}
+
+TEST(AvailabilityAnalyzer, EmptyLedgerIsPerfect) {
+  const telemetry::AvailabilityLedger ledger;
+  const AvailabilityAnalyzer analyzer;
+  const AvailabilityReport report = analyzer.analyze(ledger);
+  EXPECT_DOUBLE_EQ(report.fleet_average, 1.0);
+  EXPECT_DOUBLE_EQ(report.planned_overhead(), 0.0);
+  EXPECT_TRUE(report.daily_availabilities.empty());
+}
+
+TEST(AvailabilityAnalyzer, PaperShapedFleet) {
+  // 60% of server-days at 98% (well managed), 30% at 85% (heavy deploys),
+  // 10% at 70% (re-purposed) → mean ≈ 0.916, P95 ≈ 0.98.
+  telemetry::AvailabilityLedger ledger;
+  std::uint32_t server = 0;
+  for (int i = 0; i < 60; ++i) record_day(&ledger, 0, server++, 0, 0.98);
+  for (int i = 0; i < 30; ++i) record_day(&ledger, 1, server++, 0, 0.85);
+  for (int i = 0; i < 10; ++i) record_day(&ledger, 2, server++, 0, 0.70);
+
+  const AvailabilityAnalyzer analyzer;
+  const AvailabilityReport report = analyzer.analyze(ledger);
+  EXPECT_NEAR(report.fleet_average, 0.6 * 0.98 + 0.3 * 0.85 + 0.1 * 0.70, 0.005);
+  EXPECT_NEAR(report.well_managed, 0.98, 0.005);
+  EXPECT_NEAR(report.planned_overhead(), 0.02, 0.005);
+  EXPECT_NEAR(report.below_80_fraction, 0.10, 0.01);
+}
+
+TEST(AvailabilityAnalyzer, PoolAvailabilityAveragesDays) {
+  telemetry::AvailabilityLedger ledger;
+  record_day(&ledger, 3, 0, 0, 1.0);
+  record_day(&ledger, 3, 0, 1, 0.8);
+  const AvailabilityAnalyzer analyzer;
+  EXPECT_NEAR(analyzer.pool_availability(ledger, 0, 3, 0, 1), 0.9, 1e-9);
+}
+
+TEST(AvailabilityAnalyzer, PoolAvailabilityRejectsInvertedRange) {
+  const telemetry::AvailabilityLedger ledger;
+  const AvailabilityAnalyzer analyzer;
+  EXPECT_THROW((void)analyzer.pool_availability(ledger, 0, 0, 5, 2),
+               std::invalid_argument);
+}
+
+TEST(OnlineSavings, PaperPoolBNumbers) {
+  // Pool B ran ~73% available; bringing it to the 98% practice level
+  // saves 1 - 0.73/0.98 ≈ 25-27% of its servers (Table IV "Online" col).
+  EXPECT_NEAR(AvailabilityAnalyzer::online_savings(0.73, 0.98), 0.255, 0.01);
+}
+
+TEST(OnlineSavings, NoSavingsWhenAlreadyAtCeiling) {
+  EXPECT_DOUBLE_EQ(AvailabilityAnalyzer::online_savings(0.98, 0.98), 0.0);
+  EXPECT_DOUBLE_EQ(AvailabilityAnalyzer::online_savings(0.99, 0.98), 0.0);
+}
+
+TEST(OnlineSavings, RejectsNonPositive) {
+  EXPECT_THROW((void)AvailabilityAnalyzer::online_savings(0.0, 0.98),
+               std::invalid_argument);
+  EXPECT_THROW((void)AvailabilityAnalyzer::online_savings(0.9, 0.0),
+               std::invalid_argument);
+}
+
+TEST(AvailabilityHistogram, BinsCoverUnitInterval) {
+  telemetry::AvailabilityLedger ledger;
+  std::uint32_t server = 0;
+  for (int i = 0; i < 50; ++i) record_day(&ledger, 0, server++, 0, 0.98);
+  for (int i = 0; i < 50; ++i) record_day(&ledger, 0, server++, 0, 0.85);
+  const AvailabilityAnalyzer analyzer;
+  const AvailabilityReport report = analyzer.analyze(ledger);
+  const stats::Histogram hist =
+      AvailabilityAnalyzer::availability_histogram(report, 20);
+  EXPECT_EQ(hist.total(), 100u);
+  // Mass concentrates around the two modes (bins at 0.85 and 0.95-1.0).
+  EXPECT_GT(hist.fraction_above(0.90), 0.45);
+}
+
+}  // namespace
+}  // namespace headroom::core

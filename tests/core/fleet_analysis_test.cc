@@ -1,0 +1,72 @@
+#include "core/fleet_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace headroom::core {
+namespace {
+
+sim::ServerDayCpu day_with(double mean, double p95, double max) {
+  sim::ServerDayCpu d;
+  d.cpu.mean = mean;
+  d.cpu.p95 = p95;
+  d.cpu.max = max;
+  d.cpu.count = 720;
+  return d;
+}
+
+TEST(FleetAnalysis, EmptyInputYieldsZeroReport) {
+  const FleetUtilizationReport report = analyze_fleet_utilization({});
+  EXPECT_EQ(report.server_days, 0u);
+  EXPECT_EQ(report.global_utilization_pct, 0.0);
+}
+
+TEST(FleetAnalysis, GlobalUtilizationIsMeanOfMeans) {
+  std::vector<sim::ServerDayCpu> days;
+  days.push_back(day_with(10.0, 15.0, 20.0));
+  days.push_back(day_with(30.0, 45.0, 60.0));
+  const FleetUtilizationReport report = analyze_fleet_utilization(days);
+  EXPECT_DOUBLE_EQ(report.global_utilization_pct, 20.0);
+  EXPECT_DOUBLE_EQ(report.headroom_upper_bound(), 0.80);
+}
+
+TEST(FleetAnalysis, Fig12Checkpoints) {
+  // Paper-shaped fleet: 60% of servers at P95 <= 15, 80% < 30, 15% spiky.
+  std::vector<sim::ServerDayCpu> days;
+  for (int i = 0; i < 60; ++i) days.push_back(day_with(8.0, 12.0, 25.0));
+  for (int i = 0; i < 20; ++i) days.push_back(day_with(15.0, 25.0, 35.0));
+  for (int i = 0; i < 15; ++i) days.push_back(day_with(35.0, 60.0, 85.0));
+  for (int i = 0; i < 5; ++i) days.push_back(day_with(20.0, 28.0, 55.0));
+  const FleetUtilizationReport report = analyze_fleet_utilization(days);
+  EXPECT_NEAR(report.fraction_p95_at_or_below_15, 0.60, 1e-12);
+  EXPECT_NEAR(report.fraction_p95_at_or_below_30, 0.85, 1e-12);
+  EXPECT_NEAR(report.fraction_max_above_40, 0.20, 1e-12);
+}
+
+TEST(FleetAnalysis, CdfIsMonotone) {
+  std::vector<sim::ServerDayCpu> days;
+  for (int i = 0; i < 50; ++i) {
+    days.push_back(day_with(10.0, static_cast<double>(i), 50.0));
+  }
+  const auto cdf = p95_cpu_cdf(days);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(FleetAnalysis, SampleCheckpointsFromHistogram) {
+  stats::Histogram hist(0.0, 100.0, 100);
+  // 990 samples below 25, 9 in (25,40], 1 above 40.
+  for (int i = 0; i < 990; ++i) hist.add(10.0);
+  for (int i = 0; i < 9; ++i) hist.add(30.0);
+  hist.add(45.0);
+  const SampleDistributionCheckpoints c = sample_checkpoints(hist);
+  EXPECT_NEAR(c.fraction_above_25, 0.01, 1e-3);     // paper: ~1%
+  EXPECT_NEAR(c.fraction_above_40, 0.001, 1e-4);    // paper: <0.1%
+  EXPECT_NEAR(c.fraction_above_50, 0.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace headroom::core

@@ -1,0 +1,165 @@
+#include "core/load_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace headroom::core {
+namespace {
+
+TEST(PartitionByLoad, SplitsIntoEqualPopulations) {
+  std::vector<double> load;
+  for (int i = 0; i < 100; ++i) load.push_back(static_cast<double>(i));
+  const auto parts = partition_by_load(load, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const LoadPartition& p : parts) {
+    EXPECT_EQ(p.indices.size(), 25u);
+    EXPECT_LE(p.load_lo, p.load_hi);
+  }
+}
+
+TEST(PartitionByLoad, PartitionsAreOrderedAndDisjoint) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.0, 1000.0);
+  std::vector<double> load;
+  for (int i = 0; i < 333; ++i) load.push_back(u(rng));
+  const auto parts = partition_by_load(load, 5);
+  std::vector<bool> seen(load.size(), false);
+  double prev_hi = -1.0;
+  std::size_t total = 0;
+  for (const LoadPartition& p : parts) {
+    EXPECT_GE(p.load_lo, prev_hi);
+    prev_hi = p.load_hi;
+    for (std::size_t idx : p.indices) {
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+      EXPECT_GE(load[idx], p.load_lo);
+      EXPECT_LE(load[idx], p.load_hi);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, load.size());
+}
+
+TEST(PartitionByLoad, FewerPointsThanPartitions) {
+  const std::vector<double> load = {5.0, 1.0};
+  const auto parts = partition_by_load(load, 10);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.indices.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(PartitionByLoad, ZeroPartitionsThrows) {
+  const std::vector<double> load = {1.0};
+  EXPECT_THROW((void)partition_by_load(load, 0), std::invalid_argument);
+}
+
+TEST(PartitionByLoad, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(partition_by_load({}, 3).empty());
+}
+
+// Synthetic Eq.-1 world: latency = a2 n² + a1 n + a0 with per-partition
+// coefficients scaling with load.
+struct Eq1World {
+  std::vector<double> load;
+  std::vector<double> servers;
+  std::vector<double> latency;
+};
+
+Eq1World make_world(std::uint64_t seed, double noise_sigma = 0.1) {
+  Eq1World w;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, noise_sigma);
+  std::uniform_real_distribution<double> load_u(5000.0, 20000.0);
+  std::uniform_int_distribution<int> server_u(60, 100);
+  for (int i = 0; i < 800; ++i) {
+    const double load = load_u(rng);
+    const double n = server_u(rng);
+    // True model: latency = 20 + load/(n * 25) (convex in 1/n; a quadratic
+    // in n approximates it well over the observed range).
+    w.load.push_back(load);
+    w.servers.push_back(n);
+    w.latency.push_back(20.0 + load / (n * 25.0) + noise(rng));
+  }
+  return w;
+}
+
+TEST(ServerCountLatencyModel, FitsUsablePartitions) {
+  const Eq1World w = make_world(5);
+  const auto model =
+      ServerCountLatencyModel::fit(w.load, w.servers, w.latency);
+  ASSERT_EQ(model.partitions().size(), 4u);
+  for (const PartitionModel& pm : model.partitions()) {
+    EXPECT_TRUE(pm.usable);
+    EXPECT_EQ(pm.fit.coeffs.size(), 3u);
+  }
+}
+
+TEST(ServerCountLatencyModel, PredictsLatencyRiseWhenShrinking) {
+  const Eq1World w = make_world(7);
+  const auto model =
+      ServerCountLatencyModel::fit(w.load, w.servers, w.latency);
+  const double at100 = model.predict_latency_ms(12000.0, 100.0).value();
+  const double at70 = model.predict_latency_ms(12000.0, 70.0).value();
+  EXPECT_GT(at70, at100);
+  // Ground truth: 20 + 12000/(n*25).
+  EXPECT_NEAR(at100, 20.0 + 12000.0 / 2500.0, 1.0);
+  EXPECT_NEAR(at70, 20.0 + 12000.0 / 1750.0, 1.0);
+}
+
+TEST(ServerCountLatencyModel, HigherLoadPartitionPredictsHigherLatency) {
+  const Eq1World w = make_world(9);
+  const auto model =
+      ServerCountLatencyModel::fit(w.load, w.servers, w.latency);
+  EXPECT_GT(model.predict_latency_ms(19000.0, 80.0).value(),
+            model.predict_latency_ms(6000.0, 80.0).value());
+}
+
+TEST(ServerCountLatencyModel, MinServersForSloMatchesGroundTruth) {
+  const Eq1World w = make_world(11, 0.05);
+  const auto model =
+      ServerCountLatencyModel::fit(w.load, w.servers, w.latency);
+  // SLO 26 ms at load 12000: ground truth needs n >= 12000/(25*(26-20)) = 80.
+  // The quadratic-in-n approximation of the true 1/n curve carries a few
+  // servers of model error — exactly why the RSM loop steps gradually and
+  // re-fits instead of trusting one fit (paper §III-A).
+  const auto n = model.min_servers_for_slo(12000.0, 26.0, 100);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_NEAR(static_cast<double>(*n), 80.0, 10.0);
+}
+
+TEST(ServerCountLatencyModel, MinServersNulloptWhenCurrentViolates) {
+  const Eq1World w = make_world(13);
+  const auto model =
+      ServerCountLatencyModel::fit(w.load, w.servers, w.latency);
+  // SLO 21 ms at load 19000 needs n ≈ 760 — far above current 100.
+  EXPECT_FALSE(model.min_servers_for_slo(19000.0, 21.0, 100).has_value());
+}
+
+TEST(ServerCountLatencyModel, UnusableWithTooFewPoints) {
+  const std::vector<double> load = {1.0, 2.0, 3.0};
+  const std::vector<double> servers = {10.0, 10.0, 10.0};
+  const std::vector<double> latency = {5.0, 5.0, 5.0};
+  const auto model = ServerCountLatencyModel::fit(load, servers, latency);
+  EXPECT_FALSE(model.predict_latency_ms(2.0, 10.0).has_value());
+  EXPECT_FALSE(model.min_servers_for_slo(2.0, 10.0, 10).has_value());
+}
+
+TEST(ServerCountLatencyModel, SizeMismatchThrows) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW((void)ServerCountLatencyModel::fit(a, b, a),
+               std::invalid_argument);
+}
+
+TEST(ServerCountLatencyModel, PartitionCountConfigurable) {
+  const Eq1World w = make_world(17);
+  ServerCountModelOptions opt;
+  opt.partitions = 8;
+  const auto model =
+      ServerCountLatencyModel::fit(w.load, w.servers, w.latency, opt);
+  EXPECT_EQ(model.partitions().size(), 8u);
+}
+
+}  // namespace
+}  // namespace headroom::core

@@ -1,0 +1,165 @@
+#include "core/natural_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace headroom::core {
+namespace {
+
+using telemetry::SimTime;
+using telemetry::TimeSeries;
+
+constexpr std::size_t kWindowsPerDay = 720;  // 120 s windows
+
+// Four days of diurnal workload with an injected multiplicative spike on
+// day 2 — the shape of the paper's Figs. 4-6 events.
+struct EventWorld {
+  TimeSeries rps;
+  TimeSeries cpu;
+  TimeSeries latency;
+  SimTime event_start = 0;
+  SimTime event_end = 0;
+};
+
+EventWorld make_world(double spike_factor, std::uint64_t seed = 3,
+                      std::size_t event_windows = 60) {
+  EventWorld w;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.5);
+  const std::size_t event_begin = 2 * kWindowsPerDay + 300;
+  w.event_start = static_cast<SimTime>(event_begin) * 120;
+  w.event_end = static_cast<SimTime>(event_begin + event_windows) * 120;
+  for (std::size_t i = 0; i < 4 * kWindowsPerDay; ++i) {
+    const auto t = static_cast<SimTime>(i) * 120;
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(i % kWindowsPerDay) /
+                         static_cast<double>(kWindowsPerDay);
+    double rps = 100.0 + 20.0 * std::sin(phase) + noise(rng);
+    if (t >= w.event_start && t < w.event_end) rps *= spike_factor;
+    w.rps.append(t, rps);
+    w.cpu.append(t, 0.028 * rps + 1.37 + noise(rng) * 0.05);
+    w.latency.append(t, 4.028e-5 * rps * rps - 0.031 * rps + 36.68 +
+                            noise(rng) * 0.1);
+  }
+  return w;
+}
+
+TEST(NaturalExperiment, DetectsInjectedEvent) {
+  const EventWorld w = make_world(1.56);  // the paper's median +56% event
+  const NaturalExperimentAnalyzer analyzer;
+  const auto events = analyzer.detect(w.rps);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(events[0].start),
+              static_cast<double>(w.event_start), 3.0 * 120);
+  EXPECT_NEAR(events[0].increase_fraction(), 0.56, 0.15);
+}
+
+TEST(NaturalExperiment, QuietSeriesHasNoEvents) {
+  const EventWorld w = make_world(1.0);
+  const NaturalExperimentAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.detect(w.rps).empty());
+}
+
+TEST(NaturalExperiment, SmallBlipBelowThresholdIgnored) {
+  const EventWorld w = make_world(1.15);  // +15% < default 1.30 factor
+  const NaturalExperimentAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.detect(w.rps).empty());
+}
+
+TEST(NaturalExperiment, ShortSeriesYieldsNothing) {
+  TimeSeries rps;
+  for (int i = 0; i < 10; ++i) rps.append(i * 120, 100.0);
+  const NaturalExperimentAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.detect(rps).empty());
+}
+
+TEST(NaturalExperiment, DiurnalPeaksAreNotEventsEvenWithDeepSwings) {
+  // A 2.2x daily swing (trough 45 -> peak 100) must not trigger: the
+  // seasonal baseline knows what each hour usually looks like.
+  TimeSeries rps;
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (std::size_t i = 0; i < 4 * kWindowsPerDay; ++i) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(i % kWindowsPerDay) /
+                         static_cast<double>(kWindowsPerDay);
+    rps.append(static_cast<SimTime>(i) * 120,
+               72.5 + 27.5 * std::sin(phase) + noise(rng));
+  }
+  const NaturalExperimentAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.detect(rps).empty());
+}
+
+TEST(NaturalExperiment, FourTimesEventDetectedWithMagnitude) {
+  const EventWorld w = make_world(4.0, 7);  // the Fig. 6 event
+  const NaturalExperimentAnalyzer analyzer;
+  const auto events = analyzer.detect(w.rps);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GT(events[0].increase_fraction(), 2.5);
+}
+
+TEST(NaturalExperiment, CpuModelHoldsThroughEvent) {
+  // Fig. 5's claim: the linear CPU model fit on normal data predicts the
+  // event data too.
+  const EventWorld w = make_world(1.56, 11);
+  const NaturalExperimentAnalyzer analyzer;
+  const auto events = analyzer.detect(w.rps);
+  ASSERT_FALSE(events.empty());
+  const ModelHoldReport report =
+      analyzer.validate_cpu_model(w.rps, w.cpu, events[0]);
+  EXPECT_TRUE(report.holds);
+  // The event spans a narrow load band, so R² is a weak statistic there;
+  // the load-bearing check is that every event residual stays small
+  // relative to the prediction (Fig. 5's "followed the predicted linear
+  // relationship").
+  EXPECT_LT(report.max_relative_residual, 0.08);
+  EXPECT_GT(report.event_r_squared, 0.5);
+  EXPECT_NEAR(report.pre_event_cpu_fit.slope, 0.028, 0.002);
+}
+
+TEST(NaturalExperiment, ModelBreakDetected) {
+  // Counter-scenario: during the event the CPU relationship *changes*
+  // (e.g. a fallback path doubles per-request cost) — holds must be false.
+  EventWorld w = make_world(1.56, 13);
+  TimeSeries broken_cpu;
+  for (const auto& s : w.cpu.samples()) {
+    const bool in_event = s.window_start >= w.event_start &&
+                          s.window_start < w.event_end;
+    broken_cpu.append(s.window_start, in_event ? s.value * 2.2 : s.value);
+  }
+  const NaturalExperimentAnalyzer analyzer;
+  const auto events = analyzer.detect(w.rps);
+  ASSERT_FALSE(events.empty());
+  const ModelHoldReport report =
+      analyzer.validate_cpu_model(w.rps, broken_cpu, events[0]);
+  EXPECT_FALSE(report.holds);
+  EXPECT_GT(report.max_abs_residual, 3.0);
+}
+
+TEST(NaturalExperiment, FitWithEventsExtendsRange) {
+  // Without event data, extrapolating the latency quadratic to 4x load is
+  // soft; with it, the fit must be anchored out there. We check the fitted
+  // model predicts the true curve at 4x within tolerance.
+  const EventWorld w = make_world(4.0, 17);
+  const NaturalExperimentAnalyzer analyzer;
+  const PoolResponseModel model =
+      analyzer.fit_with_events(w.rps, w.cpu, w.latency);
+  const double rps4x = 400.0;
+  const double truth = 4.028e-5 * rps4x * rps4x - 0.031 * rps4x + 36.68;
+  EXPECT_NEAR(model.predict_latency_ms(rps4x), truth, 1.0);
+}
+
+TEST(NaturalExperiment, EventWindowIncreaseFractionArithmetic) {
+  EventWindow e;
+  e.baseline_rps = 100.0;
+  e.peak_rps = 227.0;
+  EXPECT_NEAR(e.increase_fraction(), 1.27, 1e-12);  // the +127% DC
+  e.baseline_rps = 0.0;
+  EXPECT_EQ(e.increase_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace headroom::core

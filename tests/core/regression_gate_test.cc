@@ -1,0 +1,136 @@
+#include "core/regression_gate.h"
+
+#include <gtest/gtest.h>
+
+namespace headroom::core {
+namespace {
+
+workload::SyntheticWorkload gate_workload() {
+  workload::RequestType t;
+  t.name = "page";
+  t.weight = 1.0;
+  t.cost_mean = 1.0;
+  t.cost_sigma = 0.15;
+  return workload::SyntheticWorkload(workload::RequestMix({t}));
+}
+
+sim::RequestSimConfig pool_config() {
+  sim::RequestSimConfig config;
+  config.servers = 4;
+  config.cores = 8.0;
+  config.base_service_ms = 5.0;
+  config.warmup_requests = 50;
+  config.window_seconds = 10;
+  return config;
+}
+
+GateOptions fast_gate() {
+  GateOptions opt;
+  opt.nominal_rps_per_server = 800.0;  // ~50% utilization at nominal
+  opt.step_duration_s = 20.0;
+  opt.latency_threshold_ms = 1.5;
+  opt.latency_threshold_frac = 0.05;
+  opt.cpu_threshold_pct = 2.0;
+  return opt;
+}
+
+TEST(RegressionGate, RequiresIdenticalPools) {
+  const RegressionGate gate(fast_gate());
+  sim::RequestSimConfig bigger = pool_config();
+  bigger.servers = 8;
+  EXPECT_THROW((void)gate.evaluate(pool_config(), bigger, gate_workload()),
+               std::invalid_argument);
+}
+
+TEST(RegressionGate, IdenticalBuildsPass) {
+  const RegressionGate gate(fast_gate());
+  const GateResult result =
+      gate.evaluate(pool_config(), pool_config(), gate_workload());
+  EXPECT_TRUE(result.pass);
+  ASSERT_EQ(result.steps.size(), 8u);  // default ladder
+  for (const LoadStepComparison& step : result.steps) {
+    EXPECT_FALSE(step.latency_regressed);
+    EXPECT_FALSE(step.cpu_regressed);
+    // Identical pools on identical streams: byte-identical results.
+    EXPECT_DOUBLE_EQ(step.baseline_latency_p95_ms,
+                     step.candidate_latency_p95_ms);
+  }
+  EXPECT_DOUBLE_EQ(result.max_clean_rps, result.steps.back().rps_per_server);
+}
+
+TEST(RegressionGate, FlatCpuRegressionCaught) {
+  const RegressionGate gate(fast_gate());
+  sim::RequestSimConfig candidate = pool_config();
+  candidate.defect.service_factor = 1.25;  // +25% CPU per request
+  const GateResult result =
+      gate.evaluate(pool_config(), candidate, gate_workload());
+  EXPECT_FALSE(result.pass);
+  bool any_cpu_flag = false;
+  for (const auto& step : result.steps) any_cpu_flag |= step.cpu_regressed;
+  EXPECT_TRUE(any_cpu_flag);
+}
+
+TEST(RegressionGate, LoadDependentLatencyRegressionCaught) {
+  // The paper's Fig. 16 bug class: fine at low load, blows up under load.
+  const RegressionGate gate(fast_gate());
+  sim::RequestSimConfig candidate = pool_config();
+  candidate.defect.overload_concurrency = 24;
+  candidate.defect.overload_extra_ms = 30.0;
+  const GateResult result =
+      gate.evaluate(pool_config(), candidate, gate_workload());
+  EXPECT_FALSE(result.pass);
+  // Low steps clean, high steps regressed.
+  EXPECT_FALSE(result.steps.front().latency_regressed);
+  EXPECT_TRUE(result.steps.back().latency_regressed);
+  EXPECT_LT(result.max_clean_rps, result.steps.back().rps_per_server);
+}
+
+TEST(RegressionGate, DeltaCurveQuantifiesMagnitude) {
+  const RegressionGate gate(fast_gate());
+  sim::RequestSimConfig candidate = pool_config();
+  candidate.defect.overload_concurrency = 24;
+  candidate.defect.overload_extra_ms = 30.0;
+  const GateResult result =
+      gate.evaluate(pool_config(), candidate, gate_workload());
+  // The fitted delta curve must predict a bigger delta at high load than
+  // low load — "we also determine the curve describing the change".
+  const double lo = result.steps.front().rps_per_server;
+  const double hi = result.steps.back().rps_per_server;
+  EXPECT_GT(result.delta_curve.predict(hi), result.delta_curve.predict(lo) + 3.0);
+}
+
+TEST(RegressionGate, ImprovementIsNotARegression) {
+  const RegressionGate gate(fast_gate());
+  sim::RequestSimConfig candidate = pool_config();
+  candidate.defect.service_factor = 0.8;  // the change makes things faster
+  const GateResult result =
+      gate.evaluate(pool_config(), candidate, gate_workload());
+  EXPECT_TRUE(result.pass);
+}
+
+TEST(RegressionGate, CustomLadderRespected) {
+  GateOptions opt = fast_gate();
+  opt.rps_per_server_steps = {100.0, 500.0, 900.0};
+  const RegressionGate gate(opt);
+  const GateResult result =
+      gate.evaluate(pool_config(), pool_config(), gate_workload());
+  ASSERT_EQ(result.steps.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.steps[0].rps_per_server, 100.0);
+  EXPECT_DOUBLE_EQ(result.steps[2].rps_per_server, 900.0);
+}
+
+TEST(RegressionGate, SmallDeltasBelowThresholdPass) {
+  GateOptions opt = fast_gate();
+  opt.latency_threshold_ms = 50.0;  // very lax
+  opt.latency_threshold_frac = 2.0;
+  opt.cpu_threshold_pct = 50.0;
+  const RegressionGate gate(opt);
+  sim::RequestSimConfig candidate = pool_config();
+  candidate.defect.service_factor = 1.05;
+  const GateResult result =
+      gate.evaluate(pool_config(), candidate, gate_workload());
+  EXPECT_TRUE(result.pass);
+}
+
+}  // namespace
+}  // namespace headroom::core

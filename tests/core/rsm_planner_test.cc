@@ -1,0 +1,156 @@
+#include "core/rsm_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace headroom::core {
+namespace {
+
+// Analytic stand-in for a production pool: latency = warm + load/(n*k),
+// sampled with noise. Lets us test the planner loop without the fleet sim.
+class FakePoolBackend final : public PoolExperimentBackend {
+ public:
+  FakePoolBackend(std::size_t servers, double warm_ms, double k,
+                  double load_mean)
+      : pool_size_(servers),
+        serving_(servers),
+        warm_ms_(warm_ms),
+        k_(k),
+        load_mean_(load_mean) {}
+
+  [[nodiscard]] std::size_t pool_size() const override { return pool_size_; }
+  [[nodiscard]] std::size_t serving_count() const override { return serving_; }
+  void set_serving_count(std::size_t servers) override {
+    ++set_calls_;
+    serving_ = servers;
+  }
+
+  ExperimentObservations observe(telemetry::SimTime duration) override {
+    ExperimentObservations obs;
+    std::normal_distribution<double> noise(0.0, 0.05);
+    std::uniform_real_distribution<double> load_u(load_mean_ * 0.6,
+                                                  load_mean_ * 1.1);
+    const auto windows = static_cast<std::size_t>(duration / 120);
+    for (std::size_t i = 0; i < windows; ++i) {
+      const double load = load_u(rng_);
+      obs.total_rps.push_back(load);
+      obs.servers.push_back(static_cast<double>(serving_));
+      obs.latency_p95_ms.push_back(
+          warm_ms_ + load / (static_cast<double>(serving_) * k_) + noise(rng_));
+      obs.cpu_pct.push_back(load / static_cast<double>(serving_) * 0.03);
+    }
+    return obs;
+  }
+
+  int set_calls() const { return set_calls_; }
+
+ private:
+  std::size_t pool_size_;
+  std::size_t serving_;
+  double warm_ms_;
+  double k_;
+  double load_mean_;
+  std::mt19937_64 rng_{42};
+  int set_calls_ = 0;
+};
+
+RsmOptions fast_options(double slo_ms) {
+  RsmOptions opt;
+  opt.latency_slo_ms = slo_ms;
+  opt.slo_margin_ms = 0.3;
+  opt.baseline_duration = 86400;     // 720 windows
+  opt.iteration_duration = 86400;
+  opt.max_iterations = 8;
+  opt.max_step_fraction = 0.15;
+  return opt;
+}
+
+TEST(RsmPlanner, StopsAtSloLimit) {
+  // Ground truth: latency = 10 + load/(n*10); at P95 load ~11000 and SLO
+  // 14 ms (the paper's Fig. 7 limit), minimum n ≈ 11000/(10*(14-10)) ≈ 275.
+  FakePoolBackend backend(400, 10.0, 10.0, 10000.0);
+  const RsmPlanner planner(fast_options(14.0));
+  const RsmResult result = planner.optimize(backend);
+
+  EXPECT_EQ(result.starting_serving, 400u);
+  EXPECT_GE(result.iterations.size(), 2u);
+  EXPECT_LT(result.recommended_serving, 400u);
+  EXPECT_GE(result.recommended_serving, 260u);  // never below the SLO floor
+  // The observed latency at the final serving count stays within SLO.
+  EXPECT_LE(result.iterations.back().observed_latency_p95_ms, 14.0 + 0.5);
+}
+
+TEST(RsmPlanner, ReductionsAreGradual) {
+  FakePoolBackend backend(400, 10.0, 10.0, 10000.0);
+  const RsmPlanner planner(fast_options(14.0));
+  const RsmResult result = planner.optimize(backend);
+  for (std::size_t i = 1; i < result.iterations.size(); ++i) {
+    const double prev = static_cast<double>(result.iterations[i - 1].serving);
+    const double cur = static_cast<double>(result.iterations[i].serving);
+    EXPECT_LE(prev - cur, std::ceil(prev * 0.15) + 1.0)
+        << "iteration " << i;  // per-step cap
+    EXPECT_LT(cur, prev);      // monotone reductions
+  }
+}
+
+TEST(RsmPlanner, GenerousSloHitsFloorNotSlo) {
+  FakePoolBackend backend(100, 10.0, 10.0, 1000.0);
+  RsmOptions opt = fast_options(200.0);  // absurdly generous SLO
+  opt.min_serving_fraction = 0.5;
+  const RsmPlanner planner(opt);
+  const RsmResult result = planner.optimize(backend);
+  EXPECT_EQ(result.recommended_serving, 50u);  // the floor
+  EXPECT_FALSE(result.slo_limit_reached);
+}
+
+TEST(RsmPlanner, TightSloMeansNoReduction) {
+  // Current latency is already ~11; SLO 11.2 leaves no room.
+  FakePoolBackend backend(400, 10.0, 10.0, 4000.0);
+  const RsmPlanner planner(fast_options(11.2));
+  const RsmResult result = planner.optimize(backend);
+  EXPECT_NEAR(static_cast<double>(result.recommended_serving), 400.0, 40.0);
+}
+
+TEST(RsmPlanner, BackendLeftAtRecommendedCount) {
+  FakePoolBackend backend(400, 10.0, 10.0, 10000.0);
+  const RsmPlanner planner(fast_options(14.0));
+  const RsmResult result = planner.optimize(backend);
+  EXPECT_EQ(backend.serving_count(), result.recommended_serving);
+}
+
+TEST(RsmPlanner, PredictionsTrackObservations) {
+  FakePoolBackend backend(400, 10.0, 10.0, 10000.0);
+  const RsmPlanner planner(fast_options(14.0));
+  const RsmResult result = planner.optimize(backend);
+  // Skip the baseline (no prediction); later iterations' predictions
+  // should be close to what was then observed — the paper's §III-A
+  // forecast-accuracy story.
+  for (std::size_t i = 1; i < result.iterations.size(); ++i) {
+    const RsmIteration& it = result.iterations[i];
+    if (it.predicted_latency_ms == 0.0) continue;
+    EXPECT_NEAR(it.predicted_latency_ms, it.observed_latency_p95_ms, 1.5)
+        << "iteration " << i;
+  }
+}
+
+TEST(RsmPlanner, HistoryAccumulatesAcrossIterations) {
+  FakePoolBackend backend(400, 10.0, 10.0, 10000.0);
+  const RsmPlanner planner(fast_options(14.0));
+  const RsmResult result = planner.optimize(backend);
+  EXPECT_EQ(result.history.size(),
+            result.iterations.size() * 720u);  // windows per day
+}
+
+TEST(RsmPlanner, ReductionFractionConsistent) {
+  FakePoolBackend backend(400, 10.0, 10.0, 10000.0);
+  const RsmPlanner planner(fast_options(14.0));
+  const RsmResult result = planner.optimize(backend);
+  EXPECT_NEAR(result.reduction_fraction(),
+              1.0 - static_cast<double>(result.recommended_serving) / 400.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace headroom::core

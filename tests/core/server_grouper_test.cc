@@ -1,0 +1,129 @@
+#include "core/server_grouper.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace headroom::core {
+namespace {
+
+telemetry::PercentileSnapshot snapshot_around(double level, double spread,
+                                              std::mt19937_64& rng) {
+  std::normal_distribution<double> jitter(0.0, spread * 0.05);
+  telemetry::PercentileSnapshot s;
+  s.p5 = level - spread + jitter(rng);
+  s.p25 = level - spread / 2 + jitter(rng);
+  s.p50 = level + jitter(rng);
+  s.p75 = level + spread / 2 + jitter(rng);
+  s.p95 = level + spread + jitter(rng);
+  s.mean = level;
+  s.min = s.p5 - spread * 0.2;
+  s.max = s.p95 + spread * 0.2;
+  s.count = 720;
+  return s;
+}
+
+TEST(FeaturesFromSnapshot, PercentilesCopiedAndRegressionComputed) {
+  telemetry::PercentileSnapshot s;
+  s.p5 = 5.0;
+  s.p25 = 25.0;
+  s.p50 = 50.0;
+  s.p75 = 75.0;
+  s.p95 = 95.0;
+  const GroupingFeatures f = features_from_snapshot(s);
+  EXPECT_DOUBLE_EQ(f.p5, 5.0);
+  EXPECT_DOUBLE_EQ(f.p95, 95.0);
+  // Value == percentile rank: slope 1, intercept 0, perfect fit.
+  EXPECT_NEAR(f.slope, 1.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 0.0, 1e-10);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FeaturesFromSnapshot, AsRowMatchesNames) {
+  const GroupingFeatures f = features_from_snapshot({});
+  EXPECT_EQ(f.as_row().size(), GroupingFeatures::names().size());
+}
+
+TEST(ServerGrouper, UniformPoolIsOneGroup) {
+  std::mt19937_64 rng(3);
+  std::vector<telemetry::PercentileSnapshot> servers;
+  for (int i = 0; i < 60; ++i) servers.push_back(snapshot_around(12.0, 4.0, rng));
+  const ServerGrouper grouper;
+  const PoolGrouping g = grouper.group_servers(servers);
+  EXPECT_EQ(g.group_count, 1u);
+  EXPECT_FALSE(g.multimodal());
+}
+
+TEST(ServerGrouper, HardwareRefreshPoolSplitsInTwo) {
+  // Fig. 3's bimodal pool: newer hardware runs visibly cooler.
+  std::mt19937_64 rng(5);
+  std::vector<telemetry::PercentileSnapshot> servers;
+  for (int i = 0; i < 40; ++i) servers.push_back(snapshot_around(18.0, 5.0, rng));
+  for (int i = 0; i < 40; ++i) servers.push_back(snapshot_around(7.0, 2.0, rng));
+  const ServerGrouper grouper;
+  const PoolGrouping g = grouper.group_servers(servers);
+  EXPECT_EQ(g.group_count, 2u);
+  EXPECT_TRUE(g.multimodal());
+  // First 40 and last 40 land in different groups.
+  EXPECT_NE(g.assignment[0], g.assignment[79]);
+  EXPECT_EQ(g.assignment[0], g.assignment[39]);
+  EXPECT_EQ(g.assignment[40], g.assignment[79]);
+  EXPECT_GT(g.silhouette, 0.55);
+}
+
+TEST(ServerGrouper, TinyPoolNeverSplits) {
+  std::mt19937_64 rng(7);
+  std::vector<telemetry::PercentileSnapshot> servers;
+  servers.push_back(snapshot_around(5.0, 1.0, rng));
+  servers.push_back(snapshot_around(50.0, 1.0, rng));
+  const ServerGrouper grouper;
+  const PoolGrouping g = grouper.group_servers(servers);
+  EXPECT_EQ(g.group_count, 1u);  // below the 4-server minimum
+}
+
+TEST(ServerGrouper, MinSilhouetteGatesSplitting) {
+  // Overlapping populations: a strict threshold keeps one group.
+  std::mt19937_64 rng(9);
+  std::vector<telemetry::PercentileSnapshot> servers;
+  for (int i = 0; i < 40; ++i) servers.push_back(snapshot_around(10.0, 4.0, rng));
+  for (int i = 0; i < 40; ++i) servers.push_back(snapshot_around(11.0, 4.0, rng));
+  GrouperOptions strict;
+  strict.min_silhouette = 0.9;
+  const PoolGrouping g = ServerGrouper(strict).group_servers(servers);
+  EXPECT_EQ(g.group_count, 1u);
+}
+
+TEST(ServerGrouper, PoolSnapshotsFiltersFleetOutput) {
+  std::vector<sim::ServerDayCpu> days;
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    days.push_back({0, 0, s, 0, {}});
+    days.push_back({0, 0, s, 1, {}});  // second day
+    days.push_back({0, 1, s, 0, {}});  // other pool
+    days.push_back({1, 0, s, 0, {}});  // other DC
+  }
+  const auto snaps = ServerGrouper::pool_snapshots(days, 0, 0, 0);
+  EXPECT_EQ(snaps.size(), 5u);
+}
+
+TEST(ServerGrouper, FeatureDatasetHasEightColumns) {
+  std::vector<GroupingFeatures> features(3);
+  const ml::Dataset data = ServerGrouper::feature_dataset(features);
+  EXPECT_EQ(data.rows(), 3u);
+  EXPECT_EQ(data.cols(), 8u);
+  EXPECT_EQ(data.feature_name(0), "p5");
+  EXPECT_EQ(data.feature_name(7), "r2");
+}
+
+TEST(ServerGrouper, ThreeGenerationPoolFindsThreeGroups) {
+  std::mt19937_64 rng(11);
+  std::vector<telemetry::PercentileSnapshot> servers;
+  for (int i = 0; i < 30; ++i) servers.push_back(snapshot_around(30.0, 3.0, rng));
+  for (int i = 0; i < 30; ++i) servers.push_back(snapshot_around(15.0, 2.0, rng));
+  for (int i = 0; i < 30; ++i) servers.push_back(snapshot_around(5.0, 1.0, rng));
+  const ServerGrouper grouper;
+  const PoolGrouping g = grouper.group_servers(servers);
+  EXPECT_EQ(g.group_count, 3u);
+}
+
+}  // namespace
+}  // namespace headroom::core

@@ -1,0 +1,104 @@
+#include "core/synthetic_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace headroom::core {
+namespace {
+
+telemetry::AlignedPair profile(double latency_scale, double cpu_scale,
+                               std::uint64_t seed, bool cpu, double lo = 50.0,
+                               double hi = 400.0) {
+  telemetry::AlignedPair pair;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  for (int i = 0; i < 300; ++i) {
+    const double rps = lo + (hi - lo) * static_cast<double>(i % 100) / 99.0;
+    pair.x.push_back(rps);
+    if (cpu) {
+      pair.y.push_back((0.03 * rps + 2.0) * cpu_scale + noise(rng) * 0.1);
+    } else {
+      pair.y.push_back((25.0 + 0.01 * rps) * latency_scale + noise(rng));
+    }
+  }
+  return pair;
+}
+
+TEST(SyntheticValidator, AcceptsMatchingProfiles) {
+  const SyntheticWorkloadValidator validator;
+  const ProfileComparison cmp = validator.compare(
+      profile(1.0, 1.0, 1, false), profile(1.0, 1.0, 2, false),
+      profile(1.0, 1.0, 3, true), profile(1.0, 1.0, 4, true));
+  EXPECT_TRUE(cmp.equivalent);
+  EXPECT_LT(cmp.worst_latency_gap_frac, 0.10);
+  EXPECT_LT(cmp.worst_cpu_gap_frac, 0.10);
+  EXPECT_GE(cmp.coverage, 0.9);
+}
+
+TEST(SyntheticValidator, RejectsLatencyMismatch) {
+  // Synthetic workload 30% too cheap -> latency profile sits 30% low.
+  const SyntheticWorkloadValidator validator;
+  const ProfileComparison cmp = validator.compare(
+      profile(1.0, 1.0, 5, false), profile(0.7, 1.0, 6, false),
+      profile(1.0, 1.0, 7, true), profile(1.0, 1.0, 8, true));
+  EXPECT_FALSE(cmp.equivalent);
+  EXPECT_GT(cmp.worst_latency_gap_frac, 0.2);
+}
+
+TEST(SyntheticValidator, RejectsCpuMismatch) {
+  const SyntheticWorkloadValidator validator;
+  const ProfileComparison cmp = validator.compare(
+      profile(1.0, 1.0, 9, false), profile(1.0, 1.0, 10, false),
+      profile(1.0, 1.0, 11, true), profile(1.0, 1.4, 12, true));
+  EXPECT_FALSE(cmp.equivalent);
+  EXPECT_GT(cmp.worst_cpu_gap_frac, 0.2);
+}
+
+TEST(SyntheticValidator, RejectsInsufficientCoverage) {
+  // Synthetic stream only exercised the bottom fifth of the load range:
+  // even if those buckets match, the comparison must not pass.
+  const SyntheticWorkloadValidator validator;
+  const ProfileComparison cmp = validator.compare(
+      profile(1.0, 1.0, 13, false, 50.0, 400.0),
+      profile(1.0, 1.0, 14, false, 50.0, 110.0),
+      profile(1.0, 1.0, 15, true, 50.0, 400.0),
+      profile(1.0, 1.0, 16, true, 50.0, 110.0));
+  EXPECT_FALSE(cmp.equivalent);
+  EXPECT_LT(cmp.coverage, 0.6);
+}
+
+TEST(SyntheticValidator, EmptyProfilesAreNotEquivalent) {
+  const SyntheticWorkloadValidator validator;
+  const telemetry::AlignedPair empty;
+  const ProfileComparison cmp =
+      validator.compare(empty, empty, empty, empty);
+  EXPECT_FALSE(cmp.equivalent);
+}
+
+TEST(SyntheticValidator, BucketsSpanLoadRange) {
+  const SyntheticWorkloadValidator validator;
+  const ProfileComparison cmp = validator.compare(
+      profile(1.0, 1.0, 17, false), profile(1.0, 1.0, 18, false),
+      profile(1.0, 1.0, 19, true), profile(1.0, 1.0, 20, true));
+  ASSERT_EQ(cmp.buckets.size(), 6u);
+  EXPECT_NEAR(cmp.buckets.front().rps_lo, 50.0, 2.0);
+  EXPECT_NEAR(cmp.buckets.back().rps_hi, 400.0, 2.0);
+  for (std::size_t i = 1; i < cmp.buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cmp.buckets[i].rps_lo, cmp.buckets[i - 1].rps_hi);
+  }
+}
+
+TEST(SyntheticValidator, ToleranceOptionsRespected) {
+  SyntheticValidatorOptions lax;
+  lax.latency_tolerance_frac = 0.5;
+  lax.cpu_tolerance_frac = 0.5;
+  const SyntheticWorkloadValidator validator(lax);
+  const ProfileComparison cmp = validator.compare(
+      profile(1.0, 1.0, 21, false), profile(0.8, 1.0, 22, false),
+      profile(1.0, 1.0, 23, true), profile(1.0, 1.2, 24, true));
+  EXPECT_TRUE(cmp.equivalent);  // 20% gaps pass under 50% tolerance
+}
+
+}  // namespace
+}  // namespace headroom::core

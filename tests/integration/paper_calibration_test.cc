@@ -1,0 +1,194 @@
+// Calibration tests: the simulated pools must land on the paper's published
+// curves and tables within tolerance. These are the quantitative guardrails
+// behind EXPERIMENTS.md — if one of these moves, the bench outputs move.
+#include <gtest/gtest.h>
+
+#include "sim/fleet.h"
+#include "stats/linear_model.h"
+#include "stats/percentile.h"
+#include "stats/polynomial.h"
+
+namespace headroom {
+namespace {
+
+constexpr telemetry::SimTime kDay = 86400;
+using telemetry::MetricKind;
+
+struct PoolFits {
+  stats::LinearFit cpu;
+  stats::PolynomialFit latency;
+  std::vector<double> rps;
+};
+
+PoolFits observe_pool(const std::string& service, std::size_t servers,
+                      telemetry::SimTime duration) {
+  sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, service, servers),
+                           catalog);
+  fleet.run_until(duration);
+  PoolFits fits;
+  const auto cpu_scatter = fleet.store().pool_scatter(
+      0, 0, MetricKind::kRequestsPerSecond, MetricKind::kCpuPercentAttributed);
+  fits.cpu = stats::fit_linear(cpu_scatter.x, cpu_scatter.y);
+  const auto lat_scatter = fleet.store().pool_scatter(
+      0, 0, MetricKind::kRequestsPerSecond, MetricKind::kLatencyP95Ms);
+  fits.latency = stats::fit_quadratic(lat_scatter.x, lat_scatter.y);
+  fits.rps =
+      fleet.store().pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
+  return fits;
+}
+
+TEST(PaperCalibration, PoolBLinearCpuFit) {
+  // Fig. 8: y = 0.028x + 1.37, R² = 0.984.
+  const PoolFits fits = observe_pool("B", 64, 2 * kDay);
+  EXPECT_NEAR(fits.cpu.slope, 0.028, 0.0015);
+  EXPECT_NEAR(fits.cpu.intercept, 1.37, 0.3);
+  EXPECT_GT(fits.cpu.r_squared, 0.95);
+}
+
+TEST(PaperCalibration, PoolBOperatingPoint) {
+  // Table II original stage: P50 ≈ 250, P95 ≈ 377 RPS/server.
+  const PoolFits fits = observe_pool("B", 64, 5 * kDay);
+  EXPECT_NEAR(stats::percentile(fits.rps, 95.0), 377.0, 20.0);
+  EXPECT_NEAR(stats::percentile(fits.rps, 50.0), 250.0, 35.0);
+}
+
+TEST(PaperCalibration, PoolBLatencyAnchors) {
+  // Fig. 9 anchors: ~30.5 ms around the P95 operating point; the fitted
+  // quadratic's value near 377 and 540 RPS matches the paper's curve.
+  const PoolFits fits = observe_pool("B", 64, 5 * kDay);
+  EXPECT_NEAR(fits.latency.predict(377.0), 30.6, 1.2);
+  const double paper_at_540 = 4.028e-5 * 540 * 540 - 0.031 * 540 + 36.68;
+  EXPECT_NEAR(fits.latency.predict(540.0), paper_at_540, 2.0);
+}
+
+TEST(PaperCalibration, PoolDLinearCpuFit) {
+  // Fig. 10: y = 0.0916x + 5.0 (R² 0.94-0.97 in the paper).
+  const PoolFits fits = observe_pool("D", 100, 2 * kDay);
+  EXPECT_NEAR(fits.cpu.slope, 0.0916, 0.004);
+  EXPECT_NEAR(fits.cpu.intercept, 5.0, 0.5);
+  EXPECT_GT(fits.cpu.r_squared, 0.93);
+}
+
+TEST(PaperCalibration, PoolDOperatingPoint) {
+  // Table III original stage: P50 ≈ 56.8, P95 ≈ 77.7 RPS/server.
+  const PoolFits fits = observe_pool("D", 100, 5 * kDay);
+  EXPECT_NEAR(stats::percentile(fits.rps, 95.0), 77.7, 5.0);
+  EXPECT_NEAR(stats::percentile(fits.rps, 50.0), 56.8, 8.0);
+}
+
+TEST(PaperCalibration, PoolDLatencyQuadraticShape) {
+  // Fig. 11: quadratic with a dip near 86 RPS; anchor values ~52-53 ms at
+  // 78 RPS and ~50-53 at 95 RPS, elevated at low load.
+  const PoolFits fits = observe_pool("D", 100, 5 * kDay);
+  ASSERT_EQ(fits.latency.coeffs.size(), 3u);
+  EXPECT_GT(fits.latency.coeffs[2], 0.0);   // convex
+  EXPECT_LT(fits.latency.coeffs[1], 0.0);   // dips before rising
+  EXPECT_NEAR(fits.latency.predict(77.7), 52.8, 2.5);
+  EXPECT_GT(fits.latency.predict(20.0), 60.0);  // the cold-start elevation
+}
+
+TEST(PaperCalibration, PoolBReductionExperimentMatchesTableII) {
+  sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, "B", 64), catalog);
+  fleet.run_until(5 * kDay);
+  fleet.set_serving_count(0, 0, 45);  // 30% reduction (64 -> 44.8)
+  fleet.run_until(7 * kDay);
+
+  const auto& series =
+      fleet.store().pool_series(0, 0, MetricKind::kRequestsPerSecond);
+  const auto before = series.values_between(0, 5 * kDay);
+  const auto after = series.values_between(5 * kDay, 7 * kDay);
+  // Table II: P95 377 -> 540 (the production traffic also grew 10%; our
+  // fixed-demand reproduction gets the pure 1/0.7 factor ≈ 536).
+  EXPECT_NEAR(stats::percentile(before, 95.0), 377.0, 20.0);
+  EXPECT_NEAR(stats::percentile(after, 95.0), 536.0, 30.0);
+}
+
+TEST(PaperCalibration, PoolBForecastVsMeasuredWithinPaperGap) {
+  // §III-A1 headline: predicted 31.5 ms vs measured 30.9 ms (gap 0.6).
+  sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, "B", 64), catalog);
+  fleet.run_until(5 * kDay);
+
+  const auto cpu_scatter = fleet.store().pool_scatter(
+      0, 0, MetricKind::kRequestsPerSecond, MetricKind::kCpuPercentAttributed);
+  const auto lat_scatter = fleet.store().pool_scatter(
+      0, 0, MetricKind::kRequestsPerSecond, MetricKind::kLatencyP95Ms);
+  const auto latency_fit = stats::fit_quadratic(lat_scatter.x, lat_scatter.y);
+  const auto cpu_fit = stats::fit_linear(cpu_scatter.x, cpu_scatter.y);
+
+  fleet.set_serving_count(0, 0, 45);
+  fleet.run_until(7 * kDay);
+  const auto after_rps =
+      fleet.store()
+          .pool_series(0, 0, MetricKind::kRequestsPerSecond)
+          .values_between(5 * kDay, 7 * kDay);
+  const auto after_lat =
+      fleet.store()
+          .pool_series(0, 0, MetricKind::kLatencyP95Ms)
+          .values_between(5 * kDay, 7 * kDay);
+  const auto after_cpu =
+      fleet.store()
+          .pool_series(0, 0, MetricKind::kCpuPercentAttributed)
+          .values_between(5 * kDay, 7 * kDay);
+
+  const double p95_load = stats::percentile(after_rps, 95.0);
+  // Average measured latency/CPU in the top-load windows:
+  double lat = 0.0;
+  double cpu = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i < after_rps.size(); ++i) {
+    if (after_rps[i] >= p95_load * 0.97) {
+      lat += after_lat[i];
+      cpu += after_cpu[i];
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 3);
+  lat /= n;
+  cpu /= n;
+  // Forecast accuracy: the paper saw |pred - meas| of 0.6 ms and ~1% CPU.
+  EXPECT_NEAR(latency_fit.predict(p95_load), lat, 1.2);
+  EXPECT_NEAR(cpu_fit.predict(p95_load), cpu, 1.2);
+}
+
+TEST(PaperCalibration, PoolDForecastVsMeasured) {
+  // §III-A2: 10% reduction; predicted 52.6 ms vs measured 50.7; predicted
+  // CPU 13.7% vs measured 13.3%.
+  sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, "D", 100), catalog);
+  fleet.run_until(5 * kDay);
+
+  const auto lat_scatter = fleet.store().pool_scatter(
+      0, 0, MetricKind::kRequestsPerSecond, MetricKind::kLatencyP95Ms);
+  const auto latency_fit = stats::fit_quadratic(lat_scatter.x, lat_scatter.y);
+
+  fleet.set_serving_count(0, 0, 90);
+  fleet.run_until(7 * kDay);
+  const auto after_rps =
+      fleet.store()
+          .pool_series(0, 0, MetricKind::kRequestsPerSecond)
+          .values_between(5 * kDay, 7 * kDay);
+  const auto after_lat =
+      fleet.store()
+          .pool_series(0, 0, MetricKind::kLatencyP95Ms)
+          .values_between(5 * kDay, 7 * kDay);
+  const double p95_load = stats::percentile(after_rps, 95.0);
+  double lat = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i < after_rps.size(); ++i) {
+    if (after_rps[i] >= p95_load * 0.97) {
+      lat += after_lat[i];
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 3);
+  lat /= n;
+  EXPECT_NEAR(p95_load, 86.3, 6.0);  // 77.7 / 0.9
+  EXPECT_NEAR(latency_fit.predict(p95_load), lat, 1.5);
+  EXPECT_NEAR(lat, 51.5, 2.5);  // the paper's 50.7-52.6 band
+}
+
+}  // namespace
+}  // namespace headroom

@@ -1,0 +1,195 @@
+// Property sweeps across the whole micro-service catalog: invariants every
+// service profile must satisfy, regardless of its calibration. These are
+// the guardrails that keep future catalog tuning honest.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/fleet.h"
+#include "sim/response.h"
+#include "stats/linear_model.h"
+#include "stats/percentile.h"
+
+namespace headroom {
+namespace {
+
+constexpr telemetry::SimTime kDay = 86400;
+using telemetry::MetricKind;
+
+class ServiceSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  sim::MicroserviceCatalog catalog_;
+  const sim::MicroserviceProfile& profile() {
+    return catalog_.by_name(GetParam());
+  }
+};
+
+TEST_P(ServiceSweep, CpuSlopeEqualsCostOverCores) {
+  const sim::ResponseModel model(profile(), sim::HardwareGeneration{});
+  const double slope = (model.cpu_attributed_pct(200.0) -
+                        model.cpu_attributed_pct(100.0)) /
+                       100.0;
+  EXPECT_NEAR(slope, profile().cost_ms_per_request / (10.0 * 16.0), 1e-12);
+}
+
+TEST_P(ServiceSweep, LatencyHasColdDipShape) {
+  // Every profile must show the paper's latency shape: elevated at near-
+  // zero load, minimal somewhere in the operating range, rising after.
+  const sim::ResponseModel model(profile(), sim::HardwareGeneration{});
+  const double target = profile().target_rps_per_server_p95;
+  const double at_idle = model.latency_p95_ms(target * 0.02, 1.0);
+  const double at_target = model.latency_p95_ms(target, 1.0);
+  EXPECT_GT(at_idle, at_target) << "no cold-start elevation";
+  // Far past the operating point latency must exceed the target level
+  // (queueing or the capacity knee must bite eventually).
+  const double at_3x = model.latency_p95_ms(target * 3.0, 1.0);
+  EXPECT_GT(at_3x, at_target);
+}
+
+TEST_P(ServiceSweep, LatencyMonotoneAboveTwiceTarget) {
+  const sim::ResponseModel model(profile(), sim::HardwareGeneration{});
+  const double target = profile().target_rps_per_server_p95;
+  double prev = model.latency_p95_ms(2.0 * target, 1.0);
+  for (double f = 2.1; f <= 3.5; f += 0.1) {
+    const double cur = model.latency_p95_ms(f * target, 1.0);
+    EXPECT_GE(cur, prev - 1e-9) << "f=" << f;
+    prev = cur;
+  }
+}
+
+TEST_P(ServiceSweep, SloSitsAboveOperatingLatency) {
+  // The business SLO must leave nonzero budget at the operating point —
+  // otherwise the pool is mis-provisioned by construction.
+  const sim::ResponseModel model(profile(), sim::HardwareGeneration{});
+  const double at_target =
+      model.latency_p95_ms(profile().target_rps_per_server_p95, 1.0);
+  EXPECT_GT(profile().latency_slo_ms, at_target);
+}
+
+TEST_P(ServiceSweep, SinglePoolFleetHitsOperatingPoint) {
+  // single_pool_fleet must place every service at its published P95
+  // operating point, not just pools B and D.
+  sim::FleetSimulator fleet(
+      sim::single_pool_fleet(catalog_, GetParam(), 24), catalog_);
+  fleet.run_until(2 * kDay);
+  const auto rps =
+      fleet.store().pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
+  EXPECT_NEAR(stats::percentile(rps, 95.0),
+              profile().target_rps_per_server_p95,
+              profile().target_rps_per_server_p95 * 0.08);
+}
+
+TEST_P(ServiceSweep, CpuMetricValidatesLinearTight) {
+  sim::FleetSimulator fleet(
+      sim::single_pool_fleet(catalog_, GetParam(), 24), catalog_);
+  fleet.run_until(kDay);
+  const auto scatter = fleet.store().pool_scatter(
+      0, 0, MetricKind::kRequestsPerSecond, MetricKind::kCpuPercentAttributed);
+  const stats::LinearFit fit = stats::fit_linear(scatter.x, scatter.y);
+  EXPECT_GT(fit.r_squared, 0.9) << "CPU-vs-RPS must be tight for planning";
+  EXPECT_NEAR(fit.intercept, profile().process_base_cpu_pct,
+              0.3 + profile().process_base_cpu_pct * 0.15);
+}
+
+TEST_P(ServiceSweep, ReductionRaisesLoadByExactRatio) {
+  // Removing servers at constant demand must raise mean per-server load by
+  // n_old/n_new — conservation through the load balancer.
+  sim::FleetSimulator fleet(
+      sim::single_pool_fleet(catalog_, GetParam(), 24), catalog_);
+  fleet.run_until(kDay);
+  fleet.set_serving_count(0, 0, 18);
+  fleet.run_until(2 * kDay);
+  const auto& series =
+      fleet.store().pool_series(0, 0, MetricKind::kRequestsPerSecond);
+  // Compare the same diurnal phase: window t vs t + kDay.
+  const auto before = series.values_between(6 * 3600, 18 * 3600);
+  const auto after = series.values_between(kDay + 6 * 3600, kDay + 18 * 3600);
+  ASSERT_EQ(before.size(), after.size());
+  double ratio = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) ratio += after[i] / before[i];
+  ratio /= static_cast<double>(before.size());
+  EXPECT_NEAR(ratio, 24.0 / 18.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, ServiceSweep,
+                         ::testing::Values("A", "B", "C", "D", "E", "F", "G"),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
+                         });
+
+// --- Fleet-level conservation properties ------------------------------------
+
+TEST(FleetProperties, FailoverConservesGlobalDemand) {
+  const sim::MicroserviceCatalog catalog;
+  sim::StandardFleetOptions opt;
+  opt.services = {"B"};
+  opt.regional_peak_rps = 1000.0;
+  for (std::uint32_t down_dc = 0; down_dc < 9; down_dc += 3) {
+    sim::FleetConfig config = sim::standard_fleet(catalog, opt);
+    workload::CapacityEvent outage;
+    outage.kind = workload::EventKind::kDatacenterOutage;
+    outage.start = 0;
+    outage.end = kDay;
+    outage.datacenter = down_dc;
+    config.events.add(outage);
+    const sim::FleetSimulator with_outage(std::move(config), catalog);
+    const sim::FleetSimulator without(sim::standard_fleet(catalog, opt),
+                                      catalog);
+    for (telemetry::SimTime t : {3600L, 12 * 3600L, 20 * 3600L}) {
+      double sum_with = 0.0;
+      double sum_without = 0.0;
+      for (std::uint32_t dc = 0; dc < 9; ++dc) {
+        sum_with += with_outage.datacenter_demand(t, dc);
+        sum_without += without.datacenter_demand(t, dc);
+      }
+      EXPECT_NEAR(sum_with, sum_without, sum_without * 1e-9)
+          << "down_dc=" << down_dc << " t=" << t;
+      EXPECT_EQ(with_outage.datacenter_demand(t, down_dc), 0.0);
+    }
+  }
+}
+
+TEST(FleetProperties, NearestSurvivorAbsorbsMost) {
+  const sim::MicroserviceCatalog catalog;
+  sim::StandardFleetOptions opt;
+  opt.services = {"B"};
+  sim::FleetConfig config = sim::standard_fleet(catalog, opt);
+  workload::CapacityEvent outage;
+  outage.kind = workload::EventKind::kDatacenterOutage;
+  outage.start = 0;
+  outage.end = kDay;
+  outage.datacenter = 4;  // tz +1
+  config.events.add(outage);
+  const sim::FleetSimulator with_outage(std::move(config), catalog);
+  const sim::FleetSimulator without(sim::standard_fleet(catalog, opt), catalog);
+
+  // Gain per unit of demand weight, by DC; the timezone-nearest survivors
+  // (DC4 tz 0, DC6 tz +3) must gain more than the antipodal ones.
+  auto gain = [&](std::uint32_t dc) {
+    const double before = without.datacenter_demand(12 * 3600, dc);
+    const double after = with_outage.datacenter_demand(12 * 3600, dc);
+    return (after - before) / without.config().datacenters[dc].demand_weight;
+  };
+  EXPECT_GT(gain(3), gain(0));  // DC4 (tz 0) vs DC1 (tz -8)
+  EXPECT_GT(gain(5), gain(8));  // DC6 (tz +3) vs DC9 (tz +9)
+}
+
+TEST(FleetProperties, WindowCountsExactOverMultipleDays) {
+  const sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, "G", 8), catalog);
+  fleet.run_until(3 * kDay);
+  EXPECT_EQ(
+      fleet.store().pool_series(0, 0, MetricKind::kRequestsPerSecond).size(),
+      static_cast<std::size_t>(3 * kDay / 120));
+}
+
+TEST(FleetProperties, DigestDaysMatchServersTimesDays) {
+  const sim::MicroserviceCatalog catalog;
+  sim::FleetSimulator fleet(sim::single_pool_fleet(catalog, "F", 10), catalog);
+  fleet.run_until(3 * kDay);
+  fleet.finish_day();
+  EXPECT_EQ(fleet.server_day_cpu().size(), 30u);
+}
+
+}  // namespace
+}  // namespace headroom

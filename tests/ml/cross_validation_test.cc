@@ -1,0 +1,128 @@
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+namespace headroom::ml {
+namespace {
+
+using Labels = std::vector<std::uint8_t>;
+
+struct SyntheticProblem {
+  Dataset data{std::vector<std::string>{"x", "y"}};
+  Labels labels;
+};
+
+SyntheticProblem separable_problem(std::size_t n, double gap,
+                                   std::uint64_t seed) {
+  SyntheticProblem p;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    p.data.add_row({(positive ? gap : 0.0) + noise(rng), noise(rng)});
+    p.labels.push_back(positive ? 1 : 0);
+  }
+  return p;
+}
+
+TEST(CrossValidate, RejectsBadK) {
+  SyntheticProblem p = separable_problem(20, 3.0, 1);
+  EXPECT_THROW((void)cross_validate(p.data, p.labels, 1, {}),
+               std::invalid_argument);
+}
+
+TEST(CrossValidate, RejectsFewerRowsThanFolds) {
+  SyntheticProblem p = separable_problem(4, 3.0, 1);
+  EXPECT_THROW((void)cross_validate(p.data, p.labels, 10, {}),
+               std::invalid_argument);
+}
+
+TEST(CrossValidate, RejectsLabelMismatch) {
+  SyntheticProblem p = separable_problem(20, 3.0, 1);
+  p.labels.pop_back();
+  EXPECT_THROW((void)cross_validate(p.data, p.labels, 5, {}),
+               std::invalid_argument);
+}
+
+TEST(CrossValidate, ProducesKFolds) {
+  SyntheticProblem p = separable_problem(100, 3.0, 2);
+  const CrossValidationResult r = cross_validate(p.data, p.labels, 5, {});
+  EXPECT_EQ(r.folds.size(), 5u);
+}
+
+TEST(CrossValidate, HighAccuracyOnSeparableData) {
+  SyntheticProblem p = separable_problem(400, 4.0, 3);
+  DecisionTreeOptions opt;
+  opt.min_leaf_size = 10;
+  const CrossValidationResult r = cross_validate(p.data, p.labels, 5, opt);
+  EXPECT_GT(r.mean.accuracy, 0.9);
+  EXPECT_GT(r.mean.auc, 0.95);
+  EXPECT_GT(r.mean.r_squared, 0.5);
+}
+
+TEST(CrossValidate, ChanceLevelOnRandomLabels) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Dataset d({"x"});
+  Labels labels;
+  for (int i = 0; i < 300; ++i) {
+    d.add_row({u(rng)});
+    labels.push_back(u(rng) < 0.5 ? 1 : 0);
+  }
+  DecisionTreeOptions opt;
+  opt.min_leaf_size = 20;
+  const CrossValidationResult r = cross_validate(d, labels, 5, opt);
+  EXPECT_LT(r.mean.auc, 0.65);   // no signal to find
+  EXPECT_GT(r.mean.auc, 0.35);
+}
+
+TEST(CrossValidate, DeterministicForFixedSeed) {
+  SyntheticProblem p = separable_problem(200, 2.0, 7);
+  const CrossValidationResult a = cross_validate(p.data, p.labels, 4, {}, 99);
+  const CrossValidationResult b = cross_validate(p.data, p.labels, 4, {}, 99);
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (std::size_t i = 0; i < a.folds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.folds[i].accuracy, b.folds[i].accuracy);
+    EXPECT_DOUBLE_EQ(a.folds[i].auc, b.folds[i].auc);
+  }
+}
+
+TEST(CrossValidate, DifferentSeedsShuffleDifferently) {
+  SyntheticProblem p = separable_problem(200, 1.0, 11);
+  const CrossValidationResult a = cross_validate(p.data, p.labels, 4, {}, 1);
+  const CrossValidationResult b = cross_validate(p.data, p.labels, 4, {}, 2);
+  // Not a strict requirement fold-by-fold, but at least one fold metric
+  // should differ for noisy data under different shuffles.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.folds.size(); ++i) {
+    if (a.folds[i].accuracy != b.folds[i].accuracy) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CrossValidate, MeanIsAverageOfFolds) {
+  SyntheticProblem p = separable_problem(150, 3.0, 13);
+  const CrossValidationResult r = cross_validate(p.data, p.labels, 3, {});
+  double acc = 0.0;
+  for (const FoldMetrics& f : r.folds) acc += f.accuracy;
+  EXPECT_NEAR(r.mean.accuracy, acc / 3.0, 1e-12);
+}
+
+// Paper-shaped scenario: the §II-A2 tree used min_leaf_size=2000 machines
+// over manually labeled pools and achieved AUC 0.98 / R² 0.75. At our test
+// scale the analogous configuration should land in the same quality band.
+TEST(CrossValidate, PaperStyleConfigurationQualityBand) {
+  SyntheticProblem p = separable_problem(2000, 3.5, 17);
+  DecisionTreeOptions opt;
+  opt.min_leaf_size = 100;  // scaled-down analogue of 2000 machines
+  opt.max_splits = 34;      // the paper's split count
+  const CrossValidationResult r = cross_validate(p.data, p.labels, 5, opt);
+  EXPECT_GT(r.mean.auc, 0.95);
+  EXPECT_GT(r.mean.r_squared, 0.55);
+}
+
+}  // namespace
+}  // namespace headroom::ml

@@ -1,0 +1,62 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::ml {
+namespace {
+
+TEST(Dataset, EmptyByDefault) {
+  Dataset d;
+  EXPECT_EQ(d.rows(), 0u);
+  EXPECT_EQ(d.cols(), 0u);
+}
+
+TEST(Dataset, AddRowFixesColumnCount) {
+  Dataset d;
+  d.add_row({1.0, 2.0});
+  EXPECT_EQ(d.cols(), 2u);
+  EXPECT_THROW(d.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(d.add_row({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Dataset, NamedColumnsEnforceWidth) {
+  Dataset d({"a", "b", "c"});
+  EXPECT_EQ(d.cols(), 3u);
+  EXPECT_THROW(d.add_row({1.0}), std::invalid_argument);
+  d.add_row({1.0, 2.0, 3.0});
+  EXPECT_EQ(d.rows(), 1u);
+}
+
+TEST(Dataset, RowAndAtAccess) {
+  Dataset d;
+  d.add_row({1.0, 2.0});
+  d.add_row({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.row(0)[1], 2.0);
+  EXPECT_THROW((void)d.row(2), std::out_of_range);
+  EXPECT_THROW((void)d.at(0, 5), std::out_of_range);
+}
+
+TEST(Dataset, FeatureNameFallsBackToIndex) {
+  Dataset named({"p5", "p95"});
+  EXPECT_EQ(named.feature_name(0), "p5");
+  Dataset anonymous;
+  anonymous.add_row({1.0, 2.0});
+  EXPECT_EQ(anonymous.feature_name(1), "f1");
+}
+
+TEST(Dataset, ColumnExtraction) {
+  Dataset d;
+  d.add_row({1.0, 10.0});
+  d.add_row({2.0, 20.0});
+  d.add_row({3.0, 30.0});
+  const std::vector<double> col = d.column(1);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[0], 10.0);
+  EXPECT_DOUBLE_EQ(col[2], 30.0);
+}
+
+}  // namespace
+}  // namespace headroom::ml

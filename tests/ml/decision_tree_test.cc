@@ -1,0 +1,221 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace headroom::ml {
+namespace {
+
+using Labels = std::vector<std::uint8_t>;
+
+Dataset one_dimensional(const std::vector<double>& xs) {
+  Dataset d({"x"});
+  for (double x : xs) d.add_row({x});
+  return d;
+}
+
+TEST(DecisionTree, UntrainedPredictThrows) {
+  DecisionTree tree;
+  EXPECT_FALSE(tree.trained());
+  const std::vector<double> features = {1.0};
+  EXPECT_THROW((void)tree.predict(features), std::logic_error);
+}
+
+TEST(DecisionTree, EmptyDataThrows) {
+  DecisionTree tree;
+  Dataset d({"x"});
+  EXPECT_THROW(tree.fit(d, Labels{}), std::invalid_argument);
+}
+
+TEST(DecisionTree, LabelMismatchThrows) {
+  DecisionTree tree;
+  const Dataset d = one_dimensional({1.0, 2.0});
+  const Labels labels = {1};
+  EXPECT_THROW(tree.fit(d, labels), std::invalid_argument);
+}
+
+TEST(DecisionTree, LearnsSingleThreshold) {
+  const Dataset d = one_dimensional({1.0, 2.0, 3.0, 10.0, 11.0, 12.0});
+  const Labels labels = {0, 0, 0, 1, 1, 1};
+  DecisionTree tree;
+  tree.fit(d, labels);
+  EXPECT_EQ(tree.split_count(), 1u);
+  const std::vector<double> low = {2.5};
+  const std::vector<double> high = {10.5};
+  EXPECT_FALSE(tree.predict(low));
+  EXPECT_TRUE(tree.predict(high));
+  EXPECT_DOUBLE_EQ(tree.predict_proba(low), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict_proba(high), 1.0);
+}
+
+TEST(DecisionTree, PureDataNeedsNoSplit) {
+  const Dataset d = one_dimensional({1.0, 2.0, 3.0});
+  const Labels labels = {1, 1, 1};
+  DecisionTree tree;
+  tree.fit(d, labels);
+  EXPECT_EQ(tree.split_count(), 0u);
+  const std::vector<double> any = {99.0};
+  EXPECT_TRUE(tree.predict(any));
+}
+
+TEST(DecisionTree, MinLeafSizePreventsSplit) {
+  const Dataset d = one_dimensional({1.0, 2.0, 10.0, 11.0});
+  const Labels labels = {0, 0, 1, 1};
+  DecisionTreeOptions opt;
+  opt.min_leaf_size = 3;  // a split would make leaves of 2 < 3
+  DecisionTree tree;
+  tree.fit(d, labels, opt);
+  EXPECT_EQ(tree.split_count(), 0u);
+  const std::vector<double> q = {1.0};
+  EXPECT_DOUBLE_EQ(tree.predict_proba(q), 0.5);
+}
+
+TEST(DecisionTree, MaxSplitsBudgetIsRespected) {
+  // Alternating blocks force many potential splits.
+  std::vector<double> xs;
+  Labels labels;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(static_cast<double>(i));
+    labels.push_back((i / 8) % 2 == 0 ? 0 : 1);
+  }
+  const Dataset d = one_dimensional(xs);
+  DecisionTreeOptions opt;
+  opt.max_splits = 3;
+  DecisionTree tree;
+  tree.fit(d, labels, opt);
+  EXPECT_LE(tree.split_count(), 3u);
+}
+
+TEST(DecisionTree, BestFirstSpendsBudgetOnMostInformativeSplit) {
+  // Feature 0 separates classes almost perfectly; feature 1 is noise.
+  Dataset d({"signal", "noise"});
+  Labels labels;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    const bool positive = i % 2 == 0;
+    d.add_row({positive ? 1.0 + u(rng) : -1.0 - u(rng), u(rng)});
+    labels.push_back(positive ? 1 : 0);
+  }
+  DecisionTreeOptions opt;
+  opt.max_splits = 1;
+  DecisionTree tree;
+  tree.fit(d, labels, opt);
+  ASSERT_EQ(tree.split_count(), 1u);
+  // With only one split allowed, the tree must use the signal feature:
+  const std::vector<double> pos = {2.0, 0.5};
+  const std::vector<double> neg = {-2.0, 0.5};
+  EXPECT_TRUE(tree.predict(pos));
+  EXPECT_FALSE(tree.predict(neg));
+}
+
+TEST(DecisionTree, MaxDepthLimitsLevels) {
+  std::vector<double> xs;
+  Labels labels;
+  for (int i = 0; i < 128; ++i) {
+    xs.push_back(static_cast<double>(i));
+    labels.push_back((i / 4) % 2 == 0 ? 0 : 1);
+  }
+  const Dataset d = one_dimensional(xs);
+  DecisionTreeOptions opt;
+  opt.max_depth = 2;
+  DecisionTree tree;
+  tree.fit(d, labels, opt);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, TwoFeatureAndLogic) {
+  // Positive iff x > 0.5 AND y > 0.5 — needs two levels of splits.
+  Dataset d({"x", "y"});
+  Labels labels;
+  for (double x : {0.1, 0.3, 0.7, 0.9}) {
+    for (double y : {0.1, 0.3, 0.7, 0.9}) {
+      d.add_row({x, y});
+      labels.push_back(x > 0.5 && y > 0.5 ? 1 : 0);
+    }
+  }
+  DecisionTree tree;
+  tree.fit(d, labels);
+  const std::vector<double> tt = {0.8, 0.8};
+  const std::vector<double> tf = {0.8, 0.2};
+  const std::vector<double> ft = {0.2, 0.8};
+  EXPECT_TRUE(tree.predict(tt));
+  EXPECT_FALSE(tree.predict(tf));
+  EXPECT_FALSE(tree.predict(ft));
+}
+
+TEST(DecisionTree, ProbabilityIsLeafFrequency) {
+  // One region mixes labels 3:1.
+  const Dataset d = one_dimensional({1.0, 1.1, 1.2, 1.3, 9.0, 9.1, 9.2, 9.3});
+  const Labels labels = {0, 0, 0, 0, 1, 1, 1, 0};
+  DecisionTreeOptions opt;
+  opt.min_leaf_size = 4;
+  DecisionTree tree;
+  tree.fit(d, labels, opt);
+  const std::vector<double> high = {9.05};
+  EXPECT_DOUBLE_EQ(tree.predict_proba(high), 0.75);
+}
+
+TEST(DecisionTree, ShortFeatureVectorThrows) {
+  Dataset d({"a", "b"});
+  d.add_row({0.0, 0.0});
+  d.add_row({0.0, 1.0});
+  d.add_row({1.0, 0.0});
+  d.add_row({1.0, 1.0});
+  const Labels labels = {0, 1, 0, 1};  // splits on feature b
+  DecisionTree tree;
+  tree.fit(d, labels);
+  ASSERT_GE(tree.split_count(), 1u);
+  const std::vector<double> too_short = {};
+  EXPECT_THROW((void)tree.predict(too_short), std::invalid_argument);
+}
+
+TEST(DecisionTree, ToStringRendersStructure) {
+  const Dataset d = one_dimensional({1.0, 2.0, 10.0, 11.0});
+  const Labels labels = {0, 0, 1, 1};
+  DecisionTree tree;
+  tree.fit(d, labels);
+  const std::string rendered = tree.to_string(d);
+  EXPECT_NE(rendered.find("x <="), std::string::npos);
+  EXPECT_NE(rendered.find("leaf"), std::string::npos);
+}
+
+// Separation sweep: accuracy should rise with class separation.
+class SeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeparationSweep, AccuracyImprovesWithSeparation) {
+  const double gap = GetParam();
+  std::mt19937_64 rng(17);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  Dataset d({"x"});
+  Labels labels;
+  for (int i = 0; i < 600; ++i) {
+    const bool positive = i % 2 == 0;
+    d.add_row({(positive ? gap : 0.0) + noise(rng)});
+    labels.push_back(positive ? 1 : 0);
+  }
+  DecisionTreeOptions opt;
+  opt.min_leaf_size = 30;
+  DecisionTree tree;
+  tree.fit(d, labels, opt);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    if (tree.predict(d.row(i)) == static_cast<bool>(labels[i])) ++correct;
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(d.rows());
+  if (gap >= 3.0) {
+    EXPECT_GT(accuracy, 0.90) << "gap=" << gap;
+  } else {
+    EXPECT_GT(accuracy, 0.60) << "gap=" << gap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, SeparationSweep,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0));
+
+}  // namespace
+}  // namespace headroom::ml

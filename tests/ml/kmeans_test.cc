@@ -1,0 +1,138 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+namespace headroom::ml {
+namespace {
+
+Dataset two_blobs(std::size_t per_cluster, double separation,
+                  std::uint64_t seed) {
+  Dataset d({"x", "y"});
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.5);
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    d.add_row({noise(rng), noise(rng)});
+    d.add_row({separation + noise(rng), separation + noise(rng)});
+  }
+  return d;
+}
+
+TEST(KMeans, RejectsBadK) {
+  Dataset d({"x"});
+  d.add_row({1.0});
+  KMeansOptions opt;
+  opt.k = 0;
+  EXPECT_THROW((void)kmeans(d, opt), std::invalid_argument);
+  opt.k = 2;
+  EXPECT_THROW((void)kmeans(d, opt), std::invalid_argument);  // rows < k
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  Dataset d({"x"});
+  d.add_row({1.0});
+  d.add_row({2.0});
+  d.add_row({3.0});
+  KMeansOptions opt;
+  opt.k = 1;
+  const KMeansResult r = kmeans(d, opt);
+  ASSERT_EQ(r.centroids.size(), 1u);
+  EXPECT_NEAR(r.centroids[0][0], 2.0, 1e-12);
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  const Dataset d = two_blobs(50, 10.0, 3);
+  KMeansOptions opt;
+  opt.k = 2;
+  const KMeansResult r = kmeans(d, opt);
+  // All even rows (blob 0) share a cluster; odd rows the other.
+  const std::size_t c0 = r.assignment[0];
+  const std::size_t c1 = r.assignment[1];
+  EXPECT_NE(c0, c1);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    EXPECT_EQ(r.assignment[i], i % 2 == 0 ? c0 : c1) << "row " << i;
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const Dataset d = two_blobs(40, 6.0, 5);
+  KMeansOptions opt1;
+  opt1.k = 1;
+  KMeansOptions opt2;
+  opt2.k = 2;
+  EXPECT_LT(kmeans(d, opt2).inertia, kmeans(d, opt1).inertia);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const Dataset d = two_blobs(30, 4.0, 7);
+  KMeansOptions opt;
+  opt.k = 2;
+  opt.seed = 42;
+  const KMeansResult a = kmeans(d, opt);
+  const KMeansResult b = kmeans(d, opt);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(Silhouette, WellSeparatedNearOne) {
+  const Dataset d = two_blobs(40, 20.0, 9);
+  KMeansOptions opt;
+  opt.k = 2;
+  const KMeansResult r = kmeans(d, opt);
+  EXPECT_GT(silhouette_score(d, r.assignment, 2), 0.85);
+}
+
+TEST(Silhouette, OverlappingBlobsScoreLow) {
+  const Dataset d = two_blobs(40, 0.3, 11);
+  KMeansOptions opt;
+  opt.k = 2;
+  const KMeansResult r = kmeans(d, opt);
+  EXPECT_LT(silhouette_score(d, r.assignment, 2), 0.5);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  const Dataset d = two_blobs(10, 3.0, 13);
+  const std::vector<std::size_t> assignment(d.rows(), 0);
+  EXPECT_EQ(silhouette_score(d, assignment, 1), 0.0);
+}
+
+TEST(Silhouette, MismatchedAssignmentThrows) {
+  const Dataset d = two_blobs(5, 3.0, 15);
+  const std::vector<std::size_t> assignment(3, 0);
+  EXPECT_THROW((void)silhouette_score(d, assignment, 2), std::invalid_argument);
+}
+
+TEST(ChooseK, FindsTwoForBimodalPool) {
+  // The Fig. 3 scenario: a pool whose servers split by hardware generation.
+  const Dataset d = two_blobs(60, 12.0, 17);
+  EXPECT_EQ(choose_k(d, 4), 2u);
+}
+
+TEST(ChooseK, FindsOneForUnimodalPool) {
+  Dataset d({"x", "y"});
+  std::mt19937_64 rng(19);
+  std::normal_distribution<double> noise(5.0, 1.0);
+  for (int i = 0; i < 100; ++i) d.add_row({noise(rng), noise(rng)});
+  EXPECT_EQ(choose_k(d, 4), 1u);
+}
+
+TEST(ChooseK, FindsThreeForThreeBlobs) {
+  Dataset d({"x", "y"});
+  std::mt19937_64 rng(21);
+  std::normal_distribution<double> noise(0.0, 0.4);
+  for (int i = 0; i < 60; ++i) {
+    const double cx = (i % 3) * 15.0;
+    d.add_row({cx + noise(rng), noise(rng)});
+  }
+  EXPECT_EQ(choose_k(d, 5), 3u);
+}
+
+TEST(ChooseK, EmptyThrows) {
+  Dataset d({"x"});
+  EXPECT_THROW((void)choose_k(d, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headroom::ml

@@ -1,0 +1,82 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace headroom::sim {
+namespace {
+
+TEST(EventQueue, EmptyQueueRunNextIsFalse) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.run_next());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueue, EventsFireInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) q.schedule(q.now() + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule(4.0, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(q.schedule(5.0, [] {}));  // "now" is allowed
+}
+
+TEST(EventQueue, RunUntilStopsBeforeBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    q.schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  q.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));  // 3.0 not strictly before
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockOnEmptyQueue) {
+  EventQueue q;
+  q.run_until(42.0);
+  EXPECT_DOUBLE_EQ(q.now(), 42.0);
+}
+
+}  // namespace
+}  // namespace headroom::sim

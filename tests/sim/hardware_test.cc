@@ -1,0 +1,76 @@
+#include "sim/hardware.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::sim {
+namespace {
+
+TEST(AssignHardware, RejectsEmptyOrDegenerateShares) {
+  EXPECT_THROW((void)assign_hardware({}, 10), std::invalid_argument);
+  HardwareShare negative;
+  negative.fraction = -0.5;
+  EXPECT_THROW((void)assign_hardware({negative}, 10), std::invalid_argument);
+  HardwareShare zero;
+  zero.fraction = 0.0;
+  EXPECT_THROW((void)assign_hardware({zero}, 10), std::invalid_argument);
+}
+
+TEST(AssignHardware, SingleShareCoversAll) {
+  HardwareShare share;
+  share.generation.name = "gen1";
+  const auto assignment = assign_hardware({share}, 7);
+  ASSERT_EQ(assignment.size(), 7u);
+  for (const auto& gen : assignment) EXPECT_EQ(gen.name, "gen1");
+}
+
+TEST(AssignHardware, FiftyFiftySplit) {
+  HardwareGeneration gen1;
+  gen1.name = "gen1";
+  HardwareGeneration gen2;
+  gen2.name = "gen2";
+  gen2.cpu_scale = 1.6;
+  const auto assignment =
+      assign_hardware({{gen1, 0.5}, {gen2, 0.5}}, 10);
+  ASSERT_EQ(assignment.size(), 10u);
+  std::size_t gen1_count = 0;
+  for (const auto& gen : assignment) gen1_count += gen.name == "gen1" ? 1u : 0u;
+  EXPECT_EQ(gen1_count, 5u);
+  // Earlier shares take lower indices.
+  EXPECT_EQ(assignment[0].name, "gen1");
+  EXPECT_EQ(assignment[9].name, "gen2");
+}
+
+TEST(AssignHardware, UnnormalizedFractionsAreNormalized) {
+  HardwareGeneration a;
+  a.name = "a";
+  HardwareGeneration b;
+  b.name = "b";
+  const auto assignment = assign_hardware({{a, 3.0}, {b, 1.0}}, 8);
+  std::size_t a_count = 0;
+  for (const auto& gen : assignment) a_count += gen.name == "a" ? 1u : 0u;
+  EXPECT_EQ(a_count, 6u);
+}
+
+TEST(AssignHardware, RoundingNeverLosesServers) {
+  HardwareGeneration a;
+  a.name = "a";
+  HardwareGeneration b;
+  b.name = "b";
+  HardwareGeneration c;
+  c.name = "c";
+  for (std::size_t n : {1u, 3u, 7u, 10u, 101u}) {
+    const auto assignment =
+        assign_hardware({{a, 1.0}, {b, 1.0}, {c, 1.0}}, n);
+    EXPECT_EQ(assignment.size(), n) << "n=" << n;
+  }
+}
+
+TEST(AssignHardware, ZeroServersIsEmpty) {
+  HardwareShare share;
+  EXPECT_TRUE(assign_hardware({share}, 0).empty());
+}
+
+}  // namespace
+}  // namespace headroom::sim

@@ -1,0 +1,170 @@
+#include "sim/maintenance.h"
+
+#include <gtest/gtest.h>
+
+namespace headroom::sim {
+namespace {
+
+constexpr telemetry::SimTime kDay = 86400;
+
+MaintenancePolicy quiet_policy() {
+  MaintenancePolicy p;
+  p.deploy_offline_hours = 0.0;
+  p.repurpose_fraction = 0.0;
+  p.infra_event_daily_prob = 0.0;
+  return p;
+}
+
+double measured_availability(const MaintenanceSchedule& schedule,
+                             std::uint32_t server, std::size_t pool_size,
+                             telemetry::SimTime from, telemetry::SimTime to,
+                             telemetry::SimTime step = 60) {
+  std::size_t online = 0;
+  std::size_t total = 0;
+  for (telemetry::SimTime t = from; t < to; t += step) {
+    ++total;
+    online += schedule.offline(server, pool_size, t) ? 0u : 1u;
+  }
+  return static_cast<double>(online) / static_cast<double>(total);
+}
+
+TEST(MaintenanceSchedule, QuietPolicyAlwaysOnline) {
+  const MaintenanceSchedule schedule(quiet_policy(), 1, 0.0);
+  for (telemetry::SimTime t = 0; t < 3 * kDay; t += 3600) {
+    EXPECT_FALSE(schedule.offline(0, 100, t));
+  }
+}
+
+TEST(MaintenanceSchedule, DeployHoursMatchConfiguredBudget) {
+  MaintenancePolicy p = quiet_policy();
+  p.deploy_offline_hours = 2.4;  // 10% of the day
+  const MaintenanceSchedule schedule(p, 7, 0.0);
+  // Average availability across servers and days ≈ 90%.
+  double acc = 0.0;
+  const int servers = 40;
+  for (int s = 0; s < servers; ++s) {
+    acc += measured_availability(schedule, static_cast<std::uint32_t>(s), 100,
+                                 0, 5 * kDay);
+  }
+  EXPECT_NEAR(acc / servers, 0.90, 0.01);
+}
+
+TEST(MaintenanceSchedule, DeploySlotsAreStaggeredAcrossServers) {
+  MaintenancePolicy p = quiet_policy();
+  p.deploy_offline_hours = 2.0;
+  const MaintenanceSchedule schedule(p, 11, 0.0);
+  // At any instant, only a fraction of the pool should be deploying —
+  // never everyone at once (that would be an outage, not a rolling deploy).
+  for (telemetry::SimTime t = 0; t < kDay; t += 7200) {
+    std::size_t offline = 0;
+    for (std::uint32_t s = 0; s < 200; ++s) {
+      offline += schedule.offline(s, 200, t) ? 1u : 0u;
+    }
+    EXPECT_LT(offline, 60u) << "t=" << t;  // well below the whole pool
+  }
+}
+
+TEST(MaintenanceSchedule, RepurposedServersAreTheLowIndices) {
+  MaintenancePolicy p = quiet_policy();
+  p.repurpose_fraction = 0.25;
+  p.repurpose_start_hour = 2.0;
+  p.repurpose_hours = 4.0;
+  const MaintenanceSchedule schedule(p, 13, 0.0);
+  const telemetry::SimTime inside = 3 * 3600;   // 03:00
+  const telemetry::SimTime outside = 12 * 3600;  // noon
+  EXPECT_TRUE(schedule.offline(0, 100, inside));
+  EXPECT_TRUE(schedule.offline(24, 100, inside));
+  EXPECT_FALSE(schedule.offline(25, 100, inside));
+  EXPECT_FALSE(schedule.offline(0, 100, outside));
+}
+
+TEST(MaintenanceSchedule, RepurposeWindowRespectsTimezone) {
+  MaintenancePolicy p = quiet_policy();
+  p.repurpose_fraction = 1.0;
+  p.repurpose_start_hour = 2.0;
+  p.repurpose_hours = 1.0;
+  // +8h timezone: local 02:00 == UTC 18:00.
+  const MaintenanceSchedule schedule(p, 17, 8.0);
+  EXPECT_TRUE(schedule.offline(0, 10, (18 * 3600) + 60));
+  EXPECT_FALSE(schedule.offline(0, 10, (2 * 3600) + 60));
+}
+
+TEST(MaintenanceSchedule, InfraEventsHitConfiguredFractionOfServerDays) {
+  MaintenancePolicy p = quiet_policy();
+  p.infra_event_daily_prob = 0.10;
+  p.infra_event_hours = 4.0;
+  const MaintenanceSchedule schedule(p, 19, 0.0);
+  std::size_t affected_days = 0;
+  std::size_t total_days = 0;
+  for (std::uint32_t s = 0; s < 50; ++s) {
+    for (std::int64_t day = 0; day < 40; ++day) {
+      ++total_days;
+      bool any_offline = false;
+      for (telemetry::SimTime t = day * kDay; t < (day + 1) * kDay; t += 900) {
+        if (schedule.offline(s, 100, t)) {
+          any_offline = true;
+          break;
+        }
+      }
+      affected_days += any_offline ? 1u : 0u;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(affected_days) /
+                  static_cast<double>(total_days),
+              0.10, 0.02);
+}
+
+TEST(MaintenanceSchedule, IncidentTakesConfiguredFractionOffline) {
+  MaintenancePolicy p = quiet_policy();
+  MaintenanceSchedule schedule(p, 23, 0.0);
+  PoolIncident incident;
+  incident.day = 2;
+  incident.offline_fraction = 0.4;
+  incident.start_hour = 8.0;
+  incident.duration_hours = 6.0;
+  schedule.add_incident(incident);
+
+  const telemetry::SimTime during = 2 * kDay + 10 * 3600;
+  std::size_t offline = 0;
+  const std::size_t pool = 200;
+  for (std::uint32_t s = 0; s < pool; ++s) {
+    offline += schedule.offline(s, pool, during) ? 1u : 0u;
+  }
+  EXPECT_NEAR(static_cast<double>(offline) / static_cast<double>(pool), 0.4,
+              0.05);
+
+  // Other days and hours unaffected.
+  EXPECT_FALSE(schedule.offline(0, pool, kDay + 10 * 3600) &&
+               schedule.offline(1, pool, kDay + 10 * 3600) &&
+               schedule.offline(2, pool, kDay + 10 * 3600));
+}
+
+TEST(MaintenanceSchedule, DeterministicAcrossInstances) {
+  MaintenancePolicy p = quiet_policy();
+  p.deploy_offline_hours = 1.0;
+  p.infra_event_daily_prob = 0.05;
+  const MaintenanceSchedule a(p, 31, 0.0);
+  const MaintenanceSchedule b(p, 31, 0.0);
+  for (telemetry::SimTime t = 0; t < kDay; t += 1800) {
+    for (std::uint32_t s = 0; s < 20; ++s) {
+      EXPECT_EQ(a.offline(s, 50, t), b.offline(s, 50, t));
+    }
+  }
+}
+
+TEST(MaintenanceSchedule, DifferentSeedsDifferentSchedules) {
+  MaintenancePolicy p = quiet_policy();
+  p.deploy_offline_hours = 2.0;
+  const MaintenanceSchedule a(p, 1, 0.0);
+  const MaintenanceSchedule b(p, 2, 0.0);
+  std::size_t differences = 0;
+  for (telemetry::SimTime t = 0; t < kDay; t += 600) {
+    for (std::uint32_t s = 0; s < 10; ++s) {
+      if (a.offline(s, 50, t) != b.offline(s, 50, t)) ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0u);
+}
+
+}  // namespace
+}  // namespace headroom::sim

@@ -1,0 +1,87 @@
+#include "sim/microservice.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace headroom::sim {
+namespace {
+
+TEST(MicroserviceCatalog, ContainsTableOneServices) {
+  const MicroserviceCatalog catalog;
+  // Table I lists A-G; H and I appear in figures only.
+  for (const char* name : {"A", "B", "C", "D", "E", "F", "G"}) {
+    EXPECT_NO_THROW((void)catalog.by_name(name)) << name;
+  }
+}
+
+TEST(MicroserviceCatalog, UnknownServiceThrows) {
+  const MicroserviceCatalog catalog;
+  EXPECT_THROW((void)catalog.by_name("Z"), std::invalid_argument);
+}
+
+TEST(MicroserviceCatalog, NamesAreUnique) {
+  const MicroserviceCatalog catalog;
+  std::set<std::string> names;
+  for (const auto& profile : catalog.all()) {
+    EXPECT_TRUE(names.insert(profile.name).second) << profile.name;
+  }
+}
+
+TEST(MicroserviceCatalog, IndexOfRoundTrips) {
+  const MicroserviceCatalog catalog;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& profile = catalog.by_index(i);
+    EXPECT_EQ(catalog.index_of(profile.name), i);
+  }
+  EXPECT_FALSE(catalog.index_of("nope").has_value());
+  EXPECT_THROW((void)catalog.by_index(catalog.size()), std::out_of_range);
+}
+
+TEST(MicroserviceCatalog, PoolBCalibration) {
+  // The paper's Fig. 8 line: %CPU = 0.028 RPS + 1.37 on 16 cores.
+  const MicroserviceCatalog catalog;
+  const MicroserviceProfile& b = catalog.by_name("B");
+  EXPECT_NEAR(b.cost_ms_per_request / (10.0 * 16.0), 0.028, 1e-4);
+  EXPECT_NEAR(b.process_base_cpu_pct, 1.37, 1e-9);
+  EXPECT_NEAR(b.target_rps_per_server_p95, 377.0, 1e-9);
+}
+
+TEST(MicroserviceCatalog, PoolDCalibration) {
+  // Fig. 10: %CPU = 0.0916 RPS + 5.0; Table III P95 = 77.7 RPS/server.
+  const MicroserviceCatalog catalog;
+  const MicroserviceProfile& d = catalog.by_name("D");
+  EXPECT_NEAR(d.cost_ms_per_request / (10.0 * 16.0), 0.0916, 2e-4);
+  EXPECT_NEAR(d.process_base_cpu_pct, 5.0, 1e-9);
+  EXPECT_NEAR(d.target_rps_per_server_p95, 77.7, 1e-9);
+}
+
+TEST(MicroserviceCatalog, AllProfilesPhysicallySensible) {
+  const MicroserviceCatalog catalog;
+  for (const auto& p : catalog.all()) {
+    EXPECT_GT(p.cost_ms_per_request, 0.0) << p.name;
+    EXPECT_GT(p.warm_latency_ms, 0.0) << p.name;
+    EXPECT_GE(p.cold_latency_ms, 0.0) << p.name;
+    EXPECT_GT(p.cold_decay_rps, 0.0) << p.name;
+    EXPECT_GT(p.target_rps_per_server_p95, 0.0) << p.name;
+    EXPECT_GE(p.overprovision_factor, 1.0) << p.name;
+    EXPECT_GT(p.latency_slo_ms, p.warm_latency_ms) << p.name;
+    EXPECT_GT(p.request_fan, 0.0) << p.name;
+  }
+}
+
+TEST(MicroserviceCatalog, DescriptionsMatchTableOneRoles) {
+  const MicroserviceCatalog catalog;
+  EXPECT_NE(catalog.by_name("A").description.find("MemCached"),
+            std::string::npos);
+  EXPECT_NE(catalog.by_name("B").description.find("spelling"),
+            std::string::npos);
+  EXPECT_NE(catalog.by_name("E").description.find("proxy"),
+            std::string::npos);
+  EXPECT_NE(catalog.by_name("G").description.find("metrics"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace headroom::sim

@@ -1,0 +1,199 @@
+#include "sim/request_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/synthetic.h"
+
+namespace headroom::sim {
+namespace {
+
+workload::SyntheticWorkload simple_workload() {
+  workload::RequestType t;
+  t.name = "uniform";
+  t.weight = 1.0;
+  t.cost_mean = 1.0;
+  t.cost_sigma = 0.1;
+  return workload::SyntheticWorkload(workload::RequestMix({t}));
+}
+
+RequestSimConfig light_config() {
+  RequestSimConfig config;
+  config.servers = 4;
+  config.cores = 8.0;
+  config.base_service_ms = 4.0;
+  config.warmup_requests = 0;  // disable cold start unless a test wants it
+  config.window_seconds = 30;
+  return config;
+}
+
+TEST(RequestSim, RejectsBadConfig) {
+  const auto stream = simple_workload().generate(10.0, 1.0, 1);
+  RequestSimConfig config = light_config();
+  config.servers = 0;
+  EXPECT_THROW((void)simulate_pool(config, stream), std::invalid_argument);
+  config = light_config();
+  config.cores = 0.0;
+  EXPECT_THROW((void)simulate_pool(config, stream), std::invalid_argument);
+}
+
+TEST(RequestSim, RejectsUnorderedStream) {
+  std::vector<workload::Request> stream(2);
+  stream[0].arrival_s = 5.0;
+  stream[1].arrival_s = 1.0;
+  EXPECT_THROW((void)simulate_pool(light_config(), stream),
+               std::invalid_argument);
+}
+
+TEST(RequestSim, EmptyStreamEmptyResult) {
+  const RequestSimResult r = simulate_pool(light_config(), {});
+  EXPECT_TRUE(r.completed.empty());
+  EXPECT_EQ(r.latency.count, 0u);
+}
+
+TEST(RequestSim, AllRequestsComplete) {
+  const auto stream = simple_workload().generate(200.0, 20.0, 3);
+  const RequestSimResult r = simulate_pool(light_config(), stream);
+  EXPECT_EQ(r.completed.size(), stream.size());
+}
+
+TEST(RequestSim, UnloadedLatencyEqualsServiceTime) {
+  // One request at a time: latency == its service demand.
+  std::vector<workload::Request> stream;
+  for (int i = 0; i < 10; ++i) {
+    workload::Request r;
+    r.arrival_s = static_cast<double>(i);  // 1s apart, 4ms service: no overlap
+    r.cost = 1.0;
+    stream.push_back(r);
+  }
+  const RequestSimResult r = simulate_pool(light_config(), stream);
+  ASSERT_EQ(r.completed.size(), 10u);
+  for (const CompletedRequest& c : r.completed) {
+    EXPECT_NEAR(c.latency_ms, 4.0, 1e-6);
+  }
+}
+
+TEST(RequestSim, DependencyLatencyAddsToResponse) {
+  std::vector<workload::Request> stream(1);
+  stream[0].arrival_s = 0.0;
+  stream[0].cost = 1.0;
+  stream[0].dependency_ms = 25.0;
+  const RequestSimResult r = simulate_pool(light_config(), stream);
+  ASSERT_EQ(r.completed.size(), 1u);
+  EXPECT_NEAR(r.completed[0].latency_ms, 29.0, 1e-6);
+}
+
+TEST(RequestSim, LatencyRisesWithLoad) {
+  const auto workload = simple_workload();
+  RequestSimConfig config = light_config();
+  config.servers = 2;
+  config.cores = 4.0;
+  // Low load: ~100 RPS over 2 servers * 4 cores at 4ms → utilization 5%.
+  const auto light = workload.generate(100.0, 30.0, 5);
+  // Heavy load: utilization ~90%.
+  const auto heavy = workload.generate(1800.0, 30.0, 7);
+  const double l_light = simulate_pool(config, light).latency_p95_ms;
+  const double l_heavy = simulate_pool(config, heavy).latency_p95_ms;
+  EXPECT_GT(l_heavy, l_light * 1.5);
+}
+
+TEST(RequestSim, CpuUtilizationMatchesOfferedWork) {
+  RequestSimConfig config = light_config();
+  config.servers = 2;
+  config.cores = 4.0;
+  // 500 RPS * 4ms = 2 core-seconds/sec over 8 cores = 25%.
+  const auto stream = simple_workload().generate(500.0, 60.0, 9);
+  const RequestSimResult r = simulate_pool(config, stream);
+  EXPECT_NEAR(r.mean_cpu_pct, 25.0, 3.0);
+}
+
+TEST(RequestSim, RoundRobinBalancesServers) {
+  const auto stream = simple_workload().generate(400.0, 10.0, 11);
+  const RequestSimResult r = simulate_pool(light_config(), stream);
+  std::vector<std::size_t> counts(4, 0);
+  for (const CompletedRequest& c : r.completed) ++counts[c.server];
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_NEAR(static_cast<double>(counts[s]),
+                static_cast<double>(stream.size()) / 4.0,
+                static_cast<double>(stream.size()) * 0.02);
+  }
+}
+
+TEST(RequestSim, ColdStartElevatesEarlyLatency) {
+  RequestSimConfig config = light_config();
+  config.warmup_requests = 100;
+  config.cold_cost_multiplier = 3.0;
+  const auto stream = simple_workload().generate(200.0, 30.0, 13);
+  const RequestSimResult r = simulate_pool(config, stream);
+  // Mean latency of the first 200 completions vs the last 200.
+  double early = 0.0;
+  double late = 0.0;
+  const std::size_t n = r.completed.size();
+  ASSERT_GT(n, 800u);
+  for (std::size_t i = 0; i < 200; ++i) early += r.completed[i].latency_ms;
+  for (std::size_t i = n - 200; i < n; ++i) late += r.completed[i].latency_ms;
+  EXPECT_GT(early / 200.0, late / 200.0 * 1.5);
+}
+
+TEST(RequestSim, ServiceFactorDefectInflatesCpuAndLatency) {
+  const auto stream = simple_workload().generate(600.0, 30.0, 15);
+  RequestSimConfig baseline = light_config();
+  RequestSimConfig slow = light_config();
+  slow.defect.service_factor = 1.5;
+  const RequestSimResult rb = simulate_pool(baseline, stream);
+  const RequestSimResult rs = simulate_pool(slow, stream);
+  EXPECT_NEAR(rs.mean_cpu_pct / rb.mean_cpu_pct, 1.5, 0.1);
+  EXPECT_GT(rs.latency.mean, rb.latency.mean * 1.3);
+}
+
+TEST(RequestSim, LeakDefectDegradesOverTime) {
+  RequestSimConfig config = light_config();
+  config.defect.leak_per_1k_requests = 0.5;  // +50% service per 1k served
+  const auto stream = simple_workload().generate(400.0, 60.0, 17);
+  const RequestSimResult r = simulate_pool(config, stream);
+  const auto& latency =
+      r.store.pool_series(0, 0, telemetry::MetricKind::kLatencyMeanMs);
+  ASSERT_GE(latency.size(), 2u);
+  EXPECT_GT(latency.at(latency.size() - 1).value, latency.at(0).value * 1.2);
+}
+
+TEST(RequestSim, OverloadDefectOnlyFiresAtHighConcurrency) {
+  RequestSimConfig baseline = light_config();
+  RequestSimConfig defect = light_config();
+  defect.defect.overload_concurrency = 4;
+  defect.defect.overload_extra_ms = 20.0;
+  const auto light_load = simple_workload().generate(50.0, 20.0, 19);
+  const auto heavy_load = simple_workload().generate(4000.0, 20.0, 21);
+  // At light load the defect is invisible...
+  EXPECT_NEAR(simulate_pool(defect, light_load).latency_p95_ms,
+              simulate_pool(baseline, light_load).latency_p95_ms, 1.0);
+  // ...at heavy load it bites. (The paper's Fig. 16 regression had exactly
+  // this only-under-load signature.)
+  EXPECT_GT(simulate_pool(defect, heavy_load).latency_p95_ms,
+            simulate_pool(baseline, heavy_load).latency_p95_ms + 10.0);
+}
+
+TEST(RequestSim, WindowSeriesCoverRun) {
+  RequestSimConfig config = light_config();
+  config.window_seconds = 10;
+  const auto stream = simple_workload().generate(300.0, 45.0, 23);
+  const RequestSimResult r = simulate_pool(config, stream);
+  const auto& rps =
+      r.store.pool_series(0, 0, telemetry::MetricKind::kRequestsPerSecond);
+  EXPECT_GE(rps.size(), 4u);
+  // Per-server RPS ≈ 300/4 = 75.
+  EXPECT_NEAR(rps.at(1).value, 75.0, 10.0);
+}
+
+TEST(RequestSim, DeterministicGivenIdenticalStream) {
+  const auto stream = simple_workload().generate(500.0, 15.0, 25);
+  const RequestSimResult a = simulate_pool(light_config(), stream);
+  const RequestSimResult b = simulate_pool(light_config(), stream);
+  ASSERT_EQ(a.completed.size(), b.completed.size());
+  EXPECT_DOUBLE_EQ(a.latency_p95_ms, b.latency_p95_ms);
+  EXPECT_DOUBLE_EQ(a.mean_cpu_pct, b.mean_cpu_pct);
+}
+
+}  // namespace
+}  // namespace headroom::sim

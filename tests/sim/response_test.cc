@@ -1,0 +1,151 @@
+#include "sim/response.h"
+
+#include <gtest/gtest.h>
+
+namespace headroom::sim {
+namespace {
+
+MicroserviceProfile pool_b_profile() {
+  MicroserviceCatalog catalog;
+  return catalog.by_name("B");
+}
+
+TEST(ResponseModel, CpuIsLinearInRps) {
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  const double at100 = model.cpu_attributed_pct(100.0);
+  const double at200 = model.cpu_attributed_pct(200.0);
+  const double at300 = model.cpu_attributed_pct(300.0);
+  EXPECT_NEAR(at200 - at100, at300 - at200, 1e-12);
+  EXPECT_NEAR(at100, 2.8, 1e-9);  // 0.028 %/RPS
+}
+
+TEST(ResponseModel, FasterHardwareLowersCpuSlope) {
+  HardwareGeneration fast;
+  fast.cpu_scale = 2.0;
+  const MicroserviceProfile profile = pool_b_profile();
+  const ResponseModel slow_model(profile, HardwareGeneration{});
+  const ResponseModel fast_model(profile, fast);
+  EXPECT_NEAR(fast_model.cpu_attributed_pct(100.0),
+              slow_model.cpu_attributed_pct(100.0) / 2.0, 1e-12);
+}
+
+TEST(ResponseModel, UtilizationIncludesProcessBaseAndBackground) {
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  // At zero load, utilization is (process_base + background)/100.
+  EXPECT_NEAR(model.utilization(0.0, 1.0), (1.37 + 1.0) / 100.0, 1e-9);
+}
+
+TEST(ResponseModel, UtilizationIsClamped) {
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  EXPECT_LE(model.utilization(1e9, 0.0), 0.97);
+}
+
+TEST(ResponseModel, LatencyHasColdStartDip) {
+  // The paper's Fig. 6/11 shape: latency is *elevated* at very low RPS
+  // (cache priming, JIT), dips at moderate load, then rises again.
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  const double cold = model.latency_p95_ms(5.0, 1.0);
+  const double warm = model.latency_p95_ms(400.0, 1.0);
+  const double hot = model.latency_p95_ms(2500.0, 1.0);
+  EXPECT_GT(cold, warm);
+  EXPECT_GT(hot, warm);
+}
+
+TEST(ResponseModel, LatencyMonotoneAboveTheDip) {
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  double prev = model.latency_p95_ms(500.0, 1.0);
+  for (double rps = 600.0; rps <= 3000.0; rps += 100.0) {
+    const double cur = model.latency_p95_ms(rps, 1.0);
+    EXPECT_GE(cur, prev - 1e-9) << "rps=" << rps;
+    prev = cur;
+  }
+}
+
+TEST(ResponseModel, PoolBLatencyNearPaperAnchors) {
+  // Fig. 9 anchors: ~30.5 ms at 377 RPS, ~30.9 at 540 RPS.
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  EXPECT_NEAR(model.latency_p95_ms(377.0, 1.0), 30.7, 1.0);
+  EXPECT_NEAR(model.latency_p95_ms(540.0, 1.0), 31.5, 1.5);
+}
+
+TEST(ResponseModel, PoolDLatencyNearPaperAnchors) {
+  // Fig. 11 anchors: ~52.8 ms at 78 RPS, ~50.7 at 95 RPS, elevated at 20.
+  MicroserviceCatalog catalog;
+  const ResponseModel model(catalog.by_name("D"), HardwareGeneration{});
+  EXPECT_NEAR(model.latency_p95_ms(77.7, 1.8), 52.8, 2.0);
+  EXPECT_NEAR(model.latency_p95_ms(94.9, 1.8), 52.0, 2.5);
+  EXPECT_GT(model.latency_p95_ms(20.0, 1.8), 65.0);
+}
+
+TEST(ResponseModel, ErrorsZeroBelowKneeGrowAbove) {
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  EXPECT_EQ(model.errors_per_s(100.0, 1.0), 0.0);
+  // Push utilization past the 90% knee: need rps ~ 0.9*100/0.028 ≈ 3200.
+  const double past_knee = model.errors_per_s(3350.0, 1.0);
+  EXPECT_GT(past_knee, 0.0);
+  EXPECT_GT(model.errors_per_s(3450.0, 1.0), past_knee);
+}
+
+TEST(ResponseModel, SampleIsDeterministicPerSeed) {
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  SplitMix64 rng1(42);
+  SplitMix64 rng2(42);
+  const ServerWindowMetrics a = model.sample(250.0, 1000, rng1);
+  const ServerWindowMetrics b = model.sample(250.0, 1000, rng2);
+  EXPECT_DOUBLE_EQ(a.cpu_pct_total, b.cpu_pct_total);
+  EXPECT_DOUBLE_EQ(a.latency_p95_ms, b.latency_p95_ms);
+  EXPECT_DOUBLE_EQ(a.network_bytes_per_s, b.network_bytes_per_s);
+}
+
+TEST(ResponseModel, SampleMetricsArePhysical) {
+  const ResponseModel model(pool_b_profile(), HardwareGeneration{});
+  SplitMix64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const ServerWindowMetrics m = model.sample(300.0, i * 120, rng);
+    EXPECT_GE(m.cpu_pct_attributed, 0.0);
+    EXPECT_LE(m.cpu_pct_total, 100.0);
+    EXPECT_GE(m.cpu_pct_total, m.cpu_pct_attributed);
+    EXPECT_GT(m.latency_p95_ms, 0.0);
+    EXPECT_GE(m.network_bytes_per_s, 0.0);
+    EXPECT_GE(m.memory_pages_per_s, 0.0);
+    EXPECT_GE(m.disk_queue_length, 0.0);
+  }
+}
+
+TEST(ResponseModel, BackgroundSpikeRaisesTotalNotAttributed) {
+  MicroserviceCatalog catalog;
+  const MicroserviceProfile& a = catalog.by_name("A");  // has hourly spikes
+  const ResponseModel model(a, HardwareGeneration{});
+  // t=0 is inside the spike window (first 2 min of the hour); t=1800 not.
+  double spike_total = 0.0;
+  double quiet_total = 0.0;
+  double spike_attr = 0.0;
+  double quiet_attr = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    SplitMix64 rng_a(static_cast<std::uint64_t>(i));
+    SplitMix64 rng_b(static_cast<std::uint64_t>(i));
+    spike_total += model.sample(500.0, 0, rng_a).cpu_pct_total;
+    quiet_total += model.sample(500.0, 1800, rng_b).cpu_pct_total;
+    SplitMix64 rng_c(static_cast<std::uint64_t>(i));
+    spike_attr += model.sample(500.0, 0, rng_c).cpu_pct_attributed;
+    SplitMix64 rng_d(static_cast<std::uint64_t>(i));
+    quiet_attr += model.sample(500.0, 1800, rng_d).cpu_pct_attributed;
+  }
+  EXPECT_NEAR((spike_total - quiet_total) / 100.0, a.background_spike_pct,
+              2.0);  // ~12% spike in the total-CPU counter
+  EXPECT_NEAR(spike_attr / 100.0, quiet_attr / 100.0,
+              1.0);  // attribution shields the per-workload metric
+}
+
+TEST(ResponseModel, SpikesCanBeDisabled) {
+  MicroserviceCatalog catalog;
+  const ResponseModel model(catalog.by_name("A"), HardwareGeneration{});
+  SplitMix64 rng1(5);
+  SplitMix64 rng2(5);
+  const auto with = model.sample(500.0, 0, rng1, true);
+  const auto without = model.sample(500.0, 0, rng2, false);
+  EXPECT_GT(with.cpu_pct_total, without.cpu_pct_total + 5.0);
+}
+
+}  // namespace
+}  // namespace headroom::sim

@@ -1,0 +1,130 @@
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace headroom::sim {
+namespace {
+
+TEST(SizePool, CeilsToWholeServers) {
+  EXPECT_EQ(size_pool(1000.0, 100.0), 10u);
+  EXPECT_EQ(size_pool(1001.0, 100.0), 11u);
+  EXPECT_EQ(size_pool(50.0, 100.0), 1u);
+}
+
+TEST(SizePool, RejectsNonPositive) {
+  EXPECT_THROW((void)size_pool(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)size_pool(100.0, 0.0), std::invalid_argument);
+}
+
+TEST(StandardDatacenters, NineRegionsWithDistinctTimezones) {
+  const auto dcs = standard_datacenters();
+  ASSERT_EQ(dcs.size(), 9u);  // the paper's nine geographic regions
+  std::set<double> timezones;
+  for (const auto& dc : dcs) {
+    timezones.insert(dc.timezone_offset_hours);
+    EXPECT_GT(dc.demand_weight, 0.0);
+  }
+  EXPECT_EQ(timezones.size(), 9u);
+  // Spread across the globe: range of at least 12 hours.
+  EXPECT_GE(*timezones.rbegin() - *timezones.begin(), 12.0);
+}
+
+TEST(StandardFleet, OnePoolPerServicePerDatacenter) {
+  const MicroserviceCatalog catalog;
+  const FleetConfig config = standard_fleet(catalog);
+  ASSERT_EQ(config.datacenters.size(), 9u);
+  for (const auto& dc : config.datacenters) {
+    ASSERT_EQ(dc.pools.size(), 7u);  // A-G by default
+    for (const auto& pool : dc.pools) {
+      EXPECT_GE(pool.servers, 1u);
+    }
+  }
+}
+
+TEST(StandardFleet, PoolSizesScaleWithDemandWeight) {
+  const MicroserviceCatalog catalog;
+  const FleetConfig config = standard_fleet(catalog);
+  // DC1 (weight 1.2) must have more D servers than DC3 (weight 0.5).
+  const auto find_pool = [&](std::size_t dc, const std::string& service) {
+    for (const auto& pool : config.datacenters[dc].pools) {
+      if (pool.service == service) return pool.servers;
+    }
+    return std::size_t{0};
+  };
+  EXPECT_GT(find_pool(0, "D"), find_pool(2, "D"));
+}
+
+TEST(StandardFleet, PoolSizeMatchesOperatingPoint) {
+  const MicroserviceCatalog catalog;
+  StandardFleetOptions opt;
+  opt.services = {"B"};
+  opt.regional_peak_rps = 20000.0;
+  const FleetConfig config = standard_fleet(catalog, opt);
+  // DC1: weight 1.2 → peak 24000 RPS; at 377 RPS/server → 64 servers.
+  EXPECT_EQ(config.datacenters[0].pools[0].servers,
+            size_pool(24000.0, 377.0));
+}
+
+TEST(StandardFleet, PoolIGetsHardwareMixWhenRequested) {
+  const MicroserviceCatalog catalog;
+  StandardFleetOptions opt;
+  opt.services = {"I"};
+  opt.hardware_refresh_in_pool_i = true;
+  const FleetConfig config = standard_fleet(catalog, opt);
+  EXPECT_EQ(config.datacenters[0].pools[0].hardware.size(), 2u);
+
+  opt.hardware_refresh_in_pool_i = false;
+  const FleetConfig plain = standard_fleet(catalog, opt);
+  EXPECT_EQ(plain.datacenters[0].pools[0].hardware.size(), 1u);
+}
+
+TEST(StandardFleet, HeterogeneousUtilizationCreatesHotPools) {
+  const MicroserviceCatalog catalog;
+  StandardFleetOptions opt;
+  opt.heterogeneous_utilization = true;
+  const FleetConfig config = standard_fleet(catalog, opt);
+  std::size_t hot = 0;
+  std::size_t total = 0;
+  for (const auto& dc : config.datacenters) {
+    for (const auto& pool : dc.pools) {
+      ++total;
+      if (pool.demand_multiplier > 1.0) ++hot;
+    }
+  }
+  EXPECT_GT(hot, 0u);
+  EXPECT_LT(hot, total);  // most pools stay cool
+}
+
+TEST(StandardFleet, HomogeneousByDefault) {
+  const MicroserviceCatalog catalog;
+  const FleetConfig config = standard_fleet(catalog);
+  for (const auto& dc : config.datacenters) {
+    for (const auto& pool : dc.pools) {
+      EXPECT_DOUBLE_EQ(pool.demand_multiplier, 1.0);
+    }
+  }
+}
+
+TEST(StandardFleet, MaintenancePracticesDifferByService) {
+  const MicroserviceCatalog catalog;
+  const FleetConfig config = standard_fleet(catalog);
+  const auto policy_of = [&](const std::string& service) {
+    for (const auto& pool : config.datacenters[0].pools) {
+      if (pool.service == service) return pool.maintenance;
+    }
+    return MaintenancePolicy{};
+  };
+  // Pool B is re-purposed off-peak (the <80% availability cohort);
+  // pool D is well-managed (~2% downtime).
+  EXPECT_GT(policy_of("B").repurpose_fraction, 0.0);
+  EXPECT_EQ(policy_of("D").repurpose_fraction, 0.0);
+  EXPECT_LT(policy_of("D").deploy_offline_hours,
+            policy_of("C").deploy_offline_hours);
+}
+
+}  // namespace
+}  // namespace headroom::sim

@@ -1,0 +1,99 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace headroom::stats {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, FewerThanTwoPointsIsZero) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> ys = {2.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW((void)pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Pearson, UncorrelatedNearZero) {
+  std::mt19937_64 rng(31);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(dist(rng));
+    ys.push_back(dist(rng));
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(Pearson, InvariantToAffineTransforms) {
+  const std::vector<double> xs = {1.0, 4.0, 2.0, 8.0, 5.0};
+  const std::vector<double> ys = {2.0, 3.0, 2.5, 6.0, 4.0};
+  std::vector<double> xs2;
+  std::vector<double> ys2;
+  for (double x : xs) xs2.push_back(3.0 * x + 7.0);
+  for (double y : ys) ys2.push_back(0.5 * y - 2.0);
+  EXPECT_NEAR(pearson(xs, ys), pearson(xs2, ys2), 1e-12);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  // Spearman sees through monotone nonlinearity; Pearson does not.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 30; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(std::exp(0.3 * static_cast<double>(i)));
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 0.95);
+}
+
+TEST(Spearman, HandlesTiesWithAverageRanks) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> ys = {10.0, 20.0, 20.0, 30.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, PerfectNegativeMonotone) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(1.0 / (1.0 + static_cast<double>(i)));
+  }
+  EXPECT_NEAR(spearman(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Spearman, SizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW((void)spearman(xs, ys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headroom::stats

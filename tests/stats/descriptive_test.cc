@@ -1,0 +1,136 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace headroom::stats {
+namespace {
+
+TEST(Descriptive, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Descriptive, MeanOfConstants) {
+  const std::vector<double> xs(17, 3.5);
+  EXPECT_DOUBLE_EQ(mean(xs), 3.5);
+}
+
+TEST(Descriptive, MeanSimple) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Descriptive, VarianceIsUnbiasedSample) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sum of squared deviations = 32; n-1 = 7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, VarianceOfSinglePointIsZero) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_EQ(variance(xs), 0.0);
+}
+
+TEST(Descriptive, StddevMatchesVariance) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0, 7.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(variance(xs)));
+}
+
+TEST(Descriptive, SummaryTracksMinMaxCount) {
+  const std::vector<double> xs = {-2.0, 7.5, 0.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, -2.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.125);
+}
+
+TEST(RunningStats, EmptyAccumulatorIsAllZero) {
+  RunningStats acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> dist(10.0, 3.0);
+  std::vector<double> xs;
+  RunningStats acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  const Summary batch = summarize(xs);
+  EXPECT_NEAR(acc.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(acc.variance(), batch.variance, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), batch.min);
+  EXPECT_DOUBLE_EQ(acc.max(), batch.max);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  RunningStats a;
+  RunningStats b;
+  std::vector<double> all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(rng);
+    (i % 3 == 0 ? a : b).add(x);
+    all.push_back(x);
+  }
+  a.merge(b);
+  const Summary batch = summarize(all);
+  EXPECT_EQ(a.count(), 500u);
+  EXPECT_NEAR(a.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(a.variance(), batch.variance, 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(RunningStats, SumIsMeanTimesCount) {
+  RunningStats acc;
+  for (double x : {1.0, 2.0, 3.0, 4.5}) acc.add(x);
+  EXPECT_NEAR(acc.sum(), 10.5, 1e-12);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats acc;
+  acc.add(5.0);
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+// Welford must stay numerically stable for large offsets — a classic
+// failure of the naive sum-of-squares formula.
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+  RunningStats acc;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) {
+    acc.add(offset + static_cast<double>(i % 2));
+  }
+  EXPECT_NEAR(acc.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace headroom::stats

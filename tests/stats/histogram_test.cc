@@ -1,0 +1,114 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace headroom::stats {
+namespace {
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinEdgesAreEqualWidth) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(9), 90.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 45.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.9);
+  h.add(9.99);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(5), 2u);
+  EXPECT_EQ(h.count_in_bin(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(4), 1u);
+  EXPECT_EQ(h.total(), 2u);  // no mass silently dropped
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 4);
+  for (double x : {0.1, 0.3, 0.6, 0.9, 0.95}) h.add(x);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) sum += h.fraction(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, FractionAboveAndBelowArePartition) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.fraction_above(25.0), 0.74, 1e-9);
+  EXPECT_NEAR(h.fraction_at_or_below(25.0) + h.fraction_above(25.0), 1.0,
+              1e-12);
+}
+
+TEST(Histogram, EmptyHistogramFractionsAreZero) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_EQ(h.fraction(1), 0.0);
+  EXPECT_EQ(h.fraction_above(0.5), 0.0);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {1.0, 2.0, 3.0, 7.0, 8.5, 9.5}) h.add(x);
+  const std::vector<double> cdf = h.cdf();
+  ASSERT_EQ(cdf.size(), 10u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(Histogram, AddAllMatchesLoop) {
+  const std::vector<double> xs = {0.1, 0.2, 0.7, 0.8};
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.add_all(xs);
+  for (double x : xs) b.add(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.count_in_bin(i), b.count_in_bin(i));
+  }
+}
+
+TEST(EmpiricalCdf, CollapsesDuplicatesToHighestFraction) {
+  const std::vector<double> xs = {1.0, 1.0, 2.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyInputYieldsEmptyCurve) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(EmpiricalCdf, SortedAndMonotone) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 5u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace headroom::stats

@@ -1,0 +1,122 @@
+#include "stats/linear_model.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace headroom::stats {
+namespace {
+
+TEST(FitLinear, RecoversExactLine) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(0.028 * x + 1.37);  // pool B's line
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.028, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.37, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 4u);
+}
+
+TEST(FitLinear, SizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW((void)fit_linear(xs, ys), std::invalid_argument);
+}
+
+TEST(FitLinear, FewerThanTwoPointsIsFlat) {
+  const std::vector<double> one_x = {5.0};
+  const std::vector<double> one_y = {9.0};
+  const LinearFit fit = fit_linear(one_x, one_y);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 9.0);
+}
+
+TEST(FitLinear, ZeroXVarianceIsFlatThroughMean) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+  EXPECT_EQ(fit.r_squared, 0.0);
+}
+
+TEST(FitLinear, NoisyFitHasReasonableRSquared) {
+  std::mt19937_64 rng(13);
+  std::normal_distribution<double> noise(0.0, 0.5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = static_cast<double>(i) / 5.0;
+    xs.push_back(x);
+    ys.push_back(3.0 * x + 1.0 + noise(rng));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.2);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinear, PredictEvaluatesLine) {
+  LinearFit fit;
+  fit.slope = 2.0;
+  fit.intercept = -1.0;
+  EXPECT_DOUBLE_EQ(fit.predict(3.0), 5.0);
+}
+
+TEST(FitLinear, NegativeSlopeRecovered) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {4.0, 2.0, 0.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+}
+
+TEST(RSquared, PerfectPredictionIsOne) {
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(ys, ys), 1.0);
+}
+
+TEST(RSquared, MeanPredictionIsZero) {
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  const std::vector<double> preds = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(ys, preds), 0.0);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative) {
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  const std::vector<double> preds = {3.0, 2.0, 1.0};  // anti-correlated
+  EXPECT_LT(r_squared(ys, preds), 0.0);
+}
+
+TEST(RSquared, ZeroVarianceTargetsReturnZero) {
+  const std::vector<double> ys = {2.0, 2.0};
+  const std::vector<double> preds = {1.0, 3.0};
+  EXPECT_EQ(r_squared(ys, preds), 0.0);
+}
+
+// Noise sweep: R² should fall as noise grows relative to signal.
+class RSquaredNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RSquaredNoiseSweep, DecreasesWithNoise) {
+  const double sigma = GetParam();
+  std::mt19937_64 rng(17);
+  std::normal_distribution<double> noise(0.0, sigma);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = static_cast<double>(i % 100);
+    xs.push_back(x);
+    ys.push_back(x + noise(rng));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  // Theoretical R² = var_signal / (var_signal + sigma²); var of 0..99 ≈ 833.
+  const double expected = 833.25 / (833.25 + sigma * sigma);
+  EXPECT_NEAR(fit.r_squared, expected, 0.02) << "sigma=" << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, RSquaredNoiseSweep,
+                         ::testing::Values(1.0, 5.0, 15.0, 30.0, 60.0));
+
+}  // namespace
+}  // namespace headroom::stats

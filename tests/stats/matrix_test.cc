@@ -1,0 +1,153 @@
+#include "stats/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, TransposeSwapsShape) {
+  Matrix m(2, 3);
+  m.at(0, 2) = 7.0;
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 7.0);
+}
+
+TEST(Matrix, MultiplyIdentityIsNoop) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  const Matrix r = m.multiply(Matrix::identity(2));
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(r.at(i, j), m.at(i, j));
+    }
+  }
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 1);
+  // a = [1 2 3; 4 5 6], b = [1;2;3] => [14; 32]
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a.at(i, j) = v++;
+  }
+  for (std::size_t i = 0; i < 3; ++i) b.at(i, 0) = static_cast<double>(i + 1);
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 32.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, SolvesDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  const auto x = solve_linear_system(a, {6.0, 8.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 2.0);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto x = solve_linear_system(a, {5.0, 7.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 7.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 5.0);
+}
+
+TEST(SolveLinearSystem, SingularReturnsNullopt) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;  // rank 1
+  EXPECT_FALSE(solve_linear_system(a, {1.0, 2.0}).has_value());
+}
+
+TEST(SolveLinearSystem, ThreeByThreeKnownSolution) {
+  Matrix a(3, 3);
+  const double rows[3][3] = {{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a.at(i, j) = rows[i][j];
+  }
+  const auto x = solve_linear_system(a, {8.0, -11.0, -3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+  EXPECT_NEAR((*x)[2], -1.0, 1e-10);
+}
+
+TEST(LeastSquares, ExactFitWhenSquare) {
+  Matrix x(2, 2);
+  x.at(0, 0) = 1.0;
+  x.at(0, 1) = 0.0;
+  x.at(1, 0) = 1.0;
+  x.at(1, 1) = 1.0;
+  const auto beta = least_squares(x, {2.0, 5.0});
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_NEAR((*beta)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*beta)[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedMinimizesResidual) {
+  // y = 2x fit over noisy-free overdetermined system: exact recovery.
+  Matrix x(4, 1);
+  std::vector<double> y(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x.at(i, 0) = static_cast<double>(i + 1);
+    y[i] = 2.0 * static_cast<double>(i + 1);
+  }
+  const auto beta = least_squares(x, y);
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_NEAR((*beta)[0], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, DuplicateColumnsAreSingular) {
+  Matrix x(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    x.at(i, 1) = static_cast<double>(i);
+  }
+  EXPECT_FALSE(least_squares(x, {0.0, 1.0, 2.0}).has_value());
+}
+
+TEST(LeastSquares, ShapeMismatchThrows) {
+  Matrix x(3, 1);
+  EXPECT_THROW((void)least_squares(x, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headroom::stats

@@ -1,0 +1,107 @@
+#include "stats/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace headroom::stats {
+namespace {
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_EQ(percentile(xs, 50.0), 7.0);
+  EXPECT_EQ(percentile(xs, 100.0), 7.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, MedianInterpolatesEvenCount) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Percentile, ExtremesAreMinAndMax) {
+  const std::vector<double> xs = {9.0, -1.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 9.0);
+}
+
+TEST(Percentile, OutOfRangePIsClamped) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 150.0), 3.0);
+}
+
+TEST(Percentile, LinearInterpolationBetweenOrderStatistics) {
+  const std::vector<double> xs = {0.0, 10.0};  // p at rank p/100
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+TEST(Percentile, DoesNotRequireSortedInput) {
+  const std::vector<double> shuffled = {5.0, 2.0, 9.0, 1.0, 7.0};
+  std::vector<double> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 40.0), percentile_sorted(sorted, 40.0));
+}
+
+TEST(Percentile, BatchMatchesIndividual) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(dist(rng));
+  const std::vector<double> ps = {5.0, 25.0, 50.0, 75.0, 95.0};
+  const std::vector<double> batch = percentiles(xs, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(xs, ps[i]));
+  }
+}
+
+TEST(Percentile, MonotoneInP) {
+  std::mt19937_64 rng(5);
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(dist(rng));
+  double prev = percentile(xs, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(xs, p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+// Property sweep: for uniform data on [0,1], the p-th percentile of a large
+// sample approaches p/100.
+class PercentileUniformSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileUniformSweep, ApproximatesTheoreticalQuantile) {
+  const double p = GetParam();
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(dist(rng));
+  EXPECT_NEAR(percentile(xs, p), p / 100.0, 0.02) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileUniformSweep,
+                         ::testing::Values(5.0, 25.0, 50.0, 75.0, 95.0, 99.0));
+
+TEST(Percentile, GroupingPercentilesAreThePapersFive) {
+  ASSERT_EQ(std::size(kGroupingPercentiles), 5u);
+  EXPECT_EQ(kGroupingPercentiles[0], 5.0);
+  EXPECT_EQ(kGroupingPercentiles[4], 95.0);
+}
+
+}  // namespace
+}  // namespace headroom::stats

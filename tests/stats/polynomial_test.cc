@@ -1,0 +1,145 @@
+#include "stats/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace headroom::stats {
+namespace {
+
+std::vector<double> range(double lo, double hi, std::size_t n) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+TEST(EvaluatePolynomial, HornerAscendingOrder) {
+  const std::vector<double> coeffs = {1.0, 2.0, 3.0};  // 3x² + 2x + 1
+  EXPECT_DOUBLE_EQ(evaluate_polynomial(coeffs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(evaluate_polynomial(coeffs, 2.0), 17.0);
+}
+
+TEST(EvaluatePolynomial, EmptyIsZero) {
+  EXPECT_EQ(evaluate_polynomial({}, 3.0), 0.0);
+}
+
+TEST(FitPolynomial, RecoversPaperPoolBQuadratic) {
+  // Fig. 9: y = 4.028e-5 x² - 0.031 x + 36.68 over the observed RPS range.
+  const std::vector<double> xs = range(100.0, 700.0, 60);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(4.028e-5 * x * x - 0.031 * x + 36.68);
+  const PolynomialFit fit = fit_quadratic(xs, ys);
+  ASSERT_EQ(fit.coeffs.size(), 3u);
+  EXPECT_NEAR(fit.coeffs[2], 4.028e-5, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], -0.031, 1e-6);
+  EXPECT_NEAR(fit.coeffs[0], 36.68, 1e-4);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitPolynomial, RecoversPaperPoolDQuadratic) {
+  // Fig. 11: y = 4.66e-3 x² - 0.80 x + 86.50.
+  const std::vector<double> xs = range(10.0, 130.0, 40);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(4.66e-3 * x * x - 0.80 * x + 86.50);
+  const PolynomialFit fit = fit_quadratic(xs, ys);
+  ASSERT_EQ(fit.coeffs.size(), 3u);
+  EXPECT_NEAR(fit.coeffs[2], 4.66e-3, 1e-7);
+  EXPECT_NEAR(fit.coeffs[1], -0.80, 1e-5);
+  EXPECT_NEAR(fit.coeffs[0], 86.50, 1e-3);
+}
+
+TEST(FitPolynomial, VertexOfPoolDQuadratic) {
+  PolynomialFit fit;
+  fit.coeffs = {86.50, -0.80, 4.66e-3};
+  // Vertex at -b/2a = 0.80 / (2*4.66e-3) ≈ 85.8 RPS — the latency minimum.
+  EXPECT_NEAR(fit.vertex_x(), 85.84, 0.05);
+}
+
+TEST(FitPolynomial, VertexOfNonQuadraticIsZero) {
+  PolynomialFit fit;
+  fit.coeffs = {1.0, 2.0};
+  EXPECT_EQ(fit.vertex_x(), 0.0);
+}
+
+TEST(FitPolynomial, DegreeZeroIsMean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {4.0, 6.0, 8.0};
+  const PolynomialFit fit = fit_polynomial(xs, ys, 0);
+  ASSERT_EQ(fit.coeffs.size(), 1u);
+  EXPECT_DOUBLE_EQ(fit.coeffs[0], 6.0);
+}
+
+TEST(FitPolynomial, InsufficientPointsFallsBackToConstant) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {3.0, 5.0};
+  const PolynomialFit fit = fit_polynomial(xs, ys, 2);  // needs 3 points
+  ASSERT_EQ(fit.coeffs.size(), 1u);
+  EXPECT_DOUBLE_EQ(fit.coeffs[0], 4.0);
+}
+
+TEST(FitPolynomial, AllEqualXFallsBackToConstant) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+  const PolynomialFit fit = fit_polynomial(xs, ys, 2);
+  ASSERT_EQ(fit.coeffs.size(), 1u);
+  EXPECT_DOUBLE_EQ(fit.coeffs[0], 4.0);
+}
+
+TEST(FitPolynomial, SizeMismatchThrows) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW((void)fit_polynomial(xs, ys, 1), std::invalid_argument);
+}
+
+TEST(FitPolynomial, WellConditionedAtLargeXOffsets) {
+  // Raw normal equations on x ∈ [1e6, 1e6+100] would be hopeless; the
+  // internal standardization must keep the fit exact.
+  const std::vector<double> xs = range(1e6, 1e6 + 100.0, 30);
+  std::vector<double> ys;
+  for (double x : xs) {
+    const double u = x - 1e6;
+    ys.push_back(0.5 * u * u - 3.0 * u + 10.0);
+  }
+  const PolynomialFit fit = fit_quadratic(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(fit.predict(xs[i]), ys[i], 1e-4);
+  }
+  EXPECT_GT(fit.r_squared, 0.999999);
+}
+
+// Degree sweep: an exact degree-k polynomial is recovered by any fit of
+// degree >= k.
+class DegreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DegreeSweep, ExactRecoveryAtOrAboveTrueDegree) {
+  const std::size_t fit_degree = GetParam();
+  const std::vector<double> xs = range(-5.0, 5.0, 41);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.0 * x * x - x + 3.0);  // true degree 2
+  const PolynomialFit fit = fit_polynomial(xs, ys, fit_degree);
+  for (double x : {-4.0, 0.0, 2.5}) {
+    EXPECT_NEAR(fit.predict(x), 2.0 * x * x - x + 3.0, 1e-6)
+        << "degree=" << fit_degree;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DegreeSweep, ::testing::Values(2u, 3u, 4u));
+
+TEST(FitPolynomial, NoisyQuadraticCloseToTruth) {
+  std::mt19937_64 rng(23);
+  std::normal_distribution<double> noise(0.0, 0.5);
+  const std::vector<double> xs = range(0.0, 100.0, 200);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(0.01 * x * x - 0.5 * x + 30.0 + noise(rng));
+  const PolynomialFit fit = fit_quadratic(xs, ys);
+  EXPECT_NEAR(fit.coeffs[2], 0.01, 2e-4);
+  EXPECT_NEAR(fit.coeffs[1], -0.5, 0.02);
+  EXPECT_NEAR(fit.coeffs[0], 30.0, 0.5);
+}
+
+}  // namespace
+}  // namespace headroom::stats

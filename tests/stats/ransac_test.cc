@@ -1,0 +1,154 @@
+#include "stats/ransac.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace headroom::stats {
+namespace {
+
+TEST(Ransac, CleanDataMatchesLeastSquares) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(0.004 * x * x - 0.2 * x + 40.0);
+  }
+  RansacOptions opt;
+  opt.inlier_threshold = 0.5;
+  const RansacResult r = fit_ransac(xs, ys, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.inliers.size(), xs.size());
+  EXPECT_NEAR(r.fit.coeffs[2], 0.004, 1e-6);
+  EXPECT_NEAR(r.fit.coeffs[1], -0.2, 1e-4);
+  EXPECT_NEAR(r.fit.coeffs[0], 40.0, 1e-3);
+}
+
+TEST(Ransac, IgnoresGrossOutliers) {
+  // The paper's motivation: deployment windows contaminate experiment data
+  // with unrelated latency spikes; RANSAC must recover the true curve.
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> noise(0.0, 0.2);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i) / 2.0;
+    xs.push_back(x);
+    double y = 0.01 * x * x - 0.3 * x + 25.0 + noise(rng);
+    if (i % 10 == 0) y += 40.0;  // 10% contamination
+    ys.push_back(y);
+  }
+  RansacOptions opt;
+  opt.inlier_threshold = 1.0;
+  opt.iterations = 400;
+  const RansacResult r = fit_ransac(xs, ys, opt);
+  EXPECT_NEAR(r.fit.coeffs[2], 0.01, 5e-4);
+  EXPECT_NEAR(r.fit.coeffs[1], -0.3, 0.05);
+  EXPECT_NEAR(r.fit.coeffs[0], 25.0, 1.0);
+  // Roughly the 90% clean points should be inliers.
+  EXPECT_GT(r.inliers.size(), 160u);
+  EXPECT_LT(r.inliers.size(), 195u);
+}
+
+TEST(Ransac, PlainFitWouldBeBiasedByOutliers) {
+  // Control for the test above: the non-robust fit IS pulled upward.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(10.0 + (i % 10 == 0 ? 50.0 : 0.0));
+  }
+  const PolynomialFit plain = fit_polynomial(xs, ys, 2);
+  EXPECT_GT(plain.coeffs[0], 11.0);  // biased intercept
+
+  RansacOptions opt;
+  opt.inlier_threshold = 0.5;
+  const RansacResult robust = fit_ransac(xs, ys, opt);
+  EXPECT_NEAR(robust.fit.predict(50.0), 10.0, 0.2);
+}
+
+TEST(Ransac, TooFewPointsFallsBackUnconverged) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 4.0, 9.0};
+  RansacOptions opt;
+  opt.degree = 2;
+  const RansacResult r = fit_ransac(xs, ys, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.inliers.size(), 3u);
+}
+
+TEST(Ransac, MinInliersGateControlsConvergence) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(static_cast<double>(i % 7) * 5.0);  // structureless
+  }
+  RansacOptions opt;
+  opt.inlier_threshold = 0.01;
+  opt.min_inliers = 25;
+  const RansacResult r = fit_ransac(xs, ys, opt);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Ransac, DeterministicForFixedSeed) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (int i = 0; i < 80; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(2.0 * static_cast<double>(i) + noise(rng) * 3.0);
+  }
+  RansacOptions opt;
+  opt.degree = 1;
+  opt.seed = 1234;
+  const RansacResult a = fit_ransac(xs, ys, opt);
+  const RansacResult b = fit_ransac(xs, ys, opt);
+  ASSERT_EQ(a.fit.coeffs.size(), b.fit.coeffs.size());
+  for (std::size_t i = 0; i < a.fit.coeffs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fit.coeffs[i], b.fit.coeffs[i]);
+  }
+  EXPECT_EQ(a.inliers, b.inliers);
+}
+
+TEST(Ransac, SizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW((void)fit_ransac(xs, ys, RansacOptions{}), std::invalid_argument);
+}
+
+// Contamination sweep: the robust fit should hold up to ~40% outliers.
+class ContaminationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContaminationSweep, RecoversLineUnderContamination) {
+  const double rate = GetParam();
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 300; ++i) {
+    const double x = static_cast<double>(i) / 3.0;
+    xs.push_back(x);
+    ys.push_back(u(rng) < rate ? 500.0 * u(rng)
+                               : 1.5 * x + 10.0 + noise(rng));
+  }
+  RansacOptions opt;
+  opt.degree = 1;
+  opt.inlier_threshold = 0.5;
+  opt.iterations = 500;
+  const RansacResult r = fit_ransac(xs, ys, opt);
+  ASSERT_EQ(r.fit.coeffs.size(), 2u);
+  EXPECT_NEAR(r.fit.coeffs[1], 1.5, 0.05) << "contamination=" << rate;
+  EXPECT_NEAR(r.fit.coeffs[0], 10.0, 1.5) << "contamination=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ContaminationSweep,
+                         ::testing::Values(0.05, 0.15, 0.25, 0.40));
+
+}  // namespace
+}  // namespace headroom::stats

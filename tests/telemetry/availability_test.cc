@@ -1,0 +1,102 @@
+#include "telemetry/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::telemetry {
+namespace {
+
+constexpr SimTime kDay = 86400;
+const ServerId kServer{0, 0, 0};
+
+TEST(AvailabilityLedger, RejectsBadDayLength) {
+  EXPECT_THROW(AvailabilityLedger(0), std::invalid_argument);
+  EXPECT_THROW(AvailabilityLedger(-1), std::invalid_argument);
+}
+
+TEST(AvailabilityLedger, UnknownServerIsFullyAvailable) {
+  AvailabilityLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.server_availability(kServer, 0), 1.0);
+}
+
+TEST(AvailabilityLedger, SimpleOnlineFraction) {
+  AvailabilityLedger ledger;
+  ledger.record(kServer, 0, kDay / 2, true);
+  ledger.record(kServer, kDay / 2, kDay / 2, false);
+  EXPECT_DOUBLE_EQ(ledger.server_availability(kServer, 0), 0.5);
+}
+
+TEST(AvailabilityLedger, SplitsIntervalsAcrossDayBoundary) {
+  AvailabilityLedger ledger;
+  // 12h online starting at 18:00 of day 0: 6h on day 0, 6h on day 1.
+  ledger.record(kServer, kDay * 3 / 4, kDay / 2, true);
+  // Fill the rest of both days offline.
+  ledger.record(kServer, 0, kDay * 3 / 4, false);
+  ledger.record(kServer, kDay + kDay / 4, kDay * 3 / 4, false);
+  EXPECT_DOUBLE_EQ(ledger.server_availability(kServer, 0), 0.25);
+  EXPECT_DOUBLE_EQ(ledger.server_availability(kServer, 1), 0.25);
+}
+
+TEST(AvailabilityLedger, NegativeArgumentsThrow) {
+  AvailabilityLedger ledger;
+  EXPECT_THROW(ledger.record(kServer, -1, 10, true), std::invalid_argument);
+  EXPECT_THROW(ledger.record(kServer, 0, -10, true), std::invalid_argument);
+}
+
+TEST(AvailabilityLedger, PoolAvailabilityAveragesServers) {
+  AvailabilityLedger ledger;
+  const ServerId a{0, 1, 0};
+  const ServerId b{0, 1, 1};
+  ledger.record(a, 0, kDay, true);          // 100%
+  ledger.record(b, 0, kDay / 2, true);      // 50%
+  ledger.record(b, kDay / 2, kDay / 2, false);
+  EXPECT_DOUBLE_EQ(ledger.pool_availability(0, 1, 0), 0.75);
+}
+
+TEST(AvailabilityLedger, PoolAvailabilityIgnoresOtherPools) {
+  AvailabilityLedger ledger;
+  ledger.record({0, 1, 0}, 0, kDay, true);
+  ledger.record({0, 2, 0}, 0, kDay, false);  // different pool
+  EXPECT_DOUBLE_EQ(ledger.pool_availability(0, 1, 0), 1.0);
+}
+
+TEST(AvailabilityLedger, AllDailyAvailabilitiesEnumeratesServerDays) {
+  AvailabilityLedger ledger;
+  ledger.record({0, 0, 0}, 0, kDay, true);
+  ledger.record({0, 0, 1}, 0, kDay, false);
+  ledger.record({0, 0, 0}, kDay, kDay, true);  // second day
+  const auto all = ledger.all_daily_availabilities();
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(AvailabilityLedger, FleetAverage) {
+  AvailabilityLedger ledger;
+  ledger.record({0, 0, 0}, 0, kDay, true);
+  ledger.record({0, 0, 1}, 0, kDay / 2, true);
+  ledger.record({0, 0, 1}, kDay / 2, kDay / 2, false);
+  EXPECT_DOUBLE_EQ(ledger.fleet_average(), 0.75);
+}
+
+TEST(AvailabilityLedger, EmptyFleetAverageIsOne) {
+  AvailabilityLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.fleet_average(), 1.0);
+}
+
+TEST(AvailabilityLedger, LastDayAdvances) {
+  AvailabilityLedger ledger;
+  EXPECT_EQ(ledger.last_day(), 0);
+  ledger.record(kServer, kDay * 5, 100, true);
+  EXPECT_EQ(ledger.last_day(), 5);
+}
+
+TEST(AvailabilityLedger, ShortDayLengthForTests) {
+  AvailabilityLedger ledger(100);  // 100-second "days"
+  ledger.record(kServer, 0, 350, true);  // spans days 0-3
+  EXPECT_EQ(ledger.last_day(), 3);
+  EXPECT_DOUBLE_EQ(ledger.server_availability(kServer, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.server_availability(kServer, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace headroom::telemetry

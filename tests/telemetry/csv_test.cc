@@ -1,0 +1,76 @@
+#include "telemetry/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace headroom::telemetry {
+namespace {
+
+TEST(Csv, SeriesExport) {
+  TimeSeries s;
+  s.append(0, 1.5);
+  s.append(120, 2.5);
+  std::ostringstream out;
+  write_series_csv(out, s, "rps");
+  EXPECT_EQ(out.str(), "window_start,rps\n0,1.5\n120,2.5\n");
+}
+
+TEST(Csv, EmptySeriesHeaderOnly) {
+  TimeSeries s;
+  std::ostringstream out;
+  write_series_csv(out, s);
+  EXPECT_EQ(out.str(), "window_start,value\n");
+}
+
+TEST(Csv, ScatterExport) {
+  AlignedPair pair;
+  pair.x = {10.0, 20.0};
+  pair.y = {1.0, 2.0};
+  std::ostringstream out;
+  write_scatter_csv(out, pair, "rps", "cpu");
+  EXPECT_EQ(out.str(), "rps,cpu\n10,1\n20,2\n");
+}
+
+TEST(Csv, PoolExportJoinsMetrics) {
+  MetricStore store;
+  const SeriesKey rps{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  const SeriesKey cpu{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kCpuPercentTotal};
+  for (SimTime t : {0L, 120L, 240L}) {
+    store.record(rps, t, static_cast<double>(t));
+  }
+  // CPU is missing the middle window: only aligned rows are emitted.
+  store.record(cpu, 0, 5.0);
+  store.record(cpu, 240, 7.0);
+
+  std::ostringstream out;
+  const MetricKind metrics[] = {MetricKind::kRequestsPerSecond,
+                                MetricKind::kCpuPercentTotal};
+  const std::size_t columns = write_pool_csv(out, store, 0, 0, metrics);
+  EXPECT_EQ(columns, 2u);
+  EXPECT_EQ(out.str(),
+            "window_start,rps,cpu_pct_total\n0,0,5\n240,240,7\n");
+}
+
+TEST(Csv, PoolExportSkipsAbsentMetrics) {
+  MetricStore store;
+  store.record({0, 0, SeriesKey::kPoolScope, MetricKind::kRequestsPerSecond},
+               0, 1.0);
+  std::ostringstream out;
+  const MetricKind metrics[] = {MetricKind::kRequestsPerSecond,
+                                MetricKind::kLatencyP95Ms};
+  EXPECT_EQ(write_pool_csv(out, store, 0, 0, metrics), 1u);
+  EXPECT_EQ(out.str(), "window_start,rps\n0,1\n");
+}
+
+TEST(Csv, PoolExportEmptyStore) {
+  MetricStore store;
+  std::ostringstream out;
+  const MetricKind metrics[] = {MetricKind::kRequestsPerSecond};
+  EXPECT_EQ(write_pool_csv(out, store, 0, 0, metrics), 0u);
+}
+
+}  // namespace
+}  // namespace headroom::telemetry

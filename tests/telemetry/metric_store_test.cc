@@ -1,0 +1,107 @@
+#include "telemetry/metric_store.h"
+
+#include <gtest/gtest.h>
+
+namespace headroom::telemetry {
+namespace {
+
+TEST(MetricStore, EmptyLookupIsEmptySeries) {
+  MetricStore store;
+  const SeriesKey key{0, 0, 0, MetricKind::kRequestsPerSecond};
+  EXPECT_FALSE(store.contains(key));
+  EXPECT_TRUE(store.series(key).empty());
+}
+
+TEST(MetricStore, RecordAndRetrieve) {
+  MetricStore store;
+  const SeriesKey key{1, 2, 3, MetricKind::kCpuPercentTotal};
+  store.record(key, 0, 10.0);
+  store.record(key, 120, 12.0);
+  EXPECT_TRUE(store.contains(key));
+  EXPECT_EQ(store.series(key).size(), 2u);
+  EXPECT_EQ(store.sample_count(), 2u);
+  EXPECT_EQ(store.series_count(), 1u);
+}
+
+TEST(MetricStore, KeysAreDistinguishedByAllFields) {
+  MetricStore store;
+  const SeriesKey a{1, 2, 3, MetricKind::kCpuPercentTotal};
+  SeriesKey b = a;
+  b.metric = MetricKind::kLatencyP95Ms;
+  SeriesKey c = a;
+  c.server = 4;
+  SeriesKey d = a;
+  d.datacenter = 9;
+  store.record(a, 0, 1.0);
+  store.record(b, 0, 2.0);
+  store.record(c, 0, 3.0);
+  store.record(d, 0, 4.0);
+  EXPECT_EQ(store.series_count(), 4u);
+  EXPECT_DOUBLE_EQ(store.series(a).at(0).value, 1.0);
+  EXPECT_DOUBLE_EQ(store.series(d).at(0).value, 4.0);
+}
+
+TEST(MetricStore, PoolSeriesUsesPoolScope) {
+  MetricStore store;
+  const SeriesKey pool_key{0, 1, SeriesKey::kPoolScope,
+                           MetricKind::kRequestsPerSecond};
+  store.record(pool_key, 0, 100.0);
+  EXPECT_EQ(store.pool_series(0, 1, MetricKind::kRequestsPerSecond).size(), 1u);
+  // Server-scope record does not pollute pool scope.
+  store.record({0, 1, 7, MetricKind::kRequestsPerSecond}, 0, 50.0);
+  EXPECT_EQ(store.pool_series(0, 1, MetricKind::kRequestsPerSecond).size(), 1u);
+}
+
+TEST(MetricStore, ServerKeysFiltersScopeAndPool) {
+  MetricStore store;
+  store.record({0, 1, 0, MetricKind::kCpuPercentTotal}, 0, 1.0);
+  store.record({0, 1, 1, MetricKind::kCpuPercentTotal}, 0, 2.0);
+  store.record({0, 1, SeriesKey::kPoolScope, MetricKind::kCpuPercentTotal}, 0, 3.0);
+  store.record({0, 2, 0, MetricKind::kCpuPercentTotal}, 0, 4.0);
+  store.record({0, 1, 0, MetricKind::kRequestsPerSecond}, 0, 5.0);
+  const auto keys = store.server_keys(0, 1, MetricKind::kCpuPercentTotal);
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(MetricStore, PoolScatterAlignsTwoMetrics) {
+  MetricStore store;
+  for (SimTime t = 0; t < 600; t += 120) {
+    store.record({0, 0, SeriesKey::kPoolScope, MetricKind::kRequestsPerSecond},
+                 t, static_cast<double>(t));
+    store.record({0, 0, SeriesKey::kPoolScope, MetricKind::kCpuPercentTotal},
+                 t, static_cast<double>(t) * 0.028 + 1.37);
+  }
+  const AlignedPair pair = store.pool_scatter(
+      0, 0, MetricKind::kRequestsPerSecond, MetricKind::kCpuPercentTotal);
+  ASSERT_EQ(pair.x.size(), 5u);
+  EXPECT_DOUBLE_EQ(pair.y[2], pair.x[2] * 0.028 + 1.37);
+}
+
+TEST(MetricStore, ClearResets) {
+  MetricStore store;
+  store.record({0, 0, 0, MetricKind::kErrorsPerSecond}, 0, 1.0);
+  store.clear();
+  EXPECT_EQ(store.series_count(), 0u);
+  EXPECT_EQ(store.sample_count(), 0u);
+}
+
+TEST(SeriesKeyHash, DistinctKeysUsuallyDistinctHashes) {
+  SeriesKeyHash hash;
+  const SeriesKey a{1, 2, 3, MetricKind::kCpuPercentTotal};
+  SeriesKey b = a;
+  b.server = 4;
+  EXPECT_NE(hash(a), hash(b));
+}
+
+TEST(MetricKind, NamesAreUniqueAndNonEmpty) {
+  for (std::size_t i = 0; i < kMetricKindCount; ++i) {
+    const auto kind = static_cast<MetricKind>(i);
+    EXPECT_FALSE(to_string(kind).empty());
+    for (std::size_t j = i + 1; j < kMetricKindCount; ++j) {
+      EXPECT_NE(to_string(kind), to_string(static_cast<MetricKind>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace headroom::telemetry

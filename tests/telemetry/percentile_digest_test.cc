@@ -1,0 +1,82 @@
+#include "telemetry/percentile_digest.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "stats/percentile.h"
+
+namespace headroom::telemetry {
+namespace {
+
+TEST(PercentileDigest, EmptySnapshotIsZero) {
+  PercentileDigest digest;
+  const PercentileSnapshot s = digest.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(PercentileDigest, TracksAllFiveGroupingPercentiles) {
+  PercentileDigest digest;
+  std::vector<double> xs;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = u(rng);
+    digest.add(x);
+    xs.push_back(x);
+  }
+  const PercentileSnapshot s = digest.snapshot();
+  EXPECT_NEAR(s.p5, stats::percentile(xs, 5.0), 1.0);
+  EXPECT_NEAR(s.p25, stats::percentile(xs, 25.0), 1.5);
+  EXPECT_NEAR(s.p50, stats::percentile(xs, 50.0), 1.5);
+  EXPECT_NEAR(s.p75, stats::percentile(xs, 75.0), 1.5);
+  EXPECT_NEAR(s.p95, stats::percentile(xs, 95.0), 1.0);
+  EXPECT_NEAR(s.mean, 50.0, 1.0);
+  EXPECT_EQ(s.count, 20000u);
+}
+
+TEST(PercentileDigest, MinMaxAreExact) {
+  PercentileDigest digest;
+  for (double x : {5.0, 1.0, 9.0, 3.0}) digest.add(x);
+  const PercentileSnapshot s = digest.snapshot();
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(PercentileDigest, SnapshotOrderIsAscending) {
+  PercentileDigest digest;
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(1.0, 0.8);
+  for (int i = 0; i < 5000; ++i) digest.add(dist(rng));
+  const PercentileSnapshot s = digest.snapshot();
+  EXPECT_LE(s.p5, s.p25);
+  EXPECT_LE(s.p25, s.p50);
+  EXPECT_LE(s.p50, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+  EXPECT_LE(s.min, s.p5);
+  EXPECT_LE(s.p95, s.max);
+}
+
+TEST(PercentileDigest, GroupingValuesMatchSnapshotFields) {
+  PercentileDigest digest;
+  for (int i = 0; i < 100; ++i) digest.add(static_cast<double>(i));
+  const PercentileSnapshot s = digest.snapshot();
+  const auto values = s.grouping_values();
+  EXPECT_DOUBLE_EQ(values[0], s.p5);
+  EXPECT_DOUBLE_EQ(values[4], s.p95);
+}
+
+TEST(PercentileDigest, ResetClearsState) {
+  PercentileDigest digest;
+  for (int i = 0; i < 50; ++i) digest.add(100.0);
+  digest.reset();
+  EXPECT_EQ(digest.count(), 0u);
+  digest.add(1.0);
+  EXPECT_DOUBLE_EQ(digest.snapshot().p95, 1.0);
+}
+
+}  // namespace
+}  // namespace headroom::telemetry

@@ -1,0 +1,108 @@
+#include "telemetry/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::telemetry {
+namespace {
+
+TEST(TimeSeries, AppendsInOrder) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  s.append(120, 2.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.at(1).window_start, 120);
+  EXPECT_DOUBLE_EQ(s.at(1).value, 2.0);
+}
+
+TEST(TimeSeries, RejectsOutOfOrderAppend) {
+  TimeSeries s;
+  s.append(120, 1.0);
+  EXPECT_THROW(s.append(120, 2.0), std::invalid_argument);  // duplicate
+  EXPECT_THROW(s.append(0, 2.0), std::invalid_argument);    // backwards
+}
+
+TEST(TimeSeries, ValuesPreservesOrder) {
+  TimeSeries s;
+  s.append(0, 3.0);
+  s.append(60, 1.0);
+  s.append(120, 2.0);
+  const std::vector<double> vals = s.values();
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_DOUBLE_EQ(vals[0], 3.0);
+  EXPECT_DOUBLE_EQ(vals[2], 2.0);
+}
+
+TEST(TimeSeries, ValuesBetweenIsHalfOpen) {
+  TimeSeries s;
+  for (SimTime t = 0; t < 600; t += 120) {
+    s.append(t, static_cast<double>(t));
+  }
+  const std::vector<double> vals = s.values_between(120, 360);
+  ASSERT_EQ(vals.size(), 2u);  // 120, 240; 360 excluded
+  EXPECT_DOUBLE_EQ(vals[0], 120.0);
+  EXPECT_DOUBLE_EQ(vals[1], 240.0);
+}
+
+TEST(TimeSeries, SlicePreservesTimestamps) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  s.append(120, 2.0);
+  s.append(240, 3.0);
+  const TimeSeries sliced = s.slice(120, 240);
+  ASSERT_EQ(sliced.size(), 1u);
+  EXPECT_EQ(sliced.at(0).window_start, 120);
+}
+
+TEST(Align, InnerJoinOnTimestamps) {
+  TimeSeries x;
+  TimeSeries y;
+  x.append(0, 1.0);
+  x.append(120, 2.0);
+  x.append(240, 3.0);
+  y.append(120, 20.0);
+  y.append(240, 30.0);
+  y.append(360, 40.0);
+  const AlignedPair pair = align(x, y);
+  ASSERT_EQ(pair.x.size(), 2u);
+  EXPECT_DOUBLE_EQ(pair.x[0], 2.0);
+  EXPECT_DOUBLE_EQ(pair.y[0], 20.0);
+  EXPECT_DOUBLE_EQ(pair.x[1], 3.0);
+  EXPECT_DOUBLE_EQ(pair.y[1], 30.0);
+}
+
+TEST(Align, DisjointSeriesYieldEmpty) {
+  TimeSeries x;
+  TimeSeries y;
+  x.append(0, 1.0);
+  y.append(120, 2.0);
+  const AlignedPair pair = align(x, y);
+  EXPECT_TRUE(pair.x.empty());
+  EXPECT_TRUE(pair.y.empty());
+}
+
+TEST(Align, EmptySeriesYieldEmpty) {
+  TimeSeries x;
+  TimeSeries y;
+  y.append(0, 1.0);
+  const AlignedPair pair = align(x, y);
+  EXPECT_TRUE(pair.x.empty());
+}
+
+TEST(Align, IdenticalTimestampsFullJoin) {
+  TimeSeries x;
+  TimeSeries y;
+  for (SimTime t = 0; t < 1200; t += 120) {
+    x.append(t, static_cast<double>(t));
+    y.append(t, static_cast<double>(t) * 2.0);
+  }
+  const AlignedPair pair = align(x, y);
+  EXPECT_EQ(pair.x.size(), 10u);
+  for (std::size_t i = 0; i < pair.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pair.y[i], pair.x[i] * 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace headroom::telemetry

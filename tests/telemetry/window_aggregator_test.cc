@@ -1,0 +1,118 @@
+#include "telemetry/window_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::telemetry {
+namespace {
+
+const SeriesKey kCpuKey{0, 0, 0, MetricKind::kCpuPercentTotal};
+const SeriesKey kLatencyKey{0, 0, 0, MetricKind::kLatencyP95Ms};
+
+TEST(WindowAggregator, RejectsBadConstruction) {
+  MetricStore store;
+  EXPECT_THROW(WindowAggregator(nullptr, 120), std::invalid_argument);
+  EXPECT_THROW(WindowAggregator(&store, 0), std::invalid_argument);
+  EXPECT_THROW(WindowAggregator(&store, -5), std::invalid_argument);
+}
+
+TEST(WindowAggregator, MeansSamplesWithinWindow) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  agg.add(kCpuKey, 0, 10.0);
+  agg.add(kCpuKey, 40, 20.0);
+  agg.add(kCpuKey, 80, 30.0);
+  agg.add(kCpuKey, 120, 99.0);  // crosses the boundary; flushes first window
+  const TimeSeries& series = store.series(kCpuKey);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series.at(0).window_start, 0);
+  EXPECT_DOUBLE_EQ(series.at(0).value, 20.0);
+}
+
+TEST(WindowAggregator, FlushEmitsPartialWindows) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  agg.add(kCpuKey, 10, 5.0);
+  EXPECT_EQ(store.series(kCpuKey).size(), 0u);
+  agg.flush();
+  ASSERT_EQ(store.series(kCpuKey).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.series(kCpuKey).at(0).value, 5.0);
+}
+
+TEST(WindowAggregator, WindowStartsAreMultiplesOfWindow) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  agg.add(kCpuKey, 250, 1.0);  // inside window [240, 360)
+  agg.flush();
+  EXPECT_EQ(store.series(kCpuKey).at(0).window_start, 240);
+}
+
+TEST(WindowAggregator, SkippedWindowsAreAbsentNotZero) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  agg.add(kCpuKey, 0, 1.0);
+  agg.add(kCpuKey, 500, 2.0);  // windows 1,2,3 skipped entirely
+  agg.flush();
+  const TimeSeries& series = store.series(kCpuKey);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.at(0).window_start, 0);
+  EXPECT_EQ(series.at(1).window_start, 480);
+}
+
+TEST(WindowAggregator, LatencyAggregatesAsP95) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  // 100 request latencies 1..100 in one window: P95 ≈ 95, mean 50.5 — the
+  // aggregate must be the percentile, not the mean.
+  for (int i = 1; i <= 100; ++i) {
+    agg.add(kLatencyKey, 10, static_cast<double>(i));
+  }
+  agg.flush();
+  ASSERT_EQ(store.series(kLatencyKey).size(), 1u);
+  EXPECT_NEAR(store.series(kLatencyKey).at(0).value, 95.0, 2.0);
+}
+
+TEST(WindowAggregator, NonLatencyUsesMeanNotP95) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  for (int i = 1; i <= 100; ++i) {
+    agg.add(kCpuKey, 10, static_cast<double>(i));
+  }
+  agg.flush();
+  EXPECT_NEAR(store.series(kCpuKey).at(0).value, 50.5, 1e-9);
+}
+
+TEST(WindowAggregator, IndependentKeysIndependentBuckets) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  SeriesKey other = kCpuKey;
+  other.server = 9;
+  agg.add(kCpuKey, 0, 10.0);
+  agg.add(other, 0, 90.0);
+  agg.flush();
+  EXPECT_DOUBLE_EQ(store.series(kCpuKey).at(0).value, 10.0);
+  EXPECT_DOUBLE_EQ(store.series(other).at(0).value, 90.0);
+}
+
+TEST(WindowAggregator, NegativeTimeThrows) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  EXPECT_THROW(agg.add(kCpuKey, -1, 1.0), std::invalid_argument);
+}
+
+TEST(WindowAggregator, BackwardsTimeThrows) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  agg.add(kCpuKey, 500, 1.0);
+  EXPECT_THROW(agg.add(kCpuKey, 100, 1.0), std::invalid_argument);
+}
+
+TEST(WindowAggregator, PaperDefaultWindowIs120s) {
+  MetricStore store;
+  WindowAggregator agg(&store);
+  EXPECT_EQ(agg.window_seconds(), 120);
+}
+
+}  // namespace
+}  // namespace headroom::telemetry

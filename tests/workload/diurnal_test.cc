@@ -1,0 +1,118 @@
+#include "workload/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::workload {
+namespace {
+
+constexpr SimTime kHour = 3600;
+constexpr SimTime kDay = 86400;
+
+DiurnalParams base_params() {
+  DiurnalParams p;
+  p.peak_rps = 1000.0;
+  p.trough_fraction = 0.4;
+  p.peak_hour = 20.0;
+  p.weekend_factor = 1.0;  // disable weekly effect unless a test wants it
+  p.noise_sigma = 0.0;
+  return p;
+}
+
+TEST(DiurnalTraffic, RejectsBadParams) {
+  DiurnalParams p = base_params();
+  p.peak_rps = 0.0;
+  EXPECT_THROW(DiurnalTraffic{p}, std::invalid_argument);
+  p = base_params();
+  p.trough_fraction = 1.5;
+  EXPECT_THROW(DiurnalTraffic{p}, std::invalid_argument);
+}
+
+TEST(DiurnalTraffic, PeakAtPeakHour) {
+  const DiurnalTraffic traffic(base_params());
+  EXPECT_NEAR(traffic.demand(20 * kHour), 1000.0, 1e-9);
+}
+
+TEST(DiurnalTraffic, TroughTwelveHoursLater) {
+  const DiurnalTraffic traffic(base_params());
+  EXPECT_NEAR(traffic.demand(8 * kHour), 400.0, 1e-9);
+}
+
+TEST(DiurnalTraffic, DailyPeriodicity) {
+  const DiurnalTraffic traffic(base_params());
+  for (SimTime t : {SimTime{0}, 5 * kHour, 13 * kHour}) {
+    EXPECT_NEAR(traffic.demand(t), traffic.demand(t + kDay), 1e-9);
+    EXPECT_NEAR(traffic.demand(t), traffic.demand(t + 3 * kDay), 1e-9);
+  }
+}
+
+TEST(DiurnalTraffic, DemandAlwaysWithinTroughPeakBand) {
+  const DiurnalTraffic traffic(base_params());
+  for (SimTime t = 0; t < kDay; t += 600) {
+    const double d = traffic.demand(t);
+    EXPECT_GE(d, 400.0 - 1e-9);
+    EXPECT_LE(d, 1000.0 + 1e-9);
+  }
+}
+
+TEST(DiurnalTraffic, TimezoneOffsetShiftsPeak) {
+  DiurnalParams east = base_params();
+  east.timezone_offset_hours = 8.0;  // local 20:00 == UTC 12:00
+  const DiurnalTraffic traffic(east);
+  EXPECT_NEAR(traffic.demand(12 * kHour), 1000.0, 1e-9);
+}
+
+TEST(DiurnalTraffic, OppositeTimezonesAreAntiphase) {
+  // The paper's motivation: one region peaks while the antipode troughs.
+  DiurnalParams here = base_params();
+  DiurnalParams antipode = base_params();
+  antipode.timezone_offset_hours = 12.0;
+  const DiurnalTraffic a(here);
+  const DiurnalTraffic b(antipode);
+  const SimTime t_peak_a = 20 * kHour;
+  EXPECT_NEAR(a.demand(t_peak_a), 1000.0, 1e-9);
+  EXPECT_NEAR(b.demand(t_peak_a), 400.0, 1e-9);
+}
+
+TEST(DiurnalTraffic, WeekendFactorAppliesOnDays5And6) {
+  DiurnalParams p = base_params();
+  p.weekend_factor = 0.8;
+  const DiurnalTraffic traffic(p);
+  const SimTime weekday_peak = 20 * kHour;           // day 0
+  const SimTime saturday_peak = 5 * kDay + 20 * kHour;  // day 5
+  EXPECT_NEAR(traffic.demand(saturday_peak),
+              traffic.demand(weekday_peak) * 0.8, 1e-9);
+}
+
+TEST(DiurnalTraffic, NoiseIsMultiplicativeAndMeanPreserving) {
+  DiurnalParams p = base_params();
+  p.noise_sigma = 0.05;
+  const DiurnalTraffic traffic(p);
+  std::mt19937_64 rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += traffic.sample(20 * kHour, rng);
+  EXPECT_NEAR(sum / n, 1000.0, 5.0);  // lognormal configured mean-1
+}
+
+TEST(DiurnalTraffic, ZeroNoiseSampleEqualsDemand) {
+  const DiurnalTraffic traffic(base_params());
+  std::mt19937_64 rng(1);
+  EXPECT_DOUBLE_EQ(traffic.sample(1234, rng), traffic.demand(1234));
+}
+
+TEST(DiurnalTraffic, NegativeTimeIsWellDefined) {
+  const DiurnalTraffic traffic(base_params());
+  const double d = traffic.demand(-kDay + 20 * kHour);
+  EXPECT_NEAR(d, 1000.0, 1e-9);  // periodic extension backwards
+}
+
+TEST(DiurnalTraffic, PeakTroughAccessors) {
+  const DiurnalTraffic traffic(base_params());
+  EXPECT_DOUBLE_EQ(traffic.daily_peak(), 1000.0);
+  EXPECT_DOUBLE_EQ(traffic.daily_trough(), 400.0);
+}
+
+}  // namespace
+}  // namespace headroom::workload

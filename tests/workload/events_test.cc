@@ -1,0 +1,121 @@
+#include "workload/events.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::workload {
+namespace {
+
+TEST(EventSchedule, EmptyScheduleIsNeutral) {
+  EventSchedule schedule;
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(0, 0), 1.0);
+  EXPECT_FALSE(schedule.datacenter_down(0, 0));
+}
+
+TEST(EventSchedule, RejectsInvalidEvents) {
+  EventSchedule schedule;
+  CapacityEvent bad;
+  bad.start = 100;
+  bad.end = 100;
+  EXPECT_THROW(schedule.add(bad), std::invalid_argument);
+  bad.end = 50;
+  EXPECT_THROW(schedule.add(bad), std::invalid_argument);
+  CapacityEvent zero_mult;
+  zero_mult.start = 0;
+  zero_mult.end = 10;
+  zero_mult.multiplier = 0.0;
+  EXPECT_THROW(schedule.add(zero_mult), std::invalid_argument);
+}
+
+TEST(EventSchedule, MultiplierActiveOnlyInWindow) {
+  EventSchedule schedule;
+  CapacityEvent e;
+  e.kind = EventKind::kTrafficMultiplier;
+  e.start = 100;
+  e.end = 200;
+  e.multiplier = 4.0;  // the paper's Fig. 6 event
+  schedule.add(e);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(99, 0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(100, 0), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(199, 0), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(200, 0), 1.0);  // end exclusive
+}
+
+TEST(EventSchedule, TargetedEventOnlyAffectsItsDatacenter) {
+  EventSchedule schedule;
+  CapacityEvent e;
+  e.start = 0;
+  e.end = 100;
+  e.multiplier = 2.0;
+  e.datacenter = 3;
+  schedule.add(e);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(50, 3), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(50, 4), 1.0);
+}
+
+TEST(EventSchedule, GlobalEventAffectsAll) {
+  EventSchedule schedule;
+  CapacityEvent e;
+  e.start = 0;
+  e.end = 100;
+  e.multiplier = 1.5;
+  schedule.add(e);
+  for (std::uint32_t dc = 0; dc < 9; ++dc) {
+    EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(10, dc), 1.5);
+  }
+}
+
+TEST(EventSchedule, OverlappingMultipliersCompose) {
+  EventSchedule schedule;
+  CapacityEvent a;
+  a.start = 0;
+  a.end = 100;
+  a.multiplier = 2.0;
+  CapacityEvent b;
+  b.start = 50;
+  b.end = 150;
+  b.multiplier = 3.0;
+  schedule.add(a);
+  schedule.add(b);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(25, 0), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(75, 0), 6.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(125, 0), 3.0);
+}
+
+TEST(EventSchedule, OutageDetection) {
+  EventSchedule schedule;
+  CapacityEvent outage;
+  outage.kind = EventKind::kDatacenterOutage;
+  outage.start = 1000;
+  outage.end = 8200;  // the paper's first event spanned two hours
+  outage.datacenter = 5;
+  schedule.add(outage);
+  EXPECT_TRUE(schedule.datacenter_down(1000, 5));
+  EXPECT_TRUE(schedule.datacenter_down(8199, 5));
+  EXPECT_FALSE(schedule.datacenter_down(8200, 5));
+  EXPECT_FALSE(schedule.datacenter_down(1000, 4));
+}
+
+TEST(EventSchedule, OutageDoesNotAffectMultiplier) {
+  EventSchedule schedule;
+  CapacityEvent outage;
+  outage.kind = EventKind::kDatacenterOutage;
+  outage.start = 0;
+  outage.end = 100;
+  outage.multiplier = 99.0;  // must be ignored for outages
+  schedule.add(outage);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(50, 0), 1.0);
+}
+
+TEST(CapacityEvent, AppliesToHelper) {
+  CapacityEvent e;
+  EXPECT_TRUE(e.applies_to(0));
+  EXPECT_TRUE(e.applies_to(7));
+  e.datacenter = 2;
+  EXPECT_TRUE(e.applies_to(2));
+  EXPECT_FALSE(e.applies_to(3));
+}
+
+}  // namespace
+}  // namespace headroom::workload

@@ -1,0 +1,132 @@
+#include "workload/request_mix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::workload {
+namespace {
+
+std::vector<RequestType> two_types() {
+  RequestType cheap;
+  cheap.name = "lookup";
+  cheap.weight = 3.0;
+  cheap.cost_mean = 1.0;
+  cheap.cost_sigma = 0.0;
+  RequestType expensive;
+  expensive.name = "render";
+  expensive.weight = 1.0;
+  expensive.cost_mean = 5.0;
+  expensive.cost_sigma = 0.0;
+  return {cheap, expensive};
+}
+
+TEST(RequestMix, RejectsDegenerateInputs) {
+  EXPECT_THROW(RequestMix({}), std::invalid_argument);
+  RequestType negative;
+  negative.weight = -1.0;
+  EXPECT_THROW(RequestMix({negative}), std::invalid_argument);
+  RequestType zero_cost;
+  zero_cost.cost_mean = 0.0;
+  EXPECT_THROW(RequestMix({zero_cost}), std::invalid_argument);
+  RequestType zero_weight;
+  zero_weight.weight = 0.0;
+  EXPECT_THROW(RequestMix({zero_weight}), std::invalid_argument);
+}
+
+TEST(RequestMix, ProbabilitiesNormalize) {
+  const RequestMix mix(two_types());
+  const std::vector<double> p = mix.probabilities();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 0.75);
+  EXPECT_DOUBLE_EQ(p[1], 0.25);
+}
+
+TEST(RequestMix, MeanCostIsMixtureMean) {
+  const RequestMix mix(two_types());
+  EXPECT_DOUBLE_EQ(mix.mean_cost(), 0.75 * 1.0 + 0.25 * 5.0);
+}
+
+TEST(RequestMix, SampleTypeFollowsWeights) {
+  const RequestMix mix(two_types());
+  std::mt19937_64 rng(3);
+  std::size_t expensive_count = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.sample_type(rng) == 1) ++expensive_count;
+  }
+  EXPECT_NEAR(static_cast<double>(expensive_count) / n, 0.25, 0.01);
+}
+
+TEST(RequestMix, SampleCarriesArrivalAndType) {
+  const RequestMix mix(two_types());
+  std::mt19937_64 rng(5);
+  const Request r = mix.sample(12.5, rng);
+  EXPECT_DOUBLE_EQ(r.arrival_s, 12.5);
+  EXPECT_LT(r.type, 2u);
+  EXPECT_GT(r.cost, 0.0);
+}
+
+TEST(RequestMix, ZeroSigmaCostIsDeterministic) {
+  const RequestMix mix(two_types());
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Request r = mix.sample(0.0, rng);
+    EXPECT_DOUBLE_EQ(r.cost, r.type == 0 ? 1.0 : 5.0);
+  }
+}
+
+TEST(RequestMix, LognormalCostMeanMatchesConfigured) {
+  RequestType t;
+  t.cost_mean = 4.0;
+  t.cost_sigma = 0.5;
+  const RequestMix mix({t});
+  std::mt19937_64 rng(9);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += mix.sample(0.0, rng).cost;
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(RequestMix, DependencyLatencySampledWhenConfigured) {
+  RequestType t;
+  t.cost_mean = 1.0;
+  t.dependency_latency_ms = 8.0;
+  const RequestMix mix({t});
+  std::mt19937_64 rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += mix.sample(0.0, rng).dependency_ms;
+  EXPECT_NEAR(sum / n, 8.0, 0.3);
+}
+
+TEST(RequestMix, TypeDistanceZeroForIdenticalMixes) {
+  const RequestMix a(two_types());
+  const RequestMix b(two_types());
+  EXPECT_DOUBLE_EQ(RequestMix::type_distance(a, b), 0.0);
+}
+
+TEST(RequestMix, TypeDistanceOneForDisjointSupport) {
+  RequestType t0;
+  t0.weight = 1.0;
+  RequestType t1_zero;
+  t1_zero.weight = 1e-12;  // placeholder slot
+  // Mix A is all type 0; mix B is all type 1 (by padding A's slot).
+  const RequestMix a({t0, t1_zero});
+  const RequestMix b({t1_zero, t0});
+  EXPECT_NEAR(RequestMix::type_distance(a, b), 1.0, 1e-9);
+}
+
+TEST(RequestMix, TypeDistanceSymmetric) {
+  RequestType x;
+  x.weight = 2.0;
+  RequestType y;
+  y.weight = 1.0;
+  const RequestMix a({x, y});
+  const RequestMix b({y, x});
+  EXPECT_DOUBLE_EQ(RequestMix::type_distance(a, b),
+                   RequestMix::type_distance(b, a));
+}
+
+}  // namespace
+}  // namespace headroom::workload

@@ -1,0 +1,143 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::workload {
+namespace {
+
+RequestMix production_mix() {
+  RequestType lookup;
+  lookup.name = "lookup";
+  lookup.weight = 0.7;
+  lookup.cost_mean = 1.0;
+  lookup.cost_sigma = 0.3;
+  RequestType render;
+  render.name = "render";
+  render.weight = 0.3;
+  render.cost_mean = 4.0;
+  render.cost_sigma = 0.5;
+  render.dependency_latency_ms = 10.0;
+  return RequestMix({lookup, render});
+}
+
+TEST(SyntheticWorkload, GenerateRejectsBadArgs) {
+  const SyntheticWorkload synth(production_mix());
+  EXPECT_THROW((void)synth.generate(0.0, 10.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)synth.generate(10.0, 0.0, 1), std::invalid_argument);
+}
+
+TEST(SyntheticWorkload, GenerateIsExactlyReplayable) {
+  // The paper's Step-4 harness depends on generating *identical* workloads
+  // for the baseline and candidate pools.
+  const SyntheticWorkload synth(production_mix());
+  const auto a = synth.generate(100.0, 30.0, 777);
+  const auto b = synth.generate(100.0, 30.0, 777);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_DOUBLE_EQ(a[i].cost, b[i].cost);
+  }
+}
+
+TEST(SyntheticWorkload, DifferentSeedsDiffer) {
+  const SyntheticWorkload synth(production_mix());
+  const auto a = synth.generate(100.0, 10.0, 1);
+  const auto b = synth.generate(100.0, 10.0, 2);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a.size(), b.size());  // Poisson counts differ w.h.p.
+}
+
+TEST(SyntheticWorkload, GeneratedRateMatchesRequested) {
+  const SyntheticWorkload synth(production_mix());
+  const auto stream = synth.generate(200.0, 100.0, 3);
+  EXPECT_NEAR(static_cast<double>(stream.size()), 20000.0, 500.0);
+}
+
+TEST(SyntheticWorkload, ArrivalsAreOrderedAndWithinDuration) {
+  const SyntheticWorkload synth(production_mix());
+  const auto stream = synth.generate(50.0, 20.0, 5);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_GE(stream[i].arrival_s, stream[i - 1].arrival_s);
+  }
+  EXPECT_LT(stream.back().arrival_s, 20.0);
+}
+
+TEST(SyntheticWorkload, FitRecoversTypeFractionsAndCosts) {
+  const SyntheticWorkload truth(production_mix());
+  const auto observed = truth.generate(500.0, 200.0, 7);
+  const SyntheticWorkload fitted = SyntheticWorkload::fit(observed, 2);
+  const auto p = fitted.mix().probabilities();
+  EXPECT_NEAR(p[0], 0.7, 0.02);
+  EXPECT_NEAR(p[1], 0.3, 0.02);
+  EXPECT_NEAR(fitted.mix().types()[0].cost_mean, 1.0, 0.05);
+  EXPECT_NEAR(fitted.mix().types()[1].cost_mean, 4.0, 0.2);
+  EXPECT_NEAR(fitted.mix().types()[1].cost_sigma, 0.5, 0.05);
+  EXPECT_NEAR(fitted.mix().types()[1].dependency_latency_ms, 10.0, 0.5);
+}
+
+TEST(SyntheticWorkload, FitRejectsBadInputs) {
+  EXPECT_THROW((void)SyntheticWorkload::fit({}, 2), std::invalid_argument);
+  std::vector<Request> stream(1);
+  stream[0].type = 5;
+  EXPECT_THROW((void)SyntheticWorkload::fit(stream, 2), std::invalid_argument);
+}
+
+TEST(SyntheticWorkload, CompareAcceptsFaithfulSynthetic) {
+  // The full Step-3 loop: fit production, regenerate, verify equivalence.
+  const SyntheticWorkload truth(production_mix());
+  const auto production = truth.generate(300.0, 150.0, 11);
+  const SyntheticWorkload fitted = SyntheticWorkload::fit(production, 2);
+  const auto synthetic = fitted.generate(300.0, 150.0, 13);
+  const StreamComparison cmp =
+      SyntheticWorkload::compare(synthetic, production, 2);
+  EXPECT_TRUE(cmp.equivalent);
+  EXPECT_LT(cmp.type_distance, 0.05);
+  EXPECT_NEAR(cmp.cost_mean_ratio, 1.0, 0.05);
+  EXPECT_NEAR(cmp.rate_ratio, 1.0, 0.05);
+}
+
+TEST(SyntheticWorkload, CompareRejectsWrongMix) {
+  const SyntheticWorkload truth(production_mix());
+  const auto production = truth.generate(300.0, 100.0, 17);
+
+  RequestType only_lookup;
+  only_lookup.weight = 1.0;
+  only_lookup.cost_mean = 1.0;
+  RequestType pad;
+  pad.weight = 1e-12;
+  const SyntheticWorkload wrong{RequestMix({only_lookup, pad})};
+  const auto synthetic = wrong.generate(300.0, 100.0, 19);
+  const StreamComparison cmp =
+      SyntheticWorkload::compare(synthetic, production, 2);
+  EXPECT_FALSE(cmp.equivalent);
+  EXPECT_GT(cmp.type_distance, 0.2);
+}
+
+TEST(SyntheticWorkload, CompareRejectsWrongRate) {
+  const SyntheticWorkload truth(production_mix());
+  const auto production = truth.generate(300.0, 100.0, 23);
+  const auto synthetic = truth.generate(200.0, 100.0, 29);  // 33% low
+  const StreamComparison cmp =
+      SyntheticWorkload::compare(synthetic, production, 2);
+  EXPECT_FALSE(cmp.equivalent);
+  EXPECT_LT(cmp.rate_ratio, 0.75);
+}
+
+TEST(SyntheticWorkload, RareTypesPooledByMinFraction) {
+  const SyntheticWorkload truth(production_mix());
+  const auto observed = truth.generate(500.0, 100.0, 31);
+  SyntheticFitOptions opt;
+  opt.min_type_fraction = 0.5;  // only the 70% type survives
+  const SyntheticWorkload fitted = SyntheticWorkload::fit(observed, 2, opt);
+  const auto p = fitted.mix().probabilities();
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+  EXPECT_NEAR(p[1], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace headroom::workload
