@@ -1,0 +1,289 @@
+// headroom — umbrella CLI over the paper's four-step methodology.
+//
+// Simulates a production micro-service fleet, then runs the pipeline
+// end-to-end against it:
+//
+//   Step 1 (Measure)  — validate the workload metric against every resource
+//                       counter; find capacity-planning server groups.
+//   Step 2 (Optimize) — fit the black-box pool response model, size the
+//                       pool with DR/maintenance headroom, and confirm with
+//                       iterative RSM reduction experiments.
+//   Step 3 (Model)    — fit a synthetic workload and check it reproduces
+//                       the observed request diversity.
+//   Step 4 (Validate) — gate a (deliberately regressing) candidate change
+//                       offline against the synthetic workload.
+//
+// Usage:  headroom [--fleet N] [--days N] [--pools N] [--seed N] [--service S]
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/headroom_optimizer.h"
+#include "core/metric_validator.h"
+#include "core/pool_model.h"
+#include "core/regression_gate.h"
+#include "core/rsm_planner.h"
+#include "core/server_grouper.h"
+#include "core/sim_backend.h"
+#include "sim/fleet.h"
+#include "stats/percentile.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+constexpr headroom::telemetry::SimTime kDay = 86400;
+
+struct CliOptions {
+  std::size_t fleet = 64;    ///< Servers per pool.
+  std::int64_t days = 3;     ///< Observation days before optimizing.
+  std::size_t pools = 1;     ///< Datacenters hosting the pool.
+  std::uint64_t seed = 5;    ///< Simulation seed.
+  std::string service = "D"; ///< Catalog service name ("A".."G").
+};
+
+void print_usage(std::FILE* out) {
+  std::fputs(
+      "headroom — right-size a micro-service pool end to end\n"
+      "\n"
+      "  --fleet N     servers per pool (default 64)\n"
+      "  --days N      observation days before optimizing (default 3)\n"
+      "  --pools N     datacenters hosting the pool (default 1)\n"
+      "  --seed N      simulation seed (default 5)\n"
+      "  --service S   micro-service catalog name A..G (default D)\n"
+      "  --help        this text\n",
+      out);
+}
+
+bool parse_count(const char* flag, const char* text, std::uint64_t minimum,
+                 std::uint64_t maximum, std::uint64_t* out) {
+  if (text == nullptr) {
+    std::fprintf(stderr, "headroom: %s needs a value\n", flag);
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  // strtoull wraps negative input ("-1" -> UINT64_MAX) instead of failing,
+  // so a leading '-' has to be rejected explicitly.
+  if (text[0] == '-' || end == text || *end != '\0' || errno == ERANGE ||
+      value < minimum || value > maximum) {
+    std::fprintf(stderr,
+                 "headroom: bad value for %s: '%s' (expected %llu..%llu)\n",
+                 flag, text, static_cast<unsigned long long>(minimum),
+                 static_cast<unsigned long long>(maximum));
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, CliOptions* options, int* exit_code) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    std::uint64_t parsed = 0;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout);
+      *exit_code = 0;
+      return false;
+    }
+    if (std::strcmp(arg, "--fleet") == 0) {
+      if (!parse_count(arg, value, 1, 1000000, &parsed)) return false;
+      options->fleet = parsed;
+    } else if (std::strcmp(arg, "--days") == 0) {
+      if (!parse_count(arg, value, 1, 3650, &parsed)) return false;
+      options->days = static_cast<std::int64_t>(parsed);
+    } else if (std::strcmp(arg, "--pools") == 0) {
+      if (!parse_count(arg, value, 1, 1000, &parsed)) return false;
+      options->pools = parsed;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!parse_count(arg, value, 0, UINT64_MAX, &parsed)) return false;
+      options->seed = parsed;
+    } else if (std::strcmp(arg, "--service") == 0) {
+      if (value == nullptr) {
+        std::fprintf(stderr, "headroom: --service needs a value\n");
+        return false;
+      }
+      options->service = value;
+    } else {
+      std::fprintf(stderr, "headroom: unknown argument '%s'\n\n", arg);
+      print_usage(stderr);
+      *exit_code = 2;
+      return false;
+    }
+    ++i;  // Consumed the value.
+  }
+  if (options->service.empty()) {
+    std::fprintf(stderr, "headroom: --service needs a value\n");
+    *exit_code = 2;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace headroom;
+  using telemetry::MetricKind;
+
+  CliOptions opt;
+  int exit_code = 2;
+  if (!parse_args(argc, argv, &opt, &exit_code)) return exit_code;
+
+  sim::MicroserviceCatalog catalog;
+  if (!catalog.index_of(opt.service)) {
+    std::fprintf(stderr, "headroom: unknown service '%s' (expected A..G)\n",
+                 opt.service.c_str());
+    return 2;
+  }
+  const sim::MicroserviceProfile& profile = catalog.by_name(opt.service);
+
+  std::printf("headroom: service %s, %zu server(s)/pool, %zu pool(s), "
+              "%lld day(s) observed, seed %llu\n",
+              opt.service.c_str(), opt.fleet, opt.pools,
+              static_cast<long long>(opt.days),
+              static_cast<unsigned long long>(opt.seed));
+
+  sim::FleetConfig config =
+      opt.pools == 1
+          ? sim::single_pool_fleet(catalog, opt.service, opt.fleet, opt.seed)
+          : sim::multi_dc_pool_fleet(catalog, opt.service, opt.pools,
+                                     opt.fleet, opt.seed);
+  sim::FleetSimulator fleet(std::move(config), catalog);
+  fleet.run_until(opt.days * kDay);
+  fleet.finish_day();
+
+  // ------------------------- Step 1: Measure -------------------------------
+  std::printf("\n== Step 1: Measure ==\n");
+  const core::MetricValidator validator;
+  const MetricKind resources[] = {
+      MetricKind::kCpuPercentAttributed, MetricKind::kNetworkBytesPerSecond,
+      MetricKind::kMemoryPagesPerSecond, MetricKind::kDiskQueueLength};
+  const auto assessments = validator.assess_all(
+      fleet.store(), 0, 0, MetricKind::kRequestsPerSecond, resources);
+  for (const auto& a : assessments) {
+    std::printf("  %-24s -> %s (R² %.3f)\n",
+                std::string(telemetry::to_string(a.resource)).c_str(),
+                core::to_string(a.verdict).c_str(), a.fit.r_squared);
+  }
+  const bool metric_valid = validator.workload_metric_valid(assessments);
+  if (!metric_valid) {
+    std::printf("  WARNING: no tight limiting resource — in production, "
+                "iterate on attribution before trusting the plan\n");
+  }
+
+  std::int64_t last_day = 0;
+  for (const auto& day : fleet.server_day_cpu()) {
+    if (day.datacenter == 0 && day.pool == 0)
+      last_day = std::max(last_day, day.day);
+  }
+  const auto snapshots = core::ServerGrouper::pool_snapshots(
+      fleet.server_day_cpu(), 0, 0, last_day);
+  const core::PoolGrouping grouping =
+      core::ServerGrouper().group_servers(snapshots);
+  std::printf("  server groups in pool: %zu%s\n", grouping.group_count,
+              grouping.multimodal() ? " (plan capacity per group!)" : "");
+
+  // ------------------------- Step 2: Optimize ------------------------------
+  std::printf("\n== Step 2: Optimize ==\n");
+  const auto& store = fleet.store();
+  const auto model = core::PoolResponseModel::fit(
+      store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
+                         MetricKind::kCpuPercentAttributed),
+      store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
+                         MetricKind::kLatencyP95Ms));
+  std::printf("  fitted CPU model: %%CPU = %.4f * RPS + %.2f (R² %.3f)\n",
+              model.cpu_fit().slope, model.cpu_fit().intercept,
+              model.cpu_fit().r_squared);
+
+  const auto rps =
+      store.pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
+  const double p95_rps = stats::percentile(rps, 95.0);
+  core::HeadroomPolicy policy;
+  policy.qos.latency.p95_ms = profile.latency_slo_ms;
+  policy.dr_headroom_fraction = opt.pools > 1
+      ? 1.0 / static_cast<double>(opt.pools)
+      : 0.125;
+  const core::HeadroomPlan plan =
+      core::HeadroomOptimizer(policy).plan(model, p95_rps, opt.fleet);
+  std::printf("  headroom plan: %zu -> %zu servers (%.0f%% savings), "
+              "stressed latency %.1f ms vs SLO %.1f ms\n",
+              plan.current_servers, plan.recommended_servers,
+              plan.efficiency_savings() * 100.0,
+              plan.predicted_latency_stressed_ms, profile.latency_slo_ms);
+
+  core::SimPoolBackend backend(&fleet, 0, 0);
+  core::RsmOptions rsm;
+  rsm.latency_slo_ms = profile.latency_slo_ms;
+  rsm.baseline_duration = kDay;
+  rsm.iteration_duration = kDay;
+  rsm.max_iterations = 4;
+  const core::RsmResult result = core::RsmPlanner(rsm).optimize(backend);
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& it = result.iterations[i];
+    std::printf("  RSM iter %zu: %zu servers, observed %.1f ms "
+                "(predicted %.1f)\n",
+                i, it.serving, it.observed_latency_p95_ms,
+                it.predicted_latency_ms);
+  }
+  std::printf("  RSM recommendation: %zu -> %zu servers (%.0f%% reduction), "
+              "SLO-limited: %s\n",
+              result.starting_serving, result.recommended_serving,
+              result.reduction_fraction() * 100.0,
+              result.slo_limit_reached ? "yes" : "no");
+
+  // ------------------------- Step 3: Model ---------------------------------
+  std::printf("\n== Step 3: Model ==\n");
+  workload::RequestType fetch;
+  fetch.weight = 0.75;
+  fetch.cost_mean = 1.0;
+  fetch.cost_sigma = 0.25;
+  workload::RequestType render;
+  render.weight = 0.25;
+  render.cost_mean = 3.2;
+  render.cost_sigma = 0.4;
+  render.dependency_latency_ms = 12.0;
+  const workload::SyntheticWorkload production{
+      workload::RequestMix({fetch, render})};
+  const auto observed = production.generate(500.0, 120.0, opt.seed + 6);
+  const auto fitted = workload::SyntheticWorkload::fit(observed, 2);
+  const auto replay = fitted.generate(500.0, 120.0, opt.seed + 8);
+  const auto cmp = workload::SyntheticWorkload::compare(replay, observed, 2);
+  std::printf("  type distance %.3f, cost ratio %.3f, rate ratio %.3f -> %s\n",
+              cmp.type_distance, cmp.cost_mean_ratio, cmp.rate_ratio,
+              cmp.equivalent ? "EQUIVALENT (usable offline)"
+                             : "NOT equivalent");
+
+  // ------------------------- Step 4: Validate ------------------------------
+  std::printf("\n== Step 4: Validate ==\n");
+  sim::RequestSimConfig pool;
+  pool.servers = 4;
+  pool.cores = 8.0;
+  pool.base_service_ms = 4.0;
+  pool.window_seconds = 10;
+  sim::RequestSimConfig candidate = pool;
+  candidate.defect.service_factor = 1.18;  // the change costs 18% more CPU
+
+  core::GateOptions gate_opt;
+  gate_opt.nominal_rps_per_server = 500.0;
+  gate_opt.step_duration_s = 20.0;
+  const core::GateResult gate =
+      core::RegressionGate(gate_opt).evaluate(pool, candidate, fitted);
+  std::printf("  regression gate on +18%% CPU candidate: %s\n",
+              gate.pass ? "PASS (defect slipped through!)"
+                        : "FAIL (change correctly blocked)");
+
+  std::printf("\npipeline complete: measure%s, optimize (%zu -> %zu RSM / "
+              "%zu plan), model %s, validate %s\n",
+              metric_valid ? " ok" : " needs-iteration",
+              result.starting_serving, result.recommended_serving,
+              plan.recommended_servers,
+              cmp.equivalent ? "ok" : "divergent",
+              gate.pass ? "pass" : "blocked");
+  return 0;
+}

@@ -35,7 +35,11 @@ double Dataset::at(std::size_t r, std::size_t c) const {
 
 std::string Dataset::feature_name(std::size_t c) const {
   if (c < names_.size()) return names_[c];
-  return "f" + std::to_string(c);
+  // Built via += rather than `"f" + std::to_string(c)`: the rvalue
+  // operator+ trips GCC 12's -Wrestrict false positive (PR 105329).
+  std::string name("f");
+  name += std::to_string(c);
+  return name;
 }
 
 std::vector<double> Dataset::column(std::size_t c) const {
