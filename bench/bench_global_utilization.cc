@@ -2,12 +2,34 @@
 // multi-day window, plus the diurnal anti-correlation across regions that
 // motivates the whole exercise (peaks on one side of the globe while the
 // other side idles).
+//
+// Doubles as the parallel-stepping scaling harness: the same ≥5k-server
+// standard fleet is stepped with 1, 2, and 4 shard threads (and hardware
+// concurrency, when different), reporting wall time, speedup, and a
+// determinism check against the serial run.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/fleet_analysis.h"
 #include "sim/fleet.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_ms(headroom::sim::FleetSimulator& fleet, headroom::telemetry::SimTime end) {
+  const auto t0 = Clock::now();
+  fleet.run_until(end);
+  fleet.finish_day();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
 
 int main() {
   using namespace headroom;
@@ -16,14 +38,68 @@ int main() {
                 "half of global resources idle at any time; global CPU "
                 "utilization 23%; savings 20-40%");
 
-  sim::MicroserviceCatalog catalog;
+  const sim::MicroserviceCatalog catalog;
   sim::StandardFleetOptions opt;
   opt.heterogeneous_utilization = true;
-  opt.regional_peak_rps = 8000.0;
-  sim::FleetSimulator fleet(sim::standard_fleet(catalog, opt), catalog);
-  fleet.run_until(3 * 86400);
-  fleet.finish_day();
+  // Sized so the nine regions host a ≥5k-server fleet — large enough that
+  // the threads axis below measures real sharded-stepping throughput.
+  opt.regional_peak_rps = 24000.0;
+  constexpr telemetry::SimTime kHorizon = 3 * 86400;
 
+  // --- Threads axis: step the identical fleet with 1..N shard threads. ----
+  std::vector<std::size_t> axis = {1, 2, 4};
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (std::find(axis.begin(), axis.end(), hw) == axis.end()) axis.push_back(hw);
+
+  std::vector<std::unique_ptr<sim::FleetSimulator>> fleets;
+  double serial_ms = 0.0;
+  bench::note("parallel stepping (telemetry merged at window barriers):");
+  for (const std::size_t threads : axis) {
+    sim::FleetConfig config = sim::standard_fleet(catalog, opt);
+    config.threads = threads;
+    auto fleet = std::make_unique<sim::FleetSimulator>(std::move(config), catalog);
+    const double ms = run_ms(*fleet, kHorizon);
+    if (threads == 1) serial_ms = ms;
+    std::printf("    threads %2zu (%2zu shards): %5zu servers stepped 3 days "
+                "in %8.1f ms  speedup %.2fx\n",
+                threads, fleet->thread_count(), fleet->total_servers(), ms,
+                serial_ms / ms);
+    fleets.push_back(std::move(fleet));
+  }
+
+  // Determinism: every thread count must reproduce the serial run bit for
+  // bit — every sample of every series, the ledger average, and every
+  // histogram bin.
+  const sim::FleetSimulator& serial = *fleets.front();
+  bool identical = true;
+  for (std::size_t i = 1; i < fleets.size(); ++i) {
+    const sim::FleetSimulator& par = *fleets[i];
+    identical = identical &&
+        par.store().sample_count() == serial.store().sample_count() &&
+        par.store().series_count() == serial.store().series_count() &&
+        par.ledger().fleet_average() == serial.ledger().fleet_average() &&
+        par.cpu_sample_histogram().total() ==
+            serial.cpu_sample_histogram().total();
+    for (const telemetry::SeriesKey& key : serial.store().keys()) {
+      const auto& sa = serial.store().series(key);
+      const auto& sb = par.store().series(key);
+      identical = identical && sa.size() == sb.size();
+      if (!identical) break;
+      for (std::size_t s = 0; s < sa.size(); ++s) {
+        identical = identical &&
+                    sa.at(s).window_start == sb.at(s).window_start &&
+                    sa.at(s).value == sb.at(s).value;
+      }
+    }
+    for (std::size_t b = 0; b < serial.cpu_sample_histogram().bin_count(); ++b) {
+      identical = identical && par.cpu_sample_histogram().count_in_bin(b) ==
+                                   serial.cpu_sample_histogram().count_in_bin(b);
+    }
+  }
+  bench::note(identical ? "determinism: all thread counts bit-identical ✓"
+                        : "determinism: MISMATCH ACROSS THREAD COUNTS ✗");
+
+  const sim::FleetSimulator& fleet = *fleets.back();
   const core::FleetUtilizationReport report =
       core::analyze_fleet_utilization(fleet.server_day_cpu());
   bench::row("global utilization (%)", 23.0, report.global_utilization_pct);
@@ -45,5 +121,5 @@ int main() {
                 fleet.config().datacenters[dc].timezone_offset_hours, d);
   }
   bench::row("peak-to-trough demand ratio across regions", 2.2, hi / lo);
-  return 0;
+  return identical ? 0 : 1;
 }

@@ -43,6 +43,7 @@ struct CliOptions {
   std::size_t pools = 1;     ///< Datacenters hosting the pool.
   std::uint64_t seed = 5;    ///< Simulation seed.
   std::string service = "D"; ///< Catalog service name ("A".."G").
+  std::size_t threads = 0;   ///< Stepping threads; 0 = hardware concurrency.
 };
 
 void print_usage(std::FILE* out) {
@@ -54,6 +55,8 @@ void print_usage(std::FILE* out) {
       "  --pools N     datacenters hosting the pool (default 1)\n"
       "  --seed N      simulation seed (default 5)\n"
       "  --service S   micro-service catalog name A..G (default D)\n"
+      "  --threads N   simulator stepping threads; results are identical\n"
+      "                for any N (default 0 = hardware concurrency)\n"
       "  --help        this text\n",
       out);
 }
@@ -103,6 +106,9 @@ bool parse_args(int argc, char** argv, CliOptions* options, int* exit_code) {
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (!parse_count(arg, value, 0, UINT64_MAX, &parsed)) return false;
       options->seed = parsed;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (!parse_count(arg, value, 0, 4096, &parsed)) return false;
+      options->threads = parsed;
     } else if (std::strcmp(arg, "--service") == 0) {
       if (value == nullptr) {
         std::fprintf(stderr, "headroom: --service needs a value\n");
@@ -154,7 +160,10 @@ int main(int argc, char** argv) {
           ? sim::single_pool_fleet(catalog, opt.service, opt.fleet, opt.seed)
           : sim::multi_dc_pool_fleet(catalog, opt.service, opt.pools,
                                      opt.fleet, opt.seed);
+  config.threads = opt.threads;
   sim::FleetSimulator fleet(std::move(config), catalog);
+  std::printf("simulating on %zu thread(s) (deterministic for any count)\n",
+              fleet.thread_count());
   fleet.run_until(opt.days * kDay);
   fleet.finish_day();
 

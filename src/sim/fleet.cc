@@ -1,7 +1,11 @@
 #include "sim/fleet.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "sim/rng.h"
 
@@ -22,6 +26,12 @@ double failover_affinity(double tz_a, double tz_b) noexcept {
   double d = std::fabs(tz_a - tz_b);
   if (d > 12.0) d = 24.0 - d;  // wrap around the globe
   return 1.0 / (1.0 + (d / 2.5) * (d / 2.5));
+}
+
+std::size_t resolve_threads(std::size_t configured) {
+  if (configured != 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 }
 
 }  // namespace
@@ -75,19 +85,22 @@ FleetSimulator::FleetSimulator(FleetConfig config,
       const std::vector<HardwareGeneration> assignment =
           assign_hardware(pc.hardware, pc.servers);
       rt.server_generation.reserve(pc.servers);
+      // Deduplicate response models by generation name. (Keying on the
+      // floating-point effective cost wrongly merged distinct generations
+      // whose scaled costs happened to collide, even though their latency
+      // scale or core counts differed.)
+      std::vector<std::string> model_names;
       for (const HardwareGeneration& gen : assignment) {
-        // Deduplicate response models by generation name.
-        std::size_t idx = rt.models.size();
-        for (std::size_t i = 0; i < rt.models.size(); ++i) {
-          if (assignment.empty()) break;
-          if (rt.models[i].effective_cost_ms() ==
-              profile.cost_ms_per_request / gen.cpu_scale) {
+        std::size_t idx = model_names.size();
+        for (std::size_t i = 0; i < model_names.size(); ++i) {
+          if (model_names[i] == gen.name) {
             idx = i;
             break;
           }
         }
-        if (idx == rt.models.size()) {
+        if (idx == model_names.size()) {
           rt.models.emplace_back(profile, gen);
+          model_names.push_back(gen.name);
         }
         rt.server_generation.push_back(static_cast<std::uint8_t>(idx));
       }
@@ -95,6 +108,47 @@ FleetSimulator::FleetSimulator(FleetConfig config,
       rt.was_online.assign(pc.servers, 1);
       pools_.push_back(std::move(rt));
     }
+  }
+
+  // Partition pools into per-thread shards: greedy largest-pool-first onto
+  // the least-loaded shard (load = server count), breaking ties toward a
+  // shard that already hosts the pool's datacenter. Deterministic, balanced
+  // within one pool of optimal, and DC-affine when pool sizes repeat across
+  // regions (the standard-fleet shape).
+  const std::size_t lanes = std::max<std::size_t>(
+      1, std::min(resolve_threads(config_.threads),
+                  std::max<std::size_t>(pools_.size(), 1)));
+  shards_.assign(lanes, {});
+  std::vector<std::size_t> order(pools_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pools_[a].server_generation.size() >
+           pools_[b].server_generation.size();
+  });
+  std::vector<std::size_t> load(lanes, 0);
+  std::vector<std::vector<std::uint8_t>> hosts_dc(
+      lanes, std::vector<std::uint8_t>(config_.datacenters.size(), 0));
+  for (const std::size_t pool_index : order) {
+    const std::uint32_t dc = pools_[pool_index].dc;
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < lanes; ++s) {
+      if (load[s] < load[best] ||
+          (load[s] == load[best] && hosts_dc[s][dc] > hosts_dc[best][dc])) {
+        best = s;
+      }
+    }
+    shards_[best].push_back(pool_index);
+    load[best] += pools_[pool_index].server_generation.size();
+    hosts_dc[best][dc] = 1;
+  }
+  // Keep each shard's pools in topology order (cache-friendly, and the
+  // serial path then walks pools exactly as the pre-sharding code did).
+  for (std::vector<std::size_t>& shard : shards_) {
+    std::sort(shard.begin(), shard.end());
+  }
+  shard_telemetry_.resize(shards_.size());
+  if (shards_.size() > 1) {
+    workers_ = std::make_unique<WorkerPool>(shards_.size());
   }
 }
 
@@ -211,153 +265,184 @@ void FleetSimulator::run_until(SimTime end) {
 void FleetSimulator::step(SimTime t) {
   const std::vector<double> demand = regional_demands(t);
   const auto window_index = static_cast<std::uint64_t>(t / config_.window_seconds);
+
+  const auto run_shard = [&](std::size_t shard) {
+    ShardTelemetry& out = shard_telemetry_[shard];
+    for (const std::size_t pool_index : shards_[shard]) {
+      step_pool(pools_[pool_index], t, demand, window_index, out);
+    }
+  };
+  if (workers_) {
+    workers_->run(shards_.size(), run_shard);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) run_shard(s);
+  }
+
+  // Window barrier: replay every shard's buffers in fixed shard order.
+  // Series appends are single-writer per key and the ledger/histogram
+  // updates are commutative sums, so the merged state is bit-identical to
+  // the serial walk regardless of the thread count.
+  for (ShardTelemetry& shard : shard_telemetry_) {
+    store_.merge(shard.metrics);
+    ledger_.record_all(shard.availability);
+    cpu_histogram_.merge(shard.cpu_histogram);
+    shard.clear();
+  }
+}
+
+void FleetSimulator::step_pool(PoolRuntime& rt, SimTime t,
+                               std::span<const double> demand,
+                               std::uint64_t window_index,
+                               ShardTelemetry& out) {
   const SimTime dt = config_.window_seconds;
+  const std::size_t pool_servers = rt.server_generation.size();
+  double pool_rps =
+      demand[rt.dc] * rt.profile->request_fan * rt.demand_multiplier;
+  if (rt.burst_hours > 0.0 && rt.burst_multiplier != 1.0) {
+    const double local_hour = std::fmod(
+        std::fmod(static_cast<double>(t) / 3600.0 + rt.tz_offset_hours,
+                  24.0) + 24.0, 24.0);
+    double delta = local_hour - rt.burst_start_hour;
+    if (delta < 0.0) delta += 24.0;
+    if (delta < rt.burst_hours) pool_rps *= rt.burst_multiplier;
+  }
 
-  for (PoolRuntime& rt : pools_) {
-    const std::size_t pool_servers = rt.server_generation.size();
-    double pool_rps =
-        demand[rt.dc] * rt.profile->request_fan * rt.demand_multiplier;
-    if (rt.burst_hours > 0.0 && rt.burst_multiplier != 1.0) {
-      const double local_hour = std::fmod(
-          std::fmod(static_cast<double>(t) / 3600.0 + rt.tz_offset_hours,
-                    24.0) + 24.0, 24.0);
-      double delta = local_hour - rt.burst_start_hour;
-      if (delta < 0.0) delta += 24.0;
-      if (delta < rt.burst_hours) pool_rps *= rt.burst_multiplier;
+  // Which servers are online this window? Only the first `serving`
+  // servers are in the rotation at all (reduction experiments remove the
+  // tail); maintenance takes rotation members out temporarily.
+  std::size_t online = 0;
+  std::vector<std::uint8_t> is_online(rt.serving, 0);
+  for (std::uint32_t s = 0; s < rt.serving; ++s) {
+    const bool off = rt.maintenance.offline(s, pool_servers, t);
+    is_online[s] = off ? 0u : 1u;
+    online += off ? 0u : 1u;
+  }
+
+  // Availability accounting covers the whole configured pool; removed
+  // servers (index >= serving) are deliberately NOT unavailable — they
+  // left the pool, they are not broken.
+  for (std::uint32_t s = 0; s < rt.serving; ++s) {
+    out.availability.push_back(
+        {{rt.dc, rt.pool, s}, t, dt, is_online[s] != 0});
+  }
+
+  if (online == 0) return;  // pool dark this window
+  const double per_server_rps = pool_rps / static_cast<double>(online);
+
+  stats::RunningStats agg_rps;
+  stats::RunningStats agg_cpu_attr;
+  stats::RunningStats agg_cpu_total;
+  stats::RunningStats agg_latency;
+  stats::RunningStats agg_net_bytes;
+  stats::RunningStats agg_net_pkts;
+  stats::RunningStats agg_mem_pages;
+  stats::RunningStats agg_disk_bytes;
+  stats::RunningStats agg_disk_q;
+  stats::RunningStats agg_errors;
+
+  const std::uint64_t pool_stream =
+      mix_seed(config_.seed, rt.dc, rt.pool, window_index);
+  // Pool-common measurement noise: request-mix drift, deploy churn and
+  // collection jitter move the whole pool's counters together window to
+  // window, which is what keeps pool-average fits from being noiselessly
+  // perfect (the paper's Fig. 8 R² is 0.984, not 1.0).
+  SplitMix64 common_rng(mix_seed(pool_stream, 0xC0117));
+  std::normal_distribution<double> common_gauss(0.0, 1.0);
+  const double cpu_common = 1.0 + 0.02 * common_gauss(common_rng);
+  const double latency_common = 1.0 + 0.01 * common_gauss(common_rng);
+  // Response payload sizes drift with the request mix far more than CPU
+  // cost does — Fig. 2 shows network counters linear but visibly noisier.
+  const double network_common = 1.0 + 0.06 * common_gauss(common_rng);
+  for (std::uint32_t s = 0; s < rt.serving; ++s) {
+    const bool restarted = is_online[s] != 0 && rt.was_online[s] == 0;
+    rt.was_online[s] = is_online[s];
+    if (is_online[s] == 0) continue;
+
+    SplitMix64 rng(mix_seed(pool_stream, s));
+    // Load-balancer imbalance: a few percent of jitter per server.
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    const double rps = std::max(
+        0.0, per_server_rps * (1.0 + 0.02 * gauss(rng)));
+
+    const ResponseModel& model = rt.models[rt.server_generation[s]];
+    ServerWindowMetrics m =
+        model.sample(rps, t, rng, config_.background_spikes,
+                     config_.background_noise_scale);
+    m.cpu_pct_attributed *= cpu_common;
+    m.cpu_pct_total = std::min(100.0, m.cpu_pct_total * cpu_common);
+    if (rt.hourly_spike_extra_pct > 0.0 &&
+        t % 3600 < config_.window_seconds) {
+      m.cpu_pct_total =
+          std::min(100.0, m.cpu_pct_total + rt.hourly_spike_extra_pct);
+    }
+    m.latency_p95_ms *= latency_common;
+    m.network_bytes_per_s *= network_common;
+    m.network_packets_per_s *= network_common;
+    if (restarted) {
+      // Post-restart penalty: cache priming and JIT warm-up (the paper's
+      // "elevated latency ... caused by additional work performed when
+      // the software starts").
+      m.latency_p95_ms += rt.profile->cold_latency_ms;
+      m.cpu_pct_total = std::min(100.0, m.cpu_pct_total + 5.0);
+    }
+    if (!config_.attribution_enabled) {
+      // Blind measurement mode: the per-workload series is polluted with
+      // everything running on the box.
+      m.cpu_pct_attributed = m.cpu_pct_total;
     }
 
-    // Which servers are online this window? Only the first `serving`
-    // servers are in the rotation at all (reduction experiments remove the
-    // tail); maintenance takes rotation members out temporarily.
-    std::size_t online = 0;
-    std::vector<std::uint8_t> is_online(rt.serving, 0);
-    for (std::uint32_t s = 0; s < rt.serving; ++s) {
-      const bool off = rt.maintenance.offline(s, pool_servers, t);
-      is_online[s] = off ? 0u : 1u;
-      online += off ? 0u : 1u;
+    rt.cpu_digests[s].add(m.cpu_pct_total);
+    out.cpu_histogram.add(m.cpu_pct_total);
+
+    agg_rps.add(m.rps);
+    agg_cpu_attr.add(m.cpu_pct_attributed);
+    agg_cpu_total.add(m.cpu_pct_total);
+    agg_latency.add(m.latency_p95_ms);
+    agg_net_bytes.add(m.network_bytes_per_s);
+    agg_net_pkts.add(m.network_packets_per_s);
+    agg_mem_pages.add(m.memory_pages_per_s);
+    agg_disk_bytes.add(m.disk_read_bytes_per_s);
+    agg_disk_q.add(m.disk_queue_length);
+    agg_errors.add(m.errors_per_s);
+
+    if (config_.record_server_series) {
+      const SeriesKey base{rt.dc, rt.pool, s, MetricKind::kRequestsPerSecond};
+      out.metrics.record(base, t, m.rps);
+      SeriesKey cpu = base;
+      cpu.metric = MetricKind::kCpuPercentTotal;
+      out.metrics.record(cpu, t, m.cpu_pct_total);
+      SeriesKey lat = base;
+      lat.metric = MetricKind::kLatencyP95Ms;
+      out.metrics.record(lat, t, m.latency_p95_ms);
     }
+  }
 
-    // Availability accounting covers the whole configured pool; removed
-    // servers (index >= serving) are deliberately NOT unavailable — they
-    // left the pool, they are not broken.
-    for (std::uint32_t s = 0; s < rt.serving; ++s) {
-      ledger_.record({rt.dc, rt.pool, s}, t, dt, is_online[s] != 0);
-    }
-
-    if (online == 0) continue;  // pool dark this window
-    const double per_server_rps = pool_rps / static_cast<double>(online);
-
-    stats::RunningStats agg_rps;
-    stats::RunningStats agg_cpu_attr;
-    stats::RunningStats agg_cpu_total;
-    stats::RunningStats agg_latency;
-    stats::RunningStats agg_net_bytes;
-    stats::RunningStats agg_net_pkts;
-    stats::RunningStats agg_mem_pages;
-    stats::RunningStats agg_disk_bytes;
-    stats::RunningStats agg_disk_q;
-    stats::RunningStats agg_errors;
-
-    const std::uint64_t pool_stream =
-        mix_seed(config_.seed, rt.dc, rt.pool, window_index);
-    // Pool-common measurement noise: request-mix drift, deploy churn and
-    // collection jitter move the whole pool's counters together window to
-    // window, which is what keeps pool-average fits from being noiselessly
-    // perfect (the paper's Fig. 8 R² is 0.984, not 1.0).
-    SplitMix64 common_rng(mix_seed(pool_stream, 0xC0117));
-    std::normal_distribution<double> common_gauss(0.0, 1.0);
-    const double cpu_common = 1.0 + 0.02 * common_gauss(common_rng);
-    const double latency_common = 1.0 + 0.01 * common_gauss(common_rng);
-    // Response payload sizes drift with the request mix far more than CPU
-    // cost does — Fig. 2 shows network counters linear but visibly noisier.
-    const double network_common = 1.0 + 0.06 * common_gauss(common_rng);
-    for (std::uint32_t s = 0; s < rt.serving; ++s) {
-      const bool restarted = is_online[s] != 0 && rt.was_online[s] == 0;
-      rt.was_online[s] = is_online[s];
-      if (is_online[s] == 0) continue;
-
-      SplitMix64 rng(mix_seed(pool_stream, s));
-      // Load-balancer imbalance: a few percent of jitter per server.
-      std::normal_distribution<double> gauss(0.0, 1.0);
-      const double rps = std::max(
-          0.0, per_server_rps * (1.0 + 0.02 * gauss(rng)));
-
-      const ResponseModel& model = rt.models[rt.server_generation[s]];
-      ServerWindowMetrics m =
-          model.sample(rps, t, rng, config_.background_spikes,
-                       config_.background_noise_scale);
-      m.cpu_pct_attributed *= cpu_common;
-      m.cpu_pct_total = std::min(100.0, m.cpu_pct_total * cpu_common);
-      if (rt.hourly_spike_extra_pct > 0.0 &&
-          t % 3600 < config_.window_seconds) {
-        m.cpu_pct_total =
-            std::min(100.0, m.cpu_pct_total + rt.hourly_spike_extra_pct);
-      }
-      m.latency_p95_ms *= latency_common;
-      m.network_bytes_per_s *= network_common;
-      m.network_packets_per_s *= network_common;
-      if (restarted) {
-        // Post-restart penalty: cache priming and JIT warm-up (the paper's
-        // "elevated latency ... caused by additional work performed when
-        // the software starts").
-        m.latency_p95_ms += rt.profile->cold_latency_ms;
-        m.cpu_pct_total = std::min(100.0, m.cpu_pct_total + 5.0);
-      }
-      if (!config_.attribution_enabled) {
-        // Blind measurement mode: the per-workload series is polluted with
-        // everything running on the box.
-        m.cpu_pct_attributed = m.cpu_pct_total;
-      }
-
-      rt.cpu_digests[s].add(m.cpu_pct_total);
-      cpu_histogram_.add(m.cpu_pct_total);
-
-      agg_rps.add(m.rps);
-      agg_cpu_attr.add(m.cpu_pct_attributed);
-      agg_cpu_total.add(m.cpu_pct_total);
-      agg_latency.add(m.latency_p95_ms);
-      agg_net_bytes.add(m.network_bytes_per_s);
-      agg_net_pkts.add(m.network_packets_per_s);
-      agg_mem_pages.add(m.memory_pages_per_s);
-      agg_disk_bytes.add(m.disk_read_bytes_per_s);
-      agg_disk_q.add(m.disk_queue_length);
-      agg_errors.add(m.errors_per_s);
-
-      if (config_.record_server_series) {
-        const SeriesKey base{rt.dc, rt.pool, s, MetricKind::kRequestsPerSecond};
-        store_.record(base, t, m.rps);
-        SeriesKey cpu = base;
-        cpu.metric = MetricKind::kCpuPercentTotal;
-        store_.record(cpu, t, m.cpu_pct_total);
-        SeriesKey lat = base;
-        lat.metric = MetricKind::kLatencyP95Ms;
-        store_.record(lat, t, m.latency_p95_ms);
-      }
-    }
-
-    if (config_.record_pool_series && agg_rps.count() > 0) {
-      auto pool_key = [&](MetricKind kind) {
-        return SeriesKey{rt.dc, rt.pool, SeriesKey::kPoolScope, kind};
-      };
-      store_.record(pool_key(MetricKind::kRequestsPerSecond), t, agg_rps.mean());
-      store_.record(pool_key(MetricKind::kCpuPercentAttributed), t,
-                    agg_cpu_attr.mean());
-      store_.record(pool_key(MetricKind::kCpuPercentTotal), t,
-                    agg_cpu_total.mean());
-      store_.record(pool_key(MetricKind::kLatencyP95Ms), t, agg_latency.mean());
-      store_.record(pool_key(MetricKind::kNetworkBytesPerSecond), t,
-                    agg_net_bytes.mean());
-      store_.record(pool_key(MetricKind::kNetworkPacketsPerSecond), t,
-                    agg_net_pkts.mean());
-      store_.record(pool_key(MetricKind::kMemoryPagesPerSecond), t,
-                    agg_mem_pages.mean());
-      store_.record(pool_key(MetricKind::kDiskReadBytesPerSecond), t,
-                    agg_disk_bytes.mean());
-      store_.record(pool_key(MetricKind::kDiskQueueLength), t, agg_disk_q.mean());
-      store_.record(pool_key(MetricKind::kErrorsPerSecond), t, agg_errors.mean());
-      store_.record(pool_key(MetricKind::kActiveServers), t,
-                    static_cast<double>(online));
-    }
+  if (config_.record_pool_series && agg_rps.count() > 0) {
+    auto pool_key = [&](MetricKind kind) {
+      return SeriesKey{rt.dc, rt.pool, SeriesKey::kPoolScope, kind};
+    };
+    out.metrics.record(pool_key(MetricKind::kRequestsPerSecond), t,
+                       agg_rps.mean());
+    out.metrics.record(pool_key(MetricKind::kCpuPercentAttributed), t,
+                       agg_cpu_attr.mean());
+    out.metrics.record(pool_key(MetricKind::kCpuPercentTotal), t,
+                       agg_cpu_total.mean());
+    out.metrics.record(pool_key(MetricKind::kLatencyP95Ms), t,
+                       agg_latency.mean());
+    out.metrics.record(pool_key(MetricKind::kNetworkBytesPerSecond), t,
+                       agg_net_bytes.mean());
+    out.metrics.record(pool_key(MetricKind::kNetworkPacketsPerSecond), t,
+                       agg_net_pkts.mean());
+    out.metrics.record(pool_key(MetricKind::kMemoryPagesPerSecond), t,
+                       agg_mem_pages.mean());
+    out.metrics.record(pool_key(MetricKind::kDiskReadBytesPerSecond), t,
+                       agg_disk_bytes.mean());
+    out.metrics.record(pool_key(MetricKind::kDiskQueueLength), t,
+                       agg_disk_q.mean());
+    out.metrics.record(pool_key(MetricKind::kErrorsPerSecond), t,
+                       agg_errors.mean());
+    out.metrics.record(pool_key(MetricKind::kActiveServers), t,
+                       static_cast<double>(online));
   }
 }
 

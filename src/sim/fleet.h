@@ -12,15 +12,28 @@
 // paper's §II-B2 production reduction experiments: removed servers stop
 // taking traffic (and stop being sampled) while the pool's total workload
 // is unchanged, so per-server load rises.
+//
+// Stepping parallelizes across pools (`FleetConfig::threads`): pools are
+// partitioned into per-thread shards (balanced by server count, with per-DC
+// affinity), every shard steps its pools into a private telemetry buffer,
+// and the buffers are merged into the store/ledger/histogram at each window
+// barrier in fixed shard order. Because per-(server, window) noise streams
+// are derived from stable hashes (sim/rng.h) and all cross-shard sinks are
+// either keyed single-writer series or commutative sums, results are
+// bit-identical to the serial walk for any thread count.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/maintenance.h"
 #include "sim/microservice.h"
 #include "sim/response.h"
 #include "sim/topology.h"
+#include "sim/worker_pool.h"
 #include "stats/histogram.h"
 #include "telemetry/availability.h"
 #include "telemetry/metric_store.h"
@@ -30,6 +43,13 @@
 namespace headroom::sim {
 
 using telemetry::SimTime;
+
+/// Binning of the fleet-wide CPU sample histogram (Fig. 13) — shared by the
+/// merged histogram and every shard's per-window delta, which must agree
+/// exactly for Histogram::merge to accept them.
+inline constexpr double kCpuHistogramLo = 0.0;
+inline constexpr double kCpuHistogramHi = 100.0;
+inline constexpr std::size_t kCpuHistogramBins = 100;
 
 /// One server's CPU percentile summary for one day — the row type behind
 /// Figs. 3 and 12.
@@ -87,6 +107,11 @@ class FleetSimulator {
   [[nodiscard]] std::size_t total_pools() const noexcept { return pools_.size(); }
   /// Total configured servers.
   [[nodiscard]] std::size_t total_servers() const noexcept;
+  /// Resolved stepping lanes (config threads after hardware-concurrency
+  /// resolution and pool-count clamping) == number of shards.
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return shards_.size();
+  }
 
  private:
   struct PoolRuntime {
@@ -107,16 +132,39 @@ class FleetSimulator {
     std::vector<std::uint8_t> was_online;         ///< Restart detection.
   };
 
+  /// One shard's private per-window telemetry, merged at the window barrier
+  /// and then cleared (allocations are retained across windows).
+  struct ShardTelemetry {
+    telemetry::MetricBuffer metrics;
+    std::vector<telemetry::AvailabilityEvent> availability;
+    stats::Histogram cpu_histogram{kCpuHistogramLo, kCpuHistogramHi,
+                                   kCpuHistogramBins};
+
+    void clear() noexcept {
+      metrics.clear();
+      availability.clear();
+      cpu_histogram.reset();
+    }
+  };
+
   void step(SimTime t);
+  /// Steps one pool for the window starting at `t`, writing telemetry into
+  /// `out` only (called concurrently for pools of different shards).
+  void step_pool(PoolRuntime& rt, SimTime t, std::span<const double> demand,
+                 std::uint64_t window_index, ShardTelemetry& out);
   void flush_digests(std::int64_t day);
   [[nodiscard]] std::vector<double> regional_demands(SimTime t) const;
 
   FleetConfig config_;
   std::vector<workload::DiurnalTraffic> regional_traffic_;
   std::vector<PoolRuntime> pools_;
+  std::vector<std::vector<std::size_t>> shards_;  ///< Pool indices per shard.
+  std::vector<ShardTelemetry> shard_telemetry_;
+  std::unique_ptr<WorkerPool> workers_;           ///< Null when serial.
   telemetry::MetricStore store_;
   telemetry::AvailabilityLedger ledger_;
-  stats::Histogram cpu_histogram_{0.0, 100.0, 100};
+  stats::Histogram cpu_histogram_{kCpuHistogramLo, kCpuHistogramHi,
+                                  kCpuHistogramBins};
   std::vector<ServerDayCpu> server_days_;
   SimTime now_ = 0;
   std::int64_t current_day_ = 0;

@@ -57,6 +57,11 @@ struct FleetConfig {
   workload::EventSchedule events;
   telemetry::SimTime window_seconds = 120;  ///< Sampling window == step.
   std::uint64_t seed = 1;
+  /// Stepping lanes: pools are sharded across this many threads, each
+  /// writing a private telemetry buffer merged at every window barrier in
+  /// shard order — so any thread count yields bit-identical results for a
+  /// given seed. 0 means hardware concurrency; clamped to the pool count.
+  std::size_t threads = 1;
   bool record_pool_series = true;    ///< Pool-scope series into the store.
   bool record_server_series = false; ///< Per-server series (small runs only).
   /// Per-workload metric attribution (methodology Step 1). When false, only

@@ -1,0 +1,79 @@
+#include "sim/worker_pool.h"
+
+namespace headroom::sim {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  const std::size_t extra = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::drain() {
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= tasks_) return;
+    try {
+      (*job_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain();
+    bool batch_done = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      batch_done = --working_ == 0;
+    }
+    if (batch_done) done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::run(std::size_t tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    tasks_ = tasks;
+    next_.store(0, std::memory_order_relaxed);
+    working_ = workers_.size();
+    error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain();  // the caller is a lane too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return working_ == 0; });
+    job_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace headroom::sim

@@ -1,0 +1,62 @@
+// Reusable fork-join worker pool for the fleet simulator's sharded step.
+//
+// The fleet step is a per-window fan-out over pool shards followed by a
+// telemetry merge barrier. Windows are short (a 10k-server fleet does a few
+// million ns of work per window), so spawning threads per window would
+// dominate; this pool keeps its workers parked on a condition variable and
+// reuses them for every window of every run_until() call.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace headroom::sim {
+
+/// Fixed-size fork-join pool: run(tasks, fn) executes fn(0..tasks-1) across
+/// `threads` lanes (the caller's thread participates as one lane) and
+/// returns once every task finished.
+class WorkerPool {
+ public:
+  /// `threads` lanes of parallelism including the caller; spawns threads-1
+  /// workers (so 0 and 1 both mean "no extra threads").
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Lanes of parallelism (worker threads + the calling thread).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, tasks); blocks until all complete. Tasks
+  /// are claimed dynamically, so `tasks` may exceed size(). The first
+  /// exception thrown by any task is rethrown here (remaining tasks still
+  /// run). Not reentrant: one run() at a time, from one thread.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and executes tasks until the current batch is exhausted.
+  void drain();
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mutex_
+  std::size_t tasks_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t working_ = 0;        ///< Workers not yet done with this batch.
+  std::uint64_t generation_ = 0;   ///< Batch counter workers sync on.
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace headroom::sim

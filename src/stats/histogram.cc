@@ -27,6 +27,20 @@ void Histogram::add_all(std::span<const double> xs) noexcept {
   for (double x : xs) add(x);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.width_ != width_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+  total_ = 0;
+}
+
 double Histogram::bin_lo(std::size_t i) const {
   if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
   return lo_ + width_ * static_cast<double>(i);

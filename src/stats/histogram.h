@@ -20,6 +20,12 @@ class Histogram {
   void add(double x) noexcept;
   void add_all(std::span<const double> xs) noexcept;
 
+  /// Adds another histogram's counts into this one. Throws
+  /// std::invalid_argument unless both share the same range and bin count.
+  void merge(const Histogram& other);
+  /// Zeroes every bin, keeping the binning.
+  void reset() noexcept;
+
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] std::size_t count_in_bin(std::size_t i) const { return counts_.at(i); }

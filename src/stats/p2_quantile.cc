@@ -25,8 +25,11 @@ namespace {
 
 // Piecewise-parabolic (P²) interpolation of marker height; falls back to
 // linear when the parabolic prediction would leave the bracketing heights.
+// Degenerate marker spacing (coincident positions) would divide by zero
+// here, so it returns the current height unchanged instead.
 double parabolic(double d, double hp, double h, double hm, double np,
                  double n, double nm) {
+  if (np - nm <= 0.0 || np - n <= 0.0 || n - nm <= 0.0) return h;
   const double num = d / (np - nm);
   const double a = (n - nm + d) * (hp - h) / (np - n);
   const double b = (np - n - d) * (h - hm) / (n - nm);
@@ -37,9 +40,15 @@ double parabolic(double d, double hp, double h, double hm, double np,
 
 void P2Quantile::add(double x) noexcept {
   if (count_ < 5) {
-    heights_[count_] = x;
+    // Insertion into the sorted prefix: markers are ordered from the first
+    // sample on, and value() reads them without re-sorting.
+    std::size_t pos = count_;
+    while (pos > 0 && heights_[pos - 1] > x) {
+      heights_[pos] = heights_[pos - 1];
+      --pos;
+    }
+    heights_[pos] = x;
     ++count_;
-    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
     return;
   }
 
@@ -83,14 +92,12 @@ void P2Quantile::add(double x) noexcept {
 double P2Quantile::value() const noexcept {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {
-    // Exact percentile over the buffered prefix.
-    std::array<double, 5> buf = heights_;
-    std::sort(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(count_));
+    // Exact percentile over the buffered prefix (kept sorted by add()).
     const double rank = q_ * static_cast<double>(count_ - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const auto hi = std::min(lo + 1, count_ - 1);
     const double frac = rank - static_cast<double>(lo);
-    return buf[lo] * (1.0 - frac) + buf[hi] * frac;
+    return heights_[lo] * (1.0 - frac) + heights_[hi] * frac;
   }
   return heights_[2];
 }

@@ -1,8 +1,19 @@
 #include "telemetry/availability.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <tuple>
 
 namespace headroom::telemetry {
+
+namespace {
+
+bool id_less(const ServerId& a, const ServerId& b) noexcept {
+  return std::tie(a.datacenter, a.pool, a.server) <
+         std::tie(b.datacenter, b.pool, b.server);
+}
+
+}  // namespace
 
 AvailabilityLedger::AvailabilityLedger(SimTime day_seconds)
     : day_seconds_(day_seconds) {
@@ -32,6 +43,12 @@ void AvailabilityLedger::record(const ServerId& id, SimTime t, SimTime seconds,
   }
 }
 
+void AvailabilityLedger::record_all(std::span<const AvailabilityEvent> events) {
+  for (const AvailabilityEvent& e : events) {
+    record(e.id, e.t, e.seconds, e.online);
+  }
+}
+
 double AvailabilityLedger::server_availability(const ServerId& id,
                                                std::int64_t day) const {
   const auto sit = records_.find(id);
@@ -42,29 +59,54 @@ double AvailabilityLedger::server_availability(const ServerId& id,
          static_cast<double>(dit->second.total);
 }
 
+std::vector<const AvailabilityLedger::ServerRecord*>
+AvailabilityLedger::sorted_records() const {
+  std::vector<const ServerRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& entry : records_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [](const ServerRecord* a, const ServerRecord* b) {
+              return id_less(a->first, b->first);
+            });
+  return out;
+}
+
 double AvailabilityLedger::pool_availability(std::uint32_t datacenter,
                                              std::uint32_t pool,
                                              std::int64_t day) const {
-  double sum = 0.0;
-  std::size_t n = 0;
+  // Summation order must not depend on hash-map layout (else serial and
+  // per-shard-replayed ledgers could round differently), but only the
+  // matching pool needs sorting — analyzers call this in per-day loops.
+  std::vector<std::pair<std::uint32_t, double>> ratios;  // (server, ratio)
   for (const auto& [id, days] : records_) {
     if (id.datacenter != datacenter || id.pool != pool) continue;
     const auto dit = days.find(day);
     if (dit == days.end() || dit->second.total == 0) continue;
-    sum += static_cast<double>(dit->second.online) /
-           static_cast<double>(dit->second.total);
-    ++n;
+    ratios.emplace_back(id.server,
+                        static_cast<double>(dit->second.online) /
+                            static_cast<double>(dit->second.total));
   }
-  return n == 0 ? 1.0 : sum / static_cast<double>(n);
+  if (ratios.empty()) return 1.0;
+  std::sort(ratios.begin(), ratios.end());
+  double sum = 0.0;
+  for (const auto& [server, ratio] : ratios) sum += ratio;
+  return sum / static_cast<double>(ratios.size());
 }
 
 std::vector<double> AvailabilityLedger::all_daily_availabilities() const {
   std::vector<double> out;
-  for (const auto& [id, days] : records_) {
-    for (const auto& [day, rec] : days) {
-      if (rec.total == 0) continue;
-      out.push_back(static_cast<double>(rec.online) /
-                    static_cast<double>(rec.total));
+  for (const ServerRecord* rec : sorted_records()) {
+    std::vector<std::pair<std::int64_t, const DayRecord*>> days;
+    days.reserve(rec->second.size());
+    for (const auto& [day, day_rec] : rec->second) {
+      days.emplace_back(day, &day_rec);
+    }
+    std::sort(days.begin(), days.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [day, day_rec] : days) {
+      if (day_rec->total == 0) continue;
+      out.push_back(static_cast<double>(day_rec->online) /
+                    static_cast<double>(day_rec->total));
     }
   }
   return out;
@@ -73,12 +115,12 @@ std::vector<double> AvailabilityLedger::all_daily_availabilities() const {
 std::vector<double> AvailabilityLedger::server_mean_availabilities() const {
   std::vector<double> out;
   out.reserve(records_.size());
-  for (const auto& [id, days] : records_) {
+  for (const ServerRecord* rec : sorted_records()) {
     SimTime online = 0;
     SimTime total = 0;
-    for (const auto& [day, rec] : days) {
-      online += rec.online;
-      total += rec.total;
+    for (const auto& [day, day_rec] : rec->second) {
+      online += day_rec.online;
+      total += day_rec.total;
     }
     if (total > 0) {
       out.push_back(static_cast<double>(online) / static_cast<double>(total));

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "telemetry/metrics.h"
@@ -35,6 +37,16 @@ struct ServerIdHash {
   }
 };
 
+/// One buffered record() call. Parallel producers accumulate these and
+/// replay them into the ledger at a merge barrier; day totals are sums, so
+/// the replayed ledger is identical to direct recording.
+struct AvailabilityEvent {
+  ServerId id;
+  SimTime t = 0;
+  SimTime seconds = 0;
+  bool online = false;
+};
+
 class AvailabilityLedger {
  public:
   /// `day_seconds` partitions time into "days" (86400 for realism; tests
@@ -44,6 +56,9 @@ class AvailabilityLedger {
   /// Accounts `seconds` of wall time for the server, online or not.
   /// Time may be split across calls; days are derived from `t`.
   void record(const ServerId& id, SimTime t, SimTime seconds, bool online);
+
+  /// Replays buffered events in order (see AvailabilityEvent).
+  void record_all(std::span<const AvailabilityEvent> events);
 
   /// Fraction of accounted time the server was online during `day`
   /// (0-based day index). Returns 1.0 when nothing was recorded.
@@ -56,12 +71,14 @@ class AvailabilityLedger {
                                          std::int64_t day) const;
 
   /// Daily availability of every (server, day) pair recorded — the sample
-  /// the Fig. 14 histogram is drawn over.
+  /// the Fig. 14 histogram is drawn over. Ordered by (server id, day), so
+  /// output (and any sum over it) is independent of recording order.
   [[nodiscard]] std::vector<double> all_daily_availabilities() const;
 
-  /// Whole-run mean availability per server (one entry per server).
-  /// Timezone-vs-accounting-day artifacts average out here, which makes
-  /// this the right basis for the "most available servers" statistic.
+  /// Whole-run mean availability per server (one entry per server, ordered
+  /// by server id). Timezone-vs-accounting-day artifacts average out here,
+  /// which makes this the right basis for the "most available servers"
+  /// statistic.
   [[nodiscard]] std::vector<double> server_mean_availabilities() const;
 
   /// Mean of all_daily_availabilities(); the paper measured 83%.
@@ -74,6 +91,13 @@ class AvailabilityLedger {
     SimTime online = 0;
     SimTime total = 0;
   };
+  using ServerRecord =
+      std::pair<const ServerId, std::unordered_map<std::int64_t, DayRecord>>;
+
+  /// Map entries sorted by server id: deterministic iteration for the
+  /// aggregate queries regardless of insertion order.
+  [[nodiscard]] std::vector<const ServerRecord*> sorted_records() const;
+
   // Per server: day -> record.
   std::unordered_map<ServerId, std::unordered_map<std::int64_t, DayRecord>,
                      ServerIdHash>

@@ -1,5 +1,6 @@
 #include "telemetry/csv.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace headroom::telemetry {
@@ -16,7 +17,10 @@ void write_scatter_csv(std::ostream& out, const AlignedPair& pair,
                        const std::string& x_column,
                        const std::string& y_column) {
   out << x_column << "," << y_column << "\n";
-  for (std::size_t i = 0; i < pair.x.size(); ++i) {
+  // Tolerate mismatched pairs by emitting the common prefix only; indexing
+  // y by x's length read out of bounds when y was shorter.
+  const std::size_t rows = std::min(pair.x.size(), pair.y.size());
+  for (std::size_t i = 0; i < rows; ++i) {
     out << pair.x[i] << "," << pair.y[i] << "\n";
   }
 }

@@ -1,11 +1,31 @@
 #include "telemetry/metric_store.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace headroom::telemetry {
+
+namespace {
+
+void sort_keys(std::vector<SeriesKey>& keys) {
+  std::sort(keys.begin(), keys.end(), [](const SeriesKey& a, const SeriesKey& b) {
+    return std::tie(a.datacenter, a.pool, a.server, a.metric) <
+           std::tie(b.datacenter, b.pool, b.server, b.metric);
+  });
+}
+
+}  // namespace
 
 void MetricStore::record(const SeriesKey& key, SimTime window_start,
                          double value) {
   series_[key].append(window_start, value);
   ++samples_;
+}
+
+void MetricStore::merge(const MetricBuffer& buffer) {
+  for (const MetricBuffer::Entry& e : buffer.entries()) {
+    record(e.key, e.window_start, e.value);
+  }
 }
 
 const TimeSeries& MetricStore::series(const SeriesKey& key) const {
@@ -28,6 +48,7 @@ std::vector<SeriesKey> MetricStore::keys() const {
   std::vector<SeriesKey> out;
   out.reserve(series_.size());
   for (const auto& [key, value] : series_) out.push_back(key);
+  sort_keys(out);
   return out;
 }
 
@@ -41,6 +62,7 @@ std::vector<SeriesKey> MetricStore::server_keys(std::uint32_t datacenter,
       out.push_back(key);
     }
   }
+  sort_keys(out);
   return out;
 }
 

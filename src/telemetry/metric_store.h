@@ -15,11 +15,43 @@
 
 namespace headroom::telemetry {
 
+/// Order-preserving buffer of window samples, merged into a MetricStore at
+/// a barrier. Parallel producers (the fleet simulator's shards) each fill
+/// their own buffer; replaying the buffers in a fixed producer order makes
+/// the merged store identical to what serial recording would have built.
+class MetricBuffer {
+ public:
+  struct Entry {
+    SeriesKey key;
+    SimTime window_start = 0;
+    double value = 0.0;
+  };
+
+  void record(const SeriesKey& key, SimTime window_start, double value) {
+    entries_.push_back({key, window_start, value});
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  /// Drops the entries but keeps the allocation for the next window.
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 class MetricStore {
  public:
   /// Appends one window sample to the keyed series (windows must arrive in
   /// time order per key).
   void record(const SeriesKey& key, SimTime window_start, double value);
+
+  /// Replays a buffer's entries in insertion order, as if each had been
+  /// record()ed directly.
+  void merge(const MetricBuffer& buffer);
 
   /// Series lookup; returns an empty static series when absent.
   [[nodiscard]] const TimeSeries& series(const SeriesKey& key) const;
@@ -33,9 +65,11 @@ class MetricStore {
                                               std::uint32_t pool,
                                               MetricKind metric) const;
 
-  /// All keys currently stored (unspecified order).
+  /// All keys currently stored, ordered by (datacenter, pool, server,
+  /// metric) — deterministic regardless of insertion order.
   [[nodiscard]] std::vector<SeriesKey> keys() const;
-  /// Keys restricted to one pool in one datacenter (server-scope only).
+  /// Keys restricted to one pool in one datacenter (server-scope only),
+  /// ordered by server index.
   [[nodiscard]] std::vector<SeriesKey> server_keys(std::uint32_t datacenter,
                                                    std::uint32_t pool,
                                                    MetricKind metric) const;

@@ -1,0 +1,71 @@
+#include "sim/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace headroom::sim {
+namespace {
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, SingleLaneRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.run(ran.size(), [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(WorkerPool, ZeroTasksIsNoop) {
+  WorkerPool pool(3);
+  pool.run(0, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(WorkerPool, ReusableAcrossBatches) {
+  WorkerPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.run(16, [&](std::size_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50u * (15u * 16u / 2u));
+}
+
+TEST(WorkerPool, MoreTasksThanLanes) {
+  WorkerPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  int total = 0;
+  for (const auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 100);
+}
+
+TEST(WorkerPool, PropagatesFirstException) {
+  WorkerPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run(16,
+               [&](std::size_t i) {
+                 if (i == 7) throw std::runtime_error("boom");
+                 ++completed;
+               }),
+      std::runtime_error);
+  // Remaining tasks still ran; the pool stays usable afterwards.
+  EXPECT_EQ(completed.load(), 15);
+  std::atomic<int> after{0};
+  pool.run(4, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 4);
+}
+
+}  // namespace
+}  // namespace headroom::sim

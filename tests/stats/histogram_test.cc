@@ -34,6 +34,42 @@ TEST(Histogram, CountsLandInCorrectBins) {
   EXPECT_EQ(h.total(), 4u);
 }
 
+TEST(Histogram, MergeSumsCountsBinByBin) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(9.0);
+  b.add(1.5);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count_in_bin(0), 2u);
+  EXPECT_EQ(a.count_in_bin(2), 1u);
+  EXPECT_EQ(a.count_in_bin(4), 1u);
+  EXPECT_EQ(b.total(), 2u);  // source untouched
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning) {
+  Histogram a(0.0, 10.0, 5);
+  const Histogram different_bins(0.0, 10.0, 10);
+  const Histogram different_range(0.0, 20.0, 5);
+  EXPECT_THROW(a.merge(different_bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(different_range), std::invalid_argument);
+}
+
+TEST(Histogram, ResetZeroesCountsKeepsBinning) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.0);
+  h.add(7.0);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    EXPECT_EQ(h.count_in_bin(i), 0u);
+  }
+  h.add(2.0);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+}
+
 TEST(Histogram, OutOfRangeValuesClampToEdgeBins) {
   Histogram h(0.0, 10.0, 5);
   h.add(-3.0);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 #include <stdexcept>
 #include <vector>
@@ -100,6 +101,40 @@ TEST(P2Quantile, ConstantStreamIsExact) {
   P2Quantile q(0.95);
   for (int i = 0; i < 1000; ++i) q.add(8.25);
   EXPECT_DOUBLE_EQ(q.value(), 8.25);
+}
+
+TEST(P2Quantile, ConstantStreamsStayFiniteAcrossQuantiles) {
+  // Regression: degenerate marker spacing in the parabolic update must not
+  // divide by zero (NaN would poison every later estimate).
+  for (const double quantile : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    P2Quantile q(quantile);
+    for (int i = 0; i < 5000; ++i) q.add(3.5);
+    EXPECT_TRUE(std::isfinite(q.value())) << "q=" << quantile;
+    EXPECT_DOUBLE_EQ(q.value(), 3.5) << "q=" << quantile;
+  }
+}
+
+TEST(P2Quantile, ConstantThenStepStreamStaysBracketed) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 500; ++i) q.add(5.0);
+  for (int i = 0; i < 1500; ++i) q.add(6.0);
+  EXPECT_TRUE(std::isfinite(q.value()));
+  EXPECT_GE(q.value(), 5.0);
+  EXPECT_LE(q.value(), 6.0);
+}
+
+TEST(P2Quantile, FewSamplePrefixIsKeptSorted) {
+  // Regression: value() used to copy + sort the buffer on every call; the
+  // prefix is now kept sorted by add(), and repeated const calls agree.
+  P2Quantile q(0.5);
+  q.add(9.0);
+  q.add(1.0);
+  q.add(5.0);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 4.0);  // exact median of {1,3,5,9}
+  EXPECT_DOUBLE_EQ(q.value(), 4.0);  // and stable across calls
+  q.add(7.0);                        // fifth sample switches to P² markers
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
 }
 
 TEST(P2Quantile, TwoLevelStreamLandsOnUpperLevelForP95) {

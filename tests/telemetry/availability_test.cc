@@ -27,6 +27,28 @@ TEST(AvailabilityLedger, SimpleOnlineFraction) {
   EXPECT_DOUBLE_EQ(ledger.server_availability(kServer, 0), 0.5);
 }
 
+TEST(AvailabilityLedger, RecordAllMatchesDirectRecording) {
+  AvailabilityLedger direct;
+  direct.record(kServer, 0, kDay / 2, true);
+  direct.record(kServer, kDay / 2, kDay / 4, false);
+  direct.record({0, 0, 1}, 0, kDay, true);
+
+  const AvailabilityEvent events[] = {
+      {kServer, 0, kDay / 2, true},
+      {kServer, kDay / 2, kDay / 4, false},
+      {{0, 0, 1}, 0, kDay, true},
+  };
+  AvailabilityLedger replayed;
+  replayed.record_all(events);
+
+  EXPECT_DOUBLE_EQ(replayed.server_availability(kServer, 0),
+                   direct.server_availability(kServer, 0));
+  EXPECT_DOUBLE_EQ(replayed.pool_availability(0, 0, 0),
+                   direct.pool_availability(0, 0, 0));
+  EXPECT_DOUBLE_EQ(replayed.fleet_average(), direct.fleet_average());
+  EXPECT_EQ(replayed.last_day(), direct.last_day());
+}
+
 TEST(AvailabilityLedger, SplitsIntervalsAcrossDayBoundary) {
   AvailabilityLedger ledger;
   // 12h online starting at 18:00 of day 0: 6h on day 0, 6h on day 1.

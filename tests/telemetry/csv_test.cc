@@ -32,6 +32,23 @@ TEST(Csv, ScatterExport) {
   EXPECT_EQ(out.str(), "rps,cpu\n10,1\n20,2\n");
 }
 
+TEST(Csv, ScatterMismatchedLengthsEmitCommonPrefix) {
+  // Regression: y shorter than x used to be read out of bounds.
+  AlignedPair pair;
+  pair.x = {10.0, 20.0, 30.0};
+  pair.y = {1.0};
+  std::ostringstream out;
+  write_scatter_csv(out, pair, "rps", "cpu");
+  EXPECT_EQ(out.str(), "rps,cpu\n10,1\n");
+
+  AlignedPair longer_y;
+  longer_y.x = {10.0};
+  longer_y.y = {1.0, 2.0, 3.0};
+  std::ostringstream out2;
+  write_scatter_csv(out2, longer_y, "rps", "cpu");
+  EXPECT_EQ(out2.str(), "rps,cpu\n10,1\n");
+}
+
 TEST(Csv, PoolExportJoinsMetrics) {
   MetricStore store;
   const SeriesKey rps{0, 0, SeriesKey::kPoolScope,

@@ -23,6 +23,43 @@ TEST(MetricStore, RecordAndRetrieve) {
   EXPECT_EQ(store.series_count(), 1u);
 }
 
+TEST(MetricStore, MergeReplaysBufferInOrder) {
+  const SeriesKey rps{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  const SeriesKey cpu{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kCpuPercentTotal};
+
+  MetricStore direct;
+  direct.record(rps, 0, 100.0);
+  direct.record(cpu, 0, 25.0);
+  direct.record(rps, 120, 110.0);
+
+  MetricBuffer buffer;
+  buffer.record(rps, 0, 100.0);
+  buffer.record(cpu, 0, 25.0);
+  buffer.record(rps, 120, 110.0);
+  EXPECT_EQ(buffer.size(), 3u);
+  MetricStore merged;
+  merged.merge(buffer);
+
+  EXPECT_EQ(merged.sample_count(), direct.sample_count());
+  EXPECT_EQ(merged.series_count(), direct.series_count());
+  for (const SeriesKey& key : {rps, cpu}) {
+    const TimeSeries& a = merged.series(key);
+    const TimeSeries& b = direct.series(key);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.at(i).window_start, b.at(i).window_start);
+      EXPECT_DOUBLE_EQ(a.at(i).value, b.at(i).value);
+    }
+  }
+
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  merged.merge(buffer);  // merging an empty buffer is a no-op
+  EXPECT_EQ(merged.sample_count(), 3u);
+}
+
 TEST(MetricStore, KeysAreDistinguishedByAllFields) {
   MetricStore store;
   const SeriesKey a{1, 2, 3, MetricKind::kCpuPercentTotal};
