@@ -1,0 +1,179 @@
+#include "cli/args.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace headroom::cli {
+
+namespace {
+
+bool parse_count(const std::string& flag, const std::string& text,
+                 std::uint64_t minimum, std::uint64_t maximum,
+                 std::uint64_t* out, std::string* error) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  // strtoull wraps negative input ("-1" -> UINT64_MAX) instead of failing,
+  // so a leading '-' has to be rejected explicitly.
+  if (text.empty() || text[0] == '-' || end == text.c_str() || *end != '\0' ||
+      errno == ERANGE || value < minimum || value > maximum) {
+    *error = "bad value for " + flag + ": '" + text + "' (expected " +
+             std::to_string(minimum) + ".." + std::to_string(maximum) + ")";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Consumes the value argument of a value-taking flag. Flags without a
+/// value never call this, so they cannot swallow the next argument.
+bool next_value(const std::vector<std::string>& args, std::size_t* index,
+                const std::string& flag, std::string* value,
+                std::string* error) {
+  if (*index + 1 >= args.size()) {
+    *error = flag + " needs a value";
+    return false;
+  }
+  *value = args[++*index];
+  return true;
+}
+
+}  // namespace
+
+ParseOutcome parse_args(const std::vector<std::string>& args) {
+  ParseOutcome outcome;
+  Options& opt = outcome.options;
+
+  std::size_t start = 0;
+  if (!args.empty() && !args[0].empty() && args[0][0] != '-') {
+    if (args[0] == "run") {
+      opt.command = Command::kRunScenario;
+    } else if (args[0] == "list-scenarios") {
+      opt.command = Command::kListScenarios;
+    } else {
+      outcome.error = "unknown command '" + args[0] +
+                      "' (expected run, list-scenarios, or flags)";
+      return outcome;
+    }
+    start = 1;
+  }
+
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    std::uint64_t parsed = 0;
+    if (arg == "--help" || arg == "-h") {
+      outcome.show_help = true;
+      return outcome;
+    }
+    // --threads is shared by the pipeline and run commands.
+    if (arg == "--threads" && opt.command != Command::kListScenarios) {
+      if (!next_value(args, &i, arg, &value, &outcome.error) ||
+          !parse_count(arg, value, 0, 4096, &parsed, &outcome.error)) {
+        return outcome;
+      }
+      opt.threads = parsed;
+      opt.threads_set = true;
+      continue;
+    }
+    if (opt.command == Command::kPipeline) {
+      if (arg == "--fleet") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 1, 1000000, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.fleet = parsed;
+      } else if (arg == "--days") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 1, 3650, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.days = static_cast<std::int64_t>(parsed);
+      } else if (arg == "--pools") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 1, 9, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.pools = parsed;
+      } else if (arg == "--seed") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 0, UINT64_MAX, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.seed = parsed;
+      } else if (arg == "--service") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        if (value.empty()) {
+          outcome.error = "--service needs a value";
+          return outcome;
+        }
+        opt.service = value;
+      } else {
+        outcome.error = "unknown argument '" + arg + "'";
+        return outcome;
+      }
+    } else if (opt.command == Command::kRunScenario) {
+      if (arg == "--scenario") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.scenario_path = value;
+      } else if (arg == "--quiet") {
+        opt.quiet = true;
+      } else {
+        outcome.error = "unknown argument '" + arg + "' for run";
+        return outcome;
+      }
+    } else {  // Command::kListScenarios
+      if (arg == "--dir") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.scenario_dir = value;
+      } else {
+        outcome.error = "unknown argument '" + arg + "' for list-scenarios";
+        return outcome;
+      }
+    }
+  }
+
+  if (opt.command == Command::kRunScenario && opt.scenario_path.empty()) {
+    outcome.error = "run needs --scenario FILE";
+    return outcome;
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+std::string usage() {
+  return
+      "headroom — right-size a micro-service pool end to end\n"
+      "\n"
+      "  headroom [flags]                 run the four-step pipeline\n"
+      "  headroom run --scenario FILE     run a declarative scenario file\n"
+      "  headroom list-scenarios [--dir DIR]\n"
+      "                                   describe the scenario library\n"
+      "\n"
+      "pipeline flags:\n"
+      "  --fleet N     servers per pool (default 64)\n"
+      "  --days N      observation days before optimizing (default 3)\n"
+      "  --pools N     datacenters hosting the pool (default 1)\n"
+      "  --seed N      simulation seed (default 5)\n"
+      "  --service S   micro-service catalog name A..G (default D)\n"
+      "  --threads N   simulator stepping threads; results are identical\n"
+      "                for any N (default 0 = hardware concurrency)\n"
+      "\n"
+      "run flags:\n"
+      "  --scenario F  scenario file to execute (required)\n"
+      "  --threads N   override the scenario's stepping threads\n"
+      "  --quiet       print only the machine-readable summary\n"
+      "\n"
+      "list-scenarios flags:\n"
+      "  --dir D       scenario directory (default examples/scenarios)\n"
+      "\n"
+      "  --help        this text\n";
+}
+
+}  // namespace headroom::cli

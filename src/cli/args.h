@@ -1,0 +1,53 @@
+// headroom CLI argument parsing.
+//
+// Pulled out of main.cc so the parsing rules are unit-testable. Parsing is
+// strictly per-flag: flags that take a value consume exactly one following
+// argument, flags that don't (e.g. --help, --quiet) consume nothing — the
+// historical bug where the loop unconditionally skipped the argument after
+// every flag cannot reappear without failing tests/cli/args_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace headroom::cli {
+
+enum class Command {
+  kPipeline,       ///< Legacy flag mode: full pipeline from flags.
+  kRunScenario,    ///< `headroom run --scenario FILE`.
+  kListScenarios,  ///< `headroom list-scenarios [--dir DIR]`.
+};
+
+struct Options {
+  Command command = Command::kPipeline;
+
+  // --- Pipeline (legacy flag) mode ----------------------------------------
+  std::size_t fleet = 64;     ///< Servers per pool.
+  std::int64_t days = 3;      ///< Observation days before optimizing.
+  std::size_t pools = 1;      ///< Datacenters hosting the pool.
+  std::uint64_t seed = 5;     ///< Simulation seed.
+  std::string service = "D";  ///< Catalog service name ("A".."G").
+  std::size_t threads = 0;    ///< Stepping threads; 0 = hardware concurrency.
+  bool threads_set = false;   ///< Whether --threads was given (run-mode
+                              ///< scenarios keep their own value otherwise).
+
+  // --- Scenario modes -----------------------------------------------------
+  std::string scenario_path;                     ///< run: --scenario FILE.
+  std::string scenario_dir = "examples/scenarios";  ///< list: --dir DIR.
+  bool quiet = false;  ///< run: print only the machine-readable summary.
+};
+
+struct ParseOutcome {
+  bool ok = false;         ///< Options are valid; proceed with the command.
+  bool show_help = false;  ///< --help/-h given: print usage(), exit 0.
+  std::string error;       ///< Set when !ok && !show_help.
+  Options options;
+};
+
+/// Parses argv[1..argc-1] (program name excluded).
+[[nodiscard]] ParseOutcome parse_args(const std::vector<std::string>& args);
+
+[[nodiscard]] std::string usage();
+
+}  // namespace headroom::cli

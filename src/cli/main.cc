@@ -13,286 +13,230 @@
 //   Step 4 (Validate) — gate a (deliberately regressing) candidate change
 //                       offline against the synthetic workload.
 //
-// Usage:  headroom [--fleet N] [--days N] [--pools N] [--seed N] [--service S]
+// Three modes (see cli/args.h):
+//   headroom [flags]              pipeline from flags (legacy mode)
+//   headroom run --scenario FILE  declarative scenario: fleet topology,
+//                                 event timeline, steps, assertions
+//   headroom list-scenarios       describe a scenario directory
 #include <algorithm>
-#include <cerrno>
-#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <exception>
+#include <filesystem>
 #include <string>
+#include <vector>
 
-#include "core/headroom_optimizer.h"
-#include "core/metric_validator.h"
-#include "core/pool_model.h"
-#include "core/regression_gate.h"
-#include "core/rsm_planner.h"
-#include "core/server_grouper.h"
-#include "core/sim_backend.h"
-#include "sim/fleet.h"
-#include "stats/percentile.h"
-#include "workload/synthetic.h"
+#include "cli/args.h"
+#include "scenario/scenario_parser.h"
+#include "scenario/scenario_runner.h"
+#include "telemetry/metric_store.h"
 
 namespace {
 
-constexpr headroom::telemetry::SimTime kDay = 86400;
+using namespace headroom;
 
-struct CliOptions {
-  std::size_t fleet = 64;    ///< Servers per pool.
-  std::int64_t days = 3;     ///< Observation days before optimizing.
-  std::size_t pools = 1;     ///< Datacenters hosting the pool.
-  std::uint64_t seed = 5;    ///< Simulation seed.
-  std::string service = "D"; ///< Catalog service name ("A".."G").
-  std::size_t threads = 0;   ///< Stepping threads; 0 = hardware concurrency.
-};
+void print_narrative(const scenario::ScenarioRunResult& result) {
+  const scenario::ScenarioSpec& spec = result.spec;
+  std::printf("simulated on %zu thread(s) (deterministic for any count); "
+              "%lld day(s) observed, %zu event(s), seed %llu\n",
+              result.thread_count, static_cast<long long>(spec.days),
+              spec.events.size(),
+              static_cast<unsigned long long>(spec.seed));
 
-void print_usage(std::FILE* out) {
-  std::fputs(
-      "headroom — right-size a micro-service pool end to end\n"
-      "\n"
-      "  --fleet N     servers per pool (default 64)\n"
-      "  --days N      observation days before optimizing (default 3)\n"
-      "  --pools N     datacenters hosting the pool (default 1)\n"
-      "  --seed N      simulation seed (default 5)\n"
-      "  --service S   micro-service catalog name A..G (default D)\n"
-      "  --threads N   simulator stepping threads; results are identical\n"
-      "                for any N (default 0 = hardware concurrency)\n"
-      "  --help        this text\n",
-      out);
-}
-
-bool parse_count(const char* flag, const char* text, std::uint64_t minimum,
-                 std::uint64_t maximum, std::uint64_t* out) {
-  if (text == nullptr) {
-    std::fprintf(stderr, "headroom: %s needs a value\n", flag);
-    return false;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long value = std::strtoull(text, &end, 10);
-  // strtoull wraps negative input ("-1" -> UINT64_MAX) instead of failing,
-  // so a leading '-' has to be rejected explicitly.
-  if (text[0] == '-' || end == text || *end != '\0' || errno == ERANGE ||
-      value < minimum || value > maximum) {
-    std::fprintf(stderr,
-                 "headroom: bad value for %s: '%s' (expected %llu..%llu)\n",
-                 flag, text, static_cast<unsigned long long>(minimum),
-                 static_cast<unsigned long long>(maximum));
-    return false;
-  }
-  *out = value;
-  return true;
-}
-
-bool parse_args(int argc, char** argv, CliOptions* options, int* exit_code) {
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
-    std::uint64_t parsed = 0;
-    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      print_usage(stdout);
-      *exit_code = 0;
-      return false;
+  if (spec.runs(scenario::PipelineStep::kMeasure)) {
+    std::printf("\n== Step 1: Measure ==\n");
+    for (const auto& a : result.assessments) {
+      std::printf("  %-24s -> %s (R² %.3f)\n",
+                  std::string(telemetry::to_string(a.resource)).c_str(),
+                  core::to_string(a.verdict).c_str(), a.fit.r_squared);
     }
-    if (std::strcmp(arg, "--fleet") == 0) {
-      if (!parse_count(arg, value, 1, 1000000, &parsed)) return false;
-      options->fleet = parsed;
-    } else if (std::strcmp(arg, "--days") == 0) {
-      if (!parse_count(arg, value, 1, 3650, &parsed)) return false;
-      options->days = static_cast<std::int64_t>(parsed);
-    } else if (std::strcmp(arg, "--pools") == 0) {
-      if (!parse_count(arg, value, 1, 1000, &parsed)) return false;
-      options->pools = parsed;
-    } else if (std::strcmp(arg, "--seed") == 0) {
-      if (!parse_count(arg, value, 0, UINT64_MAX, &parsed)) return false;
-      options->seed = parsed;
-    } else if (std::strcmp(arg, "--threads") == 0) {
-      if (!parse_count(arg, value, 0, 4096, &parsed)) return false;
-      options->threads = parsed;
-    } else if (std::strcmp(arg, "--service") == 0) {
-      if (value == nullptr) {
-        std::fprintf(stderr, "headroom: --service needs a value\n");
-        return false;
-      }
-      options->service = value;
-    } else {
-      std::fprintf(stderr, "headroom: unknown argument '%s'\n\n", arg);
-      print_usage(stderr);
-      *exit_code = 2;
-      return false;
+    if (!result.metric_valid) {
+      std::printf("  WARNING: no tight limiting resource — in production, "
+                  "iterate on attribution before trusting the plan\n");
     }
-    ++i;  // Consumed the value.
+    std::printf("  server groups in pool: %zu%s\n",
+                result.grouping.group_count,
+                result.grouping.multimodal() ? " (plan capacity per group!)"
+                                             : "");
   }
-  if (options->service.empty()) {
-    std::fprintf(stderr, "headroom: --service needs a value\n");
-    *exit_code = 2;
-    return false;
+
+  if (spec.runs(scenario::PipelineStep::kOptimize)) {
+    std::printf("\n== Step 2: Optimize ==\n");
+    std::printf("  headroom plan: %zu -> %zu servers (%.0f%% savings), "
+                "stressed latency %.1f ms vs SLO %.1f ms\n",
+                result.plan.current_servers, result.plan.recommended_servers,
+                result.plan.efficiency_savings() * 100.0,
+                result.plan.predicted_latency_stressed_ms,
+                result.latency_slo_ms);
+    for (std::size_t i = 0; i < result.rsm.iterations.size(); ++i) {
+      const auto& it = result.rsm.iterations[i];
+      std::printf("  RSM iter %zu: %zu servers, observed %.1f ms "
+                  "(predicted %.1f)\n",
+                  i, it.serving, it.observed_latency_p95_ms,
+                  it.predicted_latency_ms);
+    }
+    std::printf("  RSM recommendation: %zu -> %zu servers (%.0f%% reduction), "
+                "SLO-limited: %s\n",
+                result.rsm.starting_serving, result.rsm.recommended_serving,
+                result.rsm.reduction_fraction() * 100.0,
+                result.rsm.slo_limit_reached ? "yes" : "no");
   }
-  return true;
+
+  if (spec.runs(scenario::PipelineStep::kModel)) {
+    std::printf("\n== Step 3: Model ==\n");
+    std::printf("  type distance %.3f, cost ratio %.3f, rate ratio %.3f -> %s\n",
+                result.model_cmp.type_distance,
+                result.model_cmp.cost_mean_ratio, result.model_cmp.rate_ratio,
+                result.model_cmp.equivalent ? "EQUIVALENT (usable offline)"
+                                            : "NOT equivalent");
+  }
+
+  if (spec.runs(scenario::PipelineStep::kValidate)) {
+    std::printf("\n== Step 4: Validate ==\n");
+    std::printf("  regression gate on +18%% CPU candidate: %s\n",
+                result.gate.pass ? "PASS (defect slipped through!)"
+                                 : "FAIL (change correctly blocked)");
+  }
+
+  if (!result.assertions.empty()) {
+    std::printf("\n== Assertions ==\n");
+    for (const auto& outcome : result.assertions) {
+      std::printf("  %s: %s %s %g (observed %g)\n",
+                  outcome.pass ? "PASS" : "FAIL",
+                  outcome.assertion.metric.c_str(),
+                  std::string(scenario::to_string(outcome.assertion.op)).c_str(),
+                  outcome.assertion.value, outcome.observed);
+    }
+  }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace headroom;
-  using telemetry::MetricKind;
-
-  CliOptions opt;
-  int exit_code = 2;
-  if (!parse_args(argc, argv, &opt, &exit_code)) return exit_code;
-
-  sim::MicroserviceCatalog catalog;
-  if (!catalog.index_of(opt.service)) {
-    std::fprintf(stderr, "headroom: unknown service '%s' (expected A..G)\n",
-                 opt.service.c_str());
-    return 2;
+int run_pipeline(const cli::Options& opt) {
+  scenario::ScenarioSpec spec;
+  spec.name = "cli";
+  spec.seed = opt.seed;
+  spec.days = opt.days;
+  spec.threads = opt.threads;
+  spec.service = opt.service;
+  spec.servers = opt.fleet;
+  if (opt.pools > 1) {
+    spec.fleet = scenario::FleetKind::kMultiDc;
+    spec.datacenters = opt.pools;
   }
-  const sim::MicroserviceProfile& profile = catalog.by_name(opt.service);
-
   std::printf("headroom: service %s, %zu server(s)/pool, %zu pool(s), "
               "%lld day(s) observed, seed %llu\n",
               opt.service.c_str(), opt.fleet, opt.pools,
               static_cast<long long>(opt.days),
               static_cast<unsigned long long>(opt.seed));
-
-  sim::FleetConfig config =
-      opt.pools == 1
-          ? sim::single_pool_fleet(catalog, opt.service, opt.fleet, opt.seed)
-          : sim::multi_dc_pool_fleet(catalog, opt.service, opt.pools,
-                                     opt.fleet, opt.seed);
-  config.threads = opt.threads;
-  sim::FleetSimulator fleet(std::move(config), catalog);
-  std::printf("simulating on %zu thread(s) (deterministic for any count)\n",
-              fleet.thread_count());
-  fleet.run_until(opt.days * kDay);
-  fleet.finish_day();
-
-  // ------------------------- Step 1: Measure -------------------------------
-  std::printf("\n== Step 1: Measure ==\n");
-  const core::MetricValidator validator;
-  const MetricKind resources[] = {
-      MetricKind::kCpuPercentAttributed, MetricKind::kNetworkBytesPerSecond,
-      MetricKind::kMemoryPagesPerSecond, MetricKind::kDiskQueueLength};
-  const auto assessments = validator.assess_all(
-      fleet.store(), 0, 0, MetricKind::kRequestsPerSecond, resources);
-  for (const auto& a : assessments) {
-    std::printf("  %-24s -> %s (R² %.3f)\n",
-                std::string(telemetry::to_string(a.resource)).c_str(),
-                core::to_string(a.verdict).c_str(), a.fit.r_squared);
-  }
-  const bool metric_valid = validator.workload_metric_valid(assessments);
-  if (!metric_valid) {
-    std::printf("  WARNING: no tight limiting resource — in production, "
-                "iterate on attribution before trusting the plan\n");
-  }
-
-  std::int64_t last_day = 0;
-  for (const auto& day : fleet.server_day_cpu()) {
-    if (day.datacenter == 0 && day.pool == 0)
-      last_day = std::max(last_day, day.day);
-  }
-  const auto snapshots = core::ServerGrouper::pool_snapshots(
-      fleet.server_day_cpu(), 0, 0, last_day);
-  const core::PoolGrouping grouping =
-      core::ServerGrouper().group_servers(snapshots);
-  std::printf("  server groups in pool: %zu%s\n", grouping.group_count,
-              grouping.multimodal() ? " (plan capacity per group!)" : "");
-
-  // ------------------------- Step 2: Optimize ------------------------------
-  std::printf("\n== Step 2: Optimize ==\n");
-  const auto& store = fleet.store();
-  const auto model = core::PoolResponseModel::fit(
-      store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
-                         MetricKind::kCpuPercentAttributed),
-      store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
-                         MetricKind::kLatencyP95Ms));
-  std::printf("  fitted CPU model: %%CPU = %.4f * RPS + %.2f (R² %.3f)\n",
-              model.cpu_fit().slope, model.cpu_fit().intercept,
-              model.cpu_fit().r_squared);
-
-  const auto rps =
-      store.pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
-  const double p95_rps = stats::percentile(rps, 95.0);
-  core::HeadroomPolicy policy;
-  policy.qos.latency.p95_ms = profile.latency_slo_ms;
-  policy.dr_headroom_fraction = opt.pools > 1
-      ? 1.0 / static_cast<double>(opt.pools)
-      : 0.125;
-  const core::HeadroomPlan plan =
-      core::HeadroomOptimizer(policy).plan(model, p95_rps, opt.fleet);
-  std::printf("  headroom plan: %zu -> %zu servers (%.0f%% savings), "
-              "stressed latency %.1f ms vs SLO %.1f ms\n",
-              plan.current_servers, plan.recommended_servers,
-              plan.efficiency_savings() * 100.0,
-              plan.predicted_latency_stressed_ms, profile.latency_slo_ms);
-
-  core::SimPoolBackend backend(&fleet, 0, 0);
-  core::RsmOptions rsm;
-  rsm.latency_slo_ms = profile.latency_slo_ms;
-  rsm.baseline_duration = kDay;
-  rsm.iteration_duration = kDay;
-  rsm.max_iterations = 4;
-  const core::RsmResult result = core::RsmPlanner(rsm).optimize(backend);
-  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
-    const auto& it = result.iterations[i];
-    std::printf("  RSM iter %zu: %zu servers, observed %.1f ms "
-                "(predicted %.1f)\n",
-                i, it.serving, it.observed_latency_p95_ms,
-                it.predicted_latency_ms);
-  }
-  std::printf("  RSM recommendation: %zu -> %zu servers (%.0f%% reduction), "
-              "SLO-limited: %s\n",
-              result.starting_serving, result.recommended_serving,
-              result.reduction_fraction() * 100.0,
-              result.slo_limit_reached ? "yes" : "no");
-
-  // ------------------------- Step 3: Model ---------------------------------
-  std::printf("\n== Step 3: Model ==\n");
-  workload::RequestType fetch;
-  fetch.weight = 0.75;
-  fetch.cost_mean = 1.0;
-  fetch.cost_sigma = 0.25;
-  workload::RequestType render;
-  render.weight = 0.25;
-  render.cost_mean = 3.2;
-  render.cost_sigma = 0.4;
-  render.dependency_latency_ms = 12.0;
-  const workload::SyntheticWorkload production{
-      workload::RequestMix({fetch, render})};
-  const auto observed = production.generate(500.0, 120.0, opt.seed + 6);
-  const auto fitted = workload::SyntheticWorkload::fit(observed, 2);
-  const auto replay = fitted.generate(500.0, 120.0, opt.seed + 8);
-  const auto cmp = workload::SyntheticWorkload::compare(replay, observed, 2);
-  std::printf("  type distance %.3f, cost ratio %.3f, rate ratio %.3f -> %s\n",
-              cmp.type_distance, cmp.cost_mean_ratio, cmp.rate_ratio,
-              cmp.equivalent ? "EQUIVALENT (usable offline)"
-                             : "NOT equivalent");
-
-  // ------------------------- Step 4: Validate ------------------------------
-  std::printf("\n== Step 4: Validate ==\n");
-  sim::RequestSimConfig pool;
-  pool.servers = 4;
-  pool.cores = 8.0;
-  pool.base_service_ms = 4.0;
-  pool.window_seconds = 10;
-  sim::RequestSimConfig candidate = pool;
-  candidate.defect.service_factor = 1.18;  // the change costs 18% more CPU
-
-  core::GateOptions gate_opt;
-  gate_opt.nominal_rps_per_server = 500.0;
-  gate_opt.step_duration_s = 20.0;
-  const core::GateResult gate =
-      core::RegressionGate(gate_opt).evaluate(pool, candidate, fitted);
-  std::printf("  regression gate on +18%% CPU candidate: %s\n",
-              gate.pass ? "PASS (defect slipped through!)"
-                        : "FAIL (change correctly blocked)");
-
+  const scenario::ScenarioRunResult result = scenario::ScenarioRunner().run(spec);
+  print_narrative(result);
   std::printf("\npipeline complete: measure%s, optimize (%zu -> %zu RSM / "
               "%zu plan), model %s, validate %s\n",
-              metric_valid ? " ok" : " needs-iteration",
-              result.starting_serving, result.recommended_serving,
-              plan.recommended_servers,
-              cmp.equivalent ? "ok" : "divergent",
-              gate.pass ? "pass" : "blocked");
+              result.metric_valid ? " ok" : " needs-iteration",
+              result.rsm.starting_serving, result.rsm.recommended_serving,
+              result.plan.recommended_servers,
+              result.model_cmp.equivalent ? "ok" : "divergent",
+              result.gate.pass ? "pass" : "blocked");
   return 0;
+}
+
+int run_scenario(const cli::Options& opt) {
+  scenario::ParseResult parsed = scenario::load_scenario_file(opt.scenario_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "headroom: %s\n", parsed.error.c_str());
+    return 2;
+  }
+  if (opt.threads_set) parsed.spec.threads = opt.threads;
+  if (!opt.quiet) {
+    std::printf("headroom: scenario '%s'%s%s\n", parsed.spec.name.c_str(),
+                parsed.spec.description.empty() ? "" : " — ",
+                parsed.spec.description.c_str());
+  }
+  const scenario::ScenarioRunResult result =
+      scenario::ScenarioRunner().run(parsed.spec);
+  if (!opt.quiet) {
+    print_narrative(result);
+    std::printf("\n--- summary ---\n");
+  }
+  std::fputs(scenario::format_summary(result).c_str(), stdout);
+  if (!result.assertions_pass) {
+    std::fprintf(stderr, "headroom: scenario '%s' assertions FAILED\n",
+                 parsed.spec.name.c_str());
+    return 3;
+  }
+  return 0;
+}
+
+int list_scenarios(const cli::Options& opt) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(opt.scenario_dir, ec)) {
+    std::fprintf(stderr, "headroom: '%s' is not a directory\n",
+                 opt.scenario_dir.c_str());
+    return 2;
+  }
+  fs::directory_iterator it(opt.scenario_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "headroom: cannot list '%s': %s\n",
+                 opt.scenario_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::printf("no .scn files in %s\n", opt.scenario_dir.c_str());
+    return 0;
+  }
+  for (const fs::path& file : files) {
+    const scenario::ParseResult parsed =
+        scenario::load_scenario_file(file.string());
+    if (!parsed.ok()) {
+      std::printf("%-28s PARSE ERROR: %s\n",
+                  file.filename().string().c_str(), parsed.error.c_str());
+      continue;
+    }
+    const scenario::ScenarioSpec& spec = parsed.spec;
+    const char* kind = spec.fleet == scenario::FleetKind::kSinglePool
+                           ? "single_pool"
+                           : spec.fleet == scenario::FleetKind::kMultiDc
+                                 ? "multi_dc"
+                                 : "standard";
+    std::printf("%-28s %-12s %zu event(s), %zu assertion(s) — %s\n",
+                file.filename().string().c_str(), kind, spec.events.size(),
+                spec.assertions.size(), spec.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const cli::ParseOutcome outcome = cli::parse_args(args);
+  if (outcome.show_help) {
+    std::fputs(cli::usage().c_str(), stdout);
+    return 0;
+  }
+  if (!outcome.ok) {
+    std::fprintf(stderr, "headroom: %s\n\n%s", outcome.error.c_str(),
+                 cli::usage().c_str());
+    return 2;
+  }
+  try {
+    switch (outcome.options.command) {
+      case cli::Command::kRunScenario:
+        return run_scenario(outcome.options);
+      case cli::Command::kListScenarios:
+        return list_scenarios(outcome.options);
+      case cli::Command::kPipeline:
+        return run_pipeline(outcome.options);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "headroom: %s\n", e.what());
+    return 2;
+  }
+  return 2;
 }

@@ -1,0 +1,448 @@
+#include "scenario/scenario_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "core/pool_model.h"
+#include "core/sim_backend.h"
+#include "sim/fleet.h"
+#include "stats/percentile.h"
+#include "workload/diurnal.h"
+#include "workload/events.h"
+
+namespace headroom::scenario {
+
+namespace {
+
+constexpr telemetry::SimTime kDay = 86400;
+
+[[nodiscard]] telemetry::SimTime hours_to_sim(double hours) noexcept {
+  return static_cast<telemetry::SimTime>(std::llround(hours * 3600.0));
+}
+
+void require_service(const sim::MicroserviceCatalog& catalog,
+                     const std::string& service) {
+  if (!catalog.index_of(service)) {
+    throw std::invalid_argument("scenario: unknown service '" + service +
+                                "' (not in the micro-service catalog)");
+  }
+}
+
+/// Attaches one maintenance wave to every targeted pool as PoolIncidents.
+/// Incident times are pool-local; the wave's absolute start hour is shifted
+/// by each DC's timezone so the wave hits every pool at the same sim time.
+/// MaintenanceSchedule evaluates an incident within one local day only, so
+/// a wave whose local window crosses midnight is split into one incident
+/// per touched day — without this, the post-midnight portion would be
+/// silently dropped for DCs whose offset pushes the window over 24:00.
+void attach_wave(sim::FleetConfig& config, const ScenarioEvent& event) {
+  for (std::uint32_t d = 0; d < config.datacenters.size(); ++d) {
+    if (event.datacenter && *event.datacenter != d) continue;
+    sim::DatacenterConfig& dc = config.datacenters[d];
+    double local_start_hour = event.start_hour + dc.timezone_offset_hours;
+    double remaining_hours = event.duration_hours;
+    std::vector<sim::PoolIncident> pieces;
+    while (remaining_hours > 0.0) {
+      sim::PoolIncident incident;
+      incident.day =
+          static_cast<std::int64_t>(std::floor(local_start_hour / 24.0));
+      incident.start_hour =
+          local_start_hour - 24.0 * static_cast<double>(incident.day);
+      incident.duration_hours =
+          std::min(remaining_hours, 24.0 - incident.start_hour);
+      if (incident.duration_hours <= 0.0) break;  // FP guard at a boundary
+      incident.offline_fraction = event.offline_fraction;
+      pieces.push_back(incident);
+      local_start_hour += incident.duration_hours;
+      remaining_hours -= incident.duration_hours;
+    }
+    for (std::uint32_t p = 0; p < dc.pools.size(); ++p) {
+      if (event.pool && *event.pool != p) continue;
+      sim::PoolConfig& pool = dc.pools[p];
+      pool.incidents.insert(pool.incidents.end(), pieces.begin(),
+                            pieces.end());
+    }
+  }
+}
+
+/// Serving reductions sorted by start time (stable for equal times, which
+/// validate() has already ruled out per pool).
+[[nodiscard]] std::vector<ScenarioEvent> sorted_reductions(
+    const ScenarioSpec& spec) {
+  std::vector<ScenarioEvent> reductions;
+  for (const ScenarioEvent& e : spec.events) {
+    if (e.kind == ScenarioEventKind::kServingReduction) reductions.push_back(e);
+  }
+  std::stable_sort(reductions.begin(), reductions.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.start_hour < b.start_hour;
+                   });
+  return reductions;
+}
+
+[[nodiscard]] std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+sim::FleetConfig ScenarioRunner::build_fleet(
+    const ScenarioSpec& spec, const sim::MicroserviceCatalog& catalog) {
+  const std::string problem = validate(spec);
+  if (!problem.empty()) {
+    throw std::invalid_argument("scenario: " + problem);
+  }
+
+  sim::FleetConfig config;
+  switch (spec.fleet) {
+    case FleetKind::kSinglePool:
+      require_service(catalog, spec.service);
+      config = sim::single_pool_fleet(catalog, spec.service, spec.servers,
+                                      spec.seed);
+      break;
+    case FleetKind::kMultiDc:
+      require_service(catalog, spec.service);
+      config = sim::multi_dc_pool_fleet(catalog, spec.service,
+                                        spec.datacenters, spec.servers,
+                                        spec.seed);
+      break;
+    case FleetKind::kStandard: {
+      sim::StandardFleetOptions options;
+      if (!spec.services.empty()) options.services = spec.services;
+      for (const std::string& service : options.services) {
+        require_service(catalog, service);
+      }
+      options.regional_peak_rps = spec.regional_peak_rps;
+      options.heterogeneous_utilization = spec.heterogeneous;
+      options.seed = spec.seed;
+      config = sim::standard_fleet(catalog, options);
+      break;
+    }
+  }
+  config.window_seconds = spec.window_seconds;
+  config.threads = spec.threads;
+
+  for (const DatacenterOverride& o : spec.datacenter_overrides) {
+    sim::DatacenterConfig& dc = config.datacenters.at(o.datacenter);
+    if (o.demand_weight) dc.demand_weight = *o.demand_weight;
+    if (o.timezone_offset_hours) {
+      dc.timezone_offset_hours = *o.timezone_offset_hours;
+    }
+  }
+  for (const PoolOverride& o : spec.pool_overrides) {
+    sim::PoolConfig& pool =
+        config.datacenters.at(o.datacenter).pools.at(o.pool);
+    if (o.servers) pool.servers = *o.servers;
+    if (o.demand_multiplier) pool.demand_multiplier = *o.demand_multiplier;
+    if (o.burst_multiplier) pool.burst_multiplier = *o.burst_multiplier;
+    if (o.burst_start_hour) pool.burst_start_hour = *o.burst_start_hour;
+    if (o.burst_hours) pool.burst_hours = *o.burst_hours;
+  }
+
+  for (const ScenarioEvent& e : spec.events) {
+    switch (e.kind) {
+      case ScenarioEventKind::kTrafficMultiplier:
+      case ScenarioEventKind::kDatacenterOutage: {
+        workload::CapacityEvent event;
+        event.kind = e.kind == ScenarioEventKind::kTrafficMultiplier
+                         ? workload::EventKind::kTrafficMultiplier
+                         : workload::EventKind::kDatacenterOutage;
+        event.start = hours_to_sim(e.start_hour);
+        event.end = hours_to_sim(e.start_hour + e.duration_hours);
+        event.datacenter = e.datacenter;
+        event.multiplier = e.multiplier;
+        config.events.add(event);
+        break;
+      }
+      case ScenarioEventKind::kMaintenanceWave:
+        attach_wave(config, e);
+        break;
+      case ScenarioEventKind::kServingReduction:
+        break;  // Runtime action; applied by run().
+    }
+  }
+  return config;
+}
+
+ScenarioRunResult ScenarioRunner::run(const ScenarioSpec& spec) const {
+  using telemetry::MetricKind;
+
+  ScenarioRunResult result;
+  result.spec = spec;
+
+  const sim::MicroserviceCatalog catalog;
+  sim::FleetConfig config = build_fleet(spec, catalog);
+
+  // Event-free baseline demand oracle the event metrics are measured
+  // against. This is a pure function of the diurnal params and the DC
+  // weights/timezones (exactly what FleetSimulator::regional_demands
+  // computes when no event is active), so it needs no second simulator.
+  std::vector<workload::DiurnalTraffic> baseline_traffic;
+  baseline_traffic.reserve(config.datacenters.size());
+  for (const sim::DatacenterConfig& dc : config.datacenters) {
+    workload::DiurnalParams params = config.diurnal;
+    params.peak_rps = config.diurnal.peak_rps * dc.demand_weight;
+    params.timezone_offset_hours = dc.timezone_offset_hours;
+    baseline_traffic.emplace_back(params);
+  }
+
+  sim::FleetSimulator fleet(std::move(config), catalog);
+  result.thread_count = fleet.thread_count();
+
+  const telemetry::SimTime horizon = spec.days * kDay;
+
+  // --- Observation phase, pausing at serving-reduction boundaries ---------
+  for (const ScenarioEvent& e : sorted_reductions(spec)) {
+    const telemetry::SimTime at = hours_to_sim(e.start_hour);
+    if (at >= horizon) {
+      throw std::invalid_argument(
+          "scenario: serving_reduction at hour " +
+          std::to_string(e.start_hour) + " is past the observation window");
+    }
+    const std::size_t pool_size = fleet.pool_size(*e.datacenter, *e.pool);
+    if (e.serving > pool_size) {
+      throw std::invalid_argument(
+          "scenario: serving_reduction to " + std::to_string(e.serving) +
+          " exceeds pool size " + std::to_string(pool_size));
+    }
+    fleet.run_until(at);
+    fleet.set_serving_count(*e.datacenter, *e.pool, e.serving);
+  }
+  fleet.run_until(horizon);
+  fleet.finish_day();
+
+  // --- Fleet-shape and event-timeline metrics ------------------------------
+  result.metrics["datacenters"] =
+      static_cast<double>(fleet.config().datacenters.size());
+  result.metrics["total_pools"] = static_cast<double>(fleet.total_pools());
+  result.metrics["total_servers"] = static_cast<double>(fleet.total_servers());
+  result.metrics["serving_final"] =
+      static_cast<double>(fleet.serving_count(0, 0));
+
+  double max_ratio = 1.0;
+  std::vector<double> survivor_max_ratio(fleet.config().datacenters.size(),
+                                         0.0);
+  bool any_outage_window = false;
+  for (telemetry::SimTime t = 0; t < horizon; t += spec.window_seconds) {
+    bool any_down = false;
+    for (std::uint32_t d = 0; d < fleet.config().datacenters.size(); ++d) {
+      if (fleet.config().events.datacenter_down(t, d)) any_down = true;
+    }
+    for (std::uint32_t d = 0; d < fleet.config().datacenters.size(); ++d) {
+      const double base = baseline_traffic[d].demand(t);
+      if (base <= 1e-9) continue;
+      const double ratio = fleet.datacenter_demand(t, d) / base;
+      max_ratio = std::max(max_ratio, ratio);
+      if (any_down && !fleet.config().events.datacenter_down(t, d)) {
+        any_outage_window = true;
+        survivor_max_ratio[d] = std::max(survivor_max_ratio[d], ratio);
+      }
+    }
+  }
+  result.metrics["max_traffic_ratio"] = max_ratio;
+  double median_increase = 0.0;
+  double max_increase = 0.0;
+  if (any_outage_window) {
+    std::vector<double> increases;
+    for (const double ratio : survivor_max_ratio) {
+      if (ratio > 0.0) increases.push_back((ratio - 1.0) * 100.0);
+    }
+    std::sort(increases.begin(), increases.end());
+    if (!increases.empty()) {
+      median_increase = increases[increases.size() / 2];
+      max_increase = increases.back();
+    }
+  }
+  result.metrics["median_survivor_increase_pct"] = median_increase;
+  result.metrics["max_survivor_increase_pct"] = max_increase;
+
+  const std::string& pool_service =
+      fleet.config().datacenters[0].pools[0].service;
+  const sim::MicroserviceProfile& profile = catalog.by_name(pool_service);
+  result.latency_slo_ms = profile.latency_slo_ms;
+
+  // --- Step 1: Measure ------------------------------------------------------
+  if (spec.runs(PipelineStep::kMeasure)) {
+    const core::MetricValidator validator;
+    const MetricKind resources[] = {MetricKind::kCpuPercentAttributed,
+                                    MetricKind::kNetworkBytesPerSecond,
+                                    MetricKind::kMemoryPagesPerSecond,
+                                    MetricKind::kDiskQueueLength};
+    result.assessments = validator.assess_all(
+        fleet.store(), 0, 0, MetricKind::kRequestsPerSecond, resources);
+    result.metric_valid = validator.workload_metric_valid(result.assessments);
+    result.metrics["metric_valid"] = result.metric_valid ? 1.0 : 0.0;
+    const auto limiting = validator.limiting_resource(result.assessments);
+    result.metrics["limiting_r2"] = limiting ? limiting->fit.r_squared : 0.0;
+
+    std::int64_t last_day = 0;
+    for (const auto& day : fleet.server_day_cpu()) {
+      if (day.datacenter == 0 && day.pool == 0) {
+        last_day = std::max(last_day, day.day);
+      }
+    }
+    const auto snapshots = core::ServerGrouper::pool_snapshots(
+        fleet.server_day_cpu(), 0, 0, last_day);
+    result.grouping = core::ServerGrouper().group_servers(snapshots);
+    result.metrics["server_groups"] =
+        static_cast<double>(result.grouping.group_count);
+    result.metrics["multimodal"] = result.grouping.multimodal() ? 1.0 : 0.0;
+  }
+
+  // --- Step 2: Optimize -----------------------------------------------------
+  if (spec.runs(PipelineStep::kOptimize)) {
+    const auto& store = fleet.store();
+    const auto model = core::PoolResponseModel::fit(
+        store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
+                           MetricKind::kCpuPercentAttributed),
+        store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
+                           MetricKind::kLatencyP95Ms));
+    const auto rps =
+        store.pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
+    const double p95_rps = stats::percentile(rps, 95.0);
+    core::HeadroomPolicy policy;
+    policy.qos.latency.p95_ms = profile.latency_slo_ms;
+    const std::size_t dc_count = fleet.config().datacenters.size();
+    policy.dr_headroom_fraction =
+        dc_count > 1 ? 1.0 / static_cast<double>(dc_count) : 0.125;
+    const std::size_t current = fleet.serving_count(0, 0);
+    result.plan = core::HeadroomOptimizer(policy).plan(model, p95_rps, current);
+    result.metrics["plan_current"] =
+        static_cast<double>(result.plan.current_servers);
+    result.metrics["plan_recommended"] =
+        static_cast<double>(result.plan.recommended_servers);
+    result.metrics["plan_savings_pct"] =
+        result.plan.efficiency_savings() * 100.0;
+    result.metrics["plan_stressed_latency_ms"] =
+        result.plan.predicted_latency_stressed_ms;
+
+    core::SimPoolBackend backend(&fleet, 0, 0);
+    core::RsmOptions rsm;
+    rsm.latency_slo_ms = profile.latency_slo_ms;
+    rsm.baseline_duration = kDay;
+    rsm.iteration_duration = kDay;
+    rsm.max_iterations = 4;
+    result.rsm = core::RsmPlanner(rsm).optimize(backend);
+    result.metrics["rsm_start"] =
+        static_cast<double>(result.rsm.starting_serving);
+    result.metrics["rsm_recommended"] =
+        static_cast<double>(result.rsm.recommended_serving);
+    result.metrics["rsm_reduction_pct"] =
+        result.rsm.reduction_fraction() * 100.0;
+    result.metrics["rsm_iterations"] =
+        static_cast<double>(result.rsm.iterations.size());
+    result.metrics["rsm_slo_limited"] = result.rsm.slo_limit_reached ? 1.0 : 0.0;
+  }
+
+  // --- Step 3: Model --------------------------------------------------------
+  std::optional<workload::SyntheticWorkload> fitted;
+  if (spec.runs(PipelineStep::kModel) || spec.runs(PipelineStep::kValidate)) {
+    workload::RequestType fetch;
+    fetch.weight = 0.75;
+    fetch.cost_mean = 1.0;
+    fetch.cost_sigma = 0.25;
+    workload::RequestType render;
+    render.weight = 0.25;
+    render.cost_mean = 3.2;
+    render.cost_sigma = 0.4;
+    render.dependency_latency_ms = 12.0;
+    const workload::SyntheticWorkload production{
+        workload::RequestMix({fetch, render})};
+    const auto observed = production.generate(500.0, 120.0, spec.seed + 6);
+    fitted = workload::SyntheticWorkload::fit(observed, 2);
+    if (spec.runs(PipelineStep::kModel)) {
+      const auto replay = fitted->generate(500.0, 120.0, spec.seed + 8);
+      result.model_cmp =
+          workload::SyntheticWorkload::compare(replay, observed, 2);
+      result.metrics["model_equivalent"] = result.model_cmp.equivalent ? 1.0 : 0.0;
+      result.metrics["model_type_distance"] = result.model_cmp.type_distance;
+    }
+  }
+
+  // --- Step 4: Validate -----------------------------------------------------
+  if (spec.runs(PipelineStep::kValidate) && fitted) {
+    sim::RequestSimConfig pool;
+    pool.servers = 4;
+    pool.cores = 8.0;
+    pool.base_service_ms = 4.0;
+    pool.window_seconds = 10;
+    sim::RequestSimConfig candidate = pool;
+    candidate.defect.service_factor = 1.18;
+
+    core::GateOptions gate_opt;
+    gate_opt.nominal_rps_per_server = 500.0;
+    gate_opt.step_duration_s = 20.0;
+    result.gate =
+        core::RegressionGate(gate_opt).evaluate(pool, candidate, *fitted);
+    result.metrics["gate_blocked"] = result.gate.pass ? 0.0 : 1.0;
+    result.metrics["gate_max_clean_rps"] = result.gate.max_clean_rps;
+  }
+
+  // --- Assertions -----------------------------------------------------------
+  for (const ScenarioAssertion& assertion : spec.assertions) {
+    AssertionOutcome outcome;
+    outcome.assertion = assertion;
+    const auto it = result.metrics.find(assertion.metric);
+    if (it == result.metrics.end()) {
+      outcome.observed = std::numeric_limits<double>::quiet_NaN();
+      outcome.pass = false;
+    } else {
+      outcome.observed = it->second;
+      outcome.pass = assertion.holds(it->second);
+    }
+    result.assertions_pass = result.assertions_pass && outcome.pass;
+    result.assertions.push_back(outcome);
+  }
+  return result;
+}
+
+std::string format_summary(const ScenarioRunResult& result) {
+  const ScenarioSpec& spec = result.spec;
+  std::string out;
+  out += "scenario = " + spec.name + "\n";
+  out += "seed = " + std::to_string(spec.seed) + "\n";
+  out += "days = " + std::to_string(spec.days) + "\n";
+  out += "window_seconds = " + std::to_string(spec.window_seconds) + "\n";
+  std::string steps;
+  if (spec.runs(PipelineStep::kMeasure)) steps += "measure,";
+  if (spec.runs(PipelineStep::kOptimize)) steps += "optimize,";
+  if (spec.runs(PipelineStep::kModel)) steps += "model,";
+  if (spec.runs(PipelineStep::kValidate)) steps += "validate,";
+  if (!steps.empty()) steps.pop_back();
+  out += "steps = " + steps + "\n";
+  switch (spec.fleet) {
+    case FleetKind::kSinglePool: out += "fleet = single_pool\n"; break;
+    case FleetKind::kMultiDc: out += "fleet = multi_dc\n"; break;
+    case FleetKind::kStandard: out += "fleet = standard\n"; break;
+  }
+  if (spec.fleet != FleetKind::kStandard) {
+    out += "service = " + spec.service + "\n";
+  }
+  out += "events = " + std::to_string(spec.events.size()) + "\n";
+  for (const auto& [name, value] : result.metrics) {
+    out += "metric " + name + " = " + format_value(value) + "\n";
+  }
+  for (const AssertionOutcome& outcome : result.assertions) {
+    out += "assert " + outcome.assertion.metric + " " +
+           std::string(to_string(outcome.assertion.op)) + " " +
+           format_value(outcome.assertion.value) + " : " +
+           (outcome.pass ? "PASS" : "FAIL") + " (" +
+           format_value(outcome.observed) + ")\n";
+  }
+  out += std::string("result = ") +
+         (result.assertions_pass ? "PASS" : "FAIL") + "\n";
+  return out;
+}
+
+}  // namespace headroom::scenario

@@ -1,0 +1,83 @@
+// Scenario execution: spec -> fleet -> events -> pipeline -> summary.
+//
+// The runner builds the FleetConfig a spec describes (topology preset plus
+// per-DC / per-pool overrides), installs the event timeline (traffic
+// multipliers and outages into the workload::EventSchedule, maintenance
+// waves as PoolIncidents, serving reductions applied mid-run), steps the
+// simulator through the observation phase, then executes the selected
+// methodology steps against pool (0, 0) exactly as the CLI pipeline does.
+// The outcome is both structured (per-step results for narrative display)
+// and flat (a metric map the spec's assertions are checked against).
+//
+// Determinism: for a fixed spec (ignoring `threads`), every thread count
+// yields a bit-identical metric map and summary — the simulator's
+// parallel-stepping guarantee carries through, which is what lets golden
+// tests pin format_summary() byte-for-byte.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/headroom_optimizer.h"
+#include "core/metric_validator.h"
+#include "core/regression_gate.h"
+#include "core/rsm_planner.h"
+#include "core/server_grouper.h"
+#include "scenario/scenario_spec.h"
+#include "sim/microservice.h"
+#include "sim/topology.h"
+#include "workload/synthetic.h"
+
+namespace headroom::scenario {
+
+struct AssertionOutcome {
+  ScenarioAssertion assertion;
+  double observed = 0.0;
+  bool pass = false;
+};
+
+struct ScenarioRunResult {
+  ScenarioSpec spec;
+
+  // Structured per-step results (filled only for steps the spec ran).
+  std::vector<core::MetricAssessment> assessments;
+  bool metric_valid = false;
+  core::PoolGrouping grouping;
+  core::HeadroomPlan plan;
+  core::RsmResult rsm;
+  workload::StreamComparison model_cmp;
+  core::GateResult gate;
+  double latency_slo_ms = 0.0;  ///< Of the target pool's service.
+
+  /// Flat summary metrics — the assertion vocabulary (known_metrics()).
+  std::map<std::string, double> metrics;
+  std::vector<AssertionOutcome> assertions;
+  bool assertions_pass = true;
+
+  /// Resolved stepping lanes. Deliberately NOT part of the summary.
+  std::size_t thread_count = 1;
+};
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner() = default;
+
+  /// Executes the scenario. Throws std::invalid_argument for problems
+  /// visible only at build/run time (spec fails validate(), a service name
+  /// missing from the catalog, a serving reduction exceeding a pool size).
+  [[nodiscard]] ScenarioRunResult run(const ScenarioSpec& spec) const;
+
+  /// Builds the FleetConfig for a spec: topology preset, overrides, and
+  /// schedule-level events (traffic, outage, maintenance waves). Serving
+  /// reductions are runtime actions and are not represented in the config.
+  [[nodiscard]] static sim::FleetConfig build_fleet(
+      const ScenarioSpec& spec, const sim::MicroserviceCatalog& catalog);
+};
+
+/// Machine-readable run summary: header, `metric` lines in sorted key
+/// order, `assert` verdicts in spec order, and a final `result` line.
+/// Byte-identical for any thread count.
+[[nodiscard]] std::string format_summary(const ScenarioRunResult& result);
+
+}  // namespace headroom::scenario

@@ -1,0 +1,146 @@
+// CLI argument parsing rules, including the per-flag value-consumption
+// regression: flags without a value (--help, --quiet) must never swallow
+// the following argument.
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace headroom::cli {
+namespace {
+
+using Args = std::vector<std::string>;
+
+TEST(CliArgs, NoArgumentsIsDefaultPipeline) {
+  const ParseOutcome outcome = parse_args({});
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.options.command, Command::kPipeline);
+  EXPECT_EQ(outcome.options.fleet, 64u);
+  EXPECT_EQ(outcome.options.days, 3);
+  EXPECT_EQ(outcome.options.pools, 1u);
+  EXPECT_EQ(outcome.options.seed, 5u);
+  EXPECT_EQ(outcome.options.service, "D");
+  EXPECT_FALSE(outcome.options.threads_set);
+}
+
+TEST(CliArgs, ParsesAllPipelineFlags) {
+  const ParseOutcome outcome = parse_args(
+      Args{"--fleet", "200", "--days", "7", "--pools", "5", "--seed", "42",
+           "--service", "B", "--threads", "8"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.fleet, 200u);
+  EXPECT_EQ(outcome.options.days, 7);
+  EXPECT_EQ(outcome.options.pools, 5u);
+  EXPECT_EQ(outcome.options.seed, 42u);
+  EXPECT_EQ(outcome.options.service, "B");
+  EXPECT_EQ(outcome.options.threads, 8u);
+  EXPECT_TRUE(outcome.options.threads_set);
+}
+
+TEST(CliArgs, HelpShortCircuits) {
+  const ParseOutcome outcome = parse_args(Args{"--help"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.show_help);
+  EXPECT_TRUE(parse_args(Args{"-h"}).show_help);
+  EXPECT_TRUE(parse_args(Args{"run", "--help"}).show_help);
+}
+
+// The historical bug: the parse loop consumed a "value" after every flag,
+// so a value-less flag silently ate its right-hand neighbour. --quiet
+// directly before --scenario is the sharpest probe.
+TEST(CliArgs, ValuelessFlagDoesNotConsumeNextArgument) {
+  const ParseOutcome outcome =
+      parse_args(Args{"run", "--quiet", "--scenario", "x.scn"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.options.quiet);
+  EXPECT_EQ(outcome.options.scenario_path, "x.scn");
+}
+
+TEST(CliArgs, ValueFlagConsumesExactlyOneArgument) {
+  const ParseOutcome outcome =
+      parse_args(Args{"run", "--scenario", "a.scn", "--quiet"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.scenario_path, "a.scn");
+  EXPECT_TRUE(outcome.options.quiet);
+}
+
+TEST(CliArgs, MissingValueIsAnError) {
+  const ParseOutcome outcome = parse_args(Args{"--fleet"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error, "--fleet needs a value");
+  EXPECT_EQ(parse_args(Args{"run", "--scenario"}).error,
+            "--scenario needs a value");
+}
+
+TEST(CliArgs, RejectsBadNumbers) {
+  EXPECT_EQ(parse_args(Args{"--fleet", "abc"}).error,
+            "bad value for --fleet: 'abc' (expected 1..1000000)");
+  EXPECT_EQ(parse_args(Args{"--seed", "-1"}).error,
+            "bad value for --seed: '-1' (expected 0.." +
+                std::to_string(UINT64_MAX) + ")");
+  EXPECT_EQ(parse_args(Args{"--days", "0"}).error,
+            "bad value for --days: '0' (expected 1..3650)");
+  EXPECT_EQ(parse_args(Args{"--pools", "10"}).error,
+            "bad value for --pools: '10' (expected 1..9)");
+}
+
+TEST(CliArgs, RejectsUnknownFlagsPerCommand) {
+  EXPECT_EQ(parse_args(Args{"--bogus"}).error, "unknown argument '--bogus'");
+  EXPECT_EQ(parse_args(Args{"run", "--fleet", "3"}).error,
+            "unknown argument '--fleet' for run");
+  EXPECT_EQ(parse_args(Args{"list-scenarios", "--scenario", "x"}).error,
+            "unknown argument '--scenario' for list-scenarios");
+}
+
+TEST(CliArgs, RejectsUnknownCommand) {
+  const ParseOutcome outcome = parse_args(Args{"frobnicate"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error,
+            "unknown command 'frobnicate' (expected run, list-scenarios, or "
+            "flags)");
+}
+
+TEST(CliArgs, RunRequiresScenario) {
+  const ParseOutcome outcome = parse_args(Args{"run"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error, "run needs --scenario FILE");
+}
+
+TEST(CliArgs, RunParsesScenarioAndThreadOverride) {
+  const ParseOutcome outcome =
+      parse_args(Args{"run", "--scenario", "f.scn", "--threads", "2"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.command, Command::kRunScenario);
+  EXPECT_EQ(outcome.options.scenario_path, "f.scn");
+  EXPECT_EQ(outcome.options.threads, 2u);
+  EXPECT_TRUE(outcome.options.threads_set);
+}
+
+TEST(CliArgs, ListScenariosParsesDir) {
+  const ParseOutcome defaults = parse_args(Args{"list-scenarios"});
+  ASSERT_TRUE(defaults.ok);
+  EXPECT_EQ(defaults.options.command, Command::kListScenarios);
+  EXPECT_EQ(defaults.options.scenario_dir, "examples/scenarios");
+  const ParseOutcome custom =
+      parse_args(Args{"list-scenarios", "--dir", "/tmp/scn"});
+  ASSERT_TRUE(custom.ok);
+  EXPECT_EQ(custom.options.scenario_dir, "/tmp/scn");
+}
+
+TEST(CliArgs, EmptyServiceIsAnError) {
+  const ParseOutcome outcome = parse_args(Args{"--service", ""});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error, "--service needs a value");
+}
+
+TEST(CliArgs, UsageMentionsEveryCommand) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("run --scenario"), std::string::npos);
+  EXPECT_NE(text.find("list-scenarios"), std::string::npos);
+  EXPECT_NE(text.find("--threads"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace headroom::cli

@@ -1,0 +1,129 @@
+// Golden end-to-end tests over the shipped scenario library.
+//
+// Every examples/scenarios/*.scn runs through the full ScenarioRunner at
+// its committed seed and the machine-readable summary is pinned
+// byte-for-byte against tests/scenario/golden/<name>.golden. The summary
+// must also be bit-identical when the fleet steps on multiple threads —
+// the determinism guarantee the scenario subsystem inherits from the
+// parallel simulator.
+//
+// Regenerate the pins after an intentional behaviour change by running
+// build/tests/scenario/headroom_scenario_golden_tests with
+// HEADROOM_UPDATE_GOLDENS=1 in the environment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_parser.h"
+#include "scenario/scenario_runner.h"
+
+#ifndef HEADROOM_SCENARIO_DIR
+#error "HEADROOM_SCENARIO_DIR must point at examples/scenarios"
+#endif
+#ifndef HEADROOM_GOLDEN_DIR
+#error "HEADROOM_GOLDEN_DIR must point at tests/scenario/golden"
+#endif
+
+namespace headroom::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> scenario_stems() {
+  std::vector<std::string> stems;
+  for (const auto& entry : fs::directory_iterator(HEADROOM_SCENARIO_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      stems.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class ScenarioGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioGolden, SummaryMatchesPinAndIsThreadInvariant) {
+  const fs::path scenario_path =
+      fs::path(HEADROOM_SCENARIO_DIR) / (GetParam() + ".scn");
+  ParseResult parsed = load_scenario_file(scenario_path.string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.spec.seed, 5u)
+      << "shipped scenarios pin their summaries at seed 5";
+
+  const ScenarioRunner runner;
+  const ScenarioRunResult result = runner.run(parsed.spec);
+  const std::string summary = format_summary(result);
+
+  EXPECT_TRUE(result.assertions_pass)
+      << "shipped scenario's own assertions failed:\n" << summary;
+
+  // Thread invariance: any stepping-thread count must reproduce the
+  // summary byte-for-byte (threads is the one knob excluded from it).
+  ScenarioSpec threaded = parsed.spec;
+  threaded.threads = 4;
+  const std::string threaded_summary =
+      format_summary(runner.run(threaded));
+  EXPECT_EQ(summary, threaded_summary)
+      << "summary depends on the thread count";
+
+  const fs::path golden_path =
+      fs::path(HEADROOM_GOLDEN_DIR) / (GetParam() + ".golden");
+  if (std::getenv("HEADROOM_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << summary;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden_path;
+    GTEST_SKIP() << "updated " << golden_path;
+  }
+  ASSERT_TRUE(fs::exists(golden_path))
+      << "no golden pin for " << GetParam()
+      << "; run with HEADROOM_UPDATE_GOLDENS=1 to create it";
+  EXPECT_EQ(summary, read_file(golden_path))
+      << "summary drifted from " << golden_path
+      << "; if intentional, regenerate with HEADROOM_UPDATE_GOLDENS=1";
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, ScenarioGolden,
+                         ::testing::ValuesIn(scenario_stems()));
+
+TEST(ScenarioLibrary, ShipsTheAcceptanceScenarios) {
+  const std::vector<std::string> stems = scenario_stems();
+  ASSERT_GE(stems.size(), 6u);
+  const auto has = [&](const char* name) {
+    return std::find(stems.begin(), stems.end(), name) != stems.end();
+  };
+  EXPECT_TRUE(has("fig6_flash_crowd"));
+  EXPECT_TRUE(has("fig45_dc_outage"));
+  EXPECT_TRUE(has("flash_crowd_global"));
+  EXPECT_TRUE(has("maintenance_peak"));
+  EXPECT_TRUE(has("hot_cool_fleet"));
+  EXPECT_TRUE(has("reduction_mid_run"));
+}
+
+TEST(ScenarioLibrary, EveryShippedFileRoundTripsThroughTheSerializer) {
+  for (const std::string& stem : scenario_stems()) {
+    const fs::path path =
+        fs::path(HEADROOM_SCENARIO_DIR) / (stem + ".scn");
+    const ParseResult first = load_scenario_file(path.string());
+    ASSERT_TRUE(first.ok()) << first.error;
+    const ParseResult second =
+        parse_scenario(serialize_scenario(first.spec), stem);
+    ASSERT_TRUE(second.ok()) << second.error;
+    EXPECT_EQ(first.spec, second.spec) << stem;
+  }
+}
+
+}  // namespace
+}  // namespace headroom::scenario

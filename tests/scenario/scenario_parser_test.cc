@@ -1,0 +1,412 @@
+#include "scenario/scenario_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.h"
+
+namespace headroom::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Happy path
+
+constexpr const char* kMinimal =
+    "[scenario]\n"
+    "name = tiny\n";
+
+TEST(ScenarioParser, MinimalFileUsesDefaults) {
+  const ParseResult result = parse_scenario(kMinimal, "test.scn");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.spec.name, "tiny");
+  EXPECT_EQ(result.spec.seed, 5u);
+  EXPECT_EQ(result.spec.days, 2);
+  EXPECT_EQ(result.spec.steps, kAllSteps);
+  EXPECT_EQ(result.spec.fleet, FleetKind::kSinglePool);
+  EXPECT_EQ(result.spec.service, "D");
+  EXPECT_EQ(result.spec.servers, 64u);
+}
+
+TEST(ScenarioParser, ParsesCommentsAndBlankLines) {
+  const ParseResult result = parse_scenario(
+      "# leading comment\n"
+      "\n"
+      "[scenario]\n"
+      "  # indented comment\n"
+      "name = commented\n"
+      "\n",
+      "test.scn");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.spec.name, "commented");
+}
+
+TEST(ScenarioParser, ParsesFullSpec) {
+  const ParseResult result = parse_scenario(
+      "[scenario]\n"
+      "name = full\n"
+      "description = all the %CPU = knobs\n"
+      "seed = 42\n"
+      "days = 3\n"
+      "threads = 2\n"
+      "window_seconds = 60\n"
+      "steps = measure, optimize\n"
+      "\n"
+      "[fleet]\n"
+      "kind = multi_dc\n"
+      "datacenters = 4\n"
+      "service = B\n"
+      "servers = 16\n"
+      "\n"
+      "[datacenter 1]\n"
+      "demand_weight = 1.5\n"
+      "timezone_offset_hours = -3\n"
+      "\n"
+      "[pool 0 0]\n"
+      "servers = 20\n"
+      "demand_multiplier = 1.8\n"
+      "\n"
+      "[event]\n"
+      "kind = traffic_multiplier\n"
+      "datacenter = 2\n"
+      "start_hour = 30\n"
+      "duration_hours = 2\n"
+      "multiplier = 4\n"
+      "\n"
+      "[event]\n"
+      "kind = serving_reduction\n"
+      "datacenter = 0\n"
+      "pool = 0\n"
+      "start_hour = 40\n"
+      "serving = 12\n"
+      "\n"
+      "[assert]\n"
+      "expect = rsm_reduction_pct >= 20\n",
+      "test.scn");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const ScenarioSpec& spec = result.spec;
+  EXPECT_EQ(spec.description, "all the %CPU = knobs");
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_EQ(spec.window_seconds, 60);
+  EXPECT_EQ(spec.steps, step_bit(PipelineStep::kMeasure) |
+                            step_bit(PipelineStep::kOptimize));
+  EXPECT_EQ(spec.fleet, FleetKind::kMultiDc);
+  EXPECT_EQ(spec.datacenters, 4u);
+  ASSERT_EQ(spec.datacenter_overrides.size(), 1u);
+  EXPECT_EQ(spec.datacenter_overrides[0].datacenter, 1u);
+  EXPECT_EQ(spec.datacenter_overrides[0].demand_weight, 1.5);
+  ASSERT_EQ(spec.pool_overrides.size(), 1u);
+  EXPECT_EQ(spec.pool_overrides[0].servers, 20u);
+  ASSERT_EQ(spec.events.size(), 2u);
+  EXPECT_EQ(spec.events[0].kind, ScenarioEventKind::kTrafficMultiplier);
+  EXPECT_EQ(spec.events[0].multiplier, 4.0);
+  EXPECT_EQ(spec.events[1].kind, ScenarioEventKind::kServingReduction);
+  EXPECT_EQ(spec.events[1].serving, 12u);
+  ASSERT_EQ(spec.assertions.size(), 1u);
+  EXPECT_EQ(spec.assertions[0].metric, "rsm_reduction_pct");
+  EXPECT_EQ(spec.assertions[0].op, AssertOp::kGe);
+  EXPECT_EQ(spec.assertions[0].value, 20.0);
+}
+
+TEST(ScenarioParser, EventDatacenterAllMeansEveryDatacenter) {
+  const ParseResult result = parse_scenario(
+      "[scenario]\n"
+      "name = global\n"
+      "[fleet]\n"
+      "kind = multi_dc\n"
+      "datacenters = 3\n"
+      "[event]\n"
+      "kind = traffic_multiplier\n"
+      "datacenter = all\n"
+      "start_hour = 1\n"
+      "duration_hours = 1\n"
+      "multiplier = 2\n",
+      "test.scn");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.spec.events[0].datacenter.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+ScenarioSpec rich_spec() {
+  ScenarioSpec spec;
+  spec.name = "round_trip";
+  spec.description = "all features, odd values: 0.1 + 0.2 != 0.3";
+  spec.seed = 123456789012345ull;
+  spec.days = 4;
+  spec.threads = 3;
+  spec.window_seconds = 90;
+  spec.steps = step_bit(PipelineStep::kMeasure) |
+               step_bit(PipelineStep::kOptimize) |
+               step_bit(PipelineStep::kValidate);
+  spec.fleet = FleetKind::kMultiDc;
+  spec.service = "C";
+  spec.servers = 17;
+  spec.datacenters = 5;
+  spec.datacenter_overrides.push_back(
+      {.datacenter = 2, .demand_weight = 0.1 + 0.2,
+       .timezone_offset_hours = -7.25});
+  spec.pool_overrides.push_back({.datacenter = 1,
+                                 .pool = 0,
+                                 .servers = 23,
+                                 .demand_multiplier = 1.7,
+                                 .burst_multiplier = 3.3,
+                                 .burst_start_hour = 14.5,
+                                 .burst_hours = 2.2});
+  ScenarioEvent traffic;
+  traffic.kind = ScenarioEventKind::kTrafficMultiplier;
+  traffic.datacenter = 3;
+  traffic.start_hour = 30.5;
+  traffic.duration_hours = 1.75;
+  traffic.multiplier = 4.0;
+  spec.events.push_back(traffic);
+  ScenarioEvent outage;
+  outage.kind = ScenarioEventKind::kDatacenterOutage;
+  outage.datacenter = 0;
+  outage.start_hour = 50.0;
+  outage.duration_hours = 2.0;
+  spec.events.push_back(outage);
+  ScenarioEvent wave;
+  wave.kind = ScenarioEventKind::kMaintenanceWave;
+  wave.start_hour = 10.0;
+  wave.duration_hours = 3.0;
+  wave.offline_fraction = 0.25;
+  spec.events.push_back(wave);
+  ScenarioEvent reduction;
+  reduction.kind = ScenarioEventKind::kServingReduction;
+  reduction.datacenter = 0;
+  reduction.pool = 0;
+  reduction.start_hour = 72.0;
+  reduction.serving = 9;
+  spec.events.push_back(reduction);
+  spec.assertions.push_back({"rsm_reduction_pct", AssertOp::kGe, 20.0});
+  spec.assertions.push_back({"metric_valid", AssertOp::kEq, 1.0});
+  spec.assertions.push_back({"plan_stressed_latency_ms", AssertOp::kLt, 61.5});
+  return spec;
+}
+
+TEST(ScenarioParser, SerializeParseRoundTripIsExact) {
+  const ScenarioSpec spec = rich_spec();
+  ASSERT_EQ(validate(spec), "");
+  const std::string text = serialize_scenario(spec);
+  const ParseResult result = parse_scenario(text, "round.scn");
+  ASSERT_TRUE(result.ok()) << result.error << "\n" << text;
+  EXPECT_EQ(result.spec, spec);
+}
+
+TEST(ScenarioParser, RoundTripIsIdempotent) {
+  const std::string once = serialize_scenario(rich_spec());
+  const ParseResult reparsed = parse_scenario(once, "round.scn");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_EQ(serialize_scenario(reparsed.spec), once);
+}
+
+TEST(ScenarioParser, StandardFleetRoundTrips) {
+  ScenarioSpec spec;
+  spec.name = "std";
+  spec.fleet = FleetKind::kStandard;
+  spec.services = {"C", "D", "F"};
+  spec.regional_peak_rps = 1234.5;
+  spec.heterogeneous = true;
+  spec.steps = step_bit(PipelineStep::kMeasure);
+  ASSERT_EQ(validate(spec), "");
+  const ParseResult result =
+      parse_scenario(serialize_scenario(spec), "std.scn");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.spec, spec);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed inputs: precise diagnostics, no crashes (runs under asan).
+
+struct MalformedCase {
+  const char* label;
+  const char* input;
+  const char* expected_error;
+};
+
+const MalformedCase kMalformed[] = {
+    {"empty file", "", "test.scn: missing [scenario] section"},
+    {"truncated after comment", "# a comment, then nothing\n",
+     "test.scn: missing [scenario] section"},
+    {"missing name", "[scenario]\nseed = 1\n",
+     "test.scn: missing required key 'name' in [scenario]"},
+    {"key before section", "name = x\n",
+     "test.scn:1: key 'name' before any section"},
+    {"unterminated header", "[scenario\nname = x\n",
+     "test.scn:1: unterminated section header '[scenario'"},
+    {"unknown section", "[scenarios]\nname = x\n",
+     "test.scn:1: unknown section '[scenarios]'"},
+    {"missing equals", "[scenario]\nname x\n",
+     "test.scn:2: expected 'key = value', got 'name x'"},
+    {"unknown key", "[scenario]\nname = x\nfoo = 1\n",
+     "test.scn:3: unknown key 'foo' in [scenario]"},
+    {"duplicate key", "[scenario]\nname = x\nname = y\n",
+     "test.scn:3: duplicate key 'name' in [scenario]"},
+    {"negative seed", "[scenario]\nname = x\nseed = -1\n",
+     "test.scn:3: bad value '-1' for 'seed' (expected unsigned integer)"},
+    {"days out of range", "[scenario]\nname = x\ndays = 0\n",
+     "test.scn:3: bad value '0' for 'days' (expected integer 1..3650)"},
+    {"unknown step", "[scenario]\nname = x\nsteps = measure,deploy\n",
+     "test.scn:3: unknown step 'deploy' (expected measure, optimize, model, "
+     "validate)"},
+    {"empty steps", "[scenario]\nname = x\nsteps = ,\n",
+     "test.scn:3: steps must be a non-empty comma list of measure, optimize, "
+     "model, validate"},
+    {"duplicate scenario section", "[scenario]\nname = x\n[scenario]\n",
+     "test.scn:3: duplicate [scenario] section"},
+    {"unknown fleet kind", "[scenario]\nname = x\n[fleet]\nkind = galaxy\n",
+     "test.scn:4: unknown fleet kind 'galaxy' (expected single_pool, "
+     "multi_dc, standard)"},
+    {"datacenters out of range",
+     "[scenario]\nname = x\n[fleet]\nkind = multi_dc\ndatacenters = 12\n",
+     "test.scn:5: bad value '12' for 'datacenters' (expected integer 1..9)"},
+    {"multi_dc with one datacenter",
+     "[scenario]\nname = x\n[fleet]\nkind = multi_dc\n",
+     "test.scn: multi_dc fleets need 2..9 datacenters"},
+    {"datacenter section without index", "[scenario]\nname = x\n[datacenter]\n",
+     "test.scn:3: [datacenter] needs a datacenter index 0..8"},
+    {"pool section with one index", "[scenario]\nname = x\n[pool 0]\n",
+     "test.scn:3: [pool] needs 'DC POOL' indices (DC 0..8, POOL 0..63)"},
+    {"datacenter override out of range",
+     "[scenario]\nname = x\n[datacenter 3]\ndemand_weight = 2\n",
+     "test.scn: [datacenter 3] is out of range (fleet has 1 datacenter(s))"},
+    {"event without kind", "[scenario]\nname = x\n[event]\n",
+     "test.scn:3: [event] missing required key 'kind'"},
+    {"event kind not first",
+     "[scenario]\nname = x\n[event]\ndatacenter = 1\n",
+     "test.scn:4: 'kind' must be the first key in [event]"},
+    {"unknown event kind", "[scenario]\nname = x\n[event]\nkind = meteor\n",
+     "test.scn:4: unknown event kind 'meteor' (expected traffic_multiplier, "
+     "outage, maintenance_wave, serving_reduction)"},
+    {"key invalid for event kind",
+     "[scenario]\nname = x\n[event]\nkind = outage\nmultiplier = 2\n",
+     "test.scn:5: key 'multiplier' is not valid for event kind 'outage'"},
+    {"zero-length event",
+     "[scenario]\nname = x\n[event]\nkind = outage\nstart_hour = 5\n"
+     "duration_hours = 0\n",
+     "test.scn: event 1: duration_hours must be positive"},
+    {"truncated event misses duration",
+     "[scenario]\nname = x\n[event]\nkind = traffic_multiplier\n"
+     "start_hour = 5\nmultiplier = 2\n",
+     "test.scn: event 1: duration_hours must be positive"},
+    {"overlapping outages on one datacenter",
+     "[scenario]\nname = x\n[fleet]\nkind = multi_dc\ndatacenters = 3\n"
+     "[event]\nkind = outage\ndatacenter = 1\nstart_hour = 10\n"
+     "duration_hours = 4\n"
+     "[event]\nkind = outage\ndatacenter = 1\nstart_hour = 12\n"
+     "duration_hours = 4\n",
+     "test.scn: event 2: overlaps outage event 1 on the same datacenter"},
+    {"serving reduction without pool",
+     "[scenario]\nname = x\n[event]\nkind = serving_reduction\n"
+     "datacenter = 0\nstart_hour = 5\nserving = 4\n",
+     "test.scn: event 1: serving_reduction needs explicit datacenter and "
+     "pool"},
+    {"duplicate serving reduction instant",
+     "[scenario]\nname = x\n"
+     "[event]\nkind = serving_reduction\ndatacenter = 0\npool = 0\n"
+     "start_hour = 5\nserving = 4\n"
+     "[event]\nkind = serving_reduction\ndatacenter = 0\npool = 0\n"
+     "start_hour = 5\nserving = 3\n",
+     "test.scn: event 2: duplicate serving_reduction at hour 5 for the same "
+     "pool"},
+    {"assert without expect", "[scenario]\nname = x\n[assert]\n",
+     "test.scn:3: [assert] missing required key 'expect'"},
+    {"assert with wrong key", "[scenario]\nname = x\n[assert]\nwant = y\n",
+     "test.scn:4: unknown key 'want' in [assert] (expected 'expect')"},
+    {"assert arity", "[scenario]\nname = x\n[assert]\nexpect = rsm >=\n",
+     "test.scn:4: bad assertion 'rsm >=' (expected 'metric OP value')"},
+    {"assert bad operator",
+     "[scenario]\nname = x\n[assert]\nexpect = metric_valid => 1\n",
+     "test.scn:4: unknown operator '=>' in assertion (expected >=, <=, >, <, "
+     "==, !=)"},
+    {"assert non-numeric value",
+     "[scenario]\nname = x\n[assert]\nexpect = metric_valid == yes\n",
+     "test.scn:4: bad assertion value 'yes' (expected a number)"},
+    {"assert unknown metric",
+     "[scenario]\nname = x\n[assert]\nexpect = bogus_metric >= 1\n",
+     "test.scn: unknown assertion metric 'bogus_metric'"},
+    {"assert requires skipped step",
+     "[scenario]\nname = x\nsteps = measure\n[assert]\n"
+     "expect = rsm_reduction_pct >= 20\n",
+     "test.scn: assertion on 'rsm_reduction_pct' requires the optimize step"},
+    {"bad heterogeneous bool",
+     "[scenario]\nname = x\n[fleet]\nkind = standard\nheterogeneous = maybe\n",
+     "test.scn:5: bad value 'maybe' for 'heterogeneous' (expected true or "
+     "false)"},
+};
+
+class ScenarioParserMalformed
+    : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(ScenarioParserMalformed, ReportsPreciseError) {
+  const MalformedCase& c = GetParam();
+  const ParseResult result = parse_scenario(c.input, "test.scn");
+  EXPECT_FALSE(result.ok()) << "input unexpectedly parsed: " << c.input;
+  EXPECT_EQ(result.error, c.expected_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, ScenarioParserMalformed, ::testing::ValuesIn(kMalformed),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      std::string name = info.param.label;
+      for (char& ch : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(ch)))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(ScenarioParser, MissingFileReportsOpenError) {
+  const ParseResult result =
+      load_scenario_file("/nonexistent/definitely_missing.scn");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error,
+            "/nonexistent/definitely_missing.scn: cannot open scenario file");
+}
+
+// ---------------------------------------------------------------------------
+// Spec helpers
+
+TEST(ScenarioSpec, AssertionHoldsPerOperator) {
+  EXPECT_TRUE((ScenarioAssertion{"m", AssertOp::kGe, 2.0}).holds(2.0));
+  EXPECT_FALSE((ScenarioAssertion{"m", AssertOp::kGt, 2.0}).holds(2.0));
+  EXPECT_TRUE((ScenarioAssertion{"m", AssertOp::kLe, 2.0}).holds(2.0));
+  EXPECT_FALSE((ScenarioAssertion{"m", AssertOp::kLt, 2.0}).holds(2.0));
+  EXPECT_TRUE((ScenarioAssertion{"m", AssertOp::kEq, 2.0}).holds(2.0));
+  EXPECT_TRUE((ScenarioAssertion{"m", AssertOp::kNe, 2.0}).holds(3.0));
+}
+
+TEST(ScenarioSpec, ValidateRejectsPoolOnDemandLevelEvents) {
+  // The parser refuses a `pool` key on traffic/outage events; validate()
+  // must hold programmatic specs to the same rule so every accepted spec
+  // survives a serialize/parse round trip.
+  ScenarioSpec spec;
+  spec.name = "x";
+  ScenarioEvent e;
+  e.kind = ScenarioEventKind::kDatacenterOutage;
+  e.pool = 0;
+  e.start_hour = 1.0;
+  e.duration_hours = 1.0;
+  spec.events.push_back(e);
+  EXPECT_EQ(validate(spec),
+            "event 1: 'pool' does not apply to this event kind");
+  spec.events[0].kind = ScenarioEventKind::kTrafficMultiplier;
+  EXPECT_EQ(validate(spec),
+            "event 1: 'pool' does not apply to this event kind");
+  spec.events[0].pool.reset();
+  EXPECT_EQ(validate(spec), "");
+}
+
+TEST(ScenarioSpec, KnownMetricsAreSortedAndNonEmpty) {
+  const std::vector<std::string>& names = known_metrics();
+  ASSERT_FALSE(names.empty());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace headroom::scenario

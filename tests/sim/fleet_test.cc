@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "stats/linear_model.h"
@@ -265,6 +266,82 @@ TEST(FleetSimulator, TotalsAccountants) {
   const FleetSimulator fleet(tiny_config(catalog), catalog);
   EXPECT_EQ(fleet.total_pools(), 1u);
   EXPECT_EQ(fleet.total_servers(), 20u);
+}
+
+TEST(FleetSimulator, OutageOfTheOnlyDatacenterStaysFinite) {
+  // When every DC is down the failover math has no survivor to shift
+  // traffic onto: the orphaned demand must be dropped (not divided by a
+  // zero total share), demand must read exactly 0, and the telemetry the
+  // pool emitted before/after the outage must stay finite.
+  const MicroserviceCatalog catalog;
+  FleetConfig config = tiny_config(catalog);
+  workload::CapacityEvent outage;
+  outage.kind = workload::EventKind::kDatacenterOutage;
+  outage.start = 2 * 3600;
+  outage.end = 4 * 3600;
+  outage.datacenter = 0;  // the only DC there is
+  config.events.add(outage);
+  FleetSimulator fleet(std::move(config), catalog);
+
+  EXPECT_GT(fleet.datacenter_demand(3600, 0), 0.0);
+  EXPECT_EQ(fleet.datacenter_demand(2 * 3600, 0), 0.0);
+  EXPECT_EQ(fleet.datacenter_demand(3 * 3600, 0), 0.0);
+  EXPECT_GT(fleet.datacenter_demand(4 * 3600, 0), 0.0);
+
+  fleet.run_until(6 * 3600);
+  for (const MetricKind kind :
+       {MetricKind::kRequestsPerSecond, MetricKind::kCpuPercentTotal,
+        MetricKind::kLatencyP95Ms}) {
+    for (const double v : fleet.store().pool_series(0, 0, kind).values()) {
+      EXPECT_TRUE(std::isfinite(v))
+          << "non-finite " << telemetry::to_string(kind) << " sample";
+      EXPECT_GE(v, 0.0);
+    }
+  }
+  // Servers keep running during the demand blackout (the outage empties
+  // the request stream, it does not break the fleet's bookkeeping).
+  const auto rps =
+      fleet.store().pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
+  EXPECT_EQ(rps.size(), 6u * 3600u / 120u);
+}
+
+TEST(FleetSimulator, FailoverConcentratesOnNearestSurvivor) {
+  // Two far-apart DCs plus one adjacent to the failed region: the nearby
+  // survivor must absorb the larger share (the paper's +127% neighbour),
+  // and total demand must be conserved across the failover.
+  const MicroserviceCatalog catalog;
+  FleetConfig config = tiny_config(catalog);
+  config.datacenters[0].timezone_offset_hours = -8.0;
+  DatacenterConfig near = config.datacenters[0];
+  near.name = "DC2";
+  near.timezone_offset_hours = -5.0;
+  DatacenterConfig far = config.datacenters[0];
+  far.name = "DC3";
+  far.timezone_offset_hours = 8.0;
+  config.datacenters.push_back(near);
+  config.datacenters.push_back(far);
+  workload::CapacityEvent outage;
+  outage.kind = workload::EventKind::kDatacenterOutage;
+  outage.start = 0;
+  outage.end = 3600;
+  outage.datacenter = 0;
+  config.events.add(outage);
+  const FleetSimulator fleet(std::move(config), catalog);
+
+  FleetConfig baseline_config = tiny_config(catalog);
+  baseline_config.datacenters[0].timezone_offset_hours = -8.0;
+  baseline_config.datacenters.push_back(near);
+  baseline_config.datacenters.push_back(far);
+  const FleetSimulator baseline(std::move(baseline_config), catalog);
+
+  const telemetry::SimTime t = 1800;
+  const double orphaned = baseline.datacenter_demand(t, 0);
+  const double near_gain =
+      fleet.datacenter_demand(t, 1) - baseline.datacenter_demand(t, 1);
+  const double far_gain =
+      fleet.datacenter_demand(t, 2) - baseline.datacenter_demand(t, 2);
+  EXPECT_GT(near_gain, far_gain);
+  EXPECT_NEAR(near_gain + far_gain, orphaned, 1e-9 * orphaned);
 }
 
 }  // namespace

@@ -108,6 +108,81 @@ TEST(EventSchedule, OutageDoesNotAffectMultiplier) {
   EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(50, 0), 1.0);
 }
 
+TEST(EventSchedule, ZeroLengthEventIsRejected) {
+  // A [t, t) window is empty: accepting it would silently do nothing, so
+  // add() refuses it outright (for both event kinds).
+  EventSchedule schedule;
+  CapacityEvent zero;
+  zero.kind = EventKind::kTrafficMultiplier;
+  zero.start = 3600;
+  zero.end = 3600;
+  zero.multiplier = 2.0;
+  EXPECT_THROW(schedule.add(zero), std::invalid_argument);
+  zero.kind = EventKind::kDatacenterOutage;
+  EXPECT_THROW(schedule.add(zero), std::invalid_argument);
+  EXPECT_TRUE(schedule.events().empty());
+}
+
+TEST(EventSchedule, OverlappingMultipliersOnOneDatacenterCompound) {
+  // Two targeted events plus a global one: the targeted DC sees the full
+  // product, everyone else only the global factor.
+  EventSchedule schedule;
+  CapacityEvent first;
+  first.datacenter = 2;
+  first.start = 0;
+  first.end = 200;
+  first.multiplier = 4.0;
+  CapacityEvent second;
+  second.datacenter = 2;
+  second.start = 100;
+  second.end = 300;
+  second.multiplier = 1.5;
+  CapacityEvent global;
+  global.start = 150;
+  global.end = 400;
+  global.multiplier = 2.0;
+  schedule.add(first);
+  schedule.add(second);
+  schedule.add(global);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(50, 2), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(120, 2), 6.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(175, 2), 12.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(250, 2), 3.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(175, 1), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.traffic_multiplier(350, 2), 2.0);
+}
+
+TEST(EventSchedule, BackToBackOutagesLeaveNoGap) {
+  // [0, 100) followed by [100, 200): continuously down, end exclusive.
+  EventSchedule schedule;
+  CapacityEvent a;
+  a.kind = EventKind::kDatacenterOutage;
+  a.start = 0;
+  a.end = 100;
+  a.datacenter = 1;
+  CapacityEvent b = a;
+  b.start = 100;
+  b.end = 200;
+  schedule.add(a);
+  schedule.add(b);
+  EXPECT_TRUE(schedule.datacenter_down(99, 1));
+  EXPECT_TRUE(schedule.datacenter_down(100, 1));
+  EXPECT_TRUE(schedule.datacenter_down(199, 1));
+  EXPECT_FALSE(schedule.datacenter_down(200, 1));
+}
+
+TEST(EventSchedule, GlobalOutageTakesEveryDatacenterDown) {
+  EventSchedule schedule;
+  CapacityEvent outage;
+  outage.kind = EventKind::kDatacenterOutage;
+  outage.start = 0;
+  outage.end = 100;  // datacenter unset: applies everywhere
+  schedule.add(outage);
+  for (std::uint32_t dc = 0; dc < 9; ++dc) {
+    EXPECT_TRUE(schedule.datacenter_down(50, dc));
+  }
+}
+
 TEST(CapacityEvent, AppliesToHelper) {
   CapacityEvent e;
   EXPECT_TRUE(e.applies_to(0));
