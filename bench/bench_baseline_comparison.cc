@@ -89,13 +89,13 @@ int main() {
     probe.run_until(2 * kDay);
     const auto& series =
         probe.store().pool_series(0, 0, MetricKind::kRequestsPerSecond);
-    for (const auto& s : series.samples()) {
-      double total = s.value * 64.0;
-      if (s.window_start >= kDay + 19 * 3600 &&
-          s.window_start < kDay + 21 * 3600) {
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const telemetry::SimTime t = series.time_at(i);
+      double total = series.value_at(i) * 64.0;
+      if (t >= kDay + 19 * 3600 && t < kDay + 21 * 3600) {
         total *= 1.60;  // a failover-sized surge at the peak hour
       }
-      trace.append(s.window_start, total);
+      trace.append(t, total);
     }
   }
 

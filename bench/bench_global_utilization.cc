@@ -52,6 +52,7 @@ int main() {
   if (std::find(axis.begin(), axis.end(), hw) == axis.end()) axis.push_back(hw);
 
   std::vector<std::unique_ptr<sim::FleetSimulator>> fleets;
+  std::vector<bench::JsonObject> axis_json;
   double serial_ms = 0.0;
   bench::note("parallel stepping (telemetry merged at window barriers):");
   for (const std::size_t threads : axis) {
@@ -64,6 +65,12 @@ int main() {
                 "in %8.1f ms  speedup %.2fx\n",
                 threads, fleet->thread_count(), fleet->total_servers(), ms,
                 serial_ms / ms);
+    bench::JsonObject point;
+    point.num("threads", threads)
+        .num("shards", fleet->thread_count())
+        .num("wall_ms", ms)
+        .num("speedup", serial_ms / ms);
+    axis_json.push_back(point);
     fleets.push_back(std::move(fleet));
   }
 
@@ -121,5 +128,28 @@ int main() {
                 fleet.config().datacenters[dc].timezone_offset_hours, d);
   }
   bench::row("peak-to-trough demand ratio across regions", 2.2, hi / lo);
+
+  // Machine-readable record of the scaling axis and headline numbers, so
+  // the perf trajectory can be tracked across commits alongside
+  // BENCH_metric_store.json.
+  std::size_t store_bytes = 0;
+  for (const telemetry::SeriesKey& key : fleet.store().keys()) {
+    store_bytes += fleet.store().series(key).memory_bytes();
+  }
+  bench::JsonObject json;
+  json.str("bench", "global_utilization")
+      .num("servers", fleet.total_servers())
+      .num("horizon_days", static_cast<std::size_t>(kHorizon / 86400))
+      .arr("threads_axis", axis_json)
+      .boolean("deterministic", identical)
+      .num("store_samples", fleet.store().sample_count())
+      .num("store_bytes", store_bytes)
+      .num("global_utilization_pct", report.global_utilization_pct)
+      .num("demand_peak_to_trough", hi / lo);
+  if (json.write("BENCH_global_utilization.json")) {
+    bench::note("wrote BENCH_global_utilization.json");
+  } else {
+    bench::note("WARNING: could not write BENCH_global_utilization.json");
+  }
   return identical ? 0 : 1;
 }

@@ -34,15 +34,14 @@ AutoscalerRun ReactiveAutoscaler::replay(
       std::clamp(initial_servers, options_.min_servers, options_.max_servers);
   std::size_t committed_target = serving;  // includes in-flight changes
 
-  const auto samples = offered_rps.samples();
   telemetry::SimTime last_decision =
-      samples.front().window_start - options_.control_interval_s;
+      offered_rps.time_at(0) - options_.control_interval_s;
 
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const telemetry::SimTime t = samples[i].window_start;
+  for (std::size_t i = 0; i < offered_rps.size(); ++i) {
+    const telemetry::SimTime t = offered_rps.time_at(i);
     const telemetry::SimTime dt =
-        i + 1 < samples.size()
-            ? samples[i + 1].window_start - t
+        i + 1 < offered_rps.size()
+            ? offered_rps.time_at(i + 1) - t
             : options_.control_interval_s;
 
     // Apply any capacity change that has finished provisioning/draining.
@@ -51,7 +50,7 @@ AutoscalerRun ReactiveAutoscaler::replay(
       pending.pop_front();
     }
 
-    const double rps = samples[i].value;
+    const double rps = offered_rps.value_at(i);
     const double per_server = rps / static_cast<double>(serving);
     const double cpu = cpu_base + cpu_per_rps * per_server;
 

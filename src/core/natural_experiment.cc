@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <span>
 
 #include "stats/percentile.h"
 
@@ -15,8 +16,8 @@ NaturalExperimentAnalyzer::NaturalExperimentAnalyzer(
 std::vector<EventWindow> NaturalExperimentAnalyzer::detect(
     const telemetry::TimeSeries& rps) const {
   std::vector<EventWindow> events;
-  const auto samples = rps.samples();
-  if (samples.size() < 2 * options_.trailing_windows) return events;
+  if (rps.size() < 2 * options_.trailing_windows) return events;
+  const std::span<const double> values = rps.values();
 
   std::deque<double> trailing;
   bool in_event = false;
@@ -29,7 +30,7 @@ std::vector<EventWindow> NaturalExperimentAnalyzer::detect(
       std::vector<double> seasonal;
       for (std::size_t k = i; k >= options_.period_windows;) {
         k -= options_.period_windows;
-        seasonal.push_back(samples[k].value);
+        seasonal.push_back(values[k]);
         if (k < options_.period_windows) break;
       }
       if (!seasonal.empty()) return stats::percentile(seasonal, 50.0);
@@ -39,11 +40,11 @@ std::vector<EventWindow> NaturalExperimentAnalyzer::detect(
       std::vector<double> copy(trailing.begin(), trailing.end());
       return stats::percentile(copy, 50.0);
     }
-    return samples[i].value;  // no history: never elevated
+    return values[i];  // no history: never elevated
   };
 
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const double value = samples[i].value;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double value = values[i];
     const double baseline = baseline_for(i);
     const bool elevated = value > baseline * options_.elevation_factor;
 
@@ -54,7 +55,7 @@ std::vector<EventWindow> NaturalExperimentAnalyzer::detect(
       if (!in_event) {
         in_event = true;
         current = EventWindow{};
-        current.start = samples[i].window_start;
+        current.start = rps.time_at(i);
         current.baseline_rps = baseline;
         current.peak_rps = value;
       } else if (baseline > 0.0 && value / baseline >
@@ -63,7 +64,7 @@ std::vector<EventWindow> NaturalExperimentAnalyzer::detect(
         current.peak_rps = value;
         current.baseline_rps = baseline;
       }
-      current.end = samples[i].window_start;
+      current.end = rps.time_at(i);
       quiet_streak = 0;
     } else {
       if (in_event) {
@@ -93,23 +94,22 @@ ModelHoldReport NaturalExperimentAnalyzer::validate_cpu_model(
   std::vector<double> pre_y;
   std::vector<double> ev_x;
   std::vector<double> ev_y;
-  const auto rs = rps.samples();
-  const auto cs = cpu.samples();
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < rs.size() && j < cs.size()) {
-    if (rs[i].window_start < cs[j].window_start) {
+  while (i < rps.size() && j < cpu.size()) {
+    const telemetry::SimTime tr = rps.time_at(i);
+    const telemetry::SimTime tc = cpu.time_at(j);
+    if (tr < tc) {
       ++i;
-    } else if (cs[j].window_start < rs[i].window_start) {
+    } else if (tc < tr) {
       ++j;
     } else {
-      const telemetry::SimTime t = rs[i].window_start;
-      if (t >= event.start && t <= event.end) {
-        ev_x.push_back(rs[i].value);
-        ev_y.push_back(cs[j].value);
+      if (tr >= event.start && tr <= event.end) {
+        ev_x.push_back(rps.value_at(i));
+        ev_y.push_back(cpu.value_at(j));
       } else {
-        pre_x.push_back(rs[i].value);
-        pre_y.push_back(cs[j].value);
+        pre_x.push_back(rps.value_at(i));
+        pre_y.push_back(cpu.value_at(j));
       }
       ++i;
       ++j;

@@ -147,6 +147,22 @@ FleetSimulator::FleetSimulator(FleetConfig config,
     std::sort(shard.begin(), shard.end());
   }
   shard_telemetry_.resize(shards_.size());
+  // Size each shard's window buffers once, up front: the per-window entry
+  // count is fixed by the topology (11 pool-scope series per pool, 3
+  // per-server series when enabled, one availability event per rotation
+  // member), so the stepping hot path never grows them.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::size_t metric_entries = 0;
+    std::size_t availability_entries = 0;
+    for (const std::size_t pool_index : shards_[s]) {
+      const std::size_t servers = pools_[pool_index].server_generation.size();
+      if (config_.record_pool_series) metric_entries += 11;
+      if (config_.record_server_series) metric_entries += servers * 3;
+      availability_entries += servers;
+    }
+    shard_telemetry_[s].metrics.reserve(metric_entries);
+    shard_telemetry_[s].availability.reserve(availability_entries);
+  }
   if (shards_.size() > 1) {
     workers_ = std::make_unique<WorkerPool>(shards_.size());
   }
@@ -250,6 +266,14 @@ void FleetSimulator::flush_digests(std::int64_t day) {
 void FleetSimulator::finish_day() { flush_digests(current_day_); }
 
 void FleetSimulator::run_until(SimTime end) {
+  if (end > now_) {
+    // One-shot capacity hint: every pool-scope/per-server series gains one
+    // sample per window, so reserving the remaining window count up front
+    // removes all realloc churn (and span invalidation) from the run.
+    const auto windows = static_cast<std::size_t>(
+        (end - now_ + config_.window_seconds - 1) / config_.window_seconds);
+    store_.reserve_additional(windows);
+  }
   while (now_ < end) {
     const auto day = static_cast<std::int64_t>(
         static_cast<double>(now_) / kSecondsPerDay);

@@ -18,9 +18,25 @@ double percentile_sorted(std::span<const double> sorted, double p) {
 }
 
 double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (xs.size() == 1) return xs[0];
+  // A single quantile needs two order statistics, not a full sort: select
+  // the lo-th with nth_element, then the (lo+1)-th is the minimum of the
+  // partitioned tail. Same order statistics, same interpolation arithmetic,
+  // so the result is bit-identical to percentile_sorted over a full sort —
+  // in O(n) instead of O(n log n).
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
   std::vector<double> copy(xs.begin(), xs.end());
-  std::sort(copy.begin(), copy.end());
-  return percentile_sorted(copy, p);
+  const auto lo_it = copy.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(copy.begin(), lo_it, copy.end());
+  const double lo_value = *lo_it;
+  if (lo == hi) return lo_value;
+  const double hi_value = *std::min_element(lo_it + 1, copy.end());
+  const double frac = rank - static_cast<double>(lo);
+  return lo_value * (1.0 - frac) + hi_value * frac;
 }
 
 std::vector<double> percentiles(std::span<const double> xs,

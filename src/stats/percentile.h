@@ -15,8 +15,9 @@ namespace headroom::stats {
 /// Percentile of a sample with linear interpolation between order
 /// statistics (the "linear" / type-7 definition used by most tooling).
 /// `p` is in [0,100]. Returns 0 for an empty sample. Does not require the
-/// input to be sorted (copies internally); for repeated queries over the
-/// same data, use percentiles_sorted().
+/// input to be sorted (copies internally and selects the two needed order
+/// statistics in O(n) — bit-identical to evaluating over a full sort); for
+/// repeated queries over the same data, use percentiles().
 [[nodiscard]] double percentile(std::span<const double> xs, double p);
 
 /// Percentile over data the caller has already sorted ascending.

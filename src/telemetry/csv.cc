@@ -8,8 +8,8 @@ namespace headroom::telemetry {
 void write_series_csv(std::ostream& out, const TimeSeries& series,
                       const std::string& value_column) {
   out << "window_start," << value_column << "\n";
-  for (const WindowSample& s : series.samples()) {
-    out << s.window_start << "," << s.value << "\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << series.time_at(i) << "," << series.value_at(i) << "\n";
   }
 }
 
@@ -50,19 +50,19 @@ std::size_t write_pool_csv(std::ostream& out, const MetricStore& store,
         done = true;
         break;
       }
-      target = std::max(target, series[c]->at(cursor[c]).window_start);
+      target = std::max(target, series[c]->time_at(cursor[c]));
     }
     if (done) break;
     bool aligned = true;
     bool exhausted = false;
     for (std::size_t c = 0; c < series.size(); ++c) {
       while (cursor[c] < series[c]->size() &&
-             series[c]->at(cursor[c]).window_start < target) {
+             series[c]->time_at(cursor[c]) < target) {
         ++cursor[c];
       }
       if (cursor[c] >= series[c]->size()) {
         exhausted = true;
-      } else if (series[c]->at(cursor[c]).window_start != target) {
+      } else if (series[c]->time_at(cursor[c]) != target) {
         aligned = false;  // this cursor moved past target; re-derive target
       }
     }
@@ -70,7 +70,7 @@ std::size_t write_pool_csv(std::ostream& out, const MetricStore& store,
     if (!aligned) continue;
     out << target;
     for (std::size_t c = 0; c < series.size(); ++c) {
-      out << "," << series[c]->at(cursor[c]).value;
+      out << "," << series[c]->value_at(cursor[c]);
       ++cursor[c];
     }
     out << "\n";

@@ -1,6 +1,9 @@
 #include "telemetry/metric_store.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <tuple>
 
 namespace headroom::telemetry {
@@ -14,18 +17,112 @@ void sort_keys(std::vector<SeriesKey>& keys) {
   });
 }
 
+/// Grows `series` for `extra` more samples without defeating the vector's
+/// geometric growth (a bare reserve(size+extra) every window would force a
+/// copy per window).
+void reserve_for_append(TimeSeries& series, std::size_t extra) {
+  const std::size_t needed = series.size() + extra;
+  if (needed > series.capacity()) {
+    series.reserve(std::max(needed, 2 * series.capacity()));
+  }
+}
+
 }  // namespace
 
 void MetricStore::record(const SeriesKey& key, SimTime window_start,
                          double value) {
-  series_[key].append(window_start, value);
+  // Validate the digest's precondition before mutating anything, so a
+  // rejected sample cannot leave series/digest/sample_count() disagreeing.
+  if (summaries_enabled_ && !std::isfinite(value)) {
+    throw std::invalid_argument(
+        "MetricStore::record: non-finite sample with summaries enabled");
+  }
+  TimeSeries& series = series_[key];
+  if (series.empty() && new_series_reserve_ > 0) {
+    series.reserve(new_series_reserve_);
+  }
+  series.append(window_start, value);
   ++samples_;
+  if (summaries_enabled_) digests_[key].add(value);
+}
+
+TimeSeries& MetricStore::resolve_series(const SeriesKey& key,
+                                        std::size_t run_hint) {
+  TimeSeries& series = series_[key];
+  if (series.empty() && new_series_reserve_ > 0) {
+    series.reserve(std::max(new_series_reserve_, run_hint));
+  } else {
+    reserve_for_append(series, run_hint);
+  }
+  return series;
+}
+
+void MetricStore::merge_with_digests(
+    const std::vector<MetricBuffer::Entry>& entries) {
+  // Straightforward run-at-a-time walk; the digest update dominates, so no
+  // plan caching on this path.
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    std::size_t j = i + 1;
+    while (j < entries.size() && entries[j].key == entries[i].key) ++j;
+    TimeSeries& series = resolve_series(entries[i].key, j - i);
+    StreamingDigest& digest = digests_[entries[i].key];
+    for (; i < j; ++i) {
+      // Same invariant as record(): reject before mutating, then the
+      // digest add (pre-validated) cannot throw after the append landed.
+      if (!std::isfinite(entries[i].value)) {
+        throw std::invalid_argument(
+            "MetricStore::merge: non-finite sample with summaries enabled");
+      }
+      series.append(entries[i].window_start, entries[i].value);
+      digest.add(entries[i].value);
+      ++samples_;
+    }
+  }
 }
 
 void MetricStore::merge(const MetricBuffer& buffer) {
-  for (const MetricBuffer::Entry& e : buffer.entries()) {
-    record(e.key, e.window_start, e.value);
+  const std::vector<MetricBuffer::Entry>& entries = buffer.entries();
+  if (entries.empty()) return;
+  if (summaries_enabled_) {
+    merge_with_digests(entries);
+    return;
   }
+
+  if (merge_plans_.size() > 64) merge_plans_.clear();  // transient producers
+  std::vector<MergePlanEntry>& plan = merge_plans_[&buffer];
+  plan.resize(entries.size());
+  // Appends are counted in a local (register-friendly in the hot loop) and
+  // flushed even on a throw, so a rejected entry — out-of-order time from a
+  // misbehaving producer — cannot leave sample_count() ahead of what the
+  // series actually hold.
+  std::size_t appended = 0;
+  try {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const MetricBuffer::Entry& e = entries[i];
+      MergePlanEntry& pe = plan[i];
+      if (pe.series == nullptr || !(pe.key == e.key)) {
+        if (i > 0 && e.key == entries[i - 1].key) {
+          // Same-key run (series-major ingestion): reuse the previous
+          // resolution instead of re-hashing.
+          pe.series = plan[i - 1].series;
+        } else {
+          std::size_t run = 1;
+          while (i + run < entries.size() && entries[i + run].key == e.key) {
+            ++run;
+          }
+          pe.series = &resolve_series(e.key, run);
+        }
+        pe.key = e.key;
+      }
+      pe.series->append(e.window_start, e.value);
+      ++appended;
+    }
+  } catch (...) {
+    samples_ += appended;
+    throw;
+  }
+  samples_ += appended;
 }
 
 const TimeSeries& MetricStore::series(const SeriesKey& key) const {
@@ -73,9 +170,63 @@ AlignedPair MetricStore::pool_scatter(std::uint32_t datacenter,
                pool_series(datacenter, pool, y));
 }
 
+void MetricStore::set_summaries_enabled(bool enabled) {
+  if (enabled == summaries_enabled_) return;
+  digests_.clear();
+  summaries_enabled_ = false;
+  if (!enabled) return;
+  // Backfill: a scan-built digest is identical to one maintained from the
+  // first append (bucket counts are order-independent and the scan order is
+  // the append order). The flag flips only after the whole backfill
+  // succeeds — a stored non-finite value (legal while summaries are off)
+  // aborts the enable and leaves the store consistently disabled rather
+  // than holding partially built digests.
+  try {
+    for (const auto& [key, series] : series_) {
+      StreamingDigest& digest = digests_[key];
+      for (const double v : series.values()) digest.add(v);
+    }
+  } catch (...) {
+    digests_.clear();
+    throw;
+  }
+  summaries_enabled_ = true;
+}
+
+StreamingDigest MetricStore::summary(const SeriesKey& key) const {
+  if (summaries_enabled_) {
+    const auto it = digests_.find(key);
+    if (it != digests_.end()) return it->second;
+  }
+  StreamingDigest digest;
+  for (const double v : series(key).values()) digest.add(v);
+  return digest;
+}
+
+const StreamingDigest& MetricStore::maintained_summary(
+    const SeriesKey& key) const {
+  static const StreamingDigest kEmpty;
+  if (!summaries_enabled_) return kEmpty;
+  const auto it = digests_.find(key);
+  return it == digests_.end() ? kEmpty : it->second;
+}
+
+void MetricStore::reserve_additional(std::size_t additional_windows) {
+  new_series_reserve_ = additional_windows;
+  // Geometric-growth-aware (not an exact reserve): repeated calls — the
+  // RSM planner runs the simulator in day-long observe() slices — must not
+  // reallocate-and-copy every series on every slice.
+  for (auto& [key, series] : series_) {
+    reserve_for_append(series, additional_windows);
+  }
+}
+
 void MetricStore::clear() {
   series_.clear();
+  digests_.clear();
+  merge_plans_.clear();  // cached pointers die with the series
   samples_ = 0;
+  new_series_reserve_ = 0;
 }
 
 }  // namespace headroom::telemetry

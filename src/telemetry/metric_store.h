@@ -5,12 +5,24 @@
 // simulator pushes window aggregates, the planning code queries series by
 // (datacenter, pool, server, metric). Pool-scope series model the paper's
 // "1-minute average across servers in the pool" data points.
+//
+// Storage is columnar (see time_series.h): stride-encoded series cost 8
+// bytes per sample, and readers get zero-copy span views. Parallel
+// producers batch samples into MetricBuffers that merge() replays grouped
+// per key — one hash lookup and one capacity check per series per batch
+// instead of per sample — preserving the fixed-shard-order determinism the
+// parallel fleet stepper relies on. An opt-in streaming-summary mode
+// maintains a mergeable StreamingDigest per series at append time, so
+// interactive consumers can read quantile estimates without materializing
+// a distribution; exact percentiles over `series(key).values()` stay the
+// default wherever golden outputs pin bytes.
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
 #include "telemetry/metrics.h"
+#include "telemetry/streaming_digest.h"
 #include "telemetry/time_series.h"
 
 namespace headroom::telemetry {
@@ -31,6 +43,10 @@ class MetricBuffer {
     entries_.push_back({key, window_start, value});
   }
 
+  /// Pre-allocates for `n` entries (e.g. the per-window entry count of a
+  /// simulator shard, known from the topology).
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
   [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
     return entries_;
   }
@@ -45,12 +61,24 @@ class MetricBuffer {
 
 class MetricStore {
  public:
+  MetricStore() = default;
+  /// Not copyable: merge plans cache raw pointers into this store's series
+  /// map, which a copy would carry along and then append through into the
+  /// original. Moves are fine — map nodes (and so the cached pointers)
+  /// survive a move intact.
+  MetricStore(const MetricStore&) = delete;
+  MetricStore& operator=(const MetricStore&) = delete;
+  MetricStore(MetricStore&&) = default;
+  MetricStore& operator=(MetricStore&&) = default;
+
   /// Appends one window sample to the keyed series (windows must arrive in
   /// time order per key).
   void record(const SeriesKey& key, SimTime window_start, double value);
 
-  /// Replays a buffer's entries in insertion order, as if each had been
-  /// record()ed directly.
+  /// Merges a buffer as if each entry had been record()ed in insertion
+  /// order. Entries are grouped per key first and each series' run appended
+  /// in one shot; since per-key order is preserved and appends to distinct
+  /// series commute, the result is bit-identical to entry-by-entry replay.
   void merge(const MetricBuffer& buffer);
 
   /// Series lookup; returns an empty static series when absent.
@@ -80,11 +108,62 @@ class MetricStore {
                                          std::uint32_t pool, MetricKind x,
                                          MetricKind y) const;
 
+  // --- Streaming summaries (opt-in fast path) ------------------------------
+  /// When enabled, every append additionally feeds a per-series
+  /// StreamingDigest; existing series are backfilled on enable. Costs one
+  /// sketch update per sample, so it is off by default.
+  void set_summaries_enabled(bool enabled);
+  [[nodiscard]] bool summaries_enabled() const noexcept {
+    return summaries_enabled_;
+  }
+  /// Count/sum/min/max and approximate quantiles of a series without
+  /// materializing its distribution. Returns the maintained digest when
+  /// summaries are enabled, else builds one by scanning the value column
+  /// (identical sketch either way: bucket counts are order-independent).
+  /// Copies the sketch; for repeated queries on the enabled fast path use
+  /// maintained_summary().
+  [[nodiscard]] StreamingDigest summary(const SeriesKey& key) const;
+  /// Zero-copy view of the maintained digest. Returns an empty static
+  /// digest when summaries are disabled or the key is absent; valid until
+  /// set_summaries_enabled() or clear().
+  [[nodiscard]] const StreamingDigest& maintained_summary(
+      const SeriesKey& key) const;
+
+  /// Capacity hint: pre-reserves `additional_windows` more samples in every
+  /// existing series, and makes new series start with that capacity. Called
+  /// by the simulator with its remaining window count to kill realloc churn
+  /// (and, incidentally, keep values() spans stable over the run).
+  void reserve_additional(std::size_t additional_windows);
+
   void clear();
 
  private:
+  /// Finds or creates the series for `key`, applying the new-series
+  /// capacity hint and an additional `run_hint` (the length of the
+  /// contiguous same-key run about to be appended).
+  TimeSeries& resolve_series(const SeriesKey& key, std::size_t run_hint);
+  void merge_with_digests(const std::vector<MetricBuffer::Entry>& entries);
+
   std::unordered_map<SeriesKey, TimeSeries, SeriesKeyHash> series_;
+  std::unordered_map<SeriesKey, StreamingDigest, SeriesKeyHash> digests_;
   std::size_t samples_ = 0;
+  std::size_t new_series_reserve_ = 0;
+  bool summaries_enabled_ = false;
+
+  // Memoized merge plans. A simulator shard refills the same MetricBuffer
+  // with the same key sequence every window, so merge() caches, per buffer
+  // identity, the resolved series pointer for each entry position. A plan
+  // entry is used only when its recorded key matches the incoming entry's
+  // key (checked per entry, self-healing on mismatch), so plans are never
+  // trusted stale — a steady-state barrier merge does zero hash lookups.
+  // Series pointers stay valid because unordered_map nodes are stable and
+  // series are never erased outside clear().
+  struct MergePlanEntry {
+    SeriesKey key;
+    TimeSeries* series = nullptr;
+  };
+  std::unordered_map<const MetricBuffer*, std::vector<MergePlanEntry>>
+      merge_plans_;
 };
 
 }  // namespace headroom::telemetry

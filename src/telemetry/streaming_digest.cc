@@ -1,0 +1,122 @@
+#include "telemetry/streaming_digest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::telemetry {
+
+StreamingDigest::StreamingDigest(double relative_accuracy)
+    : alpha_(relative_accuracy) {
+  if (!(relative_accuracy > 0.0) || !(relative_accuracy < 1.0)) {
+    throw std::invalid_argument(
+        "StreamingDigest: relative accuracy must be in (0, 1)");
+  }
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t StreamingDigest::bucket_index(double magnitude) const {
+  // Bucket k covers (gamma^(k-1), gamma^k].
+  return static_cast<std::int32_t>(
+      std::ceil(std::log(magnitude) * inv_log_gamma_));
+}
+
+double StreamingDigest::bucket_value(std::int32_t k) const {
+  // Midpoint (harmonic) representative: relative error <= alpha for every
+  // value in the bucket.
+  return 2.0 * std::pow(gamma_, static_cast<double>(k)) / (gamma_ + 1.0);
+}
+
+void StreamingDigest::add(double x) {
+  if (!std::isfinite(x)) {
+    throw std::invalid_argument("StreamingDigest::add: non-finite sample");
+  }
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+  if (x > kMinMagnitude) {
+    ++positive_[bucket_index(x)];
+  } else if (x < -kMinMagnitude) {
+    ++negative_[bucket_index(-x)];
+  } else {
+    ++zero_;
+  }
+}
+
+void StreamingDigest::merge(const StreamingDigest& other) {
+  if (alpha_ != other.alpha_) {
+    throw std::invalid_argument(
+        "StreamingDigest::merge: relative accuracy mismatch");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+  zero_ += other.zero_;
+  for (const auto& [k, c] : other.positive_) positive_[k] += c;
+  for (const auto& [k, c] : other.negative_) negative_[k] += c;
+}
+
+double StreamingDigest::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  if (clamped == 0.0) return min_;
+  if (clamped == 1.0) return max_;
+  // The bucket holding the floor(q * (count - 1))-th order statistic, found
+  // by a cumulative walk in ascending value order: negatives from largest
+  // magnitude down, then the zero bucket, then positives up.
+  const auto target = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(count_ - 1));
+  std::uint64_t cum = 0;
+  double estimate = max_;
+  bool found = false;
+  for (auto it = negative_.rbegin(); it != negative_.rend() && !found; ++it) {
+    cum += it->second;
+    if (cum > target) {
+      estimate = -bucket_value(it->first);
+      found = true;
+    }
+  }
+  if (!found && zero_ > 0) {
+    cum += zero_;
+    if (cum > target) {
+      estimate = 0.0;
+      found = true;
+    }
+  }
+  if (!found) {
+    for (auto it = positive_.begin(); it != positive_.end(); ++it) {
+      cum += it->second;
+      if (cum > target) {
+        estimate = bucket_value(it->first);
+        break;
+      }
+    }
+  }
+  return std::clamp(estimate, min_, max_);
+}
+
+void StreamingDigest::reset() {
+  positive_.clear();
+  negative_.clear();
+  zero_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace headroom::telemetry

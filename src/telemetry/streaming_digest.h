@@ -1,0 +1,88 @@
+// Mergeable streaming distribution summary: moments + a quantile sketch.
+//
+// The telemetry layer has two quantile tools with complementary gaps:
+// stats::P2Quantile is O(1)-memory but tracks a single fixed quantile and
+// cannot be merged, and exact stats::percentile() needs every sample
+// materialized. StreamingDigest is the shared third shape the columnar
+// store's fast path needs: count/sum/min/max plus a log-bucketed quantile
+// sketch in the spirit of DDSketch (Masson et al.; see also Dunning &
+// Ertl's t-digest in PAPERS.md), answering any quantile within a relative
+// accuracy bound from O(log range) memory.
+//
+// Buckets are fixed by the accuracy parameter alone — bucket k holds values
+// in (gamma^(k-1), gamma^k] — so merging two digests is pure bucket-count
+// addition: exactly associative and commutative, which is what lets
+// per-shard digests merge in any order to the same sketch (count, min, max
+// and every bucket bit-identical; only the floating-point `sum` depends on
+// merge order, by at most rounding).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace headroom::telemetry {
+
+class StreamingDigest {
+ public:
+  /// `relative_accuracy` in (0, 1): quantile estimates are within this
+  /// relative error of an exact order statistic. 1% keeps bucket counts in
+  /// the low hundreds for the metric ranges this repo sees.
+  explicit StreamingDigest(double relative_accuracy = kDefaultAccuracy);
+
+  void add(double x);
+  /// Folds `other` in (bucket-count addition). Both digests must have been
+  /// built with the same relative accuracy.
+  void merge(const StreamingDigest& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// Quantile estimate, `q` in [0, 1]; 0 for an empty digest. Clamped to
+  /// [min, max], so q=0 and q=1 are exact.
+  [[nodiscard]] double quantile(double q) const;
+  /// stats::percentile convention: `p` in [0, 100].
+  [[nodiscard]] double percentile(double p) const { return quantile(p / 100.0); }
+
+  [[nodiscard]] double relative_accuracy() const noexcept { return alpha_; }
+  /// Occupied buckets (memory gauge for the bench).
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return positive_.size() + negative_.size() + (zero_ > 0 ? 1 : 0);
+  }
+
+  void reset();
+
+  friend bool operator==(const StreamingDigest& a, const StreamingDigest& b) {
+    return a.alpha_ == b.alpha_ && a.count_ == b.count_ && a.zero_ == b.zero_ &&
+           (a.count_ == 0 || (a.min_ == b.min_ && a.max_ == b.max_)) &&
+           a.positive_ == b.positive_ && a.negative_ == b.negative_;
+  }
+
+  static constexpr double kDefaultAccuracy = 0.01;
+  /// Magnitudes below this land in the zero bucket (absolute, not relative,
+  /// error there — all metrics in this repo are >= 0 and far above it).
+  static constexpr double kMinMagnitude = 1e-9;
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double magnitude) const;
+  [[nodiscard]] double bucket_value(std::int32_t k) const;
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  std::map<std::int32_t, std::uint64_t> positive_;  ///< x > kMinMagnitude
+  std::map<std::int32_t, std::uint64_t> negative_;  ///< x < -kMinMagnitude
+  std::uint64_t zero_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace headroom::telemetry

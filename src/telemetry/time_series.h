@@ -1,4 +1,21 @@
 // Time-ordered series of windowed samples plus alignment helpers.
+//
+// Storage is columnar (structure-of-arrays): the value column is a dense
+// `std::vector<double>` and the time column is elided entirely while the
+// samples arrive on a fixed cadence — the simulator's case, where every
+// append lands exactly one window after the previous one. A stride-encoded
+// series stores `start + i * stride` instead of 8 bytes of timestamp per
+// sample, halving the footprint at day-scale resolutions; series with
+// irregular cadence (sliced traces, hand-built test data) transparently
+// fall back to an explicit time column on first mismatch.
+//
+// Readers get zero-copy access: `values()` / `values_between()` return
+// `std::span` views over the value column and `slice()` returns a
+// `SeriesView` — an (offset, length) window onto the parent series. Views
+// index through the parent, so they stay valid across appends (appends only
+// extend the series past the view); a `values()` span additionally pins the
+// underlying array and is invalidated by any append that reallocates it
+// (appends within `reserve()`d capacity preserve it).
 #pragma once
 
 #include <cstdint>
@@ -10,33 +27,124 @@ namespace headroom::telemetry {
 /// Seconds since the start of the simulated epoch.
 using SimTime = std::int64_t;
 
-/// One aggregated window of a metric.
+/// One aggregated window of a metric (materialized on access; the columnar
+/// store never holds this struct).
 struct WindowSample {
   SimTime window_start = 0;  ///< Inclusive start of the window (seconds).
   double value = 0.0;        ///< Window aggregate (mean, or P95 for latency).
 };
 
-/// Append-only, time-ordered sample sequence.
+class SeriesView;
+
+/// Append-only, time-ordered sample sequence with columnar storage.
 class TimeSeries {
  public:
   void append(SimTime window_start, double value);
 
-  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
-  [[nodiscard]] const WindowSample& at(std::size_t i) const { return samples_.at(i); }
-  [[nodiscard]] std::span<const WindowSample> samples() const noexcept {
-    return samples_;
+  /// Pre-allocates the value column (and the time column, when already in
+  /// explicit-time mode) for at least `n` total samples.
+  void reserve(std::size_t n);
+  /// Samples the value column can hold before reallocating (and
+  /// invalidating outstanding `values()` spans).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return values_.capacity();
+  }
+  /// Heap bytes held by the columns (footprint gauge for the benches):
+  /// 8 bytes/sample while stride-encoded, 16 after a fallback.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return values_.capacity() * sizeof(double) +
+           times_.capacity() * sizeof(SimTime);
   }
 
-  /// All values, in time order.
-  [[nodiscard]] std::vector<double> values() const;
-  /// Values whose window start lies in [from, to).
-  [[nodiscard]] std::vector<double> values_between(SimTime from, SimTime to) const;
-  /// Sub-series in [from, to).
-  [[nodiscard]] TimeSeries slice(SimTime from, SimTime to) const;
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] SimTime time_at(std::size_t i) const noexcept {
+    return times_.empty() ? start_ + static_cast<SimTime>(i) * stride_
+                          : times_[i];
+  }
+  [[nodiscard]] double value_at(std::size_t i) const noexcept {
+    return values_[i];
+  }
+  /// Bounds-checked sample materialization (by value: there is no stored
+  /// WindowSample to reference).
+  [[nodiscard]] WindowSample at(std::size_t i) const;
+
+  /// True while the time column is elided (all samples on one stride).
+  /// Series of fewer than two samples are trivially regular.
+  [[nodiscard]] bool regular() const noexcept { return times_.empty(); }
+  /// First window start (0 when empty).
+  [[nodiscard]] SimTime start() const noexcept { return start_; }
+  /// Fixed cadence of a regular series (0 until two samples establish it,
+  /// or when the series has fallen back to explicit times).
+  [[nodiscard]] SimTime stride() const noexcept {
+    return times_.empty() ? stride_ : 0;
+  }
+
+  /// All values, in time order — a zero-copy view over the value column.
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+  /// Values whose window start lies in [from, to) — a zero-copy sub-view.
+  [[nodiscard]] std::span<const double> values_between(SimTime from,
+                                                       SimTime to) const;
+  /// Sub-series view over the samples in [from, to).
+  [[nodiscard]] SeriesView slice(SimTime from, SimTime to) const;
+  /// View over the whole series.
+  [[nodiscard]] SeriesView view() const;
 
  private:
-  std::vector<WindowSample> samples_;
+  /// [first, last) index range of samples with window_start in [from, to).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> index_range(
+      SimTime from, SimTime to) const;
+
+  std::vector<double> values_;
+  std::vector<SimTime> times_;  ///< Empty while stride-encoded.
+  SimTime start_ = 0;
+  SimTime stride_ = 0;     ///< Established by the second append.
+  SimTime last_time_ = 0;  ///< Cached time_at(size-1) for the append path.
+};
+
+/// Zero-copy (offset, length) window onto a TimeSeries. Indexes through the
+/// parent series, so it remains valid across parent appends (which only add
+/// samples past the view); the parent must outlive the view.
+class SeriesView {
+ public:
+  SeriesView() = default;
+  SeriesView(const TimeSeries* series, std::size_t offset,
+             std::size_t size) noexcept
+      : series_(series), offset_(offset), size_(size) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] SimTime time_at(std::size_t i) const noexcept {
+    return series_ == nullptr ? 0 : series_->time_at(offset_ + i);
+  }
+  [[nodiscard]] double value_at(std::size_t i) const noexcept {
+    return series_ == nullptr ? 0.0 : series_->value_at(offset_ + i);
+  }
+  [[nodiscard]] WindowSample at(std::size_t i) const;
+
+  /// The viewed values — a span over the parent's value column (subject to
+  /// the same reallocation rule as TimeSeries::values()).
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return series_ == nullptr ? std::span<const double>{}
+                              : series_->values().subspan(offset_, size_);
+  }
+
+  /// True when the viewed samples sit on the parent's fixed stride.
+  [[nodiscard]] bool regular() const noexcept {
+    return series_ == nullptr || series_->regular();
+  }
+  /// Parent stride (0 when irregular or not yet established).
+  [[nodiscard]] SimTime stride() const noexcept {
+    return series_ == nullptr ? 0 : series_->stride();
+  }
+
+ private:
+  const TimeSeries* series_ = nullptr;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// A pair of equal-length vectors from two series joined on window start —
@@ -47,6 +155,9 @@ struct AlignedPair {
 };
 
 /// Inner-joins two series on window_start (both must be time-ordered).
+/// When both sides are stride-encoded with the same cadence the join is a
+/// pair of bulk column copies instead of a sample-by-sample walk.
+[[nodiscard]] AlignedPair align(const SeriesView& x, const SeriesView& y);
 [[nodiscard]] AlignedPair align(const TimeSeries& x, const TimeSeries& y);
 
 }  // namespace headroom::telemetry

@@ -125,10 +125,10 @@ TEST(NaturalExperiment, ModelBreakDetected) {
   // (e.g. a fallback path doubles per-request cost) — holds must be false.
   EventWorld w = make_world(1.56, 13);
   TimeSeries broken_cpu;
-  for (const auto& s : w.cpu.samples()) {
-    const bool in_event = s.window_start >= w.event_start &&
-                          s.window_start < w.event_end;
-    broken_cpu.append(s.window_start, in_event ? s.value * 2.2 : s.value);
+  for (std::size_t i = 0; i < w.cpu.size(); ++i) {
+    const telemetry::SimTime t = w.cpu.time_at(i);
+    const bool in_event = t >= w.event_start && t < w.event_end;
+    broken_cpu.append(t, in_event ? w.cpu.value_at(i) * 2.2 : w.cpu.value_at(i));
   }
   const NaturalExperimentAnalyzer analyzer;
   const auto events = analyzer.detect(w.rps);

@@ -33,8 +33,10 @@ PoolFits observe_pool(const std::string& service, std::size_t servers,
   const auto lat_scatter = fleet.store().pool_scatter(
       0, 0, MetricKind::kRequestsPerSecond, MetricKind::kLatencyP95Ms);
   fits.latency = stats::fit_quadratic(lat_scatter.x, lat_scatter.y);
-  fits.rps =
+  // Materialize: the fleet (and the span over its value column) dies here.
+  const auto rps =
       fleet.store().pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
+  fits.rps.assign(rps.begin(), rps.end());
   return fits;
 }
 

@@ -97,6 +97,44 @@ TEST_P(PercentileUniformSweep, ApproximatesTheoreticalQuantile) {
 INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileUniformSweep,
                          ::testing::Values(5.0, 25.0, 50.0, 75.0, 95.0, 99.0));
 
+// The selection path (two nth_element order statistics) must reproduce the
+// sorted-reference result bit for bit — same order statistics, same
+// interpolation arithmetic — across distributions, including duplicate-heavy
+// ones where nth_element partitions around equal pivots.
+TEST(Percentile, SelectionIsBitIdenticalToSortedReferenceOnRandomInput) {
+  std::mt19937_64 rng(17);
+  std::lognormal_distribution<double> dist(1.0, 2.0);
+  for (const std::size_t n : {2u, 3u, 7u, 100u, 1231u}) {
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(dist(rng));
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p = 0.0; p <= 100.0; p += 0.7) {
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: exact bits, not 4-ulp closeness.
+      EXPECT_EQ(percentile(xs, p), percentile_sorted(sorted, p))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Percentile, SelectionIsBitIdenticalOnDuplicateHeavyInput) {
+  std::mt19937_64 rng(19);
+  std::uniform_int_distribution<int> coarse(0, 4);  // many exact ties
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(0.25 * coarse(rng));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p = 0.0; p <= 100.0; p += 0.3) {
+    EXPECT_EQ(percentile(xs, p), percentile_sorted(sorted, p)) << "p=" << p;
+  }
+  // All-equal input: every percentile is that value exactly.
+  const std::vector<double> flat(64, 3.125);
+  for (const double p : {0.0, 12.5, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(percentile(flat, p), 3.125);
+  }
+}
+
 TEST(Percentile, GroupingPercentilesAreThePapersFive) {
   ASSERT_EQ(std::size(kGroupingPercentiles), 5u);
   EXPECT_EQ(kGroupingPercentiles[0], 5.0);

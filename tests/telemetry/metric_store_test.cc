@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
 namespace headroom::telemetry {
 namespace {
 
@@ -58,6 +64,200 @@ TEST(MetricStore, MergeReplaysBufferInOrder) {
   EXPECT_TRUE(buffer.empty());
   merged.merge(buffer);  // merging an empty buffer is a no-op
   EXPECT_EQ(merged.sample_count(), 3u);
+}
+
+TEST(MetricStore, BatchedMergeIsBitIdenticalToReplay) {
+  // A multi-window buffer with interleaved keys (the shape a simulator
+  // shard emits across several barriers, or a trace ingester in one go):
+  // the grouped-per-key merge must equal naive entry-by-entry replay on
+  // every byte the store exposes.
+  std::vector<SeriesKey> keys;
+  for (std::uint32_t server : {0u, 1u, SeriesKey::kPoolScope}) {
+    keys.push_back({0, 0, server, MetricKind::kRequestsPerSecond});
+    keys.push_back({0, 0, server, MetricKind::kCpuPercentTotal});
+  }
+  MetricBuffer buffer;
+  std::uint64_t salt = 0x9E3779B97F4A7C15ull;
+  for (SimTime t = 0; t < 40 * 120; t += 120) {
+    for (const SeriesKey& key : keys) {
+      salt ^= salt << 13;
+      salt ^= salt >> 7;
+      salt ^= salt << 17;
+      buffer.record(key, t, static_cast<double>(salt % 100003) / 97.0);
+    }
+  }
+
+  MetricStore replayed;
+  for (const MetricBuffer::Entry& e : buffer.entries()) {
+    replayed.record(e.key, e.window_start, e.value);
+  }
+  MetricStore merged;
+  merged.merge(buffer);
+
+  EXPECT_EQ(merged.sample_count(), replayed.sample_count());
+  ASSERT_EQ(merged.series_count(), replayed.series_count());
+  for (const SeriesKey& key : replayed.keys()) {
+    const TimeSeries& a = merged.series(key);
+    const TimeSeries& b = replayed.series(key);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.regular(), b.regular());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.time_at(i), b.time_at(i));
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(a.value_at(i), b.value_at(i));
+    }
+  }
+}
+
+TEST(MetricStore, MergeAcceptsRepeatedBuffersPerKey) {
+  // Window-barrier shape: the same buffer object, cleared and refilled each
+  // window, merged repeatedly — series must keep extending in time order.
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kActiveServers};
+  MetricStore store;
+  MetricBuffer buffer;
+  for (SimTime t = 0; t < 5 * 120; t += 120) {
+    buffer.clear();
+    buffer.record(key, t, static_cast<double>(t));
+    store.merge(buffer);
+  }
+  const TimeSeries& s = store.series(key);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_TRUE(s.regular());
+  EXPECT_EQ(s.stride(), 120);
+}
+
+TEST(MetricStore, RejectedMergeEntryDoesNotInflateSampleCount) {
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kRequestsPerSecond};
+  MetricStore store;
+  MetricBuffer buffer;
+  buffer.record(key, 0, 1.0);
+  buffer.record(key, 120, 2.0);
+  buffer.record(key, 120, 3.0);  // duplicate timestamp: rejected mid-merge
+  EXPECT_THROW(store.merge(buffer), std::invalid_argument);
+  // Only the entries that actually landed are counted.
+  EXPECT_EQ(store.sample_count(), 2u);
+  EXPECT_EQ(store.series(key).size(), 2u);
+}
+
+TEST(MetricStore, SummaryMatchesMaintainedDigest) {
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kLatencyP95Ms};
+  MetricStore eager;  // digests maintained at append time
+  eager.set_summaries_enabled(true);
+  MetricStore lazy;  // digests built on demand
+  MetricStore backfilled;  // enabled after the fact
+
+  std::uint64_t salt = 42;
+  for (SimTime t = 0; t < 500 * 120; t += 120) {
+    salt = salt * 6364136223846793005ull + 1442695040888963407ull;
+    const double v = 20.0 + static_cast<double>(salt >> 40) / 1000.0;
+    eager.record(key, t, v);
+    lazy.record(key, t, v);
+    backfilled.record(key, t, v);
+  }
+  backfilled.set_summaries_enabled(true);
+
+  const StreamingDigest a = eager.summary(key);
+  const StreamingDigest b = lazy.summary(key);
+  const StreamingDigest c = backfilled.summary(key);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a.count(), 500u);
+  // The sketch answer lands within its accuracy bound of the exact
+  // percentile over the materialized column.
+  const auto values = lazy.series(key).values();
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double exact = sorted[static_cast<std::size_t>(0.95 * 499.0)];
+  EXPECT_NEAR(a.percentile(95.0), exact, 0.02 * exact);
+}
+
+TEST(MetricStore, SummaryOfMissingKeyIsEmpty) {
+  const MetricStore store;
+  EXPECT_TRUE(store.summary({9, 9, 9, MetricKind::kErrorsPerSecond}).empty());
+}
+
+TEST(MetricStore, NonFiniteSampleWithSummariesRejectedBeforeMutation) {
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kLatencyP95Ms};
+  MetricStore store;
+  store.set_summaries_enabled(true);
+  store.record(key, 0, 1.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(store.record(key, 120, inf), std::invalid_argument);
+  MetricBuffer buffer;
+  buffer.record(key, 120, 2.0);
+  buffer.record(key, 240, inf);
+  EXPECT_THROW(store.merge(buffer), std::invalid_argument);
+  // Series, counter, and digest all agree: the rejected samples are in
+  // none of them.
+  EXPECT_EQ(store.series(key).size(), 2u);
+  EXPECT_EQ(store.sample_count(), 2u);
+  EXPECT_EQ(store.maintained_summary(key).count(), 2u);
+  EXPECT_DOUBLE_EQ(store.maintained_summary(key).max(), 2.0);
+}
+
+TEST(MetricStore, FailedBackfillLeavesSummariesConsistentlyDisabled) {
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kErrorsPerSecond};
+  MetricStore store;
+  store.record(key, 0, 1.0);
+  // Legal while summaries are off: the series layer accepts any double.
+  store.record(key, 120, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(store.set_summaries_enabled(true), std::invalid_argument);
+  EXPECT_FALSE(store.summaries_enabled());
+  EXPECT_TRUE(store.maintained_summary(key).empty());
+  // The store still records normally in the disabled state.
+  store.record(key, 240, 2.0);
+  EXPECT_EQ(store.series(key).size(), 3u);
+}
+
+TEST(MetricStore, MaintainedSummaryIsZeroCopyViewOfTheDigest) {
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kCpuPercentTotal};
+  MetricStore store;
+  store.record(key, 0, 5.0);
+  // Disabled (and missing keys): the static empty digest.
+  EXPECT_TRUE(store.maintained_summary(key).empty());
+  store.set_summaries_enabled(true);
+  const StreamingDigest& maintained = store.maintained_summary(key);
+  EXPECT_EQ(maintained.count(), 1u);
+  EXPECT_EQ(maintained, store.summary(key));
+  // The view tracks subsequent appends in place.
+  store.record(key, 120, 7.0);
+  EXPECT_EQ(maintained.count(), 2u);
+  EXPECT_DOUBLE_EQ(maintained.max(), 7.0);
+  EXPECT_TRUE(store.maintained_summary({1, 1, 1, MetricKind::kErrorsPerSecond})
+                  .empty());
+}
+
+TEST(MetricStore, MergeFeedsMaintainedDigests) {
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kRequestsPerSecond};
+  MetricStore store;
+  store.set_summaries_enabled(true);
+  MetricBuffer buffer;
+  for (SimTime t = 0; t < 10 * 120; t += 120) {
+    buffer.record(key, t, static_cast<double>(t) + 1.0);
+  }
+  store.merge(buffer);
+  const StreamingDigest d = store.summary(key);
+  EXPECT_EQ(d.count(), 10u);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 1081.0);
+}
+
+TEST(MetricStore, ReserveAdditionalPreservesContentAndStabilizesSpans) {
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kCpuPercentTotal};
+  MetricStore store;
+  store.record(key, 0, 1.0);
+  store.reserve_additional(100);
+  const TimeSeries& s = store.series(key);
+  EXPECT_GE(s.capacity(), 101u);
+  const std::span<const double> before = s.values();
+  MetricBuffer buffer;
+  for (SimTime t = 120; t <= 100 * 120; t += 120) {
+    buffer.record(key, t, static_cast<double>(t));
+  }
+  store.merge(buffer);
+  EXPECT_EQ(s.size(), 101u);
+  // All appends fit in the reservation: the earlier span is still live.
+  EXPECT_EQ(before.data(), s.values().data());
 }
 
 TEST(MetricStore, KeysAreDistinguishedByAllFields) {

@@ -1,0 +1,166 @@
+#include "telemetry/streaming_digest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/percentile.h"
+
+namespace headroom::telemetry {
+namespace {
+
+TEST(StreamingDigest, EmptyDigestIsZero) {
+  const StreamingDigest d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_EQ(d.bucket_count(), 0u);
+}
+
+TEST(StreamingDigest, RejectsBadAccuracy) {
+  EXPECT_THROW(StreamingDigest(0.0), std::invalid_argument);
+  EXPECT_THROW(StreamingDigest(1.0), std::invalid_argument);
+  EXPECT_THROW(StreamingDigest(-0.5), std::invalid_argument);
+}
+
+TEST(StreamingDigest, MomentsAreExact) {
+  StreamingDigest d;
+  d.add(2.0);
+  d.add(-3.0);
+  d.add(7.0);
+  d.add(0.0);
+  EXPECT_EQ(d.count(), 4u);
+  EXPECT_DOUBLE_EQ(d.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(d.min(), -3.0);
+  EXPECT_DOUBLE_EQ(d.max(), 7.0);
+}
+
+TEST(StreamingDigest, QuantilesWithinRelativeAccuracy) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(3.0, 0.8);
+  StreamingDigest d(0.01);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist(rng);
+    samples.push_back(x);
+    d.add(x);
+  }
+  for (const double p : {5.0, 25.0, 50.0, 75.0, 95.0, 99.0}) {
+    const double exact = stats::percentile(samples, p);
+    const double approx = d.percentile(p);
+    // The bucket guarantee is 1% relative error on the order statistic; the
+    // interpolating exact definition can land between two statistics, so
+    // allow a hair over the bound.
+    EXPECT_NEAR(approx, exact, 0.02 * exact + 1e-9)
+        << "p" << p << " exact " << exact << " approx " << approx;
+  }
+}
+
+TEST(StreamingDigest, ExtremesAreExact) {
+  StreamingDigest d;
+  for (double x : {3.5, 1.25, 9.75, 0.5}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 9.75);
+}
+
+TEST(StreamingDigest, HandlesNegativeAndZeroValues) {
+  StreamingDigest d;
+  for (int i = -50; i <= 50; ++i) d.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(d.min(), -50.0);
+  EXPECT_DOUBLE_EQ(d.max(), 50.0);
+  EXPECT_NEAR(d.quantile(0.5), 0.0, 1.0);
+  EXPECT_NEAR(d.quantile(0.25), -25.0, 1.0);
+  EXPECT_NEAR(d.quantile(0.75), 25.0, 1.0);
+}
+
+TEST(StreamingDigest, RejectsNonFiniteSamples) {
+  StreamingDigest d;
+  EXPECT_THROW(d.add(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(d.add(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(d.add(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(StreamingDigest, MergeMatchesSingleStream) {
+  // Bucketing is value-determined, so splitting a stream across digests and
+  // merging reproduces the single-stream sketch exactly.
+  std::mt19937_64 rng(11);
+  std::gamma_distribution<double> dist(2.0, 30.0);
+  StreamingDigest whole;
+  StreamingDigest a;
+  StreamingDigest b;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist(rng);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, whole);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), whole.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.95), whole.quantile(0.95));
+}
+
+TEST(StreamingDigest, MergeIsAssociativeAcrossShardOrders) {
+  // The parallel fleet merges per-shard digests in shard order; the sketch
+  // must not care. Build one digest per "shard" and fold in every order of
+  // three shards: all six results must be identical sketches.
+  std::mt19937_64 rng(23);
+  std::lognormal_distribution<double> dist(2.0, 1.1);
+  std::vector<StreamingDigest> shards(3, StreamingDigest(0.01));
+  for (int i = 0; i < 3000; ++i) shards[i % 3].add(dist(rng));
+
+  std::vector<int> order = {0, 1, 2};
+  std::vector<StreamingDigest> folded;
+  do {
+    StreamingDigest acc(0.01);
+    for (int s : order) acc.merge(shards[s]);
+    folded.push_back(acc);
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  for (std::size_t i = 1; i < folded.size(); ++i) {
+    EXPECT_EQ(folded[i], folded[0]);
+    EXPECT_DOUBLE_EQ(folded[i].quantile(0.5), folded[0].quantile(0.5));
+    EXPECT_DOUBLE_EQ(folded[i].quantile(0.99), folded[0].quantile(0.99));
+    EXPECT_DOUBLE_EQ(folded[i].min(), folded[0].min());
+    EXPECT_DOUBLE_EQ(folded[i].max(), folded[0].max());
+    // sum is a float fold, so merge order can move it by rounding only.
+    EXPECT_NEAR(folded[i].sum(), folded[0].sum(),
+                1e-9 * std::fabs(folded[0].sum()));
+  }
+  // ((a+b)+c) == (a+(b+c)) explicitly, not just all-left folds.
+  StreamingDigest left = shards[0];
+  left.merge(shards[1]);
+  left.merge(shards[2]);
+  StreamingDigest right_tail = shards[1];
+  right_tail.merge(shards[2]);
+  StreamingDigest right = shards[0];
+  right.merge(right_tail);
+  EXPECT_EQ(left, right);
+}
+
+TEST(StreamingDigest, MergeRejectsAccuracyMismatch) {
+  StreamingDigest a(0.01);
+  const StreamingDigest b(0.05);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(StreamingDigest, ResetClears) {
+  StreamingDigest d;
+  d.add(5.0);
+  d.reset();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.bucket_count(), 0u);
+  d.add(2.0);  // usable after reset
+  EXPECT_DOUBLE_EQ(d.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace headroom::telemetry

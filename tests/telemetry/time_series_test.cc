@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace headroom::telemetry {
 namespace {
@@ -23,12 +25,70 @@ TEST(TimeSeries, RejectsOutOfOrderAppend) {
   EXPECT_THROW(s.append(0, 2.0), std::invalid_argument);    // backwards
 }
 
+TEST(TimeSeries, RejectsOutOfOrderAfterStrideFallback) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  s.append(120, 2.0);
+  s.append(300, 3.0);  // breaks the stride -> explicit times
+  ASSERT_FALSE(s.regular());
+  EXPECT_THROW(s.append(300, 4.0), std::invalid_argument);
+  EXPECT_THROW(s.append(200, 4.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, AtThrowsOutOfRange) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  EXPECT_THROW((void)s.at(1), std::out_of_range);
+}
+
+TEST(TimeSeries, DetectsRegularStride) {
+  TimeSeries s;
+  for (SimTime t = 60; t < 60 + 5 * 120; t += 120) {
+    s.append(t, static_cast<double>(t));
+  }
+  EXPECT_TRUE(s.regular());
+  EXPECT_EQ(s.start(), 60);
+  EXPECT_EQ(s.stride(), 120);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.time_at(i), 60 + static_cast<SimTime>(i) * 120);
+  }
+}
+
+TEST(TimeSeries, FallsBackToExplicitTimesOnCadenceBreak) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  s.append(120, 2.0);
+  s.append(240, 3.0);
+  ASSERT_TRUE(s.regular());
+  s.append(500, 4.0);  // off-cadence
+  EXPECT_FALSE(s.regular());
+  EXPECT_EQ(s.stride(), 0);
+  // Every timestamp, including the pre-fallback ones, survives.
+  EXPECT_EQ(s.time_at(0), 0);
+  EXPECT_EQ(s.time_at(1), 120);
+  EXPECT_EQ(s.time_at(2), 240);
+  EXPECT_EQ(s.time_at(3), 500);
+  // And later appends keep working in explicit mode.
+  s.append(501, 5.0);
+  EXPECT_EQ(s.time_at(4), 501);
+}
+
+TEST(TimeSeries, SingleAndEmptySeriesAreTriviallyRegular) {
+  TimeSeries s;
+  EXPECT_TRUE(s.regular());
+  EXPECT_EQ(s.stride(), 0);
+  s.append(42, 1.0);
+  EXPECT_TRUE(s.regular());
+  EXPECT_EQ(s.start(), 42);
+  EXPECT_EQ(s.stride(), 0);  // not yet established
+}
+
 TEST(TimeSeries, ValuesPreservesOrder) {
   TimeSeries s;
   s.append(0, 3.0);
   s.append(60, 1.0);
   s.append(120, 2.0);
-  const std::vector<double> vals = s.values();
+  const std::span<const double> vals = s.values();
   ASSERT_EQ(vals.size(), 3u);
   EXPECT_DOUBLE_EQ(vals[0], 3.0);
   EXPECT_DOUBLE_EQ(vals[2], 2.0);
@@ -39,10 +99,54 @@ TEST(TimeSeries, ValuesBetweenIsHalfOpen) {
   for (SimTime t = 0; t < 600; t += 120) {
     s.append(t, static_cast<double>(t));
   }
-  const std::vector<double> vals = s.values_between(120, 360);
+  const std::span<const double> vals = s.values_between(120, 360);
   ASSERT_EQ(vals.size(), 2u);  // 120, 240; 360 excluded
   EXPECT_DOUBLE_EQ(vals[0], 120.0);
   EXPECT_DOUBLE_EQ(vals[1], 240.0);
+}
+
+TEST(TimeSeries, ValuesBetweenOnIrregularSeries) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  s.append(100, 2.0);
+  s.append(150, 3.0);
+  s.append(400, 4.0);
+  ASSERT_FALSE(s.regular());
+  const std::span<const double> vals = s.values_between(100, 400);
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_DOUBLE_EQ(vals[0], 2.0);
+  EXPECT_DOUBLE_EQ(vals[1], 3.0);
+  EXPECT_TRUE(s.values_between(401, 500).empty());
+  EXPECT_TRUE(s.values_between(400, 400).empty());
+}
+
+TEST(TimeSeries, ValuesBetweenBoundariesOffTheStrideGrid) {
+  TimeSeries s;
+  for (SimTime t = 0; t < 600; t += 120) {
+    s.append(t, static_cast<double>(t));
+  }
+  // [119, 361) must behave exactly like the sample-by-sample filter.
+  const std::span<const double> vals = s.values_between(119, 361);
+  ASSERT_EQ(vals.size(), 3u);  // 120, 240, 360
+  EXPECT_DOUBLE_EQ(vals[0], 120.0);
+  EXPECT_DOUBLE_EQ(vals[2], 360.0);
+  EXPECT_TRUE(s.values_between(-500, 0).empty());
+  EXPECT_EQ(s.values_between(-500, 1).size(), 1u);
+}
+
+TEST(TimeSeries, ValuesBetweenSentinelBoundsSelectTheTail) {
+  TimeSeries s;
+  for (SimTime t = 0; t < 600; t += 120) {
+    s.append(t, static_cast<double>(t));
+  }
+  // INT64 extremes are legal half-open bounds (the "rest of the series"
+  // idiom) and must not overflow the stride arithmetic.
+  constexpr SimTime kMax = std::numeric_limits<SimTime>::max();
+  constexpr SimTime kMin = std::numeric_limits<SimTime>::min();
+  EXPECT_EQ(s.values_between(240, kMax).size(), 3u);  // 240, 360, 480
+  EXPECT_EQ(s.values_between(kMin, kMax).size(), 5u);
+  EXPECT_TRUE(s.values_between(kMin, 0).empty());
+  EXPECT_EQ(s.slice(360, kMax).size(), 2u);
 }
 
 TEST(TimeSeries, SlicePreservesTimestamps) {
@@ -50,9 +154,54 @@ TEST(TimeSeries, SlicePreservesTimestamps) {
   s.append(0, 1.0);
   s.append(120, 2.0);
   s.append(240, 3.0);
-  const TimeSeries sliced = s.slice(120, 240);
+  const SeriesView sliced = s.slice(120, 240);
   ASSERT_EQ(sliced.size(), 1u);
   EXPECT_EQ(sliced.at(0).window_start, 120);
+  EXPECT_DOUBLE_EQ(sliced.at(0).value, 2.0);
+  EXPECT_THROW((void)sliced.at(1), std::out_of_range);
+}
+
+TEST(SeriesView, DefaultConstructedViewIsSafelyEmpty) {
+  const SeriesView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.time_at(0), 0);
+  EXPECT_DOUBLE_EQ(view.value_at(0), 0.0);
+  EXPECT_TRUE(view.values().empty());
+  EXPECT_TRUE(view.regular());
+  EXPECT_EQ(view.stride(), 0);
+  EXPECT_THROW((void)view.at(0), std::out_of_range);
+}
+
+TEST(SeriesView, StaysValidAcrossParentAppends) {
+  TimeSeries s;
+  for (SimTime t = 0; t < 480; t += 120) {
+    s.append(t, static_cast<double>(t));
+  }
+  const SeriesView view = s.slice(120, 360);
+  ASSERT_EQ(view.size(), 2u);
+  // Appends only extend the series past the view: the (offset, length)
+  // window still denotes the same samples afterwards.
+  s.append(480, 480.0);
+  s.append(600, 600.0);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.time_at(0), 120);
+  EXPECT_DOUBLE_EQ(view.value_at(0), 120.0);
+  EXPECT_EQ(view.time_at(1), 240);
+}
+
+TEST(TimeSeries, ReservedAppendsKeepValueSpanStable) {
+  TimeSeries s;
+  s.reserve(16);
+  s.append(0, 1.0);
+  const std::span<const double> before = s.values();
+  for (SimTime t = 120; t < 16 * 120; t += 120) {
+    s.append(t, static_cast<double>(t));
+  }
+  // No reallocation happened within the reserved capacity, so the earlier
+  // span still points at live storage.
+  EXPECT_EQ(before.data(), s.values().data());
+  EXPECT_GE(s.capacity(), 16u);
 }
 
 TEST(Align, InnerJoinOnTimestamps) {
@@ -102,6 +251,59 @@ TEST(Align, IdenticalTimestampsFullJoin) {
   for (std::size_t i = 0; i < pair.x.size(); ++i) {
     EXPECT_DOUBLE_EQ(pair.y[i], pair.x[i] * 2.0);
   }
+}
+
+TEST(Align, StrideFastPathMatchesWalkOnOffsetSeries) {
+  // Same cadence, different spans: x covers [0, 1200), y covers [360, 1560).
+  TimeSeries x;
+  TimeSeries y;
+  for (SimTime t = 0; t < 1200; t += 120) x.append(t, static_cast<double>(t) + 0.5);
+  for (SimTime t = 360; t < 1560; t += 120) y.append(t, static_cast<double>(t) * 3.0);
+  ASSERT_TRUE(x.regular());
+  ASSERT_TRUE(y.regular());
+  const AlignedPair pair = align(x, y);
+  ASSERT_EQ(pair.x.size(), 7u);  // 360..1080
+  for (std::size_t i = 0; i < pair.x.size(); ++i) {
+    const auto t = static_cast<double>(360 + 120 * static_cast<SimTime>(i));
+    EXPECT_DOUBLE_EQ(pair.x[i], t + 0.5);
+    EXPECT_DOUBLE_EQ(pair.y[i], t * 3.0);
+  }
+}
+
+TEST(Align, IncongruentStridesNeverMatch) {
+  TimeSeries x;
+  TimeSeries y;
+  for (SimTime t = 0; t < 600; t += 120) x.append(t, 1.0);
+  for (SimTime t = 60; t < 660; t += 120) y.append(t, 2.0);  // offset by 60
+  const AlignedPair pair = align(x, y);
+  EXPECT_TRUE(pair.x.empty());
+}
+
+TEST(Align, MixedRegularAndIrregularFallsBackToWalk) {
+  TimeSeries x;
+  for (SimTime t = 0; t < 600; t += 120) x.append(t, static_cast<double>(t));
+  TimeSeries y;
+  y.append(0, 10.0);
+  y.append(120, 20.0);
+  y.append(300, 30.0);  // irregular
+  ASSERT_FALSE(y.regular());
+  const AlignedPair pair = align(x, y);
+  ASSERT_EQ(pair.x.size(), 2u);  // 0 and 120 match; 300 is off x's grid...
+  EXPECT_DOUBLE_EQ(pair.y[1], 20.0);
+}
+
+TEST(Align, SlicedViewsJoinLikeMaterializedSlices) {
+  TimeSeries x;
+  TimeSeries y;
+  for (SimTime t = 0; t < 2400; t += 120) {
+    x.append(t, static_cast<double>(t) + 1.0);
+    y.append(t, static_cast<double>(t) + 2.0);
+  }
+  const AlignedPair pair = align(x.slice(240, 1200), y.slice(480, 2400));
+  ASSERT_EQ(pair.x.size(), 6u);  // 480..1080
+  EXPECT_DOUBLE_EQ(pair.x[0], 481.0);
+  EXPECT_DOUBLE_EQ(pair.y[0], 482.0);
+  EXPECT_DOUBLE_EQ(pair.x[5], 1081.0);
 }
 
 }  // namespace
