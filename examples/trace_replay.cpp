@@ -1,0 +1,66 @@
+// Trace replay: record a scenario run as CSVs, then re-run the pipeline
+// against the recording with no simulator in the loop — the paper's
+// black-box posture (§II-B2) end to end.
+//
+//   1. Build a small single-pool scenario programmatically.
+//   2. export_trace(): run it and capture per-pool window CSVs, the
+//      per-server-day CPU snapshots, and the machine summary.
+//   3. replay_trace(): re-ingest the CSVs and run the same four steps;
+//      because the CSV writers are lossless (shortest-roundtrip doubles),
+//      the replayed summary must be byte-identical to the recording's.
+//
+// Build & run:  ./build/examples/trace_replay
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "scenario/scenario_runner.h"
+#include "scenario/trace.h"
+
+int main() {
+  using namespace headroom;
+  namespace fs = std::filesystem;
+
+  scenario::ScenarioSpec spec;
+  spec.name = "trace_replay_demo";
+  spec.description = "32-server pool, two observed days, measure+optimize";
+  spec.servers = 32;
+  spec.days = 2;
+  spec.steps = scenario::step_bit(scenario::PipelineStep::kMeasure) |
+               scenario::step_bit(scenario::PipelineStep::kOptimize);
+
+  const fs::path dir = fs::temp_directory_path() / "headroom_trace_demo";
+  fs::remove_all(dir);
+
+  // --- 2. Record -------------------------------------------------------------
+  scenario::ScenarioRunResult recorded;
+  const scenario::TraceExportResult exported =
+      scenario::export_trace(spec, dir.string(), &recorded);
+  if (!exported.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", exported.error.c_str());
+    return 1;
+  }
+  std::printf("recorded %zu files into %s\n", exported.files.size(),
+              dir.string().c_str());
+  std::printf("  RSM on the simulator:   %zu -> %zu servers\n",
+              recorded.rsm.starting_serving, recorded.rsm.recommended_serving);
+
+  // --- 3. Replay -------------------------------------------------------------
+  const scenario::TraceReplayResult replayed =
+      scenario::replay_trace(dir.string());
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", replayed.error.c_str());
+    return 1;
+  }
+  std::printf("  RSM on the trace alone: %zu -> %zu servers\n",
+              replayed.result.rsm.starting_serving,
+              replayed.result.rsm.recommended_serving);
+
+  const std::string original = scenario::format_summary(recorded);
+  const std::string from_trace = scenario::format_summary(replayed.result);
+  std::printf("round trip: summaries %s\n",
+              original == from_trace ? "byte-identical" : "DIVERGED");
+
+  fs::remove_all(dir);
+  return original == from_trace ? 0 : 1;
+}

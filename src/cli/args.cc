@@ -50,9 +50,12 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       opt.command = Command::kRunScenario;
     } else if (args[0] == "list-scenarios") {
       opt.command = Command::kListScenarios;
+    } else if (args[0] == "export-trace") {
+      opt.command = Command::kExportTrace;
     } else {
       outcome.error = "unknown command '" + args[0] +
-                      "' (expected run, list-scenarios, or flags)";
+                      "' (expected run, export-trace, list-scenarios, "
+                      "or flags)";
       return outcome;
     }
     start = 1;
@@ -120,10 +123,32 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
           return outcome;
         }
         opt.scenario_path = value;
+      } else if (arg == "--trace") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.trace_dir = value;
       } else if (arg == "--quiet") {
         opt.quiet = true;
       } else {
         outcome.error = "unknown argument '" + arg + "' for run";
+        return outcome;
+      }
+    } else if (opt.command == Command::kExportTrace) {
+      if (arg == "--scenario") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.scenario_path = value;
+      } else if (arg == "--out") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.trace_out = value;
+      } else if (arg == "--quiet") {
+        opt.quiet = true;
+      } else {
+        outcome.error = "unknown argument '" + arg + "' for export-trace";
         return outcome;
       }
     } else {  // Command::kListScenarios
@@ -139,9 +164,33 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
     }
   }
 
-  if (opt.command == Command::kRunScenario && opt.scenario_path.empty()) {
-    outcome.error = "run needs --scenario FILE";
-    return outcome;
+  if (opt.command == Command::kRunScenario) {
+    if (opt.scenario_path.empty() && opt.trace_dir.empty()) {
+      outcome.error = "run needs --scenario FILE or --trace DIR";
+      return outcome;
+    }
+    if (!opt.scenario_path.empty() && !opt.trace_dir.empty()) {
+      outcome.error = "run takes --scenario or --trace, not both";
+      return outcome;
+    }
+    // Silently ignoring a flag is exactly the bug class this parser was
+    // rebuilt to prevent: replay never steps a simulator, so a thread
+    // count cannot apply.
+    if (!opt.trace_dir.empty() && opt.threads_set) {
+      outcome.error = "--threads does not apply to run --trace "
+                      "(replay does not step a simulator)";
+      return outcome;
+    }
+  }
+  if (opt.command == Command::kExportTrace) {
+    if (opt.scenario_path.empty()) {
+      outcome.error = "export-trace needs --scenario FILE";
+      return outcome;
+    }
+    if (opt.trace_out.empty()) {
+      outcome.error = "export-trace needs --out DIR";
+      return outcome;
+    }
   }
   outcome.ok = true;
   return outcome;
@@ -153,6 +202,11 @@ std::string usage() {
       "\n"
       "  headroom [flags]                 run the four-step pipeline\n"
       "  headroom run --scenario FILE     run a declarative scenario file\n"
+      "  headroom run --trace DIR         replay the pipeline from a\n"
+      "                                   recorded trace directory\n"
+      "  headroom export-trace --scenario FILE --out DIR\n"
+      "                                   run a scenario and capture it as\n"
+      "                                   a replayable trace directory\n"
       "  headroom list-scenarios [--dir DIR]\n"
       "                                   describe the scenario library\n"
       "\n"
@@ -166,7 +220,16 @@ std::string usage() {
       "                for any N (default 0 = hardware concurrency)\n"
       "\n"
       "run flags:\n"
-      "  --scenario F  scenario file to execute (required)\n"
+      "  --scenario F  scenario file to execute\n"
+      "  --trace D     trace directory to replay (export-trace output);\n"
+      "                exactly one of --scenario/--trace is required\n"
+      "  --threads N   override the scenario's stepping threads\n"
+      "                (--scenario only; replay does not step)\n"
+      "  --quiet       print only the machine-readable summary\n"
+      "\n"
+      "export-trace flags:\n"
+      "  --scenario F  scenario file to run and record (required)\n"
+      "  --out D       trace directory to write (required)\n"
       "  --threads N   override the scenario's stepping threads\n"
       "  --quiet       print only the machine-readable summary\n"
       "\n"

@@ -15,8 +15,9 @@ namespace headroom::cli {
 
 enum class Command {
   kPipeline,       ///< Legacy flag mode: full pipeline from flags.
-  kRunScenario,    ///< `headroom run --scenario FILE`.
+  kRunScenario,    ///< `headroom run --scenario FILE | --trace DIR`.
   kListScenarios,  ///< `headroom list-scenarios [--dir DIR]`.
+  kExportTrace,    ///< `headroom export-trace --scenario FILE --out DIR`.
 };
 
 struct Options {
@@ -33,9 +34,11 @@ struct Options {
                               ///< scenarios keep their own value otherwise).
 
   // --- Scenario modes -----------------------------------------------------
-  std::string scenario_path;                     ///< run: --scenario FILE.
+  std::string scenario_path;  ///< run / export-trace: --scenario FILE.
   std::string scenario_dir = "examples/scenarios";  ///< list: --dir DIR.
-  bool quiet = false;  ///< run: print only the machine-readable summary.
+  std::string trace_dir;      ///< run: --trace DIR (replay a recording).
+  std::string trace_out;      ///< export-trace: --out DIR.
+  bool quiet = false;  ///< run/export: print only the machine summary.
 };
 
 struct ParseOutcome {

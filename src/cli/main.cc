@@ -13,10 +13,14 @@
 //   Step 4 (Validate) — gate a (deliberately regressing) candidate change
 //                       offline against the synthetic workload.
 //
-// Three modes (see cli/args.h):
+// Four modes (see cli/args.h):
 //   headroom [flags]              pipeline from flags (legacy mode)
 //   headroom run --scenario FILE  declarative scenario: fleet topology,
 //                                 event timeline, steps, assertions
+//   headroom run --trace DIR      replay the pipeline from a recorded
+//                                 trace (no simulator in the loop)
+//   headroom export-trace ...     run a scenario and capture it as a
+//                                 replayable trace directory
 //   headroom list-scenarios       describe a scenario directory
 #include <algorithm>
 #include <cstdio>
@@ -28,6 +32,7 @@
 #include "cli/args.h"
 #include "scenario/scenario_parser.h"
 #include "scenario/scenario_runner.h"
+#include "scenario/trace.h"
 #include "telemetry/metric_store.h"
 
 namespace {
@@ -138,6 +143,65 @@ int run_pipeline(const cli::Options& opt) {
   return 0;
 }
 
+/// Shared tail of the scenario-shaped commands: narrative, summary, and
+/// the 0/3 exit on assertion outcome.
+int finish_run(const cli::Options& opt,
+               const scenario::ScenarioRunResult& result) {
+  if (!opt.quiet) {
+    print_narrative(result);
+    std::printf("\n--- summary ---\n");
+  }
+  std::fputs(scenario::format_summary(result).c_str(), stdout);
+  if (!result.assertions_pass) {
+    std::fprintf(stderr, "headroom: scenario '%s' assertions FAILED\n",
+                 result.spec.name.c_str());
+    return 3;
+  }
+  return 0;
+}
+
+int run_trace(const cli::Options& opt) {
+  const scenario::TraceReplayResult replay =
+      scenario::replay_trace(opt.trace_dir);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "headroom: %s\n", replay.error.c_str());
+    return 2;
+  }
+  if (!opt.quiet) {
+    std::printf("headroom: replaying trace '%s' (scenario '%s', no "
+                "simulator in the loop)\n",
+                opt.trace_dir.c_str(), replay.result.spec.name.c_str());
+  }
+  return finish_run(opt, replay.result);
+}
+
+int export_trace(const cli::Options& opt) {
+  scenario::ParseResult parsed =
+      scenario::load_scenario_file(opt.scenario_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "headroom: %s\n", parsed.error.c_str());
+    return 2;
+  }
+  if (opt.threads_set) parsed.spec.threads = opt.threads;
+  if (!opt.quiet) {
+    std::printf("headroom: recording scenario '%s' into %s\n",
+                parsed.spec.name.c_str(), opt.trace_out.c_str());
+  }
+  scenario::ScenarioRunResult result;
+  const scenario::TraceExportResult exported =
+      scenario::export_trace(parsed.spec, opt.trace_out, &result);
+  if (!exported.ok()) {
+    std::fprintf(stderr, "headroom: %s\n", exported.error.c_str());
+    return 2;
+  }
+  if (!opt.quiet) {
+    for (const std::string& file : exported.files) {
+      std::printf("  wrote %s\n", file.c_str());
+    }
+  }
+  return finish_run(opt, result);
+}
+
 int run_scenario(const cli::Options& opt) {
   scenario::ParseResult parsed = scenario::load_scenario_file(opt.scenario_path);
   if (!parsed.ok()) {
@@ -152,17 +216,7 @@ int run_scenario(const cli::Options& opt) {
   }
   const scenario::ScenarioRunResult result =
       scenario::ScenarioRunner().run(parsed.spec);
-  if (!opt.quiet) {
-    print_narrative(result);
-    std::printf("\n--- summary ---\n");
-  }
-  std::fputs(scenario::format_summary(result).c_str(), stdout);
-  if (!result.assertions_pass) {
-    std::fprintf(stderr, "headroom: scenario '%s' assertions FAILED\n",
-                 parsed.spec.name.c_str());
-    return 3;
-  }
-  return 0;
+  return finish_run(opt, result);
 }
 
 int list_scenarios(const cli::Options& opt) {
@@ -228,7 +282,11 @@ int main(int argc, char** argv) {
   try {
     switch (outcome.options.command) {
       case cli::Command::kRunScenario:
-        return run_scenario(outcome.options);
+        return outcome.options.trace_dir.empty()
+                   ? run_scenario(outcome.options)
+                   : run_trace(outcome.options);
+      case cli::Command::kExportTrace:
+        return export_trace(outcome.options);
       case cli::Command::kListScenarios:
         return list_scenarios(outcome.options);
       case cli::Command::kPipeline:

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "telemetry/metric_store.h"
 #include "telemetry/time_series.h"
 
 namespace headroom::core {
@@ -40,5 +42,15 @@ class PoolExperimentBackend {
   /// observations from that span.
   virtual ExperimentObservations observe(telemetry::SimTime duration) = 0;
 };
+
+/// Assembles the experiment observations of one pool from its pool-scope
+/// series over [from, to): zero-copy window slices of the four series,
+/// aligned on window start. This is the single definition of "what an
+/// observation is" — the simulator backend reads its live store through it
+/// and the trace backend reads a recorded store through it, so a lossless
+/// trace round-trip reproduces observations bit-for-bit.
+[[nodiscard]] ExperimentObservations observations_between(
+    const telemetry::MetricStore& store, std::uint32_t datacenter,
+    std::uint32_t pool, telemetry::SimTime from, telemetry::SimTime to);
 
 }  // namespace headroom::core

@@ -4,15 +4,6 @@
 
 namespace headroom::core {
 
-void ExperimentObservations::append(const ExperimentObservations& other) {
-  total_rps.insert(total_rps.end(), other.total_rps.begin(),
-                   other.total_rps.end());
-  servers.insert(servers.end(), other.servers.begin(), other.servers.end());
-  latency_p95_ms.insert(latency_p95_ms.end(), other.latency_p95_ms.begin(),
-                        other.latency_p95_ms.end());
-  cpu_pct.insert(cpu_pct.end(), other.cpu_pct.begin(), other.cpu_pct.end());
-}
-
 SimPoolBackend::SimPoolBackend(sim::FleetSimulator* fleet,
                                std::uint32_t datacenter, std::uint32_t pool)
     : fleet_(fleet), datacenter_(datacenter), pool_(pool) {
@@ -37,40 +28,7 @@ ExperimentObservations SimPoolBackend::observe(telemetry::SimTime duration) {
   const telemetry::SimTime from = fleet_->now();
   fleet_->run_until(from + duration);
   const telemetry::SimTime to = fleet_->now();
-
-  using telemetry::MetricKind;
-  const auto& store = fleet_->store();
-  const auto rps =
-      store.pool_series(datacenter_, pool_, MetricKind::kRequestsPerSecond)
-          .slice(from, to);
-  const auto active =
-      store.pool_series(datacenter_, pool_, MetricKind::kActiveServers)
-          .slice(from, to);
-  const auto latency =
-      store.pool_series(datacenter_, pool_, MetricKind::kLatencyP95Ms)
-          .slice(from, to);
-  const auto cpu =
-      store.pool_series(datacenter_, pool_, MetricKind::kCpuPercentAttributed)
-          .slice(from, to);
-
-  // All four series share window boundaries by construction; align via the
-  // shared timestamps anyway for safety.
-  const telemetry::AlignedPair rps_active = telemetry::align(rps, active);
-  const telemetry::AlignedPair lat_cpu = telemetry::align(latency, cpu);
-
-  ExperimentObservations obs;
-  const std::size_t n = std::min(rps_active.x.size(), lat_cpu.x.size());
-  obs.total_rps.reserve(n);
-  obs.servers.reserve(n);
-  obs.latency_p95_ms.reserve(n);
-  obs.cpu_pct.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    obs.total_rps.push_back(rps_active.x[i] * rps_active.y[i]);
-    obs.servers.push_back(rps_active.y[i]);
-    obs.latency_p95_ms.push_back(lat_cpu.x[i]);
-    obs.cpu_pct.push_back(lat_cpu.y[i]);
-  }
-  return obs;
+  return observations_between(fleet_->store(), datacenter_, pool_, from, to);
 }
 
 }  // namespace headroom::core

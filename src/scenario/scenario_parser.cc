@@ -9,6 +9,8 @@
 #include <sstream>
 #include <vector>
 
+#include "telemetry/csv.h"
+
 namespace headroom::scenario {
 
 namespace {
@@ -558,16 +560,10 @@ class Parser {
   bool assert_has_expect_ = false;
 };
 
+// Shortest-roundtrip formatting, shared with the CSV trace exporter so
+// scenario files and traces pin the same byte representation of a double.
 [[nodiscard]] std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Prefer the shortest representation that round-trips exactly.
-  for (int precision = 1; precision < 17; ++precision) {
-    char shorter[64];
-    std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
-    if (std::strtod(shorter, nullptr) == v) return shorter;
-  }
-  return buf;
+  return telemetry::format_double(v);
 }
 
 [[nodiscard]] std::string join(const std::vector<std::string>& items,

@@ -9,6 +9,17 @@
 // The outcome is both structured (per-step results for narrative display)
 // and flat (a metric map the spec's assertions are checked against).
 //
+// Two execution modes share every pipeline stage:
+//   run()    — simulator mode: steps a fleet for the observation phase and
+//              hands the RSM planner a live SimPoolBackend.
+//   replay() — trace mode: no stepping at all. Observation-phase telemetry
+//              comes from a recorded MetricStore, the RSM planner reads a
+//              TraceExperimentBackend over the same recording, and the
+//              environment metrics are recomputed from the spec's demand
+//              oracle (a pure function of the config, so they match the
+//              recording run bit-for-bit). A lossless trace round-trip
+//              therefore reproduces format_summary() byte-for-byte.
+//
 // Determinism: for a fixed spec (ignoring `threads`), every thread count
 // yields a bit-identical metric map and summary — the simulator's
 // parallel-stepping guarantee carries through, which is what lets golden
@@ -25,6 +36,7 @@
 #include "core/rsm_planner.h"
 #include "core/server_grouper.h"
 #include "scenario/scenario_spec.h"
+#include "sim/fleet.h"
 #include "sim/microservice.h"
 #include "sim/topology.h"
 #include "workload/synthetic.h"
@@ -59,6 +71,14 @@ struct ScenarioRunResult {
   std::size_t thread_count = 1;
 };
 
+/// Recorded inputs for replay(): the full telemetry of a prior run of the
+/// same spec (observation phase and RSM experiment windows) plus the
+/// per-server-day CPU snapshots the grouping step consumed.
+struct ReplayInputs {
+  const telemetry::MetricStore* trace = nullptr;
+  std::vector<sim::ServerDayCpu> server_days;
+};
+
 class ScenarioRunner {
  public:
   ScenarioRunner() = default;
@@ -67,6 +87,20 @@ class ScenarioRunner {
   /// visible only at build/run time (spec fails validate(), a service name
   /// missing from the catalog, a serving reduction exceeding a pool size).
   [[nodiscard]] ScenarioRunResult run(const ScenarioSpec& spec) const;
+
+  /// run() on a caller-constructed fleet, which must be freshly built from
+  /// build_fleet(spec) and never stepped. Trace export uses this: the
+  /// stepped fleet's telemetry is what gets captured after the run.
+  [[nodiscard]] ScenarioRunResult run_on_fleet(
+      const ScenarioSpec& spec, sim::FleetSimulator& fleet,
+      const sim::MicroserviceCatalog& catalog) const;
+
+  /// Executes the scenario's pipeline against recorded telemetry instead
+  /// of a simulator (see the header comment). Throws std::invalid_argument
+  /// for spec problems and std::runtime_error when the replayed planner
+  /// diverges from (or exhausts) the recording.
+  [[nodiscard]] ScenarioRunResult replay(const ScenarioSpec& spec,
+                                         const ReplayInputs& inputs) const;
 
   /// Builds the FleetConfig for a spec: topology preset, overrides, and
   /// schedule-level events (traffic, outage, maintenance waves). Serving

@@ -1,15 +1,106 @@
 #include "telemetry/csv.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <vector>
 
 namespace headroom::telemetry {
+
+namespace {
+
+/// Rows buffered per MetricStore::merge call while ingesting. Each batch
+/// refills the same MetricBuffer with the same key sequence, so the store's
+/// memoized merge plan is hit on every batch after the first.
+constexpr std::size_t kIngestBatchRows = 512;
+
+[[nodiscard]] std::string line_error(std::string_view source, std::size_t line,
+                                     const std::string& message) {
+  return std::string(source) + ":" + std::to_string(line) + ": " + message;
+}
+
+}  // namespace
+
+bool parse_int64(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_finite_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  // No errno/ERANGE check: glibc flags subnormal results as range errors,
+  // but subnormals are legitimate trace values (and round-trip exactly).
+  // Overflow is caught by the finiteness test.
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool read_csv_line(std::istream& in, std::string* line) {
+  if (!std::getline(in, *line)) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+std::vector<std::string> split_csv_fields(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = line.find(sep, pos);
+    fields.push_back(line.substr(pos, next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return fields;
+}
+
+std::string format_double(double value) {
+  // The shortest representation that strtod parses back bit-exactly. Every
+  // %g precision from 1 to 17 is a candidate (17 significant digits always
+  // round-trip); scanning them all matters because %g's scientific form
+  // can make a *lower* precision longer — 10.0 is "1e+01" at precision 1
+  // but "10" at precision 2.
+  char best[64];
+  std::size_t best_len = 0;
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    // A %.*g string at precision p that is shorter than p characters had
+    // its trailing zeros trimmed, making it identical to some lower
+    // precision's output — already tried. So once the best round-tripping
+    // candidate is no longer than the precision, no later precision can
+    // beat it, and typical values (0, 1, 0.5, ...) exit after 1-2 passes.
+    if (best_len > 0 && best_len <= static_cast<std::size_t>(precision)) {
+      break;
+    }
+    const int len = std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (len <= 0) continue;
+    if (std::strtod(buf, nullptr) != value) continue;
+    if (best_len == 0 || static_cast<std::size_t>(len) < best_len) {
+      best_len = static_cast<std::size_t>(len);
+      std::snprintf(best, sizeof best, "%s", buf);
+    }
+  }
+  return best_len > 0 ? best : buf;
+}
 
 void write_series_csv(std::ostream& out, const TimeSeries& series,
                       const std::string& value_column) {
   out << "window_start," << value_column << "\n";
   for (std::size_t i = 0; i < series.size(); ++i) {
-    out << series.time_at(i) << "," << series.value_at(i) << "\n";
+    out << series.time_at(i) << "," << format_double(series.value_at(i))
+        << "\n";
   }
 }
 
@@ -21,7 +112,7 @@ void write_scatter_csv(std::ostream& out, const AlignedPair& pair,
   // y by x's length read out of bounds when y was shorter.
   const std::size_t rows = std::min(pair.x.size(), pair.y.size());
   for (std::size_t i = 0; i < rows; ++i) {
-    out << pair.x[i] << "," << pair.y[i] << "\n";
+    out << format_double(pair.x[i]) << "," << format_double(pair.y[i]) << "\n";
   }
 }
 
@@ -70,12 +161,128 @@ std::size_t write_pool_csv(std::ostream& out, const MetricStore& store,
     if (!aligned) continue;
     out << target;
     for (std::size_t c = 0; c < series.size(); ++c) {
-      out << "," << series[c]->value_at(cursor[c]);
+      out << "," << format_double(series[c]->value_at(cursor[c]));
       ++cursor[c];
     }
     out << "\n";
   }
   return series.size();
+}
+
+CsvReadResult read_pool_csv(std::istream& in, std::string_view source,
+                            MetricStore* store, std::uint32_t datacenter,
+                            std::uint32_t pool) {
+  CsvReadResult result;
+  if (store == nullptr) {
+    result.error = std::string(source) + ": null store";
+    return result;
+  }
+
+  std::string line;
+  std::size_t line_no = 1;
+  if (!read_csv_line(in, &line)) {
+    result.error = std::string(source) + ": empty file (missing header)";
+    return result;
+  }
+  const std::vector<std::string> header = split_csv_fields(line);
+  if (header.empty() || header[0] != "window_start") {
+    result.error = line_error(source, line_no,
+                              "bad header: first column must be "
+                              "'window_start', got '" +
+                                  (header.empty() ? "" : header[0]) + "'");
+    return result;
+  }
+  if (header.size() < 2) {
+    result.error =
+        line_error(source, line_no, "bad header: no metric columns");
+    return result;
+  }
+  std::vector<SeriesKey> keys;
+  for (std::size_t c = 1; c < header.size(); ++c) {
+    const auto kind = metric_from_string(header[c]);
+    if (!kind) {
+      result.error = line_error(
+          source, line_no, "unknown metric column '" + header[c] + "'");
+      return result;
+    }
+    const SeriesKey key{datacenter, pool, SeriesKey::kPoolScope, *kind};
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) {
+      result.error = line_error(
+          source, line_no, "duplicate metric column '" + header[c] + "'");
+      return result;
+    }
+    keys.push_back(key);
+    result.columns.push_back(*kind);
+  }
+
+  MetricBuffer buffer;
+  buffer.reserve(kIngestBatchRows * keys.size());
+  SimTime last_time = 0;
+  bool have_last = false;
+  while (read_csv_line(in, &line)) {
+    ++line_no;
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    const std::vector<std::string> fields = split_csv_fields(line);
+    if (fields.size() != header.size()) {
+      result.error = line_error(
+          source, line_no,
+          "expected " + std::to_string(header.size()) + " fields, got " +
+              std::to_string(fields.size()));
+      return result;
+    }
+    SimTime t = 0;
+    if (!parse_int64(fields[0], &t)) {
+      result.error = line_error(
+          source, line_no,
+          "bad window_start '" + fields[0] + "' (expected an integer)");
+      return result;
+    }
+    if (have_last && t <= last_time) {
+      result.error = line_error(
+          source, line_no,
+          "window_start " + std::to_string(t) +
+              " is not after the previous row (" + std::to_string(last_time) +
+              "); rows must be strictly time-ordered");
+      return result;
+    }
+    last_time = t;
+    have_last = true;
+    for (std::size_t c = 0; c < keys.size(); ++c) {
+      double v = 0.0;
+      if (!parse_finite_double(fields[c + 1], &v)) {
+        result.error = line_error(
+            source, line_no,
+            "bad value '" + fields[c + 1] + "' for column '" +
+                std::string(to_string(keys[c].metric)) +
+                "' (expected a finite number)");
+        return result;
+      }
+      buffer.record(keys[c], t, v);
+    }
+    ++result.rows;
+    if (result.rows % kIngestBatchRows == 0) {
+      try {
+        store->merge(buffer);
+      } catch (const std::exception& e) {
+        result.error = line_error(source, line_no,
+                                  std::string("store rejected rows: ") +
+                                      e.what());
+        return result;
+      }
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    try {
+      store->merge(buffer);
+    } catch (const std::exception& e) {
+      result.error = line_error(source, line_no,
+                                std::string("store rejected rows: ") +
+                                    e.what());
+      return result;
+    }
+  }
+  return result;
 }
 
 }  // namespace headroom::telemetry

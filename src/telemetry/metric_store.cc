@@ -4,17 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <tuple>
 
 namespace headroom::telemetry {
 
 namespace {
 
 void sort_keys(std::vector<SeriesKey>& keys) {
-  std::sort(keys.begin(), keys.end(), [](const SeriesKey& a, const SeriesKey& b) {
-    return std::tie(a.datacenter, a.pool, a.server, a.metric) <
-           std::tie(b.datacenter, b.pool, b.server, b.metric);
-  });
+  std::sort(keys.begin(), keys.end());  // SeriesKey's canonical operator<
 }
 
 /// Grows `series` for `extra` more samples without defeating the vector's

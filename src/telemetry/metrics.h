@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 namespace headroom::telemetry {
@@ -49,6 +50,17 @@ inline constexpr std::size_t kMetricKindCount = 12;
   return "unknown";
 }
 
+/// Inverse of to_string — resolves a serialized metric name (e.g. a trace
+/// CSV column header) back to its kind; nullopt for unknown names.
+[[nodiscard]] constexpr std::optional<MetricKind> metric_from_string(
+    std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kMetricKindCount; ++i) {
+    const auto kind = static_cast<MetricKind>(i);
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
 /// Identifies one time series: a metric on a (datacenter, pool, server)
 /// scope. `server == kPoolScope` denotes the pool-level aggregate series
 /// (the 1-minute-average-across-pool points of the paper's scatter plots).
@@ -62,6 +74,18 @@ struct SeriesKey {
 
   friend bool operator==(const SeriesKey&, const SeriesKey&) = default;
 };
+
+/// Canonical deterministic key order: (datacenter, pool, server, metric).
+/// Every keyed-telemetry surface that must not depend on hash-map iteration
+/// order (store key listings, end-of-run aggregator flushes) sorts by this.
+[[nodiscard]] constexpr bool operator<(const SeriesKey& a,
+                                       const SeriesKey& b) noexcept {
+  if (a.datacenter != b.datacenter) return a.datacenter < b.datacenter;
+  if (a.pool != b.pool) return a.pool < b.pool;
+  if (a.server != b.server) return a.server < b.server;
+  return static_cast<std::uint8_t>(a.metric) <
+         static_cast<std::uint8_t>(b.metric);
+}
 
 struct SeriesKeyHash {
   [[nodiscard]] std::size_t operator()(const SeriesKey& k) const noexcept {

@@ -1,5 +1,7 @@
 #include "telemetry/percentile_digest.h"
 
+#include <algorithm>
+
 namespace headroom::telemetry {
 
 PercentileDigest::PercentileDigest()
@@ -19,6 +21,13 @@ PercentileSnapshot PercentileDigest::snapshot() const {
   s.p50 = quantiles_[2].value();
   s.p75 = quantiles_[3].value();
   s.p95 = quantiles_[4].value();
+  // The five P² estimators run independently, and at small sample counts
+  // their marker adjustments can cross (e.g. p5 > p25), which would hand
+  // downstream grouping a non-distribution. Enforce ascending order.
+  s.p25 = std::max(s.p25, s.p5);
+  s.p50 = std::max(s.p50, s.p25);
+  s.p75 = std::max(s.p75, s.p50);
+  s.p95 = std::max(s.p95, s.p75);
   s.mean = stats_.mean();
   s.min = stats_.min();
   s.max = stats_.max();

@@ -1,5 +1,6 @@
 #include "telemetry/window_aggregator.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace headroom::telemetry {
@@ -46,8 +47,23 @@ void WindowAggregator::add(const SeriesKey& key, SimTime t, double value) {
   if (is_latency(key.metric)) bucket.p95.add(value);
 }
 
+std::vector<SeriesKey> WindowAggregator::pending_keys() const {
+  std::vector<SeriesKey> keys;
+  keys.reserve(buckets_.size());
+  for (const auto& [key, bucket] : buckets_) {
+    if (bucket.active) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 void WindowAggregator::flush() {
-  for (auto& [key, bucket] : buckets_) emit(key, bucket);
+  // Iterating buckets_ directly would emit in unordered_map order — a
+  // platform- and history-dependent sequence that made end-of-run partial
+  // windows land in the store non-deterministically.
+  for (const SeriesKey& key : pending_keys()) {
+    emit(key, buckets_.find(key)->second);
+  }
 }
 
 }  // namespace headroom::telemetry

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
 #include "stats/descriptive.h"
 #include "stats/p2_quantile.h"
@@ -25,8 +26,14 @@ class WindowAggregator {
   /// Latency metrics aggregate as window P95; everything else as mean.
   void add(const SeriesKey& key, SimTime t, double value);
 
-  /// Flushes all partially filled windows (call at end of simulation).
+  /// Flushes all partially filled windows (call at end of simulation), in
+  /// sorted SeriesKey order — never in unordered_map iteration order, so
+  /// the store receives end-of-run partials identically on every platform.
   void flush();
+
+  /// Keys with a partially filled window, in the order flush() will emit
+  /// them (sorted by SeriesKey).
+  [[nodiscard]] std::vector<SeriesKey> pending_keys() const;
 
   [[nodiscard]] SimTime window_seconds() const noexcept { return window_; }
 

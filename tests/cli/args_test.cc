@@ -98,14 +98,62 @@ TEST(CliArgs, RejectsUnknownCommand) {
   const ParseOutcome outcome = parse_args(Args{"frobnicate"});
   EXPECT_FALSE(outcome.ok);
   EXPECT_EQ(outcome.error,
-            "unknown command 'frobnicate' (expected run, list-scenarios, or "
-            "flags)");
+            "unknown command 'frobnicate' (expected run, export-trace, "
+            "list-scenarios, or flags)");
 }
 
 TEST(CliArgs, RunRequiresScenario) {
   const ParseOutcome outcome = parse_args(Args{"run"});
   EXPECT_FALSE(outcome.ok);
-  EXPECT_EQ(outcome.error, "run needs --scenario FILE");
+  EXPECT_EQ(outcome.error, "run needs --scenario FILE or --trace DIR");
+}
+
+TEST(CliArgs, RunParsesTraceDirectory) {
+  const ParseOutcome outcome = parse_args(Args{"run", "--trace", "traces/t1"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.command, Command::kRunScenario);
+  EXPECT_EQ(outcome.options.trace_dir, "traces/t1");
+  EXPECT_TRUE(outcome.options.scenario_path.empty());
+}
+
+TEST(CliArgs, RunRejectsScenarioAndTraceTogether) {
+  const ParseOutcome outcome =
+      parse_args(Args{"run", "--scenario", "f.scn", "--trace", "d"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error, "run takes --scenario or --trace, not both");
+}
+
+TEST(CliArgs, RunRejectsThreadsWithTrace) {
+  // Replay never steps a simulator; swallowing the flag silently would be
+  // the bug class this parser exists to prevent.
+  const ParseOutcome outcome =
+      parse_args(Args{"run", "--trace", "d", "--threads", "4"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error,
+            "--threads does not apply to run --trace (replay does not step "
+            "a simulator)");
+}
+
+TEST(CliArgs, ExportTraceParsesScenarioAndOut) {
+  const ParseOutcome outcome =
+      parse_args(Args{"export-trace", "--scenario", "f.scn", "--out", "d",
+                      "--threads", "2", "--quiet"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.command, Command::kExportTrace);
+  EXPECT_EQ(outcome.options.scenario_path, "f.scn");
+  EXPECT_EQ(outcome.options.trace_out, "d");
+  EXPECT_EQ(outcome.options.threads, 2u);
+  EXPECT_TRUE(outcome.options.threads_set);
+  EXPECT_TRUE(outcome.options.quiet);
+}
+
+TEST(CliArgs, ExportTraceRequiresScenarioAndOut) {
+  EXPECT_EQ(parse_args(Args{"export-trace", "--out", "d"}).error,
+            "export-trace needs --scenario FILE");
+  EXPECT_EQ(parse_args(Args{"export-trace", "--scenario", "f.scn"}).error,
+            "export-trace needs --out DIR");
+  EXPECT_EQ(parse_args(Args{"export-trace", "--dir", "d"}).error,
+            "unknown argument '--dir' for export-trace");
 }
 
 TEST(CliArgs, RunParsesScenarioAndThreadOverride) {

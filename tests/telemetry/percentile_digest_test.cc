@@ -69,6 +69,40 @@ TEST(PercentileDigest, GroupingValuesMatchSnapshotFields) {
   EXPECT_DOUBLE_EQ(values[4], s.p95);
 }
 
+TEST(PercentileDigest, SnapshotIsMonotoneAtSmallSampleCounts) {
+  // Regression: the five P² estimators are independent, and on this stream
+  // (found by search) the pre-fix snapshot had p5 ≈ 27.43 > p25 ≈ 27.04.
+  const double stream[] = {
+      63.733814239871286, 82.654975580241569, 94.569848660247899,
+      75.321851049722625, 44.891607574777694, 4.6803017420987638,
+      6.4594519318487658, 74.760259212611388, 14.931846620549621,
+      42.525489172200899,
+  };
+  PercentileDigest digest;
+  for (const double x : stream) digest.add(x);
+  const PercentileSnapshot s = digest.snapshot();
+  EXPECT_LE(s.p5, s.p25);
+  EXPECT_LE(s.p25, s.p50);
+  EXPECT_LE(s.p50, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+}
+
+TEST(PercentileDigest, SnapshotIsMonotoneOverRandomSmallStreams) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> value(0.0, 100.0);
+  std::uniform_int_distribution<int> length(1, 20);
+  for (int trial = 0; trial < 2000; ++trial) {
+    PercentileDigest digest;
+    const int n = length(rng);
+    for (int i = 0; i < n; ++i) digest.add(value(rng));
+    const PercentileSnapshot s = digest.snapshot();
+    ASSERT_LE(s.p5, s.p25) << "trial " << trial;
+    ASSERT_LE(s.p25, s.p50) << "trial " << trial;
+    ASSERT_LE(s.p50, s.p75) << "trial " << trial;
+    ASSERT_LE(s.p75, s.p95) << "trial " << trial;
+  }
+}
+
 TEST(PercentileDigest, ResetClearsState) {
   PercentileDigest digest;
   for (int i = 0; i < 50; ++i) digest.add(100.0);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <stdexcept>
+#include <vector>
 
 namespace headroom::telemetry {
 namespace {
@@ -112,6 +114,73 @@ TEST(WindowAggregator, PaperDefaultWindowIs120s) {
   MetricStore store;
   WindowAggregator agg(&store);
   EXPECT_EQ(agg.window_seconds(), 120);
+}
+
+TEST(WindowAggregator, FlushEmitsPartialWindowsInSortedKeyOrder) {
+  // Regression: flush() used to iterate the bucket unordered_map, so the
+  // end-of-run partials reached the store in platform-dependent order.
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  // Insert in deliberately scrambled key order, across every key field.
+  const SeriesKey scrambled[] = {
+      {1, 0, 7, MetricKind::kCpuPercentTotal},
+      {0, 2, SeriesKey::kPoolScope, MetricKind::kRequestsPerSecond},
+      {1, 0, 3, MetricKind::kCpuPercentTotal},
+      {0, 2, SeriesKey::kPoolScope, MetricKind::kCpuPercentTotal},
+      {0, 1, 5, MetricKind::kLatencyP95Ms},
+      {1, 0, 3, MetricKind::kRequestsPerSecond},
+  };
+  for (const SeriesKey& key : scrambled) agg.add(key, 30, 1.0);
+
+  const std::vector<SeriesKey> pending = agg.pending_keys();
+  ASSERT_EQ(pending.size(), 6u);
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    EXPECT_TRUE(pending[i - 1] < pending[i])
+        << "pending_keys() not sorted at " << i;
+  }
+  // kPoolScope (0xFFFFFFFF) sorts after concrete server indices.
+  EXPECT_EQ(pending.front().datacenter, 0u);
+  EXPECT_EQ(pending.front().pool, 1u);
+  EXPECT_EQ(pending.back().datacenter, 1u);
+  EXPECT_EQ(pending.back().server, 7u);
+
+  agg.flush();
+  EXPECT_TRUE(agg.pending_keys().empty());
+  EXPECT_EQ(store.sample_count(), 6u);
+  for (const SeriesKey& key : scrambled) {
+    EXPECT_EQ(store.series(key).size(), 1u);
+  }
+}
+
+TEST(WindowAggregator, FlushedStoreIsInsertionOrderInvariant) {
+  // Two aggregators fed the same samples in different key orders must
+  // produce stores with identical contents and key listings.
+  const SeriesKey keys[] = {
+      {0, 0, 4, MetricKind::kCpuPercentTotal},
+      {0, 0, 1, MetricKind::kCpuPercentTotal},
+      {2, 0, SeriesKey::kPoolScope, MetricKind::kLatencyP95Ms},
+  };
+  MetricStore forward_store;
+  WindowAggregator forward(&forward_store, 120);
+  for (const SeriesKey& key : keys) forward.add(key, 10, 5.0);
+  forward.flush();
+
+  MetricStore reverse_store;
+  WindowAggregator reverse(&reverse_store, 120);
+  for (auto it = std::rbegin(keys); it != std::rend(keys); ++it) {
+    reverse.add(*it, 10, 5.0);
+  }
+  reverse.flush();
+
+  const auto forward_keys = forward_store.keys();
+  ASSERT_EQ(forward_keys.size(), reverse_store.keys().size());
+  EXPECT_TRUE(forward_keys == reverse_store.keys());
+  for (const SeriesKey& key : forward_keys) {
+    ASSERT_EQ(forward_store.series(key).size(),
+              reverse_store.series(key).size());
+    EXPECT_EQ(forward_store.series(key).at(0).value,
+              reverse_store.series(key).at(0).value);
+  }
 }
 
 }  // namespace
