@@ -52,10 +52,12 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       opt.command = Command::kListScenarios;
     } else if (args[0] == "export-trace") {
       opt.command = Command::kExportTrace;
+    } else if (args[0] == "serve") {
+      opt.command = Command::kServe;
     } else {
       outcome.error = "unknown command '" + args[0] +
-                      "' (expected run, export-trace, list-scenarios, "
-                      "or flags)";
+                      "' (expected run, serve, export-trace, "
+                      "list-scenarios, or flags)";
       return outcome;
     }
     start = 1;
@@ -151,6 +153,56 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
         outcome.error = "unknown argument '" + arg + "' for export-trace";
         return outcome;
       }
+    } else if (opt.command == Command::kServe) {
+      if (arg == "--scenario") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.scenario_path = value;
+      } else if (arg == "--trace") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.trace_dir = value;
+      } else if (arg == "--follow") {
+        opt.follow = true;
+      } else if (arg == "--extra-days") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 0, 3650, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.extra_days = static_cast<std::int64_t>(parsed);
+      } else if (arg == "--retention-days") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 0, 3650, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.retention_days = static_cast<std::int64_t>(parsed);
+      } else if (arg == "--reuse-baseline") {
+        opt.reuse_baseline = true;
+      } else if (arg == "--out") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.serve_out = value;
+      } else if (arg == "--poll-ms") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 1, 60000, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.poll_ms = static_cast<std::int64_t>(parsed);
+      } else if (arg == "--max-idle-polls") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 1, 1000000, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.max_idle_polls = static_cast<std::int64_t>(parsed);
+      } else if (arg == "--quiet") {
+        opt.quiet = true;
+      } else {
+        outcome.error = "unknown argument '" + arg + "' for serve";
+        return outcome;
+      }
     } else {  // Command::kListScenarios
       if (arg == "--dir") {
         if (!next_value(args, &i, arg, &value, &outcome.error)) {
@@ -192,6 +244,36 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       return outcome;
     }
   }
+  if (opt.command == Command::kServe) {
+    if (opt.scenario_path.empty() && opt.trace_dir.empty()) {
+      outcome.error = "serve needs --scenario FILE or --trace DIR --follow";
+      return outcome;
+    }
+    if (!opt.scenario_path.empty() && !opt.trace_dir.empty()) {
+      outcome.error = "serve takes --scenario or --trace, not both";
+      return outcome;
+    }
+    if (!opt.trace_dir.empty() && !opt.follow) {
+      outcome.error = "serve --trace requires --follow (a recorded trace is "
+                      "replayed with 'run --trace'; serve tails a growing "
+                      "one)";
+      return outcome;
+    }
+    if (opt.follow && opt.trace_dir.empty()) {
+      outcome.error = "--follow requires --trace DIR";
+      return outcome;
+    }
+    if (!opt.trace_dir.empty() && opt.threads_set) {
+      outcome.error = "--threads does not apply to serve --trace "
+                      "(follow mode does not step a simulator)";
+      return outcome;
+    }
+    if (!opt.trace_dir.empty() && opt.extra_days != 0) {
+      outcome.error = "--extra-days does not apply to serve --trace "
+                      "(the feed decides when the stream ends)";
+      return outcome;
+    }
+  }
   outcome.ok = true;
   return outcome;
 }
@@ -207,6 +289,11 @@ std::string usage() {
       "  headroom export-trace --scenario FILE --out DIR\n"
       "                                   run a scenario and capture it as\n"
       "                                   a replayable trace directory\n"
+      "  headroom serve --scenario FILE   continuous mode: stream the\n"
+      "                                   pipeline window-by-window\n"
+      "  headroom serve --trace DIR --follow\n"
+      "                                   continuous mode over a growing\n"
+      "                                   trace directory (tail the feed)\n"
       "  headroom list-scenarios [--dir DIR]\n"
       "                                   describe the scenario library\n"
       "\n"
@@ -232,6 +319,22 @@ std::string usage() {
       "  --out D       trace directory to write (required)\n"
       "  --threads N   override the scenario's stepping threads\n"
       "  --quiet       print only the machine-readable summary\n"
+      "\n"
+      "serve flags:\n"
+      "  --scenario F        scenario to serve (simulated live feed)\n"
+      "  --trace D --follow  tail a growing trace directory instead\n"
+      "  --extra-days N      steady-state days after the RSM completes\n"
+      "                      (--scenario only; default 0)\n"
+      "  --retention-days N  rolling telemetry retention; 0 keeps full\n"
+      "                      history (default 2)\n"
+      "  --reuse-baseline    seed the RSM baseline from the observation\n"
+      "                      phase instead of observing one\n"
+      "  --out D             also write window reports and the final\n"
+      "                      summary into directory D\n"
+      "  --poll-ms N         follow: sleep between idle polls (default 20)\n"
+      "  --max-idle-polls N  follow: idle polls before giving up (250)\n"
+      "  --threads N         override stepping threads (--scenario only)\n"
+      "  --quiet             suppress per-window report lines\n"
       "\n"
       "list-scenarios flags:\n"
       "  --dir D       scenario directory (default examples/scenarios)\n"

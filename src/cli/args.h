@@ -18,6 +18,7 @@ enum class Command {
   kRunScenario,    ///< `headroom run --scenario FILE | --trace DIR`.
   kListScenarios,  ///< `headroom list-scenarios [--dir DIR]`.
   kExportTrace,    ///< `headroom export-trace --scenario FILE --out DIR`.
+  kServe,          ///< `headroom serve --scenario FILE | --trace DIR --follow`.
 };
 
 struct Options {
@@ -39,6 +40,16 @@ struct Options {
   std::string trace_dir;      ///< run: --trace DIR (replay a recording).
   std::string trace_out;      ///< export-trace: --out DIR.
   bool quiet = false;  ///< run/export: print only the machine summary.
+
+  // --- Serve mode (continuous pipeline) -----------------------------------
+  bool follow = false;          ///< serve: --trace requires --follow.
+  std::int64_t extra_days = 0;  ///< serve: steady-state days after the RSM.
+  std::int64_t retention_days = 2;  ///< serve: rolling store retention
+                                    ///< (0 = keep full history).
+  bool reuse_baseline = false;  ///< serve: seed RSM from observation phase.
+  std::string serve_out;        ///< serve: --out DIR for windows + summary.
+  std::int64_t poll_ms = 20;    ///< serve --follow: idle poll sleep.
+  std::int64_t max_idle_polls = 250;  ///< serve --follow: idle budget.
 };
 
 struct ParseOutcome {

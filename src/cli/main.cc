@@ -21,17 +21,21 @@
 //                                 trace (no simulator in the loop)
 //   headroom export-trace ...     run a scenario and capture it as a
 //                                 replayable trace directory
+//   headroom serve ...            continuous mode: stream the pipeline
+//                                 window-by-window over a live feed
 //   headroom list-scenarios       describe a scenario directory
-#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "cli/args.h"
+#include "scenario/listing.h"
 #include "scenario/scenario_parser.h"
 #include "scenario/scenario_runner.h"
+#include "scenario/serve.h"
 #include "scenario/trace.h"
 #include "telemetry/metric_store.h"
 
@@ -220,47 +224,102 @@ int run_scenario(const cli::Options& opt) {
 }
 
 int list_scenarios(const cli::Options& opt) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(opt.scenario_dir, ec)) {
-    std::fprintf(stderr, "headroom: '%s' is not a directory\n",
-                 opt.scenario_dir.c_str());
+  const scenario::ScenarioListing listing =
+      scenario::list_scenario_dir(opt.scenario_dir);
+  if (!listing.ok()) {
+    std::fprintf(stderr, "headroom: %s\n", listing.error.c_str());
     return 2;
   }
-  fs::directory_iterator it(opt.scenario_dir, ec);
-  if (ec) {
-    std::fprintf(stderr, "headroom: cannot list '%s': %s\n",
-                 opt.scenario_dir.c_str(), ec.message().c_str());
-    return 2;
-  }
-  std::vector<fs::path> files;
-  for (const auto& entry : it) {
-    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
+  if (listing.entries.empty()) {
     std::printf("no .scn files in %s\n", opt.scenario_dir.c_str());
     return 0;
   }
-  for (const fs::path& file : files) {
-    const scenario::ParseResult parsed =
-        scenario::load_scenario_file(file.string());
-    if (!parsed.ok()) {
-      std::printf("%-28s PARSE ERROR: %s\n",
-                  file.filename().string().c_str(), parsed.error.c_str());
+  for (const scenario::ScenarioListEntry& entry : listing.entries) {
+    if (!entry.ok()) {
+      std::printf("%-28s PARSE ERROR: %s\n", entry.file.c_str(),
+                  entry.error.c_str());
       continue;
     }
-    const scenario::ScenarioSpec& spec = parsed.spec;
+    const scenario::ScenarioSpec& spec = entry.spec;
     const char* kind = spec.fleet == scenario::FleetKind::kSinglePool
                            ? "single_pool"
                            : spec.fleet == scenario::FleetKind::kMultiDc
                                  ? "multi_dc"
                                  : "standard";
     std::printf("%-28s %-12s %zu event(s), %zu assertion(s) — %s\n",
-                file.filename().string().c_str(), kind, spec.events.size(),
+                entry.file.c_str(), kind, spec.events.size(),
                 spec.assertions.size(), spec.description.c_str());
+  }
+  return 0;
+}
+
+int run_serve(const cli::Options& opt) {
+  namespace fs = std::filesystem;
+  scenario::ServeOptions sopt;
+  sopt.extra_days = opt.extra_days;
+  sopt.retention_seconds = opt.retention_days * 86400;
+  sopt.reuse_observation_baseline = opt.reuse_baseline;
+  sopt.poll_ms = opt.poll_ms;
+  sopt.max_idle_polls = static_cast<std::size_t>(opt.max_idle_polls);
+
+  std::ofstream window_log;
+  if (!opt.serve_out.empty()) {
+    std::error_code ec;
+    fs::create_directories(opt.serve_out, ec);
+    if (ec) {
+      std::fprintf(stderr, "headroom: cannot create '%s': %s\n",
+                   opt.serve_out.c_str(), ec.message().c_str());
+      return 2;
+    }
+    const fs::path log_path = fs::path(opt.serve_out) / "windows.log";
+    window_log.open(log_path, std::ios::binary);
+    if (!window_log) {
+      std::fprintf(stderr, "headroom: cannot write '%s'\n",
+                   log_path.string().c_str());
+      return 2;
+    }
+  }
+  const scenario::EmitFn emit = [&](const std::string& line) {
+    if (!opt.quiet) std::printf("%s\n", line.c_str());
+    if (window_log.is_open()) window_log << line << '\n';
+  };
+
+  scenario::ServeResult served;
+  const scenario::ServeRunner runner(sopt);
+  if (opt.trace_dir.empty()) {
+    scenario::ParseResult parsed =
+        scenario::load_scenario_file(opt.scenario_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "headroom: %s\n", parsed.error.c_str());
+      return 2;
+    }
+    if (opt.threads_set) parsed.spec.threads = opt.threads;
+    served = runner.serve(parsed.spec, emit);
+  } else {
+    served = runner.follow(opt.trace_dir, emit);
+  }
+
+  if (!opt.serve_out.empty()) {
+    const fs::path summary_path = fs::path(opt.serve_out) / "summary.txt";
+    std::ofstream summary_out(summary_path, std::ios::binary);
+    summary_out << served.summary;
+    if (!summary_out.good()) {
+      std::fprintf(stderr, "headroom: cannot write '%s'\n",
+                   summary_path.string().c_str());
+      return 2;
+    }
+  }
+  if (!opt.quiet) {
+    std::printf("\n--- summary (%zu windows, %zu reports, %zu resident / "
+                "%zu evicted samples) ---\n",
+                served.windows, served.reports, served.resident_samples,
+                served.evicted_samples);
+  }
+  std::fputs(served.summary.c_str(), stdout);
+  if (!served.result.assertions_pass) {
+    std::fprintf(stderr, "headroom: scenario '%s' assertions FAILED\n",
+                 served.result.spec.name.c_str());
+    return 3;
   }
   return 0;
 }
@@ -289,6 +348,8 @@ int main(int argc, char** argv) {
         return export_trace(outcome.options);
       case cli::Command::kListScenarios:
         return list_scenarios(outcome.options);
+      case cli::Command::kServe:
+        return run_serve(outcome.options);
       case cli::Command::kPipeline:
         return run_pipeline(outcome.options);
     }

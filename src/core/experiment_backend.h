@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "telemetry/metric_store.h"
@@ -41,6 +42,17 @@ class PoolExperimentBackend {
   /// Lets traffic flow for `duration` seconds and returns the windowed
   /// observations from that span.
   virtual ExperimentObservations observe(telemetry::SimTime duration) = 0;
+
+  /// Non-blocking variant for incremental planners: returns std::nullopt
+  /// when the span is not yet covered (a live feed still waiting on data),
+  /// leaving the backend's position untouched so the same call can be
+  /// retried once more windows arrive. Backends that produce their own data
+  /// on demand (the simulator) never report pending — the default simply
+  /// completes through observe().
+  virtual std::optional<ExperimentObservations> try_observe(
+      telemetry::SimTime duration) {
+    return observe(duration);
+  }
 };
 
 /// Assembles the experiment observations of one pool from its pool-scope

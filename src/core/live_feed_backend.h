@@ -1,0 +1,123 @@
+// Append-only-store implementation of PoolExperimentBackend.
+//
+// The paper's planner treats the service as a black box observed through
+// counters (§II-B2). This backend makes that literal for both replay and
+// continuous operation: the "service" is a MetricStore of windowed series,
+// and observe() hands out consecutive window slices of it. The store may be
+// a sealed recording (a re-ingested CSV trace — replay semantics: reading
+// past the end throws) or a live feed that another component appends to
+// window-by-window (serve mode: reading past the end is merely *pending*,
+// reported through try_observe() or satisfied by pumping the feed).
+//
+// Observations come from observations_between() — the same single
+// definition of "an observation" the simulator backend uses — so a replayed
+// or streamed pipeline sees bit-identical vectors to the batch run that
+// produced the data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/experiment_backend.h"
+
+namespace headroom::core {
+
+class LiveFeedBackend : public PoolExperimentBackend {
+ public:
+  struct Options {
+    std::uint32_t datacenter = 0;
+    std::uint32_t pool = 0;
+    std::size_t pool_size = 0;     ///< Configured servers of the pool.
+    std::size_t serving = 0;       ///< Serving count at `start`.
+    telemetry::SimTime start = 0;  ///< Feed cursor start (inclusive).
+    telemetry::SimTime window_seconds = 120;
+    /// A sealed feed is a complete recording: it must already hold the
+    /// pool's workload series, and observe() past its end throws. A live
+    /// feed treats missing windows as not-yet-arrived: try_observe()
+    /// reports pending and observe() asks the pump to extend the feed.
+    bool sealed = false;
+    /// Validate set_serving_count() against the recorded active-servers
+    /// column at the cursor (replay-divergence detection). Feeds whose
+    /// serving changes are forwarded through the serving hook to the
+    /// system that *produces* that column turn this off.
+    bool validate_serving = true;
+    /// Diagnostic prefix for exception messages.
+    std::string label = "LiveFeedBackend";
+  };
+
+  /// Asked to extend the feed so it covers windows up to `needed_end`
+  /// (exclusive). Returns false when the feed cannot grow any further —
+  /// observe() then throws. Only consulted by blocking observe() on a
+  /// live (non-sealed) feed.
+  using Pump = std::function<bool(telemetry::SimTime needed_end)>;
+  /// Notified after a serving-count change is adopted — the live-feed
+  /// analogue of the simulator applying the experiment control variable.
+  using ServingHook = std::function<void(std::size_t servers)>;
+
+  /// `store` must outlive the backend. Throws std::invalid_argument for an
+  /// underspecified feed (and, when sealed, for a missing workload series).
+  LiveFeedBackend(const telemetry::MetricStore* store, Options options);
+
+  [[nodiscard]] std::size_t pool_size() const override {
+    return options_.pool_size;
+  }
+  [[nodiscard]] std::size_t serving_count() const override { return serving_; }
+
+  /// Validates `servers` against the recorded active-servers column at the
+  /// cursor when `validate_serving` is set (more active servers on record
+  /// than the requested count means the replay diverged from the recorded
+  /// experiment; fewer is legal — maintenance takes rotation members
+  /// offline), adopts it, and invokes the serving hook. Throws
+  /// std::invalid_argument out of [1, pool_size()], std::runtime_error on
+  /// divergence (before the hook runs; a rejected count is never adopted).
+  void set_serving_count(std::size_t servers) override;
+
+  /// Returns the feed windows covering `duration` seconds from the cursor
+  /// and advances the cursor. Mirrors the simulator's stepping grid: the
+  /// fleet steps whole windows and overshoots a non-multiple horizon
+  /// (run_until), so the observed span is ceil(duration / window) windows
+  /// and the cursor lands on the next window boundary. When the feed does
+  /// not yet cover the span: a sealed feed throws std::runtime_error
+  /// ("trace exhausted"); a live feed pumps until it does, and throws only
+  /// when no pump is attached or the pump reports the feed closed.
+  ExperimentObservations observe(telemetry::SimTime duration) override;
+
+  /// Non-blocking observe: std::nullopt (cursor untouched, nothing thrown)
+  /// while the span is not yet covered. The incremental planner's path.
+  std::optional<ExperimentObservations> try_observe(
+      telemetry::SimTime duration) override;
+
+  void set_pump(Pump pump) { pump_ = std::move(pump); }
+  void set_serving_hook(ServingHook hook) { serving_hook_ = std::move(hook); }
+
+  /// Current feed position (start of the next unobserved window).
+  [[nodiscard]] telemetry::SimTime cursor() const noexcept { return cursor_; }
+  /// End of the workload series currently in the feed (exclusive); the
+  /// cursor start when no workload has arrived yet. Grows as a live feed
+  /// is appended to.
+  [[nodiscard]] telemetry::SimTime feed_end() const;
+
+ protected:
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  /// Cursor-aligned span of `expected` whole windows ending at `to`.
+  struct Span {
+    telemetry::SimTime to = 0;
+    std::size_t expected = 0;
+  };
+  [[nodiscard]] Span span_for(telemetry::SimTime duration) const;
+  /// Windows of the workload series currently inside [cursor, to).
+  [[nodiscard]] std::size_t covered_windows(telemetry::SimTime to) const;
+  [[noreturn]] void exhausted(const Span& span) const;
+
+  const telemetry::MetricStore* store_;
+  Options options_;
+  Pump pump_;
+  ServingHook serving_hook_;
+  std::size_t serving_ = 0;
+  telemetry::SimTime cursor_ = 0;
+};
+
+}  // namespace headroom::core

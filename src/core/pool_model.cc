@@ -1,6 +1,7 @@
 #include "core/pool_model.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace headroom::core {
 
@@ -28,6 +29,16 @@ PoolResponseModel PoolResponseModel::fit(
   } else {
     model.latency_fit_ = stats::fit_quadratic(rps_vs_latency.x, rps_vs_latency.y);
   }
+  return model;
+}
+
+PoolResponseModel PoolResponseModel::from_fits(
+    stats::LinearFit cpu_fit, stats::PolynomialFit latency_fit,
+    double latency_inlier_fraction) {
+  PoolResponseModel model;
+  model.cpu_fit_ = cpu_fit;
+  model.latency_fit_ = std::move(latency_fit);
+  model.latency_inlier_fraction_ = latency_inlier_fraction;
   return model;
 }
 

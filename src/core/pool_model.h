@@ -51,6 +51,13 @@ class PoolResponseModel {
       const telemetry::AlignedPair& rps_vs_latency,
       const PoolModelOptions& options = {});
 
+  /// Assembles a model from fits computed elsewhere — the incremental
+  /// serve path maintains both curves from running sums over a rolling
+  /// window (core/rolling_plan.h) instead of refitting scatters.
+  [[nodiscard]] static PoolResponseModel from_fits(
+      stats::LinearFit cpu_fit, stats::PolynomialFit latency_fit,
+      double latency_inlier_fraction = 1.0);
+
   [[nodiscard]] double predict_cpu_pct(double rps_per_server) const noexcept;
   [[nodiscard]] double predict_latency_ms(double rps_per_server) const noexcept;
 

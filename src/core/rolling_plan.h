@@ -1,0 +1,80 @@
+// Per-window incremental headroom planning over a rolling lookback.
+//
+// Serve mode re-emits a headroom recommendation for every pool after every
+// telemetry window. Refitting PoolResponseModel from scratch each time
+// would make a window cost O(history); this planner instead maintains the
+// two response curves from running sums over a bounded ring of the most
+// recent windows — add_window() is O(1) amortized (eviction subtracts the
+// departing window's terms; the sums are periodically rebuilt from the
+// ring to wash out floating-point drift) and plan() assembles the model
+// from the sums in O(1) plus an exact P95 scan of the ring. Cost per
+// window is therefore flat in feed length: O(lookback), never O(history).
+//
+// The rolling fits are ordinary least squares (no RANSAC — robustness over
+// a short, recent window buys little and would cost a full refit); the
+// golden-pinned pipeline plan still comes from PoolResponseModel::fit over
+// the full observation phase. Rolling plans are the live operator view.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "core/headroom_optimizer.h"
+
+namespace headroom::core {
+
+class RollingPoolPlanner {
+ public:
+  struct Options {
+    /// Windows retained in the ring (the fit lookback). Must be positive.
+    std::size_t lookback_windows = 720;  ///< One day of 120 s windows.
+    /// Minimum ring occupancy before plan() yields anything; below it the
+    /// fits are too thin to trust (mirrors the model's min points-per-fit).
+    std::size_t min_windows = 8;
+  };
+
+  RollingPoolPlanner(HeadroomPolicy policy, Options options);
+
+  /// Folds one completed window into the rolling state, evicting the
+  /// oldest window once the ring is full. O(1) amortized.
+  void add_window(double rps_per_server, double cpu_pct,
+                  double latency_p95_ms);
+
+  /// Headroom plan at the current rolling operating point, or nullopt
+  /// until min_windows windows have arrived.
+  [[nodiscard]] std::optional<HeadroomPlan> plan(
+      std::size_t current_servers) const;
+
+  /// Rolling response model assembled from the running sums (also what
+  /// plan() uses). Meaningful once size() >= min_windows.
+  [[nodiscard]] PoolResponseModel model() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  /// Full-ring sum rebuilds performed so far (drift-control gauge).
+  [[nodiscard]] std::size_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  struct Window {
+    double rps = 0.0;
+    double cpu = 0.0;
+    double latency = 0.0;
+  };
+
+  void accumulate(const Window& w, double sign);
+  void rebuild_sums();
+
+  HeadroomPolicy policy_;
+  Options options_;
+  std::deque<Window> ring_;
+  // Running sums for the OLS normal equations: powers of x (= RPS/server)
+  // up to x^4 for the quadratic latency fit, cross terms for both targets,
+  // and squared targets for R².
+  double sx_ = 0.0, sx2_ = 0.0, sx3_ = 0.0, sx4_ = 0.0;
+  double scpu_ = 0.0, sxcpu_ = 0.0, scpu2_ = 0.0;
+  double slat_ = 0.0, sxlat_ = 0.0, sx2lat_ = 0.0, slat2_ = 0.0;
+  std::size_t evictions_since_rebuild_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace headroom::core

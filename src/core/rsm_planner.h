@@ -58,12 +58,85 @@ struct RsmResult {
   }
 };
 
+/// Incremental form of the RSM optimization: the same algorithm as
+/// RsmPlanner::optimize, cut at its observation points so a live feed can
+/// drive it window-by-window. advance() runs the state machine as far as
+/// the backend's data allows — it refits the response-surface model only
+/// when the accumulated history actually grew (the previous fit is reused
+/// otherwise, so a pending poll costs O(1), and re-planning after a new
+/// window costs O(window), not O(history) refits) — and reports pending
+/// instead of blocking when the backend's try_observe() does.
+///
+/// Driving a session to completion performs bit-identically the operations
+/// of the batch path: RsmPlanner::optimize is itself implemented as "create
+/// a session, advance it to completion", which is what pins the streaming
+/// pipeline's goldens to the batch ones.
+class RsmSession {
+ public:
+  /// `backend` must outlive the session. Captures the starting serving
+  /// count, exactly like the head of the batch optimize.
+  RsmSession(RsmOptions options, PoolExperimentBackend* backend);
+
+  /// Adopts `history` as the already-observed baseline instead of spending
+  /// backend windows observing one — serve mode reuses the observation
+  /// phase the pipeline already measured (trading the golden-pinned
+  /// baseline for an immediate first reduction). Must precede the first
+  /// advance(); throws std::logic_error otherwise or std::invalid_argument
+  /// for an empty history.
+  void seed_baseline(const ExperimentObservations& history);
+
+  /// Drives the optimization until it completes or the backend reports
+  /// pending data. Returns true when complete (result() is valid); false
+  /// when waiting on the feed — call again after more windows arrive.
+  /// Backend exceptions (trace exhausted, divergence) propagate.
+  bool advance();
+
+  [[nodiscard]] bool done() const noexcept { return state_ == State::kDone; }
+  /// Observation the session is currently waiting for, as (duration
+  /// seconds); 0 when it is not waiting (not yet started, or done).
+  [[nodiscard]] telemetry::SimTime pending_duration() const noexcept;
+  /// Valid once done(); throws std::logic_error before that.
+  [[nodiscard]] const RsmResult& result() const;
+  [[nodiscard]] RsmResult take_result();
+
+  [[nodiscard]] const RsmOptions& options() const noexcept { return options_; }
+
+ private:
+  enum class State { kBaseline, kDecide, kObserve, kFinalize, kDone };
+
+  /// Model + P95 load over the current history, refit only when the
+  /// history grew since the last fit (the warm start).
+  void refresh_fit();
+
+  RsmOptions options_;
+  PoolExperimentBackend* backend_;
+  RsmResult result_;
+  State state_ = State::kBaseline;
+  bool seeded_ = false;
+  std::size_t current_ = 0;
+  std::size_t floor_serving_ = 0;
+  double slo_target_ = 0.0;
+  bool reduced_once_ = false;
+  std::size_t iter_ = 0;
+  std::size_t pending_next_ = 0;
+  double pending_predicted_ = 0.0;
+  ServerCountLatencyModel model_;
+  double p95_load_ = 0.0;
+  std::size_t fitted_size_ = 0;
+  bool fit_valid_ = false;
+};
+
 class RsmPlanner {
  public:
   explicit RsmPlanner(RsmOptions options = {});
 
-  /// Runs the full iterative optimization against the backend. The backend
-  /// is left at the recommended serving count.
+  /// Runs the full iterative optimization against the backend: an
+  /// RsmSession advanced to completion — the batch entry point replays
+  /// every window through the incremental path. The backend is left at the
+  /// recommended serving count. Throws std::runtime_error if the backend
+  /// reports pending data (batch optimize needs a backend that can always
+  /// complete an observation — the simulator, a sealed trace, or a live
+  /// feed with a pump).
   [[nodiscard]] RsmResult optimize(PoolExperimentBackend& backend) const;
 
   [[nodiscard]] const RsmOptions& options() const noexcept { return options_; }

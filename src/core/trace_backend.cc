@@ -1,105 +1,28 @@
 #include "core/trace_backend.h"
 
-#include <stdexcept>
-#include <string>
-
-#include "telemetry/csv.h"
-
 namespace headroom::core {
 
 namespace {
 
-using telemetry::MetricKind;
-using telemetry::SimTime;
-
-[[noreturn]] void divergence(const std::string& message) {
-  throw std::runtime_error("TraceExperimentBackend: " + message);
+LiveFeedBackend::Options sealed_options(
+    const TraceExperimentBackend::Options& options) {
+  LiveFeedBackend::Options out;
+  out.datacenter = options.datacenter;
+  out.pool = options.pool;
+  out.pool_size = options.pool_size;
+  out.serving = options.serving;
+  out.start = options.start;
+  out.window_seconds = options.window_seconds;
+  out.sealed = true;
+  out.validate_serving = true;
+  out.label = "TraceExperimentBackend";
+  return out;
 }
 
 }  // namespace
 
 TraceExperimentBackend::TraceExperimentBackend(
     const telemetry::MetricStore* store, Options options)
-    : store_(store), options_(options), serving_(options.serving),
-      cursor_(options.start) {
-  if (store_ == nullptr) {
-    throw std::invalid_argument("TraceExperimentBackend: null store");
-  }
-  if (options_.window_seconds <= 0) {
-    throw std::invalid_argument(
-        "TraceExperimentBackend: window must be positive");
-  }
-  if (options_.pool_size == 0) {
-    throw std::invalid_argument("TraceExperimentBackend: empty pool");
-  }
-  if (serving_ == 0 || serving_ > options_.pool_size) {
-    throw std::invalid_argument(
-        "TraceExperimentBackend: serving count out of range");
-  }
-  const telemetry::TimeSeries& rps = store_->pool_series(
-      options_.datacenter, options_.pool, MetricKind::kRequestsPerSecond);
-  if (rps.empty()) {
-    throw std::invalid_argument(
-        "TraceExperimentBackend: trace has no workload series for pool (" +
-        std::to_string(options_.datacenter) + ", " +
-        std::to_string(options_.pool) + ")");
-  }
-  end_ = rps.time_at(rps.size() - 1) + options_.window_seconds;
-}
-
-void TraceExperimentBackend::set_serving_count(std::size_t servers) {
-  if (servers == 0 || servers > options_.pool_size) {
-    throw std::invalid_argument(
-        "TraceExperimentBackend: serving count out of range");
-  }
-  // Recorded active servers in the first window the new count applies to.
-  // The final planner call (adopting the recommendation) lands past the
-  // recorded windows; with nothing on record there is nothing to check.
-  const auto recorded =
-      store_
-          ->pool_series(options_.datacenter, options_.pool,
-                        MetricKind::kActiveServers)
-          .slice(cursor_, cursor_ + options_.window_seconds);
-  if (recorded.size() > 0 &&
-      recorded.value_at(0) > static_cast<double>(servers) + 1e-9) {
-    divergence("replay diverged from the trace at t=" +
-               std::to_string(cursor_) + ": requested " +
-               std::to_string(servers) + " serving servers but the trace " +
-               "recorded " + telemetry::format_double(recorded.value_at(0)) +
-               " active");
-  }
-  serving_ = servers;
-}
-
-ExperimentObservations TraceExperimentBackend::observe(SimTime duration) {
-  if (duration <= 0) {
-    throw std::invalid_argument(
-        "TraceExperimentBackend: observation duration must be positive");
-  }
-  const SimTime from = cursor_;
-  // Whole windows, like FleetSimulator::run_until: a duration that is not
-  // a window multiple overshoots to the next boundary, and the cursor must
-  // land there or every later observation would be shifted vs the
-  // recording.
-  const auto expected = static_cast<std::size_t>(
-      (duration + options_.window_seconds - 1) / options_.window_seconds);
-  const SimTime to =
-      from + static_cast<SimTime>(expected) * options_.window_seconds;
-  const auto recorded =
-      store_
-          ->pool_series(options_.datacenter, options_.pool,
-                        MetricKind::kRequestsPerSecond)
-          .slice(from, to);
-  if (recorded.size() < expected) {
-    divergence("trace exhausted at t=" + std::to_string(from) + ": needed " +
-               std::to_string(expected) + " windows up to t=" +
-               std::to_string(to) + " but the trace holds " +
-               std::to_string(recorded.size()) +
-               " (recording ends at t=" + std::to_string(end_) + ")");
-  }
-  cursor_ = to;
-  return observations_between(*store_, options_.datacenter, options_.pool,
-                              from, to);
-}
+    : LiveFeedBackend(store, sealed_options(options)) {}
 
 }  // namespace headroom::core

@@ -1,24 +1,24 @@
 // Recorded-telemetry implementation of PoolExperimentBackend.
 //
-// The paper's planner treats the service as a black box observed through
-// counters (§II-B2); this backend makes that literal: the "service" is a
-// MetricStore of previously recorded windows (e.g. a re-ingested CSV
-// trace), and observe() hands out consecutive window slices of it instead
-// of advancing a simulator. Replay is only honest when the planner's
-// decisions match the run that produced the trace, so set_serving_count()
-// is validated against the recorded active-servers column: a request for
-// fewer servers than the trace shows serving means the replayed plan has
-// diverged from the recording, and the backend throws rather than return
-// observations from a different experiment.
+// A sealed specialization of LiveFeedBackend (live_feed_backend.h): the
+// "service" is a MetricStore of previously recorded windows (e.g. a
+// re-ingested CSV trace), and observe() hands out consecutive window slices
+// of it instead of advancing a simulator. Replay is only honest when the
+// planner's decisions match the run that produced the trace, so
+// set_serving_count() is validated against the recorded active-servers
+// column: a request for fewer servers than the trace shows serving means
+// the replayed plan has diverged from the recording, and the backend throws
+// rather than return observations from a different experiment. Reading past
+// the end of the recording throws too — a sealed trace cannot grow.
 #pragma once
 
 #include <cstdint>
 
-#include "core/experiment_backend.h"
+#include "core/live_feed_backend.h"
 
 namespace headroom::core {
 
-class TraceExperimentBackend final : public PoolExperimentBackend {
+class TraceExperimentBackend final : public LiveFeedBackend {
  public:
   struct Options {
     std::uint32_t datacenter = 0;
@@ -33,39 +33,8 @@ class TraceExperimentBackend final : public PoolExperimentBackend {
   /// Throws std::invalid_argument for an empty/underspecified trace.
   TraceExperimentBackend(const telemetry::MetricStore* store, Options options);
 
-  [[nodiscard]] std::size_t pool_size() const override { return options_.pool_size; }
-  [[nodiscard]] std::size_t serving_count() const override { return serving_; }
-
-  /// Validates `servers` against the recorded active-servers column at the
-  /// cursor (more active servers on record than the requested count means
-  /// the replay diverged from the recorded experiment; fewer is legal —
-  /// maintenance takes rotation members offline) and adopts it. Throws
-  /// std::invalid_argument out of [1, pool_size()], std::runtime_error on
-  /// divergence.
-  void set_serving_count(std::size_t servers) override;
-
-  /// Returns the recorded windows covering `duration` seconds from the
-  /// cursor and advances the cursor. Mirrors the simulator's stepping
-  /// grid: the fleet steps whole windows and overshoots a non-multiple
-  /// horizon (run_until), so the observed span is ceil(duration / window)
-  /// windows and the cursor lands on the next window boundary — exactly
-  /// where the recording's own next observation began. Throws
-  /// std::runtime_error when the trace does not fully cover the span (a
-  /// truncated trace, or a replay that asked for more experiment time
-  /// than was recorded).
-  ExperimentObservations observe(telemetry::SimTime duration) override;
-
-  /// Current replay position (start of the next unobserved window).
-  [[nodiscard]] telemetry::SimTime cursor() const noexcept { return cursor_; }
   /// End of the recorded workload series (exclusive).
-  [[nodiscard]] telemetry::SimTime trace_end() const noexcept { return end_; }
-
- private:
-  const telemetry::MetricStore* store_;
-  Options options_;
-  std::size_t serving_ = 0;
-  telemetry::SimTime cursor_ = 0;
-  telemetry::SimTime end_ = 0;
+  [[nodiscard]] telemetry::SimTime trace_end() const { return feed_end(); }
 };
 
 }  // namespace headroom::core

@@ -1,0 +1,65 @@
+#include "scenario/listing.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "scenario/scenario_parser.h"
+
+namespace headroom::scenario {
+
+namespace fs = std::filesystem;
+
+ScenarioListing list_scenario_dir(const std::string& dir) {
+  ScenarioListing out;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    out.error = "'" + dir + "' is not a directory";
+    return out;
+  }
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    out.error = "cannot list '" + dir + "': " + ec.message();
+    return out;
+  }
+
+  // Collect candidate paths first (iteration itself can fail mid-stream on
+  // hostile directories; increment with an error_code so one bad entry
+  // cannot throw the rest of the listing away).
+  const fs::directory_iterator end;
+  while (it != end) {
+    const fs::directory_entry entry = *it;
+    it.increment(ec);
+    if (entry.path().extension() != ".scn") {
+      if (ec) break;
+      continue;
+    }
+    ScenarioListEntry row;
+    row.file = entry.path().filename().string();
+    std::error_code stat_ec;
+    const bool regular = entry.is_regular_file(stat_ec);
+    if (stat_ec) {
+      row.error = row.file + ": cannot stat: " + stat_ec.message();
+      out.entries.push_back(std::move(row));
+    } else if (regular) {
+      ParseResult parsed = load_scenario_file(entry.path().string());
+      if (parsed.ok()) {
+        row.spec = std::move(parsed.spec);
+      } else {
+        row.error = std::move(parsed.error);
+      }
+      out.entries.push_back(std::move(row));
+    }
+    // Non-regular .scn entries (directories, sockets, dangling symlinks
+    // whose target is simply absent) are skipped, as before.
+    if (ec) break;  // iteration lost its footing; keep what we have
+  }
+
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const ScenarioListEntry& a, const ScenarioListEntry& b) {
+              return a.file < b.file;
+            });
+  return out;
+}
+
+}  // namespace headroom::scenario

@@ -1,0 +1,40 @@
+// Robust scenario-directory listing.
+//
+// `headroom list-scenarios` used to abort the whole listing on the first
+// entry the filesystem refused to describe: directory_entry::is_regular_file
+// (the throwing overload) propagated straight to main()'s catch-all, so one
+// unreadable entry hid every other scenario in the directory. This module
+// is the per-file-robust version: every .scn entry produces a row — either
+// a parsed spec or that file's own diagnostic — and only a directory-level
+// failure (not a directory, unreadable directory) fails the listing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.h"
+
+namespace headroom::scenario {
+
+struct ScenarioListEntry {
+  std::string file;   ///< File name (no directory).
+  std::string error;  ///< Parse/filesystem diagnostic; empty when ok.
+  ScenarioSpec spec;  ///< Valid only when `error` is empty.
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+struct ScenarioListing {
+  std::string error;  ///< Directory-level failure only; "" otherwise.
+  std::vector<ScenarioListEntry> entries;  ///< Sorted by file name.
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Lists every `.scn` file under `dir` (non-recursive), parsing each one.
+/// A file that cannot be statted or parsed contributes an entry carrying
+/// its diagnostic instead of failing the listing; non-.scn entries and
+/// non-files are skipped. Never throws filesystem errors.
+[[nodiscard]] ScenarioListing list_scenario_dir(const std::string& dir);
+
+}  // namespace headroom::scenario

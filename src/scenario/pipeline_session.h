@@ -1,0 +1,121 @@
+// Resumable pipeline stages shared by batch runs, trace replay, and serve.
+//
+// ScenarioRunner::run_pipeline_steps used to be one straight-line function:
+// Measure -> Optimize (plan + RSM experiment) -> Model -> Validate. Serve
+// mode needs the same stages cut at their observation points — measure and
+// plan fire once at the observation horizon, the RSM experiment advances
+// window-by-window as the feed grows, and model/validate run at
+// finalization — without the batch path and the streaming path ever
+// diverging. PipelineSession is that cut: the batch runner drives a session
+// start-to-finish in one call, serve drives the identical session one
+// window at a time, and both fill the same ScenarioRunResult fields in the
+// same order, which is what keeps the streaming pipeline's final summary
+// byte-identical to the batch goldens.
+//
+// The free functions are the runner internals serve also needs (reduction
+// timelines, the environment-metric oracle, store truncation, assertion
+// evaluation) — pure functions shared rather than duplicated.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rsm_planner.h"
+#include "scenario/scenario_runner.h"
+#include "scenario/scenario_spec.h"
+#include "sim/fleet.h"
+
+namespace headroom::scenario {
+
+/// Seconds per simulated day — the unit scenario horizons are written in.
+inline constexpr telemetry::SimTime kDaySeconds = 86400;
+
+[[nodiscard]] telemetry::SimTime hours_to_sim(double hours) noexcept;
+
+/// Everything the four pipeline steps read. `store` holds observation-phase
+/// telemetry only (in simulator mode that is the live store, which the RSM
+/// phase has not yet extended; in replay it is the recording truncated at
+/// the horizon); `server_days` are the per-server-day CPU rows as of
+/// measure time; `backend` is the RSM planner's experiment surface.
+struct PipelineContext {
+  const telemetry::MetricStore* store = nullptr;
+  std::span<const sim::ServerDayCpu> server_days;
+  core::PoolExperimentBackend* backend = nullptr;
+  double latency_slo_ms = 0.0;
+  std::size_t datacenter_count = 1;
+};
+
+class PipelineSession {
+ public:
+  /// `ctx`'s pointers must outlive the session.
+  PipelineSession(const ScenarioSpec& spec, PipelineContext ctx);
+
+  /// Step 1 (Measure) plus the headroom plan half of step 2 — everything
+  /// that reads only the observation phase. No-ops for steps the spec does
+  /// not run. Call once, before the RSM phase.
+  void run_measure_and_plan(ScenarioRunResult& result);
+
+  /// Starts step 2's RSM experiment (a no-op when the spec does not run
+  /// the optimize step). `seed` optionally pre-loads the session baseline
+  /// from already-observed history (serve's reuse-baseline mode) — batch
+  /// and replay leave it null so the experiment observes its own baseline,
+  /// which is what the goldens pin.
+  void start_rsm(const core::ExperimentObservations* seed = nullptr);
+
+  /// Advances the RSM experiment as far as the backend's data allows.
+  /// Returns true when the experiment is complete (immediately true when
+  /// the optimize step is off). Backend exceptions propagate.
+  [[nodiscard]] bool advance_rsm();
+
+  /// Records the RSM outcome and runs steps 3 (Model) and 4 (Validate) —
+  /// then the session is complete. Requires advance_rsm() to have
+  /// returned true (throws std::logic_error otherwise).
+  void finalize(ScenarioRunResult& result);
+
+  /// The live RSM session, null before start_rsm() (or when optimize is
+  /// off). Serve reads its pending state for progress reporting.
+  [[nodiscard]] const core::RsmSession* rsm() const noexcept {
+    return rsm_ ? &*rsm_ : nullptr;
+  }
+
+ private:
+  ScenarioSpec spec_;
+  PipelineContext ctx_;
+  std::optional<core::RsmSession> rsm_;
+  bool rsm_started_ = false;
+};
+
+/// Serving reductions sorted by start time (stable for equal times, which
+/// validate() has already ruled out per pool).
+[[nodiscard]] std::vector<ScenarioEvent> sorted_reductions(
+    const ScenarioSpec& spec);
+
+/// Validates and applies the spec's serving reductions. In simulator mode
+/// the fleet is stepped to each reduction boundary first (the observation
+/// phase pauses there); replay applies only the control-variable changes —
+/// the telemetry those reductions produced is already in the trace.
+void apply_serving_reductions(sim::FleetSimulator& fleet,
+                              const ScenarioSpec& spec,
+                              telemetry::SimTime horizon, bool step_to_events);
+
+/// Fleet-shape and event-timeline metrics. Everything here is a pure
+/// function of the config and the demand oracle (datacenter_demand does
+/// not depend on stepping state), so simulator runs, trace replays and
+/// serve sessions compute identical values without sharing any telemetry.
+void compute_environment_metrics(const sim::FleetSimulator& fleet,
+                                 const ScenarioSpec& spec,
+                                 std::map<std::string, double>& metrics);
+
+/// Checks every spec assertion against the flat metric map.
+void evaluate_assertions(const ScenarioSpec& spec, ScenarioRunResult& result);
+
+/// The recording truncated at `end`: exactly the telemetry the pipeline's
+/// measure/fit stages saw in the original run, rebuilt through the same
+/// batched-merge write path the simulator records through.
+[[nodiscard]] telemetry::MetricStore truncate_store(
+    const telemetry::MetricStore& full, telemetry::SimTime end);
+
+}  // namespace headroom::scenario

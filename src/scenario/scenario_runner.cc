@@ -3,27 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <limits>
-#include <optional>
-#include <span>
 #include <stdexcept>
 
-#include "core/pool_model.h"
 #include "core/sim_backend.h"
 #include "core/trace_backend.h"
-#include "stats/percentile.h"
-#include "workload/diurnal.h"
+#include "scenario/pipeline_session.h"
 #include "workload/events.h"
 
 namespace headroom::scenario {
 
 namespace {
 
-constexpr telemetry::SimTime kDay = 86400;
-
-[[nodiscard]] telemetry::SimTime hours_to_sim(double hours) noexcept {
-  return static_cast<telemetry::SimTime>(std::llround(hours * 3600.0));
-}
+constexpr telemetry::SimTime kDay = kDaySeconds;
 
 void require_service(const sim::MicroserviceCatalog& catalog,
                      const std::string& service) {
@@ -70,21 +61,6 @@ void attach_wave(sim::FleetConfig& config, const ScenarioEvent& event) {
   }
 }
 
-/// Serving reductions sorted by start time (stable for equal times, which
-/// validate() has already ruled out per pool).
-[[nodiscard]] std::vector<ScenarioEvent> sorted_reductions(
-    const ScenarioSpec& spec) {
-  std::vector<ScenarioEvent> reductions;
-  for (const ScenarioEvent& e : spec.events) {
-    if (e.kind == ScenarioEventKind::kServingReduction) reductions.push_back(e);
-  }
-  std::stable_sort(reductions.begin(), reductions.end(),
-                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
-                     return a.start_hour < b.start_hour;
-                   });
-  return reductions;
-}
-
 [[nodiscard]] std::string format_value(double v) {
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
     char buf[32];
@@ -96,267 +72,18 @@ void attach_wave(sim::FleetConfig& config, const ScenarioEvent& event) {
   return buf;
 }
 
-/// Validates and applies the spec's serving reductions. In simulator mode
-/// the fleet is stepped to each reduction boundary first (the observation
-/// phase pauses there); replay applies only the control-variable changes —
-/// the telemetry those reductions produced is already in the trace.
-void apply_serving_reductions(sim::FleetSimulator& fleet,
-                              const ScenarioSpec& spec,
-                              telemetry::SimTime horizon,
-                              bool step_to_events) {
-  for (const ScenarioEvent& e : sorted_reductions(spec)) {
-    const telemetry::SimTime at = hours_to_sim(e.start_hour);
-    if (at >= horizon) {
-      throw std::invalid_argument(
-          "scenario: serving_reduction at hour " +
-          std::to_string(e.start_hour) + " is past the observation window");
-    }
-    const std::size_t pool_size = fleet.pool_size(*e.datacenter, *e.pool);
-    if (e.serving > pool_size) {
-      throw std::invalid_argument(
-          "scenario: serving_reduction to " + std::to_string(e.serving) +
-          " exceeds pool size " + std::to_string(pool_size));
-    }
-    if (step_to_events) fleet.run_until(at);
-    fleet.set_serving_count(*e.datacenter, *e.pool, e.serving);
-  }
-}
-
-/// Fleet-shape and event-timeline metrics. Everything here is a pure
-/// function of the config and the demand oracle (datacenter_demand does
-/// not depend on stepping state), so simulator runs and trace replays
-/// compute identical values without sharing any telemetry.
-void compute_environment_metrics(const sim::FleetSimulator& fleet,
-                                 const ScenarioSpec& spec,
-                                 std::map<std::string, double>& metrics) {
-  // Event-free baseline demand oracle the event metrics are measured
-  // against. This is a pure function of the diurnal params and the DC
-  // weights/timezones (exactly what FleetSimulator::regional_demands
-  // computes when no event is active), so it needs no second simulator.
-  const sim::FleetConfig& config = fleet.config();
-  std::vector<workload::DiurnalTraffic> baseline_traffic;
-  baseline_traffic.reserve(config.datacenters.size());
-  for (const sim::DatacenterConfig& dc : config.datacenters) {
-    workload::DiurnalParams params = config.diurnal;
-    params.peak_rps = config.diurnal.peak_rps * dc.demand_weight;
-    params.timezone_offset_hours = dc.timezone_offset_hours;
-    baseline_traffic.emplace_back(params);
-  }
-
-  const telemetry::SimTime horizon = spec.days * kDay;
-
-  metrics["datacenters"] = static_cast<double>(config.datacenters.size());
-  metrics["total_pools"] = static_cast<double>(fleet.total_pools());
-  metrics["total_servers"] = static_cast<double>(fleet.total_servers());
-  metrics["serving_final"] = static_cast<double>(fleet.serving_count(0, 0));
-
-  double max_ratio = 1.0;
-  std::vector<double> survivor_max_ratio(config.datacenters.size(), 0.0);
-  bool any_outage_window = false;
-  for (telemetry::SimTime t = 0; t < horizon; t += spec.window_seconds) {
-    bool any_down = false;
-    for (std::uint32_t d = 0; d < config.datacenters.size(); ++d) {
-      if (config.events.datacenter_down(t, d)) any_down = true;
-    }
-    for (std::uint32_t d = 0; d < config.datacenters.size(); ++d) {
-      const double base = baseline_traffic[d].demand(t);
-      if (base <= 1e-9) continue;
-      const double ratio = fleet.datacenter_demand(t, d) / base;
-      max_ratio = std::max(max_ratio, ratio);
-      if (any_down && !config.events.datacenter_down(t, d)) {
-        any_outage_window = true;
-        survivor_max_ratio[d] = std::max(survivor_max_ratio[d], ratio);
-      }
-    }
-  }
-  metrics["max_traffic_ratio"] = max_ratio;
-  double median_increase = 0.0;
-  double max_increase = 0.0;
-  if (any_outage_window) {
-    std::vector<double> increases;
-    for (const double ratio : survivor_max_ratio) {
-      if (ratio > 0.0) increases.push_back((ratio - 1.0) * 100.0);
-    }
-    std::sort(increases.begin(), increases.end());
-    if (!increases.empty()) {
-      median_increase = increases[increases.size() / 2];
-      max_increase = increases.back();
-    }
-  }
-  metrics["median_survivor_increase_pct"] = median_increase;
-  metrics["max_survivor_increase_pct"] = max_increase;
-}
-
-/// Everything the four pipeline steps read. `store` holds observation-phase
-/// telemetry only (in simulator mode that is the live store, which the RSM
-/// phase has not yet extended; in replay it is the recording truncated at
-/// the horizon); `server_days` are the per-server-day CPU rows as of
-/// measure time; `backend` is the RSM planner's experiment surface.
-struct PipelineContext {
-  const telemetry::MetricStore* store = nullptr;
-  std::span<const sim::ServerDayCpu> server_days;
-  core::PoolExperimentBackend* backend = nullptr;
-  double latency_slo_ms = 0.0;
-  std::size_t datacenter_count = 1;
-};
-
+/// One PipelineSession driven start-to-finish: the batch pipeline is the
+/// streaming pipeline replayed in a single call (see pipeline_session.h).
 void run_pipeline_steps(const ScenarioSpec& spec, const PipelineContext& ctx,
                         ScenarioRunResult& result) {
-  using telemetry::MetricKind;
-  const telemetry::MetricStore& store = *ctx.store;
-
-  // --- Step 1: Measure ------------------------------------------------------
-  if (spec.runs(PipelineStep::kMeasure)) {
-    const core::MetricValidator validator;
-    const MetricKind resources[] = {MetricKind::kCpuPercentAttributed,
-                                    MetricKind::kNetworkBytesPerSecond,
-                                    MetricKind::kMemoryPagesPerSecond,
-                                    MetricKind::kDiskQueueLength};
-    result.assessments = validator.assess_all(
-        store, 0, 0, MetricKind::kRequestsPerSecond, resources);
-    result.metric_valid = validator.workload_metric_valid(result.assessments);
-    result.metrics["metric_valid"] = result.metric_valid ? 1.0 : 0.0;
-    const auto limiting = validator.limiting_resource(result.assessments);
-    result.metrics["limiting_r2"] = limiting ? limiting->fit.r_squared : 0.0;
-
-    std::int64_t last_day = 0;
-    for (const auto& day : ctx.server_days) {
-      if (day.datacenter == 0 && day.pool == 0) {
-        last_day = std::max(last_day, day.day);
-      }
-    }
-    const auto snapshots = core::ServerGrouper::pool_snapshots(
-        ctx.server_days, 0, 0, last_day);
-    result.grouping = core::ServerGrouper().group_servers(snapshots);
-    result.metrics["server_groups"] =
-        static_cast<double>(result.grouping.group_count);
-    result.metrics["multimodal"] = result.grouping.multimodal() ? 1.0 : 0.0;
+  PipelineSession session(spec, ctx);
+  session.run_measure_and_plan(result);
+  session.start_rsm();
+  if (!session.advance_rsm()) {
+    throw std::runtime_error(
+        "scenario: pipeline backend reported pending data in a batch run");
   }
-
-  // --- Step 2: Optimize -----------------------------------------------------
-  if (spec.runs(PipelineStep::kOptimize)) {
-    const auto model = core::PoolResponseModel::fit(
-        store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
-                           MetricKind::kCpuPercentAttributed),
-        store.pool_scatter(0, 0, MetricKind::kRequestsPerSecond,
-                           MetricKind::kLatencyP95Ms));
-    const auto rps =
-        store.pool_series(0, 0, MetricKind::kRequestsPerSecond).values();
-    const double p95_rps = stats::percentile(rps, 95.0);
-    core::HeadroomPolicy policy;
-    policy.qos.latency.p95_ms = ctx.latency_slo_ms;
-    policy.dr_headroom_fraction =
-        ctx.datacenter_count > 1
-            ? 1.0 / static_cast<double>(ctx.datacenter_count)
-            : 0.125;
-    const std::size_t current = ctx.backend->serving_count();
-    result.plan = core::HeadroomOptimizer(policy).plan(model, p95_rps, current);
-    result.metrics["plan_current"] =
-        static_cast<double>(result.plan.current_servers);
-    result.metrics["plan_recommended"] =
-        static_cast<double>(result.plan.recommended_servers);
-    result.metrics["plan_savings_pct"] =
-        result.plan.efficiency_savings() * 100.0;
-    result.metrics["plan_stressed_latency_ms"] =
-        result.plan.predicted_latency_stressed_ms;
-
-    core::RsmOptions rsm;
-    rsm.latency_slo_ms = ctx.latency_slo_ms;
-    rsm.baseline_duration = kDay;
-    rsm.iteration_duration = kDay;
-    rsm.max_iterations = 4;
-    result.rsm = core::RsmPlanner(rsm).optimize(*ctx.backend);
-    result.metrics["rsm_start"] =
-        static_cast<double>(result.rsm.starting_serving);
-    result.metrics["rsm_recommended"] =
-        static_cast<double>(result.rsm.recommended_serving);
-    result.metrics["rsm_reduction_pct"] =
-        result.rsm.reduction_fraction() * 100.0;
-    result.metrics["rsm_iterations"] =
-        static_cast<double>(result.rsm.iterations.size());
-    result.metrics["rsm_slo_limited"] = result.rsm.slo_limit_reached ? 1.0 : 0.0;
-  }
-
-  // --- Step 3: Model --------------------------------------------------------
-  std::optional<workload::SyntheticWorkload> fitted;
-  if (spec.runs(PipelineStep::kModel) || spec.runs(PipelineStep::kValidate)) {
-    workload::RequestType fetch;
-    fetch.weight = 0.75;
-    fetch.cost_mean = 1.0;
-    fetch.cost_sigma = 0.25;
-    workload::RequestType render;
-    render.weight = 0.25;
-    render.cost_mean = 3.2;
-    render.cost_sigma = 0.4;
-    render.dependency_latency_ms = 12.0;
-    const workload::SyntheticWorkload production{
-        workload::RequestMix({fetch, render})};
-    const auto observed = production.generate(500.0, 120.0, spec.seed + 6);
-    fitted = workload::SyntheticWorkload::fit(observed, 2);
-    if (spec.runs(PipelineStep::kModel)) {
-      const auto replay = fitted->generate(500.0, 120.0, spec.seed + 8);
-      result.model_cmp =
-          workload::SyntheticWorkload::compare(replay, observed, 2);
-      result.metrics["model_equivalent"] = result.model_cmp.equivalent ? 1.0 : 0.0;
-      result.metrics["model_type_distance"] = result.model_cmp.type_distance;
-    }
-  }
-
-  // --- Step 4: Validate -----------------------------------------------------
-  if (spec.runs(PipelineStep::kValidate) && fitted) {
-    sim::RequestSimConfig pool;
-    pool.servers = 4;
-    pool.cores = 8.0;
-    pool.base_service_ms = 4.0;
-    pool.window_seconds = 10;
-    sim::RequestSimConfig candidate = pool;
-    candidate.defect.service_factor = 1.18;
-
-    core::GateOptions gate_opt;
-    gate_opt.nominal_rps_per_server = 500.0;
-    gate_opt.step_duration_s = 20.0;
-    result.gate =
-        core::RegressionGate(gate_opt).evaluate(pool, candidate, *fitted);
-    result.metrics["gate_blocked"] = result.gate.pass ? 0.0 : 1.0;
-    result.metrics["gate_max_clean_rps"] = result.gate.max_clean_rps;
-  }
-}
-
-void evaluate_assertions(const ScenarioSpec& spec, ScenarioRunResult& result) {
-  for (const ScenarioAssertion& assertion : spec.assertions) {
-    AssertionOutcome outcome;
-    outcome.assertion = assertion;
-    const auto it = result.metrics.find(assertion.metric);
-    if (it == result.metrics.end()) {
-      outcome.observed = std::numeric_limits<double>::quiet_NaN();
-      outcome.pass = false;
-    } else {
-      outcome.observed = it->second;
-      outcome.pass = assertion.holds(it->second);
-    }
-    result.assertions_pass = result.assertions_pass && outcome.pass;
-    result.assertions.push_back(outcome);
-  }
-}
-
-/// The recording truncated at `end`: exactly the telemetry the pipeline's
-/// measure/fit stages saw in the original run, rebuilt through the same
-/// batched-merge write path the simulator records through.
-[[nodiscard]] telemetry::MetricStore truncate_store(
-    const telemetry::MetricStore& full, telemetry::SimTime end) {
-  telemetry::MetricStore out;
-  telemetry::MetricBuffer buffer;
-  for (const telemetry::SeriesKey& key : full.keys()) {
-    const telemetry::SeriesView view =
-        full.series(key).slice(std::numeric_limits<telemetry::SimTime>::min(),
-                               end);
-    for (std::size_t i = 0; i < view.size(); ++i) {
-      buffer.record(key, view.time_at(i), view.value_at(i));
-    }
-    out.merge(buffer);
-    buffer.clear();
-  }
-  return out;
+  session.finalize(result);
 }
 
 }  // namespace

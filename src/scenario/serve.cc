@@ -1,0 +1,545 @@
+#include "scenario/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/live_feed_backend.h"
+#include "core/rolling_plan.h"
+#include "scenario/pipeline_session.h"
+#include "scenario/trace.h"
+#include "telemetry/csv.h"
+
+namespace headroom::scenario {
+
+namespace {
+
+using telemetry::MetricKind;
+using telemetry::SimTime;
+
+/// One pool's rolling-report state: the O(1)-per-window planner plus the
+/// identity the report lines carry.
+struct PoolStream {
+  std::uint32_t dc = 0;
+  std::uint32_t pool = 0;
+  core::RollingPoolPlanner planner;
+};
+
+/// One rolling planner per configured pool, each sized against its own
+/// service's SLO — the same policy shape the pipeline's plan step uses.
+[[nodiscard]] std::vector<PoolStream> build_streams(
+    const sim::FleetConfig& config, const sim::MicroserviceCatalog& catalog,
+    const ServeOptions& options) {
+  core::RollingPoolPlanner::Options ropt;
+  ropt.lookback_windows = options.rolling_lookback_windows;
+  ropt.min_windows = options.rolling_min_windows;
+  const std::size_t dc_count = config.datacenters.size();
+  std::vector<PoolStream> streams;
+  for (std::uint32_t d = 0; d < dc_count; ++d) {
+    const sim::DatacenterConfig& dc = config.datacenters[d];
+    for (std::uint32_t p = 0; p < dc.pools.size(); ++p) {
+      core::HeadroomPolicy policy;
+      policy.qos.latency.p95_ms =
+          catalog.by_name(dc.pools[p].service).latency_slo_ms;
+      policy.dr_headroom_fraction =
+          dc_count > 1 ? 1.0 / static_cast<double>(dc_count) : 0.125;
+      streams.push_back({d, p, core::RollingPoolPlanner(policy, ropt)});
+    }
+  }
+  return streams;
+}
+
+/// Emits one report line per pool for the window starting at `t`, feeding
+/// each pool's rolling planner along the way. Pools with no sample at `t`
+/// (dark the whole window) are skipped.
+void emit_window_reports(const telemetry::MetricStore& store,
+                         std::vector<PoolStream>& streams, SimTime t,
+                         const char* phase, const EmitFn& emit,
+                         std::size_t* reports) {
+  for (PoolStream& s : streams) {
+    const auto value_at = [&](MetricKind kind, double* out) {
+      const telemetry::SeriesView v =
+          store.pool_series(s.dc, s.pool, kind).slice(t, t + 1);
+      if (v.empty()) return false;
+      *out = v.value_at(0);
+      return true;
+    };
+    double rps = 0.0;
+    double cpu = 0.0;
+    double latency = 0.0;
+    double active = 0.0;
+    if (!value_at(MetricKind::kRequestsPerSecond, &rps) ||
+        !value_at(MetricKind::kCpuPercentAttributed, &cpu) ||
+        !value_at(MetricKind::kLatencyP95Ms, &latency) ||
+        !value_at(MetricKind::kActiveServers, &active)) {
+      continue;
+    }
+    s.planner.add_window(rps, cpu, latency);
+    const auto serving = static_cast<long long>(active);
+    std::string line;
+    line += "window t=" + std::to_string(t);
+    line += " dc=" + std::to_string(s.dc);
+    line += " pool=" + std::to_string(s.pool);
+    line += " phase=";
+    line += phase;
+    line += " rps=" + telemetry::format_double(rps);
+    line += " cpu_pct=" + telemetry::format_double(cpu);
+    line += " p95_ms=" + telemetry::format_double(latency);
+    line += " serving=" + std::to_string(serving);
+    const std::optional<core::HeadroomPlan> plan =
+        s.planner.plan(serving > 0 ? static_cast<std::size_t>(serving) : 0);
+    if (plan) {
+      line += " plan=" + std::to_string(plan->recommended_servers);
+    }
+    ++*reports;
+    if (emit) emit(line);
+  }
+}
+
+/// The retention floor a live RSM session needs: every observation it
+/// requests spans one day of windows, and the sweep must never evict the
+/// head of a span that is still filling. Below this, try_observe would
+/// starve forever.
+[[nodiscard]] SimTime clamp_retention(SimTime requested, SimTime window) {
+  if (requested <= 0) return 0;  // unbounded
+  return std::max(requested, kDaySeconds + window);
+}
+
+/// Incremental reader of one growing pool CSV: remembers the byte offset
+/// reached, ingests only complete new lines each poll (a partial trailing
+/// line is carried to the next poll), and enforces the same header/field
+/// validation as telemetry::read_pool_csv, with `path:line` diagnostics.
+class CsvTailReader {
+ public:
+  CsvTailReader(std::string path, std::uint32_t datacenter,
+                std::uint32_t pool)
+      : path_(std::move(path)), datacenter_(datacenter), pool_(pool) {}
+
+  /// Reads newly appended complete rows into `store`. Returns rows
+  /// ingested; 0 when the file is absent or has not grown. Throws
+  /// std::runtime_error on malformed content.
+  std::size_t poll(telemetry::MetricStore* store) {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return 0;  // not written yet — idle, not an error
+    in.seekg(offset_);
+    std::ostringstream chunk_stream;
+    chunk_stream << in.rdbuf();
+    const std::string chunk = chunk_stream.str();
+    if (chunk.empty()) return 0;
+    offset_ += static_cast<std::streamoff>(chunk.size());
+    partial_ += chunk;
+
+    std::size_t rows = 0;
+    telemetry::MetricBuffer buffer;
+    std::size_t begin = 0;
+    while (true) {
+      const std::size_t nl = partial_.find('\n', begin);
+      if (nl == std::string::npos) break;
+      std::string line = partial_.substr(begin, nl - begin);
+      begin = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      ++line_no_;
+      consume_line(line, &buffer, &rows);
+    }
+    partial_.erase(0, begin);
+    if (!buffer.empty()) store->merge(buffer);
+    return rows;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error(path_ + ":" + std::to_string(line_no_) + ": " +
+                             message);
+  }
+
+  void consume_line(const std::string& line, telemetry::MetricBuffer* buffer,
+                    std::size_t* rows) {
+    if (keys_.empty()) {
+      parse_header(line);
+      return;
+    }
+    if (line.empty()) return;  // tolerate blank lines, like read_pool_csv
+    const std::vector<std::string> fields =
+        telemetry::split_csv_fields(line, ',');
+    if (fields.size() != keys_.size() + 1) {
+      fail("expected " + std::to_string(keys_.size() + 1) + " fields, got " +
+           std::to_string(fields.size()));
+    }
+    SimTime t = 0;
+    if (!telemetry::parse_int64(fields[0], &t)) {
+      fail("bad window_start '" + fields[0] + "' (expected an integer)");
+    }
+    if (have_last_ && t <= last_time_) {
+      fail("window_start " + std::to_string(t) +
+           " is not after the previous row (" + std::to_string(last_time_) +
+           "); rows must be strictly time-ordered");
+    }
+    last_time_ = t;
+    have_last_ = true;
+    for (std::size_t c = 0; c < keys_.size(); ++c) {
+      double v = 0.0;
+      if (!telemetry::parse_finite_double(fields[c + 1], &v)) {
+        fail("bad value '" + fields[c + 1] + "' for column '" +
+             std::string(telemetry::to_string(keys_[c].metric)) +
+             "' (expected a finite number)");
+      }
+      buffer->record(keys_[c], t, v);
+    }
+    ++*rows;
+  }
+
+  void parse_header(const std::string& line) {
+    const std::vector<std::string> header =
+        telemetry::split_csv_fields(line, ',');
+    if (header.empty() || header[0] != "window_start") {
+      fail("bad header: first column must be 'window_start', got '" +
+           (header.empty() ? "" : header[0]) + "'");
+    }
+    if (header.size() < 2) fail("bad header: no metric columns");
+    for (std::size_t c = 1; c < header.size(); ++c) {
+      const auto kind = telemetry::metric_from_string(header[c]);
+      if (!kind) fail("unknown metric column '" + header[c] + "'");
+      const telemetry::SeriesKey key{datacenter_, pool_,
+                                     telemetry::SeriesKey::kPoolScope, *kind};
+      if (std::find(keys_.begin(), keys_.end(), key) != keys_.end()) {
+        fail("duplicate metric column '" + header[c] + "'");
+      }
+      keys_.push_back(key);
+    }
+  }
+
+  std::string path_;
+  std::uint32_t datacenter_;
+  std::uint32_t pool_;
+  std::streamoff offset_ = 0;
+  std::string partial_;
+  std::vector<telemetry::SeriesKey> keys_;
+  SimTime last_time_ = 0;
+  bool have_last_ = false;
+  std::size_t line_no_ = 0;
+};
+
+/// End (exclusive) of the target pool's workload feed: last window start
+/// plus one window; 0 before any workload arrives.
+[[nodiscard]] SimTime target_feed_end(const telemetry::MetricStore& store,
+                                      SimTime window) {
+  const telemetry::TimeSeries& rps =
+      store.pool_series(0, 0, MetricKind::kRequestsPerSecond);
+  if (rps.empty()) return 0;
+  return rps.time_at(rps.size() - 1) + window;
+}
+
+}  // namespace
+
+ServeRunner::ServeRunner(ServeOptions options) : options_(options) {}
+
+ServeResult ServeRunner::serve(const ScenarioSpec& spec,
+                               const EmitFn& emit) const {
+  const sim::MicroserviceCatalog catalog;
+  sim::FleetConfig config = ScenarioRunner::build_fleet(spec, catalog);
+  sim::FleetSimulator fleet(std::move(config), catalog);
+
+  ServeResult out;
+  out.result.spec = spec;
+  out.result.thread_count = fleet.thread_count();
+
+  const SimTime window = spec.window_seconds;
+  const SimTime horizon = spec.days * kDaySeconds;
+
+  // Validate every reduction before stepping (the batch path interleaves
+  // validation with stepping; failing early keeps the same error surface
+  // without wasted simulation).
+  const std::vector<ScenarioEvent> reductions = sorted_reductions(spec);
+  for (const ScenarioEvent& e : reductions) {
+    const SimTime at = hours_to_sim(e.start_hour);
+    if (at >= horizon) {
+      throw std::invalid_argument(
+          "scenario: serving_reduction at hour " +
+          std::to_string(e.start_hour) + " is past the observation window");
+    }
+    const std::size_t pool_size = fleet.pool_size(*e.datacenter, *e.pool);
+    if (e.serving > pool_size) {
+      throw std::invalid_argument(
+          "scenario: serving_reduction to " + std::to_string(e.serving) +
+          " exceeds pool size " + std::to_string(pool_size));
+    }
+  }
+
+  std::vector<PoolStream> streams =
+      build_streams(fleet.config(), catalog, options_);
+
+  if (emit) {
+    emit("serve phase=observe t=0 horizon=" + std::to_string(horizon));
+  }
+
+  // --- Observation phase, one window at a time ----------------------------
+  // A reduction lands at the first window boundary at or after its start
+  // hour — exactly where the batch path's run_until(at) pauses the fleet.
+  std::size_t next_reduction = 0;
+  while (fleet.now() < horizon) {
+    const SimTime t = fleet.now();
+    while (next_reduction < reductions.size() &&
+           hours_to_sim(reductions[next_reduction].start_hour) <= t) {
+      const ScenarioEvent& e = reductions[next_reduction++];
+      fleet.set_serving_count(*e.datacenter, *e.pool, e.serving);
+    }
+    fleet.run_until(t + window);
+    ++out.windows;
+    emit_window_reports(fleet.store(), streams, t, "observe", emit,
+                        &out.reports);
+  }
+  fleet.finish_day();
+
+  compute_environment_metrics(fleet, spec, out.result.metrics);
+  const std::string& pool_service =
+      fleet.config().datacenters[0].pools[0].service;
+  out.result.latency_slo_ms = catalog.by_name(pool_service).latency_slo_ms;
+
+  // --- Pipeline over the live feed -----------------------------------------
+  core::LiveFeedBackend::Options feed_opt;
+  feed_opt.datacenter = 0;
+  feed_opt.pool = 0;
+  feed_opt.pool_size = fleet.pool_size(0, 0);
+  feed_opt.serving = fleet.serving_count(0, 0);
+  feed_opt.start = fleet.now();
+  feed_opt.window_seconds = window;
+  feed_opt.sealed = false;
+  // The hook forwards serving changes into the simulator, which produces
+  // the active-servers column — validating against it would be circular.
+  feed_opt.validate_serving = false;
+  feed_opt.label = "headroom serve";
+  core::LiveFeedBackend backend(&fleet.store(), feed_opt);
+  backend.set_serving_hook([&fleet](std::size_t servers) {
+    fleet.set_serving_count(0, 0, servers);
+  });
+
+  PipelineContext ctx;
+  ctx.store = &fleet.store();
+  // Consumed synchronously by run_measure_and_plan below; the simulator
+  // appends more rows during the experiment phase, which may reallocate.
+  ctx.server_days = fleet.server_day_cpu();
+  ctx.backend = &backend;
+  ctx.latency_slo_ms = out.result.latency_slo_ms;
+  ctx.datacenter_count = fleet.config().datacenters.size();
+
+  PipelineSession session(spec, ctx);
+  session.run_measure_and_plan(out.result);
+
+  if (options_.reuse_observation_baseline &&
+      spec.runs(PipelineStep::kOptimize)) {
+    const core::ExperimentObservations seed = core::observations_between(
+        fleet.store(), 0, 0, fleet.now() - kDaySeconds, fleet.now());
+    session.start_rsm(&seed);
+  } else {
+    session.start_rsm();
+  }
+
+  // Measure and plan have consumed the full observation history; from here
+  // the experiment only reads forward, so the store can roll.
+  const SimTime retention = clamp_retention(options_.retention_seconds, window);
+  if (retention > 0) fleet.set_store_retention(retention);
+
+  if (emit) {
+    emit("serve phase=experiment t=" + std::to_string(fleet.now()) +
+         " serving=" + std::to_string(fleet.serving_count(0, 0)));
+  }
+
+  while (!session.advance_rsm()) {
+    const SimTime t = fleet.now();
+    fleet.run_until(t + window);
+    ++out.windows;
+    emit_window_reports(fleet.store(), streams, t, "experiment", emit,
+                        &out.reports);
+  }
+  session.finalize(out.result);
+  evaluate_assertions(spec, out.result);
+
+  // --- Steady-state monitoring (optional) ----------------------------------
+  const SimTime steady_end = fleet.now() + options_.extra_days * kDaySeconds;
+  while (fleet.now() < steady_end) {
+    const SimTime t = fleet.now();
+    fleet.run_until(t + window);
+    ++out.windows;
+    emit_window_reports(fleet.store(), streams, t, "steady", emit,
+                        &out.reports);
+  }
+
+  out.summary = format_summary(out.result);
+  out.resident_samples = fleet.store().sample_count();
+  out.evicted_samples = fleet.store().evicted_samples();
+  if (emit) {
+    emit("serve phase=done t=" + std::to_string(fleet.now()) +
+         " windows=" + std::to_string(out.windows) +
+         " rsm_recommended=" +
+         std::to_string(out.result.rsm.recommended_serving));
+  }
+  return out;
+}
+
+ServeResult ServeRunner::follow(const std::string& trace_dir,
+                                const EmitFn& emit) const {
+  TraceFeedInfo info;
+  const std::string problem = load_trace_feed(trace_dir, &info);
+  if (!problem.empty()) throw std::runtime_error(problem);
+  const ScenarioSpec& spec = info.spec;
+
+  ServeResult out;
+  out.result.spec = spec;
+
+  // Config oracle, never stepped: pool sizes, SLOs, demand curves, and the
+  // serving count the reductions leave behind (replay semantics).
+  const sim::MicroserviceCatalog catalog;
+  sim::FleetConfig config = ScenarioRunner::build_fleet(spec, catalog);
+  sim::FleetSimulator fleet(std::move(config), catalog);
+  out.result.thread_count = fleet.thread_count();
+
+  const SimTime window = spec.window_seconds;
+  const SimTime horizon = spec.days * kDaySeconds;
+  const SimTime experiment_start =
+      (horizon + window - 1) / window * window;
+
+  apply_serving_reductions(fleet, spec, horizon, /*step_to_events=*/false);
+  compute_environment_metrics(fleet, spec, out.result.metrics);
+  const std::string& pool_service =
+      fleet.config().datacenters[0].pools[0].service;
+  out.result.latency_slo_ms = catalog.by_name(pool_service).latency_slo_ms;
+
+  std::vector<PoolStream> streams =
+      build_streams(fleet.config(), catalog, options_);
+
+  telemetry::MetricStore feed;
+  std::vector<CsvTailReader> tails;
+  tails.reserve(info.pools.size());
+  for (const TracePoolFeed& pool : info.pools) {
+    tails.emplace_back(pool.path, pool.datacenter, pool.pool);
+  }
+
+  std::size_t idle_polls = 0;
+  const auto ingest = [&]() {
+    std::size_t rows = 0;
+    for (CsvTailReader& tail : tails) rows += tail.poll(&feed);
+    if (rows > 0) {
+      idle_polls = 0;
+      return true;
+    }
+    if (++idle_polls > options_.max_idle_polls) {
+      throw std::runtime_error(
+          "headroom follow: feed in '" + trace_dir + "' went idle after " +
+          std::to_string(options_.max_idle_polls) +
+          " polls with the pipeline still waiting at t=" +
+          std::to_string(target_feed_end(feed, window)));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.poll_ms > 0 ? options_.poll_ms : 1));
+    return false;
+  };
+
+  // Reports trail the feed: a window is reported once the target pool's
+  // workload covers it (pool CSVs are written jointly per window).
+  SimTime reported_to = 0;
+  const auto report_new_windows = [&]() {
+    const SimTime covered = target_feed_end(feed, window);
+    while (reported_to < covered) {
+      const char* phase =
+          reported_to < experiment_start ? "observe" : "experiment";
+      emit_window_reports(feed, streams, reported_to, phase, emit,
+                          &out.reports);
+      reported_to += window;
+      ++out.windows;
+    }
+  };
+
+  if (emit) {
+    emit("serve phase=observe t=0 horizon=" + std::to_string(horizon));
+  }
+
+  // --- Fill to the observation horizon -------------------------------------
+  while (target_feed_end(feed, window) < experiment_start) {
+    if (ingest()) report_new_windows();
+  }
+  report_new_windows();
+
+  // The measure/plan stages see the recording truncated at the horizon —
+  // exactly what the recording run's pipeline saw (replay semantics).
+  const telemetry::MetricStore observation = truncate_store(feed, horizon);
+  std::vector<sim::ServerDayCpu> observation_days;
+  observation_days.reserve(info.server_days.size());
+  for (const sim::ServerDayCpu& day : info.server_days) {
+    if (day.day < spec.days) observation_days.push_back(day);
+  }
+
+  core::LiveFeedBackend::Options feed_opt;
+  feed_opt.datacenter = 0;
+  feed_opt.pool = 0;
+  feed_opt.pool_size = fleet.pool_size(0, 0);
+  feed_opt.serving = fleet.serving_count(0, 0);
+  feed_opt.start = experiment_start;
+  feed_opt.window_seconds = window;
+  feed_opt.sealed = false;  // the trace is still growing
+  feed_opt.validate_serving = true;  // recorded active_servers is the truth
+  feed_opt.label = "headroom follow";
+  core::LiveFeedBackend backend(&feed, feed_opt);
+
+  PipelineContext ctx;
+  ctx.store = &observation;
+  ctx.server_days = observation_days;
+  ctx.backend = &backend;
+  ctx.latency_slo_ms = out.result.latency_slo_ms;
+  ctx.datacenter_count = fleet.config().datacenters.size();
+
+  PipelineSession session(spec, ctx);
+  session.run_measure_and_plan(out.result);
+
+  if (options_.reuse_observation_baseline &&
+      spec.runs(PipelineStep::kOptimize)) {
+    const core::ExperimentObservations seed = core::observations_between(
+        feed, 0, 0, experiment_start - kDaySeconds, experiment_start);
+    session.start_rsm(&seed);
+  } else {
+    session.start_rsm();
+  }
+
+  const SimTime retention = clamp_retention(options_.retention_seconds, window);
+  if (retention > 0) {
+    // A complete recording arrives in one poll, putting the watermark days
+    // ahead of the RSM cursor; a watermark-driven sweep would evict windows
+    // the session has not observed yet and starve it forever. Pin the
+    // eviction floor to the slowest consumer before enabling retention.
+    feed.set_eviction_floor(std::min(backend.cursor(), reported_to));
+    feed.set_retention(retention);
+  }
+
+  if (emit) {
+    emit("serve phase=experiment t=" + std::to_string(experiment_start) +
+         " serving=" + std::to_string(fleet.serving_count(0, 0)));
+  }
+
+  // --- Experiment phase: advance whenever the tail grows -------------------
+  while (!session.advance_rsm()) {
+    if (retention > 0) {
+      feed.set_eviction_floor(std::min(backend.cursor(), reported_to));
+    }
+    if (ingest()) report_new_windows();
+  }
+  report_new_windows();
+  session.finalize(out.result);
+  evaluate_assertions(spec, out.result);
+
+  out.summary = format_summary(out.result);
+  out.resident_samples = feed.sample_count();
+  out.evicted_samples = feed.evicted_samples();
+  if (emit) {
+    emit("serve phase=done t=" + std::to_string(reported_to) +
+         " windows=" + std::to_string(out.windows) +
+         " rsm_recommended=" +
+         std::to_string(out.result.rsm.recommended_serving));
+  }
+  return out;
+}
+
+}  // namespace headroom::scenario

@@ -319,6 +319,66 @@ TraceExportResult export_trace(const ScenarioSpec& spec,
   return out;
 }
 
+std::string load_trace_feed(const std::string& dir, TraceFeedInfo* out) {
+  const fs::path root{dir};
+
+  const fs::path manifest_path = root / kManifestName;
+  std::ifstream manifest_in(manifest_path, std::ios::binary);
+  if (!manifest_in) {
+    return manifest_path.string() + ": cannot open trace manifest";
+  }
+  Manifest manifest;
+  std::string problem =
+      parse_manifest(manifest_in, manifest_path.string(), &manifest);
+  if (!problem.empty()) return problem;
+
+  const fs::path scenario_path = root / manifest.scenario_file;
+  ParseResult parsed = load_scenario_file(scenario_path.string());
+  if (!parsed.ok()) return parsed.error;
+  if (parsed.spec.window_seconds != manifest.window_seconds) {
+    return manifest_path.string() +
+           ": window_seconds disagrees with the scenario (" +
+           std::to_string(manifest.window_seconds) + " vs " +
+           std::to_string(parsed.spec.window_seconds) + ")";
+  }
+  if (parsed.spec.days * kDay != manifest.horizon_seconds) {
+    return manifest_path.string() +
+           ": horizon_seconds disagrees with the scenario's days (" +
+           std::to_string(manifest.horizon_seconds) + " vs " +
+           std::to_string(parsed.spec.days * kDay) + ")";
+  }
+
+  bool has_target_pool = false;
+  std::vector<TracePoolFeed> pools;
+  for (const PoolEntry& entry : manifest.pools) {
+    TracePoolFeed feed;
+    feed.datacenter = entry.datacenter;
+    feed.pool = entry.pool;
+    feed.path = (root / entry.file).string();
+    pools.push_back(std::move(feed));
+    has_target_pool =
+        has_target_pool || (entry.datacenter == 0 && entry.pool == 0);
+  }
+  if (!has_target_pool) {
+    return manifest_path.string() +
+           ": trace has no pool (0, 0) — the pipeline's target pool";
+  }
+
+  std::vector<sim::ServerDayCpu> server_days;
+  const fs::path days_path = root / manifest.server_day_file;
+  std::ifstream days_in(days_path, std::ios::binary);
+  if (!days_in) {
+    return days_path.string() + ": cannot open server-day trace";
+  }
+  problem = parse_server_days(days_in, days_path.string(), &server_days);
+  if (!problem.empty()) return problem;
+
+  out->spec = std::move(parsed.spec);
+  out->server_days = std::move(server_days);
+  out->pools = std::move(pools);
+  return "";
+}
+
 TraceReplayResult replay_trace(const std::string& dir) {
   TraceReplayResult out;
   const fs::path root{dir};

@@ -51,4 +51,28 @@ struct TraceReplayResult {
 /// from the recording throws std::runtime_error (TraceExperimentBackend).
 [[nodiscard]] TraceReplayResult replay_trace(const std::string& dir);
 
+/// One pool CSV of a trace directory, resolved to an openable path.
+struct TracePoolFeed {
+  std::uint32_t datacenter = 0;
+  std::uint32_t pool = 0;
+  std::string path;
+};
+
+/// The static parts of a trace directory: everything follow mode reads
+/// once up front, before it starts tailing the (possibly still growing)
+/// pool CSVs listed in `pools`.
+struct TraceFeedInfo {
+  ScenarioSpec spec;
+  std::vector<sim::ServerDayCpu> server_days;
+  std::vector<TracePoolFeed> pools;
+};
+
+/// Loads manifest, scenario, and server-day rows of a trace directory and
+/// resolves the pool CSV paths without reading them (serve --follow tails
+/// those as they grow on disk). Validates the same manifest/scenario
+/// cross-checks replay_trace does. Returns "" on success, else a
+/// `source:line: message` diagnostic.
+[[nodiscard]] std::string load_trace_feed(const std::string& dir,
+                                          TraceFeedInfo* out);
+
 }  // namespace headroom::scenario

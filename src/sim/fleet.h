@@ -82,6 +82,13 @@ class FleetSimulator {
   [[nodiscard]] const telemetry::MetricStore& store() const noexcept {
     return store_;
   }
+  /// Bounds the store to a rolling window (0 = keep everything): evicted
+  /// samples fold into per-series archive digests. Serve mode sets this
+  /// once steady-state begins so resident telemetry is O(retention), not
+  /// O(elapsed). See MetricStore::set_retention.
+  void set_store_retention(SimTime retention) {
+    store_.set_retention(retention);
+  }
   [[nodiscard]] const telemetry::AvailabilityLedger& ledger() const noexcept {
     return ledger_;
   }

@@ -9,6 +9,15 @@ namespace headroom::telemetry {
 
 namespace {
 
+/// Largest window start in a merged batch (feeds the retention watermark).
+SimTime max_window_start(const std::vector<MetricBuffer::Entry>& entries) {
+  SimTime max = entries.front().window_start;
+  for (const MetricBuffer::Entry& e : entries) {
+    if (e.window_start > max) max = e.window_start;
+  }
+  return max;
+}
+
 void sort_keys(std::vector<SeriesKey>& keys) {
   std::sort(keys.begin(), keys.end());  // SeriesKey's canonical operator<
 }
@@ -40,6 +49,60 @@ void MetricStore::record(const SeriesKey& key, SimTime window_start,
   series.append(window_start, value);
   ++samples_;
   if (summaries_enabled_) digests_[key].add(value);
+  note_window(window_start);
+}
+
+void MetricStore::note_window(SimTime window_start) {
+  if (!watermark_valid_ || window_start > watermark_) {
+    watermark_ = window_start;
+    watermark_valid_ = true;
+  }
+  if (retention_ <= 0 || !watermark_valid_) return;
+  SimTime cutoff = watermark_ - retention_;
+  if (floor_valid_ && floor_ < cutoff) cutoff = floor_;
+  if (cutoff <= evicted_before_) return;
+  evicted_before_ = cutoff;
+  for (auto& [key, series] : series_) {
+    const std::size_t drop = series.first_index_at_or_after(cutoff);
+    if (drop == 0) continue;
+    StreamingDigest& archive = archived_[key];
+    const std::span<const double> doomed = series.values().subspan(0, drop);
+    for (const double v : doomed) {
+      // Non-finite values are legal in the store (summaries off); the
+      // archive sketch cannot hold them, so they evict unarchived.
+      if (std::isfinite(v)) archive.add(v);
+    }
+    series.drop_front(drop);
+    samples_ -= drop;
+    evicted_samples_ += drop;
+  }
+}
+
+void MetricStore::set_retention(SimTime lookback_seconds) {
+  if (lookback_seconds < 0) {
+    throw std::invalid_argument("MetricStore::set_retention: negative lookback");
+  }
+  retention_ = lookback_seconds;
+  // Sweep immediately so enabling retention on a grown store takes effect
+  // without waiting for the next append.
+  if (watermark_valid_) note_window(watermark_);
+}
+
+void MetricStore::set_eviction_floor(SimTime floor) {
+  if (floor < 0) {
+    throw std::invalid_argument(
+        "MetricStore::set_eviction_floor: negative floor");
+  }
+  floor_ = floor;
+  floor_valid_ = true;
+  if (watermark_valid_) note_window(watermark_);
+}
+
+const StreamingDigest& MetricStore::archived_summary(
+    const SeriesKey& key) const {
+  static const StreamingDigest kEmpty;
+  const auto it = archived_.find(key);
+  return it == archived_.end() ? kEmpty : it->second;
 }
 
 TimeSeries& MetricStore::resolve_series(const SeriesKey& key,
@@ -75,6 +138,7 @@ void MetricStore::merge_with_digests(
       ++samples_;
     }
   }
+  note_window(max_window_start(entries));
 }
 
 void MetricStore::merge(const MetricBuffer& buffer) {
@@ -119,6 +183,7 @@ void MetricStore::merge(const MetricBuffer& buffer) {
     throw;
   }
   samples_ += appended;
+  note_window(max_window_start(entries));
 }
 
 const TimeSeries& MetricStore::series(const SeriesKey& key) const {
@@ -220,9 +285,17 @@ void MetricStore::reserve_additional(std::size_t additional_windows) {
 void MetricStore::clear() {
   series_.clear();
   digests_.clear();
+  archived_.clear();
   merge_plans_.clear();  // cached pointers die with the series
   samples_ = 0;
   new_series_reserve_ = 0;
+  retention_ = 0;
+  watermark_ = 0;
+  watermark_valid_ = false;
+  floor_ = 0;
+  floor_valid_ = false;
+  evicted_before_ = 0;
+  evicted_samples_ = 0;
 }
 
 }  // namespace headroom::telemetry

@@ -129,6 +129,39 @@ class MetricStore {
   [[nodiscard]] const StreamingDigest& maintained_summary(
       const SeriesKey& key) const;
 
+  // --- Rolling retention (opt-in, for unbounded live feeds) ----------------
+  /// Bounds the store to the trailing `lookback_seconds` of every series:
+  /// after each append batch, samples whose window start falls before
+  /// (newest window seen − lookback) are evicted, so resident memory is
+  /// O(lookback) under an endless feed instead of O(history). Evicted
+  /// values are folded into a per-series archive digest (mergeable, see
+  /// archived_summary()) before they are dropped, so lifetime statistics
+  /// survive eviction. 0 disables (the default — batch runs keep full
+  /// history; golden outputs depend on it). Eviction invalidates
+  /// outstanding values() spans and SeriesViews.
+  void set_retention(SimTime lookback_seconds);
+  [[nodiscard]] SimTime retention() const noexcept { return retention_; }
+  /// Samples evicted by the retention sweep since construction/clear().
+  [[nodiscard]] std::size_t evicted_samples() const noexcept {
+    return evicted_samples_;
+  }
+  /// Digest over the samples evicted from `key` (empty static digest when
+  /// nothing was evicted). Merging it with summary(key) reconstructs the
+  /// lifetime sketch: digest bucket merges are exact.
+  [[nodiscard]] const StreamingDigest& archived_summary(
+      const SeriesKey& key) const;
+
+  /// Lower bound on the retention sweep: samples whose window start is at
+  /// or after the floor survive eviction regardless of retention. Live
+  /// pipelines advance this to their slowest read cursor, so a feed that
+  /// arrives faster than it is consumed (e.g. a complete recording bulk-
+  /// ingested in one poll) can never evict windows a reader still needs.
+  /// Raising the floor re-arms any sweep the old floor was holding back;
+  /// unset by default (plain retention is watermark-driven).
+  void set_eviction_floor(SimTime floor);
+  /// Current floor; meaningful only after set_eviction_floor().
+  [[nodiscard]] SimTime eviction_floor() const noexcept { return floor_; }
+
   /// Capacity hint: pre-reserves `additional_windows` more samples in every
   /// existing series, and makes new series start with that capacity. Called
   /// by the simulator with its remaining window count to kill realloc churn
@@ -143,12 +176,23 @@ class MetricStore {
   /// contiguous same-key run about to be appended).
   TimeSeries& resolve_series(const SeriesKey& key, std::size_t run_hint);
   void merge_with_digests(const std::vector<MetricBuffer::Entry>& entries);
+  /// Advances the retention watermark and, when the cutoff moved, sweeps
+  /// every series: archives then drops samples older than the cutoff.
+  void note_window(SimTime window_start);
 
   std::unordered_map<SeriesKey, TimeSeries, SeriesKeyHash> series_;
   std::unordered_map<SeriesKey, StreamingDigest, SeriesKeyHash> digests_;
+  std::unordered_map<SeriesKey, StreamingDigest, SeriesKeyHash> archived_;
   std::size_t samples_ = 0;
   std::size_t new_series_reserve_ = 0;
   bool summaries_enabled_ = false;
+  SimTime retention_ = 0;           ///< 0 = keep full history.
+  SimTime watermark_ = 0;           ///< Newest window start seen.
+  bool watermark_valid_ = false;
+  SimTime floor_ = 0;               ///< Eviction never crosses this time.
+  bool floor_valid_ = false;
+  SimTime evicted_before_ = 0;      ///< Last cutoff already swept.
+  std::size_t evicted_samples_ = 0;
 
   // Memoized merge plans. A simulator shard refills the same MetricBuffer
   // with the same key sequence every window, so merge() caches, per buffer

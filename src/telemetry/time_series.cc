@@ -1,6 +1,8 @@
 #include "telemetry/time_series.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <limits>
 #include <stdexcept>
 
 namespace headroom::telemetry {
@@ -90,6 +92,38 @@ SeriesView TimeSeries::slice(SimTime from, SimTime to) const {
 }
 
 SeriesView TimeSeries::view() const { return {this, 0, values_.size()}; }
+
+std::size_t TimeSeries::drop_front(std::size_t n) {
+  if (n == 0 || values_.empty()) return 0;
+  if (n >= values_.size()) {
+    const std::size_t dropped = values_.size();
+    values_.clear();
+    times_.clear();
+    start_ = 0;
+    stride_ = 0;
+    last_time_ = 0;
+    return dropped;
+  }
+  values_.erase(values_.begin(),
+                values_.begin() + static_cast<std::ptrdiff_t>(n));
+  if (times_.empty()) {
+    start_ += static_cast<SimTime>(n) * stride_;
+    // A single survivor re-establishes its cadence on the next append,
+    // exactly like a freshly built one-sample series.
+    if (values_.size() == 1) stride_ = 0;
+  } else {
+    times_.erase(times_.begin(),
+                 times_.begin() + static_cast<std::ptrdiff_t>(n));
+    start_ = times_.front();
+  }
+  return n;
+}
+
+std::size_t TimeSeries::first_index_at_or_after(SimTime bound) const {
+  // index_range()'s lower bound with a -inf start; the min() sentinel takes
+  // the bound<=start_ early-out, so no subtraction can overflow.
+  return index_range(std::numeric_limits<SimTime>::min(), bound).second;
+}
 
 WindowSample SeriesView::at(std::size_t i) const {
   if (series_ == nullptr || i >= size_) {

@@ -93,6 +93,18 @@ class TimeSeries {
   /// View over the whole series.
   [[nodiscard]] SeriesView view() const;
 
+  /// Drops the oldest `n` samples (all of them when `n >= size()`) and
+  /// returns how many were dropped. A stride-encoded series stays
+  /// stride-encoded — the start advances by `n` strides — so retention
+  /// eviction under a live feed keeps the 8-byte/sample representation.
+  /// Invalidates outstanding values() spans and SeriesViews (offsets
+  /// shift); capacity is retained for reuse by later appends.
+  std::size_t drop_front(std::size_t n);
+
+  /// Index of the first sample with window_start >= `bound` (== size()
+  /// when every sample is earlier). The count a retention sweep drops.
+  [[nodiscard]] std::size_t first_index_at_or_after(SimTime bound) const;
+
  private:
   /// [first, last) index range of samples with window_start in [from, to).
   [[nodiscard]] std::pair<std::size_t, std::size_t> index_range(

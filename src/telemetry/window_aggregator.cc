@@ -24,6 +24,7 @@ void WindowAggregator::emit(const SeriesKey& key, Bucket& bucket) {
   const double value = is_latency(key.metric) ? bucket.p95.value()
                                               : bucket.mean_acc.mean();
   store_->record(key, bucket.window_index * window_, value);
+  if (callback_) callback_(key, bucket.window_index * window_, value);
   bucket.mean_acc.reset();
   bucket.p95.reset();
   bucket.active = false;

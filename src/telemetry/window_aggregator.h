@@ -4,8 +4,15 @@
 // averages (§III). The simulator emits one raw sample per simulation step;
 // this aggregator folds them into window means (or window P95 for latency
 // metrics) and flushes completed windows into a MetricStore.
+//
+// For continuous (serve-mode) ingestion the aggregator doubles as the
+// streaming tap: an optional per-window callback fires as each completed
+// window lands in the store, and a rolling-retention forward caps the
+// backing store to the planner's lookback so an unbounded feed holds
+// O(lookback) memory.
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +44,24 @@ class WindowAggregator {
 
   [[nodiscard]] SimTime window_seconds() const noexcept { return window_; }
 
+  /// Called after each completed window is emitted into the store
+  /// (flush()-time partials included), with the key, the window start and
+  /// the aggregated value. The streaming hook a live consumer taps instead
+  /// of polling the store. Pass an empty function to detach.
+  using WindowCallback =
+      std::function<void(const SeriesKey&, SimTime, double)>;
+  void set_window_callback(WindowCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  /// Forwards a rolling-retention lookback to the backing store (see
+  /// MetricStore::set_retention): windows older than the lookback are
+  /// evicted as new ones land, bounding resident memory under an endless
+  /// feed. 0 restores keep-everything.
+  void set_store_retention(SimTime lookback_seconds) {
+    store_->set_retention(lookback_seconds);
+  }
+
  private:
   struct Bucket {
     SimTime window_index = 0;
@@ -51,6 +76,7 @@ class WindowAggregator {
   MetricStore* store_;
   SimTime window_;
   std::unordered_map<SeriesKey, Bucket, SeriesKeyHash> buckets_;
+  WindowCallback callback_;
 };
 
 }  // namespace headroom::telemetry

@@ -98,8 +98,8 @@ TEST(CliArgs, RejectsUnknownCommand) {
   const ParseOutcome outcome = parse_args(Args{"frobnicate"});
   EXPECT_FALSE(outcome.ok);
   EXPECT_EQ(outcome.error,
-            "unknown command 'frobnicate' (expected run, export-trace, "
-            "list-scenarios, or flags)");
+            "unknown command 'frobnicate' (expected run, serve, "
+            "export-trace, list-scenarios, or flags)");
 }
 
 TEST(CliArgs, RunRequiresScenario) {
@@ -175,6 +175,83 @@ TEST(CliArgs, ListScenariosParsesDir) {
       parse_args(Args{"list-scenarios", "--dir", "/tmp/scn"});
   ASSERT_TRUE(custom.ok);
   EXPECT_EQ(custom.options.scenario_dir, "/tmp/scn");
+}
+
+TEST(CliArgs, ServeParsesScenarioAndKnobs) {
+  const ParseOutcome outcome = parse_args(
+      Args{"serve", "--scenario", "f.scn", "--extra-days", "2",
+           "--retention-days", "3", "--reuse-baseline", "--out", "logs",
+           "--threads", "2", "--quiet"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.command, Command::kServe);
+  EXPECT_EQ(outcome.options.scenario_path, "f.scn");
+  EXPECT_EQ(outcome.options.extra_days, 2);
+  EXPECT_EQ(outcome.options.retention_days, 3);
+  EXPECT_TRUE(outcome.options.reuse_baseline);
+  EXPECT_EQ(outcome.options.serve_out, "logs");
+  EXPECT_EQ(outcome.options.threads, 2u);
+  EXPECT_TRUE(outcome.options.quiet);
+}
+
+TEST(CliArgs, ServeDefaultsMatchTheDocumentedKnobs) {
+  const ParseOutcome outcome = parse_args(Args{"serve", "--scenario", "f.scn"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.extra_days, 0);
+  EXPECT_EQ(outcome.options.retention_days, 2);
+  EXPECT_FALSE(outcome.options.reuse_baseline);
+  EXPECT_FALSE(outcome.options.follow);
+  EXPECT_EQ(outcome.options.poll_ms, 20);
+  EXPECT_EQ(outcome.options.max_idle_polls, 250);
+}
+
+TEST(CliArgs, ServeParsesFollowMode) {
+  const ParseOutcome outcome =
+      parse_args(Args{"serve", "--trace", "traces/t1", "--follow",
+                      "--poll-ms", "5", "--max-idle-polls", "10"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.command, Command::kServe);
+  EXPECT_EQ(outcome.options.trace_dir, "traces/t1");
+  EXPECT_TRUE(outcome.options.follow);
+  EXPECT_EQ(outcome.options.poll_ms, 5);
+  EXPECT_EQ(outcome.options.max_idle_polls, 10);
+}
+
+TEST(CliArgs, ServeRequiresAFeed) {
+  EXPECT_EQ(parse_args(Args{"serve"}).error,
+            "serve needs --scenario FILE or --trace DIR --follow");
+  EXPECT_EQ(parse_args(Args{"serve", "--scenario", "f.scn", "--trace", "d"})
+                .error,
+            "serve takes --scenario or --trace, not both");
+  EXPECT_EQ(parse_args(Args{"serve", "--trace", "d"}).error,
+            "serve --trace requires --follow (a recorded trace is replayed "
+            "with 'run --trace'; serve tails a growing one)");
+  EXPECT_EQ(parse_args(Args{"serve", "--follow", "--scenario", "f.scn"})
+                .error,
+            "--follow requires --trace DIR");
+}
+
+TEST(CliArgs, ServeFollowRejectsSimulationOnlyKnobs) {
+  EXPECT_EQ(
+      parse_args(Args{"serve", "--trace", "d", "--follow", "--threads", "4"})
+          .error,
+      "--threads does not apply to serve --trace (follow mode does not step "
+      "a simulator)");
+  EXPECT_EQ(parse_args(
+                Args{"serve", "--trace", "d", "--follow", "--extra-days", "1"})
+                .error,
+            "--extra-days does not apply to serve --trace (the feed decides "
+            "when the stream ends)");
+}
+
+TEST(CliArgs, ServeRejectsOutOfRangeKnobs) {
+  EXPECT_EQ(parse_args(Args{"serve", "--scenario", "f.scn", "--retention-days",
+                            "-1"})
+                .error,
+            "bad value for --retention-days: '-1' (expected 0..3650)");
+  EXPECT_EQ(parse_args(Args{"serve", "--trace", "d", "--follow", "--poll-ms",
+                            "0"})
+                .error,
+            "bad value for --poll-ms: '0' (expected 1..60000)");
 }
 
 TEST(CliArgs, EmptyServiceIsAnError) {

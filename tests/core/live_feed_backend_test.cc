@@ -1,0 +1,237 @@
+// LiveFeedBackend: the append-only-store backend behind both trace replay
+// (sealed) and continuous serve mode (live). The contract under test:
+// observe() walks the simulator's stepping grid, try_observe() reports
+// pending without moving the cursor, a pump can extend a live feed inside
+// a blocking observe(), and serving-count changes validate against the
+// recorded active-servers column only when asked to.
+#include "core/live_feed_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric_store.h"
+
+namespace headroom::core {
+namespace {
+
+using telemetry::MetricKind;
+using telemetry::MetricStore;
+using telemetry::SeriesKey;
+using telemetry::SimTime;
+
+constexpr SimTime kWindow = 120;
+
+SeriesKey pool_key(MetricKind kind) {
+  return {0, 0, SeriesKey::kPoolScope, kind};
+}
+
+/// Appends `count` windows starting at `from`, one sample per metric the
+/// observation join needs. Values encode the window start so tests can
+/// check which windows an observation actually contains.
+void append_windows(MetricStore* store, SimTime from, std::size_t count,
+                    double servers = 8.0) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const SimTime t = from + static_cast<SimTime>(i) * kWindow;
+    const auto tv = static_cast<double>(t);
+    store->record(pool_key(MetricKind::kRequestsPerSecond), t, 100.0 + tv);
+    store->record(pool_key(MetricKind::kCpuPercentAttributed), t, 10.0);
+    store->record(pool_key(MetricKind::kLatencyP95Ms), t, 50.0);
+    store->record(pool_key(MetricKind::kActiveServers), t, servers);
+  }
+}
+
+LiveFeedBackend::Options live_options() {
+  LiveFeedBackend::Options opt;
+  opt.pool_size = 10;
+  opt.serving = 8;
+  opt.window_seconds = kWindow;
+  opt.sealed = false;
+  opt.validate_serving = false;
+  opt.label = "test feed";
+  return opt;
+}
+
+TEST(LiveFeedBackend, RejectsUnderspecifiedFeeds) {
+  MetricStore store;
+  LiveFeedBackend::Options opt = live_options();
+  EXPECT_THROW(LiveFeedBackend(nullptr, opt), std::invalid_argument);
+  opt.window_seconds = 0;
+  EXPECT_THROW(LiveFeedBackend(&store, opt), std::invalid_argument);
+  opt = live_options();
+  opt.pool_size = 0;
+  EXPECT_THROW(LiveFeedBackend(&store, opt), std::invalid_argument);
+  opt = live_options();
+  opt.serving = 11;  // more than the pool holds
+  EXPECT_THROW(LiveFeedBackend(&store, opt), std::invalid_argument);
+}
+
+TEST(LiveFeedBackend, SealedFeedRequiresWorkloadSeries) {
+  MetricStore store;
+  LiveFeedBackend::Options opt = live_options();
+  opt.sealed = true;
+  EXPECT_THROW(LiveFeedBackend(&store, opt), std::invalid_argument);
+  append_windows(&store, 0, 1);
+  EXPECT_NO_THROW(LiveFeedBackend(&store, opt));
+  // A live feed may start empty: windows have simply not arrived yet.
+  opt.sealed = false;
+  MetricStore empty;
+  EXPECT_NO_THROW(LiveFeedBackend(&empty, opt));
+}
+
+TEST(LiveFeedBackend, ObserveWalksWholeWindowsAndAdvancesCursor) {
+  MetricStore store;
+  append_windows(&store, 0, 10);
+  LiveFeedBackend backend(&store, live_options());
+  EXPECT_EQ(backend.cursor(), 0);
+  EXPECT_EQ(backend.feed_end(), 10 * kWindow);
+
+  // The recorded kRequestsPerSecond is per-server; an observation's
+  // total_rps is that times the recorded active-server count.
+  const ExperimentObservations first = backend.observe(3 * kWindow);
+  ASSERT_EQ(first.total_rps.size(), 3u);
+  EXPECT_DOUBLE_EQ(first.total_rps[0], 100.0 * 8.0);
+  EXPECT_EQ(backend.cursor(), 3 * kWindow);
+
+  const ExperimentObservations second = backend.observe(2 * kWindow);
+  ASSERT_EQ(second.total_rps.size(), 2u);
+  EXPECT_DOUBLE_EQ(second.total_rps[0], (100.0 + 3 * kWindow) * 8.0);
+  EXPECT_EQ(backend.cursor(), 5 * kWindow);
+}
+
+TEST(LiveFeedBackend, NonMultipleDurationOvershootsLikeRunUntil) {
+  MetricStore store;
+  append_windows(&store, 0, 4);
+  LiveFeedBackend backend(&store, live_options());
+  // 150 s is 1.25 windows; the simulator steps whole windows and lands on
+  // the next boundary, so the observation must hold 2 windows.
+  const ExperimentObservations obs = backend.observe(150);
+  EXPECT_EQ(obs.total_rps.size(), 2u);
+  EXPECT_EQ(backend.cursor(), 2 * kWindow);
+  EXPECT_THROW(backend.observe(0), std::invalid_argument);
+  EXPECT_THROW(backend.observe(-kWindow), std::invalid_argument);
+}
+
+TEST(LiveFeedBackend, TryObservePendingLeavesCursorUntouched) {
+  MetricStore store;
+  append_windows(&store, 0, 2);
+  LiveFeedBackend backend(&store, live_options());
+  EXPECT_EQ(backend.try_observe(3 * kWindow), std::nullopt);
+  EXPECT_EQ(backend.cursor(), 0);  // a pending poll must not consume
+  // The feed grows; the identical call now succeeds from the same cursor.
+  append_windows(&store, 2 * kWindow, 1);
+  const auto ready = backend.try_observe(3 * kWindow);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->total_rps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ready->total_rps[0], 100.0 * 8.0);
+  EXPECT_EQ(backend.cursor(), 3 * kWindow);
+}
+
+TEST(LiveFeedBackend, SealedFeedThrowsTraceExhausted) {
+  MetricStore store;
+  append_windows(&store, 0, 2);
+  LiveFeedBackend::Options opt = live_options();
+  opt.sealed = true;
+  LiveFeedBackend backend(&store, opt);
+  try {
+    backend.observe(3 * kWindow);
+    FAIL() << "expected trace exhausted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trace exhausted at t=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("recording ends at t=240"), std::string::npos) << what;
+  }
+}
+
+TEST(LiveFeedBackend, LiveFeedWithoutPumpThrowsFeedExhausted) {
+  MetricStore store;
+  append_windows(&store, 0, 2);
+  LiveFeedBackend backend(&store, live_options());
+  try {
+    backend.observe(3 * kWindow);
+    FAIL() << "expected feed exhausted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("feed exhausted"), std::string::npos) << what;
+    EXPECT_NE(what.find("feed ends at t=240"), std::string::npos) << what;
+  }
+}
+
+TEST(LiveFeedBackend, PumpExtendsTheFeedInsideBlockingObserve) {
+  MetricStore store;
+  LiveFeedBackend backend(&store, live_options());
+  std::vector<SimTime> asked;
+  backend.set_pump([&](SimTime needed_end) {
+    asked.push_back(needed_end);
+    // Grow one window per call, like a simulator stepping on demand.
+    append_windows(&store, backend.feed_end() == 0 ? 0 : backend.feed_end(),
+                   1);
+    return true;
+  });
+  const ExperimentObservations obs = backend.observe(3 * kWindow);
+  EXPECT_EQ(obs.total_rps.size(), 3u);
+  ASSERT_GE(asked.size(), 3u);
+  EXPECT_EQ(asked.front(), 3 * kWindow);  // always the span it still needs
+}
+
+TEST(LiveFeedBackend, ClosedPumpMeansExhausted) {
+  MetricStore store;
+  append_windows(&store, 0, 1);
+  LiveFeedBackend backend(&store, live_options());
+  backend.set_pump([](SimTime) { return false; });  // feed closed
+  EXPECT_THROW(backend.observe(2 * kWindow), std::runtime_error);
+  EXPECT_EQ(backend.cursor(), 0);
+}
+
+TEST(LiveFeedBackend, ServingChangesRangeCheckAndNotifyHook) {
+  MetricStore store;
+  append_windows(&store, 0, 2);
+  LiveFeedBackend backend(&store, live_options());
+  std::vector<std::size_t> hook_calls;
+  backend.set_serving_hook(
+      [&](std::size_t servers) { hook_calls.push_back(servers); });
+  backend.set_serving_count(6);
+  EXPECT_EQ(backend.serving_count(), 6u);
+  ASSERT_EQ(hook_calls.size(), 1u);
+  EXPECT_EQ(hook_calls[0], 6u);
+  EXPECT_THROW(backend.set_serving_count(0), std::invalid_argument);
+  EXPECT_THROW(backend.set_serving_count(11), std::invalid_argument);
+  EXPECT_EQ(hook_calls.size(), 1u);  // rejected counts never reach the hook
+}
+
+TEST(LiveFeedBackend, ValidationCatchesReplayDivergence) {
+  MetricStore store;
+  append_windows(&store, 0, 2, /*servers=*/8.0);
+  LiveFeedBackend::Options opt = live_options();
+  opt.validate_serving = true;
+  LiveFeedBackend backend(&store, opt);
+  // The trace recorded 8 active servers in the cursor window; asking for 4
+  // means the replay diverged from the recorded experiment.
+  try {
+    backend.set_serving_count(4);
+    FAIL() << "expected divergence";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("replay diverged"),
+              std::string::npos);
+  }
+  EXPECT_EQ(backend.serving_count(), 8u);  // the rejected count not adopted
+  // Fewer active servers on record than requested is legal (maintenance
+  // takes rotation members offline); so is a change past the recording.
+  EXPECT_NO_THROW(backend.set_serving_count(9));
+  (void)backend.observe(2 * kWindow);  // cursor now past the recorded end
+  EXPECT_NO_THROW(backend.set_serving_count(4));
+}
+
+TEST(LiveFeedBackend, ValidationOffAcceptsAnyInRangeCount) {
+  MetricStore store;
+  append_windows(&store, 0, 2, /*servers=*/8.0);
+  LiveFeedBackend backend(&store, live_options());
+  EXPECT_NO_THROW(backend.set_serving_count(4));
+  EXPECT_EQ(backend.serving_count(), 4u);
+}
+
+}  // namespace
+}  // namespace headroom::core

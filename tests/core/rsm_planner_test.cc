@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <random>
+#include <stdexcept>
 
 namespace headroom::core {
 namespace {
@@ -150,6 +152,151 @@ TEST(RsmPlanner, ReductionFractionConsistent) {
   EXPECT_NEAR(result.reduction_fraction(),
               1.0 - static_cast<double>(result.recommended_serving) / 400.0,
               1e-12);
+}
+
+// --- Incremental sessions ----------------------------------------------------
+
+/// FakePoolBackend with a window budget: try_observe() reports pending
+/// until grant() releases enough windows, modelling a live feed that grows
+/// between polls. observe() keeps the base class's always-succeeds
+/// behaviour so the same dynamics drive both paths.
+class ThrottledPoolBackend final : public PoolExperimentBackend {
+ public:
+  explicit ThrottledPoolBackend(FakePoolBackend* inner) : inner_(inner) {}
+
+  [[nodiscard]] std::size_t pool_size() const override {
+    return inner_->pool_size();
+  }
+  [[nodiscard]] std::size_t serving_count() const override {
+    return inner_->serving_count();
+  }
+  void set_serving_count(std::size_t servers) override {
+    inner_->set_serving_count(servers);
+  }
+  ExperimentObservations observe(telemetry::SimTime duration) override {
+    return inner_->observe(duration);
+  }
+  std::optional<ExperimentObservations> try_observe(
+      telemetry::SimTime duration) override {
+    const auto needed = static_cast<std::size_t>(duration / 120);
+    if (available_ < needed) {
+      ++pending_polls_;
+      return std::nullopt;
+    }
+    available_ -= needed;
+    return inner_->observe(duration);
+  }
+  void grant(std::size_t windows) { available_ += windows; }
+  [[nodiscard]] std::size_t pending_polls() const { return pending_polls_; }
+
+ private:
+  FakePoolBackend* inner_;
+  std::size_t available_ = 0;
+  std::size_t pending_polls_ = 0;
+};
+
+TEST(RsmSession, DrivenToCompletionMatchesBatchOptimize) {
+  // The batch planner is itself a session advanced to completion; a
+  // hand-driven session over an identically seeded backend must land on
+  // the identical result — the equivalence the serve goldens lean on.
+  FakePoolBackend batch_backend(400, 10.0, 10.0, 10000.0);
+  const RsmPlanner planner(fast_options(14.0));
+  const RsmResult batch = planner.optimize(batch_backend);
+
+  FakePoolBackend session_backend(400, 10.0, 10.0, 10000.0);
+  RsmSession session(fast_options(14.0), &session_backend);
+  EXPECT_FALSE(session.done());
+  EXPECT_TRUE(session.advance());  // a complete backend finishes in one call
+  EXPECT_TRUE(session.done());
+  const RsmResult& incremental = session.result();
+
+  EXPECT_EQ(incremental.recommended_serving, batch.recommended_serving);
+  EXPECT_EQ(incremental.starting_serving, batch.starting_serving);
+  ASSERT_EQ(incremental.iterations.size(), batch.iterations.size());
+  for (std::size_t i = 0; i < batch.iterations.size(); ++i) {
+    EXPECT_EQ(incremental.iterations[i].serving, batch.iterations[i].serving);
+    EXPECT_EQ(incremental.iterations[i].observed_latency_p95_ms,
+              batch.iterations[i].observed_latency_p95_ms)
+        << "iteration " << i;  // bit-equal, not merely close
+    EXPECT_EQ(incremental.iterations[i].predicted_latency_ms,
+              batch.iterations[i].predicted_latency_ms);
+  }
+  EXPECT_EQ(incremental.history.size(), batch.history.size());
+}
+
+TEST(RsmSession, PendingFeedParksAndResumesWithoutReobserving) {
+  FakePoolBackend inner(400, 10.0, 10.0, 10000.0);
+  ThrottledPoolBackend backend(&inner);
+  RsmSession session(fast_options(14.0), &backend);
+
+  EXPECT_FALSE(session.advance());  // nothing granted: parked on baseline
+  EXPECT_FALSE(session.done());
+  EXPECT_EQ(session.pending_duration(), 86400);
+  EXPECT_FALSE(session.advance());  // pending polls are idempotent
+  EXPECT_GE(backend.pending_polls(), 2u);
+
+  // Release one day per poll until the optimization completes. The
+  // reference run consumed (iterations * 720) windows; granting exactly
+  // that much must be enough — a session that re-observed after a pending
+  // poll would starve.
+  std::size_t grants = 0;
+  while (!session.advance()) {
+    backend.grant(720);
+    ++grants;
+    ASSERT_LT(grants, 100u) << "session failed to make progress";
+  }
+  EXPECT_TRUE(session.done());
+  const RsmResult& result = session.result();
+  EXPECT_EQ(result.iterations.size(), grants);
+  EXPECT_EQ(result.history.size(), grants * 720u);
+  EXPECT_EQ(session.pending_duration(), 0);
+  EXPECT_EQ(inner.serving_count(), result.recommended_serving);
+}
+
+TEST(RsmSession, SeededBaselineSkipsTheBaselineObservation) {
+  FakePoolBackend reference_backend(400, 10.0, 10.0, 10000.0);
+  RsmSession reference(fast_options(14.0), &reference_backend);
+  ASSERT_TRUE(reference.advance());
+  const ExperimentObservations baseline_history = [&] {
+    // Re-observe a fresh identically seeded backend for one day: the same
+    // windows the reference session's baseline consumed.
+    FakePoolBackend replay(400, 10.0, 10.0, 10000.0);
+    return replay.observe(86400);
+  }();
+
+  FakePoolBackend seeded_backend(400, 10.0, 10.0, 10000.0);
+  RsmSession seeded(fast_options(14.0), &seeded_backend);
+  seeded.seed_baseline(baseline_history);
+  ASSERT_TRUE(seeded.advance());
+  // The seeded session spends no backend windows on a baseline, so its
+  // first decision comes from the same fit but its iterations consume a
+  // shifted window stream; the shape invariants still hold.
+  const RsmResult& result = seeded.result();
+  ASSERT_GE(result.iterations.size(), 1u);
+  EXPECT_EQ(result.iterations.front().serving, 400u);
+  EXPECT_EQ(result.starting_serving, 400u);
+  EXPECT_LE(result.recommended_serving, 400u);
+
+  EXPECT_THROW(seeded.seed_baseline(baseline_history), std::logic_error);
+  RsmSession empty_seed(fast_options(14.0), &seeded_backend);
+  EXPECT_THROW(empty_seed.seed_baseline(ExperimentObservations{}),
+               std::invalid_argument);
+}
+
+TEST(RsmSession, ResultBeforeDoneThrows) {
+  FakePoolBackend inner(400, 10.0, 10.0, 10000.0);
+  ThrottledPoolBackend backend(&inner);
+  RsmSession session(fast_options(14.0), &backend);
+  EXPECT_THROW((void)session.result(), std::logic_error);
+  EXPECT_FALSE(session.advance());
+  EXPECT_THROW((void)session.result(), std::logic_error);
+}
+
+TEST(RsmPlanner, BatchOptimizeRefusesAPendingBackend) {
+  FakePoolBackend inner(400, 10.0, 10.0, 10000.0);
+  ThrottledPoolBackend backend(&inner);  // never granted: always pending
+  const RsmPlanner planner(fast_options(14.0));
+  EXPECT_THROW((void)planner.optimize(backend), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// Scenario directory listing: one malformed file must not hide the rest.
+// The regression pinned here: `headroom list-scenarios` used to abort on
+// the first unparsable .scn; list_scenario_dir now reports per-file errors
+// and keeps listing.
+#include "scenario/listing.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace headroom::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ListingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("headroom_listing_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write(const std::string& name, const std::string& body) const {
+    std::ofstream out(dir_ / name, std::ios::binary);
+    out << body;
+  }
+
+  fs::path dir_;
+};
+
+constexpr const char* kGoodScenario = R"([scenario]
+name = good
+seed = 5
+days = 1
+
+[fleet]
+kind = single_pool
+service = D
+servers = 4
+)";
+
+TEST_F(ListingTest, MissingDirectoryIsAListingError) {
+  const ScenarioListing listing =
+      list_scenario_dir((dir_ / "does_not_exist").string());
+  EXPECT_FALSE(listing.ok());
+  EXPECT_NE(listing.error.find("not a directory"), std::string::npos)
+      << listing.error;
+  EXPECT_TRUE(listing.entries.empty());
+}
+
+TEST_F(ListingTest, EmptyDirectoryListsNothing) {
+  const ScenarioListing listing = list_scenario_dir(dir_.string());
+  EXPECT_TRUE(listing.ok());
+  EXPECT_TRUE(listing.entries.empty());
+}
+
+TEST_F(ListingTest, MalformedFileDoesNotHideTheOthers) {
+  write("aaa_good.scn", kGoodScenario);
+  write("mmm_broken.scn", "days = banana\n");
+  write("zzz_good.scn", kGoodScenario);
+  write("notes.txt", "not a scenario");  // non-.scn files are ignored
+
+  const ScenarioListing listing = list_scenario_dir(dir_.string());
+  EXPECT_TRUE(listing.ok()) << listing.error;
+  ASSERT_EQ(listing.entries.size(), 3u);
+
+  // Sorted by file name, parse failures in place.
+  EXPECT_EQ(listing.entries[0].file, "aaa_good.scn");
+  EXPECT_TRUE(listing.entries[0].ok()) << listing.entries[0].error;
+  EXPECT_EQ(listing.entries[0].spec.name, "good");
+
+  EXPECT_EQ(listing.entries[1].file, "mmm_broken.scn");
+  EXPECT_FALSE(listing.entries[1].ok());
+  EXPECT_FALSE(listing.entries[1].error.empty());
+
+  EXPECT_EQ(listing.entries[2].file, "zzz_good.scn");
+  EXPECT_TRUE(listing.entries[2].ok());
+}
+
+TEST_F(ListingTest, EveryFileBrokenStillListsEveryFile) {
+  write("a.scn", "garbage\n");
+  write("b.scn", "[pool]\n");
+  const ScenarioListing listing = list_scenario_dir(dir_.string());
+  EXPECT_TRUE(listing.ok());
+  ASSERT_EQ(listing.entries.size(), 2u);
+  EXPECT_FALSE(listing.entries[0].ok());
+  EXPECT_FALSE(listing.entries[1].ok());
+}
+
+TEST_F(ListingTest, ShippedScenarioDirectoryListsClean) {
+  const ScenarioListing listing = list_scenario_dir(HEADROOM_SCENARIO_DIR);
+  EXPECT_TRUE(listing.ok()) << listing.error;
+  EXPECT_GE(listing.entries.size(), 6u);
+  for (const ScenarioListEntry& entry : listing.entries) {
+    EXPECT_TRUE(entry.ok()) << entry.file << ": " << entry.error;
+  }
+}
+
+}  // namespace
+}  // namespace headroom::scenario

@@ -1,0 +1,264 @@
+// Continuous-mode bit-identity pins.
+//
+// The contract the serve refactor must keep: a scenario streamed through
+// `headroom serve` — windows arriving one at a time, pipeline stages
+// advancing incrementally, rolling retention evicting consumed history —
+// produces the identical final machine summary to the batch run, byte for
+// byte, at any thread count. The batch summaries are already pinned in
+// tests/scenario/golden/, so serving is compared against those same files.
+//
+// Follow mode gets the same treatment against a recorded trace directory:
+// a complete recording, a recording growing under the reader, and a feed
+// that dies mid-experiment.
+#include "scenario/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/scenario_parser.h"
+#include "scenario/trace.h"
+
+#ifndef HEADROOM_SCENARIO_DIR
+#error "HEADROOM_SCENARIO_DIR must point at examples/scenarios"
+#endif
+#ifndef HEADROOM_GOLDEN_DIR
+#error "HEADROOM_GOLDEN_DIR must point at tests/scenario/golden"
+#endif
+
+namespace headroom::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> scenario_stems() {
+  std::vector<std::string> stems;
+  for (const auto& entry : fs::directory_iterator(HEADROOM_SCENARIO_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      stems.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class ServeIdentity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServeIdentity, ServedSummaryMatchesTheBatchGoldenAtAnyThreadCount) {
+  const fs::path scenario_path =
+      fs::path(HEADROOM_SCENARIO_DIR) / (GetParam() + ".scn");
+  ParseResult parsed = load_scenario_file(scenario_path.string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  const fs::path golden_path =
+      fs::path(HEADROOM_GOLDEN_DIR) / (GetParam() + ".golden");
+  ASSERT_TRUE(fs::exists(golden_path))
+      << "no golden pin for " << GetParam()
+      << " (the batch golden test creates these)";
+  const std::string golden = read_file(golden_path);
+
+  const ServeRunner runner;
+  const ServeResult serial = runner.serve(parsed.spec, {});
+  EXPECT_EQ(serial.summary, golden)
+      << "streaming the pipeline window-by-window changed the summary";
+  EXPECT_TRUE(serial.result.assertions_pass);
+  EXPECT_GT(serial.windows, 0u);
+  EXPECT_GT(serial.reports, 0u);
+
+  ScenarioSpec threaded = parsed.spec;
+  threaded.threads = 4;
+  const ServeResult parallel = runner.serve(threaded, {});
+  EXPECT_EQ(parallel.summary, golden)
+      << "served summary depends on the stepping thread count";
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, ServeIdentity,
+                         ::testing::ValuesIn(scenario_stems()));
+
+TEST(ServeRetention, ExperimentPhaseEvictsConsumedHistory) {
+  // fig6 runs measure+optimize over 2 observation days + 5 RSM days with
+  // the default 2-day retention: most of the feed must have been evicted
+  // by completion, with the resident set bounded by the retention window.
+  ParseResult parsed = load_scenario_file(
+      (fs::path(HEADROOM_SCENARIO_DIR) / "fig6_flash_crowd.scn").string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const ServeResult served = ServeRunner().serve(parsed.spec, {});
+  EXPECT_GT(served.evicted_samples, 0u);
+  EXPECT_GT(served.resident_samples, 0u);
+  // The bulk of a 7-day feed is outside the 2-day retention window.
+  EXPECT_LT(served.resident_samples, served.evicted_samples);
+}
+
+// --- Follow mode over a recorded trace --------------------------------------
+
+/// One shared recording for every follow test: exporting runs the full
+/// fleet simulation, so it happens once per suite.
+class FollowTrace : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::temp_directory_path() / "headroom_follow_trace");
+    fs::remove_all(*dir_);
+    ParseResult parsed = load_scenario_file(
+        (fs::path(HEADROOM_SCENARIO_DIR) / "fig6_flash_crowd.scn").string());
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    ScenarioRunResult result;
+    const TraceExportResult exported =
+        export_trace(parsed.spec, dir_->string(), &result);
+    ASSERT_TRUE(exported.ok()) << exported.error;
+    summary_ = new std::string(read_file(*dir_ / "summary.txt"));
+    ASSERT_FALSE(summary_->empty());
+  }
+  static void TearDownTestSuite() {
+    fs::remove_all(*dir_);
+    delete dir_;
+    delete summary_;
+    dir_ = nullptr;
+    summary_ = nullptr;
+  }
+
+  static ServeOptions fast_poll() {
+    ServeOptions opt;
+    opt.poll_ms = 1;
+    return opt;
+  }
+
+  static fs::path* dir_;
+  static std::string* summary_;
+};
+
+fs::path* FollowTrace::dir_ = nullptr;
+std::string* FollowTrace::summary_ = nullptr;
+
+TEST_F(FollowTrace, CompleteRecordingReproducesTheRecordedSummary) {
+  const ServeResult followed =
+      ServeRunner(fast_poll()).follow(dir_->string(), {});
+  EXPECT_EQ(followed.summary, *summary_)
+      << "following a finished recording must reproduce its summary";
+  EXPECT_TRUE(followed.result.assertions_pass);
+  // The eviction floor released the observation phase but protected the
+  // experiment windows the session had not consumed yet.
+  EXPECT_GT(followed.evicted_samples, 0u);
+}
+
+TEST_F(FollowTrace, RecordingGrowingUnderTheReaderReproducesTheSummary) {
+  const fs::path grow_dir =
+      fs::temp_directory_path() / "headroom_follow_grow";
+  fs::remove_all(grow_dir);
+  fs::create_directories(grow_dir);
+  for (const char* name :
+       {"scenario.scn", "manifest.ini", "server_day_cpu.csv"}) {
+    fs::copy_file(*dir_ / name, grow_dir / name);
+  }
+  // Every pool CSV split into joint chunks, appended while follow() runs.
+  std::vector<fs::path> pool_files;
+  std::vector<std::vector<std::string>> pool_lines;
+  for (const auto& entry : fs::directory_iterator(*dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("pool_", 0) != 0) continue;
+    pool_files.push_back(grow_dir / name);
+    std::vector<std::string> lines;
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    pool_lines.push_back(std::move(lines));
+  }
+  ASSERT_FALSE(pool_files.empty());
+
+  std::thread writer([&] {
+    const std::size_t total = pool_lines[0].size();
+    std::size_t written = 0;
+    while (written < total) {
+      const std::size_t next = std::min(written + 997, total);
+      for (std::size_t p = 0; p < pool_files.size(); ++p) {
+        std::ofstream out(pool_files[p], std::ios::app | std::ios::binary);
+        for (std::size_t i = written; i < next; ++i) {
+          out << pool_lines[p][i] << '\n';
+        }
+      }
+      written = next;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  ServeOptions opt = fast_poll();
+  opt.max_idle_polls = 200000;  // the writer paces the feed, not the poll
+  ServeResult followed;
+  try {
+    followed = ServeRunner(opt).follow(grow_dir.string(), {});
+  } catch (...) {
+    writer.join();
+    fs::remove_all(grow_dir);
+    throw;
+  }
+  writer.join();
+  fs::remove_all(grow_dir);
+  EXPECT_EQ(followed.summary, *summary_)
+      << "a trace growing under the reader must replay like a finished one";
+}
+
+TEST_F(FollowTrace, FeedDyingMidExperimentReportsIdleNotHang) {
+  const fs::path dead_dir =
+      fs::temp_directory_path() / "headroom_follow_dead";
+  fs::remove_all(dead_dir);
+  fs::create_directories(dead_dir);
+  for (const char* name :
+       {"scenario.scn", "manifest.ini", "server_day_cpu.csv"}) {
+    fs::copy_file(*dir_ / name, dead_dir / name);
+  }
+  // Three of the seven recorded days: past the observation horizon, well
+  // short of what the RSM experiment needs.
+  const std::size_t keep = 1 + 3 * 720;  // header + three days of windows
+  for (const auto& entry : fs::directory_iterator(*dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("pool_", 0) != 0) continue;
+    std::ifstream in(entry.path());
+    std::ofstream out(dead_dir / name, std::ios::binary);
+    std::string line;
+    for (std::size_t i = 0; i < keep && std::getline(in, line); ++i) {
+      out << line << '\n';
+    }
+  }
+
+  ServeOptions opt = fast_poll();
+  opt.max_idle_polls = 5;
+  try {
+    (void)ServeRunner(opt).follow(dead_dir.string(), {});
+    FAIL() << "expected the idle budget to trip";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("went idle"), std::string::npos)
+        << e.what();
+  }
+  fs::remove_all(dead_dir);
+}
+
+TEST_F(FollowTrace, MalformedFeedSurfacesTheTraceDiagnostic) {
+  const fs::path bad_dir = fs::temp_directory_path() / "headroom_follow_bad";
+  fs::remove_all(bad_dir);
+  fs::create_directories(bad_dir);
+  try {
+    (void)ServeRunner(fast_poll()).follow(bad_dir.string(), {});
+    FAIL() << "expected a trace diagnostic";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("manifest"), std::string::npos)
+        << e.what();
+  }
+  fs::remove_all(bad_dir);
+}
+
+}  // namespace
+}  // namespace headroom::scenario

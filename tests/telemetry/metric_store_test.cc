@@ -322,6 +322,133 @@ TEST(MetricStore, ClearResets) {
   EXPECT_EQ(store.sample_count(), 0u);
 }
 
+// --- Rolling retention ------------------------------------------------------
+
+TEST(MetricStoreRetention, EvictsWindowsOlderThanLookback) {
+  MetricStore store;
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  store.set_retention(480);  // keep four 120 s windows behind the watermark
+  for (SimTime t = 0; t < 10 * 120; t += 120) {
+    store.record(key, t, static_cast<double>(t));
+  }
+  // Watermark 1080, cutoff 600: windows 0..480 are gone.
+  EXPECT_EQ(store.series(key).size(), 5u);
+  EXPECT_EQ(store.series(key).time_at(0), 600);
+  EXPECT_EQ(store.sample_count(), 5u);
+  EXPECT_EQ(store.evicted_samples(), 5u);
+}
+
+TEST(MetricStoreRetention, SweepsEverySeriesAgainstOneWatermark) {
+  MetricStore store;
+  const SeriesKey rps{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  const SeriesKey cpu{0, 0, 7, MetricKind::kCpuPercentTotal};
+  store.set_retention(240);
+  for (SimTime t = 0; t < 6 * 120; t += 120) {
+    store.record(rps, t, 1.0);
+    store.record(cpu, t, 2.0);
+  }
+  EXPECT_EQ(store.series(rps).time_at(0), store.series(cpu).time_at(0));
+  EXPECT_EQ(store.series(rps).size(), store.series(cpu).size());
+}
+
+TEST(MetricStoreRetention, EnablingOnAGrownStoreSweepsImmediately) {
+  MetricStore store;
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  for (SimTime t = 0; t < 10 * 120; t += 120) {
+    store.record(key, t, 1.0);
+  }
+  EXPECT_EQ(store.evicted_samples(), 0u);
+  store.set_retention(240);  // takes effect without waiting for an append
+  EXPECT_EQ(store.series(key).time_at(0), 840);
+  EXPECT_GT(store.evicted_samples(), 0u);
+}
+
+TEST(MetricStoreRetention, ArchiveDigestPreservesLifetimeStatistics) {
+  MetricStore store;
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope, MetricKind::kLatencyP95Ms};
+  store.set_retention(240);
+  for (SimTime t = 0; t < 8 * 120; t += 120) {
+    store.record(key, t, static_cast<double>(t + 1));
+  }
+  StreamingDigest lifetime = store.archived_summary(key);
+  lifetime.merge(store.summary(key));
+  EXPECT_EQ(lifetime.count(), 8u);
+  double expected_sum = 0.0;
+  for (SimTime t = 0; t < 8 * 120; t += 120) expected_sum += t + 1;
+  EXPECT_DOUBLE_EQ(lifetime.sum(), expected_sum);
+}
+
+TEST(MetricStoreRetention, ZeroRestoresKeepEverything) {
+  MetricStore store;
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  store.set_retention(240);
+  store.set_retention(0);
+  for (SimTime t = 0; t < 10 * 120; t += 120) {
+    store.record(key, t, 1.0);
+  }
+  EXPECT_EQ(store.series(key).size(), 10u);
+  EXPECT_EQ(store.evicted_samples(), 0u);
+  EXPECT_THROW(store.set_retention(-1), std::invalid_argument);
+}
+
+TEST(MetricStoreRetention, EvictionFloorHaltsTheSweep) {
+  // A bulk-ingested recording puts the watermark far ahead of the slowest
+  // consumer; the floor keeps its unread windows resident (the serve
+  // --follow starvation regression).
+  MetricStore store;
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  for (SimTime t = 0; t < 50 * 120; t += 120) {
+    store.record(key, t, 1.0);
+  }
+  store.set_eviction_floor(600);  // consumer cursor: window 5
+  store.set_retention(240);       // watermark cutoff would be 5520
+  EXPECT_EQ(store.series(key).time_at(0), 600);
+  EXPECT_EQ(store.evicted_samples(), 5u);
+
+  // Raising the floor releases exactly the windows the consumer passed.
+  store.set_eviction_floor(1200);
+  EXPECT_EQ(store.series(key).time_at(0), 1200);
+  EXPECT_EQ(store.evicted_samples(), 10u);
+  EXPECT_EQ(store.eviction_floor(), 1200);
+  EXPECT_THROW(store.set_eviction_floor(-1), std::invalid_argument);
+}
+
+TEST(MetricStoreRetention, FloorBeyondCutoffLeavesWatermarkRuleInCharge) {
+  MetricStore store;
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  store.set_eviction_floor(100000);  // far ahead: never the binding bound
+  store.set_retention(240);
+  for (SimTime t = 0; t < 6 * 120; t += 120) {
+    store.record(key, t, 1.0);
+  }
+  EXPECT_EQ(store.series(key).time_at(0), 360);  // watermark 600 - 240
+}
+
+TEST(MetricStoreRetention, ClearResetsRetentionStateToo) {
+  MetricStore store;
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  store.set_retention(240);
+  store.set_eviction_floor(0);
+  for (SimTime t = 0; t < 6 * 120; t += 120) {
+    store.record(key, t, 1.0);
+  }
+  store.clear();
+  EXPECT_EQ(store.retention(), 0);
+  EXPECT_EQ(store.evicted_samples(), 0u);
+  // A cleared store keeps full history again.
+  for (SimTime t = 0; t < 6 * 120; t += 120) {
+    store.record(key, t, 1.0);
+  }
+  EXPECT_EQ(store.series(key).size(), 6u);
+}
+
 TEST(SeriesKeyHash, DistinctKeysUsuallyDistinctHashes) {
   SeriesKeyHash hash;
   const SeriesKey a{1, 2, 3, MetricKind::kCpuPercentTotal};

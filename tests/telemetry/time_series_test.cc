@@ -306,5 +306,70 @@ TEST(Align, SlicedViewsJoinLikeMaterializedSlices) {
   EXPECT_DOUBLE_EQ(pair.x[5], 1081.0);
 }
 
+TEST(TimeSeries, DropFrontKeepsStrideEncoding) {
+  TimeSeries s;
+  for (SimTime t = 0; t < 10 * 120; t += 120) {
+    s.append(t, static_cast<double>(t));
+  }
+  ASSERT_TRUE(s.regular());
+  EXPECT_EQ(s.drop_front(3), 3u);
+  EXPECT_TRUE(s.regular());  // eviction must not force explicit times
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_EQ(s.start(), 360);
+  EXPECT_EQ(s.time_at(0), 360);
+  EXPECT_DOUBLE_EQ(s.at(0).value, 360.0);
+  // Appends after eviction continue the same stride.
+  s.append(10 * 120, 1200.0);
+  EXPECT_TRUE(s.regular());
+  EXPECT_EQ(s.time_at(s.size() - 1), 1200);
+}
+
+TEST(TimeSeries, DropFrontOnIrregularSeries) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  s.append(120, 2.0);
+  s.append(500, 3.0);  // cadence break
+  ASSERT_FALSE(s.regular());
+  EXPECT_EQ(s.drop_front(2), 2u);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.time_at(0), 500);
+}
+
+TEST(TimeSeries, DropFrontClampsAndEmpties) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  s.append(120, 2.0);
+  EXPECT_EQ(s.drop_front(99), 2u);  // clamped to size()
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.drop_front(1), 0u);  // empty series drops nothing
+  // An emptied series accepts a fresh history, including earlier times.
+  s.append(0, 3.0);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(TimeSeries, FirstIndexAtOrAfterOnRegularSeries) {
+  TimeSeries s;
+  for (SimTime t = 120; t <= 5 * 120; t += 120) {
+    s.append(t, 1.0);
+  }
+  EXPECT_EQ(s.first_index_at_or_after(0), 0u);
+  EXPECT_EQ(s.first_index_at_or_after(120), 0u);
+  EXPECT_EQ(s.first_index_at_or_after(121), 1u);
+  EXPECT_EQ(s.first_index_at_or_after(240), 1u);
+  EXPECT_EQ(s.first_index_at_or_after(600), 4u);
+  EXPECT_EQ(s.first_index_at_or_after(601), 5u);  // past the end
+}
+
+TEST(TimeSeries, FirstIndexAtOrAfterOnIrregularSeries) {
+  TimeSeries s;
+  s.append(0, 1.0);
+  s.append(120, 2.0);
+  s.append(500, 3.0);
+  ASSERT_FALSE(s.regular());
+  EXPECT_EQ(s.first_index_at_or_after(120), 1u);
+  EXPECT_EQ(s.first_index_at_or_after(121), 2u);
+  EXPECT_EQ(s.first_index_at_or_after(501), 3u);
+}
+
 }  // namespace
 }  // namespace headroom::telemetry

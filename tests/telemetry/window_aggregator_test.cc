@@ -183,5 +183,62 @@ TEST(WindowAggregator, FlushedStoreIsInsertionOrderInvariant) {
   }
 }
 
+TEST(WindowAggregator, WindowCallbackFiresOnEmitAndFlush) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  struct Emitted {
+    SeriesKey key;
+    SimTime start;
+    double value;
+  };
+  std::vector<Emitted> seen;
+  agg.set_window_callback([&](const SeriesKey& key, SimTime start,
+                              double value) {
+    seen.push_back({key, start, value});
+  });
+  agg.add(kCpuKey, 0, 10.0);
+  agg.add(kCpuKey, 60, 30.0);
+  EXPECT_TRUE(seen.empty());  // window still open
+  agg.add(kCpuKey, 120, 50.0);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].key, kCpuKey);
+  EXPECT_EQ(seen[0].start, 0);
+  EXPECT_DOUBLE_EQ(seen[0].value, 20.0);
+  // The callback observes the sample already landed in the store.
+  EXPECT_EQ(store.series(kCpuKey).size(), 1u);
+  agg.flush();  // the partial second window emits through the hook too
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1].start, 120);
+  EXPECT_DOUBLE_EQ(seen[1].value, 50.0);
+}
+
+TEST(WindowAggregator, DetachedCallbackStopsFiring) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  int calls = 0;
+  agg.set_window_callback([&](const SeriesKey&, SimTime, double) { ++calls; });
+  agg.add(kCpuKey, 0, 1.0);
+  agg.add(kCpuKey, 120, 1.0);
+  EXPECT_EQ(calls, 1);
+  agg.set_window_callback({});
+  agg.add(kCpuKey, 240, 1.0);
+  agg.flush();
+  EXPECT_EQ(calls, 1);  // detached: later windows emit silently
+}
+
+TEST(WindowAggregator, StoreRetentionPassThroughBoundsTheStore) {
+  MetricStore store;
+  WindowAggregator agg(&store, 120);
+  agg.set_store_retention(240);
+  for (SimTime t = 0; t < 10 * 120; t += 120) {
+    agg.add(kCpuKey, t, 1.0);
+  }
+  agg.flush();
+  EXPECT_EQ(store.retention(), 240);
+  EXPECT_GT(store.evicted_samples(), 0u);
+  // Resident span is bounded by the lookback, not the feed length.
+  EXPECT_LE(store.series(kCpuKey).size(), 3u);
+}
+
 }  // namespace
 }  // namespace headroom::telemetry
