@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "query/query_engine.h"
 #include "telemetry/metric_store.h"
 #include "telemetry/time_series.h"
 
@@ -56,11 +57,19 @@ class PoolExperimentBackend {
 };
 
 /// Assembles the experiment observations of one pool from its pool-scope
-/// series over [from, to): zero-copy window slices of the four series,
-/// aligned on window start. This is the single definition of "what an
-/// observation is" — the simulator backend reads its live store through it
-/// and the trace backend reads a recorded store through it, so a lossless
-/// trace round-trip reproduces observations bit-for-bit.
+/// series over [from, to), read through the resolution-aware query layer.
+/// This is the single definition of "what an observation is" — the
+/// simulator backend reads its live store through it and the trace backend
+/// reads a recorded store through it, so a lossless trace round-trip
+/// reproduces observations bit-for-bit: when raw data covers the range the
+/// engine hands out the same zero-copy window slices as before, aligned on
+/// window start. Only when part of the range was evicted to digest tiers
+/// does the read degrade (gracefully) to tier-bucket means on that prefix.
+[[nodiscard]] ExperimentObservations observations_between(
+    const query::QueryEngine& engine, std::uint32_t datacenter,
+    std::uint32_t pool, telemetry::SimTime from, telemetry::SimTime to);
+
+/// Store-pointed convenience: routes through a QueryEngine over `store`.
 [[nodiscard]] ExperimentObservations observations_between(
     const telemetry::MetricStore& store, std::uint32_t datacenter,
     std::uint32_t pool, telemetry::SimTime from, telemetry::SimTime to);

@@ -60,11 +60,10 @@ void LiveFeedBackend::set_serving_count(std::size_t servers) {
     // to. The final planner call (adopting the recommendation) lands past
     // the recorded windows; with nothing on record there is nothing to
     // check.
-    const auto recorded =
-        store_
-            ->pool_series(options_.datacenter, options_.pool,
-                          MetricKind::kActiveServers)
-            .slice(cursor_, cursor_ + options_.window_seconds);
+    const auto recorded = engine().raw_window(
+        {options_.datacenter, options_.pool,
+         telemetry::SeriesKey::kPoolScope, MetricKind::kActiveServers},
+        cursor_, cursor_ + options_.window_seconds);
     if (recorded.size() > 0 &&
         recorded.value_at(0) > static_cast<double>(servers) + 1e-9) {
       throw std::runtime_error(
@@ -93,10 +92,11 @@ LiveFeedBackend::Span LiveFeedBackend::span_for(SimTime duration) const {
 }
 
 std::size_t LiveFeedBackend::covered_windows(SimTime to) const {
-  return store_
-      ->pool_series(options_.datacenter, options_.pool,
-                    MetricKind::kRequestsPerSecond)
-      .slice(cursor_, to)
+  return engine()
+      .raw_window({options_.datacenter, options_.pool,
+                   telemetry::SeriesKey::kPoolScope,
+                   MetricKind::kRequestsPerSecond},
+                  cursor_, to)
       .size();
 }
 
@@ -117,7 +117,7 @@ std::optional<ExperimentObservations> LiveFeedBackend::try_observe(
   if (covered_windows(span.to) < span.expected) return std::nullopt;
   const SimTime from = cursor_;
   cursor_ = span.to;
-  return observations_between(*store_, options_.datacenter, options_.pool,
+  return observations_between(engine(), options_.datacenter, options_.pool,
                               from, span.to);
 }
 

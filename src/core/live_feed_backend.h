@@ -111,6 +111,11 @@ class LiveFeedBackend : public PoolExperimentBackend {
   /// Windows of the workload series currently inside [cursor, to).
   [[nodiscard]] std::size_t covered_windows(telemetry::SimTime to) const;
   [[noreturn]] void exhausted(const Span& span) const;
+  /// All store reads route through the query layer; the engine is a
+  /// pointer-sized view, built per read after the ctor validated store_.
+  [[nodiscard]] query::QueryEngine engine() const {
+    return query::QueryEngine(store_);
+  }
 
   const telemetry::MetricStore* store_;
   Options options_;

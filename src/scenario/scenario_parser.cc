@@ -259,6 +259,16 @@ class Parser {
                     "measure, optimize, model, validate");
       }
       spec_.steps = steps;
+    } else if (key == "quiescent_dead_band") {
+      double v = 0.0;
+      if (!parse_double(value, &v) || v < 0.0 || v >= 1.0) {
+        return bad_value(key, value, "number 0..1 (0 = exact stepping)");
+      }
+      spec_.quiescent_dead_band = v;
+    } else if (key == "per_server_accounting") {
+      if (!parse_bool(value, &spec_.per_server_accounting)) {
+        return bad_value(key, value, "true or false");
+      }
     } else {
       fail("unknown key '" + key + "' in [scenario]");
     }
@@ -605,6 +615,16 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
   out += "days = " + std::to_string(spec.days) + "\n";
   out += "threads = " + std::to_string(spec.threads) + "\n";
   out += "window_seconds = " + std::to_string(spec.window_seconds) + "\n";
+  // Large-fleet stepping knobs: emitted only when non-default, so every
+  // pre-existing scenario (and its embedded-trace golden) round-trips
+  // byte-identically.
+  if (spec.quiescent_dead_band != 0.0) {
+    out += "quiescent_dead_band = " + fmt_double(spec.quiescent_dead_band) +
+           "\n";
+  }
+  if (!spec.per_server_accounting) {
+    out += "per_server_accounting = false\n";
+  }
   std::vector<std::string> steps;
   if (spec.runs(PipelineStep::kMeasure)) steps.emplace_back("measure");
   if (spec.runs(PipelineStep::kOptimize)) steps.emplace_back("optimize");

@@ -123,6 +123,8 @@ sim::FleetConfig ScenarioRunner::build_fleet(
   }
   config.window_seconds = spec.window_seconds;
   config.threads = spec.threads;
+  config.quiescent_dead_band = spec.quiescent_dead_band;
+  config.per_server_accounting = spec.per_server_accounting;
 
   for (const DatacenterOverride& o : spec.datacenter_overrides) {
     sim::DatacenterConfig& dc = config.datacenters.at(o.datacenter);

@@ -116,6 +116,11 @@ struct ScenarioSpec {
   std::size_t threads = 1;            ///< 0 = hardware concurrency.
   telemetry::SimTime window_seconds = 120;
   std::uint8_t steps = kAllSteps;     ///< OR of step_bit().
+  /// Quiescent-pool dead band (FleetConfig::quiescent_dead_band): 0 = the
+  /// exact simulator goldens pin; ~0.02 for million-server scenarios.
+  double quiescent_dead_band = 0.0;
+  /// FleetConfig::per_server_accounting: ledger + per-server-day digests.
+  bool per_server_accounting = true;
 
   // --- [fleet] ------------------------------------------------------------
   FleetKind fleet = FleetKind::kSinglePool;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -11,6 +12,7 @@
 
 #include "core/live_feed_backend.h"
 #include "core/rolling_plan.h"
+#include "query/query_engine.h"
 #include "scenario/pipeline_session.h"
 #include "scenario/trace.h"
 #include "telemetry/csv.h"
@@ -56,17 +58,21 @@ struct PoolStream {
 
 /// Emits one report line per pool for the window starting at `t`, feeding
 /// each pool's rolling planner along the way. Pools with no sample at `t`
-/// (dark the whole window) are skipped.
+/// (dark the whole window) are skipped. Reads go through the query layer:
+/// raw windows come back bit-identical (report lines are golden-pinned),
+/// and a window already evicted to the digest tiers still reports its
+/// tier-bucket mean instead of going dark.
 void emit_window_reports(const telemetry::MetricStore& store,
                          std::vector<PoolStream>& streams, SimTime t,
                          const char* phase, const EmitFn& emit,
                          std::size_t* reports) {
+  const query::QueryEngine engine(&store);
   for (PoolStream& s : streams) {
     const auto value_at = [&](MetricKind kind, double* out) {
-      const telemetry::SeriesView v =
-          store.pool_series(s.dc, s.pool, kind).slice(t, t + 1);
-      if (v.empty()) return false;
-      *out = v.value_at(0);
+      const std::optional<double> v = engine.window_value(
+          {s.dc, s.pool, telemetry::SeriesKey::kPoolScope, kind}, t);
+      if (!v) return false;
+      *out = *v;
       return true;
     };
     double rps = 0.0;

@@ -21,8 +21,25 @@
 // are derived from stable hashes (sim/rng.h) and all cross-shard sinks are
 // either keyed single-writer series or commutative sums, results are
 // bit-identical to the serial walk for any thread count.
+//
+// Pool and server state is stored struct-of-arrays: one column per pool
+// attribute, and fleet-wide server arenas (generation bytes, online flags,
+// CPU digests) indexed through per-pool offsets. Pools are physically
+// ordered shard-by-shard, so a stepping lane walks one contiguous index
+// range and the columns it touches are dense in cache — at
+// hundreds-of-thousands of servers the AoS layout's pointer-chasing and
+// per-pool heap blocks dominated the step time. `topology_order_` preserves
+// the (dc, pool) walk for order-sensitive outputs (per-server-day flushes).
+//
+// Two large-fleet controls gate work that exact paper reproductions need
+// but million-server capacity studies do not: FleetConfig::
+// per_server_accounting (ledger + per-server-day digests) and
+// FleetConfig::quiescent_dead_band (hold a pool's telemetry while its
+// workload is flat instead of re-evaluating every server every window).
+// Both default to the exact behavior; goldens pin it.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -111,34 +128,20 @@ class FleetSimulator {
   [[nodiscard]] double datacenter_demand(SimTime t, std::uint32_t dc) const;
 
   /// Number of (dc, pool) pairs.
-  [[nodiscard]] std::size_t total_pools() const noexcept { return pools_.size(); }
+  [[nodiscard]] std::size_t total_pools() const noexcept {
+    return pool_dc_.size();
+  }
   /// Total configured servers.
-  [[nodiscard]] std::size_t total_servers() const noexcept;
+  [[nodiscard]] std::size_t total_servers() const noexcept {
+    return server_begin_.empty() ? 0 : server_begin_.back();
+  }
   /// Resolved stepping lanes (config threads after hardware-concurrency
   /// resolution and pool-count clamping) == number of shards.
   [[nodiscard]] std::size_t thread_count() const noexcept {
-    return shards_.size();
+    return shard_begin_.empty() ? 0 : shard_begin_.size() - 1;
   }
 
  private:
-  struct PoolRuntime {
-    std::uint32_t dc = 0;
-    std::uint32_t pool = 0;
-    const MicroserviceProfile* profile = nullptr;
-    double demand_multiplier = 1.0;
-    double burst_multiplier = 1.0;
-    double burst_start_hour = 13.0;
-    double burst_hours = 0.0;
-    double hourly_spike_extra_pct = 0.0;
-    double tz_offset_hours = 0.0;
-    std::vector<std::uint8_t> server_generation;  ///< Index into models.
-    std::vector<ResponseModel> models;            ///< One per generation.
-    MaintenanceSchedule maintenance;
-    std::size_t serving = 0;                      ///< Experiment control.
-    std::vector<telemetry::PercentileDigest> cpu_digests;
-    std::vector<std::uint8_t> was_online;         ///< Restart detection.
-  };
-
   /// One shard's private per-window telemetry, merged at the window barrier
   /// and then cleared (allocations are retained across windows).
   struct ShardTelemetry {
@@ -146,6 +149,9 @@ class FleetSimulator {
     std::vector<telemetry::AvailabilityEvent> availability;
     stats::Histogram cpu_histogram{kCpuHistogramLo, kCpuHistogramHi,
                                    kCpuHistogramBins};
+    /// Per-pool online-flag scratch, reused across windows (lives here so
+    /// each stepping lane has its own; not part of the merged telemetry).
+    std::vector<std::uint8_t> online_scratch;
 
     void clear() noexcept {
       metrics.clear();
@@ -154,18 +160,79 @@ class FleetSimulator {
     }
   };
 
+  /// Last full evaluation of one pool, replayed while the pool is inside
+  /// the quiescent dead band (only allocated when the dead band is on).
+  struct PoolCache {
+    bool valid = false;
+    bool dark = false;            ///< Cached window had zero servers online.
+    std::uint32_t held = 0;       ///< Windows replayed since the full eval.
+    double pool_rps = 0.0;        ///< Noise-free workload at the full eval.
+    std::size_t serving = 0;
+    std::size_t online = 0;
+    std::array<double, 11> recorded{};  ///< The 11 pool-scope values.
+    stats::Histogram cpu_histogram{kCpuHistogramLo, kCpuHistogramHi,
+                                   kCpuHistogramBins};
+    std::vector<std::uint8_t> online_flags;  ///< Per rotation member.
+    std::vector<double> cpu_totals;  ///< Per member (accounting mode only).
+  };
+
   void step(SimTime t);
-  /// Steps one pool for the window starting at `t`, writing telemetry into
+  /// Steps pool `p` for the window starting at `t`, writing telemetry into
   /// `out` only (called concurrently for pools of different shards).
-  void step_pool(PoolRuntime& rt, SimTime t, std::span<const double> demand,
+  void step_pool(std::size_t p, SimTime t, std::span<const double> demand,
                  std::uint64_t window_index, ShardTelemetry& out);
+  /// Dead-band fast path: re-emits pool `p`'s cached window at `t`.
+  /// Returns false when the pool must be fully evaluated instead.
+  [[nodiscard]] bool replay_quiescent(std::size_t p, SimTime t,
+                                      double pool_rps, ShardTelemetry& out);
   void flush_digests(std::int64_t day);
   [[nodiscard]] std::vector<double> regional_demands(SimTime t) const;
+  /// Noise-free pool workload for the window at `t` (demand fan-out plus
+  /// the pool's burst window) — the dead-band control signal.
+  [[nodiscard]] double pool_workload(std::size_t p, SimTime t,
+                                     std::span<const double> demand) const;
+  [[nodiscard]] std::size_t find_pool(std::uint32_t dc,
+                                      std::uint32_t pool,
+                                      const char* caller) const;
 
   FleetConfig config_;
   std::vector<workload::DiurnalTraffic> regional_traffic_;
-  std::vector<PoolRuntime> pools_;
-  std::vector<std::vector<std::size_t>> shards_;  ///< Pool indices per shard.
+
+  // --- Pool state, struct-of-arrays ---------------------------------------
+  // One entry per (dc, pool), physically ordered shard-by-shard; shard s
+  // owns indices [shard_begin_[s], shard_begin_[s+1]).
+  std::vector<std::uint32_t> pool_dc_;
+  std::vector<std::uint32_t> pool_id_;
+  std::vector<const MicroserviceProfile*> pool_profile_;
+  std::vector<double> pool_demand_multiplier_;
+  std::vector<double> pool_burst_multiplier_;
+  std::vector<double> pool_burst_start_hour_;
+  std::vector<double> pool_burst_hours_;
+  std::vector<double> pool_hourly_spike_pct_;
+  std::vector<double> pool_tz_offset_;
+  std::vector<std::size_t> pool_serving_;       ///< Experiment control.
+  std::vector<MaintenanceSchedule> pool_maintenance_;
+  std::vector<PoolCache> pool_cache_;           ///< Empty when dead band off.
+
+  // --- Server arenas -------------------------------------------------------
+  // Pool p's servers occupy [server_begin_[p], server_begin_[p+1]).
+  std::vector<std::size_t> server_begin_;
+  std::vector<std::uint8_t> server_generation_;  ///< Index into pool models.
+  std::vector<std::uint8_t> was_online_;         ///< Restart detection.
+  std::vector<telemetry::PercentileDigest> cpu_digests_;  ///< Accounting only.
+
+  // --- Response-model arena ------------------------------------------------
+  // Pool p's deduplicated generation models occupy
+  // [model_begin_[p], model_begin_[p+1]).
+  std::vector<std::size_t> model_begin_;
+  std::vector<ResponseModel> models_;
+
+  // --- Shard layout --------------------------------------------------------
+  std::vector<std::size_t> shard_begin_;     ///< Size lanes+1.
+  /// Physical pool indices sorted by (dc, pool): the original topology walk
+  /// for order-sensitive outputs.
+  std::vector<std::size_t> topology_order_;
+
   std::vector<ShardTelemetry> shard_telemetry_;
   std::unique_ptr<WorkerPool> workers_;           ///< Null when serial.
   telemetry::MetricStore store_;

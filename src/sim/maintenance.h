@@ -55,6 +55,13 @@ class MaintenanceSchedule {
     return policy_;
   }
 
+  /// Whether any pool-wide incident is scheduled. Pools with incidents are
+  /// never held by the quiescent dead band: the incident's availability
+  /// cliff is exactly what incident scenarios measure.
+  [[nodiscard]] bool has_incidents() const noexcept {
+    return !incidents_.empty();
+  }
+
  private:
   MaintenancePolicy policy_;
   std::uint64_t seed_;

@@ -73,6 +73,23 @@ struct FleetConfig {
   /// pools running extra unaccounted workloads (the not-tightly-bound
   /// cohort of paper §II-A2).
   double background_noise_scale = 1.0;
+  /// Quiescent-pool dead band for event-driven stepping. 0 (the default)
+  /// evaluates every server of every pool every window — the exact mode all
+  /// golden outputs pin. When > 0, a pool whose noise-free workload moved
+  /// less than this fraction since its last full evaluation (and which has
+  /// no serving change, no scheduled incident, and no hourly-spike window
+  /// pending) re-emits its previous window's telemetry instead of
+  /// re-evaluating each server. Deterministic and thread-count-invariant,
+  /// but an approximation: maintenance churn inside a held span is not
+  /// re-observed. Million-server scenarios run with ~0.02.
+  double quiescent_dead_band = 0.0;
+  /// Per-server bookkeeping: the availability ledger and the per-server-day
+  /// CPU digests behind Figs. 3/12/14/15. On (the default) for every paper
+  /// figure that needs them; switching it off removes the O(servers)
+  /// ledger/digest work per window while pool-scope series, restart
+  /// penalties, and the fleet CPU histogram stay bit-identical — which is
+  /// what makes x100 fleets steppable on one machine.
+  bool per_server_accounting = true;
 };
 
 struct StandardFleetOptions {

@@ -1,0 +1,103 @@
+#include "telemetry/downsample.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace headroom::telemetry {
+
+namespace {
+
+/// Heap cost of one occupied sketch bucket: a std::map node holds the
+/// (index, count) pair plus three pointers and a color — ~48 bytes on the
+/// platforms we build for. An estimate, not an accounting; the benches
+/// only need tier-vs-raw ratios.
+constexpr std::size_t kSketchNodeBytes =
+    sizeof(std::pair<std::int32_t, std::uint64_t>) + 4 * sizeof(void*);
+
+}  // namespace
+
+DownsampledTier::DownsampledTier(SimTime bucket_seconds)
+    : bucket_seconds_(bucket_seconds) {
+  if (bucket_seconds <= 0) {
+    throw std::invalid_argument(
+        "DownsampledTier: bucket width must be positive");
+  }
+}
+
+SimTime DownsampledTier::bucket_start_for(SimTime t) const noexcept {
+  SimTime q = t / bucket_seconds_;
+  if (t < 0 && q * bucket_seconds_ != t) --q;  // floor, not truncation
+  return q * bucket_seconds_;
+}
+
+void DownsampledTier::fold(SimTime t, double value) {
+  const SimTime start = bucket_start_for(t);
+  if (!buckets_.empty() && start < buckets_.back().start) {
+    throw std::invalid_argument(
+        "DownsampledTier::fold: sample older than the newest bucket "
+        "(eviction must feed tiers in time order)");
+  }
+  if (buckets_.empty() || buckets_.back().start != start) {
+    buckets_.push_back({start, StreamingDigest{}});
+  }
+  buckets_.back().digest.add(value);
+  ++samples_;
+}
+
+std::size_t DownsampledTier::promote_into(DownsampledTier& coarser,
+                                          SimTime cutoff) {
+  if (coarser.bucket_seconds_ < bucket_seconds_) {
+    throw std::invalid_argument(
+        "DownsampledTier::promote_into: target tier is finer than source");
+  }
+  std::size_t promoted = 0;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.start + bucket_seconds_ > cutoff) break;
+    const SimTime coarse_start = coarser.bucket_start_for(bucket.start);
+    if (!coarser.buckets_.empty() &&
+        coarse_start < coarser.buckets_.back().start) {
+      throw std::invalid_argument(
+          "DownsampledTier::promote_into: target tier is ahead of source");
+    }
+    if (coarser.buckets_.empty() ||
+        coarser.buckets_.back().start != coarse_start) {
+      coarser.buckets_.push_back({coarse_start, StreamingDigest{}});
+    }
+    coarser.buckets_.back().digest.merge(bucket.digest);
+    coarser.samples_ += bucket.digest.count();
+    samples_ -= bucket.digest.count();
+    ++promoted;
+  }
+  buckets_.erase(buckets_.begin(),
+                 buckets_.begin() + static_cast<std::ptrdiff_t>(promoted));
+  return promoted;
+}
+
+std::pair<std::size_t, std::size_t> DownsampledTier::bucket_range(
+    SimTime from, SimTime to) const noexcept {
+  if (buckets_.empty() || to <= from) return {0, 0};
+  const auto first = std::partition_point(
+      buckets_.begin(), buckets_.end(), [&](const Bucket& b) {
+        return b.start + bucket_seconds_ <= from;  // ends before the range
+      });
+  const auto last = std::partition_point(
+      first, buckets_.end(),
+      [&](const Bucket& b) { return b.start < to; });
+  return {static_cast<std::size_t>(first - buckets_.begin()),
+          static_cast<std::size_t>(last - buckets_.begin())};
+}
+
+std::size_t DownsampledTier::memory_bytes() const noexcept {
+  std::size_t bytes = buckets_.capacity() * sizeof(Bucket);
+  for (const Bucket& bucket : buckets_) {
+    bytes += bucket.digest.bucket_count() * kSketchNodeBytes;
+  }
+  return bytes;
+}
+
+void DownsampledTier::clear() {
+  buckets_.clear();
+  samples_ = 0;
+}
+
+}  // namespace headroom::telemetry

@@ -1,0 +1,95 @@
+// Downsampled storage tier: time-bucketed mergeable digests.
+//
+// Raw series in the columnar store cost 8 bytes per sample and keep every
+// window hot. Production telemetry systems keep raw data only briefly and
+// roll history into coarser tiers (netdata's tiered engine is the shape:
+// raw → per-minute → per-hour, with queries picking the cheapest tier that
+// satisfies the requested resolution). A DownsampledTier is one such tier:
+// a time-ordered run of fixed-width buckets, each summarizing the raw
+// samples whose window start fell inside it with a StreamingDigest —
+// count/sum/min/max exact, quantiles within the digest's relative-accuracy
+// bound. Digest merges are exact bucket-count addition, so promoting a
+// fine tier into a coarser one (per-window → per-day) loses nothing the
+// sketch had.
+//
+// Tiers are fed exclusively by the MetricStore retention sweep: a sample
+// enters its tier bucket at the moment it is evicted from the raw series,
+// so at any instant raw data covers [evicted_before, watermark] and the
+// tiers cover everything older — a disjoint split the query layer
+// (src/query) routes on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "telemetry/streaming_digest.h"
+#include "telemetry/time_series.h"
+
+namespace headroom::telemetry {
+
+class DownsampledTier {
+ public:
+  /// One bucket: the digest of every raw sample with window start in
+  /// [start, start + bucket_seconds).
+  struct Bucket {
+    SimTime start = 0;
+    StreamingDigest digest;
+  };
+
+  /// `bucket_seconds` must be positive; throws std::invalid_argument.
+  explicit DownsampledTier(SimTime bucket_seconds);
+
+  /// Folds one evicted sample into its bucket. Samples must arrive in
+  /// non-decreasing time order (the eviction order): a sample older than
+  /// the last bucket throws std::invalid_argument. Non-finite values are
+  /// the caller's problem — the digest rejects them.
+  void fold(SimTime t, double value);
+
+  /// Merges every bucket whose *end* is at or before `cutoff` into
+  /// `coarser` (which must have a coarser or equal bucket width) and drops
+  /// it from this tier. Returns the number of buckets promoted. Digest
+  /// merges are exact, so a promoted sample's contribution to the coarse
+  /// tier is identical to having been folded there directly.
+  std::size_t promote_into(DownsampledTier& coarser, SimTime cutoff);
+
+  [[nodiscard]] SimTime bucket_seconds() const noexcept {
+    return bucket_seconds_;
+  }
+  [[nodiscard]] std::span<const Bucket> buckets() const noexcept {
+    return buckets_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return buckets_.empty(); }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  /// Total raw samples summarized across all buckets.
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
+  /// Start of the first bucket (0 when empty).
+  [[nodiscard]] SimTime start() const noexcept {
+    return buckets_.empty() ? 0 : buckets_.front().start;
+  }
+  /// End (exclusive) of the last bucket (0 when empty).
+  [[nodiscard]] SimTime end() const noexcept {
+    return buckets_.empty() ? 0 : buckets_.back().start + bucket_seconds_;
+  }
+
+  /// [first, last) indices of buckets overlapping [from, to).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> bucket_range(
+      SimTime from, SimTime to) const noexcept;
+
+  /// Estimated heap footprint (footprint gauge for the benches): vector
+  /// capacity plus the digests' occupied sketch buckets.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  void clear();
+
+ private:
+  [[nodiscard]] SimTime bucket_start_for(SimTime t) const noexcept;
+
+  SimTime bucket_seconds_;
+  std::vector<Bucket> buckets_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace headroom::telemetry

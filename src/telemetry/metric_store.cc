@@ -66,16 +66,78 @@ void MetricStore::note_window(SimTime window_start) {
     const std::size_t drop = series.first_index_at_or_after(cutoff);
     if (drop == 0) continue;
     StreamingDigest& archive = archived_[key];
+    DownsampledTier* tier = nullptr;
+    if (tiering_) {
+      tier = &window_tiers_
+                  .try_emplace(key, tiering_->window_bucket_seconds)
+                  .first->second;
+    }
     const std::span<const double> doomed = series.values().subspan(0, drop);
-    for (const double v : doomed) {
-      // Non-finite values are legal in the store (summaries off); the
-      // archive sketch cannot hold them, so they evict unarchived.
-      if (std::isfinite(v)) archive.add(v);
+    for (std::size_t i = 0; i < drop; ++i) {
+      const double v = doomed[i];
+      // Non-finite values are legal in the store (summaries off); neither
+      // the archive sketch nor a tier digest can hold them, so they evict
+      // unsummarized.
+      if (!std::isfinite(v)) continue;
+      archive.add(v);
+      if (tier != nullptr) tier->fold(series.time_at(i), v);
     }
     series.drop_front(drop);
     samples_ -= drop;
     evicted_samples_ += drop;
   }
+  // Tier promotion rides the same sweep: window-tier buckets past the
+  // promotion horizon merge (exactly) into the day tier and drop.
+  if (tiering_ && tiering_->window_tier_retention > 0) {
+    const SimTime promote_before = watermark_ - tiering_->window_tier_retention;
+    for (auto& [key, tier] : window_tiers_) {
+      if (tier.empty() || tier.start() + tier.bucket_seconds() > promote_before) {
+        continue;
+      }
+      DownsampledTier& day =
+          day_tiers_.try_emplace(key, tiering_->day_bucket_seconds)
+              .first->second;
+      tier.promote_into(day, promote_before);
+    }
+  }
+}
+
+void MetricStore::set_tiering(const TieringPolicy& policy) {
+  if (tiering_) {
+    throw std::logic_error("MetricStore::set_tiering: already enabled");
+  }
+  if (policy.window_bucket_seconds <= 0 || policy.day_bucket_seconds <= 0 ||
+      policy.day_bucket_seconds < policy.window_bucket_seconds ||
+      policy.window_tier_retention < 0) {
+    throw std::invalid_argument("MetricStore::set_tiering: bad policy");
+  }
+  tiering_ = policy;
+}
+
+const MetricStore::TieringPolicy& MetricStore::tiering_policy() const {
+  if (!tiering_) {
+    throw std::logic_error("MetricStore::tiering_policy: tiering disabled");
+  }
+  return *tiering_;
+}
+
+const DownsampledTier& MetricStore::window_tier(const SeriesKey& key) const {
+  static const DownsampledTier kEmpty{1};
+  const auto it = window_tiers_.find(key);
+  return it == window_tiers_.end() ? kEmpty : it->second;
+}
+
+const DownsampledTier& MetricStore::day_tier(const SeriesKey& key) const {
+  static const DownsampledTier kEmpty{1};
+  const auto it = day_tiers_.find(key);
+  return it == day_tiers_.end() ? kEmpty : it->second;
+}
+
+std::size_t MetricStore::tier_memory_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& [key, tier] : window_tiers_) bytes += tier.memory_bytes();
+  for (const auto& [key, tier] : day_tiers_) bytes += tier.memory_bytes();
+  return bytes;
 }
 
 void MetricStore::set_retention(SimTime lookback_seconds) {
@@ -286,6 +348,9 @@ void MetricStore::clear() {
   series_.clear();
   digests_.clear();
   archived_.clear();
+  tiering_.reset();
+  window_tiers_.clear();
+  day_tiers_.clear();
   merge_plans_.clear();  // cached pointers die with the series
   samples_ = 0;
   new_series_reserve_ = 0;

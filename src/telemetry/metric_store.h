@@ -18,9 +18,11 @@
 // default wherever golden outputs pin bytes.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/downsample.h"
 #include "telemetry/metrics.h"
 #include "telemetry/streaming_digest.h"
 #include "telemetry/time_series.h"
@@ -151,6 +153,44 @@ class MetricStore {
   [[nodiscard]] const StreamingDigest& archived_summary(
       const SeriesKey& key) const;
 
+  // --- Downsampled tiers (opt-in, layered over retention) ------------------
+  /// Tier widths and promotion horizon for set_tiering().
+  struct TieringPolicy {
+    /// Fine tier: one digest bucket per this many seconds ("per-window
+    /// digest" at the paper's 1 h reporting granularity by default).
+    SimTime window_bucket_seconds = 3600;
+    /// Coarse tier: one digest bucket per day.
+    SimTime day_bucket_seconds = 86400;
+    /// Window-tier buckets whose end falls more than this behind the
+    /// watermark are merged into the day tier and dropped (exact digest
+    /// merges). 0 keeps the window tier forever.
+    SimTime window_tier_retention = 7 * 86400;
+  };
+
+  /// Enables downsampled tiers. From then on the retention sweep folds
+  /// every evicted sample into the per-series window tier (in addition to
+  /// the archive digest), and promotes window-tier buckets past the
+  /// promotion horizon into the day tier — so at any instant raw data
+  /// covers [evicted_before(), watermark] and the tiers cover everything
+  /// older. Enable before the first sweep: samples already evicted are in
+  /// the archive digests only. Throws std::invalid_argument on a
+  /// non-positive or inverted policy, std::logic_error if already enabled.
+  void set_tiering(const TieringPolicy& policy);
+  [[nodiscard]] bool tiering_enabled() const noexcept {
+    return tiering_.has_value();
+  }
+  [[nodiscard]] const TieringPolicy& tiering_policy() const;
+  /// Per-series tiers; empty static tier when absent or tiering is off.
+  [[nodiscard]] const DownsampledTier& window_tier(const SeriesKey& key) const;
+  [[nodiscard]] const DownsampledTier& day_tier(const SeriesKey& key) const;
+  /// Eviction cutoff: every sample with window start >= this is still raw
+  /// (0 until the first sweep). The query layer's raw-coverage boundary.
+  [[nodiscard]] SimTime evicted_before() const noexcept {
+    return evicted_before_;
+  }
+  /// Estimated heap footprint of all tier buckets (bench gauge).
+  [[nodiscard]] std::size_t tier_memory_bytes() const noexcept;
+
   /// Lower bound on the retention sweep: samples whose window start is at
   /// or after the floor survive eviction regardless of retention. Live
   /// pipelines advance this to their slowest read cursor, so a feed that
@@ -183,6 +223,9 @@ class MetricStore {
   std::unordered_map<SeriesKey, TimeSeries, SeriesKeyHash> series_;
   std::unordered_map<SeriesKey, StreamingDigest, SeriesKeyHash> digests_;
   std::unordered_map<SeriesKey, StreamingDigest, SeriesKeyHash> archived_;
+  std::optional<TieringPolicy> tiering_;
+  std::unordered_map<SeriesKey, DownsampledTier, SeriesKeyHash> window_tiers_;
+  std::unordered_map<SeriesKey, DownsampledTier, SeriesKeyHash> day_tiers_;
   std::size_t samples_ = 0;
   std::size_t new_series_reserve_ = 0;
   bool summaries_enabled_ = false;

@@ -46,6 +46,17 @@ std::vector<std::string> scenario_stems() {
   return stems;
 }
 
+/// The golden-pinned subset: every shipped scenario except the 100x-scale
+/// smoke, which steps ~570k servers and opts into the approximate
+/// dead-band stepping — it runs as a Release-only wall-clock smoke (cli
+/// CMake), not through the exact-mode pin sweep. The serializer round-trip
+/// test below still covers it.
+std::vector<std::string> pinned_scenario_stems() {
+  std::vector<std::string> stems = scenario_stems();
+  std::erase(stems, std::string("standard_fleet_x100"));
+  return stems;
+}
+
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   std::ostringstream buffer;
@@ -96,7 +107,7 @@ TEST_P(ScenarioGolden, SummaryMatchesPinAndIsThreadInvariant) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Library, ScenarioGolden,
-                         ::testing::ValuesIn(scenario_stems()));
+                         ::testing::ValuesIn(pinned_scenario_stems()));
 
 TEST(ScenarioLibrary, ShipsTheAcceptanceScenarios) {
   const std::vector<std::string> stems = scenario_stems();

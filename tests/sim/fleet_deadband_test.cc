@@ -1,0 +1,198 @@
+// Large-fleet stepping controls: the quiescent dead band and the
+// per-server accounting switch (FleetConfig::quiescent_dead_band,
+// FleetConfig::per_server_accounting). Both must degrade gracefully —
+// identical series shapes, bounded value drift, bit-identical pool series
+// where the contract promises it — and stay deterministic across thread
+// counts.
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace headroom::sim {
+namespace {
+
+constexpr telemetry::SimTime kDay = 86400;
+using telemetry::MetricKind;
+using telemetry::SeriesKey;
+
+/// Two DCs, three pools: enough structure for sharding to matter.
+FleetConfig small_fleet(const MicroserviceCatalog& catalog,
+                        double dead_band = 0.0, bool accounting = true,
+                        std::size_t threads = 1) {
+  FleetConfig config;
+  for (std::uint32_t d = 0; d < 2; ++d) {
+    DatacenterConfig dc;
+    dc.name = "DC" + std::to_string(d + 1);
+    dc.demand_weight = 1.0;
+    for (const char* service : {"B", "D"}) {
+      if (d == 1 && service[0] == 'D') continue;
+      PoolConfig pool;
+      pool.service = service;
+      pool.servers = 12;
+      dc.pools.push_back(pool);
+    }
+    config.datacenters.push_back(dc);
+  }
+  const MicroserviceProfile& profile = catalog.by_name("B");
+  config.diurnal.peak_rps = profile.target_rps_per_server_p95 * 12.0 /
+                            profile.request_fan * 2.0;
+  config.diurnal.trough_fraction = 0.45;
+  config.diurnal.noise_sigma = 0.02;
+  config.seed = 5;
+  config.quiescent_dead_band = dead_band;
+  config.per_server_accounting = accounting;
+  config.threads = threads;
+  return config;
+}
+
+/// Asserts every pool-scope series of `a` is bit-identical in `b`.
+void expect_stores_identical(const telemetry::MetricStore& a,
+                             const telemetry::MetricStore& b) {
+  ASSERT_EQ(a.series_count(), b.series_count());
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  for (const SeriesKey& key : a.keys()) {
+    const telemetry::TimeSeries& sa = a.series(key);
+    const telemetry::TimeSeries& sb = b.series(key);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_EQ(sa.time_at(i), sb.time_at(i));
+      ASSERT_EQ(sa.value_at(i), sb.value_at(i));  // bit-identical
+    }
+  }
+}
+
+TEST(FleetDeadBand, RejectsOutOfRangeBand) {
+  const MicroserviceCatalog catalog;
+  EXPECT_THROW(FleetSimulator(small_fleet(catalog, 1.0), catalog),
+               std::invalid_argument);
+  EXPECT_THROW(FleetSimulator(small_fleet(catalog, -0.1), catalog),
+               std::invalid_argument);
+}
+
+TEST(FleetDeadBand, HeldWindowsKeepSeriesShapeAndBoundedDrift) {
+  const MicroserviceCatalog catalog;
+  FleetSimulator exact(small_fleet(catalog, 0.0), catalog);
+  FleetSimulator banded(small_fleet(catalog, 0.05), catalog);
+  exact.run_until(kDay);
+  banded.run_until(kDay);
+
+  // Same series at the same cadence: holding a pool re-emits its window,
+  // it never goes dark.
+  ASSERT_EQ(exact.store().series_count(), banded.store().series_count());
+  ASSERT_EQ(exact.store().sample_count(), banded.store().sample_count());
+
+  // Replayed windows pin the pool to a <=5%-stale workload, so the daily
+  // mean of per-server RPS drifts by at most a few percent.
+  for (std::uint32_t dc = 0; dc < 2; ++dc) {
+    const auto ex = exact.store()
+                        .pool_series(dc, 0, MetricKind::kRequestsPerSecond)
+                        .values();
+    const auto bd = banded.store()
+                        .pool_series(dc, 0, MetricKind::kRequestsPerSecond)
+                        .values();
+    ASSERT_EQ(ex.size(), bd.size());
+    double sum_ex = 0.0;
+    double sum_bd = 0.0;
+    for (std::size_t i = 0; i < ex.size(); ++i) {
+      sum_ex += ex[i];
+      sum_bd += bd[i];
+    }
+    EXPECT_NEAR(sum_bd / sum_ex, 1.0, 0.08);
+  }
+}
+
+TEST(FleetDeadBand, DeterministicAcrossThreadCounts) {
+  const MicroserviceCatalog catalog;
+  FleetSimulator serial(small_fleet(catalog, 0.05, true, 1), catalog);
+  FleetSimulator threaded(small_fleet(catalog, 0.05, true, 3), catalog);
+  serial.run_until(kDay / 2);
+  threaded.run_until(kDay / 2);
+  EXPECT_EQ(threaded.thread_count(), 3u);
+  expect_stores_identical(serial.store(), threaded.store());
+  EXPECT_EQ(serial.ledger().fleet_average(), threaded.ledger().fleet_average());
+}
+
+TEST(FleetDeadBand, ServingChangeInvalidatesHeldPool) {
+  const MicroserviceCatalog catalog;
+  FleetSimulator fleet(small_fleet(catalog, 0.10), catalog);
+  fleet.run_until(kDay / 4);
+  fleet.set_serving_count(0, 0, 8);  // -33% mid-run
+  fleet.run_until(kDay / 2);
+  const auto& active =
+      fleet.store().pool_series(0, 0, MetricKind::kActiveServers);
+  // The reduction shows up in the very next window — a stale replay would
+  // keep reporting 12 serving servers.
+  const std::size_t boundary = static_cast<std::size_t>(kDay / 4 / 120);
+  ASSERT_GT(active.size(), boundary);
+  EXPECT_LE(active.value_at(boundary), 8.0);
+}
+
+TEST(FleetDeadBand, IncidentPoolsAreNeverHeld) {
+  const MicroserviceCatalog catalog;
+  FleetConfig with_incident = small_fleet(catalog, 0.0);
+  PoolIncident incident;
+  incident.day = 0;
+  incident.offline_fraction = 0.5;
+  incident.start_hour = 8.0;
+  incident.duration_hours = 4.0;
+  with_incident.datacenters[0].pools[0].incidents.push_back(incident);
+  FleetConfig banded = with_incident;
+  banded.quiescent_dead_band = 0.25;  // aggressive band
+
+  FleetSimulator exact(std::move(with_incident), catalog);
+  FleetSimulator held(std::move(banded), catalog);
+  exact.run_until(kDay);
+  held.run_until(kDay);
+
+  // The incident pool opts out of the dead band entirely, so its series
+  // are bit-identical to the exact run — the availability cliff is what
+  // incident scenarios measure.
+  const auto& ex = exact.store().pool_series(0, 0, MetricKind::kActiveServers);
+  const auto& hd = held.store().pool_series(0, 0, MetricKind::kActiveServers);
+  ASSERT_EQ(ex.size(), hd.size());
+  for (std::size_t i = 0; i < ex.size(); ++i) {
+    EXPECT_EQ(ex.value_at(i), hd.value_at(i));
+  }
+}
+
+TEST(FleetAccounting, DisablingPerServerAccountingKeepsPoolSeriesExact) {
+  const MicroserviceCatalog catalog;
+  FleetSimulator full(small_fleet(catalog, 0.0, true), catalog);
+  FleetSimulator lean(small_fleet(catalog, 0.0, false), catalog);
+  full.run_until(kDay);
+  lean.run_until(kDay);
+  full.finish_day();
+  lean.finish_day();
+
+  // Pool-scope series are bit-identical: the switch only drops the ledger
+  // and the per-server-day digests, never the pool telemetry.
+  expect_stores_identical(full.store(), lean.store());
+
+  EXPECT_FALSE(full.ledger().all_daily_availabilities().empty());
+  EXPECT_TRUE(lean.ledger().all_daily_availabilities().empty());
+  EXPECT_FALSE(full.server_day_cpu().empty());
+  EXPECT_TRUE(lean.server_day_cpu().empty());
+
+  // The fleet-wide CPU sample histogram survives the switch (Fig. 13 stays
+  // renderable at million-server scale).
+  EXPECT_EQ(full.cpu_sample_histogram().total(),
+            lean.cpu_sample_histogram().total());
+}
+
+TEST(FleetAccounting, LeanModeComposesWithDeadBand) {
+  const MicroserviceCatalog catalog;
+  FleetSimulator fleet(small_fleet(catalog, 0.05, false, 2), catalog);
+  fleet.run_until(kDay / 2);
+  EXPECT_EQ(fleet.store()
+                .pool_series(0, 0, MetricKind::kRequestsPerSecond)
+                .size(),
+            static_cast<std::size_t>(kDay / 2 / 120));
+  EXPECT_TRUE(fleet.ledger().all_daily_availabilities().empty());
+}
+
+}  // namespace
+}  // namespace headroom::sim

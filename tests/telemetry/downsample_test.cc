@@ -1,0 +1,259 @@
+#include "telemetry/downsample.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/percentile.h"
+#include "telemetry/metric_store.h"
+
+namespace headroom::telemetry {
+namespace {
+
+TEST(DownsampledTier, RejectsNonPositiveBucketWidth) {
+  EXPECT_THROW(DownsampledTier(0), std::invalid_argument);
+  EXPECT_THROW(DownsampledTier(-60), std::invalid_argument);
+}
+
+TEST(DownsampledTier, FoldsSamplesIntoTimeBuckets) {
+  DownsampledTier tier(60);
+  tier.fold(0, 1.0);
+  tier.fold(30, 2.0);
+  tier.fold(59, 3.0);
+  tier.fold(60, 4.0);
+  tier.fold(300, 5.0);  // gap: no empty buckets materialize in between
+
+  ASSERT_EQ(tier.bucket_count(), 3u);
+  EXPECT_EQ(tier.sample_count(), 5u);
+  EXPECT_EQ(tier.buckets()[0].start, 0);
+  EXPECT_EQ(tier.buckets()[1].start, 60);
+  EXPECT_EQ(tier.buckets()[2].start, 300);
+  EXPECT_EQ(tier.start(), 0);
+  EXPECT_EQ(tier.end(), 360);
+
+  EXPECT_EQ(tier.buckets()[0].digest.count(), 3u);
+  EXPECT_DOUBLE_EQ(tier.buckets()[0].digest.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(tier.buckets()[0].digest.min(), 1.0);
+  EXPECT_DOUBLE_EQ(tier.buckets()[0].digest.max(), 3.0);
+}
+
+TEST(DownsampledTier, FoldRejectsSamplesOlderThanNewestBucket) {
+  DownsampledTier tier(60);
+  tier.fold(120, 1.0);
+  // Within the newest bucket is fine (eviction order is per window start,
+  // which is non-decreasing bucket-wise).
+  tier.fold(140, 2.0);
+  EXPECT_THROW(tier.fold(59, 3.0), std::invalid_argument);
+}
+
+TEST(DownsampledTier, PromoteIsExactDigestMerge) {
+  // Promoting fine buckets into a coarse tier must yield the same sketch as
+  // folding the raw samples into the coarse tier directly.
+  DownsampledTier fine(3600);
+  DownsampledTier direct(86400);
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (SimTime t = 0; t < 2 * 86400; t += 120) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double v = 10.0 + static_cast<double>(state >> 40) / 1e4;
+    fine.fold(t, v);
+    direct.fold(t, v);
+  }
+
+  DownsampledTier promoted(86400);
+  const std::size_t moved = fine.promote_into(promoted, 2 * 86400);
+  EXPECT_EQ(moved, 48u);
+  EXPECT_TRUE(fine.empty());
+  EXPECT_EQ(fine.sample_count(), 0u);
+
+  ASSERT_EQ(promoted.bucket_count(), direct.bucket_count());
+  EXPECT_EQ(promoted.sample_count(), direct.sample_count());
+  for (std::size_t i = 0; i < promoted.bucket_count(); ++i) {
+    EXPECT_EQ(promoted.buckets()[i].start, direct.buckets()[i].start);
+    EXPECT_TRUE(promoted.buckets()[i].digest == direct.buckets()[i].digest);
+  }
+}
+
+TEST(DownsampledTier, PromoteHonorsCutoffAndTierOrder) {
+  DownsampledTier fine(3600);
+  for (SimTime t = 0; t < 3 * 3600; t += 1200) fine.fold(t, 1.0);
+
+  DownsampledTier coarse(86400);
+  // Cutoff mid-second-bucket: only the first (fully ended) bucket moves.
+  EXPECT_EQ(fine.promote_into(coarse, 2 * 3600 - 1), 1u);
+  EXPECT_EQ(fine.bucket_count(), 2u);
+  EXPECT_EQ(coarse.sample_count(), 3u);
+
+  DownsampledTier finer(60);
+  EXPECT_THROW(fine.promote_into(finer, 86400), std::invalid_argument);
+}
+
+TEST(DownsampledTier, BucketRangeFindsOverlaps) {
+  DownsampledTier tier(60);
+  for (SimTime t = 0; t < 600; t += 60) tier.fold(t, 1.0);
+
+  // Whole span.
+  auto [a0, a1] = tier.bucket_range(0, 600);
+  EXPECT_EQ(a0, 0u);
+  EXPECT_EQ(a1, 10u);
+  // Straddling partial buckets on both sides.
+  auto [b0, b1] = tier.bucket_range(90, 250);
+  EXPECT_EQ(b0, 1u);
+  EXPECT_EQ(b1, 5u);
+  // Empty and out-of-range requests.
+  auto [c0, c1] = tier.bucket_range(600, 9000);
+  EXPECT_EQ(c0, c1);
+  auto [d0, d1] = tier.bucket_range(100, 100);
+  EXPECT_EQ(d0, d1);
+}
+
+TEST(DownsampledTier, MemoryBytesTracksOccupancy) {
+  DownsampledTier tier(3600);
+  EXPECT_EQ(tier.memory_bytes(), 0u);
+  for (SimTime t = 0; t < 7200; t += 120) {
+    tier.fold(t, 50.0 + static_cast<double>(t % 977));
+  }
+  EXPECT_GT(tier.memory_bytes(), 0u);
+  const std::size_t before = tier.memory_bytes();
+  tier.clear();
+  EXPECT_EQ(tier.sample_count(), 0u);
+  EXPECT_LE(tier.memory_bytes(), before);  // capacity may be retained
+}
+
+TEST(MetricStoreTiering, SweepFoldsEvictedSamplesIntoWindowTier) {
+  MetricStore store;
+  MetricStore::TieringPolicy policy;
+  policy.window_bucket_seconds = 3600;
+  policy.day_bucket_seconds = 86400;
+  policy.window_tier_retention = 7 * 86400;
+  store.set_tiering(policy);
+  store.set_retention(3600);  // keep one hour raw
+
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kCpuPercentTotal};
+  std::vector<double> values;
+  for (SimTime t = 0; t < 4 * 3600; t += 120) {
+    const double v = 40.0 + static_cast<double>((t / 120) % 13);
+    store.record(key, t, v);
+    values.push_back(v);
+  }
+
+  // Raw coverage is the trailing hour; everything older lives in the tier.
+  EXPECT_GT(store.evicted_before(), 0);
+  const DownsampledTier& window = store.window_tier(key);
+  EXPECT_FALSE(window.empty());
+  std::size_t tiered = 0;
+  for (const auto& bucket : window.buckets()) tiered += bucket.digest.count();
+  EXPECT_EQ(tiered + store.series(key).size(), values.size());
+
+  // Tier moments are exact: the first (fully evicted) hour's bucket matches
+  // a direct scan of the raw values that were folded into it.
+  const auto& first = window.buckets().front();
+  ASSERT_EQ(first.start, 0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) sum += values[i];
+  EXPECT_EQ(first.digest.count(), 30u);
+  EXPECT_DOUBLE_EQ(first.digest.sum(), sum);
+}
+
+TEST(MetricStoreTiering, EvictionMidBucketSplitsWithoutLossOrOverlap) {
+  // drop_front lands mid-tier-bucket: the bucket keeps accumulating across
+  // several sweeps and no sample is double-counted or lost.
+  MetricStore store;
+  store.set_tiering({});
+  store.set_retention(1000);  // not a multiple of the 3600 s bucket width
+
+  const SeriesKey key{1, 2, SeriesKey::kPoolScope,
+                      MetricKind::kRequestsPerSecond};
+  const SimTime horizon = 3 * 3600;
+  for (SimTime t = 0; t < horizon; t += 120) {
+    store.record(key, t, static_cast<double>(t));
+  }
+
+  const DownsampledTier& window = store.window_tier(key);
+  std::size_t tiered = 0;
+  for (const auto& bucket : window.buckets()) tiered += bucket.digest.count();
+  EXPECT_EQ(tiered, window.sample_count());
+  EXPECT_EQ(tiered + store.series(key).size(),
+            static_cast<std::size_t>(horizon / 120));
+  // The newest tier bucket ends exactly at the eviction cutoff's bucket:
+  // nothing at or past evicted_before() has been folded.
+  EXPECT_LE(window.end() - 3600, store.evicted_before());
+  const TimeSeries& raw = store.series(key);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_GE(raw.time_at(i), store.evicted_before());
+  }
+}
+
+TEST(MetricStoreTiering, PromotionMovesOldWindowsToDayTier) {
+  MetricStore store;
+  MetricStore::TieringPolicy policy;
+  policy.window_bucket_seconds = 3600;
+  policy.day_bucket_seconds = 86400;
+  policy.window_tier_retention = 86400;  // promote after one day
+  store.set_tiering(policy);
+  store.set_retention(7200);
+
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kLatencyP95Ms};
+  for (SimTime t = 0; t < 3 * 86400; t += 600) {
+    store.record(key, t, 5.0 + static_cast<double>((t / 600) % 7));
+  }
+
+  const DownsampledTier& window = store.window_tier(key);
+  const DownsampledTier& day = store.day_tier(key);
+  ASSERT_FALSE(day.empty());
+  EXPECT_EQ(day.bucket_seconds(), 86400);
+  // The tiers are time-ordered: promotion moves the oldest window buckets,
+  // so every surviving window bucket starts after the last day bucket does
+  // (the last day bucket may be partially filled — samples stay disjoint,
+  // which the conservation check below pins).
+  EXPECT_GT(window.start(), day.buckets().back().start);
+  // Nothing went missing across raw, window tier, and day tier.
+  EXPECT_EQ(store.series(key).size() + window.sample_count() +
+                day.sample_count(),
+            static_cast<std::size_t>(3 * 86400 / 600));
+  EXPECT_GT(store.tier_memory_bytes(), 0u);
+}
+
+TEST(MetricStoreTiering, DigestQuantileWithinRelativeAccuracyOfExact) {
+  // Pinned tolerance: tier p95 vs exact stats::percentile of the same
+  // samples, within the digest's advertised relative accuracy (plus a hair
+  // of float slack).
+  DownsampledTier tier(86400);
+  std::vector<double> values;
+  std::uint64_t state = 42;
+  for (SimTime t = 0; t < 86400; t += 120) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double v = 1.0 + static_cast<double>(state >> 33) / 1e6;
+    tier.fold(t, v);
+    values.push_back(v);
+  }
+  const double exact = stats::percentile(values, 95.0);
+  const double approx = tier.buckets().front().digest.percentile(95.0);
+  const double alpha = tier.buckets().front().digest.relative_accuracy();
+  EXPECT_NEAR(approx, exact, exact * (2.0 * alpha + 1e-12));
+}
+
+TEST(MetricStoreTiering, AccessorsAreSafeWhenDisabledOrAbsent) {
+  MetricStore store;
+  const SeriesKey key{0, 0, SeriesKey::kPoolScope,
+                      MetricKind::kActiveServers};
+  EXPECT_FALSE(store.tiering_enabled());
+  EXPECT_TRUE(store.window_tier(key).empty());
+  EXPECT_TRUE(store.day_tier(key).empty());
+  EXPECT_EQ(store.tier_memory_bytes(), 0u);
+  EXPECT_THROW(static_cast<void>(store.tiering_policy()), std::logic_error);
+
+  store.set_tiering({});
+  EXPECT_TRUE(store.tiering_enabled());
+  EXPECT_THROW(store.set_tiering({}), std::logic_error);
+  MetricStore::TieringPolicy inverted;
+  inverted.window_bucket_seconds = 86400;
+  inverted.day_bucket_seconds = 3600;
+  MetricStore other;
+  EXPECT_THROW(other.set_tiering(inverted), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headroom::telemetry
