@@ -53,9 +53,10 @@ struct QueryRequest {
   telemetry::SimTime to = 0;    ///< Exclusive.
   /// Desired output point spacing in seconds. 0 = native: one point per
   /// raw sample (or per tier bucket on the evicted part). Otherwise
-  /// output points sit on the [from-aligned] `resolution` grid; sources
-  /// finer than the grid are reduced, sources coarser than the grid keep
-  /// their own (coarser) spacing — stored resolution is a floor.
+  /// output points sit on the absolute (epoch-zero-aligned) `resolution`
+  /// grid — NOT aligned to `from`; sources finer than the grid are
+  /// reduced, sources coarser than the grid keep their own (coarser)
+  /// spacing — stored resolution is a floor.
   telemetry::SimTime resolution = 0;
   Aggregation aggregation = Aggregation::kMean;
 };

@@ -491,6 +491,14 @@ void FleetSimulator::step_pool(std::size_t p, SimTime t,
       cache = nullptr;
     } else if (replay_quiescent(p, t, pool_rps, out)) {
       return;
+    } else if (pool_hourly_spike_pct_[p] > 0.0 &&
+               t % 3600 < config_.window_seconds) {
+      // Spike windows evaluate fully (replay_quiescent refuses them) but
+      // must not populate the cache either: their spike-elevated CPU would
+      // replay into the quiescent windows that follow, turning a
+      // one-window-per-hour spike into a near-constant offset. The
+      // pre-spike cache stays valid for those windows instead.
+      cache = nullptr;
     }
   }
 

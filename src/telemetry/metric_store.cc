@@ -108,6 +108,7 @@ void MetricStore::set_tiering(const TieringPolicy& policy) {
   }
   if (policy.window_bucket_seconds <= 0 || policy.day_bucket_seconds <= 0 ||
       policy.day_bucket_seconds < policy.window_bucket_seconds ||
+      policy.day_bucket_seconds % policy.window_bucket_seconds != 0 ||
       policy.window_tier_retention < 0) {
     throw std::invalid_argument("MetricStore::set_tiering: bad policy");
   }

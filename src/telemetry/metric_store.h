@@ -174,7 +174,10 @@ class MetricStore {
   /// covers [evicted_before(), watermark] and the tiers cover everything
   /// older. Enable before the first sweep: samples already evicted are in
   /// the archive digests only. Throws std::invalid_argument on a
-  /// non-positive or inverted policy, std::logic_error if already enabled.
+  /// non-positive or inverted policy, or when the day bucket width is not
+  /// a multiple of the window bucket width (promotion folds whole window
+  /// buckets, so a non-divisible day width would misattribute straddling
+  /// buckets in time); std::logic_error if already enabled.
   void set_tiering(const TieringPolicy& policy);
   [[nodiscard]] bool tiering_enabled() const noexcept {
     return tiering_.has_value();

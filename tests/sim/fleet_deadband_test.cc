@@ -131,6 +131,37 @@ TEST(FleetDeadBand, ServingChangeInvalidatesHeldPool) {
   EXPECT_LE(active.value_at(boundary), 8.0);
 }
 
+TEST(FleetDeadBand, HourlySpikeWindowsDoNotPoisonTheCache) {
+  const MicroserviceCatalog catalog;
+  FleetConfig exact_cfg = small_fleet(catalog, 0.0);
+  exact_cfg.datacenters[0].pools[0].hourly_spike_extra_pct = 12.0;
+  FleetConfig banded_cfg = exact_cfg;
+  banded_cfg.quiescent_dead_band = 0.05;
+
+  FleetSimulator exact(std::move(exact_cfg), catalog);
+  FleetSimulator banded(std::move(banded_cfg), catalog);
+  exact.run_until(kDay);
+  banded.run_until(kDay);
+
+  const auto ex =
+      exact.store().pool_series(0, 0, MetricKind::kCpuPercentTotal).values();
+  const auto bd =
+      banded.store().pool_series(0, 0, MetricKind::kCpuPercentTotal).values();
+  ASSERT_EQ(ex.size(), bd.size());
+  double sum_ex = 0.0;
+  double sum_bd = 0.0;
+  for (std::size_t i = 0; i < ex.size(); ++i) {
+    sum_ex += ex[i];
+    sum_bd += bd[i];
+  }
+  // A spike window must never populate the replay cache: if it did, the
+  // quiescent windows that follow would replay its spike-elevated CPU for
+  // up to an hour, lifting the daily mean by roughly the spike amplitude
+  // (+12pp here). Honest replays track the exact mean to within the same
+  // drift bound as the workload itself.
+  EXPECT_NEAR(sum_bd / sum_ex, 1.0, 0.08);
+}
+
 TEST(FleetDeadBand, IncidentPoolsAreNeverHeld) {
   const MicroserviceCatalog catalog;
   FleetConfig with_incident = small_fleet(catalog, 0.0);

@@ -253,6 +253,15 @@ TEST(MetricStoreTiering, AccessorsAreSafeWhenDisabledOrAbsent) {
   inverted.day_bucket_seconds = 3600;
   MetricStore other;
   EXPECT_THROW(other.set_tiering(inverted), std::invalid_argument);
+
+  // Promotion folds whole window buckets, so the day width must be a
+  // multiple of the window width — a ragged policy would misattribute
+  // straddling buckets in time.
+  MetricStore::TieringPolicy ragged;
+  ragged.window_bucket_seconds = 3600;
+  ragged.day_bucket_seconds = 5000;
+  MetricStore third;
+  EXPECT_THROW(third.set_tiering(ragged), std::invalid_argument);
 }
 
 }  // namespace
