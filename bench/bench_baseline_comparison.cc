@@ -104,14 +104,15 @@ int main() {
   aopt.scale_out_threshold = 14.0;
   aopt.scale_in_threshold = 9.0;
   aopt.min_servers = 8;
-  const double cpu_slo = 17.0;  // CPU proxy of the 32.8 ms latency SLO
+  aopt.cpu_per_rps = 0.028;
+  aopt.cpu_base = 1.37;
+  aopt.cpu_slo_pct = 17.0;  // CPU proxy of the 32.8 ms latency SLO
 
   for (const telemetry::SimTime lag : {0L, 1800L, 7200L}) {
     baseline::AutoscalerOptions lag_opt = aopt;
     lag_opt.provision_lag_s = lag;
     const baseline::ReactiveAutoscaler scaler(lag_opt);
-    const baseline::AutoscalerRun run =
-        scaler.replay(trace, 64, 0.028, 1.37, cpu_slo);
+    const baseline::AutoscalerRun run = scaler.replay(trace, 64);
     std::printf(
         "  lag %5llds: mean %.1f servers, peak %zu, SLO-violating time "
         "%.0f s (%.2f%%)\n",

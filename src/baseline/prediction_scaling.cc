@@ -1,0 +1,67 @@
+#include "baseline/prediction_scaling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::baseline {
+
+PredictionScalingPlanner::PredictionScalingPlanner(
+    PredictionScalingOptions options)
+    : options_(options), forecaster_(options.forecaster) {
+  if (options_.trust < 0.0 || options_.trust > 1.0) {
+    throw std::invalid_argument(
+        "PredictionScalingPlanner: trust must be in [0, 1]");
+  }
+}
+
+void PredictionScalingPlanner::start(const core::PlannerContext& context,
+                                     std::size_t initial_serving) {
+  context_ = context;
+  forecaster_ = ml::DemandForecaster(options_.forecaster);
+  current_ = initial_serving;
+  idle_run_ = 0;
+  // Full trust releases immediately; zero trust waits out the break-even.
+  hold_windows_ = static_cast<std::size_t>(std::llround(
+      (1.0 - options_.trust) *
+      static_cast<double>(options_.switch_cost_windows)));
+}
+
+std::size_t PredictionScalingPlanner::plan_window(
+    const core::PlannerWindow& window) {
+  forecaster_.observe(window.start, window.total_rps);
+
+  const std::size_t need_now =
+      core::servers_within_slo(context_, window.total_rps,
+                               options_.slo_margin_ms);
+  const telemetry::SimTime horizon =
+      window.start + static_cast<telemetry::SimTime>(options_.lead_windows) *
+                         context_.window_seconds;
+  const std::size_t need_pred = core::servers_within_slo(
+      context_, forecaster_.predict(horizon), options_.slo_margin_ms);
+
+  // Consistency side: pre-provision toward the forecast, weighted by trust.
+  // Current demand is always served — the blend only ever *adds* capacity.
+  const auto blended = static_cast<std::size_t>(std::ceil(
+      options_.trust * static_cast<double>(need_pred) +
+      (1.0 - options_.trust) * static_cast<double>(need_now)));
+  const std::size_t target = std::max(need_now, blended);
+
+  if (target > current_) {
+    current_ = target;
+    idle_run_ = 0;
+  } else if (target < current_) {
+    // Robustness side: lazy release. The idle run must survive
+    // hold_windows consecutive lower-target windows before capacity goes.
+    ++idle_run_;
+    if (idle_run_ > hold_windows_) {
+      current_ = target;
+      idle_run_ = 0;
+    }
+  } else {
+    idle_run_ = 0;
+  }
+  return current_;
+}
+
+}  // namespace headroom::baseline

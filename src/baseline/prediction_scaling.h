@@ -1,0 +1,62 @@
+// Prediction-augmented online scaling (after Rutten & Mukherjee, and the
+// broader learning-augmented online algorithms line): a reactive base
+// policy blended with an untrusted demand forecaster through a single
+// trust parameter lambda.
+//
+//   lambda = 1  follow the forecast: pre-provision for the predicted
+//               demand a provisioning lead ahead and release capacity the
+//               moment the forecast says it is safe — optimal when the
+//               predictor is right, badly burned by a flash crowd it
+//               never saw coming.
+//   lambda = 0  ignore the forecast: size for current demand only and
+//               release capacity lazily after a ski-rental break-even
+//               wait — the classic robust online algorithm.
+//
+// Intermediate lambda interpolates both the pre-provisioning target and
+// the scale-down laziness, which is the consistency-vs-robustness tradeoff
+// those papers formalize. Sizing itself (demand -> servers) is delegated
+// to the shared response surface via core::servers_within_slo, so this
+// planner competes on *policy*, not on a private model of the pool.
+#pragma once
+
+#include <cstddef>
+
+#include "core/capacity_planner.h"
+#include "ml/forecaster.h"
+
+namespace headroom::baseline {
+
+struct PredictionScalingOptions {
+  /// Trust in the forecaster, in [0, 1].
+  double trust = 0.5;
+  /// How many windows ahead the forecast targets (the provisioning lead
+  /// the predictor is supposed to buy).
+  std::size_t lead_windows = 15;
+  /// Ski-rental break-even: the fully-robust policy (trust = 0) releases a
+  /// server only after it sat unneeded for this many windows.
+  std::size_t switch_cost_windows = 15;
+  /// Safety margin under the latency SLO when sizing.
+  double slo_margin_ms = 1.0;
+  ml::ForecasterOptions forecaster;
+};
+
+class PredictionScalingPlanner final : public core::CapacityPlanner {
+ public:
+  explicit PredictionScalingPlanner(PredictionScalingOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "prediction_ml"; }
+  void start(const core::PlannerContext& context,
+             std::size_t initial_serving) override;
+  [[nodiscard]] std::size_t plan_window(
+      const core::PlannerWindow& window) override;
+
+ private:
+  PredictionScalingOptions options_;
+  core::PlannerContext context_;
+  ml::DemandForecaster forecaster_;
+  std::size_t current_ = 0;
+  std::size_t idle_run_ = 0;       ///< Consecutive windows wanting less.
+  std::size_t hold_windows_ = 0;   ///< (1 - trust) * switch_cost_windows.
+};
+
+}  // namespace headroom::baseline

@@ -12,6 +12,20 @@ QueueingPlanner::QueueingPlanner(QueueingPlannerOptions options)
   if (options_.service_time_ms <= 0.0 || options_.concurrency_per_server <= 0.0) {
     throw std::invalid_argument("QueueingPlanner: bad options");
   }
+  if (options_.max_utilization <= 0.0 || options_.max_utilization > 1.0) {
+    throw std::invalid_argument(
+        "QueueingPlanner: max_utilization must be in (0, 1]");
+  }
+}
+
+std::size_t QueueingPlanner::effective_servers(std::size_t servers) const {
+  // The M/M/c formulas need an integer c; truncation is the one lossy step,
+  // so it happens here and *only* here — plan()'s utilization floor and
+  // predict_p95_latency_ms() must agree on the logical server count or the
+  // search can start below the real floor (returning over-utilized plans)
+  // with fractional concurrency_per_server.
+  return static_cast<std::size_t>(static_cast<double>(servers) *
+                                  options_.concurrency_per_server);
 }
 
 double QueueingPlanner::predict_p95_latency_ms(double total_rps,
@@ -19,19 +33,23 @@ double QueueingPlanner::predict_p95_latency_ms(double total_rps,
   if (servers == 0) throw std::invalid_argument("predict: no servers");
   // Treat the pool as M/M/c with c = servers * concurrency logical servers.
   const double mu = 1000.0 / options_.service_time_ms;  // per logical server
-  const auto c = static_cast<std::size_t>(
-      static_cast<double>(servers) * options_.concurrency_per_server);
-  return mm_c_p95_sojourn_s(total_rps, mu, c) * 1000.0;
+  return mm_c_p95_sojourn_s(total_rps, mu, effective_servers(servers)) * 1000.0;
 }
 
 QueueingPlan QueueingPlanner::plan(double peak_rps,
                                    const core::LatencySlo& slo) const {
   if (peak_rps <= 0.0) throw std::invalid_argument("plan: peak must be positive");
   const double mu = 1000.0 / options_.service_time_ms;
-  // Utilization floor: lambda <= max_util * c * mu.
-  const double min_c =
-      peak_rps / (options_.max_utilization * mu * options_.concurrency_per_server);
-  auto servers = static_cast<std::size_t>(std::max(1.0, std::ceil(min_c)));
+  // Utilization floor on *effective* (truncated) logical servers:
+  // lambda <= max_util * c_eff * mu. The smallest admissible integer c_eff,
+  // then the smallest physical server count whose truncated product reaches
+  // it — the same c_eff computation predict_p95_latency_ms() evaluates.
+  const auto min_logical = static_cast<std::size_t>(
+      std::ceil(peak_rps / (options_.max_utilization * mu)));
+  auto servers = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(static_cast<double>(min_logical) /
+                     options_.concurrency_per_server)));
+  while (effective_servers(servers) < min_logical) ++servers;
 
   QueueingPlan result;
   constexpr std::size_t kMaxServers = 1u << 20;
@@ -41,8 +59,7 @@ QueueingPlan QueueingPlanner::plan(double peak_rps,
       result.servers = servers;
       result.predicted_p95_latency_ms = p95;
       result.utilization =
-          peak_rps / (static_cast<double>(servers) *
-                      options_.concurrency_per_server * mu);
+          peak_rps / (static_cast<double>(effective_servers(servers)) * mu);
       return result;
     }
     ++servers;

@@ -43,6 +43,12 @@ class QueueingPlanner {
   [[nodiscard]] double predict_p95_latency_ms(double total_rps,
                                               std::size_t servers) const;
 
+  /// The integer M/M/c logical-server count for a physical server count:
+  /// floor(servers * concurrency_per_server). The single definition shared
+  /// by plan()'s utilization floor and predict_p95_latency_ms(), so a
+  /// fractional concurrency cannot make the two disagree.
+  [[nodiscard]] std::size_t effective_servers(std::size_t servers) const;
+
  private:
   QueueingPlannerOptions options_;
 };

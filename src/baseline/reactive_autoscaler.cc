@@ -16,11 +16,48 @@ ReactiveAutoscaler::ReactiveAutoscaler(AutoscalerOptions options)
   if (options_.control_interval_s <= 0) {
     throw std::invalid_argument("ReactiveAutoscaler: bad control interval");
   }
+  if (options_.max_step_fraction <= 0.0 || options_.max_step_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "ReactiveAutoscaler: max_step_fraction must be in (0, 1)");
+  }
+  if (options_.scale_in_threshold >= options_.scale_out_threshold) {
+    throw std::invalid_argument(
+        "ReactiveAutoscaler: scale_in_threshold must be below "
+        "scale_out_threshold");
+  }
+  if (options_.cpu_per_rps <= 0.0) {
+    throw std::invalid_argument(
+        "ReactiveAutoscaler: cpu_per_rps must be positive");
+  }
+  if (options_.target_cpu_pct <= options_.cpu_base) {
+    throw std::invalid_argument(
+        "ReactiveAutoscaler: target_cpu_pct must exceed cpu_base");
+  }
+}
+
+std::size_t ReactiveAutoscaler::decide(double total_rps, double cpu_pct,
+                                       std::size_t committed_target) const {
+  if (cpu_pct <= options_.scale_out_threshold &&
+      cpu_pct >= options_.scale_in_threshold) {
+    return committed_target;
+  }
+  // Servers needed to hold per-server CPU at the target. The constructor
+  // guarantees target_cpu_pct > cpu_base, so the division is positive.
+  const double desired_raw = options_.cpu_per_rps * total_rps /
+                             (options_.target_cpu_pct - options_.cpu_base);
+  const double damped = std::clamp(
+      desired_raw,
+      static_cast<double>(committed_target) *
+          (1.0 - options_.max_step_fraction),
+      static_cast<double>(committed_target) *
+          (1.0 + options_.max_step_fraction));
+  return std::clamp(static_cast<std::size_t>(std::max(1.0, std::ceil(damped))),
+                    options_.min_servers, options_.max_servers);
 }
 
 AutoscalerRun ReactiveAutoscaler::replay(
-    const telemetry::TimeSeries& offered_rps, std::size_t initial_servers,
-    double cpu_per_rps, double cpu_base, double cpu_slo_pct) const {
+    const telemetry::TimeSeries& offered_rps,
+    std::size_t initial_servers) const {
   AutoscalerRun run;
   if (offered_rps.empty()) return run;
 
@@ -52,38 +89,25 @@ AutoscalerRun ReactiveAutoscaler::replay(
 
     const double rps = offered_rps.value_at(i);
     const double per_server = rps / static_cast<double>(serving);
-    const double cpu = cpu_base + cpu_per_rps * per_server;
+    const double cpu = options_.cpu_base + options_.cpu_per_rps * per_server;
 
     AutoscalerSample s;
     s.t = t;
     s.offered_rps = rps;
     s.serving = serving;
     s.cpu_pct = cpu;
-    s.slo_violated = cpu > cpu_slo_pct;
+    s.slo_violated = cpu > options_.cpu_slo_pct;
 
     // Control decision at the configured cadence, based on *current* CPU.
     if (t - last_decision >= options_.control_interval_s) {
       last_decision = t;
-      if (cpu > options_.scale_out_threshold ||
-          cpu < options_.scale_in_threshold) {
-        const double desired_raw =
-            cpu_per_rps * rps / (options_.target_cpu_pct - cpu_base);
-        const double damped = std::clamp(
-            desired_raw,
-            static_cast<double>(committed_target) *
-                (1.0 - options_.max_step_fraction),
-            static_cast<double>(committed_target) *
-                (1.0 + options_.max_step_fraction));
-        const auto target = std::clamp(
-            static_cast<std::size_t>(std::max(1.0, std::ceil(damped))),
-            options_.min_servers, options_.max_servers);
-        if (target != committed_target) {
-          const telemetry::SimTime lag = target > committed_target
-                                             ? options_.provision_lag_s
-                                             : options_.drain_lag_s;
-          pending.push_back({t + lag, target});
-          committed_target = target;
-        }
+      const std::size_t target = decide(rps, cpu, committed_target);
+      if (target != committed_target) {
+        const telemetry::SimTime lag = target > committed_target
+                                           ? options_.provision_lag_s
+                                           : options_.drain_lag_s;
+        pending.push_back({t + lag, target});
+        committed_target = target;
       }
     }
     s.target = committed_target;

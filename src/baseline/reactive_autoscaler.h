@@ -6,6 +6,13 @@
 // fleet-level changes in weeks). The comparison bench replays a diurnal
 // day-with-spike trace through this policy and counts SLO violations and
 // server-hours versus the static right-sized headroom plan.
+//
+// The linear CPU response (cpu = cpu_base + cpu_per_rps * rps/server) is
+// part of the options rather than a replay argument so the constructor can
+// reject misconfigurations outright: a target_cpu_pct at or below cpu_base
+// makes the sizing division negative, which the damping clamp then
+// silently turns into a *scale-in* on every scale-out decision — the
+// classic silent-misconfiguration failure this class used to have.
 #pragma once
 
 #include <cstddef>
@@ -28,8 +35,18 @@ struct AutoscalerOptions {
   telemetry::SimTime control_interval_s = 120;
   std::size_t min_servers = 1;
   std::size_t max_servers = 1 << 16;
-  /// Max fractional change per decision (damping).
+  /// Max fractional change per decision (damping). Must be in (0, 1):
+  /// at >= 1 the lower damping bound goes non-positive and a scale-out
+  /// decision may collapse the pool instead of growing it.
   double max_step_fraction = 0.25;
+
+  // --- CPU response model (what the controller believes about the pool) --
+  /// Realized CPU = cpu_base + cpu_per_rps * rps/server.
+  double cpu_per_rps = 0.028;
+  /// CPU floor at zero load. Must be strictly below target_cpu_pct.
+  double cpu_base = 1.4;
+  /// The violation line (utilization proxy for the latency SLO).
+  double cpu_slo_pct = 75.0;
 };
 
 /// One control-loop sample of the replay.
@@ -58,16 +75,26 @@ struct AutoscalerRun {
 };
 
 /// Pure-function replay: drives the policy over an offered-load trace.
-/// `cpu_per_rps` and `cpu_base` give realized CPU = base + slope * rps/server;
-/// `cpu_slo_pct` is the violation line (utilization proxy for latency SLO).
+/// The CPU response model and violation line come from AutoscalerOptions.
 class ReactiveAutoscaler {
  public:
+  /// Validates the options. Throws std::invalid_argument with an exact
+  /// message for each misconfiguration (see the .cc); in particular the
+  /// option sets that used to silently misbehave — target_cpu_pct <=
+  /// cpu_base, max_step_fraction outside (0, 1), scale_in_threshold >=
+  /// scale_out_threshold — are rejected here.
   explicit ReactiveAutoscaler(AutoscalerOptions options);
 
   [[nodiscard]] AutoscalerRun replay(const telemetry::TimeSeries& offered_rps,
-                                     std::size_t initial_servers,
-                                     double cpu_per_rps, double cpu_base,
-                                     double cpu_slo_pct) const;
+                                     std::size_t initial_servers) const;
+
+  /// The pure control law: given the pool-total offered load and realized
+  /// per-server CPU at the committed target, the damped and clamped desired
+  /// serving count. Returns `committed_target` unchanged while CPU sits
+  /// inside the [scale_in, scale_out] band. Shared by replay() and the
+  /// bake-off window adapter so both drive identical decisions.
+  [[nodiscard]] std::size_t decide(double total_rps, double cpu_pct,
+                                   std::size_t committed_target) const;
 
   [[nodiscard]] const AutoscalerOptions& options() const noexcept {
     return options_;

@@ -1,0 +1,34 @@
+#include "baseline/right_sizing.h"
+
+namespace headroom::baseline {
+
+RightSizingPlanner::RightSizingPlanner(RightSizingOptions options)
+    : options_(options) {}
+
+void RightSizingPlanner::start(const core::PlannerContext& context,
+                               std::size_t /*initial_serving*/) {
+  context_ = context;
+  window_max_.clear();
+  index_ = 0;
+}
+
+std::size_t RightSizingPlanner::plan_window(
+    const core::PlannerWindow& window) {
+  const std::size_t need = core::servers_within_slo(
+      context_, window.total_rps, options_.slo_margin_ms);
+
+  // Sliding-window maximum over the last (beta + 1) needs: a level stays
+  // provisioned until beta windows have passed since it was last needed.
+  const std::size_t horizon = options_.switching_cost_windows + 1;
+  while (!window_max_.empty() && window_max_.back().second <= need) {
+    window_max_.pop_back();
+  }
+  window_max_.emplace_back(index_, need);
+  if (window_max_.front().first + horizon <= index_) {
+    window_max_.pop_front();
+  }
+  ++index_;
+  return window_max_.front().second;
+}
+
+}  // namespace headroom::baseline

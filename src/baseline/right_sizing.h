@@ -1,0 +1,50 @@
+// Data-center right-sizing with switching costs (after Albers &
+// Quedenfeld, and Lin et al.'s dynamic right-sizing): scale up
+// immediately — demand must be served — and power a server down only after
+// it has been idle for the break-even duration beta, the point where the
+// accumulated idle running cost equals the cost of switching it back on.
+//
+// Implemented as the exact lazy form: serving(t) = max over the trailing
+// beta windows of the per-window server need. Each capacity level k is
+// released precisely beta windows after demand last required k — the
+// ski-rental threshold rule applied per server, which is what gives the
+// deterministic algorithm its 2-competitiveness against the offline
+// optimum in these models.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "core/capacity_planner.h"
+
+namespace headroom::baseline {
+
+struct RightSizingOptions {
+  /// Break-even idle time before a server is released, in windows: the
+  /// switching (power-up) cost expressed in window-widths of idle running
+  /// cost. 0 degenerates to purely-reactive follow-the-need.
+  std::size_t switching_cost_windows = 15;
+  /// Safety margin under the latency SLO when sizing.
+  double slo_margin_ms = 1.0;
+};
+
+class RightSizingPlanner final : public core::CapacityPlanner {
+ public:
+  explicit RightSizingPlanner(RightSizingOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "right_sizing"; }
+  void start(const core::PlannerContext& context,
+             std::size_t initial_serving) override;
+  [[nodiscard]] std::size_t plan_window(
+      const core::PlannerWindow& window) override;
+
+ private:
+  RightSizingOptions options_;
+  core::PlannerContext context_;
+  /// Monotone (decreasing) deque of (window index, need) for the trailing
+  /// maximum over the break-even horizon.
+  std::deque<std::pair<std::size_t, std::size_t>> window_max_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace headroom::baseline

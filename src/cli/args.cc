@@ -54,9 +54,11 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       opt.command = Command::kExportTrace;
     } else if (args[0] == "serve") {
       opt.command = Command::kServe;
+    } else if (args[0] == "bakeoff") {
+      opt.command = Command::kBakeoff;
     } else {
       outcome.error = "unknown command '" + args[0] +
-                      "' (expected run, serve, export-trace, "
+                      "' (expected run, serve, bakeoff, export-trace, "
                       "list-scenarios, or flags)";
       return outcome;
     }
@@ -203,6 +205,29 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
         outcome.error = "unknown argument '" + arg + "' for serve";
         return outcome;
       }
+    } else if (opt.command == Command::kBakeoff) {
+      if (arg == "--scenario") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.scenario_path = value;
+      } else if (arg == "--dir") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.scenario_dir = value;
+        opt.dir_set = true;
+      } else if (arg == "--out") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.bakeoff_out = value;
+      } else if (arg == "--quiet") {
+        opt.quiet = true;
+      } else {
+        outcome.error = "unknown argument '" + arg + "' for bakeoff";
+        return outcome;
+      }
     } else {  // Command::kListScenarios
       if (arg == "--dir") {
         if (!next_value(args, &i, arg, &value, &outcome.error)) {
@@ -274,6 +299,12 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       return outcome;
     }
   }
+  if (opt.command == Command::kBakeoff) {
+    if (!opt.scenario_path.empty() && opt.dir_set) {
+      outcome.error = "bakeoff takes --scenario or --dir, not both";
+      return outcome;
+    }
+  }
   outcome.ok = true;
   return outcome;
 }
@@ -294,6 +325,10 @@ std::string usage() {
       "  headroom serve --trace DIR --follow\n"
       "                                   continuous mode over a growing\n"
       "                                   trace directory (tail the feed)\n"
+      "  headroom bakeoff [--dir DIR | --scenario FILE]\n"
+      "                                   optimizer bake-off: run every\n"
+      "                                   capacity planner over the library\n"
+      "                                   and emit cost-vs-SLO frontiers\n"
       "  headroom list-scenarios [--dir DIR]\n"
       "                                   describe the scenario library\n"
       "\n"
@@ -335,6 +370,15 @@ std::string usage() {
       "  --max-idle-polls N  follow: idle polls before giving up (250)\n"
       "  --threads N         override stepping threads (--scenario only)\n"
       "  --quiet             suppress per-window report lines\n"
+      "\n"
+      "bakeoff flags:\n"
+      "  --dir D       scenario directory to sweep (default\n"
+      "                examples/scenarios); dead-band scenarios are skipped\n"
+      "  --scenario F  bake off a single scenario file instead\n"
+      "  --out D       also write one <scenario>.frontier file per scenario\n"
+      "  --threads N   override stepping threads (frontiers are identical\n"
+      "                for any N)\n"
+      "  --quiet       print only the frontier blocks\n"
       "\n"
       "list-scenarios flags:\n"
       "  --dir D       scenario directory (default examples/scenarios)\n"

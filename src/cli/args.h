@@ -19,6 +19,7 @@ enum class Command {
   kListScenarios,  ///< `headroom list-scenarios [--dir DIR]`.
   kExportTrace,    ///< `headroom export-trace --scenario FILE --out DIR`.
   kServe,          ///< `headroom serve --scenario FILE | --trace DIR --follow`.
+  kBakeoff,        ///< `headroom bakeoff [--dir DIR | --scenario FILE]`.
 };
 
 struct Options {
@@ -40,6 +41,10 @@ struct Options {
   std::string trace_dir;      ///< run: --trace DIR (replay a recording).
   std::string trace_out;      ///< export-trace: --out DIR.
   bool quiet = false;  ///< run/export: print only the machine summary.
+  bool dir_set = false;       ///< bakeoff: --dir was given explicitly.
+
+  // --- Bake-off mode ------------------------------------------------------
+  std::string bakeoff_out;    ///< bakeoff: --out DIR for *.frontier files.
 
   // --- Serve mode (continuous pipeline) -----------------------------------
   bool follow = false;          ///< serve: --trace requires --follow.

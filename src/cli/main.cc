@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cli/args.h"
+#include "scenario/bakeoff.h"
 #include "scenario/listing.h"
 #include "scenario/scenario_parser.h"
 #include "scenario/scenario_runner.h"
@@ -253,6 +254,88 @@ int list_scenarios(const cli::Options& opt) {
   return 0;
 }
 
+int run_bakeoff_cmd(const cli::Options& opt) {
+  namespace fs = std::filesystem;
+
+  // Collect the entrant scenarios: one file, or every .scn in the library.
+  std::vector<scenario::ScenarioSpec> specs;
+  if (!opt.scenario_path.empty()) {
+    scenario::ParseResult parsed =
+        scenario::load_scenario_file(opt.scenario_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "headroom: %s\n", parsed.error.c_str());
+      return 2;
+    }
+    specs.push_back(std::move(parsed.spec));
+  } else {
+    const scenario::ScenarioListing listing =
+        scenario::list_scenario_dir(opt.scenario_dir);
+    if (!listing.ok()) {
+      std::fprintf(stderr, "headroom: %s\n", listing.error.c_str());
+      return 2;
+    }
+    for (const scenario::ScenarioListEntry& entry : listing.entries) {
+      if (!entry.ok()) {
+        std::fprintf(stderr, "headroom: %s: %s\n", entry.file.c_str(),
+                     entry.error.c_str());
+        return 2;
+      }
+      specs.push_back(entry.spec);
+    }
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "headroom: no .scn files in %s\n",
+                 opt.scenario_dir.c_str());
+    return 2;
+  }
+
+  if (!opt.bakeoff_out.empty()) {
+    std::error_code ec;
+    fs::create_directories(opt.bakeoff_out, ec);
+    if (ec) {
+      std::fprintf(stderr, "headroom: cannot create '%s': %s\n",
+                   opt.bakeoff_out.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
+  bool first = true;
+  for (scenario::ScenarioSpec& spec : specs) {
+    if (opt.threads_set) spec.threads = opt.threads;
+    if (spec.quiescent_dead_band > 0.0) {
+      if (!opt.quiet) {
+        std::printf("headroom: skipping '%s' (quiescent dead band — "
+                    "approximate stepping is not golden-pinnable)\n",
+                    spec.name.c_str());
+      }
+      continue;
+    }
+    const scenario::BakeoffResult result = scenario::run_bakeoff(spec);
+    const std::string frontier = scenario::format_frontier(result);
+    if (!first) std::printf("\n");
+    first = false;
+    if (!opt.quiet) {
+      std::printf("headroom: bake-off '%s' — %zu planners over %zu "
+                  "windows on %zu thread(s)\n",
+                  spec.name.c_str(), result.scores.size(), result.windows,
+                  result.thread_count);
+    }
+    std::fputs(frontier.c_str(), stdout);
+    if (!opt.bakeoff_out.empty()) {
+      const fs::path out_path =
+          fs::path(opt.bakeoff_out) / (spec.name + ".frontier");
+      std::ofstream out(out_path, std::ios::binary);
+      out << frontier;
+      if (!out.good()) {
+        std::fprintf(stderr, "headroom: cannot write '%s'\n",
+                     out_path.string().c_str());
+        return 2;
+      }
+    }
+  }
+  return 0;
+}
+
 int run_serve(const cli::Options& opt) {
   namespace fs = std::filesystem;
   scenario::ServeOptions sopt;
@@ -350,6 +433,8 @@ int main(int argc, char** argv) {
         return list_scenarios(outcome.options);
       case cli::Command::kServe:
         return run_serve(outcome.options);
+      case cli::Command::kBakeoff:
+        return run_bakeoff_cmd(outcome.options);
       case cli::Command::kPipeline:
         return run_pipeline(outcome.options);
     }

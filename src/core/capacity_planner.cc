@@ -1,0 +1,152 @@
+#include "core/capacity_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace headroom::core {
+
+StaticCapacityPlanner::StaticCapacityPlanner(std::string name,
+                                             std::size_t serving)
+    : name_(std::move(name)), serving_(serving) {
+  if (serving_ == 0) {
+    throw std::invalid_argument("StaticCapacityPlanner: zero serving");
+  }
+}
+
+void StaticCapacityPlanner::start(const PlannerContext& /*context*/,
+                                  std::size_t /*initial_serving*/) {}
+
+std::size_t StaticCapacityPlanner::plan_window(
+    const PlannerWindow& /*window*/) {
+  return serving_;
+}
+
+std::size_t servers_within_slo(const PlannerContext& context, double total_rps,
+                               double slo_margin_ms) {
+  if (context.model == nullptr) {
+    throw std::invalid_argument("servers_within_slo: null response model");
+  }
+  if (context.pool_size == 0) {
+    throw std::invalid_argument("servers_within_slo: zero pool");
+  }
+  const std::size_t lo = std::max<std::size_t>(1, context.min_servers);
+  const double target = context.latency_slo_ms - slo_margin_ms;
+  // Linear scan from the bottom: the quadratic latency fit is not
+  // guaranteed monotone outside the observed load range, so a binary search
+  // could land on a spurious dip. Pool sizes are small enough (hundreds)
+  // that the scan is negligible next to a telemetry window.
+  for (std::size_t n = lo; n <= context.pool_size; ++n) {
+    const double per_server = total_rps / static_cast<double>(n);
+    if (context.model->predict_latency_ms(per_server) <= target &&
+        context.model->predict_cpu_pct(per_server) < kSaturationCpuPct) {
+      return n;
+    }
+  }
+  return context.pool_size;
+}
+
+PlannerScore replay_capacity_planner(CapacityPlanner& planner,
+                                     std::span<const PlannerWindow> grid,
+                                     const PlannerContext& context,
+                                     std::size_t initial_serving) {
+  if (context.model == nullptr) {
+    throw std::invalid_argument("replay_capacity_planner: null model");
+  }
+  PlannerScore score;
+  score.planner = planner.name();
+  if (grid.empty()) return score;
+
+  const std::size_t lo = std::max<std::size_t>(1, context.min_servers);
+  const std::size_t hi = std::max(lo, context.pool_size);
+  std::size_t serving = std::clamp(initial_serving, lo, hi);
+  score.peak_serving = serving;
+  score.min_serving = serving;
+
+  planner.start(context, serving);
+  for (const PlannerWindow& recorded : grid) {
+    // Counterfactual operating point: this planner's serving count against
+    // the recorded demand, responses from the shared surface.
+    PlannerWindow w = recorded;
+    w.serving = static_cast<double>(serving);
+    const double per_server = w.total_rps / static_cast<double>(serving);
+    w.latency_p95_ms =
+        std::max(0.0, context.model->predict_latency_ms(per_server));
+    w.cpu_pct = std::max(0.0, context.model->predict_cpu_pct(per_server));
+
+    const auto dt = static_cast<double>(w.seconds);
+    score.server_seconds += static_cast<double>(serving) * dt;
+    score.total_seconds += dt;
+    if (w.latency_p95_ms > context.latency_slo_ms ||
+        w.cpu_pct >= kSaturationCpuPct) {
+      score.violation_seconds += dt;
+    }
+    score.peak_serving = std::max(score.peak_serving, serving);
+    score.min_serving = std::min(score.min_serving, serving);
+
+    const std::size_t next = std::clamp(planner.plan_window(w), lo, hi);
+    if (next != serving) {
+      score.switched_servers += std::fabs(static_cast<double>(next) -
+                                          static_cast<double>(serving));
+      ++score.switches;
+      serving = next;
+    }
+  }
+  return score;
+}
+
+ModelExperimentBackend::ModelExperimentBackend(const PoolResponseModel* model,
+                                               std::vector<double> demand_rps,
+                                               Options options)
+    : model_(model), demand_rps_(std::move(demand_rps)), options_(options) {
+  if (model_ == nullptr) {
+    throw std::invalid_argument("ModelExperimentBackend: null model");
+  }
+  if (demand_rps_.empty()) {
+    throw std::invalid_argument("ModelExperimentBackend: empty demand trace");
+  }
+  if (options_.pool_size == 0 || options_.serving == 0 ||
+      options_.serving > options_.pool_size ||
+      options_.window_seconds <= 0) {
+    throw std::invalid_argument("ModelExperimentBackend: bad options");
+  }
+  serving_ = options_.serving;
+}
+
+void ModelExperimentBackend::set_serving_count(std::size_t servers) {
+  if (servers == 0 || servers > options_.pool_size) {
+    throw std::invalid_argument(
+        "ModelExperimentBackend: serving count out of [1, pool_size]");
+  }
+  serving_ = servers;
+}
+
+ExperimentObservations ModelExperimentBackend::observe(
+    telemetry::SimTime duration) {
+  if (duration <= 0) {
+    throw std::invalid_argument("ModelExperimentBackend: bad duration");
+  }
+  // Same stepping grid as the simulator: whole windows, overshooting a
+  // non-multiple duration.
+  const auto windows = static_cast<std::size_t>(
+      (duration + options_.window_seconds - 1) / options_.window_seconds);
+  ExperimentObservations obs;
+  obs.total_rps.reserve(windows);
+  obs.servers.reserve(windows);
+  obs.latency_p95_ms.reserve(windows);
+  obs.cpu_pct.reserve(windows);
+  for (std::size_t i = 0; i < windows; ++i) {
+    const double total = demand_rps_[cursor_];
+    cursor_ = (cursor_ + 1) % demand_rps_.size();
+    const double per_server = total / static_cast<double>(serving_);
+    obs.total_rps.push_back(total);
+    obs.servers.push_back(static_cast<double>(serving_));
+    obs.latency_p95_ms.push_back(
+        std::max(0.0, model_->predict_latency_ms(per_server)));
+    obs.cpu_pct.push_back(std::max(0.0, model_->predict_cpu_pct(per_server)));
+  }
+  return obs;
+}
+
+}  // namespace headroom::core

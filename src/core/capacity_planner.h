@@ -1,0 +1,160 @@
+// The common capacity-planner contract for the optimizer bake-off.
+//
+// Every planner — the paper's RSM headroom planner and the comparison
+// baselines alike — sees exactly the same inputs: a stream of completed
+// telemetry windows pulled through a LiveFeedBackend over the recorded
+// observation grid (the same observations_between() definition the RSM
+// session reads), one plan decision per window. The tournament harness
+// (scenario/bakeoff.h) replays each planner over that identical stream and
+// scores the resulting serving path counterfactually against the fitted
+// pool response surface, so the frontier compares *policies*, never
+// measurement artifacts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/experiment_backend.h"
+#include "core/pool_model.h"
+
+namespace headroom::core {
+
+/// One completed telemetry window as a planner sees it: pool-total demand,
+/// the capacity that served it, and the realized latency/CPU at that
+/// operating point (counterfactual from the response surface during a
+/// replay, recorded during live operation).
+struct PlannerWindow {
+  telemetry::SimTime start = 0;
+  telemetry::SimTime seconds = 0;
+  double total_rps = 0.0;
+  double serving = 0.0;
+  double latency_p95_ms = 0.0;
+  double cpu_pct = 0.0;
+};
+
+/// What a planner knows about the pool before the first window.
+struct PlannerContext {
+  /// Fitted black-box response surface (never null during a replay).
+  const PoolResponseModel* model = nullptr;
+  double latency_slo_ms = 0.0;
+  std::size_t pool_size = 0;    ///< Upper bound on serving.
+  std::size_t min_servers = 1;  ///< Lower bound on serving.
+  telemetry::SimTime window_seconds = 120;
+};
+
+/// Plan-per-window capacity planner. start() is called once, then
+/// plan_window() once per completed window; the return value is the serving
+/// count for the *next* window (the harness clamps it to
+/// [min_servers, pool_size]). Implementations must be deterministic: the
+/// bake-off goldens pin their serving paths byte-for-byte.
+class CapacityPlanner {
+ public:
+  virtual ~CapacityPlanner() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void start(const PlannerContext& context,
+                     std::size_t initial_serving) = 0;
+  [[nodiscard]] virtual std::size_t plan_window(const PlannerWindow& window) = 0;
+};
+
+/// The degenerate planner: a fixed serving count (the paper's argument —
+/// headroom is provisioned once, not chased). The bake-off wraps the RSM
+/// recommendation in one of these.
+class StaticCapacityPlanner final : public CapacityPlanner {
+ public:
+  StaticCapacityPlanner(std::string name, std::size_t serving);
+  [[nodiscard]] std::string name() const override { return name_; }
+  void start(const PlannerContext& context,
+             std::size_t initial_serving) override;
+  [[nodiscard]] std::size_t plan_window(const PlannerWindow& window) override;
+
+ private:
+  std::string name_;
+  std::size_t serving_;
+};
+
+/// Smallest serving count in [min_servers, pool_size] whose predicted P95
+/// latency at `total_rps` stays at/below latency_slo_ms - slo_margin_ms
+/// *and* whose predicted CPU stays below saturation. Returns pool_size when
+/// nothing qualifies (the SLO is unattainable at this load). The shared
+/// sizing primitive for surface-driven planners.
+[[nodiscard]] std::size_t servers_within_slo(const PlannerContext& context,
+                                             double total_rps,
+                                             double slo_margin_ms = 0.0);
+
+/// Cost-vs-SLO frontier point: what one planner's serving path cost and how
+/// often it violated the SLO, scored counterfactually on the surface.
+struct PlannerScore {
+  std::string planner;
+  double server_seconds = 0.0;     ///< Integrated capacity footprint.
+  double violation_seconds = 0.0;  ///< Time above the latency SLO (or CPU
+                                   ///< saturation — see replay doc).
+  double total_seconds = 0.0;
+  double switched_servers = 0.0;   ///< Sum of |delta serving| (churn).
+  std::size_t switches = 0;        ///< Number of capacity changes.
+  std::size_t peak_serving = 0;
+  std::size_t min_serving = 0;
+
+  [[nodiscard]] double violation_fraction() const noexcept {
+    return total_seconds > 0.0 ? violation_seconds / total_seconds : 0.0;
+  }
+  [[nodiscard]] double mean_serving() const noexcept {
+    return total_seconds > 0.0 ? server_seconds / total_seconds : 0.0;
+  }
+};
+
+/// Per-server CPU above this is treated as an SLO violation regardless of
+/// the latency prediction: the quadratic latency fit extrapolates badly at
+/// loads far beyond anything observed, and a saturated pool is a violation
+/// in reality even when the polynomial bends the wrong way.
+inline constexpr double kSaturationCpuPct = 95.0;
+
+/// Replays `planner` over the demand grid: serving starts at
+/// `initial_serving` and evolves under the planner's own decisions; the
+/// latency/CPU each window sees are evaluated on the context's response
+/// surface at (window demand / current serving). A window counts as
+/// violating when predicted latency exceeds the SLO or predicted CPU
+/// reaches kSaturationCpuPct. Only `total_rps`/`start`/`seconds` of the
+/// input grid are read — `serving` and the recorded responses are replaced
+/// by the counterfactual path, so every planner is scored on the same
+/// surface at its own operating points.
+[[nodiscard]] PlannerScore replay_capacity_planner(
+    CapacityPlanner& planner, std::span<const PlannerWindow> grid,
+    const PlannerContext& context, std::size_t initial_serving);
+
+/// PoolExperimentBackend over the fitted response surface plus a recorded
+/// demand trace that repeats cyclically — the bake-off's stand-in for the
+/// live pool when the RSM planner asks for more observation time than the
+/// scenario recorded. Reduction experiments are instantaneous (the surface
+/// answers counterfactually at any serving count), which is exactly the
+/// black-box planner's own modeling assumption turned into a backend.
+class ModelExperimentBackend : public PoolExperimentBackend {
+ public:
+  struct Options {
+    std::size_t pool_size = 0;
+    std::size_t serving = 0;
+    telemetry::SimTime window_seconds = 120;
+  };
+
+  /// `model` must outlive the backend; `demand_rps` is the pool-total
+  /// demand per window and must be non-empty.
+  ModelExperimentBackend(const PoolResponseModel* model,
+                         std::vector<double> demand_rps, Options options);
+
+  [[nodiscard]] std::size_t pool_size() const override {
+    return options_.pool_size;
+  }
+  [[nodiscard]] std::size_t serving_count() const override { return serving_; }
+  void set_serving_count(std::size_t servers) override;
+  ExperimentObservations observe(telemetry::SimTime duration) override;
+
+ private:
+  const PoolResponseModel* model_;
+  std::vector<double> demand_rps_;
+  Options options_;
+  std::size_t serving_ = 0;
+  std::size_t cursor_ = 0;  ///< Next demand index (wraps).
+};
+
+}  // namespace headroom::core

@@ -1,0 +1,56 @@
+// Online demand forecaster: seasonal level model with a recency ratio.
+//
+// Demand for global online services is dominantly diurnal (the paper's
+// Figs. 2-4), so the forecaster keeps one exponentially-weighted level per
+// time-of-day bucket plus a global ratio tracking how far the most recent
+// observations sit above/below their bucket levels (slow growth, regional
+// failover). Predictions for a future timestamp read the bucket level and
+// scale by the ratio. Deliberately simple, fully deterministic, and
+// *unreliable in exactly the interesting way*: it nails the diurnal shape
+// and is blind to unforecastable events (flash crowds, outages) — the
+// prediction-augmented planner's trust parameter exists to hedge that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace headroom::ml {
+
+struct ForecasterOptions {
+  telemetry::SimTime season_seconds = 86400;  ///< Diurnal period.
+  std::size_t buckets = 48;                   ///< Levels per season (30 min).
+  double level_smoothing = 0.25;              ///< EWMA alpha per bucket.
+  double ratio_smoothing = 0.10;              ///< EWMA alpha for the ratio.
+};
+
+class DemandForecaster {
+ public:
+  explicit DemandForecaster(ForecasterOptions options = {});
+
+  /// Folds one observed window (timestamp, pool-total demand).
+  void observe(telemetry::SimTime t, double value);
+
+  /// Forecast demand at absolute time `t` (typically a few windows ahead).
+  /// Falls back to persistence (the last observed value) until the target
+  /// bucket has a level.
+  [[nodiscard]] double predict(telemetry::SimTime t) const;
+
+  [[nodiscard]] std::size_t observations() const noexcept { return count_; }
+  [[nodiscard]] const ForecasterOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(telemetry::SimTime t) const noexcept;
+
+  ForecasterOptions options_;
+  std::vector<double> level_;
+  std::vector<bool> seen_;
+  double ratio_ = 1.0;
+  double last_value_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace headroom::ml

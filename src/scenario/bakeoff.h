@@ -1,0 +1,54 @@
+// The optimizer bake-off: every capacity planner against every scenario,
+// on bit-identical inputs.
+//
+// For one scenario the harness (1) steps the simulator through the spec's
+// observation phase exactly as `headroom run` does (same fleet build, same
+// event timeline, same serving reductions), (2) reads the resulting
+// telemetry back window-by-window through a sealed core::LiveFeedBackend —
+// the same observation grid and observations_between() definition the RSM
+// session consumes, so every planner sees the very bytes the paper's
+// planner would — (3) fits the black-box response surface from the same
+// scatters the Optimize step fits, (4) runs the RSM planner itself against
+// a ModelExperimentBackend over that surface and demand stream, and
+// (5) replays the full roster (RSM-static + the five baselines) over the
+// identical window grid, scoring each serving path counterfactually on the
+// shared surface.
+//
+// The output frontier — server-seconds (cost) vs violation-seconds (SLO
+// debt) vs switching churn per planner — is machine-readable, byte-stable
+// across thread counts, and golden-pinned per scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/capacity_planner.h"
+#include "core/rsm_planner.h"
+#include "scenario/scenario_spec.h"
+
+namespace headroom::scenario {
+
+struct BakeoffResult {
+  ScenarioSpec spec;
+  std::size_t windows = 0;          ///< Observation windows replayed.
+  double latency_slo_ms = 0.0;
+  std::size_t pool_size = 0;
+  std::size_t initial_serving = 0;  ///< Serving in the grid's first window.
+  core::RsmResult rsm;              ///< The RSM run behind the rsm entrant.
+  std::vector<core::PlannerScore> scores;  ///< rsm first, then the roster.
+
+  /// Resolved stepping lanes; NOT part of the frontier (thread-invariance).
+  std::size_t thread_count = 1;
+};
+
+/// Runs the bake-off for one scenario spec. Throws std::invalid_argument
+/// for invalid specs and for specs with a quiescent dead band (approximate
+/// stepping is not golden-pinnable; the runner CLI skips those).
+[[nodiscard]] BakeoffResult run_bakeoff(const ScenarioSpec& spec);
+
+/// Machine-readable per-scenario frontier: header lines, then one
+/// `frontier <planner> ...` line per entrant in roster order.
+/// Byte-identical for any thread count.
+[[nodiscard]] std::string format_frontier(const BakeoffResult& result);
+
+}  // namespace headroom::scenario

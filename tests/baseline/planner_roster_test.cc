@@ -1,0 +1,342 @@
+// Unit coverage for the bake-off roster: the three native planners
+// (prediction-augmented scaling, switching-cost right-sizing, throughput
+// probing) and the window adapters around the pre-existing queueing and
+// reactive baselines. All tests run against a synthetic response surface
+// with closed-form inverses so expected serving counts are exact.
+#include "baseline/planner_roster.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/capacity_planner.h"
+
+namespace headroom::baseline {
+namespace {
+
+// latency(r) = 5 + 0.0005 r^2 ms, cpu(r) = 0.08 r + 2 %. With the 50 ms
+// SLO and the planners' default 1 ms margin, per-server load must stay at
+// or below sqrt(44 / 0.0005) ~= 296.6 rps: 900 total rps needs 4 servers,
+// 1800 needs 7, 100 needs 1.
+core::PoolResponseModel test_surface() {
+  stats::LinearFit cpu;
+  cpu.slope = 0.08;
+  cpu.intercept = 2.0;
+  cpu.r_squared = 1.0;
+  cpu.n = 100;
+  stats::PolynomialFit latency;
+  latency.coeffs = {5.0, 0.0, 0.0005};
+  latency.r_squared = 1.0;
+  latency.n = 100;
+  return core::PoolResponseModel::from_fits(cpu, latency);
+}
+
+core::PlannerContext test_context(const core::PoolResponseModel* model,
+                                  std::size_t pool_size = 32) {
+  core::PlannerContext ctx;
+  ctx.model = model;
+  ctx.latency_slo_ms = 50.0;
+  ctx.pool_size = pool_size;
+  ctx.min_servers = 1;
+  ctx.window_seconds = 120;
+  return ctx;
+}
+
+core::PlannerWindow make_window(std::size_t index, double total_rps,
+                                double latency_ms = 0.0,
+                                double cpu_pct = 0.0) {
+  core::PlannerWindow w;
+  w.start = static_cast<telemetry::SimTime>(index) * 120;
+  w.seconds = 120;
+  w.total_rps = total_rps;
+  w.latency_p95_ms = latency_ms;
+  w.cpu_pct = cpu_pct;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// PredictionScalingPlanner
+
+TEST(PredictionScaling, RejectsOutOfRangeTrust) {
+  for (double trust : {-0.1, 1.5}) {
+    PredictionScalingOptions opt;
+    opt.trust = trust;
+    EXPECT_THROW(PredictionScalingPlanner{opt}, std::invalid_argument);
+  }
+}
+
+TEST(PredictionScaling, ZeroTrustScalesUpFastAndReleasesLazily) {
+  const core::PoolResponseModel surface = test_surface();
+  PredictionScalingOptions opt;
+  opt.trust = 0.0;
+  opt.switch_cost_windows = 3;  // hold = (1 - 0) * 3 = 3 windows
+  PredictionScalingPlanner planner(opt);
+  EXPECT_EQ(planner.name(), "prediction_ml");
+
+  planner.start(test_context(&surface), 4);
+  // Spike: the need jumps to 7 and is served immediately.
+  EXPECT_EQ(planner.plan_window(make_window(0, 1800.0)), 7u);
+  // Demand back down (need 4): the ski-rental hold keeps capacity for
+  // three consecutive lower-need windows, releasing on the fourth.
+  EXPECT_EQ(planner.plan_window(make_window(1, 900.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(2, 900.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(3, 900.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(4, 900.0)), 4u);
+}
+
+TEST(PredictionScaling, FullTrustPreProvisionsForTheForecastSpike) {
+  const core::PoolResponseModel surface = test_surface();
+  PredictionScalingOptions opt;
+  opt.trust = 1.0;
+  opt.lead_windows = 2;
+  opt.forecaster.season_seconds = 480;  // 4 windows per season
+  opt.forecaster.buckets = 4;
+  PredictionScalingPlanner planner(opt);
+
+  planner.start(test_context(&surface), 1);
+  // Season one teaches the shape: a spike in bucket 2.
+  (void)planner.plan_window(make_window(0, 100.0));
+  (void)planner.plan_window(make_window(1, 100.0));
+  (void)planner.plan_window(make_window(2, 2000.0));
+  (void)planner.plan_window(make_window(3, 100.0));
+  // Season two, bucket 0: demand is low (need 1) but the forecast two
+  // windows ahead lands on the learned spike (2000 rps -> 7 servers), and
+  // full trust pre-provisions for it.
+  EXPECT_EQ(planner.plan_window(make_window(4, 100.0)), 7u);
+  // Full trust also releases immediately once the forecast horizon clears
+  // the spike: at bucket 2 the lead points at bucket 0 (100 rps).
+  EXPECT_EQ(planner.plan_window(make_window(6, 2000.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(7, 100.0)), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// RightSizingPlanner
+
+TEST(RightSizing, HoldsCapacityForTheBreakEvenThenReleases) {
+  const core::PoolResponseModel surface = test_surface();
+  RightSizingOptions opt;
+  opt.switching_cost_windows = 3;
+  RightSizingPlanner planner(opt);
+  EXPECT_EQ(planner.name(), "right_sizing");
+
+  planner.start(test_context(&surface), 1);
+  // One spike window (need 7), then sustained low demand (need 1): the
+  // spike level stays provisioned for exactly beta = 3 further windows.
+  EXPECT_EQ(planner.plan_window(make_window(0, 1800.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(1, 100.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(2, 100.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(3, 100.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(4, 100.0)), 1u);
+}
+
+TEST(RightSizing, ZeroSwitchingCostDegeneratesToFollowTheNeed) {
+  const core::PoolResponseModel surface = test_surface();
+  RightSizingOptions opt;
+  opt.switching_cost_windows = 0;
+  RightSizingPlanner planner(opt);
+
+  planner.start(test_context(&surface), 1);
+  EXPECT_EQ(planner.plan_window(make_window(0, 1800.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(1, 900.0)), 4u);
+  EXPECT_EQ(planner.plan_window(make_window(2, 100.0)), 1u);
+}
+
+TEST(RightSizing, InterveningDemandRefreshesTheHold) {
+  const core::PoolResponseModel surface = test_surface();
+  RightSizingOptions opt;
+  opt.switching_cost_windows = 2;
+  RightSizingPlanner planner(opt);
+
+  planner.start(test_context(&surface), 1);
+  EXPECT_EQ(planner.plan_window(make_window(0, 1800.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(1, 100.0)), 7u);
+  // A fresh (smaller) burst restarts the clock for its own level once the
+  // spike ages out: 900 rps needs 4.
+  EXPECT_EQ(planner.plan_window(make_window(2, 900.0)), 7u);
+  EXPECT_EQ(planner.plan_window(make_window(3, 100.0)), 4u);
+  EXPECT_EQ(planner.plan_window(make_window(4, 100.0)), 4u);
+  EXPECT_EQ(planner.plan_window(make_window(5, 100.0)), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ThroughputProbingPlanner
+
+TEST(Probing, ValidatesOptions) {
+  ThroughputProbingOptions opt;
+  opt.settle_windows = 0;
+  EXPECT_THROW(ThroughputProbingPlanner{opt}, std::invalid_argument);
+  for (double fraction : {0.0, 1.0, -0.2}) {
+    ThroughputProbingOptions bad;
+    bad.probe_step_fraction = fraction;
+    EXPECT_THROW(ThroughputProbingPlanner{bad}, std::invalid_argument);
+  }
+}
+
+TEST(Probing, MeasuredViolationStepsUpImmediately) {
+  const core::PoolResponseModel surface = test_surface();
+  ThroughputProbingPlanner planner;
+  EXPECT_EQ(planner.name(), "probing");
+
+  planner.start(test_context(&surface, /*pool_size=*/20), 10);
+  // 60 ms measured against the 50 ms SLO: step up by ceil(10 * 0.10) = 1
+  // without waiting out the settle period.
+  EXPECT_EQ(planner.plan_window(make_window(0, 900.0, /*latency=*/60.0)),
+            11u);
+  // Capped at the pool.
+  planner.start(test_context(&surface, /*pool_size=*/10), 10);
+  EXPECT_EQ(planner.plan_window(make_window(0, 900.0, 60.0)), 10u);
+}
+
+TEST(Probing, WalksDownWhileComfortable) {
+  const core::PoolResponseModel surface = test_surface();
+  ThroughputProbingOptions opt;
+  opt.settle_windows = 2;
+  ThroughputProbingPlanner planner(opt);
+
+  planner.start(test_context(&surface), 10);
+  // First settle period at 10 is comfortable (10 ms << 47 ms comfort
+  // line): probe down one step.
+  EXPECT_EQ(planner.plan_window(make_window(0, 900.0, 10.0)), 10u);
+  EXPECT_EQ(planner.plan_window(make_window(1, 900.0, 10.0)), 9u);
+  // The probe settles comfortably: adopted, and the walk continues.
+  EXPECT_EQ(planner.plan_window(make_window(2, 900.0, 10.0)), 9u);
+  EXPECT_EQ(planner.plan_window(make_window(3, 900.0, 10.0)), 9u);
+  EXPECT_EQ(planner.plan_window(make_window(4, 900.0, 10.0)), 9u);
+  EXPECT_EQ(planner.plan_window(make_window(5, 900.0, 10.0)), 8u);
+}
+
+TEST(Probing, FailedProbeRevertsAndBacksOff) {
+  const core::PoolResponseModel surface = test_surface();
+  ThroughputProbingOptions opt;
+  opt.settle_windows = 2;
+  opt.backoff_periods = 2;
+  ThroughputProbingPlanner planner(opt);
+
+  planner.start(test_context(&surface), 10);
+  // Comfortable hold -> probe down to 9.
+  EXPECT_EQ(planner.plan_window(make_window(0, 900.0, 10.0)), 10u);
+  EXPECT_EQ(planner.plan_window(make_window(1, 900.0, 10.0)), 9u);
+  // At 9 the latency creeps to 48 ms — inside the SLO but past the 47 ms
+  // comfort line: the probe fails, capacity reverts, probing backs off.
+  EXPECT_EQ(planner.plan_window(make_window(2, 900.0, 48.0)), 9u);
+  EXPECT_EQ(planner.plan_window(make_window(3, 900.0, 48.0)), 10u);
+  // Two full settle periods of comfort burn the backoff without probing.
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(planner.plan_window(make_window(i, 900.0, 10.0)), 10u) << i;
+  }
+  // Backoff spent: the next judged period probes again.
+  EXPECT_EQ(planner.plan_window(make_window(8, 900.0, 10.0)), 10u);
+  EXPECT_EQ(planner.plan_window(make_window(9, 900.0, 10.0)), 9u);
+}
+
+TEST(Probing, ProactivelyStepsUpNearTheSlo) {
+  const core::PoolResponseModel surface = test_surface();
+  ThroughputProbingOptions opt;
+  opt.settle_windows = 2;
+  ThroughputProbingPlanner planner(opt);
+
+  planner.start(test_context(&surface, /*pool_size=*/20), 10);
+  // 48 ms: no violation yet, but within the 3 ms headroom of the SLO —
+  // after the settle period the controller steps up without waiting to
+  // get burned.
+  EXPECT_EQ(planner.plan_window(make_window(0, 900.0, 48.0)), 10u);
+  EXPECT_EQ(planner.plan_window(make_window(1, 900.0, 48.0)), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Window adapters
+
+TEST(QueueingWindow, PlansForTheRunningPeakAndNeverReleases) {
+  const core::PoolResponseModel surface = test_surface();
+  QueueingWindowPlanner planner;
+  EXPECT_EQ(planner.name(), "queueing");
+
+  planner.start(test_context(&surface), 4);
+  const std::size_t at_spike = planner.plan_window(make_window(0, 5000.0));
+  EXPECT_GE(at_spike, 1u);
+  // Demand collapses; the white-box plan stays sized for the peak.
+  EXPECT_EQ(planner.plan_window(make_window(1, 100.0)), at_spike);
+  EXPECT_EQ(planner.plan_window(make_window(2, 0.0)), at_spike);
+}
+
+TEST(QueueingWindow, ZeroDemandKeepsTheCurrentServing) {
+  const core::PoolResponseModel surface = test_surface();
+  QueueingWindowPlanner planner;
+  planner.start(test_context(&surface), 4);
+  core::PlannerWindow w = make_window(0, 0.0);
+  w.serving = 6.0;
+  EXPECT_EQ(planner.plan_window(w), 6u);
+}
+
+TEST(QueueingWindow, AutoCalibrationMatchesAnExplicitServiceTime) {
+  // The auto path reads the surface's warm floor (5 ms) as an exponential
+  // P95 -> service time 5 / 2.9957... ms; pinning that same number by hand
+  // must produce identical plans.
+  const core::PoolResponseModel surface = test_surface();
+  QueueingWindowPlanner auto_cal;
+  QueueingWindowOptions pinned_opt;
+  pinned_opt.service_time_ms = 5.0 / 2.9957322735539909;
+  QueueingWindowPlanner pinned(pinned_opt);
+
+  auto_cal.start(test_context(&surface), 4);
+  pinned.start(test_context(&surface), 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double rps = 500.0 * static_cast<double>(i + 1);
+    EXPECT_EQ(auto_cal.plan_window(make_window(i, rps)),
+              pinned.plan_window(make_window(i, rps)))
+        << rps;
+  }
+}
+
+TEST(ReactiveWindow, ScalesOutUnderSustainedHighCpuAfterTheLag) {
+  const core::PoolResponseModel surface = test_surface();
+  ReactiveWindowPlanner planner;
+  EXPECT_EQ(planner.name(), "reactive");
+
+  core::PlannerContext ctx = test_context(&surface, /*pool_size=*/64);
+  planner.start(ctx, 8);
+  // Hot windows: measured CPU far above the surface-derived scale-out
+  // threshold. The decision is immediate (control interval == window) but
+  // provisioned capacity arrives only after the provisioning lag
+  // (1800 s = 15 windows), so early windows still serve 8.
+  std::size_t serving = 8;
+  std::vector<std::size_t> path;
+  for (std::size_t i = 0; i < 20; ++i) {
+    serving = planner.plan_window(make_window(i, 6000.0, 20.0, 90.0));
+    path.push_back(serving);
+  }
+  EXPECT_EQ(path.front(), 8u);
+  EXPECT_GT(path.back(), 8u);
+  // Nothing lands before the lag has elapsed.
+  for (std::size_t i = 0; i + 1 < 15; ++i) {
+    EXPECT_EQ(path[i], 8u) << i;
+  }
+}
+
+TEST(ReactiveWindow, IdleCpuScalesInWithoutBreachingTheFloor) {
+  const core::PoolResponseModel surface = test_surface();
+  ReactiveWindowPlanner planner;
+  core::PlannerContext ctx = test_context(&surface, /*pool_size=*/64);
+  ctx.min_servers = 2;
+  planner.start(ctx, 16);
+  std::size_t serving = 16;
+  for (std::size_t i = 0; i < 60; ++i) {
+    serving = planner.plan_window(make_window(i, 50.0, 5.5, 2.5));
+  }
+  EXPECT_LT(serving, 16u);
+  EXPECT_GE(serving, 2u);
+}
+
+TEST(DefaultRoster, FixedFrontierOrder) {
+  const auto roster = default_roster();
+  ASSERT_EQ(roster.size(), 5u);
+  EXPECT_EQ(roster[0]->name(), "queueing");
+  EXPECT_EQ(roster[1]->name(), "reactive");
+  EXPECT_EQ(roster[2]->name(), "prediction_ml");
+  EXPECT_EQ(roster[3]->name(), "right_sizing");
+  EXPECT_EQ(roster[4]->name(), "probing");
+}
+
+}  // namespace
+}  // namespace headroom::baseline

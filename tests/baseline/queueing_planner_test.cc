@@ -81,6 +81,79 @@ TEST(QueueingPlanner, StaleServiceTimeMisSizesThePool) {
             0.6 * static_cast<double>(true_plan.servers));
 }
 
+// Regression: with fractional concurrency_per_server, plan()'s utilization
+// floor used the un-truncated product servers * concurrency while
+// predict_p95_latency_ms() truncated it to the integer c the M/M/c formulas
+// need. The search could then start below the real floor and return a plan
+// whose *effective* utilization exceeds the ceiling it reports.
+TEST(QueueingPlanner, FractionalConcurrencyRespectsUtilizationCeiling) {
+  QueueingPlannerOptions opt = default_options();
+  opt.service_time_ms = 1.0;  // mu = 1000 per logical server
+  opt.concurrency_per_server = 1.7;
+  opt.max_utilization = 0.85;
+  const QueueingPlanner planner(opt);
+  const QueueingPlan plan = planner.plan(2800.0, core::LatencySlo{50.0});
+  // Pre-fix: servers = ceil(2800 / (0.85 * 1.7 * 1000)) = 2, but the
+  // truncated c_eff = floor(2 * 1.7) = 3, so the pool really runs at
+  // 2800 / 3000 = 0.933 while reporting 0.82. Post-fix the floor demands
+  // c_eff >= 4, i.e. servers >= 3.
+  EXPECT_GE(plan.servers, 3u);
+  const double mu = 1000.0;
+  const double effective_util =
+      2800.0 /
+      (static_cast<double>(planner.effective_servers(plan.servers)) * mu);
+  EXPECT_LE(effective_util, 0.85 + 1e-9);
+  EXPECT_NEAR(plan.utilization, effective_util, 1e-12);
+}
+
+TEST(QueueingPlanner, HalfConcurrencyPerServer) {
+  // concurrency_per_server = 0.5: every logical server costs two physical
+  // ones, and odd physical counts waste the remainder to truncation.
+  QueueingPlannerOptions opt = default_options();
+  opt.service_time_ms = 1.0;
+  opt.concurrency_per_server = 0.5;
+  opt.max_utilization = 0.85;
+  const QueueingPlanner planner(opt);
+  const QueueingPlan plan = planner.plan(1900.0, core::LatencySlo{50.0});
+  // Floor: c_eff >= ceil(1900 / 850) = 3 logical servers, which needs 6
+  // physical ones. Pre-fix the un-truncated floor accepted 5 physical
+  // (2.5 logical), truncating to c_eff = 2 and a real utilization of 0.95.
+  EXPECT_EQ(plan.servers, 6u);
+  EXPECT_EQ(planner.effective_servers(plan.servers), 3u);
+  EXPECT_NEAR(plan.utilization, 1900.0 / 3000.0, 1e-12);
+  EXPECT_LE(plan.predicted_p95_latency_ms, 50.0);
+}
+
+TEST(QueueingPlanner, PlanAndPredictShareEffectiveServers) {
+  // The plan's predicted latency must be exactly what predict() reports for
+  // the same operating point — one truncation, one answer.
+  QueueingPlannerOptions opt = default_options();
+  opt.service_time_ms = 2.0;
+  opt.concurrency_per_server = 2.3;
+  const QueueingPlanner planner(opt);
+  const QueueingPlan plan = planner.plan(4321.0, core::LatencySlo{30.0});
+  EXPECT_DOUBLE_EQ(plan.predicted_p95_latency_ms,
+                   planner.predict_p95_latency_ms(4321.0, plan.servers));
+}
+
+TEST(QueueingPlanner, IntegerConcurrencyUnchangedByEffectiveServersFix) {
+  // For integer concurrency truncation is exact, so the fixed floor must
+  // agree with the old closed form: servers = ceil(ceil(lambda / (u*mu)) / c)
+  // has the same value as the pre-fix ceil(lambda / (u*mu*c)).
+  const QueueingPlanner planner(default_options());
+  const QueueingPlan plan = planner.plan(10000.0, core::LatencySlo{20.0});
+  EXPECT_EQ(planner.effective_servers(plan.servers), plan.servers * 16u);
+  EXPECT_LE(plan.utilization, 0.85 + 1e-9);
+}
+
+TEST(QueueingPlanner, RejectsOutOfRangeUtilization) {
+  QueueingPlannerOptions bad = default_options();
+  bad.max_utilization = 0.0;
+  EXPECT_THROW(QueueingPlanner{bad}, std::invalid_argument);
+  bad.max_utilization = 1.5;
+  EXPECT_THROW(QueueingPlanner{bad}, std::invalid_argument);
+}
+
 TEST(QueueingPlanner, PlanRejectsNonPositiveLoad) {
   const QueueingPlanner planner(default_options());
   EXPECT_THROW((void)planner.plan(0.0, core::LatencySlo{20.0}),

@@ -92,6 +92,52 @@ TEST(MMc, LightLoadP95ApproachesServiceQuantile) {
   EXPECT_NEAR(mm_c_p95_sojourn_s(0.001, 1.0, 16), -std::log(0.05), 0.01);
 }
 
+TEST(MMc, AtTheStabilityBoundary) {
+  // a == c exactly: the queue has no stationary distribution. Everything
+  // downstream of erlang_c must report that, not divide by zero.
+  EXPECT_DOUBLE_EQ(erlang_c(4.0, 4), 1.0);
+  EXPECT_TRUE(std::isinf(mm_c_mean_wait_s(4.0, 1.0, 4)));
+  EXPECT_TRUE(std::isinf(mm_c_p95_sojourn_s(4.0, 1.0, 4)));
+  // Just inside the boundary the answers are finite but explode as a -> c.
+  const double near = mm_c_p95_sojourn_s(4.0 - 1e-9, 1.0, 4);
+  EXPECT_TRUE(std::isfinite(near));
+  EXPECT_GT(near, mm_c_p95_sojourn_s(3.9, 1.0, 4));
+}
+
+TEST(MMc, P95LowWaitProbabilityBranchIsServiceQuantileExactly) {
+  // When P(wait) <= 0.05 the P95 sojourn is the service quantile alone —
+  // the wait term must vanish exactly, not approximately, and the result
+  // must be continuous across the branch (never below the service P95).
+  const double mu = 2.0;
+  // lambda = 0.5, a = lambda/mu = 0.25 on c = 8: pw is far below 0.05.
+  ASSERT_LE(erlang_c(0.25, 8), 0.05);
+  EXPECT_DOUBLE_EQ(mm_c_p95_sojourn_s(0.5, mu, 8), -std::log(0.05) / mu);
+  // On the other branch the sojourn strictly exceeds the service quantile.
+  const double lambda_heavy = 7.5 * mu;  // a = 7.5 on c = 8, pw >> 0.05
+  ASSERT_GT(erlang_c(7.5, 8), 0.05);
+  EXPECT_GT(mm_c_p95_sojourn_s(lambda_heavy, mu, 8), -std::log(0.05) / mu);
+}
+
+TEST(MMc, ZeroServersInfiniteSojourn) {
+  EXPECT_TRUE(std::isinf(mm_c_mean_wait_s(1.0, 1.0, 0)));
+  EXPECT_TRUE(std::isinf(mm_c_p95_sojourn_s(1.0, 1.0, 0)));
+  // Even at zero arrivals, zero servers cannot complete the request that
+  // defines the sojourn quantile.
+  EXPECT_TRUE(std::isinf(mm_c_p95_sojourn_s(0.0, 1.0, 0)));
+  EXPECT_DOUBLE_EQ(erlang_c(0.0, 0), 1.0);
+}
+
+TEST(ErlangB, NearBoundaryStaysInUnitInterval) {
+  // The recurrence must stay numerically inside [0, 1] even at a == c and
+  // far beyond (a >> c), where naive factorial formulas overflow.
+  for (const double a : {16.0, 64.0, 512.0}) {
+    const double b = erlang_b(a, 16);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+  EXPECT_GT(erlang_b(512.0, 16), 0.95);  // overload: almost everything blocks
+}
+
 TEST(MMc, BadRatesThrow) {
   EXPECT_THROW((void)mm_c_mean_wait_s(-1.0, 1.0, 1), std::invalid_argument);
   EXPECT_THROW((void)mm_c_mean_wait_s(1.0, 0.0, 1), std::invalid_argument);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 namespace headroom::baseline {
 namespace {
@@ -31,12 +32,11 @@ AutoscalerOptions default_options() {
   opt.drain_lag_s = 300;
   opt.control_interval_s = 120;
   opt.min_servers = 4;
+  opt.cpu_per_rps = 0.028;
+  opt.cpu_base = 1.4;
+  opt.cpu_slo_pct = 75.0;
   return opt;
 }
-
-constexpr double kCpuPerRps = 0.028;
-constexpr double kCpuBase = 1.4;
-constexpr double kCpuSlo = 75.0;
 
 TEST(ReactiveAutoscaler, RejectsBadOptions) {
   AutoscalerOptions bad = default_options();
@@ -45,11 +45,83 @@ TEST(ReactiveAutoscaler, RejectsBadOptions) {
   bad = default_options();
   bad.control_interval_s = 0;
   EXPECT_THROW(ReactiveAutoscaler{bad}, std::invalid_argument);
+  bad = default_options();
+  bad.cpu_per_rps = 0.0;
+  EXPECT_THROW(ReactiveAutoscaler{bad}, std::invalid_argument);
+}
+
+// Regression: target_cpu_pct <= cpu_base used to slip through construction
+// and flip the sizing division negative; the damping clamp then silently
+// turned every scale-out decision into a scale-in toward min_servers.
+TEST(ReactiveAutoscaler, RejectsTargetCpuAtOrBelowCpuBase) {
+  AutoscalerOptions bad = default_options();
+  bad.target_cpu_pct = 50.0;
+  bad.cpu_base = 55.0;  // pre-fix: silently drains the pool under load
+  EXPECT_THROW(
+      {
+        try {
+          ReactiveAutoscaler scaler(bad);
+        } catch (const std::invalid_argument& e) {
+          EXPECT_STREQ(e.what(),
+                       "ReactiveAutoscaler: target_cpu_pct must exceed "
+                       "cpu_base");
+          throw;
+        }
+      },
+      std::invalid_argument);
+  bad.cpu_base = 50.0;  // equality is just as degenerate (division by zero)
+  EXPECT_THROW(ReactiveAutoscaler{bad}, std::invalid_argument);
+}
+
+// Regression: max_step_fraction >= 1 used to be accepted; the lower damping
+// bound target*(1 - f) then goes non-positive, so "damping" could swing the
+// pool to (almost) zero in one decision.
+TEST(ReactiveAutoscaler, RejectsMaxStepFractionOutsideUnitInterval) {
+  for (const double f : {1.0, 3.0, 0.0, -0.5}) {
+    AutoscalerOptions bad = default_options();
+    bad.max_step_fraction = f;
+    EXPECT_THROW(
+        {
+          try {
+            ReactiveAutoscaler scaler(bad);
+          } catch (const std::invalid_argument& e) {
+            EXPECT_STREQ(e.what(),
+                         "ReactiveAutoscaler: max_step_fraction must be in "
+                         "(0, 1)");
+            throw;
+          }
+        },
+        std::invalid_argument)
+        << "max_step_fraction=" << f;
+  }
+}
+
+// Regression: mis-ordered thresholds (scale_in >= scale_out) used to be
+// accepted; every CPU reading then lands outside the dead band and the
+// controller thrashes between out and in each interval.
+TEST(ReactiveAutoscaler, RejectsMisorderedThresholds) {
+  AutoscalerOptions bad = default_options();
+  bad.scale_out_threshold = 60.0;
+  bad.scale_in_threshold = 70.0;
+  EXPECT_THROW(
+      {
+        try {
+          ReactiveAutoscaler scaler(bad);
+        } catch (const std::invalid_argument& e) {
+          EXPECT_STREQ(e.what(),
+                       "ReactiveAutoscaler: scale_in_threshold must be below "
+                       "scale_out_threshold");
+          throw;
+        }
+      },
+      std::invalid_argument);
+  bad.scale_in_threshold = 60.0;  // equality also leaves no dead band
+  EXPECT_THROW(ReactiveAutoscaler{bad}, std::invalid_argument);
 }
 
 TEST(ReactiveAutoscaler, EmptyTraceEmptyRun) {
   const ReactiveAutoscaler scaler(default_options());
-  const AutoscalerRun run = scaler.replay({}, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  const AutoscalerRun run = scaler.replay({}, 10);
   EXPECT_TRUE(run.samples.empty());
   EXPECT_EQ(run.violation_fraction(), 0.0);
 }
@@ -57,8 +129,7 @@ TEST(ReactiveAutoscaler, EmptyTraceEmptyRun) {
 TEST(ReactiveAutoscaler, TracksDiurnalLoad) {
   const ReactiveAutoscaler scaler(default_options());
   const TimeSeries trace = diurnal_trace(40000.0, 15000.0, 3);
-  const AutoscalerRun run =
-      scaler.replay(trace, 30, kCpuPerRps, kCpuBase, kCpuSlo);
+  const AutoscalerRun run = scaler.replay(trace, 30);
   // Capacity must breathe: peak serving well above the minimum serving.
   std::size_t min_serving = run.samples.front().serving;
   for (const auto& s : run.samples) {
@@ -76,13 +147,13 @@ TEST(ReactiveAutoscaler, TracksDiurnalLoad) {
 }
 
 TEST(ReactiveAutoscaler, UsesFewerServerHoursThanStaticPeak) {
-  const ReactiveAutoscaler scaler(default_options());
+  const AutoscalerOptions opt = default_options();
+  const ReactiveAutoscaler scaler(opt);
   const TimeSeries trace = diurnal_trace(40000.0, 15000.0, 3);
-  const AutoscalerRun run =
-      scaler.replay(trace, 30, kCpuPerRps, kCpuBase, kCpuSlo);
+  const AutoscalerRun run = scaler.replay(trace, 30);
   // Static sizing for peak at target CPU:
   const double static_servers =
-      kCpuPerRps * 40000.0 / (50.0 - kCpuBase);
+      opt.cpu_per_rps * 40000.0 / (50.0 - opt.cpu_base);
   EXPECT_LT(run.mean_serving(), static_servers);
 }
 
@@ -96,8 +167,7 @@ TEST(ReactiveAutoscaler, ProvisioningLagCausesViolationsOnSpike) {
   for (SimTime t = 0; t < 4 * 3600; t += 120) {
     trace.append(t, t >= 3600 && t < 3600 + 7200 ? 35000.0 : 12000.0);
   }
-  const AutoscalerRun run =
-      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  const AutoscalerRun run = scaler.replay(trace, 10);
   EXPECT_GT(run.violation_seconds, 600.0);
 }
 
@@ -105,14 +175,13 @@ TEST(ReactiveAutoscaler, ZeroLagScalesThroughSpikeCleanly) {
   AutoscalerOptions opt = default_options();
   opt.provision_lag_s = 0;
   opt.drain_lag_s = 0;
-  opt.max_step_fraction = 3.0;  // allow big jumps
+  opt.max_step_fraction = 0.95;  // near-unconstrained jumps, still valid
   const ReactiveAutoscaler scaler(opt);
   TimeSeries trace;
   for (SimTime t = 0; t < 4 * 3600; t += 120) {
     trace.append(t, t >= 3600 && t < 3600 + 7200 ? 35000.0 : 12000.0);
   }
-  const AutoscalerRun run =
-      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  const AutoscalerRun run = scaler.replay(trace, 10);
   // With instantaneous provisioning the spike is absorbed within a couple
   // of control periods.
   EXPECT_LT(run.violation_seconds, 600.0);
@@ -122,8 +191,7 @@ TEST(ReactiveAutoscaler, RespectsMinServers) {
   const ReactiveAutoscaler scaler(default_options());
   TimeSeries trace;
   for (SimTime t = 0; t < 86400; t += 120) trace.append(t, 10.0);  // ~no load
-  const AutoscalerRun run =
-      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  const AutoscalerRun run = scaler.replay(trace, 10);
   for (const auto& s : run.samples) EXPECT_GE(s.serving, 4u);
 }
 
@@ -134,8 +202,7 @@ TEST(ReactiveAutoscaler, StepDampingLimitsChangeRate) {
   const ReactiveAutoscaler scaler(opt);
   TimeSeries trace;
   for (SimTime t = 0; t < 7200; t += 120) trace.append(t, 50000.0);
-  const AutoscalerRun run =
-      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  const AutoscalerRun run = scaler.replay(trace, 10);
   for (std::size_t i = 1; i < run.samples.size(); ++i) {
     const double prev = static_cast<double>(run.samples[i - 1].target);
     const double cur = static_cast<double>(run.samples[i].target);
@@ -143,12 +210,22 @@ TEST(ReactiveAutoscaler, StepDampingLimitsChangeRate) {
   }
 }
 
+TEST(ReactiveAutoscaler, DecideHoldsInsideDeadBand) {
+  const ReactiveAutoscaler scaler(default_options());
+  // CPU inside [scale_in, scale_out]: the committed target is untouched.
+  EXPECT_EQ(scaler.decide(30000.0, 45.0, 17), 17u);
+  EXPECT_EQ(scaler.decide(30000.0, 35.0, 17), 17u);
+  EXPECT_EQ(scaler.decide(30000.0, 60.0, 17), 17u);
+  // Above the band it grows, below it shrinks.
+  EXPECT_GT(scaler.decide(60000.0, 80.0, 17), 17u);
+  EXPECT_LT(scaler.decide(5000.0, 10.0, 17), 17u);
+}
+
 TEST(ReactiveAutoscaler, ServerSecondsIntegratesCapacity) {
   const ReactiveAutoscaler scaler(default_options());
   TimeSeries trace;
   for (SimTime t = 0; t < 1200; t += 120) trace.append(t, 7000.0);
-  const AutoscalerRun run =
-      scaler.replay(trace, 10, kCpuPerRps, kCpuBase, kCpuSlo);
+  const AutoscalerRun run = scaler.replay(trace, 10);
   EXPECT_NEAR(run.total_seconds, 1200.0, 1e-9);
   EXPECT_GE(run.server_seconds, 10.0 * 1200.0 * 0.5);
 }

@@ -98,7 +98,7 @@ TEST(CliArgs, RejectsUnknownCommand) {
   const ParseOutcome outcome = parse_args(Args{"frobnicate"});
   EXPECT_FALSE(outcome.ok);
   EXPECT_EQ(outcome.error,
-            "unknown command 'frobnicate' (expected run, serve, "
+            "unknown command 'frobnicate' (expected run, serve, bakeoff, "
             "export-trace, list-scenarios, or flags)");
 }
 
@@ -260,11 +260,65 @@ TEST(CliArgs, EmptyServiceIsAnError) {
   EXPECT_EQ(outcome.error, "--service needs a value");
 }
 
+TEST(CliArgs, BakeoffDefaultsToTheScenarioLibrary) {
+  const ParseOutcome outcome = parse_args(Args{"bakeoff"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.command, Command::kBakeoff);
+  EXPECT_EQ(outcome.options.scenario_dir, "examples/scenarios");
+  EXPECT_FALSE(outcome.options.dir_set);
+  EXPECT_TRUE(outcome.options.scenario_path.empty());
+  EXPECT_TRUE(outcome.options.bakeoff_out.empty());
+  EXPECT_FALSE(outcome.options.quiet);
+}
+
+TEST(CliArgs, BakeoffParsesAllFlags) {
+  const ParseOutcome outcome = parse_args(
+      Args{"bakeoff", "--dir", "scns", "--out", "frontiers", "--quiet",
+           "--threads", "4"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.scenario_dir, "scns");
+  EXPECT_TRUE(outcome.options.dir_set);
+  EXPECT_EQ(outcome.options.bakeoff_out, "frontiers");
+  EXPECT_TRUE(outcome.options.quiet);
+  EXPECT_EQ(outcome.options.threads, 4u);
+  EXPECT_TRUE(outcome.options.threads_set);
+}
+
+TEST(CliArgs, BakeoffParsesSingleScenario) {
+  const ParseOutcome outcome =
+      parse_args(Args{"bakeoff", "--scenario", "f.scn"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.scenario_path, "f.scn");
+  EXPECT_FALSE(outcome.options.dir_set);
+}
+
+TEST(CliArgs, BakeoffRejectsScenarioAndDirTogether) {
+  const ParseOutcome outcome =
+      parse_args(Args{"bakeoff", "--scenario", "f.scn", "--dir", "d"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error, "bakeoff takes --scenario or --dir, not both");
+}
+
+TEST(CliArgs, BakeoffRejectsForeignFlags) {
+  EXPECT_EQ(parse_args(Args{"bakeoff", "--fleet", "3"}).error,
+            "unknown argument '--fleet' for bakeoff");
+  EXPECT_EQ(parse_args(Args{"bakeoff", "--follow"}).error,
+            "unknown argument '--follow' for bakeoff");
+}
+
+TEST(CliArgs, BakeoffValueFlagsRequireValues) {
+  EXPECT_EQ(parse_args(Args{"bakeoff", "--out"}).error,
+            "--out needs a value");
+  EXPECT_EQ(parse_args(Args{"bakeoff", "--dir"}).error,
+            "--dir needs a value");
+}
+
 TEST(CliArgs, UsageMentionsEveryCommand) {
   const std::string text = usage();
   EXPECT_NE(text.find("run --scenario"), std::string::npos);
   EXPECT_NE(text.find("list-scenarios"), std::string::npos);
   EXPECT_NE(text.find("--threads"), std::string::npos);
+  EXPECT_NE(text.find("bakeoff"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,259 @@
+#include "core/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace headroom::core {
+namespace {
+
+// Synthetic response surface with closed-form inverses:
+//   latency(r) = 5 + 0.0005 r^2  ms  (50 ms SLO crossed at r = 300)
+//   cpu(r)     = 0.08 r + 2      %   (95% saturation at r = 1162.5)
+PoolResponseModel test_surface() {
+  stats::LinearFit cpu;
+  cpu.slope = 0.08;
+  cpu.intercept = 2.0;
+  cpu.r_squared = 1.0;
+  cpu.n = 100;
+  stats::PolynomialFit latency;
+  latency.coeffs = {5.0, 0.0, 0.0005};
+  latency.r_squared = 1.0;
+  latency.n = 100;
+  return PoolResponseModel::from_fits(cpu, latency);
+}
+
+PlannerContext test_context(const PoolResponseModel* model,
+                            std::size_t pool_size = 32) {
+  PlannerContext ctx;
+  ctx.model = model;
+  ctx.latency_slo_ms = 50.0;
+  ctx.pool_size = pool_size;
+  ctx.min_servers = 1;
+  ctx.window_seconds = 120;
+  return ctx;
+}
+
+std::vector<PlannerWindow> flat_grid(std::size_t windows, double total_rps,
+                                     telemetry::SimTime seconds = 120) {
+  std::vector<PlannerWindow> grid(windows);
+  for (std::size_t i = 0; i < windows; ++i) {
+    grid[i].start = static_cast<telemetry::SimTime>(i) * seconds;
+    grid[i].seconds = seconds;
+    grid[i].total_rps = total_rps;
+  }
+  return grid;
+}
+
+TEST(ServersWithinSlo, FindsSmallestFeasibleCount) {
+  const PoolResponseModel surface = test_surface();
+  const PlannerContext ctx = test_context(&surface);
+  // 900 total rps: 3 servers put each at exactly 300 rps -> 50 ms, on the
+  // SLO; 2 servers (450 rps each) predict ~106 ms, over it.
+  EXPECT_EQ(servers_within_slo(ctx, 900.0), 3u);
+  EXPECT_EQ(servers_within_slo(ctx, 0.0), 1u);
+  // A positive margin pushes the 300 rps/server point over the line.
+  EXPECT_EQ(servers_within_slo(ctx, 900.0, 1.0), 4u);
+}
+
+TEST(ServersWithinSlo, RespectsMinServersFloor) {
+  const PoolResponseModel surface = test_surface();
+  PlannerContext ctx = test_context(&surface);
+  ctx.min_servers = 7;
+  EXPECT_EQ(servers_within_slo(ctx, 900.0), 7u);
+}
+
+TEST(ServersWithinSlo, ReturnsPoolSizeWhenUnattainable) {
+  const PoolResponseModel surface = test_surface();
+  const PlannerContext ctx = test_context(&surface, /*pool_size=*/2);
+  // Even the whole pool (2 servers, 5000 rps each) blows the SLO.
+  EXPECT_EQ(servers_within_slo(ctx, 10000.0), 2u);
+}
+
+TEST(ServersWithinSlo, CpuSaturationBindsWhenLatencyIsFlat) {
+  // Flat 1 ms latency: only the CPU guard can force capacity.
+  stats::LinearFit cpu;
+  cpu.slope = 0.08;
+  cpu.intercept = 2.0;
+  stats::PolynomialFit latency;
+  latency.coeffs = {1.0};
+  const PoolResponseModel surface = PoolResponseModel::from_fits(cpu, latency);
+  const PlannerContext ctx = test_context(&surface);
+  // 4000 rps: 3 servers -> 1333 rps each -> 108% cpu; 4 -> 1000 -> 82%.
+  EXPECT_EQ(servers_within_slo(ctx, 4000.0), 4u);
+}
+
+TEST(ServersWithinSlo, RejectsDegenerateContext) {
+  const PoolResponseModel surface = test_surface();
+  PlannerContext no_model = test_context(nullptr);
+  EXPECT_THROW((void)servers_within_slo(no_model, 1.0),
+               std::invalid_argument);
+  PlannerContext no_pool = test_context(&surface, /*pool_size=*/0);
+  EXPECT_THROW((void)servers_within_slo(no_pool, 1.0), std::invalid_argument);
+}
+
+TEST(StaticCapacityPlanner, RejectsZeroServing) {
+  EXPECT_THROW(StaticCapacityPlanner("rsm", 0), std::invalid_argument);
+}
+
+TEST(Replay, ScoresAFeasibleStaticPlanClean) {
+  const PoolResponseModel surface = test_surface();
+  const PlannerContext ctx = test_context(&surface);
+  const auto grid = flat_grid(10, 900.0);
+
+  StaticCapacityPlanner planner("static4", 4);
+  const PlannerScore score = replay_capacity_planner(planner, grid, ctx, 4);
+
+  EXPECT_EQ(score.planner, "static4");
+  EXPECT_DOUBLE_EQ(score.total_seconds, 10.0 * 120.0);
+  EXPECT_DOUBLE_EQ(score.server_seconds, 4.0 * 10.0 * 120.0);
+  EXPECT_DOUBLE_EQ(score.violation_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(score.violation_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(score.mean_serving(), 4.0);
+  EXPECT_EQ(score.switches, 0u);
+  EXPECT_DOUBLE_EQ(score.switched_servers, 0.0);
+  EXPECT_EQ(score.peak_serving, 4u);
+  EXPECT_EQ(score.min_serving, 4u);
+}
+
+TEST(Replay, CountsEveryUnderProvisionedWindowAsViolation) {
+  const PoolResponseModel surface = test_surface();
+  const PlannerContext ctx = test_context(&surface);
+  const auto grid = flat_grid(8, 900.0);
+
+  // 2 servers at 450 rps each: ~106 ms predicted, over the 50 ms SLO.
+  StaticCapacityPlanner planner("static2", 2);
+  const PlannerScore score = replay_capacity_planner(planner, grid, ctx, 2);
+  EXPECT_DOUBLE_EQ(score.violation_seconds, score.total_seconds);
+  EXPECT_DOUBLE_EQ(score.violation_fraction(), 1.0);
+}
+
+TEST(Replay, ClampsThePlannerToPoolBounds) {
+  const PoolResponseModel surface = test_surface();
+  const PlannerContext ctx = test_context(&surface, /*pool_size=*/10);
+  const auto grid = flat_grid(4, 900.0);
+
+  StaticCapacityPlanner oversized("big", 1000);
+  const PlannerScore big = replay_capacity_planner(oversized, grid, ctx, 5);
+  EXPECT_EQ(big.peak_serving, 10u);
+
+  // An initial serving below min_servers is clamped up before scoring.
+  PlannerContext floored = ctx;
+  floored.min_servers = 6;
+  StaticCapacityPlanner fixed("fixed", 7);
+  const PlannerScore lo = replay_capacity_planner(fixed, grid, floored, 1);
+  EXPECT_EQ(lo.min_serving, 6u);
+}
+
+// Alternates between two serving counts every window.
+class FlipFlopPlanner final : public CapacityPlanner {
+ public:
+  FlipFlopPlanner(std::size_t a, std::size_t b) : a_(a), b_(b) {}
+  [[nodiscard]] std::string name() const override { return "flipflop"; }
+  void start(const PlannerContext&, std::size_t) override { next_a_ = true; }
+  [[nodiscard]] std::size_t plan_window(const PlannerWindow&) override {
+    next_a_ = !next_a_;
+    return next_a_ ? a_ : b_;
+  }
+
+ private:
+  std::size_t a_, b_;
+  bool next_a_ = true;
+};
+
+TEST(Replay, AccountsSwitchingChurn) {
+  const PoolResponseModel surface = test_surface();
+  const PlannerContext ctx = test_context(&surface);
+  const auto grid = flat_grid(6, 900.0);
+
+  FlipFlopPlanner planner(4, 9);
+  const PlannerScore score = replay_capacity_planner(planner, grid, ctx, 4);
+  // Starts at 4; plans 9, 4, 9, 4, 9, 4 -> six switches of 5 servers each.
+  EXPECT_EQ(score.switches, 6u);
+  EXPECT_DOUBLE_EQ(score.switched_servers, 30.0);
+  EXPECT_EQ(score.peak_serving, 9u);
+  EXPECT_EQ(score.min_serving, 4u);
+}
+
+TEST(Replay, EmptyGridScoresZero) {
+  const PoolResponseModel surface = test_surface();
+  const PlannerContext ctx = test_context(&surface);
+  StaticCapacityPlanner planner("static", 4);
+  const PlannerScore score =
+      replay_capacity_planner(planner, {}, ctx, 4);
+  EXPECT_DOUBLE_EQ(score.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(score.violation_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(score.mean_serving(), 0.0);
+}
+
+TEST(ModelExperimentBackend, CyclesTheDemandTrace) {
+  const PoolResponseModel surface = test_surface();
+  ModelExperimentBackend::Options opt;
+  opt.pool_size = 8;
+  opt.serving = 4;
+  opt.window_seconds = 120;
+  ModelExperimentBackend backend(&surface, {400.0, 800.0, 1200.0}, opt);
+
+  EXPECT_EQ(backend.pool_size(), 8u);
+  EXPECT_EQ(backend.serving_count(), 4u);
+
+  // Four windows off a three-entry trace: the cursor wraps.
+  const ExperimentObservations obs = backend.observe(4 * 120);
+  ASSERT_EQ(obs.size(), 4u);
+  EXPECT_DOUBLE_EQ(obs.total_rps[0], 400.0);
+  EXPECT_DOUBLE_EQ(obs.total_rps[1], 800.0);
+  EXPECT_DOUBLE_EQ(obs.total_rps[2], 1200.0);
+  EXPECT_DOUBLE_EQ(obs.total_rps[3], 400.0);
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const double per_server = obs.total_rps[i] / 4.0;
+    EXPECT_DOUBLE_EQ(obs.servers[i], 4.0);
+    EXPECT_DOUBLE_EQ(obs.latency_p95_ms[i],
+                     surface.predict_latency_ms(per_server));
+    EXPECT_DOUBLE_EQ(obs.cpu_pct[i], surface.predict_cpu_pct(per_server));
+  }
+
+  // A non-multiple duration overshoots to whole windows, continuing the
+  // cycle where the previous observe left off.
+  EXPECT_EQ(backend.observe(121).size(), 2u);
+}
+
+TEST(ModelExperimentBackend, ReducedServingRaisesPerServerLoad) {
+  const PoolResponseModel surface = test_surface();
+  ModelExperimentBackend::Options opt;
+  opt.pool_size = 8;
+  opt.serving = 8;
+  opt.window_seconds = 120;
+  ModelExperimentBackend backend(&surface, {1600.0}, opt);
+
+  const double before = backend.observe(120).latency_p95_ms[0];
+  backend.set_serving_count(2);
+  const double after = backend.observe(120).latency_p95_ms[0];
+  EXPECT_DOUBLE_EQ(before, surface.predict_latency_ms(200.0));
+  EXPECT_DOUBLE_EQ(after, surface.predict_latency_ms(800.0));
+  EXPECT_GT(after, before);
+}
+
+TEST(ModelExperimentBackend, RejectsBadConstructionAndUse) {
+  const PoolResponseModel surface = test_surface();
+  ModelExperimentBackend::Options opt;
+  opt.pool_size = 8;
+  opt.serving = 4;
+  EXPECT_THROW(ModelExperimentBackend(nullptr, {1.0}, opt),
+               std::invalid_argument);
+  EXPECT_THROW(ModelExperimentBackend(&surface, {}, opt),
+               std::invalid_argument);
+  ModelExperimentBackend::Options oversub = opt;
+  oversub.serving = 9;
+  EXPECT_THROW(ModelExperimentBackend(&surface, {1.0}, oversub),
+               std::invalid_argument);
+
+  ModelExperimentBackend backend(&surface, {1.0}, opt);
+  EXPECT_THROW(backend.set_serving_count(0), std::invalid_argument);
+  EXPECT_THROW(backend.set_serving_count(9), std::invalid_argument);
+  EXPECT_THROW((void)backend.observe(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headroom::core

@@ -1,0 +1,103 @@
+#include "ml/forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::ml {
+namespace {
+
+ForecasterOptions small_options() {
+  ForecasterOptions opt;
+  opt.season_seconds = 400;  // 4 buckets of 100 s
+  opt.buckets = 4;
+  opt.level_smoothing = 0.5;
+  opt.ratio_smoothing = 0.5;
+  return opt;
+}
+
+TEST(DemandForecaster, ValidatesOptions) {
+  ForecasterOptions bad = small_options();
+  bad.buckets = 0;
+  EXPECT_THROW(DemandForecaster{bad}, std::invalid_argument);
+  bad = small_options();
+  bad.season_seconds = 0;
+  EXPECT_THROW(DemandForecaster{bad}, std::invalid_argument);
+  bad = small_options();
+  bad.level_smoothing = 0.0;
+  EXPECT_THROW(DemandForecaster{bad}, std::invalid_argument);
+  bad = small_options();
+  bad.ratio_smoothing = 1.5;
+  EXPECT_THROW(DemandForecaster{bad}, std::invalid_argument);
+  EXPECT_NO_THROW(DemandForecaster{});
+}
+
+TEST(DemandForecaster, FallsBackToPersistenceUntilBucketIsSeen) {
+  DemandForecaster f(small_options());
+  EXPECT_DOUBLE_EQ(f.predict(0), 0.0);  // nothing observed at all
+  f.observe(0, 100.0);
+  // Bucket 0 is seen; buckets 1-3 are not -> persistence.
+  EXPECT_DOUBLE_EQ(f.predict(150), 100.0);
+  EXPECT_DOUBLE_EQ(f.predict(350), 100.0);
+  EXPECT_DOUBLE_EQ(f.predict(0), 100.0);
+}
+
+TEST(DemandForecaster, LearnsTheSeasonalShape) {
+  DemandForecaster f(small_options());
+  // Two identical seasons of a square wave: levels converge per bucket and
+  // the ratio stays at 1 (every repeat matches its bucket level exactly).
+  for (int season = 0; season < 2; ++season) {
+    const telemetry::SimTime base = season * 400;
+    f.observe(base + 0, 100.0);
+    f.observe(base + 100, 300.0);
+    f.observe(base + 200, 300.0);
+    f.observe(base + 300, 100.0);
+  }
+  EXPECT_EQ(f.observations(), 8u);
+  EXPECT_DOUBLE_EQ(f.predict(800), 100.0);   // bucket 0, one season ahead
+  EXPECT_DOUBLE_EQ(f.predict(900), 300.0);   // bucket 1
+  EXPECT_DOUBLE_EQ(f.predict(1100), 100.0);  // bucket 3
+}
+
+TEST(DemandForecaster, RatioTracksSustainedGrowth) {
+  DemandForecaster f(small_options());
+  f.observe(0, 100.0);
+  // Next season the same bucket runs 50% hot: the ratio moves halfway
+  // (alpha 0.5) to 1.5, and the level halfway to 150.
+  f.observe(400, 150.0);
+  EXPECT_DOUBLE_EQ(f.predict(800), 125.0 * 1.25);
+  // The global ratio also lifts forecasts for *other* seen buckets.
+  f.observe(100, 200.0);
+  EXPECT_DOUBLE_EQ(f.predict(500), 200.0 * 1.25);
+}
+
+TEST(DemandForecaster, BucketOfWrapsNegativeTimestamps) {
+  DemandForecaster f(small_options());
+  f.observe(-300, 42.0);  // phase 100 -> bucket 1
+  EXPECT_DOUBLE_EQ(f.predict(100), 42.0);
+  EXPECT_DOUBLE_EQ(f.predict(500), 42.0);
+}
+
+TEST(DemandForecaster, BlindToUnseasonalSpikesByDesign) {
+  // The flash-crowd caveat from the header doc: a one-off spike nudges the
+  // EWMA but the next-season prediction stays near the diurnal level, so a
+  // planner trusting this forecaster under-provisions for true surprises.
+  ForecasterOptions opt = small_options();
+  opt.level_smoothing = 0.25;
+  opt.ratio_smoothing = 0.10;
+  DemandForecaster f(opt);
+  for (int season = 0; season < 4; ++season) {
+    for (int b = 0; b < 4; ++b) {
+      f.observe(season * 400 + b * 100, 100.0);
+    }
+  }
+  f.observe(4 * 400, 1000.0);  // 10x flash crowd in bucket 0
+  // Level moves a quarter of the way (100 -> 325) and the ratio a tenth
+  // (1 -> 1.9): the forecast absorbs some of the spike but stays far
+  // below it.
+  EXPECT_DOUBLE_EQ(f.predict(5 * 400), 325.0 * 1.9);
+  EXPECT_LT(f.predict(5 * 400), 1000.0);
+}
+
+}  // namespace
+}  // namespace headroom::ml

@@ -1,0 +1,144 @@
+// Golden frontier pins for the optimizer bake-off.
+//
+// Every shipped scenario (except the dead-band 100x smoke, which the
+// bake-off refuses by design) runs the full tournament — RSM plus the five
+// baseline planners over the identical observation grid — and the
+// machine-readable frontier is pinned byte-for-byte against
+// tests/scenario/golden/bakeoff/<name>.frontier, serial and at 4 stepping
+// threads. Regenerate after an intentional change with
+// HEADROOM_UPDATE_GOLDENS=1.
+#include "scenario/bakeoff.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_parser.h"
+
+#ifndef HEADROOM_SCENARIO_DIR
+#error "HEADROOM_SCENARIO_DIR must point at examples/scenarios"
+#endif
+#ifndef HEADROOM_GOLDEN_DIR
+#error "HEADROOM_GOLDEN_DIR must point at tests/scenario/golden"
+#endif
+
+namespace headroom::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> bakeoff_stems() {
+  std::vector<std::string> stems;
+  for (const auto& entry : fs::directory_iterator(HEADROOM_SCENARIO_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      stems.push_back(entry.path().stem().string());
+    }
+  }
+  // The 100x-scale smoke opts into approximate dead-band stepping;
+  // run_bakeoff() rejects it (tested below) rather than pinning an
+  // approximate frontier.
+  std::erase(stems, std::string("standard_fleet_x100"));
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class BakeoffGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BakeoffGolden, FrontierMatchesPinAndIsThreadInvariant) {
+  const fs::path scenario_path =
+      fs::path(HEADROOM_SCENARIO_DIR) / (GetParam() + ".scn");
+  ParseResult parsed = load_scenario_file(scenario_path.string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  const BakeoffResult result = run_bakeoff(parsed.spec);
+  const std::string frontier = format_frontier(result);
+
+  // Structure: the RSM entrant plus at least four baseline planners, every
+  // line accounted for the full observation span.
+  ASSERT_GE(result.scores.size(), 5u);
+  EXPECT_EQ(result.scores.front().planner, "rsm");
+  for (const core::PlannerScore& s : result.scores) {
+    EXPECT_GT(s.server_seconds, 0.0) << s.planner;
+    EXPECT_DOUBLE_EQ(
+        s.total_seconds,
+        static_cast<double>(result.windows) *
+            static_cast<double>(parsed.spec.window_seconds))
+        << s.planner;
+  }
+
+  // Thread invariance: the frontier must not depend on stepping lanes.
+  ScenarioSpec threaded = parsed.spec;
+  threaded.threads = 4;
+  const std::string threaded_frontier = format_frontier(run_bakeoff(threaded));
+  EXPECT_EQ(frontier, threaded_frontier)
+      << "frontier depends on the thread count";
+
+  const fs::path golden_path =
+      fs::path(HEADROOM_GOLDEN_DIR) / "bakeoff" / (GetParam() + ".frontier");
+  if (std::getenv("HEADROOM_UPDATE_GOLDENS") != nullptr) {
+    fs::create_directories(golden_path.parent_path());
+    std::ofstream out(golden_path, std::ios::binary);
+    out << frontier;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden_path;
+    GTEST_SKIP() << "updated " << golden_path;
+  }
+  ASSERT_TRUE(fs::exists(golden_path))
+      << "no frontier pin for " << GetParam()
+      << "; run with HEADROOM_UPDATE_GOLDENS=1 to create it";
+  EXPECT_EQ(frontier, read_file(golden_path))
+      << "frontier drifted from " << golden_path
+      << "; if intentional, regenerate with HEADROOM_UPDATE_GOLDENS=1";
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, BakeoffGolden,
+                         ::testing::ValuesIn(bakeoff_stems()));
+
+TEST(Bakeoff, RejectsDeadBandScenarios) {
+  const fs::path path =
+      fs::path(HEADROOM_SCENARIO_DIR) / "standard_fleet_x100.scn";
+  ParseResult parsed = load_scenario_file(path.string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_GT(parsed.spec.quiescent_dead_band, 0.0);
+  EXPECT_THROW((void)run_bakeoff(parsed.spec), std::invalid_argument);
+}
+
+TEST(Bakeoff, FrontierLinesAreMachineReadable) {
+  ParseResult parsed = load_scenario_file(
+      (fs::path(HEADROOM_SCENARIO_DIR) / "fig6_flash_crowd.scn").string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const BakeoffResult result = run_bakeoff(parsed.spec);
+  const std::string frontier = format_frontier(result);
+
+  std::istringstream lines(frontier);
+  std::string line;
+  std::size_t frontier_lines = 0;
+  bool saw_header = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("bakeoff = ", 0) == 0) saw_header = true;
+    if (line.rfind("frontier ", 0) == 0) {
+      ++frontier_lines;
+      EXPECT_NE(line.find(" server_seconds = "), std::string::npos) << line;
+      EXPECT_NE(line.find(" violation_seconds = "), std::string::npos)
+          << line;
+      EXPECT_NE(line.find(" switched_servers = "), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_header);
+  EXPECT_EQ(frontier_lines, result.scores.size());
+}
+
+}  // namespace
+}  // namespace headroom::scenario
