@@ -199,6 +199,20 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
           return outcome;
         }
         opt.max_idle_polls = static_cast<std::int64_t>(parsed);
+      } else if (arg == "--harden") {
+        opt.harden = true;
+      } else if (arg == "--heal-budget") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 0, 31536000, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.heal_budget_seconds = static_cast<std::int64_t>(parsed);
+      } else if (arg == "--staleness-budget") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 0, 31536000, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.staleness_budget_seconds = static_cast<std::int64_t>(parsed);
       } else if (arg == "--quiet") {
         opt.quiet = true;
       } else {
@@ -368,6 +382,12 @@ std::string usage() {
       "                      summary into directory D\n"
       "  --poll-ms N         follow: sleep between idle polls (default 20)\n"
       "  --max-idle-polls N  follow: idle polls before giving up (250)\n"
+      "  --harden            run the degraded-input health layer even with\n"
+      "                      no [fault] sections (follow always hardens)\n"
+      "  --heal-budget S     gap seconds healed transparently on resume\n"
+      "                      (default 900)\n"
+      "  --staleness-budget S  dark seconds before FAILSAFE planning\n"
+      "                      (default 14400)\n"
       "  --threads N         override stepping threads (--scenario only)\n"
       "  --quiet             suppress per-window report lines\n"
       "\n"

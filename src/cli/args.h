@@ -55,6 +55,9 @@ struct Options {
   std::string serve_out;        ///< serve: --out DIR for windows + summary.
   std::int64_t poll_ms = 20;    ///< serve --follow: idle poll sleep.
   std::int64_t max_idle_polls = 250;  ///< serve --follow: idle budget.
+  bool harden = false;          ///< serve: run the health layer faultless.
+  std::int64_t heal_budget_seconds = 900;  ///< serve: gap heal budget.
+  std::int64_t staleness_budget_seconds = 14400;  ///< serve: failsafe cutoff.
 };
 
 struct ParseOutcome {

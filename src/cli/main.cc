@@ -344,6 +344,9 @@ int run_serve(const cli::Options& opt) {
   sopt.reuse_observation_baseline = opt.reuse_baseline;
   sopt.poll_ms = opt.poll_ms;
   sopt.max_idle_polls = static_cast<std::size_t>(opt.max_idle_polls);
+  sopt.harden = opt.harden;
+  sopt.heal_budget_seconds = opt.heal_budget_seconds;
+  sopt.staleness_budget_seconds = opt.staleness_budget_seconds;
 
   std::ofstream window_log;
   if (!opt.serve_out.empty()) {
@@ -391,6 +394,16 @@ int run_serve(const cli::Options& opt) {
                    summary_path.string().c_str());
       return 2;
     }
+    if (served.health_active) {
+      const fs::path health_path = fs::path(opt.serve_out) / "health.txt";
+      std::ofstream health_out(health_path, std::ios::binary);
+      health_out << served.health_report;
+      if (!health_out.good()) {
+        std::fprintf(stderr, "headroom: cannot write '%s'\n",
+                     health_path.string().c_str());
+        return 2;
+      }
+    }
   }
   if (!opt.quiet) {
     std::printf("\n--- summary (%zu windows, %zu reports, %zu resident / "
@@ -399,11 +412,18 @@ int run_serve(const cli::Options& opt) {
                 served.evicted_samples);
   }
   std::fputs(served.summary.c_str(), stdout);
+  if (served.health_active && !opt.quiet) {
+    std::printf("\n--- health ---\n");
+    std::fputs(served.health_report.c_str(), stdout);
+  }
   if (!served.result.assertions_pass) {
     std::fprintf(stderr, "headroom: scenario '%s' assertions FAILED\n",
                  served.result.spec.name.c_str());
     return 3;
   }
+  // Degraded-but-survived: the serve completed and the summary is valid,
+  // but telemetry was healed, quarantined, or stale along the way.
+  if (served.degraded) return 4;
   return 0;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/degradation.h"
 #include "telemetry/csv.h"
 
 namespace headroom::core {
@@ -117,6 +118,14 @@ std::optional<ExperimentObservations> LiveFeedBackend::try_observe(
   if (covered_windows(span.to) < span.expected) return std::nullopt;
   const SimTime from = cursor_;
   cursor_ = span.to;
+  if (monitor_ != nullptr) {
+    if (const DegradationTracker* pool =
+            monitor_->find(options_.datacenter, options_.pool)) {
+      for (SimTime g = from; g < span.to; g += options_.window_seconds) {
+        if (pool->window_healed(g)) ++healed_observed_;
+      }
+    }
+  }
   return observations_between(engine(), options_.datacenter, options_.pool,
                               from, span.to);
 }

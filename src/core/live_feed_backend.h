@@ -23,6 +23,8 @@
 
 namespace headroom::core {
 
+class HealthMonitor;
+
 class LiveFeedBackend : public PoolExperimentBackend {
  public:
   struct Options {
@@ -91,6 +93,18 @@ class LiveFeedBackend : public PoolExperimentBackend {
   void set_pump(Pump pump) { pump_ = std::move(pump); }
   void set_serving_hook(ServingHook hook) { serving_hook_ = std::move(hook); }
 
+  /// Attaches the degradation layer's monitor (must outlive the backend).
+  /// Observations then audit how many of their windows carry healed
+  /// (gap-fill) workload samples — the RSM's visibility into how much of
+  /// its evidence is synthetic.
+  void set_health_monitor(const HealthMonitor* monitor) noexcept {
+    monitor_ = monitor;
+  }
+  /// Healed windows that have flowed into completed observations.
+  [[nodiscard]] std::size_t healed_windows_observed() const noexcept {
+    return healed_observed_;
+  }
+
   /// Current feed position (start of the next unobserved window).
   [[nodiscard]] telemetry::SimTime cursor() const noexcept { return cursor_; }
   /// End of the workload series currently in the feed (exclusive); the
@@ -121,6 +135,8 @@ class LiveFeedBackend : public PoolExperimentBackend {
   Options options_;
   Pump pump_;
   ServingHook serving_hook_;
+  const HealthMonitor* monitor_ = nullptr;
+  std::size_t healed_observed_ = 0;
   std::size_t serving_ = 0;
   telemetry::SimTime cursor_ = 0;
 };

@@ -75,7 +75,13 @@ void RollingPoolPlanner::rebuild_sums() {
 }
 
 void RollingPoolPlanner::add_window(double rps_per_server, double cpu_pct,
-                                    double latency_p95_ms) {
+                                    double latency_p95_ms, bool healed) {
+  if (healed) {
+    // Synthesized gap-fill: trusted enough to keep the feed continuous,
+    // not trusted enough to fit a response curve on.
+    ++untrusted_windows_;
+    return;
+  }
   const Window w{rps_per_server, cpu_pct, latency_p95_ms};
   ring_.push_back(w);
   accumulate(w, 1.0);

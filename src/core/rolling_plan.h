@@ -37,9 +37,14 @@ class RollingPoolPlanner {
   RollingPoolPlanner(HeadroomPolicy policy, Options options);
 
   /// Folds one completed window into the rolling state, evicting the
-  /// oldest window once the ring is full. O(1) amortized.
+  /// oldest window once the ring is full. O(1) amortized. A window marked
+  /// `healed` (gap-fill synthesized by the degradation layer, not observed
+  /// telemetry) is discounted: counted in untrusted_windows() but never
+  /// folded into the fits, so the rolling model only ever fits real data
+  /// and a healed gap leaves plan() exactly where the last real window
+  /// left it.
   void add_window(double rps_per_server, double cpu_pct,
-                  double latency_p95_ms);
+                  double latency_p95_ms, bool healed = false);
 
   /// Headroom plan at the current rolling operating point, or nullopt
   /// until min_windows windows have arrived.
@@ -53,6 +58,10 @@ class RollingPoolPlanner {
   [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
   /// Full-ring sum rebuilds performed so far (drift-control gauge).
   [[nodiscard]] std::size_t rebuilds() const noexcept { return rebuilds_; }
+  /// Healed windows offered and discounted (degraded-feed gauge).
+  [[nodiscard]] std::size_t untrusted_windows() const noexcept {
+    return untrusted_windows_;
+  }
 
  private:
   struct Window {
@@ -75,6 +84,7 @@ class RollingPoolPlanner {
   double slat_ = 0.0, sxlat_ = 0.0, sx2lat_ = 0.0, slat2_ = 0.0;
   std::size_t evictions_since_rebuild_ = 0;
   std::size_t rebuilds_ = 0;
+  std::size_t untrusted_windows_ = 0;
 };
 
 }  // namespace headroom::core

@@ -209,6 +209,19 @@ bool RsmSession::advance() {
   }
 }
 
+void RsmSession::abort_failsafe() {
+  if (state_ == State::kDone) return;
+  // Hold-at-last-known-good: the starting count was validated capacity;
+  // everything since ran on a feed now past its staleness budget, so the
+  // experiment's evidence is void and serving returns to the start.
+  result_.recommended_serving = result_.starting_serving;
+  result_.slo_limit_reached = false;
+  if (fit_valid_) result_.model = model_;
+  backend_->set_serving_count(result_.starting_serving);
+  aborted_ = true;
+  state_ = State::kDone;
+}
+
 const RsmResult& RsmSession::result() const {
   if (state_ != State::kDone) {
     throw std::logic_error("RsmSession::result: session not complete");

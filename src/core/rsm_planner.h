@@ -91,7 +91,17 @@ class RsmSession {
   /// Backend exceptions (trace exhausted, divergence) propagate.
   bool advance();
 
+  /// Failsafe termination of a pending experiment (degraded feed: the
+  /// staleness budget ran out mid-reduction). Restores serving to the
+  /// validated pre-experiment count — on stale data capacity is never
+  /// shrunk, so the recommendation is the starting count, the paper's
+  /// worst-case buffer. The session becomes done() with aborted() set; a
+  /// no-op when already done.
+  void abort_failsafe();
+
   [[nodiscard]] bool done() const noexcept { return state_ == State::kDone; }
+  /// True when abort_failsafe() ended the session.
+  [[nodiscard]] bool aborted() const noexcept { return aborted_; }
   /// Observation the session is currently waiting for, as (duration
   /// seconds); 0 when it is not waiting (not yet started, or done).
   [[nodiscard]] telemetry::SimTime pending_duration() const noexcept;
@@ -113,6 +123,7 @@ class RsmSession {
   RsmResult result_;
   State state_ = State::kBaseline;
   bool seeded_ = false;
+  bool aborted_ = false;
   std::size_t current_ = 0;
   std::size_t floor_serving_ = 0;
   double slo_target_ = 0.0;

@@ -1,0 +1,95 @@
+// Deterministic telemetry fault injection.
+//
+// Faults model the failure classes real telemetry pipelines produce —
+// gaps, NaN bursts, duplicated/reordered windows, corrupt rows, stalled
+// feeds, clock skew — without ever touching the simulator's ground truth.
+// The injector sits between the fleet's metric store and the serve
+// pipeline's *delivered* store: each window's true pool-scope samples pass
+// through it and come out dropped, poisoned, reordered, buffered, or
+// skewed according to the spec's `[fault]` sections. Every decision is a
+// pure function of (seed, fault index, window index), so injection is
+// thread-count invariant and byte-reproducible.
+//
+// corrupt_trace_csvs() is the follow-mode twin: it applies the same fault
+// classes to the pool CSVs of an exported trace directory at the row
+// level, producing the damaged files a misbehaving trace writer would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.h"
+#include "telemetry/metrics.h"
+
+namespace headroom::scenario {
+
+/// One (series, time, value) tuple in the delivery stream between the
+/// simulator and the health monitor.
+struct DeliveredSample {
+  telemetry::SeriesKey key;
+  telemetry::SimTime time = 0;
+  double value = 0.0;
+};
+
+class FaultInjector {
+ public:
+  /// Precomputes the window-aligned fault ranges from `spec.faults`.
+  explicit FaultInjector(const ScenarioSpec& spec);
+
+  /// True when the spec declares at least one fault (the serve path keeps
+  /// the delivery layer entirely out of the loop otherwise).
+  [[nodiscard]] bool active() const noexcept { return !ranges_.empty(); }
+
+  /// Transforms pool (dc, pool)'s true samples for grid window `t` into
+  /// the delivered stream. On entry `samples` holds the window's true
+  /// tuples; on exit it holds what the feed actually delivers — possibly
+  /// empty (gap, stall, held for reordering) or carrying earlier windows
+  /// (stall catch-up, reorder release) ahead of or behind the current one.
+  void deliver(std::uint32_t datacenter, std::uint32_t pool,
+               telemetry::SimTime t, std::vector<DeliveredSample>* samples);
+
+ private:
+  struct Range {
+    FaultKind kind = FaultKind::kTelemetryGap;
+    bool global = false;  ///< feed_stall: every pool.
+    std::uint32_t datacenter = 0;
+    std::uint32_t pool = 0;
+    telemetry::SimTime begin = 0;  ///< Inclusive, in sim seconds.
+    telemetry::SimTime end = 0;    ///< Exclusive.
+    telemetry::SimTime skew = 0;   ///< clock_skew offset, in sim seconds.
+    std::size_t index = 0;         ///< Position in spec.faults (hash salt).
+  };
+
+  [[nodiscard]] bool applies(const Range& r, std::uint32_t dc,
+                             std::uint32_t pool,
+                             telemetry::SimTime t) const noexcept {
+    return t >= r.begin && t < r.end &&
+           (r.global || (r.datacenter == dc && r.pool == pool));
+  }
+
+  std::vector<Range> ranges_;
+  std::uint64_t seed_ = 0;
+  telemetry::SimTime window_ = 120;
+  /// Per-pool buffers, keyed dc * 64 + pool: windows frozen by feed_stall
+  /// (released in order at stall end) and the swap slot out_of_order uses.
+  std::vector<std::pair<std::uint64_t, std::vector<DeliveredSample>>> held_;
+  std::vector<std::pair<std::uint64_t, std::vector<DeliveredSample>>> swap_;
+
+  std::vector<DeliveredSample>& slot(
+      std::vector<std::pair<std::uint64_t, std::vector<DeliveredSample>>>& v,
+      std::uint64_t key);
+};
+
+/// Applies the spec's faults to an exported trace directory's pool CSVs in
+/// place, at the row level: telemetry_gap drops rows, nan_burst poisons
+/// values, duplicate_window repeats rows, out_of_order_window swaps
+/// adjacent rows, corrupt_row replaces a row with garbage text, clock_skew
+/// shifts window_start off the grid. feed_stall has no static-file
+/// equivalent (it is writer behavior) and is ignored. Returns the number
+/// of rows changed, dropped, or added; throws std::runtime_error on IO
+/// failure.
+std::size_t corrupt_trace_csvs(const std::string& dir,
+                               const ScenarioSpec& spec);
+
+}  // namespace headroom::scenario

@@ -129,6 +129,64 @@ void evaluate_assertions(const ScenarioSpec& spec, ScenarioRunResult& result) {
   }
 }
 
+void compute_pool_assertion_metrics(const telemetry::MetricStore& store,
+                                    const ScenarioSpec& spec,
+                                    std::map<std::string, double>& metrics) {
+  using telemetry::MetricKind;
+  const telemetry::SimTime horizon = spec.days * kDaySeconds;
+  for (const ScenarioAssertion& assertion : spec.assertions) {
+    std::string error;
+    const std::optional<PoolMetricRef> ref =
+        parse_pool_metric(assertion.metric, &error);
+    if (!ref) continue;  // Flat registry metric; not ours to resolve.
+    if (metrics.count(assertion.metric) != 0) continue;
+
+    MetricKind kind = MetricKind::kRequestsPerSecond;
+    enum class Agg { kPeak, kMean, kMin } agg = Agg::kPeak;
+    if (ref->base == "peak_rps") {
+      kind = MetricKind::kRequestsPerSecond;
+    } else if (ref->base == "mean_rps") {
+      kind = MetricKind::kRequestsPerSecond;
+      agg = Agg::kMean;
+    } else if (ref->base == "peak_cpu_pct") {
+      kind = MetricKind::kCpuPercentAttributed;
+    } else if (ref->base == "mean_cpu_pct") {
+      kind = MetricKind::kCpuPercentAttributed;
+      agg = Agg::kMean;
+    } else if (ref->base == "peak_p95_ms") {
+      kind = MetricKind::kLatencyP95Ms;
+    } else if (ref->base == "mean_p95_ms") {
+      kind = MetricKind::kLatencyP95Ms;
+      agg = Agg::kMean;
+    } else if (ref->base == "max_active_servers") {
+      kind = MetricKind::kActiveServers;
+    } else if (ref->base == "min_active_servers") {
+      kind = MetricKind::kActiveServers;
+      agg = Agg::kMin;
+    } else {
+      continue;  // validate() already rejected unknown bases.
+    }
+
+    const std::span<const double> values =
+        store.pool_series(ref->datacenter, ref->pool, kind)
+            .values_between(0, horizon);
+    // A pool with no observation-phase samples stays unresolved and the
+    // assertion fails as NaN, exactly like any other missing metric.
+    if (values.empty()) continue;
+    double out = values[0];
+    if (agg == Agg::kMean) {
+      double sum = 0.0;
+      for (const double v : values) sum += v;
+      out = sum / static_cast<double>(values.size());
+    } else if (agg == Agg::kPeak) {
+      for (const double v : values) out = std::max(out, v);
+    } else {
+      for (const double v : values) out = std::min(out, v);
+    }
+    metrics[assertion.metric] = out;
+  }
+}
+
 telemetry::MetricStore truncate_store(const telemetry::MetricStore& full,
                                       telemetry::SimTime end) {
   telemetry::MetricStore out;
@@ -243,12 +301,17 @@ bool PipelineSession::advance_rsm() {
   return rsm_->advance();
 }
 
+void PipelineSession::abort_rsm_failsafe() {
+  if (rsm_ && !rsm_->done()) rsm_->abort_failsafe();
+}
+
 void PipelineSession::finalize(ScenarioRunResult& result) {
   if (!rsm_started_ || (rsm_ && !rsm_->done())) {
     throw std::logic_error(
         "PipelineSession::finalize: RSM experiment not complete");
   }
   if (rsm_) {
+    const bool failsafe = rsm_->aborted();
     result.rsm = rsm_->take_result();
     result.metrics["rsm_start"] =
         static_cast<double>(result.rsm.starting_serving);
@@ -260,6 +323,10 @@ void PipelineSession::finalize(ScenarioRunResult& result) {
         static_cast<double>(result.rsm.iterations.size());
     result.metrics["rsm_slo_limited"] =
         result.rsm.slo_limit_reached ? 1.0 : 0.0;
+    // Emitted only on failsafe abort so fault-free summaries (and every
+    // existing golden) are byte-identical to runs built before the
+    // degradation layer existed.
+    if (failsafe) result.metrics["rsm_failsafe"] = 1.0;
   }
 
   // --- Step 3: Model --------------------------------------------------------

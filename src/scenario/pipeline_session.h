@@ -72,8 +72,17 @@ class PipelineSession {
 
   /// Records the RSM outcome and runs steps 3 (Model) and 4 (Validate) —
   /// then the session is complete. Requires advance_rsm() to have
-  /// returned true (throws std::logic_error otherwise).
+  /// returned true (throws std::logic_error otherwise). When the RSM
+  /// experiment was ended by abort_rsm_failsafe(), additionally emits
+  /// `rsm_failsafe = 1` so summaries (and assertions) can see the
+  /// degraded outcome.
   void finalize(ScenarioRunResult& result);
+
+  /// Failsafe abort of a pending RSM experiment (the degradation layer
+  /// declared the pool's feed past its staleness budget): serving returns
+  /// to the validated pre-experiment count and the session becomes
+  /// finalizable. No-op when the experiment is not running.
+  void abort_rsm_failsafe();
 
   /// The live RSM session, null before start_rsm() (or when optimize is
   /// off). Serve reads its pending state for progress reporting.
@@ -111,6 +120,17 @@ void compute_environment_metrics(const sim::FleetSimulator& fleet,
 
 /// Checks every spec assertion against the flat metric map.
 void evaluate_assertions(const ScenarioSpec& spec, ScenarioRunResult& result);
+
+/// Resolves every `pool(DC,POOL).base` assertion target the spec uses into
+/// `metrics`, computed over that pool's observation-phase series in
+/// [0, horizon). Pure store reads (peak/mean of rps, cpu, p95 latency;
+/// min/max active servers), so batch, replay, serve, and follow agree
+/// byte-for-byte on the same store contents. Pools absent from the store
+/// are left unresolved — the assertion then fails as NaN, like any
+/// missing metric.
+void compute_pool_assertion_metrics(const telemetry::MetricStore& store,
+                                    const ScenarioSpec& spec,
+                                    std::map<std::string, double>& metrics);
 
 /// The recording truncated at `end`: exactly the telemetry the pipeline's
 /// measure/fit stages saw in the original run, rebuilt through the same

@@ -47,6 +47,7 @@ enum class Section {
   kDatacenter,
   kPool,
   kEvent,
+  kFault,
   kAssert,
 };
 
@@ -153,6 +154,10 @@ class Parser {
       section_ = Section::kEvent;
       event_ = ScenarioEvent{};
       event_has_kind_ = false;
+    } else if (name == "fault" && words.size() == 1) {
+      section_ = Section::kFault;
+      fault_ = FaultSpec{};
+      fault_has_kind_ = false;
     } else if (name == "assert" && words.size() == 1) {
       section_ = Section::kAssert;
       assert_ = ScenarioAssertion{};
@@ -180,6 +185,14 @@ class Parser {
         }
         spec_.events.push_back(event_);
         break;
+      case Section::kFault:
+        if (!fault_has_kind_) {
+          line_ = at;
+          fail("[fault] missing required key 'kind'");
+          return;
+        }
+        spec_.faults.push_back(fault_);
+        break;
       case Section::kAssert:
         if (!assert_has_expect_) {
           line_ = at;
@@ -204,6 +217,7 @@ class Parser {
       case Section::kDatacenter: return datacenter_key(key, value);
       case Section::kPool: return pool_key(key, value);
       case Section::kEvent: return event_key(key, value);
+      case Section::kFault: return fault_key(key, value);
       case Section::kAssert: return assert_key(key, value);
       case Section::kNone: break;
     }
@@ -475,6 +489,76 @@ class Parser {
     return "?";
   }
 
+  void fault_key(const std::string& key, const std::string& value) {
+    section_name_ = "[fault]";
+    if (key == "kind") {
+      const auto kind = fault_kind_from_string(value);
+      if (!kind) {
+        return fail("unknown fault kind '" + value +
+                    "' (expected telemetry_gap, nan_burst, duplicate_window, "
+                    "out_of_order_window, corrupt_row, feed_stall, "
+                    "clock_skew)");
+      }
+      fault_.kind = *kind;
+      fault_has_kind_ = true;
+      return;
+    }
+    if (!fault_has_kind_) {
+      return fail("'kind' must be the first key in [fault]");
+    }
+    if (!fault_key_allowed(key)) {
+      return fail("key '" + key + "' is not valid for fault kind '" +
+                  std::string(to_string(fault_.kind)) + "'");
+    }
+    double v = 0.0;
+    if (key == "datacenter") {
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n > 8) {
+        return bad_value(key, value, "index 0..8");
+      }
+      fault_.datacenter = static_cast<std::uint32_t>(n);
+    } else if (key == "pool") {
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n > 63) {
+        return bad_value(key, value, "index 0..63");
+      }
+      fault_.pool = static_cast<std::uint32_t>(n);
+    } else if (key == "start_hour") {
+      if (!parse_double(value, &v) || v < 0.0) {
+        return bad_value(key, value, "non-negative number");
+      }
+      fault_.start_hour = v;
+    } else if (key == "duration_hours") {
+      if (!parse_double(value, &v) || v <= 0.0) {
+        return bad_value(key, value, "positive number");
+      }
+      fault_.duration_hours = v;
+    } else if (key == "skew_seconds") {
+      if (!parse_double(value, &v) || v == 0.0) {
+        return bad_value(key, value, "non-zero number");
+      }
+      fault_.skew_seconds = v;
+    }
+  }
+
+  [[nodiscard]] bool fault_key_allowed(const std::string& key) const {
+    switch (fault_.kind) {
+      case FaultKind::kFeedStall:
+        return key == "start_hour" || key == "duration_hours";
+      case FaultKind::kClockSkew:
+        return key == "datacenter" || key == "pool" || key == "start_hour" ||
+               key == "duration_hours" || key == "skew_seconds";
+      case FaultKind::kTelemetryGap:
+      case FaultKind::kNanBurst:
+      case FaultKind::kDuplicateWindow:
+      case FaultKind::kOutOfOrderWindow:
+      case FaultKind::kCorruptRow:
+        return key == "datacenter" || key == "pool" || key == "start_hour" ||
+               key == "duration_hours";
+    }
+    return false;
+  }
+
   void assert_key(const std::string& key, const std::string& value) {
     section_name_ = "[assert]";
     if (key != "expect") {
@@ -566,6 +650,8 @@ class Parser {
   PoolOverride pool_;
   ScenarioEvent event_;
   bool event_has_kind_ = false;
+  FaultSpec fault_;
+  bool fault_has_kind_ = false;
   ScenarioAssertion assert_;
   bool assert_has_expect_ = false;
 };
@@ -724,6 +810,20 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
     }
     if (e.kind == ScenarioEventKind::kServingReduction) {
       out += "serving = " + std::to_string(e.serving) + "\n";
+    }
+  }
+
+  for (const FaultSpec& f : spec.faults) {
+    out += "\n[fault]\n";
+    out += "kind = " + std::string(to_string(f.kind)) + "\n";
+    if (f.datacenter) {
+      out += "datacenter = " + std::to_string(*f.datacenter) + "\n";
+    }
+    if (f.pool) out += "pool = " + std::to_string(*f.pool) + "\n";
+    out += "start_hour = " + fmt_double(f.start_hour) + "\n";
+    out += "duration_hours = " + fmt_double(f.duration_hours) + "\n";
+    if (f.kind == FaultKind::kClockSkew) {
+      out += "skew_seconds = " + fmt_double(f.skew_seconds) + "\n";
     }
   }
 

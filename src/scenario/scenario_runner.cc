@@ -205,6 +205,7 @@ ScenarioRunResult ScenarioRunner::run_on_fleet(
   ctx.datacenter_count = fleet.config().datacenters.size();
   run_pipeline_steps(spec, ctx, result);
 
+  compute_pool_assertion_metrics(fleet.store(), spec, result.metrics);
   evaluate_assertions(spec, result);
   return result;
 }
@@ -273,6 +274,7 @@ ScenarioRunResult ScenarioRunner::replay(const ScenarioSpec& spec,
   ctx.datacenter_count = fleet.config().datacenters.size();
   run_pipeline_steps(spec, ctx, result);
 
+  compute_pool_assertion_metrics(observation, spec, result.metrics);
   evaluate_assertions(spec, result);
   return result;
 }

@@ -36,6 +36,7 @@ metric_registry() {
           {"rsm_reduction_pct", PipelineStep::kOptimize},
           {"rsm_iterations", PipelineStep::kOptimize},
           {"rsm_slo_limited", PipelineStep::kOptimize},
+          {"rsm_failsafe", PipelineStep::kOptimize},
           {"model_equivalent", PipelineStep::kModel},
           {"model_type_distance", PipelineStep::kModel},
           {"gate_blocked", PipelineStep::kValidate},
@@ -61,6 +62,30 @@ metric_registry() {
 }
 
 }  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kTelemetryGap: return "telemetry_gap";
+    case FaultKind::kNanBurst: return "nan_burst";
+    case FaultKind::kDuplicateWindow: return "duplicate_window";
+    case FaultKind::kOutOfOrderWindow: return "out_of_order_window";
+    case FaultKind::kCorruptRow: return "corrupt_row";
+    case FaultKind::kFeedStall: return "feed_stall";
+    case FaultKind::kClockSkew: return "clock_skew";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_string(std::string_view name) noexcept {
+  if (name == "telemetry_gap") return FaultKind::kTelemetryGap;
+  if (name == "nan_burst") return FaultKind::kNanBurst;
+  if (name == "duplicate_window") return FaultKind::kDuplicateWindow;
+  if (name == "out_of_order_window") return FaultKind::kOutOfOrderWindow;
+  if (name == "corrupt_row") return FaultKind::kCorruptRow;
+  if (name == "feed_stall") return FaultKind::kFeedStall;
+  if (name == "clock_skew") return FaultKind::kClockSkew;
+  return std::nullopt;
+}
 
 std::string_view to_string(AssertOp op) noexcept {
   switch (op) {
@@ -93,6 +118,52 @@ const std::vector<std::string>& known_metrics() {
     return names;
   }();
   return kNames;
+}
+
+const std::vector<std::string>& known_pool_metrics() {
+  static const std::vector<std::string> kNames = {
+      "max_active_servers", "mean_cpu_pct", "mean_p95_ms", "mean_rps",
+      "min_active_servers", "peak_cpu_pct", "peak_p95_ms", "peak_rps",
+  };
+  return kNames;
+}
+
+std::optional<PoolMetricRef> parse_pool_metric(std::string_view name,
+                                               std::string* error) {
+  if (error != nullptr) error->clear();
+  if (!name.starts_with("pool(")) return std::nullopt;
+  const auto bad = [&]() -> std::optional<PoolMetricRef> {
+    if (error != nullptr) {
+      *error = "bad pool assertion target '" + std::string(name) +
+               "' (expected pool(DC,POOL).metric)";
+    }
+    return std::nullopt;
+  };
+  const std::size_t close = name.find(')');
+  if (close == std::string_view::npos) return bad();
+  const std::string_view args = name.substr(5, close - 5);
+  const std::size_t comma = args.find(',');
+  if (comma == std::string_view::npos) return bad();
+  const auto parse_u32 = [](std::string_view text,
+                            std::uint32_t* out) -> bool {
+    if (text.empty() || text.size() > 9) return false;
+    std::uint32_t v = 0;
+    for (char c : text) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    *out = v;
+    return true;
+  };
+  PoolMetricRef ref;
+  if (!parse_u32(args.substr(0, comma), &ref.datacenter) ||
+      !parse_u32(args.substr(comma + 1), &ref.pool)) {
+    return bad();
+  }
+  if (close + 1 >= name.size() || name[close + 1] != '.') return bad();
+  ref.base = std::string(name.substr(close + 2));
+  if (ref.base.empty()) return bad();
+  return ref;
 }
 
 std::string validate(const ScenarioSpec& spec) {
@@ -247,14 +318,74 @@ std::string validate(const ScenarioSpec& spec) {
     }
   }
 
-  for (const ScenarioAssertion& a : spec.assertions) {
-    const auto it = metric_registry().find(a.metric);
-    if (it == metric_registry().end()) {
-      return "unknown assertion metric '" + a.metric + "'";
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    const FaultSpec& f = spec.faults[i];
+    const std::string where = "fault " + std::to_string(i + 1);
+    if (f.start_hour < 0.0 || !std::isfinite(f.start_hour)) {
+      return where + ": start_hour must be >= 0";
     }
-    if (it->second && !spec.runs(*it->second)) {
-      return "assertion on '" + a.metric + "' requires the " +
-             std::string(step_name(*it->second)) + " step";
+    if (f.duration_hours <= 0.0 || !std::isfinite(f.duration_hours)) {
+      return where + ": duration_hours must be positive";
+    }
+    if (f.kind == FaultKind::kFeedStall) {
+      if (f.datacenter || f.pool) {
+        return where + ": feed_stall freezes every pool; 'datacenter' and "
+                       "'pool' do not apply";
+      }
+    } else {
+      if (f.datacenter && *f.datacenter >= dc_count) {
+        return where + ": datacenter " + std::to_string(*f.datacenter) +
+               " is out of range (fleet has " + std::to_string(dc_count) +
+               " datacenter(s))";
+      }
+      if (f.pool && *f.pool >= pools_per_dc) {
+        return where + ": pool " + std::to_string(*f.pool) +
+               " is out of range (fleet has " + std::to_string(pools_per_dc) +
+               " pool(s) per datacenter)";
+      }
+    }
+    if (f.kind == FaultKind::kClockSkew) {
+      if (f.skew_seconds == 0.0 || !std::isfinite(f.skew_seconds) ||
+          std::abs(f.skew_seconds) >=
+              static_cast<double>(spec.window_seconds)) {
+        return where + ": clock_skew needs a non-zero skew_seconds smaller "
+                       "than one window";
+      }
+    } else if (f.skew_seconds != 0.0) {
+      return where + ": 'skew_seconds' only applies to clock_skew";
+    }
+  }
+
+  for (const ScenarioAssertion& a : spec.assertions) {
+    std::string pool_error;
+    if (const auto ref = parse_pool_metric(a.metric, &pool_error)) {
+      if (!std::binary_search(known_pool_metrics().begin(),
+                              known_pool_metrics().end(), ref->base)) {
+        return "unknown pool metric '" + ref->base + "' in assertion '" +
+               a.metric + "'";
+      }
+      if (ref->datacenter >= dc_count) {
+        return "assertion '" + a.metric + "': datacenter " +
+               std::to_string(ref->datacenter) +
+               " is out of range (fleet has " + std::to_string(dc_count) +
+               " datacenter(s))";
+      }
+      if (ref->pool >= pools_per_dc) {
+        return "assertion '" + a.metric + "': pool " +
+               std::to_string(ref->pool) + " is out of range (fleet has " +
+               std::to_string(pools_per_dc) + " pool(s) per datacenter)";
+      }
+    } else if (!pool_error.empty()) {
+      return pool_error;
+    } else {
+      const auto it = metric_registry().find(a.metric);
+      if (it == metric_registry().end()) {
+        return "unknown assertion metric '" + a.metric + "'";
+      }
+      if (it->second && !spec.runs(*it->second)) {
+        return "assertion on '" + a.metric + "' requires the " +
+               std::string(step_name(*it->second)) + " step";
+      }
     }
     if (!std::isfinite(a.value)) {
       return "assertion on '" + a.metric + "' has a non-finite value";

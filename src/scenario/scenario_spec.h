@@ -91,6 +91,37 @@ struct PoolOverride {
   [[nodiscard]] bool operator==(const PoolOverride&) const = default;
 };
 
+/// Telemetry fault classes injected between the simulator (or trace
+/// writer) and the planning pipeline. Faults are window-aligned and
+/// deterministic in (seed, fault index, window index), so injection is
+/// thread-count invariant; they never touch the simulator's ground truth.
+enum class FaultKind : std::uint8_t {
+  kTelemetryGap,      ///< Windows silently dropped before delivery.
+  kNanBurst,          ///< Delivered values replaced with quiet NaNs.
+  kDuplicateWindow,   ///< Each window delivered twice (same timestamp).
+  kOutOfOrderWindow,  ///< Adjacent windows delivered swapped.
+  kCorruptRow,        ///< One metric per window replaced with garbage.
+  kFeedStall,         ///< Whole feed frozen; real data delivered late.
+  kClockSkew,         ///< Timestamps shifted off the window grid.
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_string(
+    std::string_view name) noexcept;
+
+/// One `[fault]` section. `datacenter`/`pool` default to (0,0) when absent
+/// and are rejected for feed_stall (a stall freezes every pool's feed).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTelemetryGap;
+  std::optional<std::uint32_t> datacenter;
+  std::optional<std::uint32_t> pool;
+  double start_hour = 0.0;
+  double duration_hours = 0.0;
+  double skew_seconds = 0.0;  ///< kClockSkew only.
+
+  [[nodiscard]] bool operator==(const FaultSpec&) const = default;
+};
+
 enum class AssertOp : std::uint8_t { kGe, kLe, kGt, kLt, kEq, kNe };
 
 [[nodiscard]] std::string_view to_string(AssertOp op) noexcept;
@@ -135,6 +166,7 @@ struct ScenarioSpec {
   std::vector<DatacenterOverride> datacenter_overrides;
   std::vector<PoolOverride> pool_overrides;
   std::vector<ScenarioEvent> events;
+  std::vector<FaultSpec> faults;
   std::vector<ScenarioAssertion> assertions;
 
   [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
@@ -145,6 +177,26 @@ struct ScenarioSpec {
 
 /// The assertion metric vocabulary the runner produces. Sorted.
 [[nodiscard]] const std::vector<std::string>& known_metrics();
+
+/// Per-pool assertion targets: `pool(DC,POOL).base` resolves a base metric
+/// over one pool's observation-phase series instead of the default summary
+/// scope (which covers pool (0,0)).
+struct PoolMetricRef {
+  std::uint32_t datacenter = 0;
+  std::uint32_t pool = 0;
+  std::string base;
+};
+
+/// Parses `pool(DC,POOL).base`. Returns nullopt when `name` does not use
+/// the pool() syntax at all; sets `*error` (and returns nullopt) when it
+/// does but is malformed. The base metric is NOT vocabulary-checked here —
+/// validate() does that against known_pool_metrics().
+[[nodiscard]] std::optional<PoolMetricRef> parse_pool_metric(
+    std::string_view name, std::string* error);
+
+/// The per-pool base metric vocabulary (peak/mean of the observation
+/// series plus active-server extremes). Sorted.
+[[nodiscard]] const std::vector<std::string>& known_pool_metrics();
 
 /// Structural validation beyond per-key parsing: cross-field consistency,
 /// overlapping outages / serving reductions, assertion metric names, step

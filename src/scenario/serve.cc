@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -10,9 +11,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/degradation.h"
 #include "core/live_feed_backend.h"
 #include "core/rolling_plan.h"
 #include "query/query_engine.h"
+#include "scenario/fault.h"
 #include "scenario/pipeline_session.h"
 #include "scenario/trace.h"
 #include "telemetry/csv.h"
@@ -25,11 +28,16 @@ using telemetry::MetricKind;
 using telemetry::SimTime;
 
 /// One pool's rolling-report state: the O(1)-per-window planner plus the
-/// identity the report lines carry.
+/// identity the report lines carry. pool_size / last_serving / last_plan
+/// back the degraded path — a dark window reports the held plan (or the
+/// whole pool in FAILSAFE) instead of going silent.
 struct PoolStream {
   std::uint32_t dc = 0;
   std::uint32_t pool = 0;
   core::RollingPoolPlanner planner;
+  std::size_t pool_size = 0;
+  long long last_serving = 0;
+  std::optional<core::HeadroomPlan> last_plan;
 };
 
 /// One rolling planner per configured pool, each sized against its own
@@ -50,22 +58,28 @@ struct PoolStream {
           catalog.by_name(dc.pools[p].service).latency_slo_ms;
       policy.dr_headroom_fraction =
           dc_count > 1 ? 1.0 / static_cast<double>(dc_count) : 0.125;
-      streams.push_back({d, p, core::RollingPoolPlanner(policy, ropt)});
+      streams.push_back({d, p, core::RollingPoolPlanner(policy, ropt),
+                         dc.pools[p].servers, 0, std::nullopt});
     }
   }
   return streams;
 }
 
 /// Emits one report line per pool for the window starting at `t`, feeding
-/// each pool's rolling planner along the way. Pools with no sample at `t`
-/// (dark the whole window) are skipped. Reads go through the query layer:
-/// raw windows come back bit-identical (report lines are golden-pinned),
-/// and a window already evicted to the digest tiers still reports its
-/// tier-bucket mean instead of going dark.
+/// each pool's rolling planner along the way. Without a health monitor,
+/// pools with no sample at `t` (dark the whole window) are skipped and the
+/// line format is exactly the pre-degradation one. With a monitor, every
+/// line carries the pool's health mode and tallies, healed windows are
+/// discounted by the planner, and a dark pool still reports — holding its
+/// last plan, or the whole pool once FAILSAFE. Reads go through the query
+/// layer: raw windows come back bit-identical (report lines are
+/// golden-pinned), and a window already evicted to the digest tiers still
+/// reports its tier-bucket mean instead of going dark.
 void emit_window_reports(const telemetry::MetricStore& store,
                          std::vector<PoolStream>& streams, SimTime t,
                          const char* phase, const EmitFn& emit,
-                         std::size_t* reports) {
+                         std::size_t* reports,
+                         const core::HealthMonitor* monitor = nullptr) {
   const query::QueryEngine engine(&store);
   for (PoolStream& s : streams) {
     const auto value_at = [&](MetricKind kind, double* out) {
@@ -79,31 +93,105 @@ void emit_window_reports(const telemetry::MetricStore& store,
     double cpu = 0.0;
     double latency = 0.0;
     double active = 0.0;
-    if (!value_at(MetricKind::kRequestsPerSecond, &rps) ||
-        !value_at(MetricKind::kCpuPercentAttributed, &cpu) ||
-        !value_at(MetricKind::kLatencyP95Ms, &latency) ||
-        !value_at(MetricKind::kActiveServers, &active)) {
-      continue;
-    }
-    s.planner.add_window(rps, cpu, latency);
-    const auto serving = static_cast<long long>(active);
+    const bool lit = value_at(MetricKind::kRequestsPerSecond, &rps) &&
+                     value_at(MetricKind::kCpuPercentAttributed, &cpu) &&
+                     value_at(MetricKind::kLatencyP95Ms, &latency) &&
+                     value_at(MetricKind::kActiveServers, &active);
+    const core::DegradationTracker* health =
+        monitor != nullptr ? monitor->find(s.dc, s.pool) : nullptr;
+    if (!lit && health == nullptr) continue;
     std::string line;
     line += "window t=" + std::to_string(t);
     line += " dc=" + std::to_string(s.dc);
     line += " pool=" + std::to_string(s.pool);
     line += " phase=";
     line += phase;
-    line += " rps=" + telemetry::format_double(rps);
-    line += " cpu_pct=" + telemetry::format_double(cpu);
-    line += " p95_ms=" + telemetry::format_double(latency);
-    line += " serving=" + std::to_string(serving);
-    const std::optional<core::HeadroomPlan> plan =
-        s.planner.plan(serving > 0 ? static_cast<std::size_t>(serving) : 0);
-    if (plan) {
-      line += " plan=" + std::to_string(plan->recommended_servers);
+    if (lit) {
+      s.planner.add_window(rps, cpu, latency,
+                           health != nullptr && health->window_healed(t));
+      const auto serving = static_cast<long long>(active);
+      s.last_serving = serving;
+      line += " rps=" + telemetry::format_double(rps);
+      line += " cpu_pct=" + telemetry::format_double(cpu);
+      line += " p95_ms=" + telemetry::format_double(latency);
+      line += " serving=" + std::to_string(serving);
+      const std::optional<core::HeadroomPlan> plan =
+          s.planner.plan(serving > 0 ? static_cast<std::size_t>(serving) : 0);
+      if (plan) {
+        line += " plan=" + std::to_string(plan->recommended_servers);
+        s.last_plan = plan;
+      }
+    } else {
+      // Dark window: the feed delivered nothing for this pool. On stale
+      // data capacity is never shrunk — hold the last-known-good plan,
+      // and once the staleness budget is gone, fail safe to the full
+      // pool (the paper's worst-case headroom posture).
+      line += " dark=1 serving=" + std::to_string(s.last_serving);
+      if (health->mode() == core::HealthMode::kFailsafe) {
+        line += " plan=" + std::to_string(s.pool_size);
+      } else if (s.last_plan) {
+        line += " plan=" + std::to_string(s.last_plan->recommended_servers);
+      }
+    }
+    if (health != nullptr) {
+      line += " mode=";
+      line += core::to_string(health->mode());
+      line += " healed=" + std::to_string(health->counters().healed);
+      line += " quarantined=" +
+              std::to_string(health->counters().quarantined_total());
     }
     ++*reports;
     if (emit) emit(line);
+  }
+}
+
+/// Reads the exact sample recorded at `t`, if any.
+[[nodiscard]] bool sample_at(const telemetry::TimeSeries& series, SimTime t,
+                             double* out) {
+  const std::size_t i = series.first_index_at_or_after(t);
+  if (i >= series.size() || series.time_at(i) != t) return false;
+  *out = series.value_at(i);
+  return true;
+}
+
+/// Routes one grid window of true samples from `source` through the fault
+/// injector into the health monitor, which sanitizes and writes the
+/// delivered store. Pool-scope samples take the fault surface; server-scope
+/// rows (per-server accounting) bypass it verbatim — the faults model the
+/// pool aggregation pipeline, and the monitor's grid accounting is per
+/// pool. Keys are walked in the store's canonical sorted order, so the
+/// delivery stream is deterministic at any thread count.
+void deliver_window(const telemetry::MetricStore& source, SimTime t,
+                    FaultInjector& injector, core::HealthMonitor& monitor,
+                    telemetry::MetricStore& delivered) {
+  const std::vector<telemetry::SeriesKey> keys = source.keys();
+  std::vector<DeliveredSample> samples;
+  std::size_t i = 0;
+  while (i < keys.size()) {
+    if (keys[i].server != telemetry::SeriesKey::kPoolScope) {
+      double v = 0.0;
+      if (sample_at(source.series(keys[i]), t, &v)) {
+        delivered.record(keys[i], t, v);
+      }
+      ++i;
+      continue;
+    }
+    const std::uint32_t dc = keys[i].datacenter;
+    const std::uint32_t pool = keys[i].pool;
+    samples.clear();
+    while (i < keys.size() && keys[i].datacenter == dc &&
+           keys[i].pool == pool &&
+           keys[i].server == telemetry::SeriesKey::kPoolScope) {
+      double v = 0.0;
+      if (sample_at(source.series(keys[i]), t, &v)) {
+        samples.push_back({keys[i], t, v});
+      }
+      ++i;
+    }
+    injector.deliver(dc, pool, t, &samples);
+    for (const DeliveredSample& sample : samples) {
+      monitor.ingest(sample.key, sample.time, sample.value);
+    }
   }
 }
 
@@ -116,22 +204,51 @@ void emit_window_reports(const telemetry::MetricStore& store,
   return std::max(requested, kDaySeconds + window);
 }
 
+/// Parses a double accepting the non-finite spellings strtod does ("nan",
+/// "inf") — the hardened tailer lets those through so the health monitor
+/// can quarantine them instead of the reader dying on them.
+[[nodiscard]] bool parse_any_double(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size()) return false;
+  *out = v;
+  return true;
+}
+
 /// Incremental reader of one growing pool CSV: remembers the byte offset
 /// reached, ingests only complete new lines each poll (a partial trailing
 /// line is carried to the next poll), and enforces the same header/field
 /// validation as telemetry::read_pool_csv, with `path:line` diagnostics.
+///
+/// Two dispositions. Strict (no monitor): any malformed or misordered row
+/// throws — replay semantics, a recording must be perfect. Hardened (a
+/// HealthMonitor attached): rows route sample-by-sample through the
+/// monitor, which quarantines duplicates, reordering, and non-finite
+/// values; rows that do not even parse are counted per pool
+/// (note_malformed_row) and skipped. Header errors are fatal either way —
+/// a wrong schema is a misconfiguration, not line noise.
 class CsvTailReader {
  public:
-  CsvTailReader(std::string path, std::uint32_t datacenter,
-                std::uint32_t pool)
-      : path_(std::move(path)), datacenter_(datacenter), pool_(pool) {}
+  CsvTailReader(std::string path, std::uint32_t datacenter, std::uint32_t pool,
+                core::HealthMonitor* monitor = nullptr)
+      : path_(std::move(path)), datacenter_(datacenter), pool_(pool),
+        monitor_(monitor) {}
 
-  /// Reads newly appended complete rows into `store`. Returns rows
-  /// ingested; 0 when the file is absent or has not grown. Throws
-  /// std::runtime_error on malformed content.
+  /// Reads newly appended complete rows into `store` (strict) or through
+  /// the monitor (hardened). Returns rows handed on; 0 when the file is
+  /// absent or has not grown. Throws std::runtime_error on malformed
+  /// content in strict mode. A file that was readable before but fails to
+  /// open now counts an IO retry (hardened) and reads as idle — the next
+  /// poll is the retry, bounded by the caller's idle watchdog.
   std::size_t poll(telemetry::MetricStore* store) {
     std::ifstream in(path_, std::ios::binary);
-    if (!in) return 0;  // not written yet — idle, not an error
+    if (!in) {
+      if (offset_ > 0 && monitor_ != nullptr) {
+        monitor_->note_io_retry(datacenter_, pool_);
+      }
+      return 0;  // not written yet (or transiently unreadable) — idle
+    }
     in.seekg(offset_);
     std::ostringstream chunk_stream;
     chunk_stream << in.rdbuf();
@@ -170,31 +287,57 @@ class CsvTailReader {
       return;
     }
     if (line.empty()) return;  // tolerate blank lines, like read_pool_csv
+    const bool hardened = monitor_ != nullptr;
     const std::vector<std::string> fields =
         telemetry::split_csv_fields(line, ',');
     if (fields.size() != keys_.size() + 1) {
+      if (hardened) {
+        monitor_->note_malformed_row(datacenter_, pool_);
+        return;
+      }
       fail("expected " + std::to_string(keys_.size() + 1) + " fields, got " +
            std::to_string(fields.size()));
     }
     SimTime t = 0;
     if (!telemetry::parse_int64(fields[0], &t)) {
+      if (hardened) {
+        monitor_->note_malformed_row(datacenter_, pool_);
+        return;
+      }
       fail("bad window_start '" + fields[0] + "' (expected an integer)");
     }
-    if (have_last_ && t <= last_time_) {
+    if (!hardened && have_last_ && t <= last_time_) {
+      // Hardened mode leaves ordering to the monitor, which quarantines
+      // duplicated and time-reversed windows per series.
       fail("window_start " + std::to_string(t) +
            " is not after the previous row (" + std::to_string(last_time_) +
            "); rows must be strictly time-ordered");
     }
-    last_time_ = t;
-    have_last_ = true;
+    // Parse the whole row before handing any of it on, so a malformed
+    // field never leaves a half-ingested window behind.
+    row_values_.clear();
     for (std::size_t c = 0; c < keys_.size(); ++c) {
       double v = 0.0;
-      if (!telemetry::parse_finite_double(fields[c + 1], &v)) {
+      if (hardened ? !parse_any_double(fields[c + 1], &v)
+                   : !telemetry::parse_finite_double(fields[c + 1], &v)) {
+        if (hardened) {
+          monitor_->note_malformed_row(datacenter_, pool_);
+          return;
+        }
         fail("bad value '" + fields[c + 1] + "' for column '" +
              std::string(telemetry::to_string(keys_[c].metric)) +
              "' (expected a finite number)");
       }
-      buffer->record(keys_[c], t, v);
+      row_values_.push_back(v);
+    }
+    last_time_ = t;
+    have_last_ = true;
+    for (std::size_t c = 0; c < keys_.size(); ++c) {
+      if (hardened) {
+        monitor_->ingest(keys_[c], t, row_values_[c]);
+      } else {
+        buffer->record(keys_[c], t, row_values_[c]);
+      }
     }
     ++*rows;
   }
@@ -222,9 +365,11 @@ class CsvTailReader {
   std::string path_;
   std::uint32_t datacenter_;
   std::uint32_t pool_;
+  core::HealthMonitor* monitor_ = nullptr;
   std::streamoff offset_ = 0;
   std::string partial_;
   std::vector<telemetry::SeriesKey> keys_;
+  std::vector<double> row_values_;
   SimTime last_time_ = 0;
   bool have_last_ = false;
   std::size_t line_no_ = 0;
@@ -279,6 +424,36 @@ ServeResult ServeRunner::serve(const ScenarioSpec& spec,
   std::vector<PoolStream> streams =
       build_streams(fleet.config(), catalog, options_);
 
+  // --- Degraded-input delivery layer ---------------------------------------
+  // Active only when the spec injects faults (or --harden opts in). The
+  // fault-free un-hardened path never touches it, which is what keeps
+  // every pre-existing golden byte-identical. When active, the pipeline
+  // reads the *delivered* store the monitor writes, never the simulator's
+  // ground truth.
+  const bool health_active = !spec.faults.empty() || options_.harden;
+  telemetry::MetricStore delivered;
+  std::optional<FaultInjector> injector;
+  std::optional<core::HealthMonitor> health_monitor;
+  if (health_active) {
+    injector.emplace(spec);
+    core::DegradationOptions dopt;
+    dopt.window_seconds = window;
+    dopt.heal_budget_seconds = options_.heal_budget_seconds;
+    dopt.staleness_budget_seconds = options_.staleness_budget_seconds;
+    health_monitor.emplace(&delivered, dopt);
+    const sim::FleetConfig& fleet_config = fleet.config();
+    for (std::uint32_t d = 0; d < fleet_config.datacenters.size(); ++d) {
+      for (std::uint32_t p = 0;
+           p < fleet_config.datacenters[d].pools.size(); ++p) {
+        health_monitor->add_pool(d, p);
+      }
+    }
+  }
+  core::HealthMonitor* health =
+      health_monitor ? &*health_monitor : nullptr;
+  const telemetry::MetricStore& read_store =
+      health_active ? delivered : fleet.store();
+
   if (emit) {
     emit("serve phase=observe t=0 horizon=" + std::to_string(horizon));
   }
@@ -295,13 +470,20 @@ ServeResult ServeRunner::serve(const ScenarioSpec& spec,
       fleet.set_serving_count(*e.datacenter, *e.pool, e.serving);
     }
     fleet.run_until(t + window);
+    if (health != nullptr) {
+      deliver_window(fleet.store(), t, *injector, *health, delivered);
+      health->advance(t + window);
+    }
     ++out.windows;
-    emit_window_reports(fleet.store(), streams, t, "observe", emit,
-                        &out.reports);
+    emit_window_reports(read_store, streams, t, "observe", emit,
+                        &out.reports, health);
   }
   fleet.finish_day();
 
   compute_environment_metrics(fleet, spec, out.result.metrics);
+  // Pool-level assertion targets read the observation phase exactly — and
+  // must be resolved now, before retention starts rolling it away.
+  compute_pool_assertion_metrics(read_store, spec, out.result.metrics);
   const std::string& pool_service =
       fleet.config().datacenters[0].pools[0].service;
   out.result.latency_slo_ms = catalog.by_name(pool_service).latency_slo_ms;
@@ -319,13 +501,14 @@ ServeResult ServeRunner::serve(const ScenarioSpec& spec,
   // the active-servers column — validating against it would be circular.
   feed_opt.validate_serving = false;
   feed_opt.label = "headroom serve";
-  core::LiveFeedBackend backend(&fleet.store(), feed_opt);
+  core::LiveFeedBackend backend(&read_store, feed_opt);
   backend.set_serving_hook([&fleet](std::size_t servers) {
     fleet.set_serving_count(0, 0, servers);
   });
+  backend.set_health_monitor(health);
 
   PipelineContext ctx;
-  ctx.store = &fleet.store();
+  ctx.store = &read_store;
   // Consumed synchronously by run_measure_and_plan below; the simulator
   // appends more rows during the experiment phase, which may reallocate.
   ctx.server_days = fleet.server_day_cpu();
@@ -339,7 +522,7 @@ ServeResult ServeRunner::serve(const ScenarioSpec& spec,
   if (options_.reuse_observation_baseline &&
       spec.runs(PipelineStep::kOptimize)) {
     const core::ExperimentObservations seed = core::observations_between(
-        fleet.store(), 0, 0, fleet.now() - kDaySeconds, fleet.now());
+        read_store, 0, 0, fleet.now() - kDaySeconds, fleet.now());
     session.start_rsm(&seed);
   } else {
     session.start_rsm();
@@ -348,7 +531,10 @@ ServeResult ServeRunner::serve(const ScenarioSpec& spec,
   // Measure and plan have consumed the full observation history; from here
   // the experiment only reads forward, so the store can roll.
   const SimTime retention = clamp_retention(options_.retention_seconds, window);
-  if (retention > 0) fleet.set_store_retention(retention);
+  if (retention > 0) {
+    fleet.set_store_retention(retention);
+    if (health_active) delivered.set_retention(retention);
+  }
 
   if (emit) {
     emit("serve phase=experiment t=" + std::to_string(fleet.now()) +
@@ -356,11 +542,23 @@ ServeResult ServeRunner::serve(const ScenarioSpec& spec,
   }
 
   while (!session.advance_rsm()) {
+    if (health != nullptr &&
+        health->mode(0, 0) == core::HealthMode::kFailsafe) {
+      // The experiment pool's staleness budget is gone. Never shrink on
+      // stale data: restore the validated pre-experiment serving count
+      // and finish the pipeline degraded instead of waiting forever.
+      session.abort_rsm_failsafe();
+      continue;
+    }
     const SimTime t = fleet.now();
     fleet.run_until(t + window);
+    if (health != nullptr) {
+      deliver_window(fleet.store(), t, *injector, *health, delivered);
+      health->advance(t + window);
+    }
     ++out.windows;
-    emit_window_reports(fleet.store(), streams, t, "experiment", emit,
-                        &out.reports);
+    emit_window_reports(read_store, streams, t, "experiment", emit,
+                        &out.reports, health);
   }
   session.finalize(out.result);
   evaluate_assertions(spec, out.result);
@@ -370,14 +568,23 @@ ServeResult ServeRunner::serve(const ScenarioSpec& spec,
   while (fleet.now() < steady_end) {
     const SimTime t = fleet.now();
     fleet.run_until(t + window);
+    if (health != nullptr) {
+      deliver_window(fleet.store(), t, *injector, *health, delivered);
+      health->advance(t + window);
+    }
     ++out.windows;
-    emit_window_reports(fleet.store(), streams, t, "steady", emit,
-                        &out.reports);
+    emit_window_reports(read_store, streams, t, "steady", emit,
+                        &out.reports, health);
   }
 
   out.summary = format_summary(out.result);
   out.resident_samples = fleet.store().sample_count();
   out.evicted_samples = fleet.store().evicted_samples();
+  if (health != nullptr) {
+    out.health_active = true;
+    out.degraded = health->any_degraded();
+    out.health_report = health->format_report();
+  }
   if (emit) {
     emit("serve phase=done t=" + std::to_string(fleet.now()) +
          " windows=" + std::to_string(out.windows) +
@@ -418,27 +625,56 @@ ServeResult ServeRunner::follow(const std::string& trace_dir,
   std::vector<PoolStream> streams =
       build_streams(fleet.config(), catalog, options_);
 
+  // Follow always hardens: the tailer routes every row through a health
+  // monitor writing the feed store, so malformed, duplicated, reordered,
+  // or non-finite rows are quarantined-and-counted instead of fatal, and
+  // a stalled writer degrades the pools instead of hanging the reader.
   telemetry::MetricStore feed;
+  core::DegradationOptions dopt;
+  dopt.window_seconds = window;
+  dopt.heal_budget_seconds = options_.heal_budget_seconds;
+  dopt.staleness_budget_seconds = options_.staleness_budget_seconds;
+  core::HealthMonitor monitor(&feed, dopt);
+  for (const TracePoolFeed& pool : info.pools) {
+    monitor.add_pool(pool.datacenter, pool.pool);
+  }
   std::vector<CsvTailReader> tails;
   tails.reserve(info.pools.size());
   for (const TracePoolFeed& pool : info.pools) {
-    tails.emplace_back(pool.path, pool.datacenter, pool.pool);
+    tails.emplace_back(pool.path, pool.datacenter, pool.pool, &monitor);
   }
 
+  // The watchdog: `experiment_running` flips the idle response from fatal
+  // (nothing to finalize yet) to a clean failsafe exit, and `feed_dead`
+  // tells the experiment loop to stop waiting.
   std::size_t idle_polls = 0;
+  bool experiment_running = false;
+  bool feed_dead = false;
   const auto ingest = [&]() {
     std::size_t rows = 0;
     for (CsvTailReader& tail : tails) rows += tail.poll(&feed);
     if (rows > 0) {
       idle_polls = 0;
+      monitor.advance(target_feed_end(feed, window));
       return true;
     }
     if (++idle_polls > options_.max_idle_polls) {
-      throw std::runtime_error(
-          "headroom follow: feed in '" + trace_dir + "' went idle after " +
-          std::to_string(options_.max_idle_polls) +
-          " polls with the pipeline still waiting at t=" +
-          std::to_string(target_feed_end(feed, window)));
+      if (!experiment_running) {
+        throw std::runtime_error(
+            "headroom follow: feed in '" + trace_dir + "' went idle after " +
+            std::to_string(options_.max_idle_polls) +
+            " polls with the pipeline still waiting at t=" +
+            std::to_string(target_feed_end(feed, window)));
+      }
+      // Mid-experiment a dead feed is a degraded outcome, not a crash:
+      // every pool fails safe and the reduction experiment is abandoned.
+      const SimTime now = target_feed_end(feed, window);
+      monitor.force_degrade(now, core::HealthMode::kStale,
+                            "feed watchdog: feed went idle");
+      monitor.force_degrade(now, core::HealthMode::kFailsafe,
+                            "feed watchdog: idle past the staleness budget");
+      feed_dead = true;
+      return false;
     }
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.poll_ms > 0 ? options_.poll_ms : 1));
@@ -454,7 +690,7 @@ ServeResult ServeRunner::follow(const std::string& trace_dir,
       const char* phase =
           reported_to < experiment_start ? "observe" : "experiment";
       emit_window_reports(feed, streams, reported_to, phase, emit,
-                          &out.reports);
+                          &out.reports, &monitor);
       reported_to += window;
       ++out.windows;
     }
@@ -473,6 +709,7 @@ ServeResult ServeRunner::follow(const std::string& trace_dir,
   // The measure/plan stages see the recording truncated at the horizon —
   // exactly what the recording run's pipeline saw (replay semantics).
   const telemetry::MetricStore observation = truncate_store(feed, horizon);
+  compute_pool_assertion_metrics(observation, spec, out.result.metrics);
   std::vector<sim::ServerDayCpu> observation_days;
   observation_days.reserve(info.server_days.size());
   for (const sim::ServerDayCpu& day : info.server_days) {
@@ -490,6 +727,7 @@ ServeResult ServeRunner::follow(const std::string& trace_dir,
   feed_opt.validate_serving = true;  // recorded active_servers is the truth
   feed_opt.label = "headroom follow";
   core::LiveFeedBackend backend(&feed, feed_opt);
+  backend.set_health_monitor(&monitor);
 
   PipelineContext ctx;
   ctx.store = &observation;
@@ -524,9 +762,15 @@ ServeResult ServeRunner::follow(const std::string& trace_dir,
     emit("serve phase=experiment t=" + std::to_string(experiment_start) +
          " serving=" + std::to_string(fleet.serving_count(0, 0)));
   }
+  experiment_running = true;
 
   // --- Experiment phase: advance whenever the tail grows -------------------
   while (!session.advance_rsm()) {
+    if (feed_dead ||
+        monitor.mode(0, 0) == core::HealthMode::kFailsafe) {
+      session.abort_rsm_failsafe();
+      continue;
+    }
     if (retention > 0) {
       feed.set_eviction_floor(std::min(backend.cursor(), reported_to));
     }
@@ -539,6 +783,9 @@ ServeResult ServeRunner::follow(const std::string& trace_dir,
   out.summary = format_summary(out.result);
   out.resident_samples = feed.sample_count();
   out.evicted_samples = feed.evicted_samples();
+  out.health_active = true;
+  out.degraded = monitor.any_degraded();
+  out.health_report = monitor.format_report();
   if (emit) {
     emit("serve phase=done t=" + std::to_string(reported_to) +
          " windows=" + std::to_string(out.windows) +

@@ -55,7 +55,27 @@ struct ServeOptions {
   /// Follow mode: delay between polls of a feed that had no new rows.
   std::int64_t poll_ms = 20;
   /// Follow mode: consecutive idle polls before declaring the feed dead.
+  /// Before the pipeline's experiment phase an idle feed is fatal (there
+  /// is nothing to finalize); mid-experiment the watchdog instead forces
+  /// every pool to FAILSAFE, aborts the pending reduction experiment, and
+  /// returns a clean degraded result.
   std::size_t max_idle_polls = 250;
+  /// Runs the degraded-input delivery layer (fault injection surface,
+  /// per-pool health state machine, gap healing, quarantine accounting)
+  /// even when the spec declares no [fault] sections. Specs *with* faults
+  /// always run it; fault-free un-hardened serves bypass it entirely,
+  /// which is what keeps their summaries byte-identical to the era before
+  /// the layer existed. Follow mode always hardens its tailer (malformed
+  /// and misordered rows are quarantined, not fatal).
+  bool harden = false;
+  /// Gaps up to this long backfill transparently on resume (seasonal
+  /// value a day back when available, else last value) and the pool
+  /// returns to NOMINAL. Default: 15 minutes.
+  telemetry::SimTime heal_budget_seconds = 900;
+  /// A pool dark beyond this enters FAILSAFE: the last-known-good plan is
+  /// replaced by the full pool and a pending RSM experiment is aborted
+  /// back to its starting serving count. Default: 4 hours.
+  telemetry::SimTime staleness_budget_seconds = 14400;
 };
 
 /// Sink for the per-window report lines and lifecycle events. Lines are
@@ -71,6 +91,17 @@ struct ServeResult {
   std::size_t reports = 0;         ///< Per-pool report lines emitted.
   std::size_t resident_samples = 0;  ///< Store samples at completion.
   std::size_t evicted_samples = 0;   ///< Retention-evicted samples.
+  /// True when the degraded-input delivery layer ran (spec faults,
+  /// --harden, or follow mode).
+  bool health_active = false;
+  /// True when anything was healed, quarantined, or degraded — the CLI
+  /// maps this to a dedicated exit code.
+  bool degraded = false;
+  /// HealthMonitor::format_report() at completion (empty when the layer
+  /// was inactive). For simulated fault runs this is deterministic and
+  /// thread-count invariant — golden-pinned; follow-mode reports depend
+  /// on wall-clock poll timing and are not.
+  std::string health_report;
 };
 
 class ServeRunner {
@@ -90,9 +121,16 @@ class ServeRunner {
   /// feeding new complete rows into the same streaming pipeline. The
   /// manifest and scenario file must exist when follow() starts; pool
   /// CSVs may grow (partial trailing lines are left for the next poll).
-  /// Completes when the pipeline finishes; throws std::runtime_error when
-  /// the feed goes idle for max_idle_polls before that, and
-  /// std::runtime_error with the trace diagnostics for a malformed feed.
+  /// The tailer is hardened: malformed rows, duplicated or reordered
+  /// window_starts, and non-finite values are quarantined (skipped and
+  /// counted per pool) rather than fatal — header and manifest errors
+  /// stay fatal, and the strict batch path (`run --trace`) is untouched.
+  /// Completes when the pipeline finishes. A feed idle for max_idle_polls
+  /// before the experiment phase throws std::runtime_error; idle
+  /// mid-experiment, the watchdog degrades every pool to FAILSAFE, aborts
+  /// the reduction experiment, and returns a clean degraded result.
+  /// Throws std::runtime_error with the trace diagnostics for a malformed
+  /// manifest or header.
   [[nodiscard]] ServeResult follow(const std::string& trace_dir,
                                    const EmitFn& emit) const;
 

@@ -1,0 +1,252 @@
+// HealthMonitor / DegradationTracker unit coverage: sanitization classes,
+// lazy gap healing (seasonal vs last-value fill), the four-mode state
+// machine, watchdog escalation, and the report format other layers pin.
+#include "core/degradation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "telemetry/metric_store.h"
+
+namespace headroom::core {
+namespace {
+
+using telemetry::MetricKind;
+using telemetry::MetricStore;
+using telemetry::SeriesKey;
+using telemetry::SimTime;
+
+constexpr SimTime kWindow = 120;
+constexpr SimTime kDay = 86400;
+
+SeriesKey pool_key(MetricKind metric, std::uint32_t dc = 0,
+                   std::uint32_t pool = 0) {
+  return {dc, pool, SeriesKey::kPoolScope, metric};
+}
+
+DegradationOptions small_budgets() {
+  DegradationOptions opt;
+  opt.window_seconds = kWindow;
+  opt.heal_budget_seconds = 4 * kWindow;
+  opt.staleness_budget_seconds = 10 * kWindow;
+  return opt;
+}
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  DegradationTest() : monitor_(&store_, small_budgets()) {
+    monitor_.add_pool(0, 0);
+  }
+
+  MetricStore store_;
+  HealthMonitor monitor_;
+};
+
+TEST_F(DegradationTest, CleanStreamStaysNominalAndStoresEverything) {
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  for (SimTime t = 0; t < 10 * kWindow; t += kWindow) {
+    monitor_.ingest(key, t, 100.0 + static_cast<double>(t));
+    monitor_.advance(t + kWindow);
+  }
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kNominal);
+  EXPECT_FALSE(monitor_.any_degraded());
+  EXPECT_TRUE(monitor_.transitions().empty());
+  EXPECT_EQ(store_.series(key).size(), 10u);
+  EXPECT_EQ(monitor_.find(0, 0)->last_real_time(), 9 * kWindow);
+}
+
+TEST_F(DegradationTest, NonFiniteValuesAreQuarantinedNotStored) {
+  const SeriesKey key = pool_key(MetricKind::kCpuPercentAttributed);
+  monitor_.ingest(key, 0, std::numeric_limits<double>::quiet_NaN());
+  monitor_.ingest(key, kWindow, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(store_.series(key).size(), 0u);
+  EXPECT_EQ(monitor_.find(0, 0)->counters().quarantined_nan, 2u);
+  EXPECT_TRUE(monitor_.any_degraded());
+}
+
+TEST_F(DegradationTest, NegativeValuesAreQuarantinedAsImplausible) {
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  monitor_.ingest(key, 0, -1.0e6);
+  EXPECT_EQ(store_.series(key).size(), 0u);
+  EXPECT_EQ(monitor_.find(0, 0)->counters().quarantined_implausible, 1u);
+}
+
+TEST_F(DegradationTest, DuplicateAndOutOfOrderWindowsAreDropped) {
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  monitor_.ingest(key, 0, 10.0);
+  monitor_.ingest(key, kWindow, 11.0);
+  monitor_.ingest(key, kWindow, 99.0);  // Duplicate: first value wins.
+  monitor_.ingest(key, 0, 99.0);        // Time-reversed.
+  const telemetry::TimeSeries& series = store_.series(key);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.value_at(1), 11.0);
+  EXPECT_EQ(monitor_.find(0, 0)->counters().quarantined_duplicate, 1u);
+  EXPECT_EQ(monitor_.find(0, 0)->counters().quarantined_out_of_order, 1u);
+}
+
+TEST_F(DegradationTest, OffGridTimestampsSnapDownToTheirWindow) {
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  monitor_.ingest(key, kWindow + 30, 42.0);  // 30s of clock skew.
+  const telemetry::TimeSeries& series = store_.series(key);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series.time_at(0), kWindow);
+  EXPECT_DOUBLE_EQ(series.value_at(0), 42.0);
+  EXPECT_EQ(monitor_.find(0, 0)->counters().realigned, 1u);
+}
+
+TEST_F(DegradationTest, GapBackfillsWithLastValueWhenNoSeasonExists) {
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  monitor_.ingest(key, 0, 50.0);
+  // Windows 1 and 2 never arrive; the resume at window 3 heals them.
+  monitor_.ingest(key, 3 * kWindow, 80.0);
+  const telemetry::TimeSeries& series = store_.series(key);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series.value_at(1), 50.0);
+  EXPECT_DOUBLE_EQ(series.value_at(2), 50.0);
+  EXPECT_DOUBLE_EQ(series.value_at(3), 80.0);
+  EXPECT_EQ(monitor_.find(0, 0)->counters().healed, 2u);
+  // Workload fills are flagged so the rolling planner can discount them.
+  EXPECT_TRUE(monitor_.find(0, 0)->window_healed(kWindow));
+  EXPECT_TRUE(monitor_.find(0, 0)->window_healed(2 * kWindow));
+  EXPECT_FALSE(monitor_.find(0, 0)->window_healed(3 * kWindow));
+}
+
+TEST_F(DegradationTest, GapPrefersTheSeasonalValueADayBack) {
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  // A full prior day, then a one-window hole on day two: the fill must be
+  // the value one season (day) earlier, not the last value before the gap.
+  for (SimTime t = 0; t < kDay; t += kWindow) {
+    monitor_.ingest(key, t, t == 5 * kWindow ? 777.0 : 100.0);
+  }
+  monitor_.ingest(key, kDay + 4 * kWindow, 200.0);
+  monitor_.ingest(key, kDay + 6 * kWindow, 210.0);  // Heals day+5w.
+  const telemetry::TimeSeries& series = store_.series(key);
+  double healed = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series.time_at(i) == kDay + 5 * kWindow) healed = series.value_at(i);
+  }
+  EXPECT_DOUBLE_EQ(healed, 777.0);
+}
+
+TEST_F(DegradationTest, ModeWalksTheFullLadderAsTheGapGrows) {
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  monitor_.ingest(key, 0, 10.0);
+  monitor_.advance(kWindow);
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kNominal);
+
+  monitor_.advance(3 * kWindow);  // Gap of 2 windows: within heal budget.
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kHealing);
+
+  monitor_.advance(7 * kWindow);  // Past the 4-window heal budget.
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kStale);
+  EXPECT_GT(monitor_.find(0, 0)->counters().stale_windows, 0u);
+
+  monitor_.advance(13 * kWindow);  // Past the 10-window staleness budget.
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kFailsafe);
+
+  // Real data resuming heals the hole and recovers the pool.
+  monitor_.ingest(key, 13 * kWindow, 12.0);
+  monitor_.advance(14 * kWindow);
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kNominal);
+
+  ASSERT_EQ(monitor_.transitions().size(), 4u);
+  EXPECT_EQ(monitor_.transitions()[0].to, HealthMode::kHealing);
+  EXPECT_EQ(monitor_.transitions()[1].to, HealthMode::kStale);
+  EXPECT_EQ(monitor_.transitions()[2].to, HealthMode::kFailsafe);
+  EXPECT_EQ(monitor_.transitions()[3].to, HealthMode::kNominal);
+  EXPECT_EQ(monitor_.transitions()[3].reason, "recovered");
+}
+
+TEST_F(DegradationTest, PoolsWithNoDataYetAreTheWatchdogsProblem) {
+  monitor_.advance(100 * kWindow);
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kNominal);
+  EXPECT_FALSE(monitor_.any_degraded());
+}
+
+TEST_F(DegradationTest, ForceDegradeFloorsEveryPoolButNeverDowngrades) {
+  monitor_.add_pool(0, 1);
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  monitor_.ingest(key, 0, 10.0);
+  monitor_.advance(13 * kWindow);  // Pool (0,0) is already FAILSAFE.
+  monitor_.force_degrade(13 * kWindow, HealthMode::kStale, "feed watchdog");
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kFailsafe);  // Not lowered.
+  EXPECT_EQ(monitor_.mode(0, 1), HealthMode::kStale);     // Raised.
+  EXPECT_EQ(monitor_.transitions().back().reason, "feed watchdog");
+}
+
+TEST_F(DegradationTest, TransientHealingExcursionIsNotDegraded) {
+  // A tailed pool CSV lagging one poll behind the others produces
+  // NOMINAL -> HEALING -> NOMINAL with nothing healed; a healthy follow
+  // run must not be flagged degraded for it.
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  monitor_.ingest(key, 0, 10.0);
+  monitor_.advance(2 * kWindow);
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kHealing);
+  monitor_.ingest(key, kWindow, 11.0);
+  monitor_.advance(2 * kWindow);
+  EXPECT_EQ(monitor_.mode(0, 0), HealthMode::kNominal);
+  // The catch-up row is counted late but the data is complete and
+  // correct, so the run is not degraded.
+  EXPECT_EQ(monitor_.find(0, 0)->counters().late_windows, 1u);
+  EXPECT_FALSE(monitor_.any_degraded());
+  // Reaching STALE, by contrast, is always degradation.
+  monitor_.advance(7 * kWindow);
+  monitor_.ingest(key, 7 * kWindow, 12.0);
+  monitor_.advance(8 * kWindow);
+  EXPECT_TRUE(monitor_.any_degraded());
+}
+
+TEST_F(DegradationTest, TailerIncidentCountersRegisterAndFlagDegradation) {
+  monitor_.note_malformed_row(0, 0);
+  monitor_.note_io_retry(0, 0);
+  EXPECT_EQ(monitor_.find(0, 0)->counters().malformed_rows, 1u);
+  EXPECT_EQ(monitor_.find(0, 0)->counters().io_retries, 1u);
+  EXPECT_TRUE(monitor_.any_degraded());
+}
+
+TEST_F(DegradationTest, ReportFormatIsThePinnedContract) {
+  const SeriesKey key = pool_key(MetricKind::kRequestsPerSecond);
+  monitor_.ingest(key, 0, 10.0);
+  monitor_.ingest(key, 2 * kWindow, 12.0);  // Heals one window.
+  monitor_.advance(3 * kWindow);
+  const std::string report = monitor_.format_report();
+  EXPECT_EQ(report,
+            "health overall = nominal\n"
+            "health degraded = 1\n"
+            "health pools = 1\n"
+            "health pool 0 0 : mode=nominal healed=1 quarantined_nan=0"
+            " quarantined_implausible=0 quarantined_duplicate=0"
+            " quarantined_out_of_order=0 realigned=0 late_windows=0"
+            " malformed_rows=0 io_retries=0 stale_windows=0\n"
+            "health transitions = 0\n");
+}
+
+TEST_F(DegradationTest, ReportOverallIsTheWorstPoolMode) {
+  monitor_.add_pool(1, 0);
+  const SeriesKey healthy = pool_key(MetricKind::kRequestsPerSecond, 0, 0);
+  const SeriesKey dark = pool_key(MetricKind::kRequestsPerSecond, 1, 0);
+  monitor_.ingest(healthy, 0, 10.0);
+  monitor_.ingest(dark, 0, 10.0);
+  monitor_.ingest(healthy, 6 * kWindow, 10.0);
+  monitor_.advance(7 * kWindow);  // (1,0) dark past the heal budget.
+  const std::string report = monitor_.format_report();
+  EXPECT_NE(report.find("health overall = stale"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("health pool 1 0 : mode=stale"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("-> stale (gap exceeded heal budget)"),
+            std::string::npos)
+      << report;
+}
+
+TEST(HealthModeTest, NamesAreStable) {
+  EXPECT_EQ(to_string(HealthMode::kNominal), "nominal");
+  EXPECT_EQ(to_string(HealthMode::kHealing), "healing");
+  EXPECT_EQ(to_string(HealthMode::kStale), "stale");
+  EXPECT_EQ(to_string(HealthMode::kFailsafe), "failsafe");
+}
+
+}  // namespace
+}  // namespace headroom::core

@@ -111,7 +111,7 @@ INSTANTIATE_TEST_SUITE_P(Library, ScenarioGolden,
 
 TEST(ScenarioLibrary, ShipsTheAcceptanceScenarios) {
   const std::vector<std::string> stems = scenario_stems();
-  ASSERT_GE(stems.size(), 6u);
+  ASSERT_GE(stems.size(), 10u);
   const auto has = [&](const char* name) {
     return std::find(stems.begin(), stems.end(), name) != stems.end();
   };
@@ -121,6 +121,12 @@ TEST(ScenarioLibrary, ShipsTheAcceptanceScenarios) {
   EXPECT_TRUE(has("maintenance_peak"));
   EXPECT_TRUE(has("hot_cool_fleet"));
   EXPECT_TRUE(has("reduction_mid_run"));
+  // The degraded-input pack: one scenario per fault family, each pinned
+  // by a batch golden, a bakeoff frontier, and a serve health report.
+  EXPECT_TRUE(has("fault_gap_heal"));
+  EXPECT_TRUE(has("fault_nan_burst"));
+  EXPECT_TRUE(has("fault_stalled_feed"));
+  EXPECT_TRUE(has("fault_clock_skew"));
 }
 
 TEST(ScenarioLibrary, EveryShippedFileRoundTripsThroughTheSerializer) {

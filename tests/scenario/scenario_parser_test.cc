@@ -222,6 +222,86 @@ TEST(ScenarioParser, StandardFleetRoundTrips) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault grammar
+
+TEST(ScenarioParser, ParsesFaultSections) {
+  const ParseResult result = parse_scenario(
+      "[scenario]\n"
+      "name = faulty\n"
+      "[fleet]\n"
+      "kind = multi_dc\n"
+      "datacenters = 2\n"
+      "[fault]\n"
+      "kind = telemetry_gap\n"
+      "datacenter = 1\n"
+      "pool = 0\n"
+      "start_hour = 20\n"
+      "duration_hours = 0.2\n"
+      "[fault]\n"
+      "kind = feed_stall\n"
+      "start_hour = 30\n"
+      "duration_hours = 0.5\n"
+      "[fault]\n"
+      "kind = clock_skew\n"
+      "datacenter = 0\n"
+      "pool = 0\n"
+      "start_hour = 12\n"
+      "duration_hours = 1\n"
+      "skew_seconds = 30\n",
+      "test.scn");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const std::vector<FaultSpec>& faults = result.spec.faults;
+  ASSERT_EQ(faults.size(), 3u);
+  EXPECT_EQ(faults[0].kind, FaultKind::kTelemetryGap);
+  EXPECT_EQ(faults[0].datacenter, 1u);
+  EXPECT_EQ(faults[0].pool, 0u);
+  EXPECT_EQ(faults[0].start_hour, 20.0);
+  EXPECT_EQ(faults[0].duration_hours, 0.2);
+  EXPECT_EQ(faults[1].kind, FaultKind::kFeedStall);
+  EXPECT_FALSE(faults[1].datacenter.has_value());
+  EXPECT_FALSE(faults[1].pool.has_value());
+  EXPECT_EQ(faults[2].kind, FaultKind::kClockSkew);
+  EXPECT_EQ(faults[2].skew_seconds, 30.0);
+}
+
+TEST(ScenarioParser, FaultsAndPoolAssertionsRoundTripExactly) {
+  ScenarioSpec spec;
+  spec.name = "fault_round_trip";
+  spec.fleet = FleetKind::kMultiDc;
+  spec.datacenters = 3;
+  spec.steps = step_bit(PipelineStep::kMeasure);
+  FaultSpec gap;
+  gap.kind = FaultKind::kTelemetryGap;
+  gap.datacenter = 2;
+  gap.pool = 0;
+  gap.start_hour = 20.5;
+  gap.duration_hours = 0.25;
+  spec.faults.push_back(gap);
+  FaultSpec stall;
+  stall.kind = FaultKind::kFeedStall;
+  stall.start_hour = 30.0;
+  stall.duration_hours = 0.5;
+  spec.faults.push_back(stall);
+  FaultSpec skew;
+  skew.kind = FaultKind::kClockSkew;
+  skew.datacenter = 0;
+  skew.pool = 0;
+  skew.start_hour = 1.75;
+  skew.duration_hours = 1.0;
+  skew.skew_seconds = -45.0;
+  spec.faults.push_back(skew);
+  spec.assertions.push_back({"pool(1,0).peak_rps", AssertOp::kGe, 1.0});
+  spec.assertions.push_back(
+      {"pool(0,0).min_active_servers", AssertOp::kEq, 64.0});
+  ASSERT_EQ(validate(spec), "");
+  const std::string text = serialize_scenario(spec);
+  const ParseResult result = parse_scenario(text, "fault_round.scn");
+  ASSERT_TRUE(result.ok()) << result.error << "\n" << text;
+  EXPECT_EQ(result.spec, spec);
+  EXPECT_EQ(serialize_scenario(result.spec), text);
+}
+
+// ---------------------------------------------------------------------------
 // Malformed inputs: precise diagnostics, no crashes (runs under asan).
 
 struct MalformedCase {
@@ -339,6 +419,48 @@ const MalformedCase kMalformed[] = {
      "[scenario]\nname = x\n[fleet]\nkind = standard\nheterogeneous = maybe\n",
      "test.scn:5: bad value 'maybe' for 'heterogeneous' (expected true or "
      "false)"},
+    {"fault without kind", "[scenario]\nname = x\n[fault]\n",
+     "test.scn:3: [fault] missing required key 'kind'"},
+    {"fault kind not first",
+     "[scenario]\nname = x\n[fault]\nstart_hour = 1\n",
+     "test.scn:4: 'kind' must be the first key in [fault]"},
+    {"unknown fault kind", "[scenario]\nname = x\n[fault]\nkind = gremlins\n",
+     "test.scn:4: unknown fault kind 'gremlins' (expected telemetry_gap, "
+     "nan_burst, duplicate_window, out_of_order_window, corrupt_row, "
+     "feed_stall, clock_skew)"},
+    {"key invalid for fault kind",
+     "[scenario]\nname = x\n[fault]\nkind = telemetry_gap\n"
+     "skew_seconds = 30\n",
+     "test.scn:5: key 'skew_seconds' is not valid for fault kind "
+     "'telemetry_gap'"},
+    {"feed stall rejects a pool target",
+     "[scenario]\nname = x\n[fault]\nkind = feed_stall\ndatacenter = 0\n",
+     "test.scn:5: key 'datacenter' is not valid for fault kind 'feed_stall'"},
+    {"zero-length fault",
+     "[scenario]\nname = x\n[fault]\nkind = telemetry_gap\nstart_hour = 5\n",
+     "test.scn: fault 1: duration_hours must be positive"},
+    {"fault datacenter out of range",
+     "[scenario]\nname = x\n[fault]\nkind = telemetry_gap\ndatacenter = 2\n"
+     "start_hour = 1\nduration_hours = 1\n",
+     "test.scn: fault 1: datacenter 2 is out of range (fleet has 1 "
+     "datacenter(s))"},
+    {"clock skew wider than a window",
+     "[scenario]\nname = x\n[fault]\nkind = clock_skew\nstart_hour = 1\n"
+     "duration_hours = 1\nskew_seconds = 120\n",
+     "test.scn: fault 1: clock_skew needs a non-zero skew_seconds smaller "
+     "than one window"},
+    {"pool assertion malformed target",
+     "[scenario]\nname = x\n[assert]\nexpect = pool(0.peak_rps >= 1\n",
+     "test.scn: bad pool assertion target 'pool(0.peak_rps' (expected "
+     "pool(DC,POOL).metric)"},
+    {"pool assertion unknown base metric",
+     "[scenario]\nname = x\n[assert]\nexpect = pool(0,0).median_rps >= 1\n",
+     "test.scn: unknown pool metric 'median_rps' in assertion "
+     "'pool(0,0).median_rps'"},
+    {"pool assertion datacenter out of range",
+     "[scenario]\nname = x\n[assert]\nexpect = pool(1,0).peak_rps >= 1\n",
+     "test.scn: assertion 'pool(1,0).peak_rps': datacenter 1 is out of "
+     "range (fleet has 1 datacenter(s))"},
 };
 
 class ScenarioParserMalformed

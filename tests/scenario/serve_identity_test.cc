@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -114,8 +116,15 @@ TEST(ServeRetention, ExperimentPhaseEvictsConsumedHistory) {
 /// fleet simulation, so it happens once per suite.
 class FollowTrace : public ::testing::Test {
  protected:
+  /// Per-process scratch path: ctest runs each TEST_F as its own process,
+  /// so a fixed name would race between concurrently running tests.
+  static fs::path scratch_dir(const std::string& stem) {
+    return fs::temp_directory_path() /
+           (stem + "_" + std::to_string(::getpid()));
+  }
+
   static void SetUpTestSuite() {
-    dir_ = new fs::path(fs::temp_directory_path() / "headroom_follow_trace");
+    dir_ = new fs::path(scratch_dir("headroom_follow_trace"));
     fs::remove_all(*dir_);
     ParseResult parsed = load_scenario_file(
         (fs::path(HEADROOM_SCENARIO_DIR) / "fig6_flash_crowd.scn").string());
@@ -160,8 +169,7 @@ TEST_F(FollowTrace, CompleteRecordingReproducesTheRecordedSummary) {
 }
 
 TEST_F(FollowTrace, RecordingGrowingUnderTheReaderReproducesTheSummary) {
-  const fs::path grow_dir =
-      fs::temp_directory_path() / "headroom_follow_grow";
+  const fs::path grow_dir = scratch_dir("headroom_follow_grow");
   fs::remove_all(grow_dir);
   fs::create_directories(grow_dir);
   for (const char* name :
@@ -215,9 +223,8 @@ TEST_F(FollowTrace, RecordingGrowingUnderTheReaderReproducesTheSummary) {
       << "a trace growing under the reader must replay like a finished one";
 }
 
-TEST_F(FollowTrace, FeedDyingMidExperimentReportsIdleNotHang) {
-  const fs::path dead_dir =
-      fs::temp_directory_path() / "headroom_follow_dead";
+TEST_F(FollowTrace, FeedDyingMidExperimentFailsSafeInsteadOfHanging) {
+  const fs::path dead_dir = scratch_dir("headroom_follow_dead");
   fs::remove_all(dead_dir);
   fs::create_directories(dead_dir);
   for (const char* name :
@@ -240,18 +247,28 @@ TEST_F(FollowTrace, FeedDyingMidExperimentReportsIdleNotHang) {
 
   ServeOptions opt = fast_poll();
   opt.max_idle_polls = 5;
-  try {
-    (void)ServeRunner(opt).follow(dead_dir.string(), {});
-    FAIL() << "expected the idle budget to trip";
-  } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("went idle"), std::string::npos)
-        << e.what();
-  }
+  // The watchdog used to throw here; now it fails safe: every pool is
+  // degraded to FAILSAFE, the pending reduction experiment is aborted back
+  // to its starting serving count, and follow() returns a clean result
+  // flagged degraded instead of hanging or crashing.
+  const ServeResult followed = ServeRunner(opt).follow(dead_dir.string(), {});
+  EXPECT_TRUE(followed.health_active);
+  EXPECT_TRUE(followed.degraded);
+  EXPECT_NE(followed.health_report.find("mode=failsafe"), std::string::npos)
+      << followed.health_report;
+  EXPECT_NE(followed.health_report.find("feed watchdog"), std::string::npos)
+      << followed.health_report;
+  EXPECT_NE(followed.summary.find("metric rsm_failsafe = 1"),
+            std::string::npos)
+      << followed.summary;
+  // Never shrink on stale data: the abort restored the starting count.
+  EXPECT_EQ(followed.result.rsm.recommended_serving,
+            followed.result.rsm.starting_serving);
   fs::remove_all(dead_dir);
 }
 
 TEST_F(FollowTrace, MalformedFeedSurfacesTheTraceDiagnostic) {
-  const fs::path bad_dir = fs::temp_directory_path() / "headroom_follow_bad";
+  const fs::path bad_dir = scratch_dir("headroom_follow_bad");
   fs::remove_all(bad_dir);
   fs::create_directories(bad_dir);
   try {

@@ -132,5 +132,48 @@ TEST(RunningStats, NumericallyStableWithLargeOffset) {
   EXPECT_NEAR(acc.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
 }
 
+// --- Degenerate-input edges -------------------------------------------------
+// The health layer summarizes whatever a degraded window leaves behind,
+// which can legitimately be nothing or a single sample.
+
+TEST(Descriptive, SummarizeEmptySpanIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.variance, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Descriptive, VarianceAndStddevOfEmptyAndSingletonAreZero) {
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+  const double one[] = {42.0};
+  EXPECT_EQ(variance(one), 0.0);
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(Descriptive, SummarizeSinglePointCollapsesTheRange) {
+  const double one[] = {-7.5};
+  const Summary s = summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, -7.5);
+  EXPECT_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, -7.5);
+  EXPECT_DOUBLE_EQ(s.max, -7.5);
+}
+
+TEST(Descriptive, SummarizeConstantSeriesHasZeroSpread) {
+  const std::vector<double> flat(17, 3.25);
+  const Summary s = summarize(flat);
+  EXPECT_EQ(s.count, 17u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.25);
+  EXPECT_EQ(s.variance, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.25);
+}
+
 }  // namespace
 }  // namespace headroom::stats

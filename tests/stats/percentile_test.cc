@@ -135,6 +135,35 @@ TEST(Percentile, SelectionIsBitIdenticalOnDuplicateHeavyInput) {
   }
 }
 
+// --- Degenerate-input edges -------------------------------------------------
+
+TEST(Percentile, SortedVariantMatchesOnEmptyAndSingleton) {
+  EXPECT_EQ(percentile_sorted({}, 50.0), 0.0);
+  EXPECT_EQ(percentile_sorted({}, 0.0), 0.0);
+  const double one[] = {9.75};
+  for (const double p : {0.0, 37.0, 100.0}) {
+    EXPECT_EQ(percentile_sorted(one, p), 9.75);
+  }
+}
+
+TEST(Percentile, BatchOverEmptyDataIsAllZeros) {
+  const std::vector<double> got = percentiles({}, kGroupingPercentiles);
+  ASSERT_EQ(got.size(), std::size(kGroupingPercentiles));
+  for (const double v : got) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Percentile, BatchWithNoRequestedPercentilesIsEmpty) {
+  const double xs[] = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(percentiles(xs, {}).empty());
+}
+
+TEST(Percentile, BatchOnSingletonRepeatsTheElement) {
+  const double xs[] = {-2.5};
+  const std::vector<double> got = percentiles(xs, kGroupingPercentiles);
+  ASSERT_EQ(got.size(), 5u);
+  for (const double v : got) EXPECT_EQ(v, -2.5);
+}
+
 TEST(Percentile, GroupingPercentilesAreThePapersFive) {
   ASSERT_EQ(std::size(kGroupingPercentiles), 5u);
   EXPECT_EQ(kGroupingPercentiles[0], 5.0);

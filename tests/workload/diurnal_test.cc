@@ -114,5 +114,45 @@ TEST(DiurnalTraffic, PeakTroughAccessors) {
   EXPECT_DOUBLE_EQ(traffic.daily_trough(), 400.0);
 }
 
+// --- Degenerate-parameter edges ---------------------------------------------
+
+TEST(DiurnalTraffic, TroughFractionOneIsAFlatCurve) {
+  // trough == peak collapses the day shape to a constant; the seasonal
+  // healing fill and the forecaster both lean on this degenerate case
+  // behaving exactly, not approximately.
+  DiurnalParams p = base_params();
+  p.trough_fraction = 1.0;
+  const DiurnalTraffic traffic(p);
+  for (SimTime t = 0; t < 2 * kDay; t += 900) {
+    EXPECT_DOUBLE_EQ(traffic.demand(t), 1000.0) << t;
+  }
+}
+
+TEST(DiurnalTraffic, TroughFractionZeroTouchesZeroOppositeThePeak) {
+  DiurnalParams p = base_params();
+  p.trough_fraction = 0.0;
+  const DiurnalTraffic traffic(p);
+  EXPECT_NEAR(traffic.demand(8 * kHour), 0.0, 1e-9);   // 12h after peak.
+  EXPECT_NEAR(traffic.demand(20 * kHour), 1000.0, 1e-9);
+}
+
+TEST(DiurnalTraffic, FlatCurveStillCarriesTheWeekendFactor) {
+  DiurnalParams p = base_params();
+  p.trough_fraction = 1.0;
+  p.weekend_factor = 0.85;
+  const DiurnalTraffic traffic(p);
+  EXPECT_DOUBLE_EQ(traffic.demand(0), 1000.0);            // Day 0: weekday.
+  EXPECT_DOUBLE_EQ(traffic.demand(5 * kDay), 850.0);      // Day 5: weekend.
+  EXPECT_DOUBLE_EQ(traffic.demand(6 * kDay + kHour), 850.0);
+}
+
+TEST(DiurnalTraffic, WeekendFactorZeroSilencesWeekends) {
+  DiurnalParams p = base_params();
+  p.weekend_factor = 0.0;
+  const DiurnalTraffic traffic(p);
+  EXPECT_DOUBLE_EQ(traffic.demand(5 * kDay + 20 * kHour), 0.0);
+  EXPECT_GT(traffic.demand(4 * kDay + 20 * kHour), 0.0);
+}
+
 }  // namespace
 }  // namespace headroom::workload
