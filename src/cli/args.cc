@@ -25,6 +25,21 @@ bool parse_count(const std::string& flag, const std::string& text,
   return true;
 }
 
+bool parse_positive_double(const std::string& flag, const std::string& text,
+                           double* out, std::string* error) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !(value > 0.0) || value > 1e6) {
+    *error = "bad value for " + flag + ": '" + text +
+             "' (expected a positive number)";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 /// Consumes the value argument of a value-taking flag. Flags without a
 /// value never call this, so they cannot swallow the next argument.
 bool next_value(const std::vector<std::string>& args, std::size_t* index,
@@ -56,9 +71,11 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       opt.command = Command::kServe;
     } else if (args[0] == "bakeoff") {
       opt.command = Command::kBakeoff;
+    } else if (args[0] == "plan") {
+      opt.command = Command::kPlan;
     } else {
       outcome.error = "unknown command '" + args[0] +
-                      "' (expected run, serve, bakeoff, export-trace, "
+                      "' (expected run, serve, bakeoff, plan, export-trace, "
                       "list-scenarios, or flags)";
       return outcome;
     }
@@ -242,6 +259,59 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
         outcome.error = "unknown argument '" + arg + "' for bakeoff";
         return outcome;
       }
+    } else if (opt.command == Command::kPlan) {
+      if (arg == "--scenario") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.scenario_path = value;
+      } else if (arg == "--trace") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.trace_dir = value;
+      } else if (arg == "--dir") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.scenario_dir = value;
+        opt.dir_set = true;
+      } else if (arg == "--horizon") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_count(arg, value, 1, 3650, &parsed, &outcome.error)) {
+          return outcome;
+        }
+        opt.horizon_days = static_cast<std::int64_t>(parsed);
+      } else if (arg == "--growth") {
+        if (!next_value(args, &i, arg, &value, &outcome.error) ||
+            !parse_positive_double(arg, value, &opt.growth, &outcome.error)) {
+          return outcome;
+        }
+      } else if (arg == "--failover") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        // Mirrors sim::failover_policy_from_string; kept in sync by
+        // tests/cli/args_test.cc so the parser stays link-free of sim.
+        if (value != "nearest_survivor" && value != "latency_aware" &&
+            value != "cost_aware") {
+          outcome.error = "bad value for --failover: '" + value +
+                          "' (expected nearest_survivor, latency_aware, "
+                          "cost_aware)";
+          return outcome;
+        }
+        opt.failover = value;
+      } else if (arg == "--out") {
+        if (!next_value(args, &i, arg, &value, &outcome.error)) {
+          return outcome;
+        }
+        opt.plan_out = value;
+      } else if (arg == "--quiet") {
+        opt.quiet = true;
+      } else {
+        outcome.error = "unknown argument '" + arg + "' for plan";
+        return outcome;
+      }
     } else {  // Command::kListScenarios
       if (arg == "--dir") {
         if (!next_value(args, &i, arg, &value, &outcome.error)) {
@@ -319,6 +389,25 @@ ParseOutcome parse_args(const std::vector<std::string>& args) {
       return outcome;
     }
   }
+  if (opt.command == Command::kPlan) {
+    if (!opt.scenario_path.empty() && !opt.trace_dir.empty()) {
+      outcome.error = "plan takes --scenario or --trace, not both";
+      return outcome;
+    }
+    if (!opt.trace_dir.empty() && opt.dir_set) {
+      outcome.error = "plan takes --trace or --dir, not both";
+      return outcome;
+    }
+    if (!opt.scenario_path.empty() && opt.dir_set) {
+      outcome.error = "plan takes --scenario or --dir, not both";
+      return outcome;
+    }
+    if (!opt.trace_dir.empty() && opt.threads_set) {
+      outcome.error = "--threads does not apply to plan --trace "
+                      "(replay does not step a simulator)";
+      return outcome;
+    }
+  }
   outcome.ok = true;
   return outcome;
 }
@@ -343,6 +432,10 @@ std::string usage() {
       "                                   optimizer bake-off: run every\n"
       "                                   capacity planner over the library\n"
       "                                   and emit cost-vs-SLO frontiers\n"
+      "  headroom plan [--scenario FILE | --trace DIR | --dir DIR]\n"
+      "                                   capacity planning: forecast every\n"
+      "                                   pool's exhaustion date under what-if\n"
+      "                                   sweeps (growth x failover x outages)\n"
       "  headroom list-scenarios [--dir DIR]\n"
       "                                   describe the scenario library\n"
       "\n"
@@ -399,6 +492,21 @@ std::string usage() {
       "  --threads N   override stepping threads (frontiers are identical\n"
       "                for any N)\n"
       "  --quiet       print only the frontier blocks\n"
+      "\n"
+      "plan flags:\n"
+      "  --scenario F  plan a single scenario file\n"
+      "  --trace D     plan from a recorded trace directory (no simulator)\n"
+      "  --dir D       sweep a scenario directory instead (default\n"
+      "                examples/scenarios); dead-band scenarios are skipped\n"
+      "  --horizon N   forecast horizon in days (default 90)\n"
+      "  --growth X    restrict the growth sweep to {1, X}\n"
+      "                (default sweep: 1, 1.5, 2)\n"
+      "  --failover P  restrict the policy sweep to P: nearest_survivor,\n"
+      "                latency_aware, or cost_aware (default: all three)\n"
+      "  --out D       also write one <scenario>.plan report per scenario\n"
+      "  --threads N   override stepping threads (reports are identical\n"
+      "                for any N)\n"
+      "  --quiet       print only the plan reports\n"
       "\n"
       "list-scenarios flags:\n"
       "  --dir D       scenario directory (default examples/scenarios)\n"

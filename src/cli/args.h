@@ -20,6 +20,7 @@ enum class Command {
   kExportTrace,    ///< `headroom export-trace --scenario FILE --out DIR`.
   kServe,          ///< `headroom serve --scenario FILE | --trace DIR --follow`.
   kBakeoff,        ///< `headroom bakeoff [--dir DIR | --scenario FILE]`.
+  kPlan,           ///< `headroom plan --scenario FILE | --trace DIR`.
 };
 
 struct Options {
@@ -45,6 +46,12 @@ struct Options {
 
   // --- Bake-off mode ------------------------------------------------------
   std::string bakeoff_out;    ///< bakeoff: --out DIR for *.frontier files.
+
+  // --- Plan mode (capacity what-ifs) ---------------------------------------
+  std::string plan_out;         ///< plan: --out DIR for *.plan files.
+  std::int64_t horizon_days = 90;  ///< plan: forecast horizon.
+  double growth = 0.0;          ///< plan: --growth X (0 = default sweep).
+  std::string failover;         ///< plan: --failover P (empty = all three).
 
   // --- Serve mode (continuous pipeline) -----------------------------------
   bool follow = false;          ///< serve: --trace requires --follow.

@@ -34,10 +34,12 @@
 #include "cli/args.h"
 #include "scenario/bakeoff.h"
 #include "scenario/listing.h"
+#include "scenario/planning.h"
 #include "scenario/scenario_parser.h"
 #include "scenario/scenario_runner.h"
 #include "scenario/serve.h"
 #include "scenario/trace.h"
+#include "sim/failover.h"
 #include "telemetry/metric_store.h"
 
 namespace {
@@ -336,6 +338,111 @@ int run_bakeoff_cmd(const cli::Options& opt) {
   return 0;
 }
 
+int run_plan_cmd(const cli::Options& opt) {
+  namespace fs = std::filesystem;
+
+  scenario::PlanOptions popt;
+  popt.horizon_seconds = opt.horizon_days * 86400;
+  if (opt.growth > 0.0) popt.growths = {1.0, opt.growth};
+  if (!opt.failover.empty()) {
+    sim::FailoverPolicyKind kind{};
+    // args.cc validated the name; from_string cannot fail here.
+    if (!sim::failover_policy_from_string(opt.failover, kind)) {
+      std::fprintf(stderr, "headroom: unknown failover policy '%s'\n",
+                   opt.failover.c_str());
+      return 2;
+    }
+    popt.policies = {kind};
+  }
+
+  if (!opt.plan_out.empty()) {
+    std::error_code ec;
+    fs::create_directories(opt.plan_out, ec);
+    if (ec) {
+      std::fprintf(stderr, "headroom: cannot create '%s': %s\n",
+                   opt.plan_out.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
+  // Emit one report: stdout plus the optional --out file.
+  const auto emit = [&](const scenario::PlanResult& result) -> int {
+    const std::string report = scenario::format_plan(result);
+    if (!opt.quiet) {
+      std::printf("headroom: plan '%s' — %zu case(s) over %zu pool(s), "
+                  "%zu window(s) of history\n",
+                  result.spec.name.c_str(), result.cases.size(),
+                  result.total_pools, result.windows);
+    }
+    std::fputs(report.c_str(), stdout);
+    if (!opt.plan_out.empty()) {
+      const fs::path out_path =
+          fs::path(opt.plan_out) / (result.spec.name + ".plan");
+      std::ofstream out(out_path, std::ios::binary);
+      out << report;
+      if (!out.good()) {
+        std::fprintf(stderr, "headroom: cannot write '%s'\n",
+                     out_path.string().c_str());
+        return 2;
+      }
+    }
+    return 0;
+  };
+
+  if (!opt.trace_dir.empty()) {
+    return emit(scenario::run_plan_on_trace(opt.trace_dir, popt));
+  }
+
+  std::vector<scenario::ScenarioSpec> specs;
+  if (!opt.scenario_path.empty()) {
+    scenario::ParseResult parsed =
+        scenario::load_scenario_file(opt.scenario_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "headroom: %s\n", parsed.error.c_str());
+      return 2;
+    }
+    specs.push_back(std::move(parsed.spec));
+  } else {
+    const scenario::ScenarioListing listing =
+        scenario::list_scenario_dir(opt.scenario_dir);
+    if (!listing.ok()) {
+      std::fprintf(stderr, "headroom: %s\n", listing.error.c_str());
+      return 2;
+    }
+    for (const scenario::ScenarioListEntry& entry : listing.entries) {
+      if (!entry.ok()) {
+        std::fprintf(stderr, "headroom: %s: %s\n", entry.file.c_str(),
+                     entry.error.c_str());
+        return 2;
+      }
+      specs.push_back(entry.spec);
+    }
+    if (specs.empty()) {
+      std::fprintf(stderr, "headroom: no .scn files in %s\n",
+                   opt.scenario_dir.c_str());
+      return 2;
+    }
+  }
+
+  bool first = true;
+  for (scenario::ScenarioSpec& spec : specs) {
+    if (opt.threads_set) spec.threads = opt.threads;
+    if (spec.quiescent_dead_band > 0.0) {
+      if (!opt.quiet) {
+        std::printf("headroom: skipping '%s' (quiescent dead band — "
+                    "approximate stepping is not golden-pinnable)\n",
+                    spec.name.c_str());
+      }
+      continue;
+    }
+    if (!first) std::printf("\n");
+    first = false;
+    const int rc = emit(scenario::run_plan(spec, popt));
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
 int run_serve(const cli::Options& opt) {
   namespace fs = std::filesystem;
   scenario::ServeOptions sopt;
@@ -455,6 +562,8 @@ int main(int argc, char** argv) {
         return run_serve(outcome.options);
       case cli::Command::kBakeoff:
         return run_bakeoff_cmd(outcome.options);
+      case cli::Command::kPlan:
+        return run_plan_cmd(outcome.options);
       case cli::Command::kPipeline:
         return run_pipeline(outcome.options);
     }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "stats/percentile.h"
+#include "stats/rolling_ols.h"
 
 namespace headroom::core {
 
@@ -99,22 +100,11 @@ void RollingPoolPlanner::add_window(double rps_per_server, double cpu_pct,
 
 PoolResponseModel RollingPoolPlanner::model() const {
   const auto n = static_cast<double>(ring_.size());
-  stats::LinearFit cpu;
-  cpu.n = ring_.size();
-  const double x_var = n * sx2_ - sx_ * sx_;
-  if (ring_.size() >= 2 && std::fabs(x_var) > 1e-12) {
-    cpu.slope = (n * sxcpu_ - sx_ * scpu_) / x_var;
-    cpu.intercept = (scpu_ - cpu.slope * sx_) / n;
-    // R² = 1 - SS_res / SS_tot, both expanded into the running sums.
-    const double ss_tot = scpu2_ - scpu_ * scpu_ / n;
-    const double ss_res =
-        scpu2_ - 2.0 * (cpu.intercept * scpu_ + cpu.slope * sxcpu_) +
-        (cpu.intercept * cpu.intercept * n +
-         2.0 * cpu.intercept * cpu.slope * sx_ + cpu.slope * cpu.slope * sx2_);
-    cpu.r_squared = ss_tot > 1e-12 ? std::max(0.0, 1.0 - ss_res / ss_tot) : 0.0;
-  } else if (!ring_.empty()) {
-    cpu.intercept = scpu_ / n;  // flat fit through the mean, like fit_linear
-  }
+  // The linear CPU fit shares its normal-equation solve with
+  // stats::RollingOls (the machinery this class's ring/evict/rebuild
+  // pattern was generalized into).
+  const stats::LinearFit cpu = stats::linear_fit_from_sums(
+      ring_.size(), sx_, sx2_, scpu_, sxcpu_, scpu2_);
 
   stats::PolynomialFit latency;
   latency.n = ring_.size();

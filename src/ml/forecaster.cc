@@ -4,53 +4,51 @@
 
 namespace headroom::ml {
 
-DemandForecaster::DemandForecaster(ForecasterOptions options)
-    : options_(options) {
-  if (options_.season_seconds <= 0 || options_.buckets == 0) {
+namespace {
+
+SeasonalOptions seasonal_options(const ForecasterOptions& options) {
+  // Validate here (with this class's messages) rather than letting the
+  // profile constructor throw its own.
+  if (options.season_seconds <= 0 || options.buckets == 0) {
     throw std::invalid_argument("DemandForecaster: bad season/buckets");
   }
-  if (options_.level_smoothing <= 0.0 || options_.level_smoothing > 1.0 ||
-      options_.ratio_smoothing <= 0.0 || options_.ratio_smoothing > 1.0) {
+  if (options.level_smoothing <= 0.0 || options.level_smoothing > 1.0 ||
+      options.ratio_smoothing <= 0.0 || options.ratio_smoothing > 1.0) {
     throw std::invalid_argument(
         "DemandForecaster: smoothing must be in (0, 1]");
   }
-  level_.assign(options_.buckets, 0.0);
-  seen_.assign(options_.buckets, false);
+  return SeasonalOptions{.season_seconds = options.season_seconds,
+                         .buckets = options.buckets,
+                         .smoothing = options.level_smoothing};
 }
 
-std::size_t DemandForecaster::bucket_of(telemetry::SimTime t) const noexcept {
-  const telemetry::SimTime season = options_.season_seconds;
-  telemetry::SimTime phase = t % season;
-  if (phase < 0) phase += season;  // negative timestamps wrap consistently
-  return static_cast<std::size_t>(
-      (static_cast<unsigned long long>(phase) * options_.buckets) /
-      static_cast<unsigned long long>(season));
-}
+}  // namespace
+
+DemandForecaster::DemandForecaster(ForecasterOptions options)
+    : options_(options), seasonal_(seasonal_options(options)) {}
 
 void DemandForecaster::observe(telemetry::SimTime t, double value) {
-  const std::size_t b = bucket_of(t);
-  if (!seen_[b]) {
-    level_[b] = value;
-    seen_[b] = true;
-  } else {
+  const std::size_t b = seasonal_.bucket_of(t);
+  if (seasonal_.seen(b)) {
     // Ratio first, against the level *before* this observation updates it —
     // the same prediction a caller would have gotten for `t`.
-    if (level_[b] > 0.0) {
-      const double r = value / level_[b];
+    const double level = seasonal_.level(b);
+    if (level > 0.0) {
+      const double r = value / level;
       ratio_ += options_.ratio_smoothing * (r - ratio_);
     }
-    level_[b] += options_.level_smoothing * (value - level_[b]);
   }
+  seasonal_.observe(t, value);
   last_value_ = value;
   ++count_;
 }
 
 double DemandForecaster::predict(telemetry::SimTime t) const {
-  const std::size_t b = bucket_of(t);
+  const std::size_t b = seasonal_.bucket_of(t);
   // Until one full season has been seen the bucket ahead may be empty;
   // persistence is the honest fallback.
-  if (!seen_[b] || count_ == 0) return last_value_;
-  return level_[b] * ratio_;
+  if (!seasonal_.seen(b) || count_ == 0) return last_value_;
+  return seasonal_.level(b) * ratio_;
 }
 
 }  // namespace headroom::ml

@@ -2,18 +2,20 @@
 //
 // Demand for global online services is dominantly diurnal (the paper's
 // Figs. 2-4), so the forecaster keeps one exponentially-weighted level per
-// time-of-day bucket plus a global ratio tracking how far the most recent
-// observations sit above/below their bucket levels (slow growth, regional
-// failover). Predictions for a future timestamp read the bucket level and
-// scale by the ratio. Deliberately simple, fully deterministic, and
-// *unreliable in exactly the interesting way*: it nails the diurnal shape
-// and is blind to unforecastable events (flash crowds, outages) — the
-// prediction-augmented planner's trust parameter exists to hedge that.
+// time-of-day bucket (a ml::SeasonalProfile — shared with the
+// trend-season decomposition, not a private copy) plus a global ratio
+// tracking how far the most recent observations sit above/below their
+// bucket levels (slow growth, regional failover). Predictions for a future
+// timestamp read the bucket level and scale by the ratio. Deliberately
+// simple, fully deterministic, and *unreliable in exactly the interesting
+// way*: it nails the diurnal shape and is blind to unforecastable events
+// (flash crowds, outages) — the prediction-augmented planner's trust
+// parameter exists to hedge that.
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
+#include "ml/seasonal.h"
 #include "telemetry/time_series.h"
 
 namespace headroom::ml {
@@ -43,11 +45,8 @@ class DemandForecaster {
   }
 
  private:
-  [[nodiscard]] std::size_t bucket_of(telemetry::SimTime t) const noexcept;
-
   ForecasterOptions options_;
-  std::vector<double> level_;
-  std::vector<bool> seen_;
+  SeasonalProfile seasonal_;
   double ratio_ = 1.0;
   double last_value_ = 0.0;
   std::size_t count_ = 0;

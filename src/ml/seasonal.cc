@@ -1,0 +1,38 @@
+#include "ml/seasonal.h"
+
+#include <stdexcept>
+
+namespace headroom::ml {
+
+SeasonalProfile::SeasonalProfile(SeasonalOptions options) : options_(options) {
+  if (options_.season_seconds <= 0 || options_.buckets == 0) {
+    throw std::invalid_argument("SeasonalProfile: bad season/buckets");
+  }
+  if (options_.smoothing <= 0.0 || options_.smoothing > 1.0) {
+    throw std::invalid_argument("SeasonalProfile: smoothing must be in (0, 1]");
+  }
+  level_.assign(options_.buckets, 0.0);
+  seen_.assign(options_.buckets, false);
+}
+
+std::size_t SeasonalProfile::bucket_of(telemetry::SimTime t) const noexcept {
+  const telemetry::SimTime season = options_.season_seconds;
+  telemetry::SimTime phase = t % season;
+  if (phase < 0) phase += season;  // negative timestamps wrap consistently
+  return static_cast<std::size_t>(
+      (static_cast<unsigned long long>(phase) * options_.buckets) /
+      static_cast<unsigned long long>(season));
+}
+
+void SeasonalProfile::observe(telemetry::SimTime t, double value) {
+  const std::size_t b = bucket_of(t);
+  if (!seen_[b]) {
+    level_[b] = value;
+    seen_[b] = true;
+    ++seen_count_;
+  } else {
+    level_[b] += options_.smoothing * (value - level_[b]);
+  }
+}
+
+}  // namespace headroom::ml

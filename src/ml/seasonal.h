@@ -1,0 +1,52 @@
+// Seasonal bucket profile: one EWMA level per time-of-season bucket.
+//
+// The single seasonal-modeling implementation in the tree — both
+// DemandForecaster (absolute demand levels, scaled by its recency ratio)
+// and TrendSeasonDecomposition (multiplicative ratios around a growth
+// trend) observe into one of these rather than keeping private copies of
+// the bucket math. A bucket's first observation initializes its level;
+// later observations fold in with EWMA smoothing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace headroom::ml {
+
+struct SeasonalOptions {
+  telemetry::SimTime season_seconds = 86400;  ///< Diurnal period.
+  std::size_t buckets = 48;                   ///< Levels per season (30 min).
+  double smoothing = 0.25;                    ///< EWMA alpha per bucket.
+};
+
+class SeasonalProfile {
+ public:
+  explicit SeasonalProfile(SeasonalOptions options = {});
+
+  /// Bucket index of absolute time `t`; negative timestamps wrap
+  /// consistently.
+  [[nodiscard]] std::size_t bucket_of(telemetry::SimTime t) const noexcept;
+
+  /// Folds one observation into `t`'s bucket (init-on-first, then EWMA).
+  void observe(telemetry::SimTime t, double value);
+
+  [[nodiscard]] bool seen(std::size_t bucket) const { return seen_[bucket]; }
+  [[nodiscard]] double level(std::size_t bucket) const {
+    return level_[bucket];
+  }
+  /// Buckets with at least one observation.
+  [[nodiscard]] std::size_t seen_count() const noexcept { return seen_count_; }
+  [[nodiscard]] const SeasonalOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  SeasonalOptions options_;
+  std::vector<double> level_;
+  std::vector<bool> seen_;
+  std::size_t seen_count_ = 0;
+};
+
+}  // namespace headroom::ml

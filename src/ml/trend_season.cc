@@ -1,0 +1,75 @@
+#include "ml/trend_season.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/percentile.h"
+
+namespace headroom::ml {
+
+TrendSeasonDecomposition::TrendSeasonDecomposition(TrendSeasonOptions options)
+    : options_(options),
+      trend_(options.trend_lookback == 0 ? 1 : options.trend_lookback),
+      seasonal_(SeasonalOptions{.season_seconds = options.season_seconds,
+                                .buckets = options.buckets,
+                                .smoothing = options.seasonal_smoothing}) {
+  if (options_.trend_lookback == 0 || options_.residual_lookback == 0) {
+    throw std::invalid_argument(
+        "TrendSeasonDecomposition: lookbacks must be positive");
+  }
+  if (options_.band_percentile <= 50.0 || options_.band_percentile >= 100.0) {
+    throw std::invalid_argument(
+        "TrendSeasonDecomposition: band percentile must be in (50, 100)");
+  }
+}
+
+void TrendSeasonDecomposition::observe(telemetry::SimTime t, double value) {
+  trend_.add(static_cast<double>(t), value);
+  // Seasonal ratio against the just-updated trend: during warmup the trend
+  // is a flat mean (ratio ~ shape/mean); once the slope settles the ratios
+  // converge on the pure seasonal shape regardless of growth.
+  const double trend_value = trend_at(t);
+  const double ratio = trend_value > 0.0 ? value / trend_value : 1.0;
+  seasonal_.observe(t, ratio);
+  // One-step residual of the reconstruction the caller would have read for
+  // `t` after this fold — what the bands should cover.
+  const std::size_t b = seasonal_.bucket_of(t);
+  const double season = seasonal_.seen(b) ? seasonal_.level(b) : 1.0;
+  residuals_.push_back(value - trend_value * season);
+  if (residuals_.size() > options_.residual_lookback) residuals_.pop_front();
+  band_valid_ = false;
+  ++count_;
+}
+
+double TrendSeasonDecomposition::trend_at(telemetry::SimTime t) const {
+  return trend_.fit().predict(static_cast<double>(t));
+}
+
+double TrendSeasonDecomposition::growth_per_day() const {
+  return trend_.fit().slope * 86400.0;
+}
+
+TrendSeasonForecast TrendSeasonDecomposition::predict(
+    telemetry::SimTime t) const {
+  TrendSeasonForecast f;
+  if (count_ == 0) return f;
+  f.trend = trend_at(t);
+  const std::size_t b = seasonal_.bucket_of(t);
+  f.season = seasonal_.seen(b) ? seasonal_.level(b) : 1.0;
+  f.value = f.trend * f.season;
+  f.lower = f.value;
+  f.upper = f.value;
+  if (!residuals_.empty()) {
+    if (!band_valid_) {
+      const std::vector<double> sample(residuals_.begin(), residuals_.end());
+      band_lower_ = stats::percentile(sample, 100.0 - options_.band_percentile);
+      band_upper_ = stats::percentile(sample, options_.band_percentile);
+      band_valid_ = true;
+    }
+    f.lower = f.value + band_lower_;
+    f.upper = f.value + band_upper_;
+  }
+  return f;
+}
+
+}  // namespace headroom::ml

@@ -1,0 +1,96 @@
+// Capacity planning harness: what-if sweeps over forecasts ("headroom
+// plan").
+//
+// For one scenario the harness steps the observation phase exactly as
+// `headroom run` does (same fleet build, same event timeline, same serving
+// reductions), then — with the simulator out of the loop — forecasts every
+// pool's exhaustion date through core::CapacityForecaster reading the
+// stepped telemetry via query::QueryEngine, once per what-if case in the
+// sweep
+//
+//   growth multipliers x failover policies x the DC-outage timeline.
+//
+// An outage case asks "if DC f went dark for good, how do the survivors'
+// exhaustion dates move?": the failed DC's demand is redistributed by the
+// case's failover policy (the very sim/failover.h implementations the
+// simulator steps with, reused via their share matrices), each survivor's
+// forecast is stressed by the resulting multiplier, and the failed DC's
+// own pools drop out of that case. Trace mode (`headroom plan --trace`)
+// replays the same forecasts from a recorded trace directory instead of
+// stepping a simulator.
+//
+// Everything downstream of the (thread-invariant) telemetry store is
+// serial deterministic arithmetic, so plan reports are byte-identical for
+// any thread count and golden-pinnable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/capacity_forecast.h"
+#include "scenario/scenario_spec.h"
+
+namespace headroom::scenario {
+
+struct PlanOptions {
+  /// Forecast horizon past the end of the observed history.
+  telemetry::SimTime horizon_seconds = 90 * 86400;
+  /// Growth multipliers swept (sorted, deduplicated by the harness).
+  std::vector<double> growths = {1.0, 1.5, 2.0};
+  /// Failover policies swept. Empty = all three.
+  std::vector<sim::FailoverPolicyKind> policies;
+};
+
+/// One per-DC stress factor of an outage case: surviving DC `datacenter`'s
+/// demand is `multiplier` x its baseline under the case's policy.
+struct PlanStress {
+  std::uint32_t datacenter = 0;
+  double multiplier = 1.0;
+};
+
+/// One what-if case: a (growth, policy, outage) cell of the sweep with its
+/// per-pool forecasts (failed DC's pools omitted).
+struct PlanCase {
+  double growth = 1.0;
+  sim::FailoverPolicyKind policy = sim::FailoverPolicyKind::kNearestSurvivor;
+  bool has_outage = false;
+  std::uint32_t outage_datacenter = 0;
+  std::vector<PlanStress> stresses;  ///< Survivors with multiplier != 1.
+  std::vector<core::PoolCapacityForecast> pools;
+};
+
+struct PlanResult {
+  ScenarioSpec spec;
+  PlanOptions options;
+  std::string source;               ///< "scenario" or "trace".
+  std::size_t windows = 0;          ///< History windows per pool (grid).
+  telemetry::SimTime history_end = 0;
+  std::size_t datacenters = 0;
+  std::size_t total_pools = 0;
+  std::vector<std::uint32_t> outage_datacenters;  ///< From the timeline.
+  std::vector<PlanCase> cases;
+
+  /// Resolved stepping lanes; NOT part of the report (thread-invariance).
+  std::size_t thread_count = 1;
+};
+
+/// Runs the plan for one scenario spec, stepping its observation phase.
+/// Throws std::invalid_argument for invalid specs and for specs with a
+/// quiescent dead band (approximate stepping is not golden-pinnable; the
+/// CLI skips those).
+[[nodiscard]] PlanResult run_plan(const ScenarioSpec& spec,
+                                  const PlanOptions& options = {});
+
+/// Runs the plan from a recorded trace directory (no simulator). Returns
+/// a result with `error` semantics via exceptions for spec problems;
+/// malformed trace directories throw std::runtime_error carrying the
+/// file-level diagnostic.
+[[nodiscard]] PlanResult run_plan_on_trace(const std::string& dir,
+                                           const PlanOptions& options = {});
+
+/// Machine-readable planning report: header lines, then per case a `case`
+/// line, its `stress` lines, and its per-pool forecast lines.
+/// Byte-identical for any thread count.
+[[nodiscard]] std::string format_plan(const PlanResult& result);
+
+}  // namespace headroom::scenario

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "sim/failover.h"
 #include "telemetry/csv.h"
 
 namespace headroom::scenario {
@@ -283,6 +284,13 @@ class Parser {
       if (!parse_bool(value, &spec_.per_server_accounting)) {
         return bad_value(key, value, "true or false");
       }
+    } else if (key == "failover") {
+      sim::FailoverPolicyKind kind{};
+      if (!sim::failover_policy_from_string(value, kind)) {
+        return bad_value(key, value,
+                         "nearest_survivor, latency_aware, cost_aware");
+      }
+      spec_.failover = kind;
     } else {
       fail("unknown key '" + key + "' in [scenario]");
     }
@@ -710,6 +718,9 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
   }
   if (!spec.per_server_accounting) {
     out += "per_server_accounting = false\n";
+  }
+  if (spec.failover != sim::FailoverPolicyKind::kNearestSurvivor) {
+    out += "failover = " + sim::to_string(spec.failover) + "\n";
   }
   std::vector<std::string> steps;
   if (spec.runs(PipelineStep::kMeasure)) steps.emplace_back("measure");

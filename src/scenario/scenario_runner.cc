@@ -125,6 +125,7 @@ sim::FleetConfig ScenarioRunner::build_fleet(
   config.threads = spec.threads;
   config.quiescent_dead_band = spec.quiescent_dead_band;
   config.per_server_accounting = spec.per_server_accounting;
+  config.failover = spec.failover;
 
   for (const DatacenterOverride& o : spec.datacenter_overrides) {
     sim::DatacenterConfig& dc = config.datacenters.at(o.datacenter);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/topology.h"
 #include "telemetry/time_series.h"
 
 namespace headroom::scenario {
@@ -152,6 +153,9 @@ struct ScenarioSpec {
   double quiescent_dead_band = 0.0;
   /// FleetConfig::per_server_accounting: ledger + per-server-day digests.
   bool per_server_accounting = true;
+  /// Outage redistribution policy (sim/failover.h). The default is the
+  /// original nearest-survivor behaviour every golden pins.
+  sim::FailoverPolicyKind failover = sim::FailoverPolicyKind::kNearestSurvivor;
 
   // --- [fleet] ------------------------------------------------------------
   FleetKind fleet = FleetKind::kSinglePool;

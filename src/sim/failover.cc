@@ -1,0 +1,211 @@
+#include "sim/failover.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace headroom::sim {
+
+double failover_affinity(double tz_a, double tz_b) noexcept {
+  double d = std::fabs(tz_a - tz_b);
+  if (d > 12.0) d = 24.0 - d;  // wrap around the globe
+  return 1.0 / (1.0 + (d / 2.5) * (d / 2.5));
+}
+
+std::string to_string(FailoverPolicyKind kind) {
+  switch (kind) {
+    case FailoverPolicyKind::kNearestSurvivor:
+      return "nearest_survivor";
+    case FailoverPolicyKind::kLatencyAware:
+      return "latency_aware";
+    case FailoverPolicyKind::kCostAware:
+      return "cost_aware";
+  }
+  return "nearest_survivor";
+}
+
+bool failover_policy_from_string(const std::string& name,
+                                 FailoverPolicyKind& out) {
+  if (name == "nearest_survivor") {
+    out = FailoverPolicyKind::kNearestSurvivor;
+  } else if (name == "latency_aware") {
+    out = FailoverPolicyKind::kLatencyAware;
+  } else if (name == "cost_aware") {
+    out = FailoverPolicyKind::kCostAware;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Wrapped timezone distance (hours), the latency proxy both distance-based
+/// policies key on.
+double tz_distance(double tz_a, double tz_b) noexcept {
+  double d = std::fabs(tz_a - tz_b);
+  if (d > 12.0) d = 24.0 - d;
+  return d;
+}
+
+/// Capacity x affinity blend: the pre-refactor hardcoded behaviour.
+///
+/// share_[f][d] holds exactly the product the old per-window loop computed
+/// (`weight_d * failover_affinity(tz_d, tz_f)`), so summing the surviving
+/// row entries in d-order and dividing reproduces the original arithmetic
+/// bit for bit — only the affinity evaluation moved to construction.
+class NearestSurvivorPolicy final : public FailoverPolicy {
+ public:
+  explicit NearestSurvivorPolicy(
+      const std::vector<DatacenterConfig>& datacenters)
+      : n_(datacenters.size()), share_(n_ * n_, 0.0) {
+    for (std::size_t f = 0; f < n_; ++f) {
+      for (std::size_t d = 0; d < n_; ++d) {
+        share_[f * n_ + d] =
+            datacenters[d].demand_weight *
+            failover_affinity(datacenters[d].timezone_offset_hours,
+                              datacenters[f].timezone_offset_hours);
+      }
+    }
+  }
+
+  void redistribute(std::span<const std::uint8_t> down,
+                    std::span<double> demand) const override {
+    for (std::size_t f = 0; f < n_; ++f) {
+      if (!down[f]) continue;
+      const double orphaned = demand[f];
+      demand[f] = 0.0;
+      const double* row = share_.data() + f * n_;
+      double total_share = 0.0;
+      for (std::size_t d = 0; d < n_; ++d) {
+        if (down[d]) continue;
+        total_share += row[d];
+      }
+      if (total_share <= 0.0) continue;  // everything down: traffic dropped
+      for (std::size_t d = 0; d < n_; ++d) {
+        if (down[d]) continue;
+        demand[d] += orphaned * (row[d] / total_share);
+      }
+    }
+  }
+
+  [[nodiscard]] FailoverPolicyKind kind() const noexcept override {
+    return FailoverPolicyKind::kNearestSurvivor;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> share_;  ///< Row f: weight_d * affinity(tz_d, tz_f).
+};
+
+/// All orphaned traffic to the closest surviving region(s); ties at the
+/// minimal distance split by demand weight. DNS-steers users to the lowest
+/// added RTT, concentrating the failover spike maximally.
+class LatencyAwarePolicy final : public FailoverPolicy {
+ public:
+  explicit LatencyAwarePolicy(const std::vector<DatacenterConfig>& datacenters)
+      : n_(datacenters.size()), distance_(n_ * n_, 0.0), weight_(n_, 0.0) {
+    for (std::size_t d = 0; d < n_; ++d) {
+      weight_[d] = datacenters[d].demand_weight;
+    }
+    for (std::size_t f = 0; f < n_; ++f) {
+      for (std::size_t d = 0; d < n_; ++d) {
+        distance_[f * n_ + d] =
+            tz_distance(datacenters[d].timezone_offset_hours,
+                        datacenters[f].timezone_offset_hours);
+      }
+    }
+  }
+
+  void redistribute(std::span<const std::uint8_t> down,
+                    std::span<double> demand) const override {
+    for (std::size_t f = 0; f < n_; ++f) {
+      if (!down[f]) continue;
+      const double orphaned = demand[f];
+      demand[f] = 0.0;
+      const double* row = distance_.data() + f * n_;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t d = 0; d < n_; ++d) {
+        if (down[d]) continue;
+        if (row[d] < best) best = row[d];
+      }
+      if (!std::isfinite(best)) continue;  // everything down: traffic dropped
+      double total_weight = 0.0;
+      for (std::size_t d = 0; d < n_; ++d) {
+        if (down[d] || row[d] != best) continue;
+        total_weight += weight_[d];
+      }
+      if (total_weight <= 0.0) continue;
+      for (std::size_t d = 0; d < n_; ++d) {
+        if (down[d] || row[d] != best) continue;
+        demand[d] += orphaned * (weight_[d] / total_weight);
+      }
+    }
+  }
+
+  [[nodiscard]] FailoverPolicyKind kind() const noexcept override {
+    return FailoverPolicyKind::kLatencyAware;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> distance_;  ///< Row f: wrapped tz distance to DC d.
+  std::vector<double> weight_;
+};
+
+/// Spread proportional to demand weight alone: every survivor's demand
+/// rises by the same relative amount, so no single region needs outsized
+/// headroom — the cheapest world to provision for.
+class CostAwarePolicy final : public FailoverPolicy {
+ public:
+  explicit CostAwarePolicy(const std::vector<DatacenterConfig>& datacenters)
+      : n_(datacenters.size()), weight_(n_, 0.0) {
+    for (std::size_t d = 0; d < n_; ++d) {
+      weight_[d] = datacenters[d].demand_weight;
+    }
+  }
+
+  void redistribute(std::span<const std::uint8_t> down,
+                    std::span<double> demand) const override {
+    for (std::size_t f = 0; f < n_; ++f) {
+      if (!down[f]) continue;
+      const double orphaned = demand[f];
+      demand[f] = 0.0;
+      double total_weight = 0.0;
+      for (std::size_t d = 0; d < n_; ++d) {
+        if (down[d]) continue;
+        total_weight += weight_[d];
+      }
+      if (total_weight <= 0.0) continue;  // everything down: traffic dropped
+      for (std::size_t d = 0; d < n_; ++d) {
+        if (down[d]) continue;
+        demand[d] += orphaned * (weight_[d] / total_weight);
+      }
+    }
+  }
+
+  [[nodiscard]] FailoverPolicyKind kind() const noexcept override {
+    return FailoverPolicyKind::kCostAware;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> weight_;
+};
+
+}  // namespace
+
+std::unique_ptr<FailoverPolicy> make_failover_policy(
+    FailoverPolicyKind kind, const std::vector<DatacenterConfig>& datacenters) {
+  switch (kind) {
+    case FailoverPolicyKind::kNearestSurvivor:
+      return std::make_unique<NearestSurvivorPolicy>(datacenters);
+    case FailoverPolicyKind::kLatencyAware:
+      return std::make_unique<LatencyAwarePolicy>(datacenters);
+    case FailoverPolicyKind::kCostAware:
+      return std::make_unique<CostAwarePolicy>(datacenters);
+  }
+  throw std::invalid_argument("make_failover_policy: unknown kind");
+}
+
+}  // namespace headroom::sim

@@ -1,0 +1,72 @@
+// Outage failover policies: how a down datacenter's demand redistributes.
+//
+// The simulator's original hardcoded behaviour — survivors share orphaned
+// traffic weighted by capacity (demand weight) times geographic affinity
+// (timezone distance) — is `kNearestSurvivor`, still the default and
+// bit-identical to the pre-refactor loop. Extracting it behind an interface
+// lets what-if planning (headroom plan) explore alternative failover worlds:
+//
+//   nearest_survivor  capacity x affinity blend. Concentrates the spike on
+//                     close neighbours (the paper's +127% DC) while the
+//                     median survivor sees less.
+//   latency_aware     all orphaned traffic to the survivors at minimal
+//                     timezone distance from the failed DC (ties split by
+//                     demand weight). Best user latency, worst hot-spot —
+//                     the upper bound on single-DC headroom need.
+//   cost_aware        spread proportional to demand weight alone, ignoring
+//                     geography. Every survivor grows by the same relative
+//                     amount — the cheapest procurement world, at the cost
+//                     of cross-planet traffic.
+//
+// Policies precompute an n x n share matrix from the topology at
+// construction (one row per hypothetical failed DC), so the per-window
+// redistribution is a masked row walk with no trig/affinity math on the
+// stepping hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace headroom::sim {
+
+// FailoverPolicyKind itself lives in sim/topology.h (FleetConfig carries
+// the selection).
+
+/// Canonical scenario-file spelling ("nearest_survivor", ...).
+[[nodiscard]] std::string to_string(FailoverPolicyKind kind);
+
+/// Inverse of to_string. Returns false (leaving `out` untouched) for
+/// unknown names; the scenario parser turns that into an exact diagnostic.
+[[nodiscard]] bool failover_policy_from_string(const std::string& name,
+                                               FailoverPolicyKind& out);
+
+/// Affinity between two timezones: traffic prefers nearby regions. Shared
+/// by kNearestSurvivor's share matrix and by tests pinning the matrix math.
+[[nodiscard]] double failover_affinity(double tz_a, double tz_b) noexcept;
+
+/// Redistributes demand away from down datacenters, in place.
+class FailoverPolicy {
+ public:
+  virtual ~FailoverPolicy() = default;
+
+  /// For each down DC f (in index order), zeroes demand[f] and adds its
+  /// orphaned demand to surviving DCs according to the policy. When every
+  /// candidate is down the orphaned traffic is dropped (matching the
+  /// pre-refactor behaviour).
+  virtual void redistribute(std::span<const std::uint8_t> down,
+                            std::span<double> demand) const = 0;
+
+  [[nodiscard]] virtual FailoverPolicyKind kind() const noexcept = 0;
+};
+
+/// Builds the policy for `kind` over `datacenters`, precomputing its share
+/// matrix once.
+[[nodiscard]] std::unique_ptr<FailoverPolicy> make_failover_policy(
+    FailoverPolicyKind kind, const std::vector<DatacenterConfig>& datacenters);
+
+}  // namespace headroom::sim

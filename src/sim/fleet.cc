@@ -23,16 +23,6 @@ constexpr double kSecondsPerDay = 86400.0;
 /// picture about once an hour (at the default 120 s window).
 constexpr std::uint32_t kMaxHeldWindows = 30;
 
-/// Failover affinity: traffic from a failed region prefers nearby regions
-/// (smaller timezone distance). This is what concentrates the load spike on
-/// one neighbour (the paper's +127% DC) while the median survivor sees a
-/// smaller increase.
-double failover_affinity(double tz_a, double tz_b) noexcept {
-  double d = std::fabs(tz_a - tz_b);
-  if (d > 12.0) d = 24.0 - d;  // wrap around the globe
-  return 1.0 / (1.0 + (d / 2.5) * (d / 2.5));
-}
-
 std::size_t resolve_threads(std::size_t configured) {
   if (configured != 0) return configured;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -80,6 +70,7 @@ FleetSimulator::FleetSimulator(FleetConfig config,
     params.timezone_offset_hours = dc.timezone_offset_hours;
     regional_traffic_.emplace_back(params);
   }
+  failover_ = make_failover_policy(config_.failover, config_.datacenters);
 
   std::vector<StagingPool> staging;
   for (std::uint32_t d = 0; d < config_.datacenters.size(); ++d) {
@@ -267,30 +258,9 @@ std::vector<double> FleetSimulator::regional_demands(SimTime t) const {
     demand[d] = regional_traffic_[d].demand(t) *
                 config_.events.traffic_multiplier(t, static_cast<std::uint32_t>(d));
   }
-  // Outage failover: a down DC's demand redistributes to survivors,
-  // weighted by capacity (demand weight) and geographic affinity.
-  for (std::size_t f = 0; f < n; ++f) {
-    if (!down[f]) continue;
-    const double orphaned = demand[f];
-    demand[f] = 0.0;
-    double total_share = 0.0;
-    for (std::size_t d = 0; d < n; ++d) {
-      if (down[d]) continue;
-      total_share += config_.datacenters[d].demand_weight *
-                     failover_affinity(config_.datacenters[d].timezone_offset_hours,
-                                       config_.datacenters[f].timezone_offset_hours);
-    }
-    if (total_share <= 0.0) continue;  // everything down: traffic dropped
-    for (std::size_t d = 0; d < n; ++d) {
-      if (down[d]) continue;
-      const double share =
-          config_.datacenters[d].demand_weight *
-          failover_affinity(config_.datacenters[d].timezone_offset_hours,
-                            config_.datacenters[f].timezone_offset_hours) /
-          total_share;
-      demand[d] += orphaned * share;
-    }
-  }
+  // Outage failover: a down DC's demand redistributes to survivors per the
+  // configured policy (sim/failover.h), over its precomputed share matrix.
+  failover_->redistribute(down, demand);
   return demand;
 }
 

@@ -46,6 +46,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/failover.h"
 #include "sim/maintenance.h"
 #include "sim/microservice.h"
 #include "sim/response.h"
@@ -197,6 +198,8 @@ class FleetSimulator {
 
   FleetConfig config_;
   std::vector<workload::DiurnalTraffic> regional_traffic_;
+  /// Outage redistribution, share matrix precomputed from the topology.
+  std::unique_ptr<FailoverPolicy> failover_;
 
   // --- Pool state, struct-of-arrays ---------------------------------------
   // One entry per (dc, pool), physically ordered shard-by-shard; shard s

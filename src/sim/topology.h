@@ -51,11 +51,23 @@ struct DatacenterConfig {
   std::vector<PoolConfig> pools;
 };
 
+/// How a down datacenter's demand redistributes to survivors (see
+/// sim/failover.h for the policy semantics). Lives here so FleetConfig can
+/// carry the selection without a circular include.
+enum class FailoverPolicyKind {
+  kNearestSurvivor,  ///< Capacity x geographic affinity (the default).
+  kLatencyAware,     ///< Everything to the closest survivor(s).
+  kCostAware,        ///< Proportional to demand weight, geography-blind.
+};
+
 struct FleetConfig {
   std::vector<DatacenterConfig> datacenters;
   workload::DiurnalParams diurnal;   ///< Per-unit-weight regional demand.
   workload::EventSchedule events;
   telemetry::SimTime window_seconds = 120;  ///< Sampling window == step.
+  /// Outage redistribution policy. The default reproduces the original
+  /// hardcoded nearest-survivor behaviour bit for bit; goldens pin it.
+  FailoverPolicyKind failover = FailoverPolicyKind::kNearestSurvivor;
   std::uint64_t seed = 1;
   /// Stepping lanes: pools are sharded across this many threads, each
   /// writing a private telemetry buffer merged at every window barrier in

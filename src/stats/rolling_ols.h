@@ -1,0 +1,60 @@
+// Rolling one-predictor OLS over a bounded ring of observations.
+//
+// The running-sum machinery extracted from core::RollingPoolPlanner so
+// layers below core (ml's trend estimation) can fit incrementally too:
+// add() is O(1) amortized — eviction subtracts the departing point's
+// terms, and the sums are rebuilt from the ring once per lookback of
+// evictions to wash out floating-point drift — and fit() assembles a
+// stats::LinearFit from the sums in O(1). The normal-equation solve is
+// shared with RollingPoolPlanner via linear_fit_from_sums(), so the two
+// paths cannot drift apart arithmetically.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "stats/linear_model.h"
+
+namespace headroom::stats {
+
+/// Assembles y = slope*x + intercept (+ R²) from OLS running sums:
+/// count points, Σx, Σx², Σy, Σxy, Σy². With fewer than 2 points or zero
+/// x-variance, returns a flat fit through the mean with r_squared = 0.
+[[nodiscard]] LinearFit linear_fit_from_sums(std::size_t count, double sx,
+                                             double sx2, double sy, double sxy,
+                                             double sy2);
+
+class RollingOls {
+ public:
+  /// `lookback` bounds the ring (must be positive): only the most recent
+  /// `lookback` points participate in the fit.
+  explicit RollingOls(std::size_t lookback);
+
+  /// Folds one (x, y) point, evicting the oldest once the ring is full.
+  void add(double x, double y);
+
+  /// The OLS fit over the ring's current contents.
+  [[nodiscard]] LinearFit fit() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t lookback() const noexcept { return lookback_; }
+  /// Full-ring sum rebuilds performed so far (drift-control gauge).
+  [[nodiscard]] std::size_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  struct Point {
+    double x = 0.0;
+    double y = 0.0;
+  };
+
+  void accumulate(const Point& p, double sign);
+  void rebuild_sums();
+
+  std::size_t lookback_;
+  std::deque<Point> ring_;
+  double sx_ = 0.0, sx2_ = 0.0, sy_ = 0.0, sxy_ = 0.0, sy2_ = 0.0;
+  std::size_t evictions_since_rebuild_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace headroom::stats

@@ -99,7 +99,7 @@ TEST(CliArgs, RejectsUnknownCommand) {
   EXPECT_FALSE(outcome.ok);
   EXPECT_EQ(outcome.error,
             "unknown command 'frobnicate' (expected run, serve, bakeoff, "
-            "export-trace, list-scenarios, or flags)");
+            "plan, export-trace, list-scenarios, or flags)");
 }
 
 TEST(CliArgs, RunRequiresScenario) {
@@ -313,12 +313,85 @@ TEST(CliArgs, BakeoffValueFlagsRequireValues) {
             "--dir needs a value");
 }
 
+TEST(CliArgs, PlanDefaults) {
+  const ParseOutcome outcome = parse_args(Args{"plan"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.command, Command::kPlan);
+  EXPECT_EQ(outcome.options.scenario_dir, "examples/scenarios");
+  EXPECT_EQ(outcome.options.horizon_days, 90);
+  EXPECT_EQ(outcome.options.growth, 0.0);
+  EXPECT_TRUE(outcome.options.failover.empty());
+  EXPECT_TRUE(outcome.options.plan_out.empty());
+}
+
+TEST(CliArgs, ParsesAllPlanFlags) {
+  const ParseOutcome outcome = parse_args(
+      Args{"plan", "--scenario", "x.scn", "--horizon", "30", "--growth",
+           "1.75", "--failover", "latency_aware", "--out", "plans",
+           "--threads", "4", "--quiet"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.options.scenario_path, "x.scn");
+  EXPECT_EQ(outcome.options.horizon_days, 30);
+  EXPECT_DOUBLE_EQ(outcome.options.growth, 1.75);
+  EXPECT_EQ(outcome.options.failover, "latency_aware");
+  EXPECT_EQ(outcome.options.plan_out, "plans");
+  EXPECT_EQ(outcome.options.threads, 4u);
+  EXPECT_TRUE(outcome.options.quiet);
+}
+
+TEST(CliArgs, PlanValidatesFailoverPolicyName) {
+  for (const char* good : {"nearest_survivor", "latency_aware", "cost_aware"}) {
+    EXPECT_TRUE(parse_args(Args{"plan", "--failover", good}).ok) << good;
+  }
+  EXPECT_EQ(parse_args(Args{"plan", "--failover", "closest"}).error,
+            "bad value for --failover: 'closest' (expected nearest_survivor, "
+            "latency_aware, cost_aware)");
+}
+
+TEST(CliArgs, PlanValidatesGrowthAndHorizon) {
+  EXPECT_EQ(parse_args(Args{"plan", "--growth", "0"}).error,
+            "bad value for --growth: '0' (expected a positive number)");
+  EXPECT_EQ(parse_args(Args{"plan", "--growth", "-1.5"}).error,
+            "bad value for --growth: '-1.5' (expected a positive number)");
+  EXPECT_EQ(parse_args(Args{"plan", "--growth", "abc"}).error,
+            "bad value for --growth: 'abc' (expected a positive number)");
+  EXPECT_EQ(parse_args(Args{"plan", "--horizon", "0"}).error,
+            "bad value for --horizon: '0' (expected 1..3650)");
+  EXPECT_EQ(parse_args(Args{"plan", "--horizon", "2.5"}).error,
+            "bad value for --horizon: '2.5' (expected 1..3650)");
+}
+
+TEST(CliArgs, PlanSourceFlagsAreMutuallyExclusive) {
+  EXPECT_EQ(
+      parse_args(Args{"plan", "--scenario", "x.scn", "--trace", "d"}).error,
+      "plan takes --scenario or --trace, not both");
+  EXPECT_EQ(parse_args(Args{"plan", "--trace", "d", "--dir", "e"}).error,
+            "plan takes --trace or --dir, not both");
+  EXPECT_EQ(parse_args(Args{"plan", "--scenario", "x.scn", "--dir", "e"}).error,
+            "plan takes --scenario or --dir, not both");
+  EXPECT_EQ(parse_args(Args{"plan", "--trace", "d", "--threads", "4"}).error,
+            "--threads does not apply to plan --trace "
+            "(replay does not step a simulator)");
+  // Each source alone is fine.
+  EXPECT_TRUE(parse_args(Args{"plan", "--trace", "d"}).ok);
+  EXPECT_TRUE(parse_args(Args{"plan", "--dir", "e"}).ok);
+}
+
+TEST(CliArgs, PlanRejectsUnknownFlags) {
+  EXPECT_EQ(parse_args(Args{"plan", "--follow"}).error,
+            "unknown argument '--follow' for plan");
+  EXPECT_EQ(parse_args(Args{"plan", "--growth"}).error,
+            "--growth needs a value");
+}
+
 TEST(CliArgs, UsageMentionsEveryCommand) {
   const std::string text = usage();
   EXPECT_NE(text.find("run --scenario"), std::string::npos);
   EXPECT_NE(text.find("list-scenarios"), std::string::npos);
   EXPECT_NE(text.find("--threads"), std::string::npos);
   EXPECT_NE(text.find("bakeoff"), std::string::npos);
+  EXPECT_NE(text.find("plan"), std::string::npos);
+  EXPECT_NE(text.find("--failover"), std::string::npos);
 }
 
 }  // namespace

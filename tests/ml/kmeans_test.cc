@@ -104,6 +104,13 @@ TEST(Silhouette, MismatchedAssignmentThrows) {
   EXPECT_THROW((void)silhouette_score(d, assignment, 2), std::invalid_argument);
 }
 
+TEST(Silhouette, OutOfRangeClusterIdThrows) {
+  const Dataset d = two_blobs(5, 3.0, 15);
+  std::vector<std::size_t> assignment(d.rows(), 0);
+  assignment.back() = 2;  // k = 2 admits ids 0 and 1 only.
+  EXPECT_THROW((void)silhouette_score(d, assignment, 2), std::invalid_argument);
+}
+
 TEST(ChooseK, FindsTwoForBimodalPool) {
   // The Fig. 3 scenario: a pool whose servers split by hardware generation.
   const Dataset d = two_blobs(60, 12.0, 17);

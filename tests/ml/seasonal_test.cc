@@ -1,0 +1,94 @@
+// SeasonalProfile is the single seasonal-bucket implementation shared by
+// DemandForecaster and TrendSeasonDecomposition; its bucket mapping and
+// EWMA semantics are pinned here (the forecaster goldens depend on them
+// staying bit-identical to the pre-refactor private copy).
+#include "ml/seasonal.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headroom::ml {
+namespace {
+
+TEST(SeasonalProfile, RejectsBadOptions) {
+  SeasonalOptions bad;
+  bad.season_seconds = 0;
+  EXPECT_THROW(SeasonalProfile{bad}, std::invalid_argument);
+  bad = {};
+  bad.buckets = 0;
+  EXPECT_THROW(SeasonalProfile{bad}, std::invalid_argument);
+  bad = {};
+  bad.smoothing = 0.0;
+  EXPECT_THROW(SeasonalProfile{bad}, std::invalid_argument);
+  bad = {};
+  bad.smoothing = 1.5;
+  EXPECT_THROW(SeasonalProfile{bad}, std::invalid_argument);
+  SeasonalOptions edge;
+  edge.smoothing = 1.0;  // inclusive upper bound
+  EXPECT_NO_THROW(SeasonalProfile{edge});
+}
+
+TEST(SeasonalProfile, BucketMappingCoversSeasonAndWraps) {
+  SeasonalOptions options;
+  options.season_seconds = 86400;
+  options.buckets = 48;
+  const SeasonalProfile profile(options);
+
+  EXPECT_EQ(profile.bucket_of(0), 0u);
+  EXPECT_EQ(profile.bucket_of(1799), 0u);
+  EXPECT_EQ(profile.bucket_of(1800), 1u);
+  EXPECT_EQ(profile.bucket_of(86399), 47u);
+  // A full season later lands in the same bucket.
+  EXPECT_EQ(profile.bucket_of(86400), 0u);
+  EXPECT_EQ(profile.bucket_of(86400 + 1800), 1u);
+  // Negative timestamps wrap consistently: -1800 is the season's last
+  // half-hour.
+  EXPECT_EQ(profile.bucket_of(-1800), 47u);
+  EXPECT_EQ(profile.bucket_of(-86400), 0u);
+}
+
+TEST(SeasonalProfile, FirstObservationInitializesThenEwma) {
+  SeasonalOptions options;
+  options.smoothing = 0.25;
+  SeasonalProfile profile(options);
+
+  EXPECT_FALSE(profile.seen(0));
+  EXPECT_EQ(profile.seen_count(), 0u);
+
+  profile.observe(0, 100.0);
+  ASSERT_TRUE(profile.seen(0));
+  EXPECT_EQ(profile.seen_count(), 1u);
+  EXPECT_DOUBLE_EQ(profile.level(0), 100.0);  // init, not EWMA from zero
+
+  profile.observe(86400, 200.0);  // same bucket, one season later
+  EXPECT_DOUBLE_EQ(profile.level(0), 100.0 + 0.25 * (200.0 - 100.0));
+  EXPECT_EQ(profile.seen_count(), 1u) << "same bucket must not recount";
+
+  profile.observe(1800, 50.0);  // a different bucket
+  EXPECT_EQ(profile.seen_count(), 2u);
+  EXPECT_DOUBLE_EQ(profile.level(1), 50.0);
+  EXPECT_DOUBLE_EQ(profile.level(0), 125.0) << "other buckets untouched";
+}
+
+TEST(SeasonalProfile, ConvergesToPeriodicSignal) {
+  SeasonalOptions options;
+  options.season_seconds = 4800;
+  options.buckets = 4;  // 1200 s per bucket
+  options.smoothing = 0.5;
+  SeasonalProfile profile(options);
+
+  // Periodic step pattern: buckets carry 10, 20, 30, 40.
+  for (int season = 0; season < 20; ++season) {
+    for (int b = 0; b < 4; ++b) {
+      profile.observe(season * 4800 + b * 1200, 10.0 * (b + 1));
+    }
+  }
+  EXPECT_EQ(profile.seen_count(), 4u);
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_NEAR(profile.level(b), 10.0 * (b + 1), 1e-3) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace headroom::ml

@@ -1,0 +1,128 @@
+// TrendSeasonDecomposition: growth trend x seasonal profile with
+// residual-quantile bands — the model under every capacity forecast.
+#include "ml/trend_season.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace headroom::ml {
+namespace {
+
+TEST(TrendSeason, RejectsBadOptions) {
+  TrendSeasonOptions bad;
+  bad.trend_lookback = 0;
+  EXPECT_THROW(TrendSeasonDecomposition{bad}, std::invalid_argument);
+  bad = {};
+  bad.residual_lookback = 0;
+  EXPECT_THROW(TrendSeasonDecomposition{bad}, std::invalid_argument);
+  bad = {};
+  bad.band_percentile = 50.0;  // must leave room for a mirror quantile
+  EXPECT_THROW(TrendSeasonDecomposition{bad}, std::invalid_argument);
+  bad = {};
+  bad.band_percentile = 100.0;
+  EXPECT_THROW(TrendSeasonDecomposition{bad}, std::invalid_argument);
+}
+
+TEST(TrendSeason, EmptyDecompositionPredictsZero) {
+  const TrendSeasonDecomposition decomposition;
+  EXPECT_EQ(decomposition.observations(), 0u);
+  EXPECT_EQ(decomposition.seasonal_coverage(), 0u);
+  EXPECT_DOUBLE_EQ(decomposition.growth_per_day(), 0.0);
+  const TrendSeasonForecast f = decomposition.predict(86400);
+  EXPECT_DOUBLE_EQ(f.value, 0.0);
+  EXPECT_DOUBLE_EQ(f.lower, f.value);
+  EXPECT_DOUBLE_EQ(f.upper, f.value);
+}
+
+TEST(TrendSeason, RecoversPureLinearGrowthExactly) {
+  // demand(t) = 100 + 0.01 t: a perfect line has ratio 1 in every seasonal
+  // bucket and zero residuals, so the extrapolation is the analytic line
+  // and the band collapses onto it.
+  TrendSeasonDecomposition decomposition;
+  for (telemetry::SimTime t = 0; t < 7 * 86400; t += 120) {
+    decomposition.observe(t, 100.0 + 0.01 * static_cast<double>(t));
+  }
+  EXPECT_NEAR(decomposition.growth_per_day(), 0.01 * 86400.0, 1e-6);
+
+  const telemetry::SimTime future = 10 * 86400;
+  const TrendSeasonForecast f = decomposition.predict(future);
+  const double analytic = 100.0 + 0.01 * static_cast<double>(future);
+  EXPECT_NEAR(f.value, analytic, 1e-6);
+  EXPECT_NEAR(f.trend, analytic, 1e-6);
+  EXPECT_NEAR(f.season, 1.0, 1e-9);
+  EXPECT_NEAR(f.upper - f.lower, 0.0, 1e-6) << "zero residuals, tight band";
+  EXPECT_LE(f.lower, f.value);
+  EXPECT_GE(f.upper, f.value);
+}
+
+TEST(TrendSeason, RecoversMultiplicativeSeasonOverGrowth) {
+  // demand(t) = (1000 + 0.005 t) x season(t), season alternating between
+  // 0.8 and 1.2 every half season. The decomposition should attribute the
+  // oscillation to the seasonal profile, not the trend.
+  TrendSeasonOptions options;
+  options.season_seconds = 86400;
+  options.buckets = 2;
+  options.seasonal_smoothing = 0.5;
+  TrendSeasonDecomposition decomposition(options);
+
+  for (telemetry::SimTime t = 0; t < 14 * 86400; t += 1200) {
+    const double trend = 1000.0 + 0.005 * static_cast<double>(t);
+    const double season = (t % 86400) < 43200 ? 0.8 : 1.2;
+    decomposition.observe(t, trend * season);
+  }
+  EXPECT_EQ(decomposition.seasonal_coverage(), 2u);
+
+  // Growth survives the oscillation to within a few percent.
+  EXPECT_NEAR(decomposition.growth_per_day(), 0.005 * 86400.0,
+              0.05 * 0.005 * 86400.0);
+
+  // Forecasts into each half-season carry the right multiplier.
+  const telemetry::SimTime morning = 20 * 86400 + 6 * 3600;
+  const telemetry::SimTime evening = 20 * 86400 + 18 * 3600;
+  const TrendSeasonForecast low = decomposition.predict(morning);
+  const TrendSeasonForecast high = decomposition.predict(evening);
+  EXPECT_NEAR(low.season, 0.8, 0.05);
+  EXPECT_NEAR(high.season, 1.2, 0.05);
+  EXPECT_GT(high.value, low.value);
+  EXPECT_LE(low.lower, low.value);
+  EXPECT_GE(low.upper, low.value);
+}
+
+TEST(TrendSeason, ResidualBandWidensWithNoise) {
+  // A deterministic square-wave disturbance the 1-bucket seasonal profile
+  // cannot absorb becomes residual spread: the band must cover it.
+  TrendSeasonOptions options;
+  options.buckets = 1;
+  TrendSeasonDecomposition decomposition(options);
+  for (telemetry::SimTime t = 0; t < 4 * 86400; t += 1200) {
+    const double wobble = (t / 1200) % 2 == 0 ? 25.0 : -25.0;
+    decomposition.observe(t, 500.0 + wobble);
+  }
+  const TrendSeasonForecast f = decomposition.predict(5 * 86400);
+  EXPECT_GT(f.upper - f.lower, 25.0) << "band must reflect the wobble";
+  EXPECT_LE(f.lower, f.value);
+  EXPECT_GE(f.upper, f.value);
+}
+
+TEST(TrendSeason, DeterministicReplayIsBitIdentical) {
+  const auto run = [] {
+    TrendSeasonDecomposition decomposition;
+    for (telemetry::SimTime t = 0; t < 3 * 86400; t += 120) {
+      const double v =
+          800.0 + 0.002 * static_cast<double>(t) +
+          60.0 * std::sin(static_cast<double>(t) * 6.283185307179586 / 86400.0);
+      decomposition.observe(t, v);
+    }
+    return decomposition.predict(5 * 86400);
+  };
+  const TrendSeasonForecast a = run();
+  const TrendSeasonForecast b = run();
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.lower, b.lower);
+  EXPECT_EQ(a.upper, b.upper);
+}
+
+}  // namespace
+}  // namespace headroom::ml

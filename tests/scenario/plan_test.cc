@@ -1,0 +1,201 @@
+// Golden report pins for the capacity-planning what-if harness.
+//
+// Every shipped scenario (except the dead-band 100x smoke, which the
+// planner refuses by design) steps its observation phase once, then the
+// full what-if sweep — growth multipliers x failover policies x the
+// DC-outage timeline — is forecast and the machine-readable plan report is
+// pinned byte-for-byte against tests/scenario/golden/plan/<name>.plan,
+// serial and at 4 stepping threads. Regenerate after an intentional change
+// with HEADROOM_UPDATE_GOLDENS=1.
+#include "scenario/planning.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_parser.h"
+#include "scenario/trace.h"
+
+#ifndef HEADROOM_SCENARIO_DIR
+#error "HEADROOM_SCENARIO_DIR must point at examples/scenarios"
+#endif
+#ifndef HEADROOM_GOLDEN_DIR
+#error "HEADROOM_GOLDEN_DIR must point at tests/scenario/golden"
+#endif
+
+namespace headroom::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> plan_stems() {
+  std::vector<std::string> stems;
+  for (const auto& entry : fs::directory_iterator(HEADROOM_SCENARIO_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      stems.push_back(entry.path().stem().string());
+    }
+  }
+  // The 100x-scale smoke opts into approximate dead-band stepping;
+  // run_plan() rejects it (tested below) rather than pinning an
+  // approximate report.
+  std::erase(stems, std::string("standard_fleet_x100"));
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class PlanGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlanGolden, ReportMatchesPinAndIsThreadInvariant) {
+  const fs::path scenario_path =
+      fs::path(HEADROOM_SCENARIO_DIR) / (GetParam() + ".scn");
+  ParseResult parsed = load_scenario_file(scenario_path.string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  const PlanResult result = run_plan(parsed.spec);
+  const std::string report = format_plan(result);
+
+  // Structure: the default sweep is 3 growths x 3 policies x (1 + outage
+  // targets) cases, every case carrying a forecast per surviving pool.
+  const std::size_t per_policy = 1 + result.outage_datacenters.size();
+  ASSERT_EQ(result.cases.size(), 3u * 3u * per_policy);
+  for (const PlanCase& c : result.cases) {
+    if (c.has_outage) {
+      // The dark DC's pools drop out of the case.
+      EXPECT_LT(c.pools.size(), result.total_pools);
+      for (const core::PoolCapacityForecast& pool : c.pools) {
+        EXPECT_NE(pool.datacenter, c.outage_datacenter);
+      }
+    } else {
+      EXPECT_EQ(c.pools.size(), result.total_pools);
+    }
+  }
+
+  // Thread invariance: the report must not depend on stepping lanes.
+  ScenarioSpec threaded = parsed.spec;
+  threaded.threads = 4;
+  const std::string threaded_report = format_plan(run_plan(threaded));
+  EXPECT_EQ(report, threaded_report) << "plan depends on the thread count";
+
+  const fs::path golden_path =
+      fs::path(HEADROOM_GOLDEN_DIR) / "plan" / (GetParam() + ".plan");
+  if (std::getenv("HEADROOM_UPDATE_GOLDENS") != nullptr) {
+    fs::create_directories(golden_path.parent_path());
+    std::ofstream out(golden_path, std::ios::binary);
+    out << report;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden_path;
+    GTEST_SKIP() << "updated " << golden_path;
+  }
+  ASSERT_TRUE(fs::exists(golden_path))
+      << "no plan pin for " << GetParam()
+      << "; run with HEADROOM_UPDATE_GOLDENS=1 to create it";
+  EXPECT_EQ(report, read_file(golden_path))
+      << "plan drifted from " << golden_path
+      << "; if intentional, regenerate with HEADROOM_UPDATE_GOLDENS=1";
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, PlanGolden,
+                         ::testing::ValuesIn(plan_stems()));
+
+TEST(Plan, RejectsDeadBandScenarios) {
+  const fs::path path =
+      fs::path(HEADROOM_SCENARIO_DIR) / "standard_fleet_x100.scn";
+  ParseResult parsed = load_scenario_file(path.string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_GT(parsed.spec.quiescent_dead_band, 0.0);
+  EXPECT_THROW((void)run_plan(parsed.spec), std::invalid_argument);
+}
+
+TEST(Plan, RejectsBadOptions) {
+  ParseResult parsed = load_scenario_file(
+      (fs::path(HEADROOM_SCENARIO_DIR) / "fig6_flash_crowd.scn").string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  PlanOptions bad_horizon;
+  bad_horizon.horizon_seconds = 0;
+  EXPECT_THROW((void)run_plan(parsed.spec, bad_horizon),
+               std::invalid_argument);
+  PlanOptions bad_growth;
+  bad_growth.growths = {1.0, -0.5};
+  EXPECT_THROW((void)run_plan(parsed.spec, bad_growth),
+               std::invalid_argument);
+}
+
+TEST(Plan, RestrictedSweepAndOutageStress) {
+  ParseResult parsed = load_scenario_file(
+      (fs::path(HEADROOM_SCENARIO_DIR) / "fig45_dc_outage.scn").string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  PlanOptions options;
+  options.growths = {1.0};
+  options.policies = {sim::FailoverPolicyKind::kCostAware};
+  const PlanResult result = run_plan(parsed.spec, options);
+
+  // One growth x one policy x (baseline + one outage target from the
+  // timeline) = 2 cases.
+  ASSERT_EQ(result.outage_datacenters.size(), 1u);
+  ASSERT_EQ(result.cases.size(), 2u);
+  EXPECT_FALSE(result.cases[0].has_outage);
+  EXPECT_TRUE(result.cases[1].has_outage);
+
+  // Cost-aware redistribution is weight-proportional: every survivor of
+  // the outage case carries the same multiplier > 1.
+  const PlanCase& outage = result.cases[1];
+  ASSERT_FALSE(outage.stresses.empty());
+  for (const PlanStress& s : outage.stresses) {
+    EXPECT_GT(s.multiplier, 1.0);
+    EXPECT_DOUBLE_EQ(s.multiplier, outage.stresses.front().multiplier);
+  }
+  // The dark DC's pools drop out of the case.
+  EXPECT_LT(outage.pools.size(), result.cases[0].pools.size());
+  for (const core::PoolCapacityForecast& pool : outage.pools) {
+    EXPECT_NE(pool.datacenter, outage.outage_datacenter);
+  }
+}
+
+TEST(Plan, TraceModeMatchesScenarioForecasts) {
+  // Export a scenario as a trace, then plan from the recording: same
+  // telemetry, no simulator — the per-pool forecasts must be identical
+  // modulo the source header line.
+  ParseResult parsed = load_scenario_file(
+      (fs::path(HEADROOM_SCENARIO_DIR) / "fig6_flash_crowd.scn").string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  const fs::path trace_dir =
+      fs::path(::testing::TempDir()) / "plan_trace_roundtrip";
+  fs::remove_all(trace_dir);
+  const TraceExportResult exported =
+      export_trace(parsed.spec, trace_dir.string(), nullptr);
+  ASSERT_TRUE(exported.ok()) << exported.error;
+
+  PlanOptions options;
+  options.growths = {1.0};
+  options.policies = {sim::FailoverPolicyKind::kNearestSurvivor};
+  const std::string from_scenario =
+      format_plan(run_plan(parsed.spec, options));
+  const std::string from_trace =
+      format_plan(run_plan_on_trace(trace_dir.string(), options));
+
+  const auto strip_source = [](std::string text) {
+    const std::size_t pos = text.find("source = ");
+    const std::size_t end = text.find('\n', pos);
+    text.erase(pos, end - pos + 1);
+    return text;
+  };
+  EXPECT_EQ(strip_source(from_scenario), strip_source(from_trace));
+  fs::remove_all(trace_dir);
+}
+
+}  // namespace
+}  // namespace headroom::scenario

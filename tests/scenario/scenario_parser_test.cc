@@ -524,6 +524,47 @@ TEST(ScenarioSpec, ValidateRejectsPoolOnDemandLevelEvents) {
   EXPECT_EQ(validate(spec), "");
 }
 
+// ---------------------------------------------------------------------------
+// Failover policy selection
+
+TEST(ScenarioParser, ParsesFailoverPolicy) {
+  const ParseResult result = parse_scenario(
+      "[scenario]\n"
+      "name = fo\n"
+      "failover = latency_aware\n",
+      "test.scn");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.spec.failover, sim::FailoverPolicyKind::kLatencyAware);
+}
+
+TEST(ScenarioParser, RejectsUnknownFailoverPolicyExactly) {
+  const ParseResult result = parse_scenario(
+      "[scenario]\n"
+      "name = fo\n"
+      "failover = closest\n",
+      "test.scn");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error,
+            "test.scn:3: bad value 'closest' for 'failover' (expected "
+            "nearest_survivor, latency_aware, cost_aware)");
+}
+
+TEST(ScenarioParser, FailoverRoundTripsAndDefaultStaysImplicit) {
+  // Non-default policies serialize and survive the round trip; the default
+  // must NOT be emitted, so every pre-existing scenario file stays
+  // byte-identical under serialize(parse(.)).
+  ScenarioSpec spec = rich_spec();
+  spec.failover = sim::FailoverPolicyKind::kCostAware;
+  const std::string text = serialize_scenario(spec);
+  EXPECT_NE(text.find("failover = cost_aware\n"), std::string::npos) << text;
+  const ParseResult reparsed = parse_scenario(text, "round.scn");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_EQ(reparsed.spec, spec);
+
+  spec.failover = sim::FailoverPolicyKind::kNearestSurvivor;
+  EXPECT_EQ(serialize_scenario(spec).find("failover"), std::string::npos);
+}
+
 TEST(ScenarioSpec, KnownMetricsAreSortedAndNonEmpty) {
   const std::vector<std::string>& names = known_metrics();
   ASSERT_FALSE(names.empty());

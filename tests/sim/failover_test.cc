@@ -1,0 +1,186 @@
+// Unit pins for the pluggable failover policies (sim/failover.h).
+//
+// kNearestSurvivor must stay bit-identical to the pre-refactor hardcoded
+// redistribution loop (the scenario goldens pin it end to end; here the
+// share arithmetic is pinned against hand math), and the two alternative
+// worlds must honour their documented semantics.
+#include "sim/failover.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace headroom::sim {
+namespace {
+
+std::vector<DatacenterConfig> four_dcs() {
+  // Timezones chosen so DC1 is closest to DC0 and the wrap matters for
+  // DC3: |0 - 16| = 16 -> wrapped 8.
+  std::vector<DatacenterConfig> dcs(4);
+  dcs[0].timezone_offset_hours = 0.0;
+  dcs[0].demand_weight = 1.0;
+  dcs[1].timezone_offset_hours = 2.0;
+  dcs[1].demand_weight = 2.0;
+  dcs[2].timezone_offset_hours = 7.0;
+  dcs[2].demand_weight = 1.0;
+  dcs[3].timezone_offset_hours = 16.0;
+  dcs[3].demand_weight = 4.0;
+  return dcs;
+}
+
+TEST(FailoverAffinity, MatchesClosedFormAndWraps) {
+  // 1 / (1 + (d/2.5)^2) with the 24h wrap.
+  EXPECT_DOUBLE_EQ(failover_affinity(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(failover_affinity(0.0, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(failover_affinity(2.5, 0.0), 0.5);
+  // 16h apart wraps to 8h, identical to a plain 8h separation.
+  EXPECT_DOUBLE_EQ(failover_affinity(0.0, 16.0), failover_affinity(0.0, 8.0));
+  const double d = 8.0 / 2.5;
+  EXPECT_DOUBLE_EQ(failover_affinity(0.0, 16.0), 1.0 / (1.0 + d * d));
+}
+
+TEST(FailoverNames, RoundTrip) {
+  for (const FailoverPolicyKind kind :
+       {FailoverPolicyKind::kNearestSurvivor, FailoverPolicyKind::kLatencyAware,
+        FailoverPolicyKind::kCostAware}) {
+    FailoverPolicyKind parsed{};
+    ASSERT_TRUE(failover_policy_from_string(to_string(kind), parsed))
+        << to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  FailoverPolicyKind unused = FailoverPolicyKind::kCostAware;
+  EXPECT_FALSE(failover_policy_from_string("closest", unused));
+  EXPECT_FALSE(failover_policy_from_string("", unused));
+  EXPECT_EQ(unused, FailoverPolicyKind::kCostAware) << "out must stay put";
+}
+
+TEST(NearestSurvivor, MatchesHandComputedShares) {
+  const std::vector<DatacenterConfig> dcs = four_dcs();
+  const auto policy =
+      make_failover_policy(FailoverPolicyKind::kNearestSurvivor, dcs);
+  ASSERT_EQ(policy->kind(), FailoverPolicyKind::kNearestSurvivor);
+
+  std::vector<double> demand = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<std::uint8_t> down = {1, 0, 0, 0};
+  policy->redistribute(down, demand);
+
+  // Exactly the pre-refactor loop, by hand: survivor share is
+  // weight_d * affinity(tz_d, tz_0), normalised over survivors in order.
+  const double s1 = 2.0 * failover_affinity(2.0, 0.0);
+  const double s2 = 1.0 * failover_affinity(7.0, 0.0);
+  const double s3 = 4.0 * failover_affinity(16.0, 0.0);
+  double total = 0.0;
+  total += s1;
+  total += s2;
+  total += s3;
+  EXPECT_DOUBLE_EQ(demand[0], 0.0);
+  EXPECT_DOUBLE_EQ(demand[1], 20.0 + 10.0 * (s1 / total));
+  EXPECT_DOUBLE_EQ(demand[2], 30.0 + 10.0 * (s2 / total));
+  EXPECT_DOUBLE_EQ(demand[3], 40.0 + 10.0 * (s3 / total));
+  // Traffic is conserved when someone survives.
+  EXPECT_NEAR(demand[1] + demand[2] + demand[3], 100.0, 1e-9);
+}
+
+TEST(NearestSurvivor, DropsTrafficWhenEveryoneIsDown) {
+  const std::vector<DatacenterConfig> dcs = four_dcs();
+  const auto policy =
+      make_failover_policy(FailoverPolicyKind::kNearestSurvivor, dcs);
+  std::vector<double> demand = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<std::uint8_t> down = {1, 1, 1, 1};
+  policy->redistribute(down, demand);
+  for (const double d : demand) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(LatencyAware, AllTrafficToClosestSurvivor) {
+  const std::vector<DatacenterConfig> dcs = four_dcs();
+  const auto policy =
+      make_failover_policy(FailoverPolicyKind::kLatencyAware, dcs);
+  ASSERT_EQ(policy->kind(), FailoverPolicyKind::kLatencyAware);
+
+  std::vector<double> demand = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<std::uint8_t> down = {1, 0, 0, 0};
+  policy->redistribute(down, demand);
+
+  // DC1 (2h away) is strictly closest to DC0: it takes everything.
+  EXPECT_DOUBLE_EQ(demand[0], 0.0);
+  EXPECT_DOUBLE_EQ(demand[1], 30.0);
+  EXPECT_DOUBLE_EQ(demand[2], 30.0);
+  EXPECT_DOUBLE_EQ(demand[3], 40.0);
+}
+
+TEST(LatencyAware, TiesSplitByWeightAndCascadeToNextClosest) {
+  // DC1 and DC2 are both 3h from DC0, with weights 1 and 3.
+  std::vector<DatacenterConfig> dcs(3);
+  dcs[0].timezone_offset_hours = 0.0;
+  dcs[0].demand_weight = 1.0;
+  dcs[1].timezone_offset_hours = 3.0;
+  dcs[1].demand_weight = 1.0;
+  dcs[2].timezone_offset_hours = -3.0;
+  dcs[2].demand_weight = 3.0;
+  const auto policy =
+      make_failover_policy(FailoverPolicyKind::kLatencyAware, dcs);
+
+  std::vector<double> demand = {8.0, 1.0, 1.0};
+  const std::vector<std::uint8_t> down = {1, 0, 0};
+  policy->redistribute(down, demand);
+  EXPECT_DOUBLE_EQ(demand[1], 1.0 + 8.0 * 0.25);
+  EXPECT_DOUBLE_EQ(demand[2], 1.0 + 8.0 * 0.75);
+
+  // With the closest survivor also down, the next-closest takes over.
+  std::vector<double> cascade = {8.0, 1.0, 1.0};
+  const std::vector<std::uint8_t> both = {1, 1, 0};
+  policy->redistribute(both, cascade);
+  EXPECT_DOUBLE_EQ(cascade[1], 0.0);
+  EXPECT_DOUBLE_EQ(cascade[2], 10.0);
+}
+
+TEST(CostAware, ProportionalToWeightIgnoringGeography) {
+  const std::vector<DatacenterConfig> dcs = four_dcs();
+  const auto policy = make_failover_policy(FailoverPolicyKind::kCostAware, dcs);
+  ASSERT_EQ(policy->kind(), FailoverPolicyKind::kCostAware);
+
+  std::vector<double> demand = {14.0, 20.0, 30.0, 40.0};
+  const std::vector<std::uint8_t> down = {1, 0, 0, 0};
+  policy->redistribute(down, demand);
+
+  // Survivor weights 2:1:4 over total 7.
+  EXPECT_DOUBLE_EQ(demand[0], 0.0);
+  EXPECT_DOUBLE_EQ(demand[1], 20.0 + 14.0 * (2.0 / 7.0));
+  EXPECT_DOUBLE_EQ(demand[2], 30.0 + 14.0 * (1.0 / 7.0));
+  EXPECT_DOUBLE_EQ(demand[3], 40.0 + 14.0 * (4.0 / 7.0));
+}
+
+TEST(Failover, MultipleDownDcsProcessInIndexOrder) {
+  // With DC0 and DC1 both down, each orphaned demand goes straight to the
+  // surviving DCs (a down DC never receives failover traffic), failed DCs
+  // processed in index order — the pre-refactor loop's exact semantics.
+  const std::vector<DatacenterConfig> dcs = four_dcs();
+  const auto policy =
+      make_failover_policy(FailoverPolicyKind::kNearestSurvivor, dcs);
+  std::vector<double> demand = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<std::uint8_t> down = {1, 1, 0, 0};
+  policy->redistribute(down, demand);
+
+  const auto shares = [&](double tz_f, double orphaned, double& d2,
+                          double& d3) {
+    const double s2 = 1.0 * failover_affinity(7.0, tz_f);
+    const double s3 = 4.0 * failover_affinity(16.0, tz_f);
+    double total = 0.0;
+    total += s2;
+    total += s3;
+    d2 = orphaned * (s2 / total);
+    d3 = orphaned * (s3 / total);
+  };
+  double a2 = 0.0, a3 = 0.0, b2 = 0.0, b3 = 0.0;
+  shares(0.0, 10.0, a2, a3);
+  shares(2.0, 20.0, b2, b3);
+  EXPECT_DOUBLE_EQ(demand[0], 0.0);
+  EXPECT_DOUBLE_EQ(demand[1], 0.0);
+  EXPECT_DOUBLE_EQ(demand[2], 30.0 + a2 + b2);
+  EXPECT_DOUBLE_EQ(demand[3], 40.0 + a3 + b3);
+  EXPECT_NEAR(demand[2] + demand[3], 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace headroom::sim
